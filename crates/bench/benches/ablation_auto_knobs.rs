@@ -1,0 +1,11 @@
+//! Ablations: runtime-driven adaptive join and cost-model-driven
+//! algorithm selection.
+fn main() {
+    let scale = wl_bench::Scale::from_env();
+    wl_bench::ablation::adaptive_vs_fixed(&scale);
+    wl_bench::ablation::auto_selection(&scale);
+    wl_bench::ablation::energy_and_wear(&scale);
+    wl_bench::ablation::aggregation(&scale);
+    wl_bench::ablation::index_leaf_policies(&scale);
+    wl_bench::ablation::input_order(&scale);
+}

@@ -1,0 +1,4 @@
+//! Fig. 10 reproduction.
+fn main() {
+    wl_bench::figures::fig10(&wl_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Fig. 11 reproduction.
+fn main() {
+    wl_bench::figures::fig11(&wl_bench::Scale::from_env());
+}

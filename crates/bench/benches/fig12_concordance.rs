@@ -1,0 +1,4 @@
+//! Fig. 12 reproduction.
+fn main() {
+    wl_bench::figures::fig12(&wl_bench::Scale::from_env());
+}

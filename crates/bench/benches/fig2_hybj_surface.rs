@@ -1,0 +1,4 @@
+//! Fig. 2: hybrid Grace/nested-loops join cost heatmaps.
+fn main() {
+    wl_bench::figures::fig2();
+}

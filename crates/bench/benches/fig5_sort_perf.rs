@@ -1,0 +1,4 @@
+//! Fig. 5 reproduction.
+fn main() {
+    wl_bench::figures::fig5(&wl_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Fig. 6 reproduction.
+fn main() {
+    wl_bench::figures::fig6(&wl_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Fig. 7 reproduction.
+fn main() {
+    wl_bench::figures::fig7(&wl_bench::Scale::from_env());
+}

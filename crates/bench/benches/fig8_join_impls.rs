@@ -1,0 +1,4 @@
+//! Fig. 8 reproduction.
+fn main() {
+    wl_bench::figures::fig8(&wl_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Fig. 9 reproduction.
+fn main() {
+    wl_bench::figures::fig9(&wl_bench::Scale::from_env());
+}

@@ -1,0 +1,4 @@
+//! Table 1: standard vs lazy hash join progression.
+fn main() {
+    wl_bench::figures::table1(&wl_bench::Scale::from_env());
+}

@@ -1,0 +1,108 @@
+//! Reproduction driver: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! repro --all             # everything
+//! repro --figure 5        # one figure (2, 5, 6, 7, 8, 9, 10, 11, 12)
+//! repro --table 1         # Table 1
+//! repro --ablation        # adaptive-join + auto-selection ablations
+//! repro --config          # print the simulator configuration (Table 2 stand-in)
+//! repro --breakdown       # per-collection write/read attribution for one SegS run
+//! WL_SCALE=quick repro --all
+//! ```
+
+use wl_bench::{ablation, figures, Scale};
+
+fn print_config() {
+    let cfg = pmem_sim::DeviceConfig::paper_default();
+    println!("=== Simulator configuration (stands in for the paper's Table 2) ===");
+    println!("read latency      {} ns per cacheline", cfg.latency.read_ns);
+    println!("write latency     {} ns per cacheline", cfg.latency.write_ns);
+    println!("lambda (w/r)      {}", cfg.latency.lambda());
+    println!("cacheline         {} bytes", pmem_sim::CACHELINE);
+    println!("collection block  {} bytes", cfg.block_size);
+    println!("PMFS call cost    {} ns", cfg.pmfs_call_ns);
+    println!("RAM-disk call cost {} ns", cfg.ramdisk_call_ns);
+}
+
+fn breakdown_demo(scale: &wl_bench::Scale) {
+    use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice};
+    use write_limited::sort::{segment_sort, SortContext};
+
+    let dev = PmDevice::paper_default();
+    dev.metrics().enable_breakdown();
+    let input = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "input",
+        wisconsin::sort_input(scale.sort_n / 2, wisconsin::KeyOrder::Random, 42),
+    );
+    let pool = BufferPool::fraction_of(input.bytes(), 0.05);
+    let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+    let out = segment_sort(&input, 0.5, &ctx, "sorted-output").expect("valid");
+    println!(
+        "=== Per-collection I/O of SegS 50% on {} records (cachelines) ===",
+        out.len()
+    );
+    println!("{:<20} {:>12} {:>12}", "collection", "writes", "reads");
+    for (name, stats) in dev.metrics().breakdown() {
+        println!("{name:<20} {:>12} {:>12}", stats.cl_writes, stats.cl_reads);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env();
+    eprintln!(
+        "scale: sort_n={}, join |T|={}, fanout={}",
+        scale.sort_n, scale.join_t, scale.join_fanout
+    );
+
+    let run_fig = |n: u32| match n {
+        2 => figures::fig2(),
+        5 => figures::fig5(&scale),
+        6 => figures::fig6(&scale),
+        7 => figures::fig7(&scale),
+        8 => figures::fig8(&scale),
+        9 => figures::fig9(&scale),
+        10 => figures::fig10(&scale),
+        11 => figures::fig11(&scale),
+        12 => figures::fig12(&scale),
+        other => eprintln!("no figure {other} in the paper's evaluation"),
+    };
+
+    match args.first().map(String::as_str) {
+        Some("--all") | None => {
+            print_config();
+            figures::table1(&scale);
+            for f in [2, 5, 6, 7, 8, 9, 10, 11, 12] {
+                run_fig(f);
+            }
+            ablation::adaptive_vs_fixed(&scale);
+            ablation::auto_selection(&scale);
+            ablation::energy_and_wear(&scale);
+            ablation::aggregation(&scale);
+            ablation::index_leaf_policies(&scale);
+            ablation::input_order(&scale);
+        }
+        Some("--figure") => {
+            let n: u32 = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .expect("usage: repro --figure <n>");
+            run_fig(n);
+        }
+        Some("--table") => figures::table1(&scale),
+        Some("--ablation") => {
+            ablation::adaptive_vs_fixed(&scale);
+            ablation::auto_selection(&scale);
+            ablation::energy_and_wear(&scale);
+            ablation::aggregation(&scale);
+            ablation::index_leaf_policies(&scale);
+            ablation::input_order(&scale);
+        }
+        Some("--config") => print_config(),
+        Some("--breakdown") => breakdown_demo(&scale),
+        Some(other) => eprintln!("unknown flag {other}; see --all/--figure/--table/--ablation/--config"),
+    }
+}

@@ -1,0 +1,18 @@
+//! # wl-bench — reproduction harness
+//!
+//! One entry point per table/figure of the paper's evaluation (§4), each
+//! printing the rows/series the paper reports from freshly simulated
+//! runs, plus ablations for the runtime-driven knobs. Run everything via
+//! `cargo bench` (each figure is a `harness = false` bench target) or
+//! `cargo run -p wl-bench --bin repro -- --all`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod measure;
+pub mod scale;
+pub mod table;
+
+pub use measure::{run_join, run_sort, Measurement};
+pub use scale::Scale;

@@ -1,0 +1,173 @@
+//! Single-experiment runners: stage a workload on a device, run one
+//! algorithm, and report simulated time plus cacheline traffic.
+
+use pmem_sim::{
+    BufferPool, DeviceConfig, IoStats, LatencyProfile, LayerKind, PCollection, PmDevice,
+};
+use wisconsin::{join_input, sort_input, KeyOrder, WisconsinRecord};
+use write_limited::join::{JoinAlgorithm, JoinContext};
+use write_limited::sort::{SortAlgorithm, SortContext};
+
+/// One experiment's result.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Simulated response time in seconds.
+    pub secs: f64,
+    /// Cacheline reads.
+    pub reads: u64,
+    /// Cacheline writes.
+    pub writes: u64,
+    /// Output records (for verification).
+    pub output_records: u64,
+}
+
+impl Measurement {
+    fn from_stats(stats: IoStats, latency: &LatencyProfile, output_records: u64) -> Self {
+        Self {
+            secs: stats.time_secs(latency),
+            reads: stats.cl_reads,
+            writes: stats.cl_writes,
+            output_records,
+        }
+    }
+}
+
+/// Runs one sort experiment: `n` permuted records, DRAM = `mem_fraction`
+/// of the input, collections on `layer`, medium at `latency`.
+///
+/// Returns `None` when the algorithm's preconditions reject the setting
+/// (the paper simply omits such points from its plots).
+pub fn run_sort(
+    algo: SortAlgorithm,
+    layer: LayerKind,
+    n: u64,
+    mem_fraction: f64,
+    latency: LatencyProfile,
+    seed: u64,
+) -> Option<Measurement> {
+    let dev = PmDevice::new(DeviceConfig::paper_default().with_latency(latency));
+    let input = PCollection::from_records_uncounted(
+        &dev,
+        layer,
+        "T",
+        sort_input(n, KeyOrder::Random, seed),
+    );
+    let input_bytes = input.bytes();
+    let pool = BufferPool::fraction_of(input_bytes, mem_fraction);
+    let ctx = SortContext::new(&dev, layer, &pool);
+    let before = dev.snapshot();
+    let out = algo.run(&input, &ctx, "sorted").ok()?;
+    debug_assert_eq!(out.len() as u64, n, "sort must be complete");
+    Some(Measurement::from_stats(
+        dev.snapshot().since(&before),
+        &latency,
+        out.len() as u64,
+    ))
+}
+
+/// Runs one join experiment: left `t` records, right `t·fanout`, DRAM =
+/// `mem_fraction` of the *left* input (the paper's convention).
+pub fn run_join(
+    algo: JoinAlgorithm,
+    layer: LayerKind,
+    t: u64,
+    fanout: u64,
+    mem_fraction: f64,
+    latency: LatencyProfile,
+    seed: u64,
+) -> Option<Measurement> {
+    let dev = PmDevice::new(DeviceConfig::paper_default().with_latency(latency));
+    let w = join_input(t, fanout, seed);
+    let left: PCollection<WisconsinRecord> =
+        PCollection::from_records_uncounted(&dev, layer, "T", w.left);
+    let right: PCollection<WisconsinRecord> =
+        PCollection::from_records_uncounted(&dev, layer, "V", w.right);
+    let pool = BufferPool::fraction_of(left.bytes(), mem_fraction);
+    let ctx = JoinContext::new(&dev, layer, &pool);
+    let before = dev.snapshot();
+    let out = algo.run(&left, &right, &ctx, "joined").ok()?;
+    debug_assert_eq!(out.len() as u64, w.expected_matches, "join must be complete");
+    Some(Measurement::from_stats(
+        dev.snapshot().since(&before),
+        &latency,
+        out.len() as u64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_measurement_is_populated() {
+        let m = run_sort(
+            SortAlgorithm::ExMS,
+            LayerKind::BlockedMemory,
+            5000,
+            0.05,
+            LatencyProfile::PCM,
+            1,
+        )
+        .expect("ExMS always applicable");
+        assert!(m.secs > 0.0 && m.reads > 0 && m.writes > 0);
+        assert_eq!(m.output_records, 5000);
+    }
+
+    #[test]
+    fn join_measurement_is_populated() {
+        let m = run_join(
+            JoinAlgorithm::GJ,
+            LayerKind::BlockedMemory,
+            2000,
+            5,
+            0.05,
+            LatencyProfile::PCM,
+            1,
+        )
+        .expect("GJ applicable at 5%");
+        assert_eq!(m.output_records, 10_000);
+    }
+
+    #[test]
+    fn inapplicable_settings_return_none() {
+        // Grace join at 0.1% of a tiny input: M ≤ √(f|T|).
+        let m = run_join(
+            JoinAlgorithm::GJ,
+            LayerKind::BlockedMemory,
+            5000,
+            2,
+            0.001,
+            LatencyProfile::PCM,
+            1,
+        );
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn write_limited_sort_beats_exms_writes() {
+        let ex = run_sort(
+            SortAlgorithm::ExMS,
+            LayerKind::BlockedMemory,
+            10_000,
+            0.05,
+            LatencyProfile::PCM,
+            2,
+        )
+        .expect("ok");
+        let las = run_sort(
+            SortAlgorithm::LaS,
+            LayerKind::BlockedMemory,
+            10_000,
+            0.05,
+            LatencyProfile::PCM,
+            2,
+        )
+        .expect("ok");
+        assert!(
+            (las.writes as f64) < 0.7 * ex.writes as f64,
+            "LaS {} vs ExMS {}",
+            las.writes,
+            ex.writes
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Cost models (Eqs. 1–11) and the knob optimizer built on them.
+//!
+//! The paper's premise is that the write-limited algorithms are only
+//! useful together with cost expressions an optimizer can rank (§4.2.3).
+//! [`sort_costs`] and [`join_costs`] implement the expressions; the
+//! functions here use them to *choose* algorithms and intensities — the
+//! "informed" portion allocation of §2.
+
+pub mod join_costs;
+pub mod sort_costs;
+
+use crate::join::JoinAlgorithm;
+use crate::sort::SortAlgorithm;
+
+/// Estimates the cost of a sort algorithm in read units (`r = 1`).
+/// Sizes in buffers. Lazy algorithms get a structural estimate; the
+/// paper's Fig. 12 excludes them from ranking because their decisions
+/// are dynamic.
+pub fn estimate_sort(algo: &SortAlgorithm, t: f64, m: f64, lambda: f64) -> f64 {
+    match algo {
+        SortAlgorithm::ExMS => sort_costs::exms_cost(t, m, lambda),
+        SortAlgorithm::SegS { x } => sort_costs::segment_cost(t, m, lambda, *x),
+        SortAlgorithm::HybS { x } => sort_costs::hybrid_cost(t, m, lambda, *x),
+        SortAlgorithm::LaS => sort_costs::lazy_sort_cost(t, m, lambda),
+        SortAlgorithm::SelS => sort_costs::selection_cost(t, m, lambda),
+    }
+}
+
+/// Estimates the cost of a join algorithm in read units. Sizes in
+/// buffers, `t ≤ v`.
+pub fn estimate_join(algo: &JoinAlgorithm, t: f64, v: f64, m: f64, lambda: f64) -> f64 {
+    match algo {
+        JoinAlgorithm::NLJ => join_costs::nlj_cost(t, v, m),
+        JoinAlgorithm::GJ => join_costs::grace_cost(t, v, lambda),
+        JoinAlgorithm::HJ => join_costs::hash_join_cost(t, v, m, lambda),
+        JoinAlgorithm::HybJ { x, y } => join_costs::hybrid_cost(t, v, m, lambda, *x, *y),
+        JoinAlgorithm::SegJ { frac } => {
+            let k = (t / m).ceil().max(1.0);
+            join_costs::segmented_cost(t, v, m, lambda, ((k * frac).round()) as usize)
+        }
+        JoinAlgorithm::LaJ => {
+            // Structural estimate: k lazy iterations over the full inputs,
+            // Eq. 11 materializations are rare at high λ.
+            let k = (t / m).ceil().max(1.0);
+            (t + v) * k
+        }
+        JoinAlgorithm::SMJ { x } => {
+            // Two segment sorts plus one co-scan of the sorted inputs.
+            sort_costs::segment_cost(t, m, lambda, *x)
+                + sort_costs::segment_cost(v, m, lambda, *x)
+                + (t + v)
+        }
+    }
+}
+
+/// Picks the cheapest sort among ExMS, cost-optimal SegS, HybS sweeps,
+/// and SelS — the system-driven "informed" choice.
+pub fn choose_sort(t: f64, m: f64, lambda: f64) -> SortAlgorithm {
+    let mut candidates = vec![
+        SortAlgorithm::ExMS,
+        SortAlgorithm::SelS,
+        SortAlgorithm::HybS { x: 0.5 },
+        SortAlgorithm::HybS { x: 0.8 },
+    ];
+    if let Some(x) = sort_costs::optimal_segment_x(t, m, lambda) {
+        candidates.push(SortAlgorithm::SegS { x });
+    }
+    for x in [0.2, 0.5, 0.8] {
+        candidates.push(SortAlgorithm::SegS { x });
+    }
+    candidates
+        .into_iter()
+        .min_by(|a, b| {
+            estimate_sort(a, t, m, lambda)
+                .partial_cmp(&estimate_sort(b, t, m, lambda))
+                .expect("finite costs")
+        })
+        .expect("non-empty candidate set")
+}
+
+/// Picks the cheapest join among the baselines, the grid-optimal HybJ,
+/// and SegJ at the Eq. 10 boundary.
+pub fn choose_join(t: f64, v: f64, m: f64, lambda: f64) -> JoinAlgorithm {
+    let (x, y) = join_costs::optimal_hybrid_xy(t, v, m, lambda, 20);
+    let k = (t / m).ceil().max(1.0);
+    let seg_frac = join_costs::segmented_beats_grace_bound(k, lambda)
+        .map(|b| (b / k).clamp(0.0, 1.0))
+        .unwrap_or(0.5);
+    let candidates = [
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::GJ,
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::HybJ { x, y },
+        JoinAlgorithm::SegJ { frac: seg_frac },
+        JoinAlgorithm::SegJ { frac: 0.5 },
+    ];
+    candidates
+        .into_iter()
+        .min_by(|a, b| {
+            estimate_join(a, t, v, m, lambda)
+                .partial_cmp(&estimate_join(b, t, v, m, lambda))
+                .expect("finite costs")
+        })
+        .expect("non-empty candidate set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_sort_prefers_selection_with_generous_memory() {
+        // One read pass + minimal writes is unbeatable when M ≈ |T|.
+        let algo = choose_sort(10_000.0, 9_000.0, 15.0);
+        assert_eq!(algo, SortAlgorithm::SelS, "got {algo:?}");
+    }
+
+    #[test]
+    fn choose_sort_avoids_selection_at_tiny_memory() {
+        let algo = choose_sort(100_000.0, 500.0, 2.0);
+        assert_ne!(algo, SortAlgorithm::SelS, "quadratic reads should lose");
+    }
+
+    #[test]
+    fn choose_join_prefers_read_only_plan_when_memory_covers_left() {
+        // Either NLJ or the degenerate HybJ(0,0) — identical plans, the
+        // latter just models blocks fractionally.
+        let algo = choose_join(1_000.0, 10_000.0, 2_000.0, 15.0);
+        let read_only = matches!(algo, JoinAlgorithm::NLJ)
+            || matches!(algo, JoinAlgorithm::HybJ { x, y } if x == 0.0 && y == 0.0);
+        assert!(read_only, "got {algo:?}");
+    }
+
+    #[test]
+    fn choose_join_never_picks_hash_join_at_multiple_iterations() {
+        let algo = choose_join(10_000.0, 100_000.0, 1_000.0, 15.0);
+        assert_ne!(algo, JoinAlgorithm::HJ);
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite() {
+        for algo in [
+            JoinAlgorithm::NLJ,
+            JoinAlgorithm::GJ,
+            JoinAlgorithm::HJ,
+            JoinAlgorithm::HybJ { x: 0.5, y: 0.5 },
+            JoinAlgorithm::SegJ { frac: 0.5 },
+            JoinAlgorithm::LaJ,
+        ] {
+            let c = estimate_join(&algo, 10_000.0, 100_000.0, 1_000.0, 15.0);
+            assert!(c.is_finite() && c > 0.0, "{algo:?}: {c}");
+        }
+    }
+}

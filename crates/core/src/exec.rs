@@ -1,0 +1,412 @@
+//! Volcano-style physical operators.
+//!
+//! §3.1 describes each algorithm as "a physical operator … \[that
+//! provides\] a standard iterator interface, as well as an `evaluate()`
+//! method that records the control flow graph". This module supplies
+//! that interface: [`PhysOperator`] is the open/next/close contract, and
+//! the provided operators wrap the crate's algorithms so plans compose
+//! (`scan → filter → sort → join → aggregate`) while all persistent-
+//! memory traffic keeps flowing through the same counted collections.
+//!
+//! Blocking operators (sort, join, aggregate) materialize their result
+//! on `open()` — that cost is real and counted — and then stream it.
+
+use crate::agg::{sort_based_aggregate, GroupAgg};
+use crate::join::{JoinAlgorithm, JoinContext};
+use crate::sort::{SortAlgorithm, SortContext};
+use pmem_sim::{BufferPool, LayerKind, PCollection, Pm, PmError, ReadCursor, RecordReader};
+use wisconsin::{Pair, Record};
+
+/// The Volcano contract: `open` prepares (and for blocking operators,
+/// runs) the computation; `next` streams records; `close` releases
+/// state.
+pub trait PhysOperator {
+    /// Record type produced.
+    type Item: Record;
+
+    /// Prepares the operator (blocking operators do their work here).
+    ///
+    /// # Errors
+    /// Propagates algorithm applicability/parameter errors.
+    fn open(&mut self) -> Result<(), PmError>;
+
+    /// Produces the next record, or `None` when exhausted.
+    fn next(&mut self) -> Option<Self::Item>;
+
+    /// Releases operator state.
+    fn close(&mut self);
+}
+
+/// Leaf operator: scans a persistent collection.
+pub struct ScanOp<'a, R: Record> {
+    input: &'a PCollection<R>,
+    reader: Option<RecordReader<'a, R>>,
+}
+
+impl<'a, R: Record> ScanOp<'a, R> {
+    /// Creates a scan over `input`.
+    pub fn new(input: &'a PCollection<R>) -> Self {
+        Self {
+            input,
+            reader: None,
+        }
+    }
+}
+
+impl<'a, R: Record> PhysOperator for ScanOp<'a, R> {
+    type Item = R;
+
+    fn open(&mut self) -> Result<(), PmError> {
+        self.reader = Some(self.input.reader());
+        Ok(())
+    }
+
+    fn next(&mut self) -> Option<R> {
+        self.reader.as_mut()?.next()
+    }
+
+    fn close(&mut self) {
+        self.reader = None;
+    }
+}
+
+/// Streaming filter.
+pub struct FilterOp<I: PhysOperator, P> {
+    child: I,
+    predicate: P,
+}
+
+impl<I: PhysOperator, P: FnMut(&I::Item) -> bool> FilterOp<I, P> {
+    /// Filters `child` with `predicate`.
+    pub fn new(child: I, predicate: P) -> Self {
+        Self { child, predicate }
+    }
+}
+
+impl<I: PhysOperator, P: FnMut(&I::Item) -> bool> PhysOperator for FilterOp<I, P> {
+    type Item = I::Item;
+
+    fn open(&mut self) -> Result<(), PmError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Option<I::Item> {
+        loop {
+            let r = self.child.next()?;
+            if (self.predicate)(&r) {
+                return Some(r);
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
+/// Blocking sort: consumes its child into a collection on `open()`,
+/// sorts it with the configured algorithm, then streams the result.
+pub struct SortOp<'p, I: PhysOperator> {
+    child: I,
+    algo: SortAlgorithm,
+    dev: Pm,
+    kind: LayerKind,
+    pool: &'p BufferPool,
+    output: Option<PCollection<I::Item>>,
+    cursor: usize,
+    read_cursor: ReadCursor,
+}
+
+impl<'p, I: PhysOperator> SortOp<'p, I> {
+    /// Sorts `child`'s output with `algo` under the given budget.
+    pub fn new(
+        child: I,
+        algo: SortAlgorithm,
+        dev: &Pm,
+        kind: LayerKind,
+        pool: &'p BufferPool,
+    ) -> Self {
+        Self {
+            child,
+            algo,
+            dev: dev.clone(),
+            kind,
+            pool,
+            output: None,
+            cursor: 0,
+            read_cursor: ReadCursor::new(),
+        }
+    }
+}
+
+impl<'p, I: PhysOperator> PhysOperator for SortOp<'p, I> {
+    type Item = I::Item;
+
+    fn open(&mut self) -> Result<(), PmError> {
+        self.child.open()?;
+        let mut staged = PCollection::new(&self.dev, self.kind, "sort-op-input");
+        while let Some(r) = self.child.next() {
+            staged.append(&r);
+        }
+        self.child.close();
+        let ctx = SortContext::new(&self.dev, self.kind, self.pool);
+        self.output = Some(self.algo.run(&staged, &ctx, "sort-op-output")?);
+        self.cursor = 0;
+        self.read_cursor = ReadCursor::new();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Option<I::Item> {
+        let out = self.output.as_ref()?;
+        if self.cursor >= out.len() {
+            return None;
+        }
+        let r = out.get_with_cursor(self.cursor, &mut self.read_cursor);
+        self.cursor += 1;
+        Some(r)
+    }
+
+    fn close(&mut self) {
+        self.output = None;
+    }
+}
+
+/// Blocking equi-join over two persistent inputs.
+pub struct JoinOp<'a, 'p, L: Record, R: Record> {
+    left: &'a PCollection<L>,
+    right: &'a PCollection<R>,
+    algo: JoinAlgorithm,
+    dev: Pm,
+    kind: LayerKind,
+    pool: &'p BufferPool,
+    output: Option<PCollection<Pair<L, R>>>,
+    cursor: usize,
+    read_cursor: ReadCursor,
+}
+
+impl<'a, 'p, L: Record, R: Record> JoinOp<'a, 'p, L, R> {
+    /// Joins `left ⋈ right` with `algo` under the given budget.
+    pub fn new(
+        left: &'a PCollection<L>,
+        right: &'a PCollection<R>,
+        algo: JoinAlgorithm,
+        dev: &Pm,
+        kind: LayerKind,
+        pool: &'p BufferPool,
+    ) -> Self {
+        Self {
+            left,
+            right,
+            algo,
+            dev: dev.clone(),
+            kind,
+            pool,
+            output: None,
+            cursor: 0,
+            read_cursor: ReadCursor::new(),
+        }
+    }
+}
+
+impl<'a, 'p, L: Record, R: Record> PhysOperator for JoinOp<'a, 'p, L, R> {
+    type Item = Pair<L, R>;
+
+    fn open(&mut self) -> Result<(), PmError> {
+        let ctx = JoinContext::new(&self.dev, self.kind, self.pool);
+        self.output = Some(self.algo.run(self.left, self.right, &ctx, "join-op-output")?);
+        self.cursor = 0;
+        self.read_cursor = ReadCursor::new();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Option<Pair<L, R>> {
+        let out = self.output.as_ref()?;
+        if self.cursor >= out.len() {
+            return None;
+        }
+        let r = out.get_with_cursor(self.cursor, &mut self.read_cursor);
+        self.cursor += 1;
+        Some(r)
+    }
+
+    fn close(&mut self) {
+        self.output = None;
+    }
+}
+
+/// Blocking grouped aggregation (sort-based, write intensity `x`).
+pub struct AggOp<'p, I: PhysOperator, V> {
+    child: I,
+    value_of: V,
+    x: f64,
+    dev: Pm,
+    kind: LayerKind,
+    pool: &'p BufferPool,
+    output: Option<PCollection<GroupAgg>>,
+    cursor: usize,
+    read_cursor: ReadCursor,
+}
+
+impl<'p, I: PhysOperator, V: Fn(&I::Item) -> u64> AggOp<'p, I, V> {
+    /// Aggregates `child`'s output by key with values from `value_of`.
+    pub fn new(
+        child: I,
+        value_of: V,
+        x: f64,
+        dev: &Pm,
+        kind: LayerKind,
+        pool: &'p BufferPool,
+    ) -> Self {
+        Self {
+            child,
+            value_of,
+            x,
+            dev: dev.clone(),
+            kind,
+            pool,
+            output: None,
+            cursor: 0,
+            read_cursor: ReadCursor::new(),
+        }
+    }
+}
+
+impl<'p, I: PhysOperator, V: Fn(&I::Item) -> u64> PhysOperator for AggOp<'p, I, V> {
+    type Item = GroupAgg;
+
+    fn open(&mut self) -> Result<(), PmError> {
+        self.child.open()?;
+        let mut staged = PCollection::new(&self.dev, self.kind, "agg-op-input");
+        while let Some(r) = self.child.next() {
+            staged.append(&r);
+        }
+        self.child.close();
+        let ctx = SortContext::new(&self.dev, self.kind, self.pool);
+        self.output = Some(sort_based_aggregate(
+            &staged,
+            self.x,
+            &self.value_of,
+            &ctx,
+            "agg-op-output",
+        )?);
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Option<GroupAgg> {
+        let out = self.output.as_ref()?;
+        if self.cursor >= out.len() {
+            return None;
+        }
+        let g = out.get_with_cursor(self.cursor, &mut self.read_cursor);
+        self.cursor += 1;
+        Some(g)
+    }
+
+    fn close(&mut self) {
+        self.output = None;
+    }
+}
+
+/// Drains an opened operator into a DRAM vector (test/driver helper).
+pub fn collect<O: PhysOperator>(op: &mut O) -> Result<Vec<O::Item>, PmError> {
+    op.open()?;
+    let mut v = Vec::new();
+    while let Some(r) = op.next() {
+        v.push(r);
+    }
+    op.close();
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::PmDevice;
+    use wisconsin::{join_input, sort_input, KeyOrder, WisconsinRecord};
+
+    #[test]
+    fn scan_filter_pipeline_streams() {
+        let dev = PmDevice::paper_default();
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            sort_input(100, KeyOrder::Random, 1),
+        );
+        let mut plan = FilterOp::new(ScanOp::new(&input), |r: &WisconsinRecord| r.key() < 10);
+        let rows = collect(&mut plan).expect("streaming plan cannot fail");
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r.key() < 10));
+    }
+
+    #[test]
+    fn sort_operator_orders_filtered_rows() {
+        let dev = PmDevice::paper_default();
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            sort_input(500, KeyOrder::Random, 2),
+        );
+        let pool = BufferPool::new(64 * 80);
+        let plan = FilterOp::new(ScanOp::new(&input), |r: &WisconsinRecord| r.key().is_multiple_of(2));
+        let mut plan = SortOp::new(
+            plan,
+            SortAlgorithm::SegS { x: 0.5 },
+            &dev,
+            LayerKind::BlockedMemory,
+            &pool,
+        );
+        let rows = collect(&mut plan).expect("valid plan");
+        assert_eq!(rows.len(), 250);
+        assert!(rows.windows(2).all(|w| w[0].key() <= w[1].key()));
+    }
+
+    #[test]
+    fn join_then_aggregate_composes() {
+        // SELECT l.key, count(*), sum(r.payload) FROM T JOIN V GROUP BY key
+        let dev = PmDevice::paper_default();
+        let w = join_input(50, 4, 3);
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(100 * 160);
+        let join = JoinOp::new(
+            &left,
+            &right,
+            JoinAlgorithm::GJ,
+            &dev,
+            LayerKind::BlockedMemory,
+            &pool,
+        );
+        let mut plan = AggOp::new(
+            join,
+            |p: &Pair<WisconsinRecord, WisconsinRecord>| p.right.payload(),
+            0.0,
+            &dev,
+            LayerKind::BlockedMemory,
+            &pool,
+        );
+        let groups = collect(&mut plan).expect("valid plan");
+        assert_eq!(groups.len(), 50);
+        assert!(groups.iter().all(|g| g.count == 4));
+        let total: u64 = groups.iter().map(|g| g.sum).sum();
+        assert_eq!(total, (0..200u64).sum::<u64>());
+    }
+
+    #[test]
+    fn operators_are_reopenable() {
+        let dev = PmDevice::paper_default();
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            sort_input(20, KeyOrder::Random, 4),
+        );
+        let mut scan = ScanOp::new(&input);
+        assert_eq!(collect(&mut scan).expect("ok").len(), 20);
+        assert_eq!(collect(&mut scan).expect("ok").len(), 20);
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared join machinery: join context, hash partitioning, and in-memory
+//! build/probe tables.
+
+use pmem_sim::{BufferPool, LayerKind, PCollection, Pm};
+use std::cell::Cell;
+use std::collections::HashMap;
+use wisconsin::{Pair, Record};
+
+/// Hash-table blow-up factor `f`: "a hash table for a partition is 20%
+/// larger than the partition itself" (§2.2.1).
+pub const HASH_TABLE_FACTOR: f64 = 1.2;
+
+/// Execution context shared by every join operator.
+#[derive(Debug)]
+pub struct JoinContext<'p> {
+    dev: Pm,
+    kind: LayerKind,
+    pool: &'p BufferPool,
+    next_id: Cell<u64>,
+}
+
+impl<'p> JoinContext<'p> {
+    /// Creates a context writing intermediates/output through `kind`.
+    pub fn new(dev: &Pm, kind: LayerKind, pool: &'p BufferPool) -> Self {
+        Self {
+            dev: dev.clone(),
+            kind,
+            pool,
+            next_id: Cell::new(0),
+        }
+    }
+
+    /// Device handle.
+    pub fn device(&self) -> &Pm {
+        &self.dev
+    }
+
+    /// Persistence layer for intermediates and output.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// DRAM budget.
+    pub fn pool(&self) -> &'p BufferPool {
+        self.pool
+    }
+
+    /// How many `R` records fit in DRAM (the paper's `M` in records).
+    pub fn capacity_records<R: Record>(&self) -> usize {
+        (self.pool.budget() / R::SIZE).max(1)
+    }
+
+    /// Build-side records that fit in DRAM once the `f = 1.2` hash-table
+    /// blow-up is paid.
+    pub fn build_capacity<R: Record>(&self) -> usize {
+        ((self.pool.budget() as f64 / HASH_TABLE_FACTOR) as usize / R::SIZE).max(1)
+    }
+
+    /// Grace-join partition count for a build side of `t_records`:
+    /// `k = ⌈f·|T| / M⌉`, at least one.
+    pub fn grace_partitions<R: Record>(&self, t_records: usize) -> usize {
+        let cap = self.build_capacity::<R>();
+        t_records.div_ceil(cap).max(1)
+    }
+
+    /// Whether Grace join is applicable: `M > √(f·|T|)` in buffer units
+    /// (§2.2.1) — equivalently, the partition count must not exceed the
+    /// fan-out the budget can drive.
+    pub fn grace_applicable<R: Record>(&self, t_records: usize) -> bool {
+        let m = self.capacity_records::<R>() as f64;
+        m > (HASH_TABLE_FACTOR * t_records as f64).sqrt()
+    }
+
+    /// Allocates a fresh uniquely-named collection.
+    pub fn fresh<R: Record>(&self, prefix: &str) -> PCollection<R> {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        PCollection::new(&self.dev, self.kind, format!("{prefix}-{id}"))
+    }
+}
+
+/// Partition hash: a strong 64-bit mix so modulo assignment is balanced
+/// even on sequential keys.
+#[inline]
+pub fn partition_of(key: u64, partitions: usize) -> usize {
+    let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % partitions as u64) as usize
+}
+
+/// An in-DRAM build table: key → records with that key.
+#[derive(Debug)]
+pub struct BuildTable<L: Record> {
+    map: HashMap<u64, Vec<L>>,
+    len: usize,
+}
+
+impl<L: Record> Default for BuildTable<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: Record> BuildTable<L> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Inserts one build-side record.
+    pub fn insert(&mut self, record: L) {
+        self.map.entry(record.key()).or_default().push(record);
+        self.len += 1;
+    }
+
+    /// Number of records in the table.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no records were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears the table, retaining allocations for reuse.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.len = 0;
+    }
+
+    /// Probes with `right`, appending one output pair per match.
+    pub fn probe<R: Record>(&self, right: &R, out: &mut PCollection<Pair<L, R>>) {
+        if let Some(matches) = self.map.get(&right.key()) {
+            for l in matches {
+                out.append(&Pair {
+                    left: *l,
+                    right: *right,
+                });
+            }
+        }
+    }
+
+    /// Number of matches `right` would produce, without writing output.
+    pub fn match_count<R: Record>(&self, right: &R) -> usize {
+        self.map.get(&right.key()).map_or(0, |v| v.len())
+    }
+}
+
+/// Reference in-memory join used to verify operator outputs in tests:
+/// returns the number of matching pairs.
+pub fn expected_match_count<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+) -> u64 {
+    let _pause = left.device().metrics().pause();
+    let mut table: HashMap<u64, u64> = HashMap::new();
+    for l in left.reader() {
+        *table.entry(l.key()).or_insert(0) += 1;
+    }
+    right.reader().map(|r| table.get(&r.key()).copied().unwrap_or(0)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{BufferPool, PmDevice};
+    use wisconsin::WisconsinRecord;
+
+    #[test]
+    fn partition_of_is_balanced() {
+        let k = 8;
+        let mut counts = vec![0usize; k];
+        for key in 0..8000u64 {
+            counts[partition_of(key, k)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "partition skew: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn partition_of_is_deterministic_and_in_range() {
+        for key in [0u64, 1, u64::MAX, 12345] {
+            let p = partition_of(key, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_of(key, 7));
+        }
+    }
+
+    #[test]
+    fn build_table_probes_all_duplicates() {
+        let dev = PmDevice::paper_default();
+        let mut table = BuildTable::<WisconsinRecord>::new();
+        table.insert(WisconsinRecord::from_key(5).with_payload(1));
+        table.insert(WisconsinRecord::from_key(5).with_payload(2));
+        table.insert(WisconsinRecord::from_key(9));
+        let mut out = PCollection::new(&dev, LayerKind::BlockedMemory, "out");
+        table.probe(&WisconsinRecord::from_key(5), &mut out);
+        assert_eq!(out.len(), 2);
+        table.probe(&WisconsinRecord::from_key(4), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(table.match_count(&WisconsinRecord::from_key(9)), 1);
+    }
+
+    #[test]
+    fn grace_partition_count_scales_inversely_with_memory() {
+        let dev = PmDevice::paper_default();
+        let small = BufferPool::new(100 * 80);
+        let big = BufferPool::new(1000 * 80);
+        let ctx_small = JoinContext::new(&dev, LayerKind::BlockedMemory, &small);
+        let ctx_big = JoinContext::new(&dev, LayerKind::BlockedMemory, &big);
+        let ks = ctx_small.grace_partitions::<WisconsinRecord>(10_000);
+        let kb = ctx_big.grace_partitions::<WisconsinRecord>(10_000);
+        assert!(ks > kb);
+        assert!(kb >= 1);
+    }
+
+    #[test]
+    fn grace_applicability_bound() {
+        let dev = PmDevice::paper_default();
+        let pool = BufferPool::new(100 * 80); // M = 100 records
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        // √(1.2·8000) ≈ 98 < 100 → applicable.
+        assert!(ctx.grace_applicable::<WisconsinRecord>(8000));
+        // √(1.2·9000) ≈ 104 > 100 → not applicable.
+        assert!(!ctx.grace_applicable::<WisconsinRecord>(9000));
+    }
+}

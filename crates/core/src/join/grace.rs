@@ -1,0 +1,162 @@
+//! GJ — Grace join, the symmetric-I/O partitioned baseline.
+//!
+//! Phase 1 hash-partitions both inputs into `k = ⌈f·|T|/M⌉` partition
+//! pairs on persistent memory; phase 2 joins each pair with an in-DRAM
+//! build/probe. Cost `r·(λ+2)·(|T|+|V|)` plus output writes: each input
+//! is read twice and written once (§2.2.2 uses this as the reference).
+
+use super::common::{partition_of, BuildTable, JoinContext};
+use pmem_sim::{PCollection, PmError};
+use wisconsin::{Pair, Record};
+
+/// Partitions `input` into `k` collections by key hash.
+pub fn partition_input<R: Record>(
+    input: &PCollection<R>,
+    k: usize,
+    ctx: &JoinContext<'_>,
+    prefix: &str,
+) -> Vec<PCollection<R>> {
+    let mut parts: Vec<PCollection<R>> = (0..k).map(|_| ctx.fresh::<R>(prefix)).collect();
+    for r in input.reader() {
+        parts[partition_of(r.key(), k)].append(&r);
+    }
+    parts
+}
+
+/// Joins one partition pair: builds on `left_part`, probes `right_part`.
+pub fn join_partition<L: Record, R: Record>(
+    left_part: &PCollection<L>,
+    right_part: &PCollection<R>,
+    out: &mut PCollection<Pair<L, R>>,
+) {
+    if left_part.is_empty() || right_part.is_empty() {
+        // Still pay the scans? No: a real system knows partition sizes
+        // from their metadata and skips empty pairs.
+        return;
+    }
+    let mut table = BuildTable::new();
+    for l in left_part.reader() {
+        table.insert(l);
+    }
+    for r in right_part.reader() {
+        table.probe(&r, out);
+    }
+}
+
+/// Joins `left ⋈ right` with Grace join.
+///
+/// # Errors
+/// Returns [`PmError::InsufficientMemory`] when `M ≤ √(f·|T|)` — the
+/// paper's applicability condition (partitions would not fit in DRAM).
+pub fn grace_join<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+    ctx: &JoinContext<'_>,
+    output_name: &str,
+) -> Result<PCollection<Pair<L, R>>, PmError> {
+    if !ctx.grace_applicable::<L>(left.len()) {
+        return Err(PmError::InsufficientMemory {
+            requirement: format!(
+                "Grace join needs M > sqrt(f*|T|): M = {} records, |T| = {}",
+                ctx.capacity_records::<L>(),
+                left.len()
+            ),
+        });
+    }
+    let k = ctx.grace_partitions::<L>(left.len());
+    let left_parts = partition_input(left, k, ctx, "gj-t");
+    let right_parts = partition_input(right, k, ctx, "gj-v");
+
+    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+    for (lp, rp) in left_parts.iter().zip(right_parts.iter()) {
+        join_partition(lp, rp, &mut out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{BufferPool, LayerKind, PmDevice};
+    use wisconsin::{join_input, WisconsinRecord};
+
+    #[test]
+    fn finds_every_match() {
+        let dev = PmDevice::paper_default();
+        let w = join_input(300, 10, 4);
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(60 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let out = grace_join(&left, &right, &ctx, "out").expect("applicable");
+        assert_eq!(out.len() as u64, w.expected_matches);
+    }
+
+    #[test]
+    fn io_matches_lambda_plus_two_model() {
+        let dev = PmDevice::paper_default();
+        let w = join_input(500, 5, 8);
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let input_buffers = left.buffers() + right.buffers();
+        let pool = BufferPool::new(100 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let before = dev.snapshot();
+        let out = grace_join(&left, &right, &ctx, "out").expect("applicable");
+        let d = dev.snapshot().since(&before);
+        // Reads: both inputs twice (partitioning + joining); partition
+        // boundaries add at most one cacheline per partition per side.
+        let reads = d.cl_reads as f64;
+        assert!(
+            (reads / input_buffers as f64 - 2.0).abs() < 0.1,
+            "reads/inputs = {}",
+            reads / input_buffers as f64
+        );
+        // Writes: both inputs once (partitions) + output.
+        let expect_writes = input_buffers + out.buffers();
+        let slack = 2 * ctx.grace_partitions::<WisconsinRecord>(left.len()) as u64 + 2;
+        assert!(
+            d.cl_writes >= expect_writes && d.cl_writes <= expect_writes + slack,
+            "writes {} vs {expect_writes}+{slack}",
+            d.cl_writes
+        );
+    }
+
+    #[test]
+    fn rejects_insufficient_memory() {
+        let dev = PmDevice::paper_default();
+        let w = join_input(10_000, 2, 4);
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(50 * 80); // √(1.2·10000) ≈ 110 > 50
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        assert!(grace_join(&left, &right, &ctx, "out").is_err());
+    }
+
+    #[test]
+    fn duplicate_build_keys_multiply_matches() {
+        let dev = PmDevice::paper_default();
+        let left = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            (0..20u64).map(|i| WisconsinRecord::from_key(i % 5).with_payload(i)),
+        );
+        let right = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "V",
+            (0..5).map(WisconsinRecord::from_key),
+        );
+        let pool = BufferPool::new(100 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let out = grace_join(&left, &right, &ctx, "out").expect("applicable");
+        assert_eq!(out.len(), 20); // 4 copies of each of 5 keys
+    }
+}

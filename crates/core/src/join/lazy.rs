@@ -1,0 +1,186 @@
+//! LaJ — lazy hash join (§2.2.3).
+//!
+//! The lazy variant of [`super::hash::hash_join`]: when a scanned record
+//! does not belong to the partition being processed it is **not** written
+//! back; the algorithm pays the penalty of rescanning dead records in
+//! later iterations instead. Savings (writes avoided) and penalty (extra
+//! reads) progress as in Table 1; once the cumulative penalty overtakes
+//! the savings the remainder is materialized — piggybacked on the scan
+//! that is already running — and the algorithm reverts to being lazy.
+//!
+//! ### Materialization point (Eq. 11, corrected)
+//!
+//! The paper states the threshold as `n = ⌊k/(λ+1)⌋`, but its own
+//! derivation starts from `n·r > (k−n)·λ·r`, whose solution is
+//! `n > k·λ/(λ+1)` — the same `λ/(λ+1)` factor as the lazy sort's Eq. 5.
+//! (`⌊k/(λ+1)⌋` would make a *higher* write/read ratio materialize
+//! *earlier*, i.e., write more when writes are more expensive, which
+//! contradicts the algorithm's premise.) We implement the corrected form
+//! and note the discrepancy in EXPERIMENTS.md.
+
+use super::common::{partition_of, BuildTable, JoinContext};
+use pmem_sim::PCollection;
+use wisconsin::{Pair, Record};
+
+/// The corrected Eq. 11 threshold: lazy iterations tolerated before the
+/// remaining `k` partitions are worth materializing.
+pub fn lazy_materialization_iterations(k_remaining: usize, lambda: f64) -> usize {
+    ((k_remaining as f64) * lambda / (lambda + 1.0)).floor() as usize
+}
+
+/// Joins `left ⋈ right` with the lazy hash join.
+pub fn lazy_hash_join<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+    ctx: &JoinContext<'_>,
+    output_name: &str,
+) -> PCollection<Pair<L, R>> {
+    let k = ctx.grace_partitions::<L>(left.len());
+    let lambda = ctx.device().lambda();
+    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+
+    // Current sources: the originals, then materialized remainders.
+    let mut t_cur: Option<PCollection<L>> = None;
+    let mut v_cur: Option<PCollection<R>> = None;
+    let mut since_mat = 0usize; // lazy iterations since the last materialization
+    let mut threshold = lazy_materialization_iterations(k, lambda).max(1);
+
+    for i in 0..k {
+        let remaining_after = k - i - 1;
+        since_mat += 1;
+        // Materialize when the penalty has overtaken the savings and
+        // there is still enough left to be worth writing.
+        let materialize = since_mat >= threshold && remaining_after > 1;
+        let mut table = BuildTable::new();
+        let mut t_next = materialize.then(|| ctx.fresh::<L>("laj-t"));
+
+        {
+            let t_src: &PCollection<L> = t_cur.as_ref().unwrap_or(left);
+            for l in t_src.reader() {
+                let p = partition_of(l.key(), k);
+                if p == i {
+                    table.insert(l);
+                } else if p > i {
+                    if let Some(t_next) = t_next.as_mut() {
+                        t_next.append(&l); // piggybacked materialization
+                    }
+                }
+                // p < i: dead record — the rescan penalty, no write.
+            }
+        }
+
+        let mut v_next = materialize.then(|| ctx.fresh::<R>("laj-v"));
+        {
+            let v_src: &PCollection<R> = v_cur.as_ref().unwrap_or(right);
+            for r in v_src.reader() {
+                let p = partition_of(r.key(), k);
+                if p == i {
+                    table.probe(&r, &mut out);
+                } else if p > i {
+                    if let Some(v_next) = v_next.as_mut() {
+                        v_next.append(&r);
+                    }
+                }
+            }
+        }
+
+        if materialize {
+            t_cur = t_next;
+            v_cur = v_next;
+            since_mat = 0;
+            threshold = lazy_materialization_iterations(remaining_after, lambda).max(1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PmDevice};
+    use wisconsin::join_input;
+
+    fn run_with_lambda(
+        lambda: f64,
+        m_records: usize,
+    ) -> (pmem_sim::IoStats, usize, u64) {
+        let dev = PmDevice::new(
+            DeviceConfig::paper_default()
+                .with_latency(LatencyProfile::with_lambda(10.0, lambda)),
+        );
+        let w = join_input(400, 5, 8);
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(m_records * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let before = dev.snapshot();
+        let out = lazy_hash_join(&left, &right, &ctx, "out");
+        (dev.snapshot().since(&before), out.len(), w.expected_matches)
+    }
+
+    #[test]
+    fn finds_every_match() {
+        let (_, got, want) = run_with_lambda(15.0, 60);
+        assert_eq!(got as u64, want);
+    }
+
+    #[test]
+    fn writes_far_fewer_than_standard_hash_join() {
+        let dev = PmDevice::paper_default();
+        let w = join_input(400, 5, 8);
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(60 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+
+        let before = dev.snapshot();
+        let _ = lazy_hash_join(&left, &right, &ctx, "lazy-out");
+        let lazy = dev.snapshot().since(&before);
+
+        let before = dev.snapshot();
+        let _ = super::super::hash::hash_join(&left, &right, &ctx, "hj-out");
+        let standard = dev.snapshot().since(&before);
+
+        assert!(
+            (lazy.cl_writes as f64) < 0.5 * standard.cl_writes as f64,
+            "lazy writes {} vs standard {}",
+            lazy.cl_writes,
+            standard.cl_writes
+        );
+        assert!(lazy.cl_reads > standard.cl_reads);
+    }
+
+    #[test]
+    fn low_lambda_materializes_and_cuts_reads() {
+        let (high, _, _) = run_with_lambda(15.0, 60);
+        let (low, _, _) = run_with_lambda(1.5, 60);
+        assert!(
+            low.cl_reads < high.cl_reads,
+            "λ=1.5 reads {} should be below λ=15 reads {}",
+            low.cl_reads,
+            high.cl_reads
+        );
+        assert!(low.cl_writes > high.cl_writes);
+    }
+
+    #[test]
+    fn threshold_follows_corrected_eq11() {
+        // k=16, λ=15: ⌊16·15/16⌋ = 15 (materialize almost never);
+        // k=16, λ=1: ⌊16/2⌋ = 8 (materialize halfway).
+        assert_eq!(lazy_materialization_iterations(16, 15.0), 15);
+        assert_eq!(lazy_materialization_iterations(16, 1.0), 8);
+        assert_eq!(lazy_materialization_iterations(3, 15.0), 2);
+    }
+
+    #[test]
+    fn single_partition_needs_no_laziness() {
+        let (stats, got, want) = run_with_lambda(15.0, 1000);
+        assert_eq!(got as u64, want);
+        // Everything fits: one scan of each input, writes = output only.
+        assert!(stats.cl_reads > 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! NLJ — block nested-loops join.
+//!
+//! The read-intensive extreme of the design space: load a DRAM block of
+//! the (smaller) left input, scan the whole right input against it,
+//! repeat. Writes only the output — the paper uses NLJ as the minimal-
+//! write reference the write-limited joins approach (§4.1.2). Cost:
+//! `r·(|T| + ⌈|T|/M⌉·|V|)` plus output writes.
+
+use super::common::{BuildTable, JoinContext};
+use pmem_sim::PCollection;
+use wisconsin::{Pair, Record};
+
+/// Joins `left ⋈ right` on key equality with block nested loops.
+pub fn nested_loops_join<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+    ctx: &JoinContext<'_>,
+    output_name: &str,
+) -> PCollection<Pair<L, R>> {
+    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+    let block = ctx.build_capacity::<L>();
+    let mut table = BuildTable::new();
+
+    let mut start = 0usize;
+    while start < left.len() {
+        let end = (start + block).min(left.len());
+        table.clear();
+        for l in left.range_reader(start, end) {
+            table.insert(l);
+        }
+        for r in right.reader() {
+            table.probe(&r, &mut out);
+        }
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{BufferPool, LayerKind, PmDevice};
+    use wisconsin::{join_input, WisconsinRecord};
+
+    fn stage(
+        t: u64,
+        fanout: u64,
+        m_records: usize,
+    ) -> (
+        pmem_sim::Pm,
+        PCollection<WisconsinRecord>,
+        PCollection<WisconsinRecord>,
+        usize,
+    ) {
+        let dev = PmDevice::paper_default();
+        let w = join_input(t, fanout, 17);
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        (dev, left, right, m_records)
+    }
+
+    #[test]
+    fn finds_every_match() {
+        let (dev, left, right, m) = stage(200, 10, 50);
+        let pool = BufferPool::new(m * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let out = nested_loops_join(&left, &right, &ctx, "out");
+        assert_eq!(out.len(), 2000);
+    }
+
+    #[test]
+    fn writes_only_the_output() {
+        let (dev, left, right, m) = stage(100, 5, 30);
+        let pool = BufferPool::new(m * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let before = dev.snapshot();
+        let out = nested_loops_join(&left, &right, &ctx, "out");
+        let d = dev.snapshot().since(&before);
+        assert_eq!(d.cl_writes, out.buffers());
+    }
+
+    #[test]
+    fn read_volume_matches_block_count() {
+        let (dev, left, right, _) = stage(100, 10, 25);
+        // 25 records DRAM, f=1.2 → block ≈ 20 records → 5 blocks.
+        let pool = BufferPool::new(25 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let before = dev.snapshot();
+        let _ = nested_loops_join(&left, &right, &ctx, "out");
+        let d = dev.snapshot().since(&before);
+        let blocks = 100usize.div_ceil(ctx.build_capacity::<WisconsinRecord>()) as u64;
+        let expected = left.buffers() + blocks * right.buffers();
+        // Block boundaries may split cachelines, allow ±blocks slack.
+        assert!(
+            d.cl_reads >= expected && d.cl_reads <= expected + blocks,
+            "reads {} vs expected {expected}",
+            d.cl_reads
+        );
+    }
+
+    #[test]
+    fn disjoint_inputs_produce_empty_output() {
+        let dev = PmDevice::paper_default();
+        let left = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            (0..50).map(WisconsinRecord::from_key),
+        );
+        let right = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "V",
+            (100..150).map(WisconsinRecord::from_key),
+        );
+        let pool = BufferPool::new(20 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let out = nested_loops_join(&left, &right, &ctx, "out");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_left_or_right_is_empty() {
+        let dev = PmDevice::paper_default();
+        let empty: PCollection<WisconsinRecord> =
+            PCollection::new(&dev, LayerKind::BlockedMemory, "E");
+        let some = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "S",
+            (0..10).map(WisconsinRecord::from_key),
+        );
+        let pool = BufferPool::new(8000);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        assert!(nested_loops_join(&empty, &some, &ctx, "o1").is_empty());
+        assert!(nested_loops_join(&some, &empty, &ctx, "o2").is_empty());
+    }
+}

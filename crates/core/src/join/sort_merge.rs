@@ -1,0 +1,159 @@
+//! SMJ — sort-merge join, with the sort phase's write intensity exposed.
+//!
+//! Not part of the paper's §2.2 line-up, but the natural companion: both
+//! inputs are sorted with [`crate::sort::segment_sort`] at intensity
+//! `x`, then merge-joined in one co-scan. Because segment sort's
+//! selection stream defers materialization, `x = 0` yields a join whose
+//! only writes are the two sorted outputs — and when callers can consume
+//! the join result as a stream, those too could be pipelined away. The
+//! duplicate-handling co-scan buffers one key group of the (smaller)
+//! left input in DRAM.
+
+use super::common::JoinContext;
+use crate::sort::{segment_sort, SortContext};
+use pmem_sim::{PCollection, PmError};
+use wisconsin::{Pair, Record};
+
+/// Joins `left ⋈ right` by sorting both inputs at write intensity `x`
+/// and merge-joining the results.
+///
+/// # Errors
+/// Returns [`PmError::InvalidParameter`] unless `0 ≤ x ≤ 1`.
+pub fn sort_merge_join<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+    x: f64,
+    ctx: &JoinContext<'_>,
+    output_name: &str,
+) -> Result<PCollection<Pair<L, R>>, PmError> {
+    let sort_ctx = SortContext::new(ctx.device(), ctx.kind(), ctx.pool());
+    let sorted_left = segment_sort(left, x, &sort_ctx, "smj-left")?;
+    let sorted_right = segment_sort(right, x, &sort_ctx, "smj-right")?;
+
+    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+    let mut li = sorted_left.reader();
+    let mut ri = sorted_right.reader();
+    let mut l = li.next();
+    let mut r = ri.next();
+    // One left key-group buffered in DRAM for duplicate cross products.
+    let mut group: Vec<L> = Vec::new();
+    let mut group_key: Option<u64> = None;
+
+    while let Some(rv) = r {
+        let rk = rv.key();
+        // Advance the left side until its head is ≥ the right key,
+        // buffering the group equal to it.
+        if group_key != Some(rk) {
+            while let Some(lv) = l {
+                if lv.key() < rk {
+                    l = li.next();
+                } else {
+                    break;
+                }
+            }
+            group.clear();
+            group_key = Some(rk);
+            while let Some(lv) = l {
+                if lv.key() == rk {
+                    group.push(lv);
+                    l = li.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        for lv in &group {
+            out.append(&Pair {
+                left: *lv,
+                right: rv,
+            });
+        }
+        r = ri.next();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::common::expected_match_count;
+    use pmem_sim::{BufferPool, LayerKind, PmDevice};
+    use wisconsin::{join_input, WisconsinRecord};
+
+    fn run(x: f64) -> (pmem_sim::IoStats, u64, u64) {
+        let dev = PmDevice::paper_default();
+        let w = join_input(300, 6, 71);
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(60 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let before = dev.snapshot();
+        let out = sort_merge_join(&left, &right, x, &ctx, "out").expect("valid x");
+        (dev.snapshot().since(&before), out.len() as u64, w.expected_matches)
+    }
+
+    #[test]
+    fn finds_every_match_at_all_intensities() {
+        for x in [0.0, 0.5, 1.0] {
+            let (_, got, want) = run(x);
+            assert_eq!(got, want, "x={x}");
+        }
+    }
+
+    #[test]
+    fn lower_intensity_trades_writes_for_reads() {
+        let (lo, _, _) = run(0.0);
+        let (hi, _, _) = run(1.0);
+        assert!(lo.cl_writes < hi.cl_writes);
+        assert!(lo.cl_reads > hi.cl_reads);
+    }
+
+    #[test]
+    fn duplicates_on_both_sides_cross_product() {
+        let dev = PmDevice::paper_default();
+        let left = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            (0..9u64).map(|i| WisconsinRecord::from_key(i % 3).with_payload(i)),
+        );
+        let right = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "V",
+            (0..6u64).map(|i| WisconsinRecord::from_key(i % 3).with_payload(100 + i)),
+        );
+        let pool = BufferPool::new(40 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let want = expected_match_count(&left, &right);
+        let out = sort_merge_join(&left, &right, 0.5, &ctx, "out").expect("valid");
+        assert_eq!(out.len() as u64, want); // 3 keys × 3 left × 2 right = 18
+        assert_eq!(out.len(), 18);
+    }
+
+    #[test]
+    fn disjoint_and_empty_inputs() {
+        let dev = PmDevice::paper_default();
+        let a = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "A",
+            (0..10).map(WisconsinRecord::from_key),
+        );
+        let b = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "B",
+            (100..110).map(WisconsinRecord::from_key),
+        );
+        let empty: PCollection<WisconsinRecord> =
+            PCollection::new(&dev, LayerKind::BlockedMemory, "E");
+        let pool = BufferPool::new(8000);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        assert!(sort_merge_join(&a, &b, 0.5, &ctx, "o1").expect("ok").is_empty());
+        assert!(sort_merge_join(&empty, &a, 0.5, &ctx, "o2").expect("ok").is_empty());
+        assert!(sort_merge_join(&a, &empty, 0.5, &ctx, "o3").expect("ok").is_empty());
+    }
+}

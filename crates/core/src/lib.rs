@@ -1,0 +1,37 @@
+//! # write-limited — sorts and joins for persistent memory
+//!
+//! Rust reproduction of *Write-limited sorts and joins for persistent
+//! memory* (Stratis D. Viglas, PVLDB 7(5), 2014): sort and join operators
+//! that trade expensive persistent-memory writes for cheaper reads, their
+//! cost models, and the knob optimizer built on them.
+//!
+//! * [`sort`] — ExMS, SegS, HybS, LaS, SelS, cycle sort (§2.1)
+//! * [`join`] — NLJ, GJ, HJ, HybJ, SegJ, LaJ (§2.2)
+//! * [`cost`] — Eqs. 1–11, Fig. 2 surface, knob selection (§2, §4.2.3)
+//! * [`stats`] — Kendall's τ for the Fig. 12 concordance experiment
+//!
+//! ```
+//! use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice};
+//! use wisconsin::{sort_input, KeyOrder};
+//! use write_limited::sort::{segment_sort, SortContext};
+//!
+//! let dev = PmDevice::paper_default();
+//! let input = PCollection::from_records_uncounted(
+//!     &dev, LayerKind::BlockedMemory, "T",
+//!     sort_input(10_000, KeyOrder::Random, 42));
+//! let pool = BufferPool::new(500 * 80); // M = 500 records of DRAM
+//! let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+//! let sorted = segment_sort(&input, 0.5, &ctx, "sorted").unwrap();
+//! assert_eq!(sorted.len(), 10_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod agg;
+pub mod cost;
+pub mod exec;
+pub mod join;
+pub mod pipeline;
+pub mod sort;
+pub mod stats;

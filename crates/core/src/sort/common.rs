@@ -1,0 +1,386 @@
+//! Shared sorting machinery: sort context, run generation via replacement
+//! selection, and k-way merging.
+
+use pmem_sim::{BufferPool, LayerKind, PCollection, Pm};
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wisconsin::Record;
+
+/// Execution context shared by every sort operator: the device, the
+/// persistence layer for intermediate results and output, and the DRAM
+/// budget.
+#[derive(Debug)]
+pub struct SortContext<'p> {
+    dev: Pm,
+    kind: LayerKind,
+    pool: &'p BufferPool,
+    next_id: Cell<u64>,
+}
+
+impl<'p> SortContext<'p> {
+    /// Creates a context writing intermediates/output through `kind`.
+    pub fn new(dev: &Pm, kind: LayerKind, pool: &'p BufferPool) -> Self {
+        Self {
+            dev: dev.clone(),
+            kind,
+            pool,
+            next_id: Cell::new(0),
+        }
+    }
+
+    /// Device handle.
+    pub fn device(&self) -> &Pm {
+        &self.dev
+    }
+
+    /// Persistence layer used for intermediates and output.
+    pub fn kind(&self) -> LayerKind {
+        self.kind
+    }
+
+    /// DRAM budget.
+    pub fn pool(&self) -> &'p BufferPool {
+        self.pool
+    }
+
+    /// How many `R` records fit in the DRAM budget (the paper's `M`
+    /// expressed in records).
+    pub fn capacity_records<R: Record>(&self) -> usize {
+        (self.pool.budget() / R::SIZE).max(1)
+    }
+
+    /// Allocates a fresh uniquely-named collection for an intermediate
+    /// result.
+    pub fn fresh<R: Record>(&self, prefix: &str) -> PCollection<R> {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        PCollection::new(&self.dev, self.kind, format!("{prefix}-{id}"))
+    }
+}
+
+/// A heap entry carrying the record, its key, and a tiebreak sequence so
+/// duplicate keys retain a total order inside heaps.
+#[derive(Clone, Copy, Debug)]
+pub struct Entry<R> {
+    /// Sort key.
+    pub key: u64,
+    /// Tiebreaker (input position), keeps heaps totally ordered.
+    pub seq: u64,
+    /// The record itself.
+    pub record: R,
+}
+
+impl<R> Entry<R> {
+    /// Wraps `record` with its key and a sequence number.
+    pub fn new(record: R, seq: u64) -> Self
+    where
+        R: Record,
+    {
+        Self {
+            key: record.key(),
+            seq,
+            record,
+        }
+    }
+}
+
+impl<R> PartialEq for Entry<R> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl<R> Eq for Entry<R> {}
+impl<R> PartialOrd for Entry<R> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<R> Ord for Entry<R> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.key, self.seq).cmp(&(other.key, other.seq))
+    }
+}
+
+/// Generates sorted runs from `input` using replacement selection with a
+/// DRAM heap of `capacity` records; runs average twice the heap size on
+/// random input (the classic result the paper's Eq. 1 uses).
+pub fn generate_runs_replacement<R: Record>(
+    input: &PCollection<R>,
+    capacity: usize,
+    ctx: &SortContext<'_>,
+) -> Vec<PCollection<R>> {
+    generate_runs_replacement_range(input, 0..input.len(), capacity, ctx)
+}
+
+/// Range variant of [`generate_runs_replacement`], used by segment sort to
+/// process only a slice of the input.
+pub fn generate_runs_replacement_range<R: Record>(
+    input: &PCollection<R>,
+    range: std::ops::Range<usize>,
+    capacity: usize,
+    ctx: &SortContext<'_>,
+) -> Vec<PCollection<R>> {
+    assert!(capacity > 0, "replacement selection needs at least 1 record of DRAM");
+    let mut runs: Vec<PCollection<R>> = Vec::new();
+    let mut current: BinaryHeap<Reverse<Entry<R>>> = BinaryHeap::with_capacity(capacity);
+    let mut next: Vec<Entry<R>> = Vec::new();
+    let mut run = ctx.fresh::<R>("run");
+    let mut last_out: Option<u64> = None;
+
+    for (seq, record) in input.range_reader(range.start, range.end).enumerate() {
+        let e = Entry::new(record, seq as u64);
+        if current.len() + next.len() < capacity {
+            // Heap not yet at capacity: stage into the current run if the
+            // record can still extend it, otherwise into the next run.
+            match last_out {
+                Some(k) if e.key < k => next.push(e),
+                _ => current.push(Reverse(e)),
+            }
+        } else {
+            // Evict the minimum of the current run, then place the new
+            // record into current (if it can extend the run) or next.
+            if let Some(Reverse(min)) = current.pop() {
+                run.append(&min.record);
+                last_out = Some(min.key);
+            }
+            if Some(e.key) >= last_out {
+                current.push(Reverse(e));
+            } else {
+                next.push(e);
+            }
+            if current.is_empty() {
+                runs.push(std::mem::replace(&mut run, ctx.fresh::<R>("run")));
+                current.extend(next.drain(..).map(Reverse));
+                last_out = None;
+            }
+        }
+    }
+
+    // Drain the tail: finish the current run, then the next run.
+    while let Some(Reverse(min)) = current.pop() {
+        run.append(&min.record);
+    }
+    if !run.is_empty() {
+        runs.push(run);
+    }
+    if !next.is_empty() {
+        next.sort_unstable();
+        let mut tail = ctx.fresh::<R>("run");
+        for e in next {
+            tail.append(&e.record);
+        }
+        runs.push(tail);
+    }
+    runs
+}
+
+/// Merge fan-in afforded by the DRAM budget: one block-sized read buffer
+/// per open run (at least two-way).
+pub fn merge_fan_in(ctx: &SortContext<'_>) -> usize {
+    (ctx.pool().budget() / ctx.device().config().block_size).max(2)
+}
+
+/// Merges `runs` (each individually sorted) into a single collection,
+/// performing as many passes as the fan-in dictates — the paper's
+/// `log_M |T|` merge phase.
+pub fn merge_runs<R: Record>(
+    mut runs: Vec<PCollection<R>>,
+    ctx: &SortContext<'_>,
+    output_name: &str,
+) -> PCollection<R> {
+    if runs.len() == 1 {
+        // A single run is already the sorted output; returning it directly
+        // avoids a spurious rewrite (its name stays "run-…", which is
+        // cosmetic — cost fidelity matters more than the label).
+        return runs.pop().expect("one run");
+    }
+    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+    merge_runs_into(runs, ctx, &mut out);
+    out
+}
+
+/// Merges `runs` and **appends** the result to `out` (which may already
+/// hold a sorted prefix smaller than every run record, as in hybrid
+/// sort). Intermediate passes reduce the run count to the fan-in; the
+/// final pass streams straight into `out`.
+pub fn merge_runs_into<R: Record>(
+    mut runs: Vec<PCollection<R>>,
+    ctx: &SortContext<'_>,
+    out: &mut PCollection<R>,
+) {
+    if runs.is_empty() {
+        return;
+    }
+    let fan_in = merge_fan_in(ctx);
+    while runs.len() > fan_in {
+        let mut merged: Vec<PCollection<R>> = Vec::new();
+        for group in runs.chunks(fan_in) {
+            let mut next = ctx.fresh::<R>("merge");
+            merge_group(group, &mut next);
+            merged.push(next);
+        }
+        runs = merged;
+    }
+    if runs.len() == 1 && out.is_empty() {
+        // Concatenation with an empty prefix: copying is unavoidable to
+        // land the data in `out`, but prefer the cheap path when the
+        // caller can take ownership via `merge_runs` instead.
+        for r in runs[0].reader() {
+            out.append(&r);
+        }
+        return;
+    }
+    merge_group(&runs, out);
+}
+
+/// Streams one merge group into `out` using a tournament over the run
+/// heads.
+pub fn merge_group<R: Record>(group: &[PCollection<R>], out: &mut PCollection<R>) {
+    let streams: Vec<Box<dyn Iterator<Item = R> + '_>> = group
+        .iter()
+        .map(|r| Box::new(r.reader()) as Box<dyn Iterator<Item = R> + '_>)
+        .collect();
+    merge_streams(streams, out);
+}
+
+/// Merges arbitrary sorted streams (run readers, on-the-fly selection
+/// streams, …) into `out` with a tournament over the stream heads.
+///
+/// This is what lets segment sort keep its selection-sorted segment
+/// **deferred**: the segment participates in the merge as a stream that
+/// regenerates itself by rescanning the input, so its records are
+/// written exactly once — at their final location in `out` (the paper's
+/// "minimum number of writes: as many as there are buffers in T").
+pub fn merge_streams<R: Record>(
+    mut streams: Vec<Box<dyn Iterator<Item = R> + '_>>,
+    out: &mut PCollection<R>,
+) {
+    let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> =
+        BinaryHeap::with_capacity(streams.len());
+    let mut heads: Vec<Option<R>> = Vec::with_capacity(streams.len());
+    let mut seq = 0u64;
+    for (i, s) in streams.iter_mut().enumerate() {
+        let head = s.next();
+        if let Some(ref r) = head {
+            heap.push(Reverse((r.key(), seq, i)));
+            seq += 1;
+        }
+        heads.push(head);
+    }
+    while let Some(Reverse((_, _, i))) = heap.pop() {
+        let rec = heads[i].take().expect("head present for popped entry");
+        out.append(&rec);
+        if let Some(nxt) = streams[i].next() {
+            heap.push(Reverse((nxt.key(), seq, i)));
+            seq += 1;
+            heads[i] = Some(nxt);
+        }
+    }
+}
+
+/// Asserts a collection is sorted by key (test helper).
+pub fn is_sorted_by_key<R: Record>(col: &PCollection<R>) -> bool {
+    let v = col.to_vec_uncounted();
+    v.windows(2).all(|w| w[0].key() <= w[1].key())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{BufferPool, PmDevice};
+    use wisconsin::{sort_input, KeyOrder, WisconsinRecord};
+
+    fn stage(n: u64, order: KeyOrder) -> (Pm, PCollection<WisconsinRecord>) {
+        let dev = PmDevice::paper_default();
+        let col = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "input",
+            sort_input(n, order, 42),
+        );
+        (dev, col)
+    }
+
+    #[test]
+    fn replacement_selection_runs_are_sorted_and_complete() {
+        let (dev, input) = stage(5000, KeyOrder::Random);
+        let pool = BufferPool::new(100 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let runs = generate_runs_replacement(&input, 100, &ctx);
+        let mut total = 0;
+        for run in &runs {
+            assert!(is_sorted_by_key(run));
+            total += run.len();
+        }
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn replacement_selection_runs_average_2m_on_random_input() {
+        let (dev, input) = stage(20_000, KeyOrder::Random);
+        let pool = BufferPool::new(200 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let runs = generate_runs_replacement(&input, 200, &ctx);
+        let avg = 20_000.0 / runs.len() as f64;
+        assert!(
+            avg > 1.5 * 200.0 && avg < 2.5 * 200.0,
+            "average run length {avg} not near 2M"
+        );
+    }
+
+    #[test]
+    fn sorted_input_yields_single_run() {
+        let (dev, input) = stage(5000, KeyOrder::Sorted);
+        let pool = BufferPool::new(64 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let runs = generate_runs_replacement(&input, 64, &ctx);
+        assert_eq!(runs.len(), 1);
+    }
+
+    #[test]
+    fn reverse_input_yields_runs_of_m() {
+        let (dev, input) = stage(1000, KeyOrder::Reverse);
+        let pool = BufferPool::new(100 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let runs = generate_runs_replacement(&input, 100, &ctx);
+        assert_eq!(runs.len(), 10); // worst case: every run exactly M
+    }
+
+    #[test]
+    fn merge_runs_produces_total_order() {
+        let (dev, input) = stage(8000, KeyOrder::Random);
+        let pool = BufferPool::new(128 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let runs = generate_runs_replacement(&input, 128, &ctx);
+        let out = merge_runs(runs, &ctx, "sorted");
+        assert_eq!(out.len(), 8000);
+        assert!(is_sorted_by_key(&out));
+    }
+
+    #[test]
+    fn merge_handles_empty_and_single_run() {
+        let dev = PmDevice::paper_default();
+        let pool = BufferPool::new(8192);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let out = merge_runs(Vec::<PCollection<WisconsinRecord>>::new(), &ctx, "empty");
+        assert!(out.is_empty());
+
+        let one = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "r",
+            (0..10).map(WisconsinRecord::from_key),
+        );
+        let out = merge_runs(vec![one], &ctx, "single");
+        assert_eq!(out.len(), 10);
+        assert!(is_sorted_by_key(&out));
+    }
+
+    #[test]
+    fn entry_ordering_breaks_ties_by_seq() {
+        let a = Entry::new(WisconsinRecord::from_key(5), 0);
+        let b = Entry::new(WisconsinRecord::from_key(5), 1);
+        assert!(a < b);
+    }
+}

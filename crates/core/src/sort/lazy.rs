@@ -1,0 +1,203 @@
+//! LaS — lazy sort (§2.1.3, Algorithm 2).
+//!
+//! Lazy sort runs the write-limited half of segment sort (repeated
+//! selection scans) but *tracks the penalty of rescanning versus the
+//! saving of not materializing*. At pass `n` over the current input of
+//! `|T|` buffers with `M` buffers of DRAM, materializing the unemitted
+//! remainder costs `(|T| − nM)·λ·r` while rescanning costs `nM·r` extra
+//! reads; the paper's Eq. 5 therefore materializes once
+//! `n ≥ ⌊|T|·λ / (M·(λ+1))⌋`. The process is progressive: after a
+//! materialization, `|T|` is the (smaller) intermediate input and the
+//! algorithm reverts to being lazy.
+
+use super::common::{Entry, SortContext};
+use pmem_sim::PCollection;
+use std::collections::BinaryHeap;
+use wisconsin::Record;
+
+/// The Eq. 5 materialization pass threshold for an input of `t_records`
+/// and a heap of `m_records` under write/read ratio `lambda`.
+pub fn materialization_pass(t_records: usize, m_records: usize, lambda: f64) -> u64 {
+    ((t_records as f64) * lambda / ((m_records as f64) * (lambda + 1.0))).floor() as u64
+}
+
+/// Sorts `input` lazily, materializing shrunken intermediate inputs only
+/// when Eq. 5 says the rescan penalty has overtaken the write savings.
+pub fn lazy_sort<R: Record>(
+    input: &PCollection<R>,
+    ctx: &SortContext<'_>,
+    output_name: &str,
+) -> PCollection<R> {
+    let m = ctx.capacity_records::<R>();
+    let lambda = ctx.device().lambda();
+    let total = input.len();
+    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+
+    // Current source: the original input, or the latest materialized
+    // intermediate. Emission state is relative to the current source.
+    let mut intermediate: Option<PCollection<R>> = None;
+    let mut boundary: Option<(u64, u64)> = None;
+    let mut emitted_in_source = 0usize;
+    let mut n_pass = 1u64;
+
+    while out.len() < total {
+        let src: &PCollection<R> = intermediate.as_ref().unwrap_or(input);
+        let src_len = src.len();
+        let remaining = src_len - emitted_in_source;
+        let threshold = materialization_pass(src_len, m, lambda).max(1);
+        // Materialize only when the pass will not already finish the job.
+        let materialize = n_pass >= threshold && remaining > m;
+
+        let mut heap: BinaryHeap<Entry<R>> = BinaryHeap::with_capacity(m + 1);
+        let mut ti = materialize.then(|| ctx.fresh::<R>("lazy-int"));
+
+        for (pos, record) in src.reader().enumerate() {
+            let cand = (record.key(), pos as u64);
+            if let Some(b) = boundary {
+                if cand <= b {
+                    continue; // emitted in an earlier pass
+                }
+            }
+            let entry = Entry {
+                key: cand.0,
+                seq: cand.1,
+                record,
+            };
+            if heap.len() < m {
+                heap.push(entry);
+            } else {
+                let max = *heap.peek().expect("heap at capacity");
+                if (entry.key, entry.seq) < (max.key, max.seq) {
+                    heap.pop();
+                    heap.push(entry);
+                    if let Some(ti) = ti.as_mut() {
+                        ti.append(&max.record); // displaced: stays unemitted
+                    }
+                } else if let Some(ti) = ti.as_mut() {
+                    ti.append(&entry.record); // rejected: stays unemitted
+                }
+            }
+        }
+
+        if heap.is_empty() {
+            break; // defensive: nothing left past the boundary
+        }
+
+        // Emit this pass's minima in ascending order.
+        let mut batch: Vec<Entry<R>> = heap.into_vec();
+        batch.sort_unstable();
+        boundary = batch.last().map(|e| (e.key, e.seq));
+        emitted_in_source += batch.len();
+        for e in &batch {
+            out.append(&e.record);
+        }
+
+        if let Some(ti) = ti {
+            // Progressive restart on the shrunken input (paper: T = Ti,
+            // n = 0 and the loop's n++ brings it to 1).
+            debug_assert_eq!(ti.len() + out.len(), total, "Ti must hold exactly the unemitted records");
+            intermediate = Some(ti);
+            boundary = None;
+            emitted_in_source = 0;
+            n_pass = 1;
+        } else {
+            n_pass += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::common::is_sorted_by_key;
+    use pmem_sim::{BufferPool, IoStats, LayerKind, PmDevice};
+    use wisconsin::{sort_input, KeyOrder, Record, WisconsinRecord};
+
+    fn sort(n: u64, m_records: usize, lambda: f64) -> (IoStats, PCollection<WisconsinRecord>, u64) {
+        let dev = PmDevice::new(
+            pmem_sim::DeviceConfig::paper_default()
+                .with_latency(pmem_sim::LatencyProfile::with_lambda(10.0, lambda)),
+        );
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "t",
+            sort_input(n, KeyOrder::Random, 21),
+        );
+        let buffers = input.buffers();
+        let pool = BufferPool::new(m_records * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let before = dev.snapshot();
+        let out = lazy_sort(&input, &ctx, "sorted");
+        (dev.snapshot().since(&before), out, buffers)
+    }
+
+    #[test]
+    fn sorts_correctly() {
+        let (_, out, _) = sort(3000, 100, 15.0);
+        assert_eq!(out.len(), 3000);
+        assert!(is_sorted_by_key(&out));
+        let keys: Vec<u64> = out.to_vec_uncounted().iter().map(|r| r.key()).collect();
+        assert_eq!(keys, (0..3000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn writes_stay_near_minimal() {
+        let (stats, out, _) = sort(4000, 200, 15.0);
+        // Write-minimal bound is the output itself; Eq. 5 materializations
+        // may add a small tail, bounded by ~|T|/λ.
+        let min = out.buffers() as f64;
+        assert!(
+            (stats.cl_writes as f64) < 1.25 * min,
+            "writes {} vs minimal {min}",
+            stats.cl_writes
+        );
+    }
+
+    #[test]
+    fn low_lambda_materializes_earlier_and_reads_less() {
+        let (high_lambda, _, _) = sort(4000, 100, 15.0);
+        let (low_lambda, _, _) = sort(4000, 100, 2.0);
+        // With cheap writes (λ=2) the algorithm materializes earlier,
+        // cutting rescans; with λ=15 it prefers rereading.
+        assert!(
+            low_lambda.cl_reads < high_lambda.cl_reads,
+            "λ=2 reads {} should be below λ=15 reads {}",
+            low_lambda.cl_reads,
+            high_lambda.cl_reads
+        );
+        assert!(low_lambda.cl_writes > high_lambda.cl_writes);
+    }
+
+    #[test]
+    fn materialization_pass_threshold_matches_eq5() {
+        // |T|=1000, M=100, λ=15: floor(1000·15 / (100·16)) = floor(9.375).
+        assert_eq!(materialization_pass(1000, 100, 15.0), 9);
+        // λ=1: floor(1000/(100·2)) = 5.
+        assert_eq!(materialization_pass(1000, 100, 1.0), 5);
+    }
+
+    #[test]
+    fn single_pass_when_memory_covers_input() {
+        let (stats, out, buffers) = sort(500, 1000, 15.0);
+        assert!(is_sorted_by_key(&out));
+        assert_eq!(stats.cl_reads, buffers); // exactly one scan
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let dev = PmDevice::paper_default();
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "t",
+            sort_input(1000, KeyOrder::FewDistinct { distinct: 2 }, 8),
+        );
+        let pool = BufferPool::new(50 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let out = lazy_sort(&input, &ctx, "sorted");
+        assert_eq!(out.len(), 1000);
+        assert!(is_sorted_by_key(&out));
+    }
+}

@@ -1,0 +1,101 @@
+//! Rank statistics: Kendall's τ, used by the paper's cost-model
+//! validation (Fig. 12) to measure the concordance between estimated and
+//! true performance rankings.
+
+/// Kendall's τ-b between two paired samples (ties-adjusted).
+///
+/// Returns a value in `[-1, 1]`: `1` is complete agreement, `-1`
+/// complete disagreement, `0` independence. Returns `None` when either
+/// sample has fewer than two items or is entirely tied (τ undefined).
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "samples must be paired");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i].partial_cmp(&a[j]).expect("finite values");
+            let db = b[i].partial_cmp(&b[j]).expect("finite values");
+            use std::cmp::Ordering::Equal;
+            match (da, db) {
+                (Equal, Equal) => {}
+                (Equal, _) => ties_a += 1,
+                (_, Equal) => ties_b += 1,
+                (x, y) if x == y => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_a) as f64) * ((n0 - ties_b) as f64)).sqrt();
+    if denom == 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / denom)
+}
+
+/// Converts raw scores to dense ranks (0 = smallest); ties share a rank.
+pub fn ranks(values: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("finite values"));
+    let mut out = vec![0usize; values.len()];
+    let mut rank = 0usize;
+    for (pos, &i) in idx.iter().enumerate() {
+        if pos > 0 && values[i] > values[idx[pos - 1]] {
+            rank += 1;
+        }
+        out[i] = rank;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_orders_give_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau(&a, &b).expect("defined") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_orders_give_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &b).expect("defined") + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_swap_among_four_gives_two_thirds() {
+        // τ = (C−D)/n0 with one discordant pair out of six: (5−1)/6.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 1.0, 3.0, 4.0];
+        assert!((kendall_tau(&a, &b).expect("defined") - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_adjusted() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau(&a, &b).expect("defined");
+        assert!(tau > 0.8 && tau <= 1.0, "tau = {tau}");
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(kendall_tau(&[1.0], &[2.0]).is_none());
+        assert!(kendall_tau(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_are_dense_with_ties() {
+        assert_eq!(ranks(&[3.0, 1.0, 2.0, 1.0]), vec![2, 0, 1, 0]);
+    }
+}

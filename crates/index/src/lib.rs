@@ -1,0 +1,29 @@
+//! # wl-index — a write-limited persistent B⁺-tree
+//!
+//! The paper's §6 lists index structures as the natural next target for
+//! write-limited techniques. This crate provides a B⁺-tree over
+//! simulated persistent-memory pages with two leaf policies — the
+//! textbook sorted layout versus the write-limited append layout (Chen
+//! et al., the paper's \[2\]) — so the same workload can be priced under
+//! both and the write savings measured.
+//!
+//! ```
+//! use pmem_sim::PmDevice;
+//! use wl_index::{BPlusTree, LeafPolicy};
+//!
+//! let dev = PmDevice::paper_default();
+//! let mut t = BPlusTree::new(&dev, 1024, LeafPolicy::Append);
+//! for i in 0..1000u64 {
+//!     t.insert(i * 37 % 1000, i);
+//! }
+//! assert_eq!(t.get(370), Some(10));
+//! assert_eq!(t.range(0, 9).len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod tree;
+
+pub use node::Node;
+pub use tree::{BPlusTree, LeafPolicy};

@@ -1,0 +1,187 @@
+//! B⁺-tree node layout over raw page bytes.
+//!
+//! Both node kinds share a 16-byte header:
+//!
+//! ```text
+//! offset 0   u8   node type (1 = leaf, 2 = inner)
+//! offset 1   u8   padding
+//! offset 2   u16  entry count
+//! offset 4   u32  padding
+//! offset 8   u64  leaf: next-leaf page id (+1, 0 = none)
+//!                 inner: rightmost child page id
+//! offset 16       entries, 16 bytes each:
+//!                 leaf  (u64 key, u64 value)
+//!                 inner (u64 separator key, u64 left child page id)
+//! ```
+//!
+//! Inner-node semantics: entry `i` routes keys `< key_i` (and
+//! `≥ key_{i-1}`) to `child_i`; keys `≥` the last separator go to the
+//! rightmost child in the header.
+
+use pmem_sim::PageId;
+
+/// Byte offset where entries begin.
+pub const HEADER: usize = 16;
+/// Bytes per entry (two u64s).
+pub const ENTRY: usize = 16;
+
+/// Node type tag for leaves.
+pub const TAG_LEAF: u8 = 1;
+/// Node type tag for inner nodes.
+pub const TAG_INNER: u8 = 2;
+
+/// Entries that fit in a page of `page_size` bytes.
+pub const fn capacity(page_size: usize) -> usize {
+    (page_size - HEADER) / ENTRY
+}
+
+/// A decoded view of a node page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// `TAG_LEAF` or `TAG_INNER`.
+    pub tag: u8,
+    /// Number of entries.
+    pub count: usize,
+    /// Leaf: next-leaf link (`None` at the end of the chain).
+    /// Inner: rightmost child.
+    pub link: Option<PageId>,
+    /// `(key, value-or-child)` pairs.
+    pub entries: Vec<(u64, u64)>,
+}
+
+impl Node {
+    /// Creates an empty leaf.
+    pub fn leaf() -> Self {
+        Self {
+            tag: TAG_LEAF,
+            count: 0,
+            link: None,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an inner node with the given rightmost child.
+    pub fn inner(rightmost: PageId) -> Self {
+        Self {
+            tag: TAG_INNER,
+            count: 0,
+            link: Some(rightmost),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Decodes a node from page bytes.
+    ///
+    /// # Panics
+    /// Panics on an unknown node tag (corrupt page).
+    pub fn decode(bytes: &[u8]) -> Self {
+        let tag = bytes[0];
+        assert!(tag == TAG_LEAF || tag == TAG_INNER, "corrupt node tag {tag}");
+        let count = u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")) as usize;
+        let raw_link = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let link = match tag {
+            TAG_LEAF => (raw_link != 0).then(|| (raw_link - 1) as PageId),
+            _ => Some(raw_link as PageId),
+        };
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let off = HEADER + i * ENTRY;
+            let k = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+            let v = u64::from_le_bytes(bytes[off + 8..off + 16].try_into().expect("8 bytes"));
+            entries.push((k, v));
+        }
+        Self {
+            tag,
+            count,
+            link,
+            entries,
+        }
+    }
+
+    /// Encodes the full node into a page-sized buffer.
+    pub fn encode(&self, page_size: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; page_size];
+        buf[0] = self.tag;
+        buf[2..4].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        let raw_link = match self.tag {
+            TAG_LEAF => self.link.map_or(0, |l| l as u64 + 1),
+            _ => self.link.expect("inner nodes always have a rightmost child") as u64,
+        };
+        buf[8..16].copy_from_slice(&raw_link.to_le_bytes());
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            let off = HEADER + i * ENTRY;
+            buf[off..off + 8].copy_from_slice(&k.to_le_bytes());
+            buf[off + 8..off + 16].copy_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Encodes one entry (for targeted small writes).
+    pub fn encode_entry(key: u64, value: u64) -> [u8; ENTRY] {
+        let mut e = [0u8; ENTRY];
+        e[..8].copy_from_slice(&key.to_le_bytes());
+        e[8..].copy_from_slice(&value.to_le_bytes());
+        e
+    }
+
+    /// Byte offset of entry `i`.
+    pub fn entry_offset(i: usize) -> usize {
+        HEADER + i * ENTRY
+    }
+
+    /// Routes `key` through an inner node: the child page to descend to.
+    ///
+    /// # Panics
+    /// Panics on leaves.
+    pub fn route(&self, key: u64) -> PageId {
+        assert_eq!(self.tag, TAG_INNER, "routing through a leaf");
+        for &(sep, child) in &self.entries {
+            if key < sep {
+                return child as PageId;
+            }
+        }
+        self.link.expect("inner nodes always have a rightmost child")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trips() {
+        let mut n = Node::leaf();
+        n.entries = vec![(1, 10), (5, 50)];
+        n.count = 2;
+        n.link = Some(7);
+        let decoded = Node::decode(&n.encode(256));
+        assert_eq!(decoded.entries, n.entries);
+        assert_eq!(decoded.link, Some(7));
+        assert_eq!(decoded.tag, TAG_LEAF);
+    }
+
+    #[test]
+    fn leaf_without_link_round_trips() {
+        let n = Node::leaf();
+        let decoded = Node::decode(&n.encode(256));
+        assert_eq!(decoded.link, None);
+    }
+
+    #[test]
+    fn inner_routes_by_separator() {
+        let mut n = Node::inner(99);
+        n.entries = vec![(10, 1), (20, 2)];
+        n.count = 2;
+        assert_eq!(n.route(5), 1);
+        assert_eq!(n.route(10), 2);
+        assert_eq!(n.route(15), 2);
+        assert_eq!(n.route(20), 99);
+        assert_eq!(n.route(1000), 99);
+    }
+
+    #[test]
+    fn capacity_accounts_for_header() {
+        assert_eq!(capacity(1024), 63);
+        assert_eq!(capacity(256), 15);
+    }
+}

@@ -1,0 +1,400 @@
+//! A persistent B⁺-tree with a write-limited leaf policy.
+//!
+//! Two leaf layouts over the same tree:
+//!
+//! * [`LeafPolicy::Sorted`] — the textbook layout: entries kept in key
+//!   order, so every insertion shifts the suffix and dirties every
+//!   cacheline after the insertion point.
+//! * [`LeafPolicy::Append`] — the write-limited layout (Chen et al.,
+//!   the paper's \[2\]): entries appended in arrival order, dirtying one
+//!   or two cachelines per insertion; leaves are sorted only when they
+//!   split, and lookups pay a DRAM-side linear scan instead (reads are
+//!   cheap, writes are not — the same trade the paper's sorts and joins
+//!   make).
+//!
+//! Inner nodes are always sorted (they change only on splits). Keys are
+//! unique; inserting an existing key overwrites in place. Deletion is
+//! out of scope, matching the paper's query-processing focus.
+
+use crate::node::{capacity, Node, ENTRY, TAG_LEAF};
+use pmem_sim::{PageId, PageStore, Pm};
+
+/// Leaf organization strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafPolicy {
+    /// Entries kept sorted in the page (write-heavy insertions).
+    Sorted,
+    /// Entries appended in arrival order (write-limited insertions).
+    Append,
+}
+
+/// A persistent-memory B⁺-tree.
+#[derive(Debug)]
+pub struct BPlusTree {
+    store: PageStore,
+    root: PageId,
+    policy: LeafPolicy,
+    len: usize,
+    height: usize,
+}
+
+impl BPlusTree {
+    /// Creates an empty tree with `page_size`-byte nodes on `dev`.
+    pub fn new(dev: &Pm, page_size: usize, policy: LeafPolicy) -> Self {
+        let mut store = PageStore::new(dev, page_size);
+        let root = store.alloc();
+        let leaf = Node::leaf().encode(page_size);
+        store.write(root, 0, &leaf[..crate::node::HEADER]);
+        Self {
+            store,
+            root,
+            policy,
+            len: 0,
+            height: 1,
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pages allocated.
+    pub fn pages(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The leaf policy in effect.
+    pub fn policy(&self) -> LeafPolicy {
+        self.policy
+    }
+
+    fn max_entries(&self) -> usize {
+        capacity(self.store.page_size())
+    }
+
+    /// Descends to the leaf for `key`, returning the inner-node path
+    /// (root first) and the leaf id.
+    fn descend(&self, key: u64) -> (Vec<PageId>, PageId) {
+        let mut path = Vec::with_capacity(self.height);
+        let mut id = self.root;
+        loop {
+            let node = Node::decode(self.store.read(id));
+            if node.tag == TAG_LEAF {
+                return (path, id);
+            }
+            path.push(id);
+            id = node.route(key);
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let (_, leaf_id) = self.descend(key);
+        let leaf = Node::decode(self.store.read(leaf_id));
+        match self.policy {
+            LeafPolicy::Sorted => leaf
+                .entries
+                .binary_search_by_key(&key, |e| e.0)
+                .ok()
+                .map(|i| leaf.entries[i].1),
+            LeafPolicy::Append => leaf
+                .entries
+                .iter()
+                .find(|e| e.0 == key)
+                .map(|e| e.1),
+        }
+    }
+
+    /// Inserts `key → value`; returns the previous value when the key
+    /// already existed (overwritten in place).
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        let (path, leaf_id) = self.descend(key);
+        let mut leaf = Node::decode(self.store.read(leaf_id));
+
+        // Overwrite in place: a single-entry write either way.
+        if let Some(pos) = leaf.entries.iter().position(|e| e.0 == key) {
+            let old = leaf.entries[pos].1;
+            self.store.write(
+                leaf_id,
+                Node::entry_offset(pos),
+                &Node::encode_entry(key, value),
+            );
+            return Some(old);
+        }
+
+        if leaf.entries.len() < self.max_entries() {
+            match self.policy {
+                LeafPolicy::Sorted => {
+                    let pos = leaf.entries.partition_point(|e| e.0 < key);
+                    leaf.entries.insert(pos, (key, value));
+                    // Rewrite the shifted suffix and the count — the
+                    // write-heavy path the append policy avoids.
+                    let mut suffix = Vec::with_capacity((leaf.entries.len() - pos) * ENTRY);
+                    for &(k, v) in &leaf.entries[pos..] {
+                        suffix.extend_from_slice(&Node::encode_entry(k, v));
+                    }
+                    self.store.write(leaf_id, Node::entry_offset(pos), &suffix);
+                }
+                LeafPolicy::Append => {
+                    let pos = leaf.entries.len();
+                    leaf.entries.push((key, value));
+                    self.store.write(
+                        leaf_id,
+                        Node::entry_offset(pos),
+                        &Node::encode_entry(key, value),
+                    );
+                }
+            }
+            self.store
+                .write(leaf_id, 2, &(leaf.entries.len() as u16).to_le_bytes());
+            self.len += 1;
+            return None;
+        }
+
+        // Split: sort (no-op for the sorted policy), halve, push the
+        // separator up. Splits rewrite both pages fully — both policies
+        // pay this; the append policy just pays it far less often per
+        // cacheline than sorted insertion pays shifting.
+        let mut all = leaf.entries.clone();
+        all.push((key, value));
+        all.sort_unstable_by_key(|e| e.0);
+        let mid = all.len() / 2;
+        let sep = all[mid].0;
+
+        let right_id = self.store.alloc();
+        let mut right = Node::leaf();
+        right.entries = all.split_off(mid);
+        right.link = leaf.link;
+        let mut left = Node::leaf();
+        left.entries = all;
+        left.link = Some(right_id);
+
+        let page_size = self.store.page_size();
+        let left_bytes = left.encode(page_size);
+        let right_bytes = right.encode(page_size);
+        let used = |n: &Node| crate::node::HEADER + n.entries.len() * ENTRY;
+        self.store.write(leaf_id, 0, &left_bytes[..used(&left)]);
+        self.store.write(right_id, 0, &right_bytes[..used(&right)]);
+
+        self.insert_into_parent(path, sep, leaf_id, right_id);
+        self.len += 1;
+        None
+    }
+
+    /// Inserts separator `sep` splitting `left_id`/`right_id` into the
+    /// parent chain, splitting inner nodes as needed.
+    fn insert_into_parent(&mut self, mut path: Vec<PageId>, sep: u64, left_id: PageId, right_id: PageId) {
+        let Some(parent_id) = path.pop() else {
+            // Root split: a new root with one separator.
+            let new_root = self.store.alloc();
+            let mut root = Node::inner(right_id);
+            root.entries = vec![(sep, left_id as u64)];
+            let bytes = root.encode(self.store.page_size());
+            let used = crate::node::HEADER + ENTRY;
+            self.store.write(new_root, 0, &bytes[..used]);
+            self.root = new_root;
+            self.height += 1;
+            return;
+        };
+
+        let mut parent = Node::decode(self.store.read(parent_id));
+        // Replace the old routing slot for `left_id` with `right_id` and
+        // insert `(sep, left_id)` before it.
+        if let Some(j) = parent.entries.iter().position(|e| e.1 == left_id as u64) {
+            parent.entries[j].1 = right_id as u64;
+            parent.entries.insert(j, (sep, left_id as u64));
+        } else {
+            debug_assert_eq!(parent.link, Some(left_id), "split child missing from parent");
+            parent.link = Some(right_id);
+            parent.entries.push((sep, left_id as u64));
+        }
+
+        let page_size = self.store.page_size();
+        if parent.entries.len() <= self.max_entries() {
+            let bytes = parent.encode(page_size);
+            let used = crate::node::HEADER + parent.entries.len() * ENTRY;
+            self.store.write(parent_id, 0, &bytes[..used]);
+            return;
+        }
+
+        // Inner split: promote the middle separator.
+        let mid = parent.entries.len() / 2;
+        let promoted = parent.entries[mid].0;
+        let new_right_id = self.store.alloc();
+        let mut new_right = Node::inner(parent.link.expect("inner has rightmost"));
+        new_right.entries = parent.entries.split_off(mid + 1);
+        let (.., mid_child) = parent.entries.pop().expect("mid entry exists");
+        let mut new_left = Node::inner(mid_child as PageId);
+        new_left.entries = parent.entries;
+
+        let lb = new_left.encode(page_size);
+        let rb = new_right.encode(page_size);
+        let used = |n: &Node| crate::node::HEADER + n.entries.len() * ENTRY;
+        self.store.write(parent_id, 0, &lb[..used(&new_left)]);
+        self.store.write(new_right_id, 0, &rb[..used(&new_right)]);
+
+        self.insert_into_parent(path, promoted, parent_id, new_right_id);
+    }
+
+    /// All `(key, value)` pairs with `start ≤ key ≤ end`, in key order.
+    pub fn range(&self, start: u64, end: u64) -> Vec<(u64, u64)> {
+        assert!(start <= end, "empty range {start}..={end}");
+        let (_, mut leaf_id) = self.descend(start);
+        let mut out = Vec::new();
+        loop {
+            let leaf = Node::decode(self.store.read(leaf_id));
+            let mut entries = leaf.entries;
+            if self.policy == LeafPolicy::Append {
+                entries.sort_unstable_by_key(|e| e.0); // DRAM-side sort
+            }
+            let mut past_end = false;
+            for (k, v) in entries {
+                if k > end {
+                    past_end = true;
+                    break;
+                }
+                if k >= start {
+                    out.push((k, v));
+                }
+            }
+            if past_end {
+                break;
+            }
+            match leaf.link {
+                Some(next) => leaf_id = next,
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The device this tree charges.
+    pub fn device(&self) -> &Pm {
+        self.store.device()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::PmDevice;
+
+    fn tree(policy: LeafPolicy) -> BPlusTree {
+        let dev = PmDevice::paper_default();
+        BPlusTree::new(&dev, 256, policy) // capacity 15: splits early
+    }
+
+    #[test]
+    fn insert_get_round_trip_both_policies() {
+        for policy in [LeafPolicy::Sorted, LeafPolicy::Append] {
+            let mut t = tree(policy);
+            for i in 0..500u64 {
+                let key = (i * 7919) % 500; // scrambled unique keys
+                assert_eq!(t.insert(key, key * 10), None, "{policy:?}");
+            }
+            assert_eq!(t.len(), 500);
+            for key in 0..500u64 {
+                assert_eq!(t.get(key), Some(key * 10), "{policy:?} key {key}");
+            }
+            assert_eq!(t.get(10_000), None);
+        }
+    }
+
+    #[test]
+    fn overwrite_returns_old_value() {
+        for policy in [LeafPolicy::Sorted, LeafPolicy::Append] {
+            let mut t = tree(policy);
+            assert_eq!(t.insert(5, 1), None);
+            assert_eq!(t.insert(5, 2), Some(1));
+            assert_eq!(t.get(5), Some(2));
+            assert_eq!(t.len(), 1);
+        }
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_complete() {
+        for policy in [LeafPolicy::Sorted, LeafPolicy::Append] {
+            let mut t = tree(policy);
+            for i in 0..300u64 {
+                t.insert((i * 13) % 300, i);
+            }
+            let r = t.range(50, 100);
+            let keys: Vec<u64> = r.iter().map(|e| e.0).collect();
+            assert_eq!(keys, (50..=100).collect::<Vec<_>>(), "{policy:?}");
+            // Full range covers everything.
+            assert_eq!(t.range(0, u64::MAX).len(), 300, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn tree_grows_in_height() {
+        let mut t = tree(LeafPolicy::Sorted);
+        for i in 0..2000u64 {
+            t.insert(i, i);
+        }
+        assert!(t.height() >= 3, "height {}", t.height());
+        assert!(t.pages() > 100);
+        for i in (0..2000).step_by(97) {
+            assert_eq!(t.get(i), Some(i));
+        }
+    }
+
+    #[test]
+    fn append_policy_writes_fewer_cachelines_than_sorted() {
+        // Ascending insertion is the *best* case for sorted leaves; use
+        // random order, the realistic index workload.
+        let run = |policy| {
+            let dev = PmDevice::paper_default();
+            let mut t = BPlusTree::new(&dev, 1024, policy);
+            let before = dev.snapshot();
+            for i in 0..5000u64 {
+                t.insert((i * 7919) % 5000, i);
+            }
+            dev.snapshot().since(&before).cl_writes
+        };
+        let sorted = run(LeafPolicy::Sorted);
+        let append = run(LeafPolicy::Append);
+        assert!(
+            (append as f64) < 0.6 * sorted as f64,
+            "append {append} vs sorted {sorted}"
+        );
+    }
+
+    #[test]
+    fn append_policy_same_read_cost_per_lookup() {
+        // Lookups read whole pages either way; the policies differ only
+        // in DRAM-side search.
+        let run = |policy| {
+            let dev = PmDevice::paper_default();
+            let mut t = BPlusTree::new(&dev, 1024, policy);
+            for i in 0..2000u64 {
+                t.insert(i, i);
+            }
+            let before = dev.snapshot();
+            for i in 0..2000u64 {
+                t.get(i);
+            }
+            dev.snapshot().since(&before).cl_reads
+        };
+        assert_eq!(run(LeafPolicy::Sorted), run(LeafPolicy::Append));
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t = tree(LeafPolicy::Sorted);
+        assert!(t.is_empty());
+        assert_eq!(t.get(1), None);
+        assert!(t.range(0, 100).is_empty());
+    }
+}

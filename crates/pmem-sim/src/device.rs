@@ -1,0 +1,99 @@
+//! The simulated persistent-memory device: configuration plus shared
+//! counters.
+//!
+//! A [`PmDevice`] plays the role the instrumented persistent-memory region
+//! plays in the paper's testbed: every persistent collection routes its
+//! cacheline traffic through the device's [`Metrics`], and the simulated
+//! response time of an operation is derived from the counter deltas around
+//! it. Algorithms never see the device directly; they operate on
+//! [`crate::collection::PCollection`]s bound to it.
+
+use crate::config::DeviceConfig;
+use crate::metrics::{IoStats, Metrics};
+use std::rc::Rc;
+
+/// A simulated persistent-memory device.
+#[derive(Debug)]
+pub struct PmDevice {
+    config: DeviceConfig,
+    metrics: Metrics,
+}
+
+/// Shared handle to a device. Collections hold clones of this handle; the
+/// system is single-threaded (as the paper's implementation), so `Rc`
+/// suffices.
+pub type Pm = Rc<PmDevice>;
+
+impl PmDevice {
+    /// Creates a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Pm {
+        Rc::new(Self {
+            config,
+            metrics: Metrics::new(),
+        })
+    }
+
+    /// Creates a device with the paper's default configuration
+    /// (10 ns / 150 ns PCM latencies, 1024-byte blocks).
+    pub fn paper_default() -> Pm {
+        Self::new(DeviceConfig::paper_default())
+    }
+
+    /// Device configuration.
+    #[inline]
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Counter bank (used by backends; algorithms should prefer
+    /// [`PmDevice::snapshot`]).
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Current counter snapshot.
+    pub fn snapshot(&self) -> IoStats {
+        self.metrics.snapshot()
+    }
+
+    /// Simulated time elapsed since the device was created (or last reset),
+    /// in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.snapshot().time_secs(&self.config.latency)
+    }
+
+    /// The medium's write/read cost ratio λ.
+    pub fn lambda(&self) -> f64 {
+        self.config.latency.lambda()
+    }
+
+    /// Resets all counters (e.g., after loading inputs, which the paper
+    /// factors out of its reported timings).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatencyProfile;
+
+    #[test]
+    fn device_reports_lambda_from_config() {
+        let dev = PmDevice::new(
+            DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, 5.0)),
+        );
+        assert!((dev.lambda() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_clock() {
+        let dev = PmDevice::paper_default();
+        dev.metrics().add_writes(1000);
+        assert!(dev.now_secs() > 0.0);
+        dev.reset_metrics();
+        assert_eq!(dev.now_secs(), 0.0);
+    }
+}

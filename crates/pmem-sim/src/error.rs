@@ -1,0 +1,72 @@
+//! Error types for the persistent-memory simulator.
+
+use std::fmt;
+
+/// Errors surfaced by the simulator's fallible operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmError {
+    /// A DRAM reservation exceeded the buffer-pool budget.
+    BudgetExceeded {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes that were still available.
+        available: usize,
+    },
+    /// An algorithm precondition on the memory budget does not hold
+    /// (e.g., Grace join requires M > sqrt(f·|T|)).
+    InsufficientMemory {
+        /// Human-readable description of the violated precondition.
+        requirement: String,
+    },
+    /// A tuning knob was outside its valid domain (e.g., write intensity
+    /// must lie in (0, 1)).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for PmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmError::BudgetExceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "DRAM budget exceeded: requested {requested} bytes, {available} available"
+            ),
+            PmError::InsufficientMemory { requirement } => {
+                write!(f, "insufficient memory: {requirement}")
+            }
+            PmError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PmError::BudgetExceeded {
+            requested: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10"));
+
+        let e = PmError::InvalidParameter {
+            name: "x",
+            message: "must be in (0,1)".into(),
+        };
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # pmem-sim — persistent-memory cost simulator
+//!
+//! Software stand-in for the instrumented persistent-memory testbed of
+//! *Write-limited sorts and joins for persistent memory* (Viglas, VLDB
+//! 2014). The paper injects artificial per-cacheline delays (10 ns reads /
+//! 150 ns writes) after every persistent-memory access and reports response
+//! time plus cacheline read/write counts; this crate reproduces the same
+//! cost structure deterministically:
+//!
+//! * every persistent collection charges its cacheline traffic to a shared
+//!   [`device::PmDevice`], and
+//! * simulated response time is `reads·r + writes·w + software overhead`.
+//!
+//! The four §3.2 persistence-layer implementations (blocked memory, PMFS,
+//! RAM disk, dynamic arrays) are provided as [`layer::LayerKind`] variants
+//! that differ only in how much traffic and overhead the same logical
+//! workload costs — exactly the axis the paper's implementation comparison
+//! explores.
+//!
+//! ```
+//! use pmem_sim::{DeviceConfig, LayerKind, PCollection, PmDevice};
+//!
+//! let dev = PmDevice::new(DeviceConfig::paper_default());
+//! let mut col = PCollection::<u64>::new(&dev, LayerKind::BlockedMemory, "numbers");
+//! for i in 0..1000 {
+//!     col.append(&i);
+//! }
+//! let sum: u64 = col.reader().sum();
+//! assert_eq!(sum, 499_500);
+//! let stats = dev.snapshot();
+//! assert_eq!(stats.cl_writes, col.buffers()); // 8000 B = 125 cachelines
+//! assert_eq!(stats.cl_reads, col.buffers());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod config;
+pub mod device;
+pub mod energy;
+pub mod error;
+pub mod layer;
+pub mod metrics;
+pub mod pages;
+pub mod pool;
+
+pub use collection::{PCollection, RecordReader, Storable};
+pub use config::{cachelines, DeviceConfig, LatencyProfile, CACHELINE, DEFAULT_BLOCK};
+pub use device::{Pm, PmDevice};
+pub use energy::{EnergyModel, WearModel};
+pub use error::PmError;
+pub use layer::{LayerKind, ReadCursor, Storage};
+pub use metrics::{IoStats, Metrics};
+pub use pages::{PageId, PageStore};
+pub use pool::{BufferPool, Reservation};

@@ -1,0 +1,267 @@
+//! I/O accounting: cacheline read/write counters and the simulated clock.
+//!
+//! The paper instruments its C++ implementation to report response time and
+//! the numbers of cacheline reads and writes (§4, "Datasets and metrics").
+//! We reproduce the same three metrics deterministically: the simulated
+//! response time is `reads·r + writes·w + software_overhead`.
+
+use crate::config::LatencyProfile;
+use std::cell::Cell;
+
+/// A point-in-time snapshot of device counters.
+///
+/// Snapshots form an affine space: subtracting two snapshots yields the
+/// traffic of the interval between them, which is how the harness isolates
+/// the cost of a single operation from the cost of loading its inputs
+/// (the paper factors data loading out of its timings).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IoStats {
+    /// Cachelines read from persistent memory.
+    pub cl_reads: u64,
+    /// Cachelines written to persistent memory.
+    pub cl_writes: u64,
+    /// Accumulated software overhead in nanoseconds (filesystem calls,
+    /// allocator work) on top of raw medium latency.
+    pub software_ns: f64,
+    /// Number of I/O calls issued to persistence layers.
+    pub calls: u64,
+}
+
+impl IoStats {
+    /// Traffic between `earlier` and `self` (i.e., `self - earlier`).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        debug_assert!(self.cl_reads >= earlier.cl_reads);
+        debug_assert!(self.cl_writes >= earlier.cl_writes);
+        IoStats {
+            cl_reads: self.cl_reads - earlier.cl_reads,
+            cl_writes: self.cl_writes - earlier.cl_writes,
+            software_ns: self.software_ns - earlier.software_ns,
+            calls: self.calls - earlier.calls,
+        }
+    }
+
+    /// Simulated elapsed time in nanoseconds under `latency`.
+    pub fn time_ns(&self, latency: &LatencyProfile) -> f64 {
+        self.cl_reads as f64 * latency.read_ns
+            + self.cl_writes as f64 * latency.write_ns
+            + self.software_ns
+    }
+
+    /// Simulated elapsed time in seconds under `latency`.
+    pub fn time_secs(&self, latency: &LatencyProfile) -> f64 {
+        self.time_ns(latency) / 1e9
+    }
+
+    /// Abstract cost in read units: `reads + λ·writes` (the paper's cost
+    /// expressions are all stated in multiples of `r`).
+    pub fn cost_units(&self, lambda: f64) -> f64 {
+        self.cl_reads as f64 + lambda * self.cl_writes as f64
+    }
+}
+
+/// Interior-mutable counter bank shared by every collection of a device.
+///
+/// The system is single-threaded by design (the paper's implementation is
+/// single-threaded, §4), so plain `Cell`s suffice and keep the hot
+/// accounting paths branch- and lock-free.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    cl_reads: Cell<u64>,
+    cl_writes: Cell<u64>,
+    software_ns: Cell<f64>,
+    calls: Cell<u64>,
+    paused: Cell<bool>,
+    breakdown_enabled: Cell<bool>,
+    breakdown: std::cell::RefCell<std::collections::HashMap<String, IoStats>>,
+}
+
+/// Suspends accounting on a [`Metrics`] bank for its lifetime.
+///
+/// Used by test/harness facilities (e.g., draining a collection to verify
+/// its contents) that must not perturb the measured experiment.
+#[derive(Debug)]
+pub struct PauseGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for PauseGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.paused.set(false);
+    }
+}
+
+impl Metrics {
+    /// Creates a zeroed counter bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Suspends accounting until the returned guard is dropped.
+    ///
+    /// # Panics
+    /// Panics if accounting is already paused (pauses do not nest; a nested
+    /// pause would silently re-enable accounting too early).
+    pub fn pause(&self) -> PauseGuard<'_> {
+        assert!(!self.paused.get(), "metrics already paused");
+        self.paused.set(true);
+        PauseGuard { metrics: self }
+    }
+
+    /// Records `n` cacheline reads.
+    #[inline]
+    pub fn add_reads(&self, n: u64) {
+        if !self.paused.get() {
+            self.cl_reads.set(self.cl_reads.get() + n);
+        }
+    }
+
+    /// Records `n` cacheline writes.
+    #[inline]
+    pub fn add_writes(&self, n: u64) {
+        if !self.paused.get() {
+            self.cl_writes.set(self.cl_writes.get() + n);
+        }
+    }
+
+    /// Records `ns` nanoseconds of software overhead.
+    #[inline]
+    pub fn add_software_ns(&self, ns: f64) {
+        if !self.paused.get() {
+            self.software_ns.set(self.software_ns.get() + ns);
+        }
+    }
+
+    /// Records `n` persistence-layer calls.
+    #[inline]
+    pub fn add_calls(&self, n: u64) {
+        if !self.paused.get() {
+            self.calls.set(self.calls.get() + n);
+        }
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            cl_reads: self.cl_reads.get(),
+            cl_writes: self.cl_writes.get(),
+            software_ns: self.software_ns.get(),
+            calls: self.calls.get(),
+        }
+    }
+
+    /// Resets every counter to zero (including any per-collection
+    /// breakdown).
+    pub fn reset(&self) {
+        self.cl_reads.set(0);
+        self.cl_writes.set(0);
+        self.software_ns.set(0.0);
+        self.calls.set(0);
+        self.breakdown.borrow_mut().clear();
+    }
+
+    /// Enables per-collection I/O attribution. Off by default — when
+    /// enabled, collections snapshot around their storage operations and
+    /// attribute the deltas by name, which costs a hash update per
+    /// operation.
+    pub fn enable_breakdown(&self) {
+        self.breakdown_enabled.set(true);
+    }
+
+    /// Whether per-collection attribution is on.
+    #[inline]
+    pub fn breakdown_enabled(&self) -> bool {
+        self.breakdown_enabled.get()
+    }
+
+    /// Attributes `delta` to `tag` (no-op unless breakdown is enabled;
+    /// paused accounting also suppresses attribution).
+    pub fn attribute(&self, tag: &str, delta: IoStats) {
+        if !self.breakdown_enabled.get() || self.paused.get() {
+            return;
+        }
+        let mut map = self.breakdown.borrow_mut();
+        let slot = map.entry(tag.to_string()).or_default();
+        slot.cl_reads += delta.cl_reads;
+        slot.cl_writes += delta.cl_writes;
+        slot.software_ns += delta.software_ns;
+        slot.calls += delta.calls;
+    }
+
+    /// The per-collection breakdown, sorted by writes descending.
+    /// Empty unless [`Metrics::enable_breakdown`] was called.
+    pub fn breakdown(&self) -> Vec<(String, IoStats)> {
+        let mut v: Vec<(String, IoStats)> = self
+            .breakdown
+            .borrow()
+            .iter()
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        v.sort_by(|a, b| b.1.cl_writes.cmp(&a.1.cl_writes).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let m = Metrics::new();
+        m.add_reads(3);
+        m.add_writes(2);
+        m.add_software_ns(5.0);
+        m.add_calls(1);
+        let s = m.snapshot();
+        assert_eq!(s.cl_reads, 3);
+        assert_eq!(s.cl_writes, 2);
+        assert_eq!(s.software_ns, 5.0);
+        assert_eq!(s.calls, 1);
+    }
+
+    #[test]
+    fn since_computes_interval_traffic() {
+        let m = Metrics::new();
+        m.add_reads(10);
+        let before = m.snapshot();
+        m.add_reads(5);
+        m.add_writes(7);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.cl_reads, 5);
+        assert_eq!(delta.cl_writes, 7);
+    }
+
+    #[test]
+    fn time_matches_latency_profile() {
+        let s = IoStats {
+            cl_reads: 100,
+            cl_writes: 10,
+            software_ns: 50.0,
+            calls: 0,
+        };
+        let t = s.time_ns(&LatencyProfile::PCM);
+        assert!((t - (100.0 * 10.0 + 10.0 * 150.0 + 50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_units_weight_writes_by_lambda() {
+        let s = IoStats {
+            cl_reads: 4,
+            cl_writes: 2,
+            ..Default::default()
+        };
+        assert!((s.cost_units(15.0) - 34.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = Metrics::new();
+        m.add_reads(1);
+        m.add_writes(1);
+        m.reset();
+        assert_eq!(m.snapshot(), IoStats::default());
+    }
+}

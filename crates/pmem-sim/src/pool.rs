@@ -1,0 +1,176 @@
+//! DRAM buffer-pool accounting.
+//!
+//! The algorithms are given a budget of `M` buffers of DRAM (the paper's
+//! "bufferpool", Fig. 3). [`BufferPool`] tracks that budget: algorithms
+//! reserve bytes for their heaps and working blocks, reservations release
+//! on drop, and a high-water mark records the actual peak so tests can
+//! assert that no algorithm exceeds its allowance.
+
+use crate::error::PmError;
+use std::cell::Cell;
+
+/// A DRAM budget of `M` buffers (expressed in bytes).
+#[derive(Debug)]
+pub struct BufferPool {
+    budget: usize,
+    used: Cell<usize>,
+    high_water: Cell<usize>,
+}
+
+impl BufferPool {
+    /// Creates a pool with `budget` bytes of DRAM.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            budget,
+            used: Cell::new(0),
+            high_water: Cell::new(0),
+        }
+    }
+
+    /// Creates a pool sized as `fraction` of `input_bytes` (the paper's
+    /// sweeps express memory as 1%–15% of the input size).
+    pub fn fraction_of(input_bytes: usize, fraction: f64) -> Self {
+        assert!(fraction > 0.0, "memory fraction must be positive");
+        Self::new((input_bytes as f64 * fraction).round() as usize)
+    }
+
+    /// Total budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Budget expressed in the paper's buffer units (cachelines).
+    pub fn budget_buffers(&self) -> u64 {
+        crate::config::cachelines(self.budget)
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.used.get()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.budget - self.used.get()
+    }
+
+    /// Peak reservation observed over the pool's lifetime.
+    pub fn high_water(&self) -> usize {
+        self.high_water.get()
+    }
+
+    /// How many fixed-size records fit in the *remaining* budget.
+    pub fn records_available(&self, record_size: usize) -> usize {
+        self.available() / record_size
+    }
+
+    /// Reserves `bytes`, failing if the budget would be exceeded.
+    pub fn reserve(&self, bytes: usize) -> Result<Reservation<'_>, PmError> {
+        let used = self.used.get();
+        if used + bytes > self.budget {
+            return Err(PmError::BudgetExceeded {
+                requested: bytes,
+                available: self.budget - used,
+            });
+        }
+        self.used.set(used + bytes);
+        self.high_water.set(self.high_water.get().max(used + bytes));
+        Ok(Reservation { pool: self, bytes })
+    }
+
+    /// Reserves everything still available.
+    pub fn reserve_all(&self) -> Reservation<'_> {
+        let bytes = self.available();
+        self.reserve(bytes).expect("reserving available bytes cannot fail")
+    }
+}
+
+/// An RAII slice of the DRAM budget; releases on drop.
+#[derive(Debug)]
+pub struct Reservation<'p> {
+    pool: &'p BufferPool,
+    bytes: usize,
+}
+
+impl Reservation<'_> {
+    /// Reserved size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// How many fixed-size records fit in this reservation.
+    pub fn records(&self, record_size: usize) -> usize {
+        self.bytes / record_size
+    }
+
+    /// Shrinks the reservation, returning `give_back` bytes to the pool.
+    ///
+    /// # Panics
+    /// Panics if `give_back` exceeds the reservation.
+    pub fn shrink(&mut self, give_back: usize) {
+        assert!(give_back <= self.bytes, "cannot give back more than reserved");
+        self.bytes -= give_back;
+        self.pool.used.set(self.pool.used.get() - give_back);
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        self.pool.used.set(self.pool.used.get() - self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let pool = BufferPool::new(1000);
+        {
+            let r = pool.reserve(600).expect("fits");
+            assert_eq!(r.bytes(), 600);
+            assert_eq!(pool.available(), 400);
+        }
+        assert_eq!(pool.available(), 1000);
+        assert_eq!(pool.high_water(), 600);
+    }
+
+    #[test]
+    fn over_reservation_fails() {
+        let pool = BufferPool::new(100);
+        let _a = pool.reserve(80).expect("fits");
+        assert!(pool.reserve(30).is_err());
+    }
+
+    #[test]
+    fn fraction_of_computes_budget() {
+        let pool = BufferPool::fraction_of(1_000_000, 0.05);
+        assert_eq!(pool.budget(), 50_000);
+    }
+
+    #[test]
+    fn records_available_uses_record_size() {
+        let pool = BufferPool::new(800);
+        assert_eq!(pool.records_available(80), 10);
+        let _r = pool.reserve(400).expect("fits");
+        assert_eq!(pool.records_available(80), 5);
+    }
+
+    #[test]
+    fn shrink_returns_bytes() {
+        let pool = BufferPool::new(100);
+        let mut r = pool.reserve(100).expect("fits");
+        r.shrink(40);
+        assert_eq!(pool.available(), 40);
+        assert_eq!(r.bytes(), 60);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let pool = BufferPool::new(100);
+        drop(pool.reserve(90));
+        let _r = pool.reserve(10).expect("fits");
+        assert_eq!(pool.high_water(), 90);
+    }
+}

@@ -1,0 +1,205 @@
+//! The operator context (`OpCtx`): the blueprint-recording and
+//! decision-making half of §3.1's API.
+//!
+//! Each physical operator is assigned an operator context. During
+//! `evaluate()` the operator *records* its computation through the four
+//! API calls; during execution it *consults* the context on every
+//! collection access: `assess()` decides whether a deferred collection
+//! should be materialized (flipping its status), and
+//! `reconstruction_plan()` (the paper's `produce()`) yields the chain of
+//! calls that rebuilds it from materialized ancestors.
+
+use crate::graph::{ApiCall, CStatus, CallId, Graph};
+use crate::rules::{assess, Decision, Verdict};
+
+/// Per-operator runtime context.
+#[derive(Debug)]
+pub struct OpCtx {
+    graph: Graph,
+    lambda: f64,
+    name_counter: u64,
+}
+
+impl OpCtx {
+    /// Creates a context for a medium with write/read ratio `lambda`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 1.0, "write/read ratio must be >= 1");
+        Self {
+            graph: Graph::new(),
+            lambda,
+            name_counter: 0,
+        }
+    }
+
+    /// The medium's write/read ratio.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Generates a unique collection identifier (Listing 2's
+    /// `create_name()`).
+    pub fn create_name(&mut self, prefix: &str) -> String {
+        let id = self.name_counter;
+        self.name_counter += 1;
+        format!("{prefix}#{id}")
+    }
+
+    /// Declares a collection (Listing 1: status defaults to deferred at
+    /// the call sites; pass explicitly here).
+    pub fn declare(&mut self, name: &str, status: CStatus, size_buffers: f64) {
+        self.graph.declare(name, status, size_buffers);
+    }
+
+    /// Records `split(T, n, Tl, Th)`.
+    pub fn split(&mut self, input: &str, at: u64, lo: &str, hi: &str) -> CallId {
+        self.graph
+            .record_call(ApiCall::Split { at }, &[input], &[lo, hi])
+    }
+
+    /// Records `partition(T, h(), k, ⟨Ti⟩)`.
+    ///
+    /// # Panics
+    /// Panics if `outputs.len() != k`.
+    pub fn partition(&mut self, input: &str, k: usize, outputs: &[&str]) -> CallId {
+        assert_eq!(outputs.len(), k, "partition arity mismatch");
+        self.graph
+            .record_call(ApiCall::Partition { k }, &[input], outputs)
+    }
+
+    /// Records `filter(T, p(), f, Tp)`.
+    pub fn filter(&mut self, input: &str, selectivity: f64, output: &str) -> CallId {
+        self.graph
+            .record_call(ApiCall::Filter { selectivity }, &[input], &[output])
+    }
+
+    /// Records `merge(Tl, Tr, m(), T)`.
+    pub fn merge(&mut self, left: &str, right: &str, output: &str) -> CallId {
+        self.graph
+            .record_call(ApiCall::Merge, &[left, right], &[output])
+    }
+
+    /// Marks a collection as feeding an immediate append (rule (c)).
+    pub fn mark_append_only(&mut self, name: &str) {
+        self.graph.collection_mut(name).append_only = true;
+    }
+
+    /// Notes that `name` was fully processed (scanned), accumulating the
+    /// running read sum the rules consult.
+    pub fn note_scan(&mut self, name: &str, buffers: f64) {
+        let node = self.graph.collection_mut(name);
+        node.times_processed += 1;
+        node.accumulated_reads += buffers;
+    }
+
+    /// Updates a collection's size estimate with its actual size.
+    pub fn set_size(&mut self, name: &str, buffers: f64) {
+        self.graph.collection_mut(name).size_buffers = buffers;
+    }
+
+    /// Current status of a collection.
+    pub fn status(&self, name: &str) -> CStatus {
+        self.graph.collection(name).status
+    }
+
+    /// Assesses a deferred collection (Listing 1's `assess()`); on a
+    /// materialize verdict the status flips so a later `open()` produces
+    /// it. Non-deferred collections return their status unchanged.
+    pub fn assess(&mut self, name: &str) -> Option<Verdict> {
+        if self.graph.collection(name).status != CStatus::Deferred {
+            return None;
+        }
+        let verdict = assess(&self.graph, name, self.lambda);
+        if verdict.decision == Decision::Materialize {
+            self.graph.collection_mut(name).status = CStatus::Materialized;
+        }
+        Some(verdict)
+    }
+
+    /// Records that a collection has been physically produced.
+    pub fn mark_materialized(&mut self, name: &str) {
+        self.graph.collection_mut(name).status = CStatus::Materialized;
+    }
+
+    /// The paper's `produce()` planning step: the call chain that
+    /// rebuilds `name` from materialized ancestors.
+    pub fn reconstruction_plan(&self, name: &str) -> Vec<CallId> {
+        self.graph.reconstruction_plan(name)
+    }
+
+    /// Read-only access to the recorded control-flow graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    #[test]
+    fn create_name_is_unique() {
+        let mut ctx = OpCtx::new(15.0);
+        let a = ctx.create_name("p");
+        let b = ctx.create_name("p");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn assess_flips_status_on_materialize() {
+        let mut ctx = OpCtx::new(2.0);
+        ctx.declare("T", CStatus::Materialized, 300.0);
+        ctx.declare("T0", CStatus::Deferred, 100.0);
+        ctx.declare("T1", CStatus::Deferred, 100.0);
+        ctx.partition("T", 2, &["T0", "T1"]);
+        let v = ctx.assess("T0").expect("deferred");
+        assert_eq!(v.decision, Decision::Materialize);
+        assert_eq!(ctx.status("T0"), CStatus::Materialized);
+        // Sibling now materializes via eager-partition.
+        let v = ctx.assess("T1").expect("deferred");
+        assert_eq!(v.rule, Rule::EagerPartition);
+    }
+
+    #[test]
+    fn assess_skips_non_deferred() {
+        let mut ctx = OpCtx::new(15.0);
+        ctx.declare("T", CStatus::Materialized, 10.0);
+        assert!(ctx.assess("T").is_none());
+    }
+
+    #[test]
+    fn scans_accumulate_until_read_over_write_fires() {
+        let mut ctx = OpCtx::new(15.0);
+        ctx.declare("T", CStatus::Materialized, 300.0);
+        let names: Vec<String> = (0..3).map(|i| format!("T{i}")).collect();
+        for n in &names {
+            ctx.declare(n, CStatus::Deferred, 100.0);
+        }
+        ctx.partition("T", 3, &[&names[0], &names[1], &names[2]]);
+
+        // First access: Cm = 1500 > Cr(0) + Cc(300) → defer, rescan.
+        assert_eq!(ctx.assess("T0").expect("deferred").decision, Decision::Defer);
+        ctx.note_scan("T", 300.0);
+        assert_eq!(ctx.assess("T1").expect("deferred").decision, Decision::Defer);
+        ctx.note_scan("T", 300.0);
+        ctx.note_scan("T", 300.0);
+        ctx.note_scan("T", 300.0);
+        // Cr = 1200, Cc = 300 ≥ Cm = 1500 → materialize.
+        assert_eq!(
+            ctx.assess("T2").expect("deferred").decision,
+            Decision::Materialize
+        );
+    }
+
+    #[test]
+    fn split_and_merge_record_in_graph() {
+        let mut ctx = OpCtx::new(15.0);
+        ctx.declare("T", CStatus::Materialized, 100.0);
+        ctx.declare("A", CStatus::Deferred, 50.0);
+        ctx.declare("B", CStatus::Deferred, 50.0);
+        ctx.declare("S", CStatus::Materialized, 100.0);
+        ctx.split("T", 50, "A", "B");
+        ctx.merge("A", "B", "S");
+        assert_eq!(ctx.reconstruction_plan("B").len(), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! The control-flow graph of §3.1.
+//!
+//! Nodes are either *collections* or *API calls*
+//! (`split`/`partition`/`filter`/`merge`); edges run from a call's input
+//! collections to the call, and from the call to its output collections
+//! (Fig. 4). Declaring a collection does not materialize it — the graph
+//! is the blueprint the runtime walks when a deferred collection is
+//! accessed and must be (re)constructed from its oldest materialized
+//! ancestors.
+
+use std::collections::HashMap;
+
+/// Identifier of a collection node (its unique name).
+pub type CollectionId = String;
+
+/// Index of an API-call node within the graph.
+pub type CallId = usize;
+
+/// Materialization status of a collection (§3.1, Listing 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CStatus {
+    /// Purely in-memory collection.
+    Memory,
+    /// Present on persistent memory.
+    Materialized,
+    /// Declared but not produced; reconstructible from the graph.
+    Deferred,
+}
+
+/// One of the four §3.1 API calls, with its call-specific annotations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApiCall {
+    /// `split(T, n, Tl, Th)`: split `T` at position `n`.
+    Split {
+        /// Split position (records).
+        at: u64,
+    },
+    /// `partition(T, h(), k, ⟨Ti⟩, ⟨si⟩)`: partition into `k` outputs.
+    Partition {
+        /// Number of partitions.
+        k: usize,
+    },
+    /// `filter(T, p(), f, Tp)`: filter with expected selectivity `f`.
+    Filter {
+        /// Expected output size as a fraction of the input, in `[0, 1]`.
+        selectivity: f64,
+    },
+    /// `merge(Tl, Tr, m(), T)`: merge two collections.
+    Merge,
+}
+
+/// An API-call node: the call plus its input/output collection names.
+#[derive(Clone, Debug)]
+pub struct CallNode {
+    /// The call and its parameters.
+    pub call: ApiCall,
+    /// Input collection names.
+    pub inputs: Vec<CollectionId>,
+    /// Output collection names.
+    pub outputs: Vec<CollectionId>,
+}
+
+/// Per-collection bookkeeping.
+#[derive(Clone, Debug)]
+pub struct CollectionNode {
+    /// Materialization status.
+    pub status: CStatus,
+    /// Estimated (or actual) size in buffer units.
+    pub size_buffers: f64,
+    /// The call that produces this collection, if any.
+    pub produced_by: Option<CallId>,
+    /// Accumulated buffers read from this collection so far (the running
+    /// sum §3.1's optimization rules consult).
+    pub accumulated_reads: f64,
+    /// Number of times the collection has been fully processed (scanned).
+    pub times_processed: u32,
+    /// Marked when the collection's results are immediately appended to
+    /// another collection (the process-to-append rule's trigger).
+    pub append_only: bool,
+}
+
+/// The control-flow graph: collections, calls, and their wiring.
+#[derive(Debug, Default)]
+pub struct Graph {
+    collections: HashMap<CollectionId, CollectionNode>,
+    calls: Vec<CallNode>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a collection with the given status and size estimate (in
+    /// buffers). Re-declaring a name is an error — unique identifiers are
+    /// the runtime's one assumption (§3.1).
+    ///
+    /// # Panics
+    /// Panics if `name` was already declared.
+    pub fn declare(&mut self, name: impl Into<CollectionId>, status: CStatus, size_buffers: f64) {
+        let name = name.into();
+        let prev = self.collections.insert(
+            name.clone(),
+            CollectionNode {
+                status,
+                size_buffers,
+                produced_by: None,
+                accumulated_reads: 0.0,
+                times_processed: 0,
+                append_only: false,
+            },
+        );
+        assert!(prev.is_none(), "collection `{name}` declared twice");
+    }
+
+    /// Records an API call, wiring inputs and outputs.
+    ///
+    /// # Panics
+    /// Panics if any referenced collection is undeclared, or an output is
+    /// already produced by another call.
+    pub fn record_call(
+        &mut self,
+        call: ApiCall,
+        inputs: &[&str],
+        outputs: &[&str],
+    ) -> CallId {
+        let id = self.calls.len();
+        for name in inputs.iter().chain(outputs.iter()) {
+            assert!(
+                self.collections.contains_key(*name),
+                "collection `{name}` not declared"
+            );
+        }
+        for out in outputs {
+            let node = self.collections.get_mut(*out).expect("declared above");
+            assert!(
+                node.produced_by.is_none(),
+                "collection `{out}` already has a producer"
+            );
+            node.produced_by = Some(id);
+        }
+        self.calls.push(CallNode {
+            call,
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+        });
+        id
+    }
+
+    /// Collection node accessor.
+    ///
+    /// # Panics
+    /// Panics if `name` is not declared.
+    pub fn collection(&self, name: &str) -> &CollectionNode {
+        self.collections
+            .get(name)
+            .unwrap_or_else(|| panic!("collection `{name}` not declared"))
+    }
+
+    /// Mutable collection node accessor.
+    ///
+    /// # Panics
+    /// Panics if `name` is not declared.
+    pub fn collection_mut(&mut self, name: &str) -> &mut CollectionNode {
+        self.collections
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("collection `{name}` not declared"))
+    }
+
+    /// Call node accessor.
+    pub fn call(&self, id: CallId) -> &CallNode {
+        &self.calls[id]
+    }
+
+    /// True if `name` has been declared.
+    pub fn is_declared(&self, name: &str) -> bool {
+        self.collections.contains_key(name)
+    }
+
+    /// Sibling outputs of the call producing `name` (other partitions of
+    /// the same `partition()`, etc.).
+    pub fn siblings(&self, name: &str) -> Vec<CollectionId> {
+        match self.collection(name).produced_by {
+            Some(id) => self.calls[id]
+                .outputs
+                .iter()
+                .filter(|o| o.as_str() != name)
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The reconstruction plan for `name`: the chain of calls from its
+    /// oldest non-materialized ancestor down to the call that produces
+    /// it, in application order. Empty when `name` is already
+    /// materialized or is a source.
+    pub fn reconstruction_plan(&self, name: &str) -> Vec<CallId> {
+        let mut plan = Vec::new();
+        self.walk_up(name, &mut plan);
+        plan.reverse();
+        plan
+    }
+
+    fn walk_up(&self, name: &str, plan: &mut Vec<CallId>) {
+        let node = self.collection(name);
+        if node.status == CStatus::Materialized || node.status == CStatus::Memory {
+            return; // reconstruction starts from materialized ancestors
+        }
+        if let Some(call_id) = node.produced_by {
+            plan.push(call_id);
+            for input in &self.calls[call_id].inputs.clone() {
+                self.walk_up(input, plan);
+            }
+        }
+    }
+
+    /// Estimated cost, in read units, of reconstructing `name` by
+    /// re-applying its plan: the sum of the plan's input sizes (each
+    /// input is fully scanned once; the runtime enforces that no input is
+    /// scanned twice for one reconstruction, §3.1).
+    pub fn reconstruction_read_cost(&self, name: &str) -> f64 {
+        let plan = self.reconstruction_plan(name);
+        let mut seen = std::collections::HashSet::new();
+        let mut cost = 0.0;
+        for id in plan {
+            for input in &self.calls[id].inputs {
+                if seen.insert(input.clone()) {
+                    cost += self.collection(input).size_buffers;
+                }
+            }
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the Fig. 4 graph: T, V partitioned 3-ways, pairwise merged
+    /// into S.
+    fn fig4() -> Graph {
+        let mut g = Graph::new();
+        g.declare("T", CStatus::Materialized, 300.0);
+        g.declare("V", CStatus::Materialized, 3000.0);
+        g.declare("S", CStatus::Materialized, 500.0);
+        for i in 0..3 {
+            g.declare(format!("T{i}"), CStatus::Deferred, 100.0);
+            g.declare(format!("V{i}"), CStatus::Deferred, 1000.0);
+        }
+        g.record_call(ApiCall::Partition { k: 3 }, &["T"], &["T0", "T1", "T2"]);
+        g.record_call(ApiCall::Partition { k: 3 }, &["V"], &["V0", "V1", "V2"]);
+        g
+    }
+
+    #[test]
+    fn fig4_reconstruction_walks_to_the_source() {
+        let g = fig4();
+        let plan = g.reconstruction_plan("V0");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(g.call(plan[0]).inputs, vec!["V".to_string()]);
+    }
+
+    #[test]
+    fn fig4_reconstruction_cost_is_the_source_scan() {
+        let g = fig4();
+        assert_eq!(g.reconstruction_read_cost("T0"), 300.0);
+        assert_eq!(g.reconstruction_read_cost("V1"), 3000.0);
+        // Materialized collections need no reconstruction.
+        assert_eq!(g.reconstruction_read_cost("T"), 0.0);
+    }
+
+    #[test]
+    fn siblings_are_the_other_partitions() {
+        let g = fig4();
+        let mut sib = g.siblings("T1");
+        sib.sort();
+        assert_eq!(sib, vec!["T0".to_string(), "T2".to_string()]);
+        assert!(g.siblings("T").is_empty());
+    }
+
+    #[test]
+    fn chained_deferral_accumulates_costs() {
+        // T (mat) → filter → F (def) → split → A, B (def): producing B
+        // re-applies filter then split, scanning T then F.
+        let mut g = Graph::new();
+        g.declare("T", CStatus::Materialized, 100.0);
+        g.declare("F", CStatus::Deferred, 50.0);
+        g.declare("A", CStatus::Deferred, 25.0);
+        g.declare("B", CStatus::Deferred, 25.0);
+        g.record_call(ApiCall::Filter { selectivity: 0.5 }, &["T"], &["F"]);
+        g.record_call(ApiCall::Split { at: 25 }, &["F"], &["A", "B"]);
+        let plan = g.reconstruction_plan("B");
+        assert_eq!(plan.len(), 2);
+        assert!(matches!(g.call(plan[0]).call, ApiCall::Filter { .. }));
+        assert!(matches!(g.call(plan[1]).call, ApiCall::Split { .. }));
+        assert_eq!(g.reconstruction_read_cost("B"), 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_declaration_panics() {
+        let mut g = Graph::new();
+        g.declare("T", CStatus::Deferred, 1.0);
+        g.declare("T", CStatus::Deferred, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a producer")]
+    fn double_producer_panics() {
+        let mut g = Graph::new();
+        g.declare("T", CStatus::Materialized, 1.0);
+        g.declare("X", CStatus::Deferred, 1.0);
+        g.record_call(ApiCall::Filter { selectivity: 0.5 }, &["T"], &["X"]);
+        g.record_call(ApiCall::Filter { selectivity: 0.9 }, &["T"], &["X"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Physical operators over the §3.1 API.
+//!
+//! An [`Operator`] receives its context at construction and records its
+//! control-flow graph in `evaluate()` (called once, Listing 2). The
+//! executable operators that move real records live in the
+//! `write-limited` crate (e.g., the adaptive segmented Grace join);
+//! here we keep the trait and a minimal recording operator used to test
+//! the blueprint machinery end to end.
+
+use crate::context::OpCtx;
+use crate::graph::CStatus;
+
+/// A physical operator: records its blueprint, then executes against it.
+pub trait Operator {
+    /// Records the operator's control-flow graph into its context
+    /// (Listing 2's `evaluate()`; called at construction time).
+    fn evaluate(&mut self, ctx: &mut OpCtx);
+
+    /// Human-readable operator name.
+    fn name(&self) -> &str;
+}
+
+/// The Fig. 4 blueprint recorder: partitions two inputs `k`-ways and
+/// merges partition pairs into the output — segmented Grace join's
+/// graph, without execution.
+#[derive(Debug)]
+pub struct SgjBlueprint {
+    /// Left input name.
+    pub left: String,
+    /// Right input name.
+    pub right: String,
+    /// Output name.
+    pub output: String,
+    /// Partition count.
+    pub k: usize,
+    /// Left/right input sizes in buffers.
+    pub sizes: (f64, f64),
+    /// Names of the partition collections, filled by `evaluate()`.
+    pub left_parts: Vec<String>,
+    /// Right partition names, filled by `evaluate()`.
+    pub right_parts: Vec<String>,
+}
+
+impl SgjBlueprint {
+    /// Creates the blueprint for `left ⋈ right` with `k` partitions.
+    pub fn new(left: &str, right: &str, output: &str, k: usize, sizes: (f64, f64)) -> Self {
+        Self {
+            left: left.into(),
+            right: right.into(),
+            output: output.into(),
+            k,
+            sizes,
+            left_parts: Vec::new(),
+            right_parts: Vec::new(),
+        }
+    }
+}
+
+impl Operator for SgjBlueprint {
+    fn evaluate(&mut self, ctx: &mut OpCtx) {
+        // Inputs and output are materialized by definition (Fig. 4's
+        // filled ovals); partitions default to deferred.
+        ctx.declare(&self.left, CStatus::Materialized, self.sizes.0);
+        ctx.declare(&self.right, CStatus::Materialized, self.sizes.1);
+        ctx.declare(&self.output, CStatus::Materialized, 0.0);
+
+        for side in 0..2 {
+            let (input, size, parts) = if side == 0 {
+                (&self.left, self.sizes.0, &mut self.left_parts)
+            } else {
+                (&self.right, self.sizes.1, &mut self.right_parts)
+            };
+            for _ in 0..self.k {
+                let name = ctx.create_name("part");
+                ctx.declare(&name, CStatus::Deferred, size / self.k as f64);
+                parts.push(name);
+            }
+            let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+            ctx.partition(input, self.k, &refs);
+        }
+
+        // Partition pairs merge (partial joins) straight into the output;
+        // their results are appended, so rule (c) keeps them deferred.
+        for i in 0..self.k {
+            let partial = ctx.create_name("partial");
+            ctx.declare(&partial, CStatus::Deferred, 0.0);
+            ctx.mark_append_only(&partial);
+            ctx.merge(&self.left_parts[i], &self.right_parts[i], &partial);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "SGJ"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Decision, Rule};
+
+    fn blueprint(lambda: f64) -> (OpCtx, SgjBlueprint) {
+        let mut ctx = OpCtx::new(lambda);
+        let mut op = SgjBlueprint::new("T", "V", "S", 3, (300.0, 3000.0));
+        op.evaluate(&mut ctx);
+        (ctx, op)
+    }
+
+    #[test]
+    fn records_fig4_shape() {
+        let (ctx, op) = blueprint(15.0);
+        assert_eq!(op.left_parts.len(), 3);
+        assert_eq!(op.right_parts.len(), 3);
+        for p in op.left_parts.iter().chain(op.right_parts.iter()) {
+            assert_eq!(ctx.status(p), CStatus::Deferred);
+            assert_eq!(ctx.reconstruction_plan(p).len(), 1);
+        }
+    }
+
+    #[test]
+    fn partial_results_stay_deferred_by_rule_c() {
+        let (mut ctx, _) = blueprint(1.5);
+        // Even at λ=1.5 (cheap writes), appended partials stay deferred.
+        let partial_names: Vec<String> = (0..3).map(|i| format!("partial#{}", 6 + i)).collect();
+        for p in &partial_names {
+            if ctx.graph().is_declared(p) {
+                let v = ctx.assess(p).expect("deferred");
+                assert_eq!(v.decision, Decision::Defer);
+                assert_eq!(v.rule, Rule::ProcessToAppend);
+            }
+        }
+    }
+
+    #[test]
+    fn high_lambda_defers_partitions_low_lambda_materializes() {
+        let (mut ctx, op) = blueprint(15.0);
+        let v = ctx.assess(&op.left_parts[0]).expect("deferred");
+        assert_eq!(v.decision, Decision::Defer);
+
+        let (mut ctx, op) = blueprint(2.0);
+        let v = ctx.assess(&op.left_parts[0]).expect("deferred");
+        assert_eq!(v.decision, Decision::Materialize);
+        // And eager-partition cascades to the rest.
+        let v = ctx.assess(&op.left_parts[1]).expect("deferred");
+        assert_eq!(v.rule, Rule::EagerPartition);
+    }
+}

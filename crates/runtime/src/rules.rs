@@ -1,0 +1,183 @@
+//! The four §3.1 optimization rules that trigger (or veto)
+//! materialization of deferred collections.
+//!
+//! * **multi-process** — a collection processed more times than the
+//!   write-to-read ratio is worth materializing (segmented/hybrid
+//!   algorithms).
+//! * **eager-partition** — once one output of a `partition()` is
+//!   materialized, all remaining outputs are materialized too, to
+//!   amortize the partitioning scan (segmented/hybrid joins).
+//! * **process-to-append** — results immediately appended to another
+//!   collection are always deferred.
+//! * **read-over-write** — materialize a deferred collection when its
+//!   materialization cost `Cm` does not exceed the accumulated read cost
+//!   `Cr` of its input plus the construction read cost `Cc`
+//!   (lazy algorithms).
+
+use crate::graph::{CStatus, Graph};
+
+/// The materialization decision for a deferred collection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Produce and keep the collection on persistent memory.
+    Materialize,
+    /// Keep the collection deferred; reconstruct on access.
+    Defer,
+}
+
+/// Which rule produced the decision (for explain-style introspection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Processed more times than λ.
+    MultiProcess,
+    /// Sibling of an already-materialized partition output.
+    EagerPartition,
+    /// Immediately appended to another collection.
+    ProcessToAppend,
+    /// `Cm ≤ Cr + Cc` comparison.
+    ReadOverWrite,
+    /// No rule fired; the default is to defer.
+    DefaultDefer,
+}
+
+/// A decision together with the rule that made it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// Materialize or defer.
+    pub decision: Decision,
+    /// The rule that fired.
+    pub rule: Rule,
+}
+
+/// Assesses a deferred collection against the §3.1 rules, in the order
+/// the paper presents them. `lambda` is the medium's write/read ratio.
+pub fn assess(graph: &Graph, name: &str, lambda: f64) -> Verdict {
+    let node = graph.collection(name);
+    debug_assert_eq!(node.status, CStatus::Deferred, "assess only deferred collections");
+
+    // (c) process-to-append: always deferred, vetoes everything else.
+    if node.append_only {
+        return Verdict {
+            decision: Decision::Defer,
+            rule: Rule::ProcessToAppend,
+        };
+    }
+
+    // (a) multi-process: repeated full processing beats the write cost
+    // once the process count exceeds λ.
+    if f64::from(node.times_processed) > lambda {
+        return Verdict {
+            decision: Decision::Materialize,
+            rule: Rule::MultiProcess,
+        };
+    }
+
+    // (b) eager-partition: a sibling partition is already materialized.
+    let siblings = graph.siblings(name);
+    if !siblings.is_empty()
+        && siblings
+            .iter()
+            .any(|s| graph.collection(s).status == CStatus::Materialized)
+    {
+        return Verdict {
+            decision: Decision::Materialize,
+            rule: Rule::EagerPartition,
+        };
+    }
+
+    // (d) read-over-write: Cm ≤ Cr + Cc → materialize.
+    let cm = lambda * node.size_buffers;
+    let cc = graph.reconstruction_read_cost(name);
+    let cr: f64 = graph
+        .reconstruction_plan(name)
+        .iter()
+        .flat_map(|&id| graph.call(id).inputs.iter())
+        .map(|input| graph.collection(input).accumulated_reads)
+        .sum();
+    if cm <= cr + cc {
+        return Verdict {
+            decision: Decision::Materialize,
+            rule: Rule::ReadOverWrite,
+        };
+    }
+
+    Verdict {
+        decision: Decision::Defer,
+        rule: Rule::DefaultDefer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ApiCall, CStatus, Graph};
+
+    /// The §3.1 worked example: T of 300 buffers partitioned 3-ways with
+    /// λ = 15; deferring T0 saves |T|/3 writes at the cost of |T| reads.
+    fn example(lambda_reads_so_far: f64) -> Graph {
+        let mut g = Graph::new();
+        g.declare("T", CStatus::Materialized, 300.0);
+        for i in 0..3 {
+            g.declare(format!("T{i}"), CStatus::Deferred, 100.0);
+        }
+        g.record_call(ApiCall::Partition { k: 3 }, &["T"], &["T0", "T1", "T2"]);
+        g.collection_mut("T").accumulated_reads = lambda_reads_so_far;
+        g
+    }
+
+    #[test]
+    fn paper_example_defers_t0_at_high_lambda() {
+        // |T| < λ·|T|/3 ⇔ 3 < λ: with λ = 15 defer T0.
+        let g = example(0.0);
+        let v = assess(&g, "T0", 15.0);
+        assert_eq!(v.decision, Decision::Defer);
+    }
+
+    #[test]
+    fn paper_example_materializes_at_low_lambda() {
+        // λ = 2: Cm = 200 ≤ Cc = 300 → materialize.
+        let g = example(0.0);
+        let v = assess(&g, "T0", 2.0);
+        assert_eq!(v.decision, Decision::Materialize);
+        assert_eq!(v.rule, Rule::ReadOverWrite);
+    }
+
+    #[test]
+    fn accumulated_reads_flip_the_decision() {
+        // Moving on to T1 after re-scanning T once: compare 2|T| to
+        // λ|T|/3 — with λ = 15, 600 < 500 is false → still defer; after
+        // four scans 1200 ≥ 500 → materialize.
+        let g = example(300.0); // one extra scan accumulated
+        assert_eq!(assess(&g, "T1", 15.0).decision, Decision::Defer);
+        let g = example(1200.0);
+        assert_eq!(assess(&g, "T1", 15.0).decision, Decision::Materialize);
+    }
+
+    #[test]
+    fn eager_partition_follows_a_materialized_sibling() {
+        let mut g = example(0.0);
+        g.collection_mut("T1").status = CStatus::Materialized;
+        let v = assess(&g, "T2", 15.0);
+        assert_eq!(v.decision, Decision::Materialize);
+        assert_eq!(v.rule, Rule::EagerPartition);
+    }
+
+    #[test]
+    fn process_to_append_vetoes_materialization() {
+        let mut g = example(0.0);
+        g.collection_mut("T0").append_only = true;
+        g.collection_mut("T0").times_processed = 100; // would trigger (a)
+        let v = assess(&g, "T0", 2.0); // would trigger (d) too
+        assert_eq!(v.decision, Decision::Defer);
+        assert_eq!(v.rule, Rule::ProcessToAppend);
+    }
+
+    #[test]
+    fn multi_process_triggers_past_lambda() {
+        let mut g = example(0.0);
+        g.collection_mut("T0").times_processed = 16;
+        let v = assess(&g, "T0", 15.0);
+        assert_eq!(v.decision, Decision::Materialize);
+        assert_eq!(v.rule, Rule::MultiProcess);
+    }
+}

@@ -1,0 +1,90 @@
+//! Value distributions for skewed workloads.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `[0, n)` using a precomputed CDF and binary
+/// search. θ = 0 degenerates to uniform; θ around 1 is the classic
+/// heavy-skew setting used in database microbenchmarks.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` distinct values with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(theta >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the domain is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one value in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform bucket off: {c}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_small_values() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let head = (0..10_000).filter(|_| z.sample(&mut rng) < 5).count();
+        assert!(head > 5_000, "head mass too small: {head}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(7, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..1_000).all(|_| z.sample(&mut rng) < 7));
+    }
+}

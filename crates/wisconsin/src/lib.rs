@@ -1,0 +1,18 @@
+//! # wisconsin — Wisconsin-benchmark-style workload generator
+//!
+//! Inputs for the paper's microbenchmark (§4): 80-byte records of ten
+//! 8-byte integer attributes whose key attribute follows a key-value
+//! permutation, plus sort-order variants and equi-join workloads with
+//! configurable fanout and skew.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod permute;
+pub mod record;
+pub mod workload;
+
+pub use distributions::Zipf;
+pub use permute::Permutation;
+pub use record::{Pair, Record, WisconsinRecord, WISCONSIN_ATTRS};
+pub use workload::{join_input, join_input_skewed, sort_input, JoinWorkload, KeyOrder};

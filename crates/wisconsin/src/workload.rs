@@ -1,0 +1,185 @@
+//! Sort and join workload builders.
+//!
+//! These reproduce the paper's microbenchmark inputs (§4): a ten-million
+//! record relation with permuted unique keys for sorting; and a
+//! one-million × ten-million equi-join where "each left input record
+//! joined with ten right input records". Sizes are parameters here.
+
+use crate::distributions::Zipf;
+use crate::permute::Permutation;
+use crate::record::WisconsinRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Physical ordering of generated sort inputs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum KeyOrder {
+    /// Pseudo-random permutation of the unique keys (the benchmark
+    /// default).
+    Random,
+    /// Keys already in ascending order (best case for run generation).
+    Sorted,
+    /// Keys in descending order (worst case for replacement selection).
+    Reverse,
+    /// Ascending order with a fraction of adjacent-window swaps.
+    NearlySorted {
+        /// Fraction of records displaced, in `[0, 1]`.
+        disorder: f64,
+    },
+    /// Keys drawn (with repetition) from a domain of `distinct` values.
+    FewDistinct {
+        /// Number of distinct key values.
+        distinct: u64,
+    },
+}
+
+/// Generates a sort input of `n` Wisconsin records in the given order.
+pub fn sort_input(n: u64, order: KeyOrder, seed: u64) -> Vec<WisconsinRecord> {
+    match order {
+        KeyOrder::Random => {
+            let p = Permutation::new(n, seed);
+            p.iter().map(WisconsinRecord::from_key).collect()
+        }
+        KeyOrder::Sorted => (0..n).map(WisconsinRecord::from_key).collect(),
+        KeyOrder::Reverse => (0..n).rev().map(WisconsinRecord::from_key).collect(),
+        KeyOrder::NearlySorted { disorder } => {
+            assert!((0.0..=1.0).contains(&disorder), "disorder must be in [0,1]");
+            let mut v: Vec<WisconsinRecord> = (0..n).map(WisconsinRecord::from_key).collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let swaps = ((n as f64) * disorder / 2.0) as u64;
+            for _ in 0..swaps {
+                let i = rng.gen_range(0..n as usize);
+                let j = rng.gen_range(0..n as usize);
+                v.swap(i, j);
+            }
+            v
+        }
+        KeyOrder::FewDistinct { distinct } => {
+            assert!(distinct > 0, "need at least one distinct key");
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n)
+                .map(|i| {
+                    WisconsinRecord::from_key(rng.gen_range(0..distinct)).with_payload(i)
+                })
+                .collect()
+        }
+    }
+}
+
+/// A generated equi-join workload: a smaller left input `t` and a larger
+/// right input `v`, where every left key matches `fanout` right records.
+#[derive(Clone, Debug)]
+pub struct JoinWorkload {
+    /// Left (smaller) input, |T| records with unique keys `0..t_len`.
+    pub left: Vec<WisconsinRecord>,
+    /// Right (larger) input, `t_len · fanout` records (uniform fanout) or
+    /// skew-distributed when built with [`join_input_skewed`].
+    pub right: Vec<WisconsinRecord>,
+    /// Number of output pairs the join must produce.
+    pub expected_matches: u64,
+}
+
+/// Builds the paper's join microbenchmark: left has `t_len` unique keys,
+/// right has `t_len · fanout` records, `fanout` per key, both sides in
+/// permuted order.
+pub fn join_input(t_len: u64, fanout: u64, seed: u64) -> JoinWorkload {
+    assert!(t_len > 0 && fanout > 0, "degenerate join workload");
+    let left_perm = Permutation::new(t_len, seed);
+    let left: Vec<WisconsinRecord> = left_perm.iter().map(WisconsinRecord::from_key).collect();
+
+    let v_len = t_len * fanout;
+    let right_perm = Permutation::new(v_len, seed ^ 0xdead_beef);
+    let right: Vec<WisconsinRecord> = right_perm
+        .iter()
+        .map(|i| WisconsinRecord::from_key(i % t_len).with_payload(i))
+        .collect();
+
+    JoinWorkload {
+        left,
+        right,
+        expected_matches: v_len,
+    }
+}
+
+/// Join workload with Zipf-skewed right-side key frequencies; some left
+/// keys match many right records, most match few or none.
+pub fn join_input_skewed(t_len: u64, v_len: u64, theta: f64, seed: u64) -> JoinWorkload {
+    assert!(t_len > 0 && v_len > 0, "degenerate join workload");
+    let left_perm = Permutation::new(t_len, seed);
+    let left: Vec<WisconsinRecord> = left_perm.iter().map(WisconsinRecord::from_key).collect();
+
+    let zipf = Zipf::new(t_len as usize, theta);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let right: Vec<WisconsinRecord> = (0..v_len)
+        .map(|i| WisconsinRecord::from_key(zipf.sample(&mut rng) as u64).with_payload(i))
+        .collect();
+
+    JoinWorkload {
+        expected_matches: right.len() as u64, // every right key is in [0, t_len)
+        left,
+        right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+
+    #[test]
+    fn random_sort_input_has_all_keys_once() {
+        let v = sort_input(1000, KeyOrder::Random, 11);
+        let mut keys: Vec<u64> = v.iter().map(|r| r.key()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sorted_and_reverse_orders() {
+        let s = sort_input(100, KeyOrder::Sorted, 0);
+        assert!(s.windows(2).all(|w| w[0].key() <= w[1].key()));
+        let r = sort_input(100, KeyOrder::Reverse, 0);
+        assert!(r.windows(2).all(|w| w[0].key() >= w[1].key()));
+    }
+
+    #[test]
+    fn nearly_sorted_is_mostly_ordered() {
+        let v = sort_input(10_000, KeyOrder::NearlySorted { disorder: 0.01 }, 5);
+        let inversions = v.windows(2).filter(|w| w[0].key() > w[1].key()).count();
+        assert!(inversions > 0 && inversions < 1000, "inversions: {inversions}");
+    }
+
+    #[test]
+    fn few_distinct_restricts_domain() {
+        let v = sort_input(1000, KeyOrder::FewDistinct { distinct: 5 }, 7);
+        assert!(v.iter().all(|r| r.key() < 5));
+    }
+
+    #[test]
+    fn join_input_has_exact_fanout() {
+        let w = join_input(100, 10, 3);
+        assert_eq!(w.left.len(), 100);
+        assert_eq!(w.right.len(), 1000);
+        assert_eq!(w.expected_matches, 1000);
+        let mut counts = vec![0u64; 100];
+        for r in &w.right {
+            counts[r.key() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn join_payloads_distinguish_fanout_copies() {
+        let w = join_input(10, 4, 1);
+        let mut payloads: Vec<u64> = w.right.iter().map(|r| r.payload()).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_join_keys_stay_in_left_domain() {
+        let w = join_input_skewed(50, 500, 1.0, 2);
+        assert!(w.right.iter().all(|r| r.key() < 50));
+        assert_eq!(w.expected_matches, 500);
+    }
+}

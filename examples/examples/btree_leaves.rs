@@ -1,0 +1,55 @@
+//! Write-limited index leaves (the paper's §6 "data structures"
+//! extension): the same B⁺-tree under sorted versus append-order leaf
+//! layouts.
+//!
+//! ```text
+//! cargo run -p wl-examples --example btree_leaves
+//! ```
+
+use pmem_sim::PmDevice;
+use wisconsin::Permutation;
+use wl_index::{BPlusTree, LeafPolicy};
+
+fn main() {
+    let n = 100_000u64;
+    println!("B+-tree: {n} random-order inserts, 1024-byte pages\n");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>10} {:>8}",
+        "leaves", "insert (s)", "insert writes", "lookup (s)", "pages", "height"
+    );
+
+    for policy in [LeafPolicy::Sorted, LeafPolicy::Append] {
+        let dev = PmDevice::paper_default();
+        let mut tree = BPlusTree::new(&dev, 1024, policy);
+        let perm = Permutation::new(n, 11);
+
+        let before = dev.snapshot();
+        for i in 0..n {
+            tree.insert(perm.apply(i), i);
+        }
+        let ins = dev.snapshot().since(&before);
+
+        let before = dev.snapshot();
+        for key in (0..n).step_by(13) {
+            assert!(tree.get(key).is_some());
+        }
+        let get = dev.snapshot().since(&before);
+
+        println!(
+            "{:<10} {:>12.4} {:>14} {:>12.4} {:>10} {:>8}",
+            format!("{policy:?}"),
+            ins.time_secs(&dev.config().latency),
+            ins.cl_writes,
+            get.time_secs(&dev.config().latency),
+            tree.pages(),
+            tree.height()
+        );
+    }
+
+    println!(
+        "\nAppend-order leaves dirty one or two cachelines per insertion \
+         instead of shifting\nthe sorted suffix — the write-limited layout \
+         Chen et al. propose for PCM B+-trees\n(the paper's reference [2]); \
+         lookups pay a DRAM-side scan, which costs no I/O."
+    );
+}

@@ -1,0 +1,69 @@
+//! Cost-model-driven join planning: the Fig. 2 heatmap intuition and the
+//! §4.2.3 informed choice, then a run of the chosen plan.
+//!
+//! ```text
+//! cargo run -p wl-examples --example join_planner
+//! ```
+
+use pmem_sim::{BufferPool, LatencyProfile, LayerKind, PCollection, PmDevice};
+use wisconsin::join_input;
+use write_limited::cost::{choose_join, estimate_join, join_costs};
+use write_limited::join::{JoinAlgorithm, JoinContext};
+
+fn main() {
+    let t_records = 10_000u64;
+    let fanout = 10u64;
+    let mem_fraction = 0.05;
+
+    let t = (t_records * 80).div_ceil(64) as f64;
+    let v = t * fanout as f64;
+    let m = t * mem_fraction;
+    let lambda = LatencyProfile::PCM.lambda();
+
+    // Estimated costs for the candidate plans.
+    println!("estimated costs (read units), |T|={t:.0}, |V|={v:.0}, M={m:.0}, λ={lambda}:");
+    for algo in [
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::GJ,
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::HybJ { x: 0.5, y: 0.5 },
+        JoinAlgorithm::SegJ { frac: 0.5 },
+        JoinAlgorithm::LaJ,
+    ] {
+        println!(
+            "  {:<18} {:>14.0}",
+            algo.label(),
+            estimate_join(&algo, t, v, m, lambda)
+        );
+    }
+
+    // Where Eq. 6's surface bottoms out.
+    let (bx, by) = join_costs::optimal_hybrid_xy(t, v, m, lambda, 20);
+    println!("\nEq. 6 grid minimum: x = {bx:.2}, y = {by:.2}");
+    let (sx, sy) = join_costs::hybrid_saddle(t, v, m, lambda);
+    println!("Eqs. 7–8 saddle point: x_h = {sx:.3}, y_h = {sy:.3} (a saddle, not a minimum)");
+
+    // The informed choice, executed.
+    let chosen = choose_join(t, v, m, lambda);
+    println!("\nplanner chose: {}", chosen.label());
+
+    let dev = PmDevice::paper_default();
+    let w = join_input(t_records, fanout, 3);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let pool = BufferPool::fraction_of(left.bytes(), mem_fraction);
+    let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+    let before = dev.snapshot();
+    let out = chosen
+        .run(&left, &right, &ctx, "joined")
+        .expect("planner only proposes applicable plans");
+    let stats = dev.snapshot().since(&before);
+    assert_eq!(out.len() as u64, w.expected_matches);
+    println!(
+        "measured: {} matches in {:.3}s simulated ({} writes, {} reads)",
+        out.len(),
+        stats.time_secs(&dev.config().latency),
+        stats.cl_writes,
+        stats.cl_reads,
+    );
+}

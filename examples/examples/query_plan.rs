@@ -1,0 +1,87 @@
+//! A composed Volcano-style query plan over the write-limited operators:
+//!
+//! ```sql
+//! SELECT l.key, COUNT(*), SUM(r.payload)
+//! FROM   T l JOIN V r ON l.key = r.key
+//! WHERE  l.key < 5000        -- pushed into the scan
+//! GROUP  BY l.key
+//! ```
+//!
+//! ```text
+//! cargo run -p wl-examples --example query_plan
+//! ```
+
+use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice, Storable};
+use wisconsin::{join_input, Pair, Record, WisconsinRecord};
+use write_limited::agg::GroupAgg;
+use write_limited::exec::{collect, AggOp, FilterOp, JoinOp, ScanOp, SortOp};
+use write_limited::join::JoinAlgorithm;
+use write_limited::sort::SortAlgorithm;
+
+fn main() {
+    let dev = PmDevice::paper_default();
+    let w = join_input(10_000, 10, 5);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let pool = BufferPool::new(
+        2000 * Pair::<WisconsinRecord, WisconsinRecord>::SIZE, // M for the whole plan
+    );
+
+    // Plan: join → filter (on the join key) → aggregate (write-limited,
+    // x = 0: the aggregation sorts its input by rescan streams and
+    // writes only group rows).
+    let join = JoinOp::new(
+        &left,
+        &right,
+        JoinAlgorithm::SegJ { frac: 0.5 },
+        &dev,
+        LayerKind::BlockedMemory,
+        &pool,
+    );
+    let filtered = FilterOp::new(join, |p: &Pair<WisconsinRecord, WisconsinRecord>| {
+        p.left.key() < 5_000
+    });
+    let mut plan = AggOp::new(
+        filtered,
+        |p| p.right.payload(),
+        0.0,
+        &dev,
+        LayerKind::BlockedMemory,
+        &pool,
+    );
+
+    let before = dev.snapshot();
+    let groups = collect(&mut plan).expect("plan is applicable");
+    let stats = dev.snapshot().since(&before);
+
+    assert_eq!(groups.len(), 5_000);
+    assert!(groups.iter().all(|g| g.count == 10));
+    println!(
+        "plan produced {} groups in {:.3}s simulated ({} cacheline writes, {} reads)",
+        groups.len(),
+        stats.time_secs(&dev.config().latency),
+        stats.cl_writes,
+        stats.cl_reads,
+    );
+
+    // And the group rows are themselves records: sort them by, say,
+    // their key descending? They already come out key-ascending from
+    // the sort-based aggregate — demonstrate by re-sorting through the
+    // operator API and verifying it is a no-op order-wise.
+    let staged = PCollection::<GroupAgg>::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "groups",
+        groups.iter().copied(),
+    );
+    let mut sort = SortOp::new(
+        ScanOp::new(&staged),
+        SortAlgorithm::ExMS,
+        &dev,
+        LayerKind::BlockedMemory,
+        &pool,
+    );
+    let sorted = collect(&mut sort).expect("valid");
+    assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+    println!("group rows compose with further operators (re-sorted {} rows)", sorted.len());
+}

@@ -1,0 +1,58 @@
+//! Quickstart: sort and join on a simulated persistent-memory device,
+//! reporting response time and cacheline traffic.
+//!
+//! ```text
+//! cargo run -p wl-examples --example quickstart
+//! ```
+
+use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice};
+use wisconsin::{join_input, sort_input, KeyOrder};
+use write_limited::join::{lazy_hash_join, JoinContext};
+use write_limited::sort::{segment_sort, SortContext};
+
+fn main() {
+    // A device with the paper's PCM profile: 10 ns reads, 150 ns writes.
+    let dev = PmDevice::paper_default();
+    println!("medium: λ = {} (write/read cost ratio)", dev.lambda());
+
+    // ---- Sort ----
+    let input = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "T",
+        sort_input(50_000, KeyOrder::Random, 42),
+    );
+    // M = 5% of the input.
+    let pool = BufferPool::fraction_of(input.bytes(), 0.05);
+    let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+
+    let before = dev.snapshot();
+    let sorted = segment_sort(&input, 0.5, &ctx, "sorted").expect("x in [0,1]");
+    let stats = dev.snapshot().since(&before);
+    assert_eq!(sorted.len(), 50_000);
+    println!(
+        "segment sort (x = 50%): {:.3}s simulated, {} cacheline writes, {} reads",
+        stats.time_secs(&dev.config().latency),
+        stats.cl_writes,
+        stats.cl_reads,
+    );
+
+    // ---- Join ----
+    let w = join_input(10_000, 10, 7);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "L", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "R", w.right);
+    let pool = BufferPool::fraction_of(left.bytes(), 0.05);
+    let jctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+
+    let before = dev.snapshot();
+    let joined = lazy_hash_join(&left, &right, &jctx, "joined");
+    let stats = dev.snapshot().since(&before);
+    assert_eq!(joined.len() as u64, w.expected_matches);
+    println!(
+        "lazy hash join: {} matches, {:.3}s simulated, {} writes, {} reads",
+        joined.len(),
+        stats.time_secs(&dev.config().latency),
+        stats.cl_writes,
+        stats.cl_reads,
+    );
+}

@@ -1,0 +1,2 @@
+//! Runnable examples for the write-limited library; see the `examples/`
+//! directory (`cargo run -p wl-examples --example quickstart`).

@@ -1,0 +1,2 @@
+//! Cross-crate integration and property tests live in `tests/`; this
+//! library target is intentionally empty.

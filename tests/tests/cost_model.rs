@@ -1,0 +1,128 @@
+//! Integration: the cost models rank algorithms like the simulator
+//! measures them (the Fig. 12 claim, at test scale).
+
+use pmem_sim::{BufferPool, LatencyProfile, LayerKind, PCollection, PmDevice};
+use wisconsin::{join_input, sort_input, KeyOrder};
+use write_limited::cost::{estimate_join, estimate_sort};
+use write_limited::join::{JoinAlgorithm, JoinContext};
+use write_limited::sort::{SortAlgorithm, SortContext};
+use write_limited::stats::kendall_tau;
+
+#[test]
+fn sort_cost_model_concordance_is_high() {
+    let n = 20_000u64;
+    let algos = [
+        SortAlgorithm::ExMS,
+        SortAlgorithm::SegS { x: 0.2 },
+        SortAlgorithm::SegS { x: 0.5 },
+        SortAlgorithm::SegS { x: 0.8 },
+        SortAlgorithm::HybS { x: 0.5 },
+        SortAlgorithm::SelS,
+    ];
+    let t = (n * 80).div_ceil(64) as f64;
+    let lambda = LatencyProfile::PCM.lambda();
+
+    for frac in [0.02, 0.05, 0.10] {
+        let mut est = Vec::new();
+        let mut meas = Vec::new();
+        for algo in &algos {
+            let dev = PmDevice::paper_default();
+            let input = PCollection::from_records_uncounted(
+                &dev,
+                LayerKind::BlockedMemory,
+                "T",
+                sort_input(n, KeyOrder::Random, 1),
+            );
+            let pool = BufferPool::fraction_of(input.bytes(), frac);
+            let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+            let before = dev.snapshot();
+            algo.run(&input, &ctx, "s").expect("valid");
+            let stats = dev.snapshot().since(&before);
+            est.push(estimate_sort(algo, t, t * frac, lambda));
+            meas.push(stats.time_secs(&LatencyProfile::PCM));
+        }
+        let tau = kendall_tau(&est, &meas).expect("defined");
+        assert!(tau >= 0.5, "sort concordance at M={frac}: τ = {tau}");
+    }
+}
+
+#[test]
+fn join_cost_model_concordance_is_high() {
+    let t_records = 4000u64;
+    let fanout = 8u64;
+    let algos = [
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::GJ,
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::HybJ { x: 0.5, y: 0.5 },
+        JoinAlgorithm::SegJ { frac: 0.2 },
+        JoinAlgorithm::SegJ { frac: 0.8 },
+    ];
+    let t = (t_records * 80).div_ceil(64) as f64;
+    let v = t * fanout as f64;
+    let lambda = LatencyProfile::PCM.lambda();
+
+    for frac in [0.05, 0.10] {
+        let mut est = Vec::new();
+        let mut meas = Vec::new();
+        for algo in &algos {
+            let dev = PmDevice::paper_default();
+            let w = join_input(t_records, fanout, 1);
+            let left =
+                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+            let right =
+                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+            let pool = BufferPool::fraction_of(left.bytes(), frac);
+            let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+            let before = dev.snapshot();
+            if algo.run(&left, &right, &ctx, "o").is_err() {
+                continue;
+            }
+            let stats = dev.snapshot().since(&before);
+            est.push(estimate_join(algo, t, v, t * frac, lambda));
+            meas.push(stats.time_secs(&LatencyProfile::PCM));
+        }
+        let tau = kendall_tau(&est, &meas).expect("defined");
+        assert!(tau >= 0.5, "join concordance at M={frac}: τ = {tau}");
+    }
+}
+
+#[test]
+fn eq4_optimal_x_is_not_beaten_badly_by_the_sweep() {
+    // The closed-form x* should be within 25% of the best measured x on
+    // a sweep (the form drops floors/ceilings, so exactness is not
+    // expected).
+    let n = 20_000u64;
+    let frac = 0.10;
+    let t = (n * 80).div_ceil(64) as f64;
+    let lambda = LatencyProfile::PCM.lambda();
+    let Some(x_star) = write_limited::cost::sort_costs::optimal_segment_x(t, t * frac, lambda)
+    else {
+        return; // inapplicable at this λ — nothing to check
+    };
+
+    let measure = |x: f64| {
+        let dev = PmDevice::paper_default();
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            sort_input(n, KeyOrder::Random, 2),
+        );
+        let pool = BufferPool::fraction_of(input.bytes(), frac);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let before = dev.snapshot();
+        write_limited::sort::segment_sort(&input, x, &ctx, "s").expect("valid");
+        dev.snapshot().since(&before).time_secs(&LatencyProfile::PCM)
+    };
+
+    let at_star = measure(x_star);
+    let best_swept = [0.1, 0.3, 0.5, 0.7, 0.9]
+        .into_iter()
+        .map(measure)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        at_star <= best_swept * 1.25,
+        "x* = {x_star:.2} gives {at_star:.4}s vs best swept {best_swept:.4}s"
+    );
+}

@@ -1,0 +1,147 @@
+//! Integration + property tests for the §6 extensions: aggregation,
+//! the B⁺-tree index, and plan-level deferral.
+
+use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wisconsin::{Record as _, WisconsinRecord};
+use wl_index::{BPlusTree, LeafPolicy};
+use write_limited::agg::{hash_aggregate, segmented_hash_aggregate, sort_based_aggregate, GroupAgg};
+use write_limited::join::JoinContext;
+use write_limited::pipeline::{filtered_iterate_join, DeferredFilter};
+use write_limited::sort::SortContext;
+use wl_runtime::OpCtx;
+
+fn reference_agg(keys: &[(u64, u64)]) -> BTreeMap<u64, GroupAgg> {
+    let mut map = BTreeMap::new();
+    for &(k, v) in keys {
+        map.entry(k)
+            .and_modify(|g: &mut GroupAgg| g.fold(v))
+            .or_insert_with(|| GroupAgg::seed(k, v));
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every aggregation strategy computes identical group state.
+    #[test]
+    fn aggregation_strategies_agree(
+        pairs in prop::collection::vec((0u64..60, 0u64..1000), 1..300),
+        x in 0.0f64..=1.0,
+        materialized in 0usize..4,
+    ) {
+        let expect = reference_agg(&pairs);
+        let dev = PmDevice::paper_default();
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            pairs.iter().map(|&(k, v)| WisconsinRecord::from_key(k).with_payload(v)),
+        );
+        let pool = BufferPool::new(64 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+
+        let sort_out = sort_based_aggregate(&input, x, |r| r.payload(), &ctx, "s")
+            .expect("valid x");
+        let got: BTreeMap<u64, GroupAgg> =
+            sort_out.to_vec_uncounted().into_iter().map(|g| (g.key, g)).collect();
+        prop_assert_eq!(&got, &expect);
+
+        let seg_out = segmented_hash_aggregate(&input, 4, materialized, |r| r.payload(), &ctx, "g")
+            .expect("valid");
+        let got: BTreeMap<u64, GroupAgg> =
+            seg_out.to_vec_uncounted().into_iter().map(|g| (g.key, g)).collect();
+        prop_assert_eq!(&got, &expect);
+
+        if let Ok(hash_out) = hash_aggregate(&input, |r| r.payload(), &ctx, "h") {
+            let got: BTreeMap<u64, GroupAgg> =
+                hash_out.to_vec_uncounted().into_iter().map(|g| (g.key, g)).collect();
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    /// Both leaf policies behave exactly like a BTreeMap under random
+    /// insert/overwrite workloads, including range scans.
+    #[test]
+    fn btree_matches_model(
+        ops in prop::collection::vec((0u64..500, any::<u64>()), 1..400),
+        policy_pick in 0usize..2,
+        lo in 0u64..250,
+        span in 0u64..250,
+    ) {
+        let policy = [LeafPolicy::Sorted, LeafPolicy::Append][policy_pick];
+        let dev = PmDevice::paper_default();
+        let mut tree = BPlusTree::new(&dev, 256, policy);
+        let mut model = BTreeMap::new();
+        for &(k, v) in &ops {
+            prop_assert_eq!(tree.insert(k, v), model.insert(k, v), "insert {}", k);
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        for k in 0..500 {
+            prop_assert_eq!(tree.get(k), model.get(&k).copied(), "get {}", k);
+        }
+        let hi = lo + span;
+        let got = tree.range(lo, hi);
+        let expect: Vec<(u64, u64)> = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn append_leaves_save_writes_across_page_sizes() {
+    for page_size in [256usize, 512, 1024, 4096] {
+        let run = |policy| {
+            let dev = PmDevice::paper_default();
+            let mut t = BPlusTree::new(&dev, page_size, policy);
+            let perm = wisconsin::Permutation::new(3000, 5);
+            let before = dev.snapshot();
+            for i in 0..3000 {
+                t.insert(perm.apply(i), i);
+            }
+            dev.snapshot().since(&before).cl_writes
+        };
+        let sorted = run(LeafPolicy::Sorted);
+        let append = run(LeafPolicy::Append);
+        assert!(
+            append < sorted,
+            "page {page_size}: append {append} !< sorted {sorted}"
+        );
+    }
+}
+
+#[test]
+fn pipeline_filter_join_respects_selectivity() {
+    let dev = PmDevice::paper_default();
+    let w = wisconsin::join_input(500, 4, 8);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let pool = BufferPool::new(50 * 80);
+    let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+    let mut rt = OpCtx::new(dev.lambda());
+    let mut filter = DeferredFilter::new(&left, |r| r.key() < 100, 0.2, &mut rt);
+    let out =
+        filtered_iterate_join(&mut filter, &right, &ctx, &mut rt, "out").expect("applicable");
+    assert_eq!(out.len(), 400); // 100 surviving keys × fanout 4
+    assert!(out.to_vec_uncounted().iter().all(|p| p.left.key() < 100));
+}
+
+#[test]
+fn group_agg_is_a_valid_record_for_downstream_operators() {
+    // Aggregation output can itself be sorted — operators compose.
+    let dev = PmDevice::paper_default();
+    let input = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "T",
+        (0..1000u64).map(|i| WisconsinRecord::from_key(i % 37).with_payload(i)),
+    );
+    let pool = BufferPool::new(64 * 80);
+    let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+    let groups = hash_aggregate(&input, |r| r.payload(), &ctx, "g").expect("fits");
+    let agg_ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+    let sorted = write_limited::sort::external_merge_sort(&groups, &agg_ctx, "sorted-groups");
+    assert_eq!(sorted.len(), 37);
+    assert!(write_limited::sort::is_sorted_by_key(&sorted));
+}

@@ -1,0 +1,159 @@
+//! Property-based tests on the core invariants.
+
+use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice, ReadCursor, Storage};
+use proptest::prelude::*;
+use wisconsin::{Permutation, Record, WisconsinRecord};
+use write_limited::join::{expected_match_count, JoinAlgorithm, JoinContext};
+use write_limited::sort::{cycle_sort, SortAlgorithm, SortContext};
+use write_limited::stats::kendall_tau;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every sort algorithm returns exactly the input keys, sorted.
+    #[test]
+    fn sorts_are_permutation_preserving(
+        keys in prop::collection::vec(0u64..10_000, 1..400),
+        m_records in 1usize..64,
+        algo_pick in 0usize..5,
+    ) {
+        let algo = [
+            SortAlgorithm::ExMS,
+            SortAlgorithm::SegS { x: 0.5 },
+            SortAlgorithm::HybS { x: 0.5 },
+            SortAlgorithm::LaS,
+            SortAlgorithm::SelS,
+        ][algo_pick];
+        let dev = PmDevice::paper_default();
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            keys.iter().enumerate().map(|(i, &k)| {
+                WisconsinRecord::from_key(k).with_payload(i as u64)
+            }),
+        );
+        let pool = BufferPool::new(m_records * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let out = algo.run(&input, &ctx, "sorted").expect("valid params");
+
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        let got: Vec<u64> = out.to_vec_uncounted().iter().map(|r| r.key()).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Every join algorithm produces exactly the reference match count.
+    #[test]
+    fn joins_match_reference_count(
+        left_keys in prop::collection::vec(0u64..50, 1..150),
+        right_keys in prop::collection::vec(0u64..80, 1..300),
+        m_records in 8usize..64,
+        algo_pick in 0usize..6,
+    ) {
+        let algo = [
+            JoinAlgorithm::NLJ,
+            JoinAlgorithm::GJ,
+            JoinAlgorithm::HJ,
+            JoinAlgorithm::HybJ { x: 0.5, y: 0.5 },
+            JoinAlgorithm::SegJ { frac: 0.5 },
+            JoinAlgorithm::LaJ,
+        ][algo_pick];
+        let dev = PmDevice::paper_default();
+        let left = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            left_keys.iter().map(|&k| WisconsinRecord::from_key(k)),
+        );
+        let right = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "V",
+            right_keys.iter().map(|&k| WisconsinRecord::from_key(k)),
+        );
+        let pool = BufferPool::new(m_records * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let want = expected_match_count(&left, &right);
+        match algo.run(&left, &right, &ctx, "out") {
+            Ok(out) => prop_assert_eq!(out.len() as u64, want, "{}", algo.label()),
+            Err(_) => {
+                // Only the Grace-family may reject, and only when the
+                // applicability condition genuinely fails.
+                prop_assert!(!ctx.grace_applicable::<WisconsinRecord>(left.len()));
+            }
+        }
+    }
+
+    /// The workload permutation is a bijection for arbitrary n and seed.
+    #[test]
+    fn permutation_is_bijective(n in 1u64..3000, seed in any::<u64>()) {
+        let p = Permutation::new(n, seed);
+        let mut seen = vec![false; n as usize];
+        for i in 0..n {
+            let v = p.apply(i);
+            prop_assert!(v < n);
+            prop_assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    /// Cycle sort agrees with std sort and never writes more than n.
+    #[test]
+    fn cycle_sort_matches_std(mut v in prop::collection::vec(0u32..1000, 0..200)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let writes = cycle_sort(&mut v);
+        prop_assert_eq!(v, expect);
+        prop_assert!(writes <= 200);
+    }
+
+    /// Storage round-trips arbitrary chunked appends on every layer.
+    #[test]
+    fn storage_roundtrips_on_all_layers(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..300), 1..20),
+        layer_pick in 0usize..4,
+    ) {
+        let layer = LayerKind::ALL[layer_pick];
+        let dev = PmDevice::paper_default();
+        let mut storage = Storage::new(layer, dev.config());
+        let mut expect = Vec::new();
+        for chunk in &chunks {
+            storage.append(chunk, &dev);
+            expect.extend_from_slice(chunk);
+        }
+        let mut got = vec![0u8; expect.len()];
+        storage.read_at(0, &mut got, &mut ReadCursor::new(), &dev);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Sequential-scan read accounting is exact: one cacheline counted
+    /// per 64 bytes, regardless of record size (blocked memory).
+    #[test]
+    fn scan_accounting_is_exact(n in 1usize..2000) {
+        let dev = PmDevice::paper_default();
+        let mut col = PCollection::<u64>::new(&dev, LayerKind::BlockedMemory, "c");
+        {
+            let _pause = dev.metrics().pause();
+            for i in 0..n as u64 {
+                col.append(&i);
+            }
+        }
+        let before = dev.snapshot();
+        let count = col.reader().count();
+        let delta = dev.snapshot().since(&before);
+        prop_assert_eq!(count, n);
+        prop_assert_eq!(delta.cl_reads, col.buffers());
+        prop_assert_eq!(delta.cl_writes, 0);
+    }
+
+    /// Kendall's τ is 1 against itself and -1 against its reverse for
+    /// any strictly increasing sequence.
+    #[test]
+    fn kendall_tau_extremes(n in 2usize..50) {
+        let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let rev: Vec<f64> = a.iter().rev().copied().collect();
+        prop_assert!((kendall_tau(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        prop_assert!((kendall_tau(&a, &rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+}
