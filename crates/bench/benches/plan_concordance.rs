@@ -1,0 +1,4 @@
+//! Plan-level concordance sweep (Fig. 12, extended to whole plans).
+fn main() {
+    wl_bench::plan_concordance(&wl_bench::Scale::from_env());
+}

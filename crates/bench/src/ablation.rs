@@ -5,9 +5,7 @@
 use crate::measure::{run_join, run_sort, Measurement};
 use crate::scale::Scale;
 use crate::table::{fmt3, fmt_millions, print_table};
-use pmem_sim::{
-    BufferPool, DeviceConfig, LatencyProfile, LayerKind, PCollection, PmDevice,
-};
+use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PCollection, PmDevice};
 use wisconsin::{join_input, WisconsinRecord};
 use write_limited::adaptive::adaptive_grace_join;
 use write_limited::cost::{choose_join, choose_sort};
@@ -75,7 +73,12 @@ pub fn adaptive_vs_fixed(scale: &Scale) {
     }
     print_table(
         "Ablation A: runtime-driven adaptive join vs fixed knobs",
-        &["configuration".into(), "time (s)".into(), "writes (M)".into(), "reads (M)".into()],
+        &[
+            "configuration".into(),
+            "time (s)".into(),
+            "writes (M)".into(),
+            "reads (M)".into(),
+        ],
         &rows,
     );
 }
@@ -298,8 +301,8 @@ pub fn aggregation(scale: &Scale) {
         let k = 4usize;
         let mat = ((k as f64) * materialized_frac) as usize;
         let before = dev.snapshot();
-        let out = segmented_hash_aggregate(&input, k, mat, |r| r.payload(), &ctx, "agg")
-            .expect("valid");
+        let out =
+            segmented_hash_aggregate(&input, k, mat, |r| r.payload(), &ctx, "agg").expect("valid");
         let s = dev.snapshot().since(&before);
         rows.push(vec![
             format!("segmented hash, {mat}/{k} mat."),
@@ -390,7 +393,10 @@ pub fn input_order(scale: &Scale) {
         ("random", KeyOrder::Random),
         ("sorted", KeyOrder::Sorted),
         ("reverse", KeyOrder::Reverse),
-        ("nearly sorted (1%)", KeyOrder::NearlySorted { disorder: 0.01 }),
+        (
+            "nearly sorted (1%)",
+            KeyOrder::NearlySorted { disorder: 0.01 },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, order) in orders {
@@ -417,8 +423,16 @@ pub fn input_order(scale: &Scale) {
         }
     }
     print_table(
-        &format!("Ablation F: input-order sensitivity ({n} records, M = {:.1}%)", mem * 100.0),
-        &["algorithm / order".into(), "time (s)".into(), "writes (M)".into(), "reads (M)".into()],
+        &format!(
+            "Ablation F: input-order sensitivity ({n} records, M = {:.1}%)",
+            mem * 100.0
+        ),
+        &[
+            "algorithm / order".into(),
+            "time (s)".into(),
+            "writes (M)".into(),
+            "reads (M)".into(),
+        ],
         &rows,
     );
 }

@@ -8,6 +8,7 @@
 //! repro --ablation        # adaptive-join + auto-selection ablations
 //! repro --config          # print the simulator configuration (Table 2 stand-in)
 //! repro --breakdown       # per-collection write/read attribution for one SegS run
+//! repro --plan            # plan-level concordance sweep (planner over Fig. 12)
 //! WL_SCALE=quick repro --all
 //! ```
 
@@ -17,7 +18,10 @@ fn print_config() {
     let cfg = pmem_sim::DeviceConfig::paper_default();
     println!("=== Simulator configuration (stands in for the paper's Table 2) ===");
     println!("read latency      {} ns per cacheline", cfg.latency.read_ns);
-    println!("write latency     {} ns per cacheline", cfg.latency.write_ns);
+    println!(
+        "write latency     {} ns per cacheline",
+        cfg.latency.write_ns
+    );
     println!("lambda (w/r)      {}", cfg.latency.lambda());
     println!("cacheline         {} bytes", pmem_sim::CACHELINE);
     println!("collection block  {} bytes", cfg.block_size);
@@ -84,6 +88,7 @@ fn main() {
             ablation::aggregation(&scale);
             ablation::index_leaf_policies(&scale);
             ablation::input_order(&scale);
+            wl_bench::plan_concordance(&scale);
         }
         Some("--figure") => {
             let n: u32 = args
@@ -101,8 +106,11 @@ fn main() {
             ablation::index_leaf_policies(&scale);
             ablation::input_order(&scale);
         }
+        Some("--plan") => wl_bench::plan_concordance(&scale),
         Some("--config") => print_config(),
         Some("--breakdown") => breakdown_demo(&scale),
-        Some(other) => eprintln!("unknown flag {other}; see --all/--figure/--table/--ablation/--config"),
+        Some(other) => {
+            eprintln!("unknown flag {other}; see --all/--figure/--table/--ablation/--plan/--config")
+        }
     }
 }

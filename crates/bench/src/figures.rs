@@ -109,7 +109,12 @@ pub fn table1(scale: &Scale) {
     }
     print_table(
         "Table 1 (measured, M = 5% of left input)",
-        &["algorithm".into(), "writes (M)".into(), "reads (M)".into(), "time (s)".into()],
+        &[
+            "algorithm".into(),
+            "writes (M)".into(),
+            "reads (M)".into(),
+            "time (s)".into(),
+        ],
         &rows,
     );
 }
@@ -117,7 +122,9 @@ pub fn table1(scale: &Scale) {
 /// Fig. 2: heatmaps of the hybrid-join cost function Jh(x, y) for
 /// |T|/|V| ∈ {1, 10, 100} × λ ∈ {2, 5, 8}.
 pub fn fig2() {
-    println!("\n=== Fig. 2: hybrid Grace/NL join cost surface (light ' ' = cheap, '@' = costly) ===");
+    println!(
+        "\n=== Fig. 2: hybrid Grace/NL join cost surface (light ' ' = cheap, '@' = costly) ==="
+    );
     let v = 100_000.0;
     let m = 2_000.0;
     for lambda in [2.0, 5.0, 8.0] {
@@ -188,7 +195,11 @@ pub fn fig5(scale: &Scale) {
         .collect();
     print_table(
         "Fig. 5 (bottom): min/max writes (reads), millions of cachelines",
-        &["algorithm".into(), "min writes (reads)".into(), "max writes (reads)".into()],
+        &[
+            "algorithm".into(),
+            "min writes (reads)".into(),
+            "max writes (reads)".into(),
+        ],
         &rows,
     );
 }
@@ -300,7 +311,11 @@ pub fn fig7(scale: &Scale) {
     }
     print_table(
         "Fig. 7 (bottom): min/max writes (reads), millions of cachelines",
-        &["algorithm".into(), "min writes (reads)".into(), "max writes (reads)".into()],
+        &[
+            "algorithm".into(),
+            "min writes (reads)".into(),
+            "max writes (reads)".into(),
+        ],
         &extreme_rows,
     );
 }
@@ -361,10 +376,18 @@ pub fn fig9(scale: &Scale) {
         }
     }
     let header: Vec<String> = std::iter::once("algorithm, layer".to_string())
-        .chain(scale.intensities.iter().map(|x| format!("{:.0}%", x * 100.0)))
+        .chain(
+            scale
+                .intensities
+                .iter()
+                .map(|x| format!("{:.0}%", x * 100.0)),
+        )
         .collect();
     print_table(
-        &format!("Fig. 9: sort write-intensity sweep (s), M = {:.1}% of input", mem * 100.0),
+        &format!(
+            "Fig. 9: sort write-intensity sweep (s), M = {:.1}% of input",
+            mem * 100.0
+        ),
         &header,
         &rows,
     );
@@ -418,10 +441,18 @@ pub fn fig10(scale: &Scale) {
         rows.push(row);
     }
     let header: Vec<String> = std::iter::once("algorithm".to_string())
-        .chain(scale.intensities.iter().map(|x| format!("{:.0}%", x * 100.0)))
+        .chain(
+            scale
+                .intensities
+                .iter()
+                .map(|x| format!("{:.0}%", x * 100.0)),
+        )
         .collect();
     print_table(
-        &format!("Fig. 10: join write-intensity sweep (s), M = {:.1}% of left", mem * 100.0),
+        &format!(
+            "Fig. 10: join write-intensity sweep (s), M = {:.1}% of left",
+            mem * 100.0
+        ),
         &header,
         &rows,
     );
@@ -460,7 +491,11 @@ pub fn fig11(scale: &Scale) {
     let header: Vec<String> = std::iter::once("algorithm".to_string())
         .chain(scale.write_latencies.iter().map(|w| format!("{w:.0}ns")))
         .collect();
-    print_table("Fig. 11 (left): sort time (s) vs write latency", &header, &rows);
+    print_table(
+        "Fig. 11 (left): sort time (s) vs write latency",
+        &header,
+        &rows,
+    );
 
     let joins = [
         JoinAlgorithm::HybJ { x: 0.5, y: 0.2 },
@@ -489,7 +524,11 @@ pub fn fig11(scale: &Scale) {
         }
         rows.push(row);
     }
-    print_table("Fig. 11 (right): join time (s) vs write latency", &header, &rows);
+    print_table(
+        "Fig. 11 (right): join time (s) vs write latency",
+        &header,
+        &rows,
+    );
 }
 
 /// Fig. 12: Kendall's-τ concordance between estimated and measured
@@ -526,7 +565,9 @@ pub fn fig12(scale: &Scale) {
         let m_join = t_buf * f;
 
         let tau = |est: &[f64], meas: &[f64]| {
-            kendall_tau(est, meas).map(fmt3).unwrap_or_else(|| "n/a".into())
+            kendall_tau(est, meas)
+                .map(fmt3)
+                .unwrap_or_else(|| "n/a".into())
         };
 
         // Sorting: estimated vs measured, all and write-limited-only.
@@ -565,7 +606,10 @@ pub fn fig12(scale: &Scale) {
                 let e = estimate_join(algo, t_buf, v_buf, m_join, lambda);
                 est.push(e);
                 meas.push(m.secs);
-                if matches!(algo, JoinAlgorithm::HybJ { .. } | JoinAlgorithm::SegJ { .. }) {
+                if matches!(
+                    algo,
+                    JoinAlgorithm::HybJ { .. } | JoinAlgorithm::SegJ { .. }
+                ) {
                     wl_est.push(e);
                     wl_meas.push(m.secs);
                 }

@@ -11,8 +11,10 @@
 pub mod ablation;
 pub mod figures;
 pub mod measure;
+pub mod plan;
 pub mod scale;
 pub mod table;
 
 pub use measure::{run_join, run_sort, Measurement};
+pub use plan::{plan_concordance, run_plan_concordance, PlanCell};
 pub use scale::Scale;

@@ -86,7 +86,11 @@ pub fn run_join(
     let ctx = JoinContext::new(&dev, layer, &pool);
     let before = dev.snapshot();
     let out = algo.run(&left, &right, &ctx, "joined").ok()?;
-    debug_assert_eq!(out.len() as u64, w.expected_matches, "join must be complete");
+    debug_assert_eq!(
+        out.len() as u64,
+        w.expected_matches,
+        "join must be complete"
+    );
     Some(Measurement::from_stats(
         dev.snapshot().since(&before),
         &latency,

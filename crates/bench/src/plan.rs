@@ -1,0 +1,139 @@
+//! Plan-level concordance: does the planner's predicted cost rank whole
+//! query plans the way the simulator measures them? A plan-granularity
+//! extension of the paper's Fig. 12 experiment.
+//!
+//! For the canonical filter → join → aggregate query, the harness
+//! sweeps the write/read ratio λ and the DRAM fraction; in every cell
+//! it plans the query, executes the winning plan, and records predicted
+//! vs measured cost units. The report prints each cell's ratio plus
+//! Kendall's τ between the predicted and measured cost across all
+//! cells — high τ means the planner's cross-setting ranking is sound.
+
+use crate::scale::Scale;
+use planner::{execute, Catalog, LogicalPlan, Planner, Predicate};
+use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PCollection, PmDevice};
+use wisconsin::join_input;
+use write_limited::stats::kendall_tau;
+
+/// One measured cell of the plan-concordance sweep.
+#[derive(Clone, Debug)]
+pub struct PlanCell {
+    /// Write/read ratio of the cell's device.
+    pub lambda: f64,
+    /// DRAM fraction of the build input.
+    pub mem_fraction: f64,
+    /// Label of the join algorithm the planner chose.
+    pub chosen_join: String,
+    /// Predicted plan cost in read units.
+    pub predicted_units: f64,
+    /// Measured plan cost in read units.
+    pub measured_units: f64,
+}
+
+/// Runs the sweep and returns the cells (library entry point; the bench
+/// target prints them).
+pub fn run_plan_concordance(scale: &Scale) -> Vec<PlanCell> {
+    let t = scale.join_t.min(20_000); // planning sweep stays snappy
+    let fanout = scale.join_fanout;
+    let lambdas = [1.0, 2.0, 5.0, 15.0, 20.0];
+    let mut cells = Vec::new();
+
+    for &mem_fraction in &scale.mem_fractions {
+        for &lambda in &lambdas {
+            let latency = LatencyProfile::with_lambda(10.0, lambda);
+            let dev = PmDevice::new(DeviceConfig::paper_default().with_latency(latency));
+            let w = join_input(t, fanout, 42);
+            let left =
+                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+            let right =
+                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+            let mut catalog = Catalog::new();
+            catalog.add_table("T", &left, t);
+            catalog.add_table("V", &right, t);
+
+            let query = LogicalPlan::scan("T")
+                .filter(Predicate::KeyBelow(t / 2))
+                .join(LogicalPlan::scan("V"))
+                .aggregate();
+            let pool = BufferPool::fraction_of(left.bytes(), mem_fraction);
+            let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
+            let Ok(planned) = planner.plan(&query, &catalog) else {
+                continue; // no applicable plan at this budget — skip, as the paper's plots do
+            };
+            let Ok(run) = execute(&planned, &catalog, &dev, LayerKind::BlockedMemory, &pool) else {
+                continue;
+            };
+            let chosen_join = planned
+                .choices
+                .iter()
+                .find(|c| c.node.starts_with("join"))
+                .map(|c| c.chosen.clone())
+                .unwrap_or_default();
+            cells.push(PlanCell {
+                lambda,
+                mem_fraction,
+                chosen_join,
+                predicted_units: planned.predicted.cost_units(lambda),
+                measured_units: run.stats.cl_reads as f64 + lambda * run.stats.cl_writes as f64,
+            });
+        }
+    }
+    cells
+}
+
+/// Prints the sweep as the bench target's report.
+pub fn plan_concordance(scale: &Scale) {
+    println!("=== Plan-level concordance (Fig. 12 extension): σ(T) ⋈ V → γ ===");
+    println!(
+        "{:>6} {:>6}  {:<28} {:>14} {:>14} {:>7}",
+        "λ", "M/|T|", "chosen join", "predicted", "measured", "ratio"
+    );
+    let cells = run_plan_concordance(scale);
+    for c in &cells {
+        println!(
+            "{:>6} {:>6.3}  {:<28} {:>14.0} {:>14.0} {:>7.2}",
+            c.lambda,
+            c.mem_fraction,
+            c.chosen_join,
+            c.predicted_units,
+            c.measured_units,
+            c.predicted_units / c.measured_units
+        );
+    }
+    let predicted: Vec<f64> = cells.iter().map(|c| c.predicted_units).collect();
+    let measured: Vec<f64> = cells.iter().map(|c| c.measured_units).collect();
+    match kendall_tau(&predicted, &measured) {
+        Some(tau) => println!("\nKendall τ (predicted vs measured across cells): {tau:.3}"),
+        None => println!("\nKendall τ undefined (too few cells)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_cells_and_high_concordance() {
+        let scale = Scale {
+            join_t: 4_000,
+            join_fanout: 5,
+            mem_fractions: vec![0.05, 0.10],
+            ..Scale::quick()
+        };
+        let cells = run_plan_concordance(&scale);
+        assert!(cells.len() >= 8, "most cells must plan and run");
+        for c in &cells {
+            let ratio = c.predicted_units / c.measured_units;
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "λ={} M={}: ratio {ratio}",
+                c.lambda,
+                c.mem_fraction
+            );
+        }
+        let predicted: Vec<f64> = cells.iter().map(|c| c.predicted_units).collect();
+        let measured: Vec<f64> = cells.iter().map(|c| c.measured_units).collect();
+        let tau = kendall_tau(&predicted, &measured).expect("enough cells");
+        assert!(tau >= 0.6, "plan-level concordance collapsed: τ = {tau}");
+    }
+}

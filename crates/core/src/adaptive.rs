@@ -159,12 +159,10 @@ mod tests {
 
     fn run(lambda: f64) -> (pmem_sim::IoStats, u64, u64, u64) {
         let dev = PmDevice::new(
-            DeviceConfig::paper_default()
-                .with_latency(LatencyProfile::with_lambda(10.0, lambda)),
+            DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, lambda)),
         );
         let w = join_input(400, 6, 31);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let inputs = left.buffers() + right.buffers();
@@ -193,7 +191,12 @@ mod tests {
         let (hi, _, _, inputs) = run(15.0);
         let (lo, _, _, _) = run(1.5);
         // λ=15: partitions stay deferred longer → more reads, fewer writes.
-        assert!(hi.cl_reads > lo.cl_reads, "hi {} lo {}", hi.cl_reads, lo.cl_reads);
+        assert!(
+            hi.cl_reads > lo.cl_reads,
+            "hi {} lo {}",
+            hi.cl_reads,
+            lo.cl_reads
+        );
         assert!(hi.cl_writes < lo.cl_writes + inputs, "writes should differ");
         assert!(lo.cl_writes > hi.cl_writes);
     }
@@ -202,8 +205,7 @@ mod tests {
     fn adaptive_never_writes_more_than_grace() {
         let dev = PmDevice::paper_default();
         let w = join_input(400, 6, 31);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(60 * 80);

@@ -88,7 +88,9 @@ pub fn segmented_hash_aggregate<R: Record>(
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
 
     // One scan offloading the materialized partitions' records.
-    let mut files: Vec<PCollection<R>> = (0..materialized).map(|_| ctx.fresh::<R>("agg-part")).collect();
+    let mut files: Vec<PCollection<R>> = (0..materialized)
+        .map(|_| ctx.fresh::<R>("agg-part"))
+        .collect();
     if materialized > 0 {
         for record in input.reader() {
             let p = partition_of(record.key(), k);
@@ -98,14 +100,13 @@ pub fn segmented_hash_aggregate<R: Record>(
         }
     }
 
-    let emit =
-        |groups: HashMap<u64, GroupAgg>, out: &mut PCollection<GroupAgg>| {
-            let mut sorted: Vec<GroupAgg> = groups.into_values().collect();
-            sorted.sort_unstable_by_key(|g| g.key);
-            for g in &sorted {
-                out.append(g);
-            }
-        };
+    let emit = |groups: HashMap<u64, GroupAgg>, out: &mut PCollection<GroupAgg>| {
+        let mut sorted: Vec<GroupAgg> = groups.into_values().collect();
+        sorted.sort_unstable_by_key(|g| g.key);
+        for g in &sorted {
+            out.append(g);
+        }
+    };
 
     // Aggregate materialized partitions from their files.
     for file in &files {
@@ -158,7 +159,10 @@ mod tests {
     }
 
     fn to_map(out: &PCollection<GroupAgg>) -> HashMap<u64, GroupAgg> {
-        out.to_vec_uncounted().into_iter().map(|g| (g.key, g)).collect()
+        out.to_vec_uncounted()
+            .into_iter()
+            .map(|g| (g.key, g))
+            .collect()
     }
 
     #[test]
@@ -195,15 +199,9 @@ mod tests {
         let pool = BufferPool::new(100 * 80);
         let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
         for materialized in [0, 2, 4] {
-            let out = segmented_hash_aggregate(
-                &input,
-                4,
-                materialized,
-                |r| r.payload(),
-                &ctx,
-                "agg",
-            )
-            .expect("valid");
+            let out =
+                segmented_hash_aggregate(&input, 4, materialized, |r| r.payload(), &ctx, "agg")
+                    .expect("valid");
             assert_eq!(to_map(&out), expect, "materialized={materialized}");
         }
     }

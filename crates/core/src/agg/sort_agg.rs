@@ -8,9 +8,11 @@
 //! are exactly the output; at `x = 1` the run files of a full external
 //! mergesort are written (but never the sorted result itself).
 
-use crate::sort::common::{generate_runs_replacement_range, merge_fan_in, merge_group, SortContext};
-use crate::sort::selection::SelectionStream;
 use crate::agg::GroupAgg;
+use crate::sort::common::{
+    generate_runs_replacement_range, merge_fan_in, merge_group, SortContext,
+};
+use crate::sort::selection::SelectionStream;
 use pmem_sim::{PCollection, PmError};
 use wisconsin::Record;
 
@@ -118,8 +120,7 @@ impl<'a, R: Record> Iterator for KWayMerge<'a, R> {
         let std::cmp::Reverse((_, _, i)) = self.heap.pop()?;
         let rec = self.heads[i].take().expect("head present for popped entry");
         if let Some(nxt) = self.streams[i].next() {
-            self.heap
-                .push(std::cmp::Reverse((nxt.key(), self.seq, i)));
+            self.heap.push(std::cmp::Reverse((nxt.key(), self.seq, i)));
             self.seq += 1;
             self.heads[i] = Some(nxt);
         }

@@ -62,13 +62,7 @@ pub fn optimal_hybrid_xy(t: f64, v: f64, m: f64, lambda: f64, steps: usize) -> (
 /// indexed by `y` (ascending), columns by `x`. Values are raw costs;
 /// the plotting side normalizes shades ("we do not show the actual value
 /// as it is irrelevant: we are more interested in trends").
-pub fn hybrid_cost_surface(
-    t: f64,
-    v: f64,
-    m: f64,
-    lambda: f64,
-    steps: usize,
-) -> Vec<Vec<f64>> {
+pub fn hybrid_cost_surface(t: f64, v: f64, m: f64, lambda: f64, steps: usize) -> Vec<Vec<f64>> {
     (0..=steps)
         .map(|j| {
             let y = j as f64 / steps as f64;
@@ -89,7 +83,11 @@ pub fn hybrid_cost_surface(
 pub fn segmented_cost(t: f64, v: f64, m: f64, lambda: f64, x: usize) -> f64 {
     let k = (t / m).ceil().max(1.0);
     let x = (x as f64).min(k);
-    let scan = if x > 0.0 { 1.0 + (lambda + 1.0) * x / k } else { 0.0 };
+    let scan = if x > 0.0 {
+        1.0 + (lambda + 1.0) * x / k
+    } else {
+        0.0
+    };
     (t + v) * (scan + (k - x))
 }
 
@@ -104,6 +102,43 @@ pub fn segmented_beats_grace_bound(k: f64, lambda: f64) -> Option<f64> {
     }
     let bound = num / den;
     (bound > 0.0).then_some(bound)
+}
+
+/// Read/write split of [`grace_cost`]: both inputs read twice, written
+/// once.
+pub fn grace_io(t: f64, v: f64) -> (f64, f64) {
+    (2.0 * (t + v), t + v)
+}
+
+/// Read/write split of [`nlj_cost`]: reads only.
+pub fn nlj_io(t: f64, v: f64, m: f64) -> (f64, f64) {
+    (t + (t / m).ceil().max(1.0) * v, 0.0)
+}
+
+/// Read/write split of [`hash_join_cost`]: `(k+1)/2` average read
+/// passes, `(k−1)/2` average rewrite passes.
+pub fn hash_join_io(t: f64, v: f64, m: f64) -> (f64, f64) {
+    let k = (t / m).ceil().max(1.0);
+    ((t + v) * (k + 1.0) / 2.0, (t + v) * (k - 1.0) / 2.0)
+}
+
+/// Read/write split of [`hybrid_cost`] (Eq. 6): the materialized
+/// fractions are written once and read twice; the rest is iterated.
+pub fn hybrid_io(t: f64, v: f64, m: f64, x: f64, y: f64) -> (f64, f64) {
+    let writes = x * t + y * v;
+    let reads = 2.0 * (x * t + y * v) + (1.0 - x) * t + (t * v / m) * (1.0 - x * y);
+    (reads, writes)
+}
+
+/// Read/write split of [`segmented_cost`] (Eq. 9).
+pub fn segmented_io(t: f64, v: f64, m: f64, x: usize) -> (f64, f64) {
+    let k = (t / m).ceil().max(1.0);
+    let x = (x as f64).min(k);
+    if x > 0.0 {
+        ((t + v) * (1.0 + x / k + (k - x)), (t + v) * x / k)
+    } else {
+        ((t + v) * k, 0.0)
+    }
 }
 
 #[cfg(test)]
@@ -136,11 +171,9 @@ mod tests {
         let (x, y) = hybrid_saddle(T, V, M, 5.0);
         // ∂J/∂x = 0 at y_h; ∂J/∂y = 0 at x_h (checked via finite diff).
         let eps = 1e-4;
-        let d_dx = (hybrid_cost(T, V, M, 5.0, x + eps, y)
-            - hybrid_cost(T, V, M, 5.0, x - eps, y))
+        let d_dx = (hybrid_cost(T, V, M, 5.0, x + eps, y) - hybrid_cost(T, V, M, 5.0, x - eps, y))
             / (2.0 * eps);
-        let d_dy = (hybrid_cost(T, V, M, 5.0, x, y + eps)
-            - hybrid_cost(T, V, M, 5.0, x, y - eps))
+        let d_dy = (hybrid_cost(T, V, M, 5.0, x, y + eps) - hybrid_cost(T, V, M, 5.0, x, y - eps))
             / (2.0 * eps);
         assert!(d_dx.abs() < 1.0, "∂J/∂x = {d_dx}");
         assert!(d_dy.abs() < 1.0, "∂J/∂y = {d_dy}");
@@ -178,6 +211,32 @@ mod tests {
         let seg = segmented_cost(T, V, M, 15.0, 0);
         let k = (T / M).ceil();
         assert!((seg - (T + V) * k).abs() < 1e-6);
+    }
+
+    #[test]
+    fn io_splits_reconstruct_the_scalar_costs() {
+        for lambda in [1.0, 2.0, 8.0, 15.0] {
+            let (r, w) = grace_io(T, V);
+            assert!((r + lambda * w - grace_cost(T, V, lambda)).abs() < 1e-6);
+            let (r, w) = nlj_io(T, V, M);
+            assert!((r + lambda * w - nlj_cost(T, V, M)).abs() < 1e-6);
+            let (r, w) = hash_join_io(T, V, M);
+            assert!((r + lambda * w - hash_join_cost(T, V, M, lambda)).abs() < 1e-6);
+            for (x, y) in [(0.0, 0.0), (0.5, 0.5), (1.0, 0.2), (0.3, 1.0)] {
+                let (r, w) = hybrid_io(T, V, M, x, y);
+                assert!(
+                    (r + lambda * w - hybrid_cost(T, V, M, lambda, x, y)).abs() < 1e-6,
+                    "hybrid λ={lambda} x={x} y={y}"
+                );
+            }
+            for x in [0usize, 3, 7, 10] {
+                let (r, w) = segmented_io(T, V, M, x);
+                assert!(
+                    (r + lambda * w - segmented_cost(T, V, M, lambda, x)).abs() < 1e-6,
+                    "segmented λ={lambda} x={x}"
+                );
+            }
+        }
     }
 
     #[test]

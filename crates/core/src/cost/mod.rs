@@ -12,6 +12,136 @@ pub mod sort_costs;
 use crate::join::JoinAlgorithm;
 use crate::sort::SortAlgorithm;
 
+/// A cost prediction split into its cacheline read and write sides, in
+/// cachelines (the paper's buffer units). `reads + λ·writes` recovers
+/// the scalar Eqs. 1–11 costs; the split is what a plan-level
+/// predicted-vs-measured comparison (Fig. 12 at plan granularity) needs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IoPrediction {
+    /// Predicted cacheline reads.
+    pub reads: f64,
+    /// Predicted cacheline writes.
+    pub writes: f64,
+}
+
+impl IoPrediction {
+    /// A zero prediction (identity for [`IoPrediction::plus`]).
+    pub const ZERO: Self = Self {
+        reads: 0.0,
+        writes: 0.0,
+    };
+
+    /// Scalar cost in read units under write/read ratio `lambda`.
+    pub fn cost_units(&self, lambda: f64) -> f64 {
+        self.reads + lambda * self.writes
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: IoPrediction) -> IoPrediction {
+        IoPrediction {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+        }
+    }
+}
+
+/// Predicts the cacheline read/write traffic of a sort algorithm.
+/// Decomposes [`estimate_sort`] exactly: `reads + λ·writes` equals it.
+pub fn predict_sort_io(algo: &SortAlgorithm, t: f64, m: f64, lambda: f64) -> IoPrediction {
+    let (reads, writes) = match algo {
+        SortAlgorithm::ExMS => sort_costs::exms_io(t, m, lambda),
+        SortAlgorithm::SegS { x } => sort_costs::segment_io(t, m, lambda, *x),
+        SortAlgorithm::HybS { x } => sort_costs::hybrid_io(t, m, lambda, *x),
+        SortAlgorithm::LaS => sort_costs::lazy_sort_io(t, m, lambda),
+        SortAlgorithm::SelS => sort_costs::selection_io(t, m),
+    };
+    IoPrediction { reads, writes }
+}
+
+/// Predicts the cacheline read/write traffic of a join algorithm
+/// (excluding the shared output-materialization constant, as the paper's
+/// expressions do). Decomposes [`estimate_join`] exactly.
+pub fn predict_join_io(algo: &JoinAlgorithm, t: f64, v: f64, m: f64, lambda: f64) -> IoPrediction {
+    let (reads, writes) = match algo {
+        JoinAlgorithm::NLJ => join_costs::nlj_io(t, v, m),
+        JoinAlgorithm::GJ => join_costs::grace_io(t, v),
+        JoinAlgorithm::HJ => join_costs::hash_join_io(t, v, m),
+        JoinAlgorithm::HybJ { x, y } => join_costs::hybrid_io(t, v, m, *x, *y),
+        JoinAlgorithm::SegJ { frac } => {
+            let k = (t / m).ceil().max(1.0);
+            join_costs::segmented_io(t, v, m, ((k * frac).round()) as usize)
+        }
+        JoinAlgorithm::LaJ => {
+            let k = (t / m).ceil().max(1.0);
+            ((t + v) * k, 0.0)
+        }
+        JoinAlgorithm::SMJ { x } => {
+            let (lr, lw) = sort_costs::segment_io(t, m, lambda, *x);
+            let (rr, rw) = sort_costs::segment_io(v, m, lambda, *x);
+            (lr + rr + t + v, lw + rw)
+        }
+    };
+    IoPrediction { reads, writes }
+}
+
+/// The candidate set the "informed" sort choice considers: the
+/// baselines, HybS sweeps, the Eq. 4 cost-optimal SegS intensity when
+/// applicable, and a SegS sweep (deduplicated). Exposed for plan
+/// enumerators that need the whole ranked field, not just the winner.
+pub fn sort_candidates(t: f64, m: f64, lambda: f64) -> Vec<SortAlgorithm> {
+    let mut candidates = vec![
+        SortAlgorithm::ExMS,
+        SortAlgorithm::SelS,
+        SortAlgorithm::LaS,
+        SortAlgorithm::HybS { x: 0.5 },
+        SortAlgorithm::HybS { x: 0.8 },
+    ];
+    if let Some(x) = sort_costs::optimal_segment_x(t, m, lambda) {
+        candidates.push(SortAlgorithm::SegS { x });
+    }
+    for x in [0.2, 0.5, 0.8] {
+        candidates.push(SortAlgorithm::SegS { x });
+    }
+    dedup_in_order(candidates)
+}
+
+/// The candidate set the "informed" join choice considers: baselines,
+/// the grid-optimal HybJ, SegJ at the Eq. 10 boundary and midpoint
+/// (deduplicated when they coincide), and LaJ. SMJ is deliberately
+/// excluded: it is a library extension outside the paper's §2.2
+/// line-up, so the informed choice stays within the paper's field —
+/// callers wanting it can cost it via [`estimate_join`] /
+/// [`predict_join_io`] directly. Exposed for plan enumerators.
+pub fn join_candidates(t: f64, v: f64, m: f64, lambda: f64) -> Vec<JoinAlgorithm> {
+    let (x, y) = join_costs::optimal_hybrid_xy(t, v, m, lambda, 20);
+    let k = (t / m).ceil().max(1.0);
+    let seg_frac = join_costs::segmented_beats_grace_bound(k, lambda)
+        .map(|b| (b / k).clamp(0.0, 1.0))
+        .unwrap_or(0.5);
+    dedup_in_order(vec![
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::GJ,
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::HybJ { x, y },
+        JoinAlgorithm::SegJ { frac: seg_frac },
+        JoinAlgorithm::SegJ { frac: 0.5 },
+        JoinAlgorithm::LaJ,
+    ])
+}
+
+/// Drops exact repeats while preserving first-occurrence order (the
+/// candidate lists are tiny, so the quadratic scan is fine).
+fn dedup_in_order<T: PartialEq>(items: Vec<T>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    for item in items {
+        if !out.contains(&item) {
+            out.push(item);
+        }
+    }
+    out
+}
+
 /// Estimates the cost of a sort algorithm in read units (`r = 1`).
 /// Sizes in buffers. Lazy algorithms get a structural estimate; the
 /// paper's Fig. 12 excludes them from ranking because their decisions
@@ -54,22 +184,13 @@ pub fn estimate_join(algo: &JoinAlgorithm, t: f64, v: f64, m: f64, lambda: f64) 
 }
 
 /// Picks the cheapest sort among ExMS, cost-optimal SegS, HybS sweeps,
-/// and SelS — the system-driven "informed" choice.
+/// and SelS — the system-driven "informed" choice. LaS is excluded, as
+/// in the paper's Fig. 12 ranking: its decisions are dynamic, so the
+/// structural estimate is not comparable.
 pub fn choose_sort(t: f64, m: f64, lambda: f64) -> SortAlgorithm {
-    let mut candidates = vec![
-        SortAlgorithm::ExMS,
-        SortAlgorithm::SelS,
-        SortAlgorithm::HybS { x: 0.5 },
-        SortAlgorithm::HybS { x: 0.8 },
-    ];
-    if let Some(x) = sort_costs::optimal_segment_x(t, m, lambda) {
-        candidates.push(SortAlgorithm::SegS { x });
-    }
-    for x in [0.2, 0.5, 0.8] {
-        candidates.push(SortAlgorithm::SegS { x });
-    }
-    candidates
+    sort_candidates(t, m, lambda)
         .into_iter()
+        .filter(|a| !matches!(a, SortAlgorithm::LaS))
         .min_by(|a, b| {
             estimate_sort(a, t, m, lambda)
                 .partial_cmp(&estimate_sort(b, t, m, lambda))
@@ -79,23 +200,12 @@ pub fn choose_sort(t: f64, m: f64, lambda: f64) -> SortAlgorithm {
 }
 
 /// Picks the cheapest join among the baselines, the grid-optimal HybJ,
-/// and SegJ at the Eq. 10 boundary.
+/// and SegJ at the Eq. 10 boundary. LaJ is excluded for the same reason
+/// LaS is excluded from [`choose_sort`].
 pub fn choose_join(t: f64, v: f64, m: f64, lambda: f64) -> JoinAlgorithm {
-    let (x, y) = join_costs::optimal_hybrid_xy(t, v, m, lambda, 20);
-    let k = (t / m).ceil().max(1.0);
-    let seg_frac = join_costs::segmented_beats_grace_bound(k, lambda)
-        .map(|b| (b / k).clamp(0.0, 1.0))
-        .unwrap_or(0.5);
-    let candidates = [
-        JoinAlgorithm::NLJ,
-        JoinAlgorithm::GJ,
-        JoinAlgorithm::HJ,
-        JoinAlgorithm::HybJ { x, y },
-        JoinAlgorithm::SegJ { frac: seg_frac },
-        JoinAlgorithm::SegJ { frac: 0.5 },
-    ];
-    candidates
+    join_candidates(t, v, m, lambda)
         .into_iter()
+        .filter(|a| !matches!(a, JoinAlgorithm::LaJ))
         .min_by(|a, b| {
             estimate_join(a, t, v, m, lambda)
                 .partial_cmp(&estimate_join(b, t, v, m, lambda))
@@ -150,5 +260,103 @@ mod tests {
             let c = estimate_join(&algo, 10_000.0, 100_000.0, 1_000.0, 15.0);
             assert!(c.is_finite() && c > 0.0, "{algo:?}: {c}");
         }
+    }
+
+    #[test]
+    fn io_predictions_decompose_the_estimates() {
+        let (t, v, m) = (10_000.0, 100_000.0, 1_000.0);
+        for lambda in [1.0, 8.0, 15.0] {
+            for algo in sort_candidates(t, m, lambda) {
+                let p = predict_sort_io(&algo, t, m, lambda);
+                let e = estimate_sort(&algo, t, m, lambda);
+                assert!(
+                    (p.cost_units(lambda) - e).abs() < 1e-6,
+                    "{}: {} vs {e}",
+                    algo.label(),
+                    p.cost_units(lambda)
+                );
+                assert!(p.reads >= 0.0 && p.writes >= 0.0);
+            }
+            // SMJ is not in join_candidates (outside the paper's §2.2
+            // line-up) but its split must still decompose the estimate.
+            let with_smj = join_candidates(t, v, m, lambda)
+                .into_iter()
+                .chain([JoinAlgorithm::SMJ { x: 0.5 }, JoinAlgorithm::SMJ { x: 0.2 }]);
+            for algo in with_smj {
+                let p = predict_join_io(&algo, t, v, m, lambda);
+                let e = estimate_join(&algo, t, v, m, lambda);
+                assert!(
+                    (p.cost_units(lambda) - e).abs() < 1e-6,
+                    "{}: {} vs {e}",
+                    algo.label(),
+                    p.cost_units(lambda)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_sets_have_no_duplicates() {
+        // The boundary SegJ fraction can coincide with the 0.5 midpoint
+        // (e.g. when Eq. 10 is degenerate) — the set must still be
+        // duplicate-free, since plan enumerators render it to users.
+        for lambda in [1.0, 15.0] {
+            let joins = join_candidates(10_000.0, 100_000.0, 1_000.0, lambda);
+            for (i, a) in joins.iter().enumerate() {
+                assert!(
+                    !joins[i + 1..].contains(a),
+                    "duplicate join candidate {a:?} at λ={lambda}"
+                );
+            }
+            let sorts = sort_candidates(10_000.0, 1_000.0, lambda);
+            for (i, a) in sorts.iter().enumerate() {
+                assert!(
+                    !sorts[i + 1..].contains(a),
+                    "duplicate sort candidate {a:?} at λ={lambda}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_sets_cover_the_algorithm_families() {
+        let sorts = sort_candidates(10_000.0, 1_000.0, 8.0);
+        assert!(sorts.contains(&SortAlgorithm::ExMS));
+        assert!(sorts.contains(&SortAlgorithm::SelS));
+        assert!(sorts.contains(&SortAlgorithm::LaS));
+        assert!(sorts
+            .iter()
+            .any(|a| matches!(a, SortAlgorithm::SegS { .. })));
+        assert!(sorts
+            .iter()
+            .any(|a| matches!(a, SortAlgorithm::HybS { .. })));
+
+        let joins = join_candidates(10_000.0, 100_000.0, 1_000.0, 15.0);
+        for want in [
+            JoinAlgorithm::NLJ,
+            JoinAlgorithm::GJ,
+            JoinAlgorithm::HJ,
+            JoinAlgorithm::LaJ,
+        ] {
+            assert!(joins.contains(&want), "missing {want:?}");
+        }
+        assert!(joins
+            .iter()
+            .any(|a| matches!(a, JoinAlgorithm::HybJ { .. })));
+        assert!(joins
+            .iter()
+            .any(|a| matches!(a, JoinAlgorithm::SegJ { .. })));
+    }
+
+    #[test]
+    fn io_prediction_arithmetic() {
+        let a = IoPrediction {
+            reads: 10.0,
+            writes: 5.0,
+        };
+        let b = a.plus(IoPrediction::ZERO);
+        assert_eq!(a, b);
+        assert_eq!(a.plus(a).reads, 20.0);
+        assert_eq!(a.cost_units(15.0), 85.0);
     }
 }

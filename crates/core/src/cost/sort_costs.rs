@@ -17,7 +17,7 @@
 const BLOCK_CACHELINES: f64 = 16.0;
 
 /// Merge passes needed for `runs` sorted runs under budget `m` buffers.
-fn merge_passes(runs: f64, m: f64) -> f64 {
+pub(crate) fn merge_passes(runs: f64, m: f64) -> f64 {
     let fan = (m / BLOCK_CACHELINES).max(2.0);
     if runs <= 1.0 {
         return 0.0;
@@ -126,6 +126,78 @@ pub fn lazy_sort_cost(t: f64, m: f64, lambda: f64) -> f64 {
     cost
 }
 
+/// Read/write split of [`exms_cost`]: every pass reads and writes the
+/// full input, so the two sides are equal.
+pub fn exms_io(t: f64, m: f64, _lambda: f64) -> (f64, f64) {
+    assert!(t > 0.0 && m > 1.0, "need positive sizes and M > 1");
+    let runs = (t / (2.0 * m)).max(1.0);
+    let passes = merge_passes(runs, m).max(1.0);
+    (t * (passes + 1.0), t * (passes + 1.0))
+}
+
+/// Read/write split of [`selection_cost`]: `⌈|T|/M⌉` read passes, one
+/// output write per buffer.
+pub fn selection_io(t: f64, m: f64) -> (f64, f64) {
+    (t * (t / m).ceil().max(1.0), t)
+}
+
+/// Read/write split of [`segment_cost`], term for term.
+pub fn segment_io(t: f64, m: f64, _lambda: f64, x: f64) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    let xt = x * t;
+    let rest = (1.0 - x) * t;
+
+    let mut reads = xt; // run generation reads the prefix
+    let mut writes = xt; // ... and writes the runs
+    if rest > 0.0 {
+        reads += rest * (rest / m).ceil().max(1.0); // selection stream
+    }
+    let runs = (xt / (2.0 * m)).max(if xt > 0.0 { 1.0 } else { 0.0 });
+    let extra_passes = (merge_passes(runs, m) - 1.0).max(0.0);
+    reads += extra_passes * xt;
+    writes += extra_passes * xt;
+    reads += xt; // final merge reads the runs once
+    writes += t; // ... and writes the whole output
+    (reads, writes)
+}
+
+/// Read/write split of [`hybrid_cost`], term for term.
+pub fn hybrid_io(t: f64, m: f64, _lambda: f64, x: f64) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&x), "x must be in [0,1]");
+    let rr = (x * m).max(1.0);
+    let rs = (m - rr).max(0.0);
+    let through_runs = (t - rs).max(0.0);
+
+    let mut reads = t; // read the input once
+    let mut writes = through_runs + t; // runs + output
+    let runs = (through_runs / (2.0 * rr)).max(1.0);
+    let passes = merge_passes(runs, m).max(1.0);
+    reads += through_runs + (passes - 1.0) * through_runs;
+    writes += (passes - 1.0) * through_runs;
+    (reads, writes)
+}
+
+/// Read/write split of [`lazy_sort_cost`], mirroring its loop.
+pub fn lazy_sort_io(t: f64, m: f64, lambda: f64) -> (f64, f64) {
+    let mut remaining = t;
+    let mut reads = 0.0;
+    let mut writes = t; // every record written once at the output
+    while remaining > m {
+        let passes = ((remaining / m) * lambda / (lambda + 1.0)).floor().max(1.0);
+        let emit = (passes * m).min(remaining);
+        reads += passes * remaining;
+        let next = remaining - emit;
+        if next > m {
+            writes += next;
+        }
+        remaining = next;
+    }
+    if remaining > 0.0 {
+        reads += remaining;
+    }
+    (reads, writes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +270,33 @@ mod tests {
         let lazy = lazy_sort_cost(T, T / 4.0, 15.0);
         let ex = exms_cost(T, T / 4.0, 15.0);
         assert!(lazy < ex, "lazy {lazy} vs exms {ex}");
+    }
+
+    #[test]
+    fn io_splits_reconstruct_the_scalar_costs() {
+        // reads + λ·writes must equal the corresponding cost expression
+        // exactly — the splits are decompositions, not re-derivations.
+        for lambda in [1.0, 2.0, 8.0, 15.0] {
+            for (t, m) in [(T, M), (T, T / 50.0), (20_000.0, 500.0)] {
+                let (r, w) = exms_io(t, m, lambda);
+                assert!((r + lambda * w - exms_cost(t, m, lambda)).abs() < 1e-6);
+                let (r, w) = selection_io(t, m);
+                assert!((r + lambda * w - selection_cost(t, m, lambda)).abs() < 1e-6);
+                for x in [0.0, 0.2, 0.5, 0.8, 1.0] {
+                    let (r, w) = segment_io(t, m, lambda, x);
+                    assert!(
+                        (r + lambda * w - segment_cost(t, m, lambda, x)).abs() < 1e-6,
+                        "segment λ={lambda} x={x}"
+                    );
+                    let (r, w) = hybrid_io(t, m, lambda, x);
+                    assert!(
+                        (r + lambda * w - hybrid_cost(t, m, lambda, x)).abs() < 1e-6,
+                        "hybrid λ={lambda} x={x}"
+                    );
+                }
+                let (r, w) = lazy_sort_io(t, m, lambda);
+                assert!((r + lambda * w - lazy_sort_cost(t, m, lambda)).abs() < 1e-6);
+            }
+        }
     }
 }

@@ -213,7 +213,10 @@ impl<'a, 'p, L: Record, R: Record> PhysOperator for JoinOp<'a, 'p, L, R> {
 
     fn open(&mut self) -> Result<(), PmError> {
         let ctx = JoinContext::new(&self.dev, self.kind, self.pool);
-        self.output = Some(self.algo.run(self.left, self.right, &ctx, "join-op-output")?);
+        self.output = Some(
+            self.algo
+                .run(self.left, self.right, &ctx, "join-op-output")?,
+        );
         self.cursor = 0;
         self.read_cursor = ReadCursor::new();
         Ok(())
@@ -308,6 +311,49 @@ impl<'p, I: PhysOperator, V: Fn(&I::Item) -> u64> PhysOperator for AggOp<'p, I, 
     }
 }
 
+/// Boxed operators delegate, so plan trees whose shape is only known at
+/// run time (e.g. those the planner lowers) can compose heterogeneous
+/// operator chains behind one item type.
+impl<O: PhysOperator + ?Sized> PhysOperator for Box<O> {
+    type Item = O::Item;
+
+    fn open(&mut self) -> Result<(), PmError> {
+        (**self).open()
+    }
+
+    fn next(&mut self) -> Option<Self::Item> {
+        (**self).next()
+    }
+
+    fn close(&mut self) {
+        (**self).close()
+    }
+}
+
+/// A type-erased operator over records of type `R`.
+pub type DynOp<'a, R> = Box<dyn PhysOperator<Item = R> + 'a>;
+
+/// Runs `op` and materializes its output as a persistent collection
+/// named `name` — the staging step blocking consumers (joins, sorts
+/// over arbitrary children) use. The writes are real and counted.
+///
+/// # Errors
+/// Propagates the operator's `open()` error.
+pub fn stage<O: PhysOperator>(
+    op: &mut O,
+    dev: &Pm,
+    kind: LayerKind,
+    name: &str,
+) -> Result<PCollection<O::Item>, PmError> {
+    op.open()?;
+    let mut out = PCollection::new(dev, kind, name);
+    while let Some(r) = op.next() {
+        out.append(&r);
+    }
+    op.close();
+    Ok(out)
+}
+
 /// Drains an opened operator into a DRAM vector (test/driver helper).
 pub fn collect<O: PhysOperator>(op: &mut O) -> Result<Vec<O::Item>, PmError> {
     op.open()?;
@@ -350,7 +396,9 @@ mod tests {
             sort_input(500, KeyOrder::Random, 2),
         );
         let pool = BufferPool::new(64 * 80);
-        let plan = FilterOp::new(ScanOp::new(&input), |r: &WisconsinRecord| r.key().is_multiple_of(2));
+        let plan = FilterOp::new(ScanOp::new(&input), |r: &WisconsinRecord| {
+            r.key().is_multiple_of(2)
+        });
         let mut plan = SortOp::new(
             plan,
             SortAlgorithm::SegS { x: 0.5 },
@@ -368,8 +416,7 @@ mod tests {
         // SELECT l.key, count(*), sum(r.payload) FROM T JOIN V GROUP BY key
         let dev = PmDevice::paper_default();
         let w = join_input(50, 4, 3);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(100 * 160);
@@ -394,6 +441,32 @@ mod tests {
         assert!(groups.iter().all(|g| g.count == 4));
         let total: u64 = groups.iter().map(|g| g.sum).sum();
         assert_eq!(total, (0..200u64).sum::<u64>());
+    }
+
+    #[test]
+    fn boxed_operators_compose_and_stage_counts_writes() {
+        let dev = PmDevice::paper_default();
+        let input = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            sort_input(200, KeyOrder::Random, 8),
+        );
+        // Type-erased chain, as the planner's lowering builds them.
+        let mut op: DynOp<'_, WisconsinRecord> =
+            Box::new(FilterOp::new(ScanOp::new(&input), |r: &WisconsinRecord| {
+                r.key() < 50
+            }));
+        let before = dev.snapshot();
+        let staged = stage(&mut op, &dev, LayerKind::BlockedMemory, "staged").expect("stages");
+        let delta = dev.snapshot().since(&before);
+        assert_eq!(staged.len(), 50);
+        assert_eq!(
+            delta.cl_writes,
+            staged.buffers(),
+            "staging writes are counted"
+        );
+        assert_eq!(delta.cl_reads, input.buffers(), "one scan of the input");
     }
 
     #[test]

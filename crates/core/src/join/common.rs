@@ -163,7 +163,10 @@ pub fn expected_match_count<L: Record, R: Record>(
     for l in left.reader() {
         *table.entry(l.key()).or_insert(0) += 1;
     }
-    right.reader().map(|r| table.get(&r.key()).copied().unwrap_or(0)).sum()
+    right
+        .reader()
+        .map(|r| table.get(&r.key()).copied().unwrap_or(0))
+        .sum()
 }
 
 #[cfg(test)]

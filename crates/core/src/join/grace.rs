@@ -84,8 +84,7 @@ mod tests {
     fn finds_every_match() {
         let dev = PmDevice::paper_default();
         let w = join_input(300, 10, 4);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(60 * 80);
@@ -98,8 +97,7 @@ mod tests {
     fn io_matches_lambda_plus_two_model() {
         let dev = PmDevice::paper_default();
         let w = join_input(500, 5, 8);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let input_buffers = left.buffers() + right.buffers();
@@ -130,8 +128,7 @@ mod tests {
     fn rejects_insufficient_memory() {
         let dev = PmDevice::paper_default();
         let w = join_input(10_000, 2, 4);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(50 * 80); // √(1.2·10000) ≈ 110 > 50

@@ -70,8 +70,7 @@ mod tests {
     fn finds_every_match() {
         let dev = PmDevice::paper_default();
         let w = join_input(300, 10, 6);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(60 * 80);
@@ -84,8 +83,7 @@ mod tests {
     fn rewrites_shrinking_remainder_like_table_one() {
         let dev = PmDevice::paper_default();
         let w = join_input(400, 4, 7);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let inputs = (left.buffers() + right.buffers()) as f64;
@@ -113,8 +111,7 @@ mod tests {
     fn single_partition_degenerates_to_in_memory_join() {
         let dev = PmDevice::paper_default();
         let w = join_input(50, 3, 2);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(100 * 80); // all of T fits

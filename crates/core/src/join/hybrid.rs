@@ -131,8 +131,7 @@ mod tests {
     fn run(x: f64, y: f64, m_records: usize) -> Run {
         let dev = PmDevice::paper_default();
         let w = join_input(300, 8, 12);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(m_records * 80);
@@ -192,8 +191,7 @@ mod tests {
     fn rejects_invalid_intensities() {
         let dev = PmDevice::paper_default();
         let w = join_input(50, 2, 1);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(8000);

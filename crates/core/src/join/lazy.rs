@@ -100,17 +100,12 @@ mod tests {
     use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PmDevice};
     use wisconsin::join_input;
 
-    fn run_with_lambda(
-        lambda: f64,
-        m_records: usize,
-    ) -> (pmem_sim::IoStats, usize, u64) {
+    fn run_with_lambda(lambda: f64, m_records: usize) -> (pmem_sim::IoStats, usize, u64) {
         let dev = PmDevice::new(
-            DeviceConfig::paper_default()
-                .with_latency(LatencyProfile::with_lambda(10.0, lambda)),
+            DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, lambda)),
         );
         let w = join_input(400, 5, 8);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(m_records * 80);
@@ -130,8 +125,7 @@ mod tests {
     fn writes_far_fewer_than_standard_hash_join() {
         let dev = PmDevice::paper_default();
         let w = join_input(400, 5, 8);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(60 * 80);

@@ -18,9 +18,7 @@ pub mod nested_loops;
 pub mod segmented;
 pub mod sort_merge;
 
-pub use common::{
-    expected_match_count, partition_of, BuildTable, JoinContext, HASH_TABLE_FACTOR,
-};
+pub use common::{expected_match_count, partition_of, BuildTable, JoinContext, HASH_TABLE_FACTOR};
 pub use grace::{grace_join, join_partition, partition_input};
 pub use hash::hash_join;
 pub use hybrid::hybrid_join;

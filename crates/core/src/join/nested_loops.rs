@@ -54,8 +54,7 @@ mod tests {
     ) {
         let dev = PmDevice::paper_default();
         let w = join_input(t, fanout, 17);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         (dev, left, right, m_records)

@@ -131,8 +131,7 @@ mod tests {
     ) {
         let dev = PmDevice::paper_default();
         let w = join_input(300, 8, 23);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         (dev, left, right, w.expected_matches, m_records)
@@ -145,8 +144,7 @@ mod tests {
         let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
         let k = ctx.grace_partitions::<WisconsinRecord>(left.len());
         for x in [0, 1, k / 2, k] {
-            let out =
-                segmented_grace_join(&left, &right, x, &ctx, "out").expect("applicable");
+            let out = segmented_grace_join(&left, &right, x, &ctx, "out").expect("applicable");
             assert_eq!(out.len() as u64, want, "x={x} of k={k}");
         }
     }
@@ -167,7 +165,12 @@ mod tests {
         let _ = segmented_grace_join(&left, &right, k, &ctx, "hi").expect("ok");
         let hi = dev.snapshot().since(&before);
 
-        assert!(lo.cl_writes < hi.cl_writes, "lo {} hi {}", lo.cl_writes, hi.cl_writes);
+        assert!(
+            lo.cl_writes < hi.cl_writes,
+            "lo {} hi {}",
+            lo.cl_writes,
+            hi.cl_writes
+        );
         assert!(lo.cl_reads > hi.cl_reads);
     }
 
@@ -190,7 +193,10 @@ mod tests {
         assert_eq!(gj.len() as u64, want);
         let dr = (seg_io.cl_reads as f64 / gj_io.cl_reads as f64 - 1.0).abs();
         let dw = (seg_io.cl_writes as f64 / gj_io.cl_writes as f64 - 1.0).abs();
-        assert!(dr < 0.05 && dw < 0.05, "x=k should cost like Grace (Δr {dr}, Δw {dw})");
+        assert!(
+            dr < 0.05 && dw < 0.05,
+            "x=k should cost like Grace (Δr {dr}, Δw {dw})"
+        );
     }
 
     #[test]

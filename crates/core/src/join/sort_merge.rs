@@ -83,15 +83,18 @@ mod tests {
     fn run(x: f64) -> (pmem_sim::IoStats, u64, u64) {
         let dev = PmDevice::paper_default();
         let w = join_input(300, 6, 71);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::new(60 * 80);
         let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
         let before = dev.snapshot();
         let out = sort_merge_join(&left, &right, x, &ctx, "out").expect("valid x");
-        (dev.snapshot().since(&before), out.len() as u64, w.expected_matches)
+        (
+            dev.snapshot().since(&before),
+            out.len() as u64,
+            w.expected_matches,
+        )
     }
 
     #[test]
@@ -152,8 +155,14 @@ mod tests {
             PCollection::new(&dev, LayerKind::BlockedMemory, "E");
         let pool = BufferPool::new(8000);
         let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
-        assert!(sort_merge_join(&a, &b, 0.5, &ctx, "o1").expect("ok").is_empty());
-        assert!(sort_merge_join(&empty, &a, 0.5, &ctx, "o2").expect("ok").is_empty());
-        assert!(sort_merge_join(&a, &empty, 0.5, &ctx, "o3").expect("ok").is_empty());
+        assert!(sort_merge_join(&a, &b, 0.5, &ctx, "o1")
+            .expect("ok")
+            .is_empty());
+        assert!(sort_merge_join(&empty, &a, 0.5, &ctx, "o2")
+            .expect("ok")
+            .is_empty());
+        assert!(sort_merge_join(&a, &empty, 0.5, &ctx, "o3")
+            .expect("ok")
+            .is_empty());
     }
 }

@@ -7,8 +7,15 @@
 //!
 //! * [`sort`] — ExMS, SegS, HybS, LaS, SelS, cycle sort (§2.1)
 //! * [`join`] — NLJ, GJ, HJ, HybJ, SegJ, LaJ (§2.2)
-//! * [`cost`] — Eqs. 1–11, Fig. 2 surface, knob selection (§2, §4.2.3)
+//! * [`cost`] — Eqs. 1–11, Fig. 2 surface, knob selection (§2, §4.2.3),
+//!   read/write-split predictions and candidate sets for plan enumerators
+//! * [`exec`] — Volcano operators (`scan → filter → sort → join →
+//!   aggregate`), boxed-operator composition, and counted staging
 //! * [`stats`] — Kendall's τ for the Fig. 12 concordance experiment
+//!
+//! Plan-level algorithm selection lives in the `wl-planner` crate
+//! (`crates/planner`), which consumes [`cost`]'s candidate sets and
+//! predictions and lowers winning plans onto [`exec`].
 //!
 //! ```
 //! use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice};

@@ -51,7 +51,10 @@ impl<'a, R: Record> DeferredFilter<'a, R> {
         selectivity: f64,
         rt: &mut OpCtx,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&selectivity),
+            "selectivity must be in [0,1]"
+        );
         let source_name = rt.create_name("src");
         let name = rt.create_name("filtered");
         rt.declare(&source_name, CStatus::Materialized, source.buffers() as f64);
@@ -94,9 +97,8 @@ impl<'a, R: Record> DeferredFilter<'a, R> {
         }
         let verdict = rt.assess(&self.name);
         let materialize = verdict.is_some_and(|v| v.decision == Decision::Materialize);
-        let mut file = materialize.then(|| {
-            PCollection::<R>::new(ctx.device(), ctx.kind(), format!("{}-mat", self.name))
-        });
+        let mut file = materialize
+            .then(|| PCollection::<R>::new(ctx.device(), ctx.kind(), format!("{}-mat", self.name)));
         for r in self.source.reader() {
             if (self.predicate)(&r) {
                 if let Some(file) = file.as_mut() {
@@ -174,8 +176,7 @@ mod tests {
     ) {
         let dev = PmDevice::paper_default();
         let w = join_input(t, fanout, 64);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         (dev, left, right, m_records)
@@ -189,8 +190,8 @@ mod tests {
         let mut rt = OpCtx::new(dev.lambda());
         // Keep even keys: half the matches survive.
         let mut filter = DeferredFilter::new(&left, |r| r.key() % 2 == 0, 0.5, &mut rt);
-        let out = filtered_iterate_join(&mut filter, &right, &ctx, &mut rt, "out")
-            .expect("applicable");
+        let out =
+            filtered_iterate_join(&mut filter, &right, &ctx, &mut rt, "out").expect("applicable");
         assert_eq!(out.len(), 1000); // 400·5 / 2
         assert!(out.to_vec_uncounted().iter().all(|p| p.left.key() % 2 == 0));
     }
@@ -206,9 +207,12 @@ mod tests {
         // 5% selectivity: λ·f = 0.75 ≤ 1 scan — the read-over-write rule
         // fires immediately on first access.
         let mut filter = DeferredFilter::new(&left, |r| r.key() % 20 == 0, 0.05, &mut rt);
-        let _ = filtered_iterate_join(&mut filter, &right, &ctx, &mut rt, "out")
-            .expect("applicable");
-        assert!(filter.is_materialized(), "selective view should materialize");
+        let _ =
+            filtered_iterate_join(&mut filter, &right, &ctx, &mut rt, "out").expect("applicable");
+        assert!(
+            filter.is_materialized(),
+            "selective view should materialize"
+        );
     }
 
     #[test]
@@ -222,8 +226,8 @@ mod tests {
         // f = 1: materializing costs λ·|T| writes; with k ≤ λ passes the
         // re-filtering reads never catch up.
         let mut filter = DeferredFilter::new(&left, |_| true, 1.0, &mut rt);
-        let out = filtered_iterate_join(&mut filter, &right, &ctx, &mut rt, "out")
-            .expect("applicable");
+        let out =
+            filtered_iterate_join(&mut filter, &right, &ctx, &mut rt, "out").expect("applicable");
         assert!(!filter.is_materialized(), "f=1 view should stay deferred");
         assert_eq!(out.len(), 2400);
     }

@@ -121,7 +121,10 @@ pub fn generate_runs_replacement_range<R: Record>(
     capacity: usize,
     ctx: &SortContext<'_>,
 ) -> Vec<PCollection<R>> {
-    assert!(capacity > 0, "replacement selection needs at least 1 record of DRAM");
+    assert!(
+        capacity > 0,
+        "replacement selection needs at least 1 record of DRAM"
+    );
     let mut runs: Vec<PCollection<R>> = Vec::new();
     let mut current: BinaryHeap<Reverse<Entry<R>>> = BinaryHeap::with_capacity(capacity);
     let mut next: Vec<Entry<R>> = Vec::new();
@@ -256,8 +259,7 @@ pub fn merge_streams<R: Record>(
     mut streams: Vec<Box<dyn Iterator<Item = R> + '_>>,
     out: &mut PCollection<R>,
 ) {
-    let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> =
-        BinaryHeap::with_capacity(streams.len());
+    let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::with_capacity(streams.len());
     let mut heads: Vec<Option<R>> = Vec::with_capacity(streams.len());
     let mut seq = 0u64;
     for (i, s) in streams.iter_mut().enumerate() {

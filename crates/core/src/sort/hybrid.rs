@@ -46,7 +46,9 @@ pub fn hybrid_sort<R: Record>(
         });
     }
     let capacity = ctx.capacity_records::<R>();
-    let rr_cap = (((capacity as f64) * x).floor() as usize).max(1).min(capacity);
+    let rr_cap = (((capacity as f64) * x).floor() as usize)
+        .max(1)
+        .min(capacity);
     let rs_cap = capacity - rr_cap;
 
     // Selection region: max-heap of the smallest records seen so far.
@@ -84,7 +86,9 @@ pub fn hybrid_sort<R: Record>(
                 _ => current.push(Reverse(e)),
             }
         } else {
-            let Reverse(min) = current.pop().expect("current run heap non-empty at capacity");
+            let Reverse(min) = current
+                .pop()
+                .expect("current run heap non-empty at capacity");
             run.append(&min.record);
             last_out = Some((min.key, min.seq));
             if (e.key, e.seq) >= (min.key, min.seq) {

@@ -95,7 +95,11 @@ pub fn lazy_sort<R: Record>(
         if let Some(ti) = ti {
             // Progressive restart on the shrunken input (paper: T = Ti,
             // n = 0 and the loop's n++ brings it to 1).
-            debug_assert_eq!(ti.len() + out.len(), total, "Ti must hold exactly the unemitted records");
+            debug_assert_eq!(
+                ti.len() + out.len(),
+                total,
+                "Ti must hold exactly the unemitted records"
+            );
             intermediate = Some(ti);
             boundary = None;
             emitted_in_source = 0;

@@ -26,7 +26,9 @@ pub use ext_merge::external_merge_sort;
 pub use hybrid::hybrid_sort;
 pub use lazy::{lazy_sort, materialization_pass};
 pub use segment::segment_sort;
-pub use selection::{selection_sort, selection_sort_into, selection_sort_range_into, SelectionStream};
+pub use selection::{
+    selection_sort, selection_sort_into, selection_sort_range_into, SelectionStream,
+};
 
 use pmem_sim::{PCollection, PmError};
 use wisconsin::Record;

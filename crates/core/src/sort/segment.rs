@@ -78,7 +78,11 @@ mod tests {
     use pmem_sim::{BufferPool, LayerKind, PmDevice};
     use wisconsin::{sort_input, KeyOrder, Record, WisconsinRecord};
 
-    fn sort_with_x(n: u64, m_records: usize, x: f64) -> (pmem_sim::IoStats, PCollection<WisconsinRecord>) {
+    fn sort_with_x(
+        n: u64,
+        m_records: usize,
+        x: f64,
+    ) -> (pmem_sim::IoStats, PCollection<WisconsinRecord>) {
         let dev = PmDevice::paper_default();
         let input = PCollection::from_records_uncounted(
             &dev,

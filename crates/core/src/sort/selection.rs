@@ -54,7 +54,10 @@ impl<'a, R: Record> SelectionStream<'a, R> {
     /// Creates the stream over `input[range]` with a DRAM heap of
     /// `capacity` records.
     pub fn new(input: &'a PCollection<R>, range: std::ops::Range<usize>, capacity: usize) -> Self {
-        assert!(capacity > 0, "selection stream needs at least 1 record of DRAM");
+        assert!(
+            capacity > 0,
+            "selection stream needs at least 1 record of DRAM"
+        );
         Self {
             input,
             range,
@@ -153,7 +156,7 @@ pub fn selection_sort_range_into<R: Record>(
 mod tests {
     use super::*;
     use crate::sort::common::is_sorted_by_key;
-    use pmem_sim::{BufferPool, LayerKind, PmDevice, Pm};
+    use pmem_sim::{BufferPool, LayerKind, Pm, PmDevice};
     use wisconsin::{sort_input, KeyOrder, WisconsinRecord};
 
     fn run(n: u64, mem_records: usize, order: KeyOrder) -> (Pm, PCollection<WisconsinRecord>) {

@@ -76,7 +76,10 @@ impl Node {
     /// Panics on an unknown node tag (corrupt page).
     pub fn decode(bytes: &[u8]) -> Self {
         let tag = bytes[0];
-        assert!(tag == TAG_LEAF || tag == TAG_INNER, "corrupt node tag {tag}");
+        assert!(
+            tag == TAG_LEAF || tag == TAG_INNER,
+            "corrupt node tag {tag}"
+        );
         let count = u16::from_le_bytes(bytes[2..4].try_into().expect("2 bytes")) as usize;
         let raw_link = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
         let link = match tag {
@@ -105,7 +108,9 @@ impl Node {
         buf[2..4].copy_from_slice(&(self.entries.len() as u16).to_le_bytes());
         let raw_link = match self.tag {
             TAG_LEAF => self.link.map_or(0, |l| l as u64 + 1),
-            _ => self.link.expect("inner nodes always have a rightmost child") as u64,
+            _ => self
+                .link
+                .expect("inner nodes always have a rightmost child") as u64,
         };
         buf[8..16].copy_from_slice(&raw_link.to_le_bytes());
         for (i, (k, v)) in self.entries.iter().enumerate() {
@@ -140,7 +145,8 @@ impl Node {
                 return child as PageId;
             }
         }
-        self.link.expect("inner nodes always have a rightmost child")
+        self.link
+            .expect("inner nodes always have a rightmost child")
     }
 }
 

@@ -108,11 +108,7 @@ impl BPlusTree {
                 .binary_search_by_key(&key, |e| e.0)
                 .ok()
                 .map(|i| leaf.entries[i].1),
-            LeafPolicy::Append => leaf
-                .entries
-                .iter()
-                .find(|e| e.0 == key)
-                .map(|e| e.1),
+            LeafPolicy::Append => leaf.entries.iter().find(|e| e.0 == key).map(|e| e.1),
         }
     }
 
@@ -194,7 +190,13 @@ impl BPlusTree {
 
     /// Inserts separator `sep` splitting `left_id`/`right_id` into the
     /// parent chain, splitting inner nodes as needed.
-    fn insert_into_parent(&mut self, mut path: Vec<PageId>, sep: u64, left_id: PageId, right_id: PageId) {
+    fn insert_into_parent(
+        &mut self,
+        mut path: Vec<PageId>,
+        sep: u64,
+        left_id: PageId,
+        right_id: PageId,
+    ) {
         let Some(parent_id) = path.pop() else {
             // Root split: a new root with one separator.
             let new_root = self.store.alloc();
@@ -215,7 +217,11 @@ impl BPlusTree {
             parent.entries[j].1 = right_id as u64;
             parent.entries.insert(j, (sep, left_id as u64));
         } else {
-            debug_assert_eq!(parent.link, Some(left_id), "split child missing from parent");
+            debug_assert_eq!(
+                parent.link,
+                Some(left_id),
+                "split child missing from parent"
+            );
             parent.link = Some(right_id);
             parent.entries.push((sep, left_id as u64));
         }

@@ -1,0 +1,142 @@
+//! Table metadata the planner estimates from and the executor binds to.
+//!
+//! A [`Catalog`] names Wisconsin-style base tables and carries the two
+//! things the planner needs per table: cardinality statistics (rows,
+//! record width, key domain) and — when the catalog is built for
+//! execution rather than pure planning — a reference to the actual
+//! persistent collection.
+
+use pmem_sim::{PCollection, CACHELINE};
+use std::collections::BTreeMap;
+use wisconsin::WisconsinRecord;
+
+/// Statistics of one base table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TableStats {
+    /// Number of records.
+    pub rows: u64,
+    /// Record width in bytes.
+    pub record_bytes: usize,
+    /// Size of the key domain; keys are assumed uniform in
+    /// `[0, key_domain)`. For Wisconsin permutation inputs this equals
+    /// `rows` (unique keys).
+    pub key_domain: u64,
+}
+
+impl TableStats {
+    /// Stats for a Wisconsin permutation table of `rows` records
+    /// (80-byte records, unique keys).
+    pub fn wisconsin(rows: u64) -> Self {
+        Self {
+            rows,
+            record_bytes: wisconsin::WISCONSIN_ATTRS * 8,
+            key_domain: rows,
+        }
+    }
+
+    /// Table size in the paper's buffer units (cachelines).
+    pub fn buffers(&self) -> f64 {
+        (self.rows as f64 * self.record_bytes as f64 / CACHELINE as f64).ceil()
+    }
+}
+
+/// One catalog entry: stats plus, optionally, the bound data.
+#[derive(Debug)]
+struct Table<'a> {
+    stats: TableStats,
+    data: Option<&'a PCollection<WisconsinRecord>>,
+}
+
+/// Named base tables with statistics and (optionally) bound collections.
+#[derive(Debug, Default)]
+pub struct Catalog<'a> {
+    tables: BTreeMap<String, Table<'a>>,
+}
+
+impl<'a> Catalog<'a> {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table by statistics only (planning without data).
+    pub fn add_stats(&mut self, name: impl Into<String>, stats: TableStats) {
+        self.tables.insert(name.into(), Table { stats, data: None });
+    }
+
+    /// Registers a table bound to a collection; rows and width are taken
+    /// from the collection, the key domain from `key_domain`.
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        data: &'a PCollection<WisconsinRecord>,
+        key_domain: u64,
+    ) {
+        let stats = TableStats {
+            rows: data.len() as u64,
+            record_bytes: wisconsin::WISCONSIN_ATTRS * 8,
+            key_domain,
+        };
+        self.tables.insert(
+            name.into(),
+            Table {
+                stats,
+                data: Some(data),
+            },
+        );
+    }
+
+    /// The table's statistics, if registered.
+    pub fn stats(&self, name: &str) -> Option<&TableStats> {
+        self.tables.get(name).map(|t| &t.stats)
+    }
+
+    /// The table's bound collection, if registered with data.
+    pub fn data(&self, name: &str) -> Option<&'a PCollection<WisconsinRecord>> {
+        self.tables.get(name).and_then(|t| t.data)
+    }
+
+    /// Registered table names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::{LayerKind, PmDevice};
+
+    #[test]
+    fn wisconsin_stats_buffer_math() {
+        let s = TableStats::wisconsin(1000);
+        // 1000 × 80 B = 80 000 B = 1250 cachelines.
+        assert_eq!(s.buffers(), 1250.0);
+        assert_eq!(s.key_domain, 1000);
+    }
+
+    #[test]
+    fn bound_tables_expose_stats_and_data() {
+        let dev = PmDevice::paper_default();
+        let col = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            (0..50).map(WisconsinRecord::from_key),
+        );
+        let mut cat = Catalog::new();
+        cat.add_table("T", &col, 50);
+        assert_eq!(cat.stats("T").unwrap().rows, 50);
+        assert!(cat.data("T").is_some());
+        assert!(cat.stats("missing").is_none());
+        assert_eq!(cat.names(), vec!["T"]);
+    }
+
+    #[test]
+    fn stats_only_tables_have_no_data() {
+        let mut cat = Catalog::new();
+        cat.add_stats("S", TableStats::wisconsin(10));
+        assert!(cat.data("S").is_none());
+        assert_eq!(cat.stats("S").unwrap().buffers(), 13.0);
+    }
+}

@@ -1,0 +1,697 @@
+//! The plan enumerator: logical plan → costed physical plan.
+//!
+//! For every sort and join node the enumerator consults the Eqs. 1–11
+//! cost models (via `write_limited::cost`) for the whole applicable
+//! candidate field — ExMS/SegS/HybS/LaS/SelS for sorts, NLJ/GJ/HJ/HybJ/
+//! SegJ/LaJ (both build orders) for joins — and keeps the cheapest. For
+//! filters feeding a join's build side it additionally consults the
+//! §3.1 runtime rules ([`wl_runtime::plan_verdict`]) to gate a
+//! *deferred-view* candidate where the filter output is never written
+//! and the iterate-only join re-filters the source on every pass.
+
+use crate::catalog::Catalog;
+use crate::logical::{LogicalPlan, Predicate};
+use crate::lower::WisPair;
+use crate::physical::{Materialization, NodeCost, PhysicalPlan};
+use pmem_sim::{BufferPool, DeviceConfig, LayerKind, Pm, Storable, CACHELINE};
+use wisconsin::WisconsinRecord;
+use wl_runtime::{plan_verdict, Decision};
+use write_limited::agg::GroupAgg;
+use write_limited::cost::{
+    join_candidates, predict_join_io, predict_sort_io, sort_candidates, IoPrediction,
+};
+use write_limited::join::{JoinAlgorithm, HASH_TABLE_FACTOR};
+
+/// Base record width in bytes (what join build sides hold).
+const WIS_BYTES: f64 = WisconsinRecord::SIZE as f64;
+/// Pair record width in bytes after a Wisconsin ⋈ Wisconsin join.
+const PAIR_BYTES: f64 = WisPair::SIZE as f64;
+/// GroupAgg record width in bytes.
+const GROUP_BYTES: f64 = GroupAgg::SIZE as f64;
+
+/// Planning failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A scanned table is not in the catalog.
+    UnknownTable(String),
+    /// The plan shape is outside what the executor supports.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            PlanError::Unsupported(what) => write!(f, "unsupported plan shape: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One costed alternative the enumerator considered for a node.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Display label, e.g. `SegS, 32%` or `GJ (swapped)`.
+    pub label: String,
+    /// Predicted traffic of the node under this alternative.
+    pub io: IoPrediction,
+    /// Scalar cost in read units.
+    pub cost_units: f64,
+}
+
+/// The full candidate field of one enumerated node.
+#[derive(Clone, Debug)]
+pub struct NodeChoice {
+    /// Which node this is, e.g. `sort over ~5000 rows`.
+    pub node: String,
+    /// All alternatives, sorted cheapest first.
+    pub candidates: Vec<Candidate>,
+    /// Label of the winner.
+    pub chosen: String,
+}
+
+/// A planned query: the winning physical plan plus the evidence.
+#[derive(Clone, Debug)]
+pub struct PlannedQuery {
+    /// The winning physical plan.
+    pub plan: PhysicalPlan,
+    /// Per-node candidate fields, in planning order.
+    pub choices: Vec<NodeChoice>,
+    /// Write/read cost ratio the plan was costed at.
+    pub lambda: f64,
+    /// DRAM budget in buffers.
+    pub m_buffers: f64,
+    /// Total predicted traffic of the plan.
+    pub predicted: IoPrediction,
+}
+
+/// The write-aware planner: carries the device cost parameters the
+/// enumerator ranks candidates under.
+#[derive(Clone, Debug)]
+pub struct Planner {
+    /// Write/read cost ratio λ of the target medium.
+    pub lambda: f64,
+    /// DRAM budget in buffers (cachelines).
+    pub m_buffers: f64,
+    /// Persistence layer targeted by intermediates.
+    pub layer: LayerKind,
+    /// Per-storage-call software overhead expressed in read units.
+    call_overhead_units: f64,
+    /// Cachelines per collection block (call granularity).
+    block_cachelines: f64,
+}
+
+impl Planner {
+    /// Builds a planner from explicit λ and memory budget, taking the
+    /// per-layer overhead parameters from the paper-default device
+    /// configuration.
+    pub fn new(lambda: f64, m_buffers: f64, layer: LayerKind) -> Self {
+        Self::with_config(lambda, m_buffers, layer, &DeviceConfig::paper_default())
+    }
+
+    /// Builds a planner matching a live device and buffer pool — the
+    /// form used right before execution.
+    pub fn for_device(dev: &Pm, pool: &BufferPool, layer: LayerKind) -> Self {
+        Self::with_config(
+            dev.lambda(),
+            pool.budget_buffers() as f64,
+            layer,
+            dev.config(),
+        )
+    }
+
+    /// Explicit-configuration constructor.
+    pub fn with_config(lambda: f64, m_buffers: f64, layer: LayerKind, cfg: &DeviceConfig) -> Self {
+        assert!(lambda >= 1.0, "write/read ratio must be >= 1");
+        assert!(m_buffers >= 1.0, "need at least one buffer of DRAM");
+        let call_ns = match layer {
+            LayerKind::Pmfs => cfg.pmfs_call_ns,
+            LayerKind::RamDisk => cfg.ramdisk_call_ns,
+            LayerKind::BlockedMemory | LayerKind::DynArray => 0.0,
+        };
+        Self {
+            lambda,
+            m_buffers,
+            layer,
+            call_overhead_units: call_ns / cfg.latency.read_ns,
+            block_cachelines: cfg.cachelines_per_block() as f64,
+        }
+    }
+
+    /// Software-overhead surcharge for `traffic` buffers of layer I/O,
+    /// in read units: one storage call per block touched. Zero for the
+    /// load/store layers, significant for the RAM disk — this is what
+    /// makes the planner layer-aware beyond pure cacheline counts.
+    fn layer_overhead(&self, traffic_buffers: f64) -> f64 {
+        self.call_overhead_units * (traffic_buffers / self.block_cachelines).ceil()
+    }
+
+    fn with_overhead(&self, io: IoPrediction) -> IoPrediction {
+        IoPrediction {
+            reads: io.reads + self.layer_overhead(io.reads + io.writes),
+            writes: io.writes,
+        }
+    }
+
+    /// Enumerates physical plans for `logical` and returns the cheapest
+    /// together with the candidate evidence.
+    ///
+    /// # Errors
+    /// Returns [`PlanError`] for unknown tables or plan shapes the
+    /// executor cannot lower.
+    pub fn plan(
+        &self,
+        logical: &LogicalPlan,
+        catalog: &Catalog<'_>,
+    ) -> Result<PlannedQuery, PlanError> {
+        let mut choices = Vec::new();
+        let plan = self.plan_node(logical, catalog, &mut choices)?;
+        let predicted = plan.total_io();
+        Ok(PlannedQuery {
+            plan,
+            choices,
+            lambda: self.lambda,
+            m_buffers: self.m_buffers,
+            predicted,
+        })
+    }
+
+    fn plan_node(
+        &self,
+        logical: &LogicalPlan,
+        catalog: &Catalog<'_>,
+        choices: &mut Vec<NodeChoice>,
+    ) -> Result<PhysicalPlan, PlanError> {
+        match logical {
+            LogicalPlan::Scan { table } => {
+                let stats = catalog
+                    .stats(table)
+                    .ok_or_else(|| PlanError::UnknownTable(table.clone()))?;
+                Ok(PhysicalPlan::Scan {
+                    table: table.clone(),
+                    cost: NodeCost {
+                        io: IoPrediction::ZERO, // charged by the consumer
+                        out_rows: stats.rows as f64,
+                        out_buffers: stats.buffers(),
+                        distinct_keys: (stats.rows.min(stats.key_domain)) as f64,
+                    },
+                })
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let child = self.plan_node(input, catalog, choices)?;
+                Ok(self.plan_filter(child, *predicate, input, catalog))
+            }
+            LogicalPlan::Sort { input } => {
+                let child = self.plan_node(input, catalog, choices)?;
+                Ok(self.plan_sort(child, choices))
+            }
+            LogicalPlan::Join { left, right } => {
+                let l = self.plan_node(left, catalog, choices)?;
+                let r = self.plan_node(right, catalog, choices)?;
+                self.plan_join(l, r, choices)
+            }
+            LogicalPlan::Aggregate { input } => {
+                let child = self.plan_node(input, catalog, choices)?;
+                Ok(self.plan_agg(child))
+            }
+        }
+    }
+
+    /// Filters default to materialized: read the input once, write the
+    /// qualifying rows. [`Planner::plan_join`] revisits build-side
+    /// filters and may flip them to deferred views.
+    fn plan_filter(
+        &self,
+        child: PhysicalPlan,
+        predicate: Predicate,
+        logical_input: &LogicalPlan,
+        catalog: &Catalog<'_>,
+    ) -> PhysicalPlan {
+        let key_domain = base_key_domain(logical_input, catalog);
+        let selectivity = predicate.selectivity(key_domain);
+        let in_rows = child.cost().out_rows;
+        let in_buffers = child.cost().out_buffers;
+        let distinct = (child.cost().distinct_keys * selectivity).ceil().max(1.0);
+        let out_rows = (in_rows * selectivity).ceil();
+        let out_buffers = (in_buffers * selectivity).ceil();
+        let io = self.with_overhead(IoPrediction {
+            reads: in_buffers,
+            writes: out_buffers,
+        });
+        PhysicalPlan::Filter {
+            input: Box::new(child),
+            predicate,
+            selectivity,
+            materialization: Materialization::Materialized,
+            rule: None,
+            cost: NodeCost {
+                io,
+                out_rows,
+                out_buffers,
+                distinct_keys: distinct,
+            },
+        }
+    }
+
+    fn plan_sort(&self, child: PhysicalPlan, choices: &mut Vec<NodeChoice>) -> PhysicalPlan {
+        let t = child.cost().out_buffers.max(1.0);
+        let out_rows = child.cost().out_rows;
+        let mut candidates: Vec<(write_limited::sort::SortAlgorithm, Candidate)> =
+            sort_candidates(t, self.m_buffers, self.lambda)
+                .into_iter()
+                .map(|algo| {
+                    let io =
+                        self.with_overhead(predict_sort_io(&algo, t, self.m_buffers, self.lambda));
+                    let cand = Candidate {
+                        label: algo.label(),
+                        cost_units: io.cost_units(self.lambda),
+                        io,
+                    };
+                    (algo, cand)
+                })
+                .collect();
+        candidates.sort_by(|a, b| a.1.cost_units.total_cmp(&b.1.cost_units));
+        let (algo, winner) = candidates[0].clone();
+        choices.push(NodeChoice {
+            node: format!("sort over ~{out_rows:.0} rows ({t:.0} buffers)"),
+            candidates: candidates.into_iter().map(|(_, c)| c).collect(),
+            chosen: winner.label.clone(),
+        });
+        let distinct = child.cost().distinct_keys;
+        PhysicalPlan::Sort {
+            input: Box::new(child),
+            algo,
+            cost: NodeCost {
+                io: winner.io,
+                out_rows,
+                out_buffers: t,
+                distinct_keys: distinct,
+            },
+        }
+    }
+
+    fn plan_join(
+        &self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        choices: &mut Vec<NodeChoice>,
+    ) -> Result<PhysicalPlan, PlanError> {
+        let lb = left.cost().out_buffers.max(1.0);
+        let rb = right.cost().out_buffers.max(1.0);
+        let l_rows = left.cost().out_rows;
+        let r_rows = right.cost().out_rows;
+
+        // Equi-join cardinality under uniform keys and key containment:
+        // rows-per-key on each side times the matching key count.
+        let l_distinct = left.cost().distinct_keys.max(1.0);
+        let r_distinct = right.cost().distinct_keys.max(1.0);
+        let matching = l_distinct.min(r_distinct);
+        let out_rows = (l_rows / l_distinct) * (r_rows / r_distinct) * matching;
+        let out_buffers = (out_rows * PAIR_BYTES / CACHELINE as f64).ceil();
+        let output_writes = IoPrediction {
+            reads: 0.0,
+            writes: out_buffers,
+        };
+
+        // Candidate field: every applicable algorithm in both build
+        // orders. The cost models assume t ≤ v, which either order may
+        // satisfy; applicability of the Grace family is checked per
+        // order against the DRAM budget.
+        let mut field: Vec<(JoinAlgorithm, bool, Candidate)> = Vec::new();
+        for (swapped, t, v, t_rows) in [(false, lb, rb, l_rows), (true, rb, lb, r_rows)] {
+            for algo in join_candidates(t, v, self.m_buffers, self.lambda) {
+                if grace_family(&algo) && !self.grace_ok(t_rows) {
+                    continue;
+                }
+                let io = self.with_overhead(
+                    predict_join_io(&algo, t, v, self.m_buffers, self.lambda).plus(output_writes),
+                );
+                let label = if swapped {
+                    format!("{} (swapped)", algo.label())
+                } else {
+                    algo.label()
+                };
+                field.push((
+                    algo,
+                    swapped,
+                    Candidate {
+                        label,
+                        cost_units: io.cost_units(self.lambda),
+                        io,
+                    },
+                ));
+            }
+        }
+
+        // Deferred-view candidate: when the build side is a filtered
+        // base-table scan, the §3.1 rules may prefer never writing the
+        // filtered collection; the iterate-only join then re-filters the
+        // source on every pass.
+        let mut deferred_candidate = None;
+        if let PhysicalPlan::Filter {
+            cost: filter_cost,
+            input: filter_input,
+            ..
+        } = &left
+        {
+            if matches!(**filter_input, PhysicalPlan::Scan { .. })
+                && self.grace_ok(filter_input.cost().out_rows)
+            {
+                let src = filter_input.cost().out_buffers.max(1.0);
+                let filtered = filter_cost.out_buffers.max(1.0);
+                // The iterate-only join partitions by the *source*
+                // cardinality (it cannot know the filtered count up
+                // front) over the hash-table-adjusted build capacity —
+                // mirror `JoinContext::grace_partitions`.
+                let k = self.grace_partitions_est(filter_input.cost().out_rows);
+                let verdict = plan_verdict(filtered, src, k, self.lambda);
+                if verdict.decision == Decision::Defer {
+                    let io = self.with_overhead(
+                        IoPrediction {
+                            reads: k * (src + rb),
+                            writes: 0.0,
+                        }
+                        .plus(output_writes),
+                    );
+                    deferred_candidate = Some((
+                        verdict,
+                        Candidate {
+                            label: "SegJ, 0% over deferred σ".into(),
+                            cost_units: io.cost_units(self.lambda),
+                            io,
+                        },
+                    ));
+                }
+            }
+        }
+
+        if field.is_empty() && deferred_candidate.is_none() {
+            return Err(PlanError::Unsupported(
+                "no applicable join algorithm under this DRAM budget".into(),
+            ));
+        }
+
+        // Fixed candidates rely on the build filter being materialized;
+        // that cost lives in the filter node, while the deferred view
+        // zeroes it and carries re-filtering in its own figure. To keep
+        // every row of the evidence table on one basis, fold the build
+        // filter's cost into the fixed candidates whenever a deferred
+        // alternative is in play — then the cheapest row IS the winner.
+        let filter_units = left.cost().io.cost_units(self.lambda);
+        if deferred_candidate.is_some() {
+            let filter_io = left.cost().io;
+            for (_, _, cand) in &mut field {
+                cand.io = cand.io.plus(filter_io);
+                cand.cost_units += filter_units;
+            }
+        }
+
+        let mut all: Vec<Candidate> = field.iter().map(|(_, _, c)| c.clone()).collect();
+        if let Some((_, c)) = &deferred_candidate {
+            all.push(c.clone());
+        }
+        all.sort_by(|a, b| a.cost_units.total_cmp(&b.cost_units));
+
+        let best_fixed = field
+            .iter()
+            .min_by(|a, b| a.2.cost_units.total_cmp(&b.2.cost_units))
+            .cloned();
+        let deferred_wins = match (&deferred_candidate, &best_fixed) {
+            (Some((_, d)), Some((_, _, f))) => d.cost_units < f.cost_units,
+            (Some(_), None) => true,
+            _ => false,
+        };
+
+        let node_label = format!("join ~{l_rows:.0} x ~{r_rows:.0} rows ({lb:.0}/{rb:.0} buffers)");
+        let (plan, chosen_label) = if deferred_wins {
+            let (verdict, cand) = deferred_candidate.expect("checked");
+            let mut left = left;
+            if let PhysicalPlan::Filter {
+                materialization,
+                rule,
+                cost,
+                ..
+            } = &mut left
+            {
+                *materialization = Materialization::Deferred;
+                *rule = Some(verdict.rule);
+                // The view is never written; its traffic is carried by
+                // the join's per-pass re-filtering.
+                cost.io = IoPrediction::ZERO;
+            }
+            let label = cand.label.clone();
+            (
+                PhysicalPlan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    algo: JoinAlgorithm::SegJ { frac: 0.0 },
+                    swapped: false,
+                    cost: NodeCost {
+                        io: cand.io,
+                        out_rows,
+                        out_buffers,
+                        distinct_keys: matching,
+                    },
+                },
+                label,
+            )
+        } else {
+            let (algo, swapped, cand) = best_fixed.expect("field is non-empty");
+            let label = cand.label.clone();
+            // The node's own cost excludes the build filter's traffic
+            // (the filter node carries it); undo the table-basis fold.
+            let node_io = if deferred_candidate.is_some() {
+                IoPrediction {
+                    reads: cand.io.reads - left.cost().io.reads,
+                    writes: cand.io.writes - left.cost().io.writes,
+                }
+            } else {
+                cand.io
+            };
+            (
+                PhysicalPlan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    algo,
+                    swapped,
+                    cost: NodeCost {
+                        io: node_io,
+                        out_rows,
+                        out_buffers,
+                        distinct_keys: matching,
+                    },
+                },
+                label,
+            )
+        };
+        choices.push(NodeChoice {
+            node: node_label,
+            candidates: all,
+            chosen: chosen_label,
+        });
+        Ok(plan)
+    }
+
+    /// Aggregation is lowered onto the write-limited sort-based
+    /// aggregator; its dominant cost is the segment sort of the input at
+    /// intensity `x`, plus writing one group row per distinct key.
+    fn plan_agg(&self, child: PhysicalPlan) -> PhysicalPlan {
+        let t = child.cost().out_buffers.max(1.0);
+        // x = 0 never materializes sorted runs — the aggregator consumes
+        // merge streams — so high λ favors it; at λ close to 1 run
+        // generation (x = 1) reads less overall. Pick by the segment
+        // cost model.
+        let (x, io) = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .into_iter()
+            .map(|x| {
+                let algo = write_limited::sort::SortAlgorithm::SegS { x };
+                (x, predict_sort_io(&algo, t, self.m_buffers, self.lambda))
+            })
+            .min_by(|a, b| {
+                a.1.cost_units(self.lambda)
+                    .total_cmp(&b.1.cost_units(self.lambda))
+            })
+            .expect("non-empty sweep");
+        // One output row per distinct key.
+        let groups = child.cost().distinct_keys.max(1.0);
+        let out_buffers = (groups * GROUP_BYTES / CACHELINE as f64).ceil();
+        // The segment cost model already charges λ·t for writing the
+        // sorted output; the aggregator instead writes only group rows.
+        // Correct the write side accordingly.
+        let io = IoPrediction {
+            reads: io.reads,
+            writes: (io.writes - t).max(0.0) + out_buffers,
+        };
+        let io = self.with_overhead(io);
+        PhysicalPlan::Aggregate {
+            input: Box::new(child),
+            x,
+            cost: NodeCost {
+                io,
+                out_rows: groups,
+                out_buffers,
+                distinct_keys: groups,
+            },
+        }
+    }
+
+    /// Mirrors `JoinContext::grace_applicable` in planning units:
+    /// `M_records > √(f·|T|_records)`.
+    fn grace_ok(&self, t_rows: f64) -> bool {
+        let m_records = self.m_buffers * CACHELINE as f64 / WIS_BYTES;
+        m_records > (HASH_TABLE_FACTOR * t_rows).sqrt()
+    }
+
+    /// Mirrors `JoinContext::grace_partitions`: `⌈f·|T| / M⌉` in
+    /// records.
+    fn grace_partitions_est(&self, t_rows: f64) -> f64 {
+        let m_records = self.m_buffers * CACHELINE as f64 / WIS_BYTES;
+        let cap = (m_records / HASH_TABLE_FACTOR).max(1.0);
+        (t_rows / cap).ceil().max(1.0)
+    }
+}
+
+/// Key domain of the base table(s) under a plan, for selectivity
+/// estimation.
+fn base_key_domain(logical: &LogicalPlan, catalog: &Catalog<'_>) -> u64 {
+    match logical {
+        LogicalPlan::Scan { table } => catalog.stats(table).map_or(0, |s| s.key_domain),
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input }
+        | LogicalPlan::Aggregate { input } => base_key_domain(input, catalog),
+        LogicalPlan::Join { left, .. } => base_key_domain(left, catalog),
+    }
+}
+
+fn grace_family(algo: &JoinAlgorithm) -> bool {
+    matches!(
+        algo,
+        JoinAlgorithm::GJ | JoinAlgorithm::HybJ { .. } | JoinAlgorithm::SegJ { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableStats;
+    use write_limited::sort::SortAlgorithm;
+
+    fn catalog() -> Catalog<'static> {
+        let mut c = Catalog::new();
+        c.add_stats("T", TableStats::wisconsin(10_000));
+        c.add_stats("V", TableStats::wisconsin(100_000));
+        c
+    }
+
+    #[test]
+    fn sort_choice_tracks_lambda() {
+        let cat = catalog();
+        let logical = LogicalPlan::scan("T").sort();
+        // Symmetric medium: ExMS (or full-intensity variants) wins.
+        let sym = Planner::new(1.0, 625.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        // Write-expensive medium: a write-limited algorithm wins.
+        let asym = Planner::new(15.0, 625.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        let algo_of = |p: &PlannedQuery| match &p.plan {
+            PhysicalPlan::Sort { algo, .. } => *algo,
+            other => panic!("expected sort root, got {}", other.label()),
+        };
+        // The paper's claim in planner form: as λ → 1 the optimal write
+        // intensity approaches full mergesort; as λ grows the chosen
+        // intensity drops (writes traded for reads).
+        let intensity = |a: SortAlgorithm| match a {
+            SortAlgorithm::ExMS => 1.0,
+            SortAlgorithm::SegS { x } | SortAlgorithm::HybS { x } => x,
+            SortAlgorithm::LaS | SortAlgorithm::SelS => 0.0,
+        };
+        assert!(
+            intensity(algo_of(&sym)) > 0.9,
+            "λ=1 should pick near-full intensity, got {:?}",
+            algo_of(&sym)
+        );
+        assert!(
+            intensity(algo_of(&asym)) < 0.7,
+            "λ=15 should pick a write-limited sort, got {:?}",
+            algo_of(&asym)
+        );
+    }
+
+    #[test]
+    fn join_enumeration_reports_both_orders() {
+        let cat = catalog();
+        let logical = LogicalPlan::scan("T").join(LogicalPlan::scan("V"));
+        let planned = Planner::new(15.0, 1250.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        let join_choice = planned
+            .choices
+            .iter()
+            .find(|c| c.node.starts_with("join"))
+            .expect("join node enumerated");
+        assert!(join_choice
+            .candidates
+            .iter()
+            .any(|c| c.label.contains("swapped")));
+        assert!(join_choice.candidates.len() >= 8);
+        // Candidates are sorted cheapest-first and the winner is first.
+        assert!(join_choice
+            .candidates
+            .windows(2)
+            .all(|w| w[0].cost_units <= w[1].cost_units));
+        assert_eq!(join_choice.chosen, join_choice.candidates[0].label);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let cat = catalog();
+        let logical = LogicalPlan::scan("missing").sort();
+        let err = Planner::new(15.0, 100.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .unwrap_err();
+        assert_eq!(err, PlanError::UnknownTable("missing".into()));
+    }
+
+    #[test]
+    fn selective_build_filter_materializes_nonselective_defers() {
+        let cat = catalog();
+        let planner = Planner::new(15.0, 250.0, LayerKind::BlockedMemory);
+        // Selective: 1% of T — cheap to write, every rule favors
+        // materializing before the join.
+        let selective = LogicalPlan::scan("T")
+            .filter(Predicate::KeyBelow(100))
+            .join(LogicalPlan::scan("V"));
+        let planned = planner.plan(&selective, &cat).expect("plans");
+        if let PhysicalPlan::Join { left, .. } = &planned.plan {
+            if let PhysicalPlan::Filter {
+                materialization, ..
+            } = &**left
+            {
+                assert_eq!(*materialization, Materialization::Materialized);
+            } else {
+                panic!("expected filter under join");
+            }
+        } else {
+            panic!("expected join root");
+        }
+    }
+
+    #[test]
+    fn layer_overhead_raises_ramdisk_costs() {
+        let cat = catalog();
+        let logical = LogicalPlan::scan("T").sort();
+        let cheap = Planner::new(15.0, 625.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        let pricey = Planner::new(15.0, 625.0, LayerKind::RamDisk)
+            .plan(&logical, &cat)
+            .expect("plans");
+        assert!(
+            pricey.predicted.reads > cheap.predicted.reads,
+            "RAM-disk call overhead must surface in predictions"
+        );
+    }
+}

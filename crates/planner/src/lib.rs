@@ -1,0 +1,68 @@
+//! # planner — write-aware cost-based query planning
+//!
+//! The paper's §4.2.3 knob optimizer picks a sort/join variant and its
+//! write-intensity knob per *operator*; this crate lifts that choice to
+//! whole *plans*. A [`LogicalPlan`] describes what to compute over
+//! named Wisconsin tables (`scan / filter / sort / join / aggregate`);
+//! the [`Planner`] enumerates, for every sort and join node, the full
+//! algorithm field — ExMS/SegS/HybS/LaS/SelS and NLJ/GJ/HJ/HybJ/SegJ/
+//! LaJ in both build orders — costs each candidate with the Eqs. 1–11
+//! models (`write_limited::cost`) under the target medium's λ, DRAM
+//! budget, and persistence layer, decides deferred-vs-materialized for
+//! build-side filters with the §3.1 runtime rules
+//! ([`wl_runtime::plan_verdict`]), and returns the cheapest
+//! [`PhysicalPlan`] plus the whole candidate table as evidence.
+//!
+//! [`execute`] lowers the winning plan onto the Volcano operators of
+//! `write_limited::exec` and runs it against `pmem_sim`, so predicted
+//! cacheline reads/writes can be compared against measured ones — a
+//! plan-level extension of the paper's Fig. 12 concordance experiment.
+//! [`execute_naive`] is the DRAM reference oracle lowered plans must
+//! agree with.
+//!
+//! ```
+//! use planner::{Catalog, LogicalPlan, Planner, Predicate};
+//! use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice};
+//!
+//! let dev = PmDevice::paper_default();
+//! let w = wisconsin::join_input(2_000, 4, 7);
+//! let t = PCollection::from_records_uncounted(
+//!     &dev, LayerKind::BlockedMemory, "T", w.left);
+//! let v = PCollection::from_records_uncounted(
+//!     &dev, LayerKind::BlockedMemory, "V", w.right);
+//! let mut catalog = Catalog::new();
+//! catalog.add_table("T", &t, 2_000);
+//! catalog.add_table("V", &v, 2_000);
+//!
+//! let query = LogicalPlan::scan("T")
+//!     .filter(Predicate::KeyBelow(1_000))
+//!     .join(LogicalPlan::scan("V"))
+//!     .aggregate();
+//! let pool = BufferPool::new(200 * 80);
+//! let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
+//! let planned = planner.plan(&query, &catalog).unwrap();
+//!
+//! let run = planner::execute(&planned, &catalog, &dev,
+//!     LayerKind::BlockedMemory, &pool).unwrap();
+//! assert_eq!(run.output.len(), 1_000); // 1000 surviving keys × 1 group
+//! let reference = planner::execute_naive(&query, &catalog).unwrap();
+//! assert_eq!(run.output.canonical(), reference.canonical());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod enumerate;
+pub mod logical;
+pub mod lower;
+pub mod naive;
+pub mod physical;
+pub mod report;
+
+pub use catalog::{Catalog, TableStats};
+pub use enumerate::{Candidate, NodeChoice, PlanError, PlannedQuery, Planner};
+pub use logical::{LogicalPlan, Predicate};
+pub use lower::{execute, ExecError, Executed, OutputRows, WisPair};
+pub use naive::execute_naive;
+pub use physical::{Materialization, NodeCost, PhysicalPlan};
+pub use report::{render_choices, render_concordance, render_plan};

@@ -1,0 +1,379 @@
+//! Lowering: physical plan → executable operator tree → measured run.
+//!
+//! Streaming segments (scan → filter) lower onto the Volcano operators
+//! in `write_limited::exec` and are staged into persistent collections
+//! at blocking boundaries with [`write_limited::exec::stage`]; blocking
+//! nodes (sort, join, aggregate) then invoke the chosen algorithm on the
+//! staged collections, so every cacheline the plan touches flows through
+//! the counted device. Deferred filters are lowered onto the §3.1
+//! runtime ([`DeferredFilter`] + [`filtered_iterate_join`]), which
+//! re-filters the source per pass instead of writing the view.
+
+use crate::catalog::Catalog;
+use crate::enumerate::{PlanError, PlannedQuery};
+use crate::logical::Predicate;
+use crate::physical::{Materialization, PhysicalPlan};
+use pmem_sim::{BufferPool, IoStats, LayerKind, Pm, PmError};
+use wisconsin::{Pair, Record, WisconsinRecord};
+use wl_runtime::OpCtx;
+use write_limited::agg::{sort_based_aggregate, GroupAgg};
+use write_limited::exec::{stage, FilterOp, ScanOp};
+use write_limited::join::JoinContext;
+use write_limited::pipeline::{filtered_iterate_join, DeferredFilter};
+use write_limited::sort::{SortAlgorithm, SortContext};
+
+/// A joined Wisconsin pair.
+pub type WisPair = Pair<WisconsinRecord, WisconsinRecord>;
+
+/// Execution failure.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Planning-level problem discovered at lowering time.
+    Plan(PlanError),
+    /// A scanned table was registered without data.
+    MissingData(String),
+    /// The underlying algorithm rejected the setting.
+    Pm(PmError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Plan(e) => write!(f, "{e}"),
+            ExecError::MissingData(t) => write!(f, "table {t:?} has no bound data"),
+            ExecError::Pm(e) => write!(f, "{e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<PmError> for ExecError {
+    fn from(e: PmError) -> Self {
+        ExecError::Pm(e)
+    }
+}
+
+/// The rows a plan produced, drained to DRAM (uncounted) for
+/// verification. Pairs are normalized to logical order (build-side
+/// swaps undone).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutputRows {
+    /// Base records.
+    Wis(Vec<WisconsinRecord>),
+    /// Joined pairs in logical (left, right) order.
+    Pairs(Vec<(WisconsinRecord, WisconsinRecord)>),
+    /// Aggregation groups.
+    Groups(Vec<GroupAgg>),
+}
+
+impl OutputRows {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            OutputRows::Wis(v) => v.len(),
+            OutputRows::Pairs(v) => v.len(),
+            OutputRows::Groups(v) => v.len(),
+        }
+    }
+
+    /// True when no rows were produced.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical multiset form for cross-plan equivalence: one sorted
+    /// `(key, a, b)` triple per row.
+    pub fn canonical(&self) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<(u64, u64, u64)> = match self {
+            OutputRows::Wis(rows) => rows.iter().map(|r| (r.key(), r.payload(), 0)).collect(),
+            OutputRows::Pairs(rows) => rows
+                .iter()
+                .map(|(l, r)| (l.key(), l.payload(), r.payload()))
+                .collect(),
+            OutputRows::Groups(rows) => rows.iter().map(|g| (g.key, g.count, g.sum)).collect(),
+        };
+        v.sort_unstable();
+        v
+    }
+
+    /// The key sequence in produced order (for sortedness checks).
+    pub fn keys(&self) -> Vec<u64> {
+        match self {
+            OutputRows::Wis(rows) => rows.iter().map(Record::key).collect(),
+            OutputRows::Pairs(rows) => rows.iter().map(|(l, _)| l.key()).collect(),
+            OutputRows::Groups(rows) => rows.iter().map(|g| g.key).collect(),
+        }
+    }
+}
+
+/// One measured plan execution.
+#[derive(Clone, Debug)]
+pub struct Executed {
+    /// The produced rows (drained uncounted).
+    pub output: OutputRows,
+    /// Cacheline traffic the run charged to the device.
+    pub stats: IoStats,
+    /// Simulated wall-clock seconds of the run.
+    pub secs: f64,
+}
+
+/// Intermediate result of one plan subtree.
+enum Stream<'a> {
+    Borrowed(&'a pmem_sim::PCollection<WisconsinRecord>),
+    Wis(pmem_sim::PCollection<WisconsinRecord>),
+    Pairs {
+        col: pmem_sim::PCollection<WisPair>,
+        swapped: bool,
+    },
+    Groups(pmem_sim::PCollection<GroupAgg>),
+}
+
+/// Executes a planned query against the catalog's bound tables,
+/// measuring the traffic between entry and exit.
+///
+/// # Errors
+/// Returns [`ExecError`] when a table has no data bound or an algorithm
+/// rejects its inputs.
+pub fn execute(
+    planned: &PlannedQuery,
+    catalog: &Catalog<'_>,
+    dev: &Pm,
+    layer: LayerKind,
+    pool: &BufferPool,
+) -> Result<Executed, ExecError> {
+    let mut lowerer = Lowerer {
+        catalog,
+        dev,
+        layer,
+        pool,
+        fresh: 0,
+    };
+    let before = dev.snapshot();
+    let result = lowerer.eval(&planned.plan)?;
+    let stats = dev.snapshot().since(&before);
+    let output = match result {
+        Stream::Borrowed(col) => OutputRows::Wis(col.to_vec_uncounted()),
+        Stream::Wis(col) => OutputRows::Wis(col.to_vec_uncounted()),
+        Stream::Pairs { col, swapped } => OutputRows::Pairs(
+            col.to_vec_uncounted()
+                .into_iter()
+                .map(|p| {
+                    if swapped {
+                        (p.right, p.left)
+                    } else {
+                        (p.left, p.right)
+                    }
+                })
+                .collect(),
+        ),
+        Stream::Groups(col) => OutputRows::Groups(col.to_vec_uncounted()),
+    };
+    Ok(Executed {
+        output,
+        secs: stats.time_secs(&dev.config().latency),
+        stats,
+    })
+}
+
+struct Lowerer<'a, 'c> {
+    catalog: &'a Catalog<'c>,
+    dev: &'a Pm,
+    layer: LayerKind,
+    pool: &'a BufferPool,
+    fresh: u64,
+}
+
+impl<'a, 'c> Lowerer<'a, 'c> {
+    fn name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}-{}", self.fresh)
+    }
+
+    fn eval(&mut self, plan: &PhysicalPlan) -> Result<Stream<'c>, ExecError> {
+        match plan {
+            PhysicalPlan::Scan { table, .. } => {
+                let col = self
+                    .catalog
+                    .data(table)
+                    .ok_or_else(|| ExecError::MissingData(table.clone()))?;
+                Ok(Stream::Borrowed(col))
+            }
+            PhysicalPlan::Filter {
+                input, predicate, ..
+            } => {
+                // Deferred filters are consumed by the parent join; if
+                // one is evaluated directly the view semantics collapse
+                // to a single materializing pass, which is identical
+                // traffic-wise.
+                let child = self.eval(input)?;
+                self.filter_stream(child, *predicate)
+            }
+            PhysicalPlan::Sort { input, algo, .. } => {
+                let child = self.eval(input)?;
+                self.sort_stream(child, *algo)
+            }
+            PhysicalPlan::Join {
+                left,
+                right,
+                algo,
+                swapped,
+                ..
+            } => self.join(left, right, *algo, *swapped),
+            PhysicalPlan::Aggregate { input, x, .. } => {
+                let child = self.eval(input)?;
+                self.aggregate_stream(child, *x)
+            }
+        }
+    }
+
+    /// Lowers a filter as a Volcano `scan → filter` chain staged into a
+    /// fresh persistent collection.
+    fn filter_stream(
+        &mut self,
+        child: Stream<'c>,
+        predicate: Predicate,
+    ) -> Result<Stream<'c>, ExecError> {
+        fn run<R: Record>(
+            col: &pmem_sim::PCollection<R>,
+            predicate: Predicate,
+            dev: &Pm,
+            layer: LayerKind,
+            name: &str,
+        ) -> Result<pmem_sim::PCollection<R>, PmError> {
+            let mut op = FilterOp::new(ScanOp::new(col), move |r: &R| predicate.matches(r));
+            stage(&mut op, dev, layer, name)
+        }
+        let name = self.name("filtered");
+        match child {
+            Stream::Borrowed(col) => Ok(Stream::Wis(run(
+                col, predicate, self.dev, self.layer, &name,
+            )?)),
+            Stream::Wis(col) => Ok(Stream::Wis(run(
+                &col, predicate, self.dev, self.layer, &name,
+            )?)),
+            Stream::Pairs { col, swapped } => Ok(Stream::Pairs {
+                col: run(&col, predicate, self.dev, self.layer, &name)?,
+                swapped,
+            }),
+            Stream::Groups(col) => Ok(Stream::Groups(run(
+                &col, predicate, self.dev, self.layer, &name,
+            )?)),
+        }
+    }
+
+    fn sort_stream(
+        &mut self,
+        child: Stream<'c>,
+        algo: SortAlgorithm,
+    ) -> Result<Stream<'c>, ExecError> {
+        let ctx = SortContext::new(self.dev, self.layer, self.pool);
+        let name = self.name("sorted");
+        match child {
+            Stream::Borrowed(col) => Ok(Stream::Wis(algo.run(col, &ctx, &name)?)),
+            Stream::Wis(col) => Ok(Stream::Wis(algo.run(&col, &ctx, &name)?)),
+            Stream::Pairs { col, swapped } => Ok(Stream::Pairs {
+                col: algo.run(&col, &ctx, &name)?,
+                swapped,
+            }),
+            Stream::Groups(col) => Ok(Stream::Groups(algo.run(&col, &ctx, &name)?)),
+        }
+    }
+
+    fn join(
+        &mut self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+        algo: write_limited::join::JoinAlgorithm,
+        swapped: bool,
+    ) -> Result<Stream<'c>, ExecError> {
+        let ctx = JoinContext::new(self.dev, self.layer, self.pool);
+        let name = self.name("joined");
+
+        // Deferred-view build side: §3.1 runtime path.
+        if let PhysicalPlan::Filter {
+            input,
+            predicate,
+            selectivity,
+            materialization: Materialization::Deferred,
+            ..
+        } = left
+        {
+            let src = match self.eval(input)? {
+                Stream::Borrowed(col) => col,
+                _ => {
+                    return Err(ExecError::Plan(PlanError::Unsupported(
+                        "deferred filter over a non-base input".into(),
+                    )))
+                }
+            };
+            let probe = self.eval_to_wis(right)?;
+            let mut rt = OpCtx::new(self.dev.lambda());
+            let p = *predicate;
+            let mut filter = DeferredFilter::new(src, move |r| p.matches(r), *selectivity, &mut rt);
+            let out = filtered_iterate_join(&mut filter, probe.as_ref(), &ctx, &mut rt, &name)?;
+            return Ok(Stream::Pairs {
+                col: out,
+                swapped: false,
+            });
+        }
+
+        let build = self.eval_to_wis(left)?;
+        let probe = self.eval_to_wis(right)?;
+        let (b, p) = if swapped {
+            (probe.as_ref(), build.as_ref())
+        } else {
+            (build.as_ref(), probe.as_ref())
+        };
+        let out = algo.run(b, p, &ctx, &name)?;
+        Ok(Stream::Pairs { col: out, swapped })
+    }
+
+    /// Evaluates a subtree that must produce base records (join inputs).
+    fn eval_to_wis(&mut self, plan: &PhysicalPlan) -> Result<WisHandle<'c>, ExecError> {
+        match self.eval(plan)? {
+            Stream::Borrowed(col) => Ok(WisHandle::Borrowed(col)),
+            Stream::Wis(col) => Ok(WisHandle::Owned(col)),
+            _ => Err(ExecError::Plan(PlanError::Unsupported(
+                "join inputs must produce base records".into(),
+            ))),
+        }
+    }
+
+    fn aggregate_stream(&mut self, child: Stream<'c>, x: f64) -> Result<Stream<'c>, ExecError> {
+        let ctx = SortContext::new(self.dev, self.layer, self.pool);
+        let name = self.name("groups");
+        let out = match child {
+            Stream::Borrowed(col) => sort_based_aggregate(col, x, |r| r.payload(), &ctx, &name)?,
+            Stream::Wis(col) => sort_based_aggregate(&col, x, |r| r.payload(), &ctx, &name)?,
+            Stream::Pairs { col, swapped } => {
+                if swapped {
+                    sort_based_aggregate(&col, x, |p| p.left.payload(), &ctx, &name)?
+                } else {
+                    sort_based_aggregate(&col, x, |p| p.right.payload(), &ctx, &name)?
+                }
+            }
+            Stream::Groups(_) => {
+                return Err(ExecError::Plan(PlanError::Unsupported(
+                    "aggregate over aggregate".into(),
+                )))
+            }
+        };
+        Ok(Stream::Groups(out))
+    }
+}
+
+/// Borrowed-or-owned Wisconsin collection.
+enum WisHandle<'c> {
+    Borrowed(&'c pmem_sim::PCollection<WisconsinRecord>),
+    Owned(pmem_sim::PCollection<WisconsinRecord>),
+}
+
+impl<'c> WisHandle<'c> {
+    fn as_ref(&self) -> &pmem_sim::PCollection<WisconsinRecord> {
+        match self {
+            WisHandle::Borrowed(c) => c,
+            WisHandle::Owned(c) => c,
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Human-readable planning and concordance reports.
+
+use crate::enumerate::PlannedQuery;
+use crate::lower::Executed;
+use pmem_sim::LatencyProfile;
+
+/// Renders the per-node candidate tables: every alternative the
+/// enumerator costed, cheapest first, with the winner marked.
+pub fn render_choices(planned: &PlannedQuery) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "candidates at λ = {}, M = {:.0} buffers:\n",
+        planned.lambda, planned.m_buffers
+    ));
+    for choice in &planned.choices {
+        out.push_str(&format!("  {}\n", choice.node));
+        for cand in &choice.candidates {
+            let marker = if cand.label == choice.chosen {
+                "→"
+            } else {
+                " "
+            };
+            out.push_str(&format!(
+                "   {marker} {:<28} {:>14.0} units  ({:.0}r / {:.0}w)\n",
+                cand.label, cand.cost_units, cand.io.reads, cand.io.writes
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the chosen physical plan tree.
+pub fn render_plan(planned: &PlannedQuery) -> String {
+    format!("chosen plan:\n{}", indent(&planned.plan.describe(), 2))
+}
+
+/// Renders predicted vs measured cacheline traffic for one execution —
+/// the plan-level Fig. 12 concordance row.
+pub fn render_concordance(
+    planned: &PlannedQuery,
+    executed: &Executed,
+    latency: &LatencyProfile,
+) -> String {
+    let p = planned.predicted;
+    let m = &executed.stats;
+    let ratio = |pred: f64, meas: u64| {
+        if meas == 0 {
+            if pred == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            pred / meas as f64
+        }
+    };
+    let pred_units = p.cost_units(planned.lambda);
+    let meas_units = m.cl_reads as f64 + planned.lambda * m.cl_writes as f64;
+    format!(
+        "predicted vs measured (cachelines):\n\
+         \x20 reads   {:>12.0} predicted   {:>12} measured   ({:.2}x)\n\
+         \x20 writes  {:>12.0} predicted   {:>12} measured   ({:.2}x)\n\
+         \x20 cost    {:>12.0} predicted   {:>12.0} measured   ({:.2}x)  [{:.3}s simulated]\n",
+        p.reads,
+        m.cl_reads,
+        ratio(p.reads, m.cl_reads),
+        p.writes,
+        m.cl_writes,
+        ratio(p.writes, m.cl_writes),
+        pred_units,
+        meas_units,
+        if meas_units > 0.0 {
+            pred_units / meas_units
+        } else {
+            1.0
+        },
+        m.time_secs(latency),
+    )
+}
+
+fn indent(s: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    s.lines().map(|l| format!("{pad}{l}\n")).collect::<String>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, TableStats};
+    use crate::enumerate::Planner;
+    use crate::logical::LogicalPlan;
+    use pmem_sim::LayerKind;
+
+    #[test]
+    fn choice_report_marks_the_winner() {
+        let mut cat = Catalog::new();
+        cat.add_stats("T", TableStats::wisconsin(10_000));
+        let planned = Planner::new(15.0, 625.0, LayerKind::BlockedMemory)
+            .plan(&LogicalPlan::scan("T").sort(), &cat)
+            .expect("plans");
+        let report = render_choices(&planned);
+        assert!(report.contains("→"));
+        assert!(report.contains("ExMS"));
+        let plan_report = render_plan(&planned);
+        assert!(plan_report.contains("sort via"));
+        assert!(plan_report.contains("scan T"));
+    }
+}

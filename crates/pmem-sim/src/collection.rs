@@ -158,7 +158,10 @@ impl<R: Storable> PCollection<R> {
     /// # Panics
     /// Panics if `start > end` or `end` exceeds the collection length.
     pub fn range_reader(&self, start: usize, end: usize) -> RecordReader<'_, R> {
-        assert!(start <= end && end <= self.n_records, "bad range {start}..{end}");
+        assert!(
+            start <= end && end <= self.n_records,
+            "bad range {start}..{end}"
+        );
         RecordReader {
             col: self,
             next_record: start,
@@ -180,7 +183,11 @@ impl<R: Storable> PCollection<R> {
     /// sharing a cacheline count it once). Used by iterator-style
     /// consumers that cannot hold a borrowing [`RecordReader`].
     pub fn get_with_cursor(&self, idx: usize, cursor: &mut ReadCursor) -> R {
-        assert!(idx < self.n_records, "record {idx} out of {}", self.n_records);
+        assert!(
+            idx < self.n_records,
+            "record {idx} out of {}",
+            self.n_records
+        );
         let mut buf = vec![0u8; R::SIZE];
         self.storage
             .read_at(idx * R::SIZE, &mut buf, cursor, &self.dev);

@@ -234,7 +234,8 @@ impl Storage {
             dev.metrics().add_writes(cls);
             self.capacity *= 2;
         }
-        self.contiguous.reserve(needed.saturating_sub(self.contiguous.capacity()));
+        self.contiguous
+            .reserve(needed.saturating_sub(self.contiguous.capacity()));
         self.contiguous.extend_from_slice(data);
     }
 
@@ -420,7 +421,11 @@ mod tests {
         let stats = d.snapshot();
         // Payload writes: 8192/64 = 128 cachelines; anything beyond that
         // is expansion-copy amplification, which must be non-zero.
-        assert!(stats.cl_writes > 128, "writes {} expected > 128", stats.cl_writes);
+        assert!(
+            stats.cl_writes > 128,
+            "writes {} expected > 128",
+            stats.cl_writes
+        );
         assert!(stats.cl_reads > 0);
     }
 

@@ -63,7 +63,8 @@ impl PageStore {
     /// first write to the page is.
     pub fn alloc(&mut self) -> PageId {
         let id = self.pages.len() as PageId;
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         id
     }
 

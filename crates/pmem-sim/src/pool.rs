@@ -81,7 +81,8 @@ impl BufferPool {
     /// Reserves everything still available.
     pub fn reserve_all(&self) -> Reservation<'_> {
         let bytes = self.available();
-        self.reserve(bytes).expect("reserving available bytes cannot fail")
+        self.reserve(bytes)
+            .expect("reserving available bytes cannot fail")
     }
 }
 
@@ -108,7 +109,10 @@ impl Reservation<'_> {
     /// # Panics
     /// Panics if `give_back` exceeds the reservation.
     pub fn shrink(&mut self, give_back: usize) {
-        assert!(give_back <= self.bytes, "cannot give back more than reserved");
+        assert!(
+            give_back <= self.bytes,
+            "cannot give back more than reserved"
+        );
         self.bytes -= give_back;
         self.pool.used.set(self.pool.used.get() - give_back);
     }

@@ -178,9 +178,15 @@ mod tests {
         ctx.partition("T", 3, &[&names[0], &names[1], &names[2]]);
 
         // First access: Cm = 1500 > Cr(0) + Cc(300) → defer, rescan.
-        assert_eq!(ctx.assess("T0").expect("deferred").decision, Decision::Defer);
+        assert_eq!(
+            ctx.assess("T0").expect("deferred").decision,
+            Decision::Defer
+        );
         ctx.note_scan("T", 300.0);
-        assert_eq!(ctx.assess("T1").expect("deferred").decision, Decision::Defer);
+        assert_eq!(
+            ctx.assess("T1").expect("deferred").decision,
+            Decision::Defer
+        );
         ctx.note_scan("T", 300.0);
         ctx.note_scan("T", 300.0);
         ctx.note_scan("T", 300.0);

@@ -119,12 +119,7 @@ impl Graph {
     /// # Panics
     /// Panics if any referenced collection is undeclared, or an output is
     /// already produced by another call.
-    pub fn record_call(
-        &mut self,
-        call: ApiCall,
-        inputs: &[&str],
-        outputs: &[&str],
-    ) -> CallId {
+    pub fn record_call(&mut self, call: ApiCall, inputs: &[&str], outputs: &[&str]) -> CallId {
         let id = self.calls.len();
         for name in inputs.iter().chain(outputs.iter()) {
             assert!(

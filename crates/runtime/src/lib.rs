@@ -31,4 +31,4 @@ pub mod rules;
 pub use context::OpCtx;
 pub use graph::{ApiCall, CStatus, CallId, CollectionId, Graph};
 pub use operator::{Operator, SgjBlueprint};
-pub use rules::{Decision, Rule, Verdict};
+pub use rules::{plan_verdict, Decision, Rule, Verdict};

@@ -53,7 +53,11 @@ pub struct Verdict {
 /// the paper presents them. `lambda` is the medium's write/read ratio.
 pub fn assess(graph: &Graph, name: &str, lambda: f64) -> Verdict {
     let node = graph.collection(name);
-    debug_assert_eq!(node.status, CStatus::Deferred, "assess only deferred collections");
+    debug_assert_eq!(
+        node.status,
+        CStatus::Deferred,
+        "assess only deferred collections"
+    );
 
     // (c) process-to-append: always deferred, vetoes everything else.
     if node.append_only {
@@ -101,6 +105,48 @@ pub fn assess(graph: &Graph, name: &str, lambda: f64) -> Verdict {
         };
     }
 
+    Verdict {
+        decision: Decision::Defer,
+        rule: Rule::DefaultDefer,
+    }
+}
+
+/// Plan-time application of the §3.1 rules to a *prospective* deferred
+/// collection — the paper's runtime rules, evaluated statically from a
+/// planner's estimates instead of from observed accesses.
+///
+/// `size_buffers` is the deferred collection's estimated size,
+/// `source_buffers` the size of the input it would be reconstructed
+/// from, and `expected_scans` how many times the plan above will process
+/// it (e.g. the iteration count of the consuming join). The decision
+/// mirrors [`assess`]: materializing costs `λ·size`; keeping it deferred
+/// costs one reconstruction scan of the source per processing.
+pub fn plan_verdict(
+    size_buffers: f64,
+    source_buffers: f64,
+    expected_scans: f64,
+    lambda: f64,
+) -> Verdict {
+    // (a) multi-process: more processings than λ always amortize the
+    // write cost.
+    if expected_scans > lambda {
+        return Verdict {
+            decision: Decision::Materialize,
+            rule: Rule::MultiProcess,
+        };
+    }
+    // (d) read-over-write, accumulated over the whole plan: deferral
+    // re-reads the source on every scan; materialization pays λ·size
+    // once plus one source scan to produce it, then reads the (smaller)
+    // collection back on each scan.
+    let defer_cost = expected_scans * source_buffers;
+    let materialize_cost = lambda * size_buffers + source_buffers + expected_scans * size_buffers;
+    if materialize_cost <= defer_cost {
+        return Verdict {
+            decision: Decision::Materialize,
+            rule: Rule::ReadOverWrite,
+        };
+    }
     Verdict {
         decision: Decision::Defer,
         rule: Rule::DefaultDefer,
@@ -179,5 +225,30 @@ mod tests {
         let v = assess(&g, "T0", 15.0);
         assert_eq!(v.decision, Decision::Materialize);
         assert_eq!(v.rule, Rule::MultiProcess);
+    }
+
+    #[test]
+    fn plan_verdict_mirrors_the_runtime_rules() {
+        // More processings than λ: materialize via multi-process.
+        let v = plan_verdict(100.0, 300.0, 16.0, 15.0);
+        assert_eq!(v.decision, Decision::Materialize);
+        assert_eq!(v.rule, Rule::MultiProcess);
+
+        // Wide-open filter at high λ: writing ~the whole source buys
+        // nothing — defer.
+        let v = plan_verdict(290.0, 300.0, 3.0, 15.0);
+        assert_eq!(v.decision, Decision::Defer);
+        assert_eq!(v.rule, Rule::DefaultDefer);
+
+        // Selective filter: tiny write, every later scan cheap —
+        // materialize via read-over-write.
+        let v = plan_verdict(15.0, 300.0, 3.0, 15.0);
+        assert_eq!(v.decision, Decision::Materialize);
+        assert_eq!(v.rule, Rule::ReadOverWrite);
+
+        // Same selective filter on a symmetric medium: still
+        // materialize (writes are cheap there too).
+        let v = plan_verdict(15.0, 300.0, 3.0, 1.0);
+        assert_eq!(v.decision, Decision::Materialize);
     }
 }

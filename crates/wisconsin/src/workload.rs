@@ -58,9 +58,7 @@ pub fn sort_input(n: u64, order: KeyOrder, seed: u64) -> Vec<WisconsinRecord> {
             assert!(distinct > 0, "need at least one distinct key");
             let mut rng = StdRng::seed_from_u64(seed);
             (0..n)
-                .map(|i| {
-                    WisconsinRecord::from_key(rng.gen_range(0..distinct)).with_payload(i)
-                })
+                .map(|i| WisconsinRecord::from_key(rng.gen_range(0..distinct)).with_payload(i))
                 .collect()
         }
     }
@@ -146,7 +144,10 @@ mod tests {
     fn nearly_sorted_is_mostly_ordered() {
         let v = sort_input(10_000, KeyOrder::NearlySorted { disorder: 0.01 }, 5);
         let inversions = v.windows(2).filter(|w| w[0].key() > w[1].key()).count();
-        assert!(inversions > 0 && inversions < 1000, "inversions: {inversions}");
+        assert!(
+            inversions > 0 && inversions < 1000,
+            "inversions: {inversions}"
+        );
     }
 
     #[test]

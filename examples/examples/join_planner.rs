@@ -1,14 +1,16 @@
-//! Cost-model-driven join planning: the Fig. 2 heatmap intuition and the
-//! §4.2.3 informed choice, then a run of the chosen plan.
+//! Cost-model-driven join planning, end to end: the Fig. 2 heatmap
+//! intuition (Eq. 6 surface), the §4.2.3 informed choice — now made by
+//! the plan enumerator over the whole candidate field — and a measured
+//! run of the winning plan.
 //!
 //! ```text
 //! cargo run -p wl-examples --example join_planner
 //! ```
 
+use planner::{execute, Catalog, LogicalPlan, Planner};
 use pmem_sim::{BufferPool, LatencyProfile, LayerKind, PCollection, PmDevice};
 use wisconsin::join_input;
-use write_limited::cost::{choose_join, estimate_join, join_costs};
-use write_limited::join::{JoinAlgorithm, JoinContext};
+use write_limited::cost::join_costs;
 
 fn main() {
     let t_records = 10_000u64;
@@ -20,50 +22,40 @@ fn main() {
     let m = t * mem_fraction;
     let lambda = LatencyProfile::PCM.lambda();
 
-    // Estimated costs for the candidate plans.
-    println!("estimated costs (read units), |T|={t:.0}, |V|={v:.0}, M={m:.0}, λ={lambda}:");
-    for algo in [
-        JoinAlgorithm::NLJ,
-        JoinAlgorithm::GJ,
-        JoinAlgorithm::HJ,
-        JoinAlgorithm::HybJ { x: 0.5, y: 0.5 },
-        JoinAlgorithm::SegJ { frac: 0.5 },
-        JoinAlgorithm::LaJ,
-    ] {
-        println!(
-            "  {:<18} {:>14.0}",
-            algo.label(),
-            estimate_join(&algo, t, v, m, lambda)
-        );
-    }
-
-    // Where Eq. 6's surface bottoms out.
+    // Where Eq. 6's surface bottoms out (the Fig. 2 intuition).
     let (bx, by) = join_costs::optimal_hybrid_xy(t, v, m, lambda, 20);
-    println!("\nEq. 6 grid minimum: x = {bx:.2}, y = {by:.2}");
+    println!("Eq. 6 grid minimum: x = {bx:.2}, y = {by:.2}");
     let (sx, sy) = join_costs::hybrid_saddle(t, v, m, lambda);
-    println!("Eqs. 7–8 saddle point: x_h = {sx:.3}, y_h = {sy:.3} (a saddle, not a minimum)");
+    println!("Eqs. 7–8 saddle point: x_h = {sx:.3}, y_h = {sy:.3} (a saddle, not a minimum)\n");
 
-    // The informed choice, executed.
-    let chosen = choose_join(t, v, m, lambda);
-    println!("\nplanner chose: {}", chosen.label());
-
+    // The informed choice, now at plan level: enumerate every algorithm
+    // in both build orders, rank by the cost models, run the winner.
     let dev = PmDevice::paper_default();
     let w = join_input(t_records, fanout, 3);
     let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
     let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let mut catalog = Catalog::new();
+    catalog.add_table("T", &left, t_records);
+    catalog.add_table("V", &right, t_records);
+
     let pool = BufferPool::fraction_of(left.bytes(), mem_fraction);
-    let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
-    let before = dev.snapshot();
-    let out = chosen
-        .run(&left, &right, &ctx, "joined")
+    let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
+    let query = LogicalPlan::scan("T").join(LogicalPlan::scan("V"));
+    let planned = planner.plan(&query, &catalog).expect("query plans");
+
+    print!("{}", planner::render_choices(&planned));
+    print!("{}", planner::render_plan(&planned));
+
+    let run = execute(&planned, &catalog, &dev, LayerKind::BlockedMemory, &pool)
         .expect("planner only proposes applicable plans");
-    let stats = dev.snapshot().since(&before);
-    assert_eq!(out.len() as u64, w.expected_matches);
+    assert_eq!(run.output.len() as u64, w.expected_matches);
     println!(
-        "measured: {} matches in {:.3}s simulated ({} writes, {} reads)",
-        out.len(),
-        stats.time_secs(&dev.config().latency),
-        stats.cl_writes,
-        stats.cl_reads,
+        "\nmeasured: {} matches in {:.3}s simulated",
+        run.output.len(),
+        run.secs
+    );
+    print!(
+        "{}",
+        planner::render_concordance(&planned, &run, &dev.config().latency)
     );
 }

@@ -8,9 +8,9 @@
 
 use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PCollection, PmDevice};
 use wisconsin::join_input;
+use wl_runtime::{CStatus, Decision, OpCtx};
 use write_limited::adaptive::adaptive_grace_join;
 use write_limited::join::JoinContext;
-use wl_runtime::{CStatus, Decision, OpCtx};
 
 fn main() {
     // ---- The paper's worked example, by hand ----
@@ -24,10 +24,7 @@ fn main() {
         }
         ctx.partition("T", 3, &["T0", "T1", "T2"]);
         let v = ctx.assess("T0").expect("deferred");
-        println!(
-            "λ = {lambda:>4}: T0 → {:?} (rule {:?})",
-            v.decision, v.rule
-        );
+        println!("λ = {lambda:>4}: T0 → {:?} (rule {:?})", v.decision, v.rule);
         if v.decision == Decision::Materialize {
             // Eager-partition cascades to the siblings.
             let v1 = ctx.assess("T1").expect("deferred");
@@ -42,8 +39,7 @@ fn main() {
             DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, lambda)),
         );
         let w = join_input(5_000, 8, 9);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::fraction_of(left.bytes(), 0.1);

@@ -14,8 +14,14 @@ fn main() {
     let n = 60_000u64;
     let mem_fraction = 0.05;
 
-    println!("segment sort on {n} records, M = {:.0}% of input", mem_fraction * 100.0);
-    println!("{:>6} {:>12} {:>12} {:>12}", "x", "time (s)", "writes", "reads");
+    println!(
+        "segment sort on {n} records, M = {:.0}% of input",
+        mem_fraction * 100.0
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "x", "time (s)", "writes", "reads"
+    );
 
     for x in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let dev = PmDevice::paper_default();

@@ -22,11 +22,15 @@ fn invalid_knobs_error_for_every_parameterized_algorithm() {
 
     for bad in [-0.5, 1.5, f64::NAN] {
         assert!(
-            SortAlgorithm::SegS { x: bad }.run(&input, &sctx, "s").is_err(),
+            SortAlgorithm::SegS { x: bad }
+                .run(&input, &sctx, "s")
+                .is_err(),
             "SegS accepted x = {bad}"
         );
         assert!(
-            SortAlgorithm::HybS { x: bad }.run(&input, &sctx, "s").is_err(),
+            SortAlgorithm::HybS { x: bad }
+                .run(&input, &sctx, "s")
+                .is_err(),
             "HybS accepted x = {bad}"
         );
         assert!(
@@ -52,15 +56,7 @@ fn invalid_knobs_error_for_every_parameterized_algorithm() {
 
 #[test]
 fn extreme_keys_sort_correctly() {
-    let keys = [
-        u64::MAX,
-        0,
-        u64::MAX - 1,
-        1,
-        u64::MAX / 2,
-        u64::MAX,
-        0,
-    ];
+    let keys = [u64::MAX, 0, u64::MAX - 1, 1, u64::MAX / 2, u64::MAX, 0];
     for algo in [
         SortAlgorithm::ExMS,
         SortAlgorithm::SegS { x: 0.5 },
@@ -107,8 +103,7 @@ fn all_equal_keys_are_stable_under_every_sort() {
         let out = algo.run(&input, &ctx, "sorted").expect("valid");
         assert_eq!(out.len(), 500, "{}", algo.label());
         // Every payload must survive exactly once.
-        let mut payloads: Vec<u64> =
-            out.to_vec_uncounted().iter().map(|r| r.payload()).collect();
+        let mut payloads: Vec<u64> = out.to_vec_uncounted().iter().map(|r| r.payload()).collect();
         payloads.sort_unstable();
         assert_eq!(payloads, (0..500).collect::<Vec<_>>(), "{}", algo.label());
     }

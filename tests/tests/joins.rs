@@ -64,11 +64,8 @@ fn skewed_workloads_join_correctly() {
         let dev = PmDevice::paper_default();
         let w = join_input_skewed(200, 2000, 1.0, 12);
         // Reference from the generated inputs themselves.
-        let mut reference: Vec<(u64, u64)> = w
-            .right
-            .iter()
-            .map(|r| (r.attrs[0], r.attrs[1]))
-            .collect();
+        let mut reference: Vec<(u64, u64)> =
+            w.right.iter().map(|r| (r.attrs[0], r.attrs[1])).collect();
         reference.sort_unstable();
 
         let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
@@ -135,7 +132,9 @@ fn adaptive_join_agrees_with_fixed_algorithms() {
     let pool = BufferPool::new(60 * 80);
     let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
     let adaptive = adaptive_grace_join(&left, &right, &ctx, "a").expect("applicable");
-    let grace = JoinAlgorithm::GJ.run(&left, &right, &ctx, "g").expect("applicable");
+    let grace = JoinAlgorithm::GJ
+        .run(&left, &right, &ctx, "g")
+        .expect("applicable");
     assert_eq!(pair_set(&adaptive), pair_set(&grace));
 }
 
@@ -146,8 +145,7 @@ fn write_profile_ordering_matches_the_paper() {
     let run = |algo: JoinAlgorithm| {
         let dev = PmDevice::paper_default();
         let w = join_input(2000, 10, 42);
-        let left =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
         let right =
             PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
         let pool = BufferPool::fraction_of(left.bytes(), 0.05);

@@ -1,0 +1,402 @@
+//! Integration tests for the write-aware planner: golden algorithm
+//! choices across the write/read latency sweep, and plan-lowering
+//! equivalence against the naive DRAM executor.
+
+use planner::{
+    execute, execute_naive, Catalog, LogicalPlan, Materialization, PhysicalPlan, Planner,
+    Predicate, TableStats,
+};
+use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PCollection, PmDevice};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wisconsin::{join_input, sort_input, KeyOrder, WisconsinRecord};
+use write_limited::sort::SortAlgorithm;
+
+fn sort_algo(planned: &planner::PlannedQuery) -> SortAlgorithm {
+    match &planned.plan {
+        PhysicalPlan::Sort { algo, .. } => *algo,
+        other => panic!("expected sort at root, got {}", other.label()),
+    }
+}
+
+/// Write intensity implied by a sort choice: the fraction of the input
+/// that flows through write-incurring run generation.
+fn intensity(a: SortAlgorithm) -> f64 {
+    match a {
+        SortAlgorithm::ExMS => 1.0,
+        SortAlgorithm::SegS { x } | SortAlgorithm::HybS { x } => x,
+        SortAlgorithm::LaS | SortAlgorithm::SelS => 0.0,
+    }
+}
+
+/// Golden sweep: as the write/read ratio grows, the enumerator's chosen
+/// sort intensity must fall monotonically (never rise), ending in a
+/// write-limited choice — SegS at low intensity or LaS — at the paper's
+/// λ = 15, and starting at (near-)full mergesort intensity at λ = 1.
+#[test]
+fn sort_choice_sweeps_with_lambda() {
+    let mut cat = Catalog::new();
+    cat.add_stats("T", TableStats::wisconsin(20_000));
+    let logical = LogicalPlan::scan("T").sort();
+
+    let mut last_intensity = f64::INFINITY;
+    let mut chosen = Vec::new();
+    for lambda in [1.0, 2.0, 4.0, 8.0, 15.0, 30.0] {
+        let planned = Planner::new(lambda, 1250.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        let algo = sort_algo(&planned);
+        let i = intensity(algo);
+        assert!(
+            i <= last_intensity + 1e-9,
+            "intensity must not rise with λ: {chosen:?} then {algo:?}"
+        );
+        last_intensity = i;
+        chosen.push((lambda, algo));
+    }
+    let (_, at_one) = chosen[0];
+    let (_, at_fifteen) = chosen[4];
+    assert!(intensity(at_one) > 0.9, "λ=1 chose {at_one:?}");
+    assert!(intensity(at_fifteen) < 0.7, "λ=15 chose {at_fifteen:?}");
+}
+
+/// Golden join sweep: at symmetric cost the partition-everything Grace
+/// family is acceptable, but as λ grows the enumerator must shift to
+/// plans that write less — and the predicted writes must be
+/// non-increasing in λ.
+#[test]
+fn join_choice_writes_shrink_with_lambda() {
+    let mut cat = Catalog::new();
+    cat.add_stats("T", TableStats::wisconsin(10_000));
+    cat.add_stats(
+        "V",
+        TableStats {
+            rows: 50_000,
+            record_bytes: 80,
+            key_domain: 10_000,
+        },
+    );
+    let logical = LogicalPlan::scan("T").join(LogicalPlan::scan("V"));
+
+    let mut last_writes = f64::INFINITY;
+    for lambda in [1.0, 4.0, 15.0, 40.0] {
+        let planned = Planner::new(lambda, 1250.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        assert!(
+            planned.predicted.writes <= last_writes + 1e-9,
+            "predicted writes rose with λ at λ={lambda}: {} > {last_writes}",
+            planned.predicted.writes
+        );
+        last_writes = planned.predicted.writes;
+    }
+}
+
+/// The knob the planner reports for SegS tracks the Eq. 4 closed form.
+#[test]
+fn enumerator_reports_the_eq4_optimum_when_it_wins() {
+    let mut cat = Catalog::new();
+    cat.add_stats("T", TableStats::wisconsin(20_000));
+    let planned = Planner::new(8.0, 2500.0, LayerKind::BlockedMemory)
+        .plan(&LogicalPlan::scan("T").sort(), &cat)
+        .expect("plans");
+    if let SortAlgorithm::SegS { x } = sort_algo(&planned) {
+        let expect = write_limited::cost::sort_costs::optimal_segment_x(25_000.0, 2500.0, 8.0)
+            .expect("applicable at λ=8");
+        assert!(
+            (x - expect).abs() < 1e-9 || [0.2, 0.5, 0.8].iter().any(|s| (x - s).abs() < 1e-9),
+            "SegS knob {x} is neither the Eq. 4 optimum {expect} nor a sweep point"
+        );
+    }
+}
+
+/// End-to-end acceptance shape: the chosen algorithm changes when only
+/// the device's write latency changes.
+#[test]
+fn chosen_plan_changes_with_write_latency() {
+    let mut cat = Catalog::new();
+    cat.add_stats("T", TableStats::wisconsin(20_000));
+    let logical = LogicalPlan::scan("T").sort();
+    let m = 1250.0;
+    let symmetric = Planner::with_config(
+        LatencyProfile::with_lambda(10.0, 1.0).lambda(),
+        m,
+        LayerKind::BlockedMemory,
+        &DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, 1.0)),
+    )
+    .plan(&logical, &cat)
+    .expect("plans");
+    let pcm = Planner::with_config(
+        LatencyProfile::PCM.lambda(),
+        m,
+        LayerKind::BlockedMemory,
+        &DeviceConfig::paper_default(),
+    )
+    .plan(&logical, &cat)
+    .expect("plans");
+    assert_ne!(
+        sort_algo(&symmetric),
+        sort_algo(&pcm),
+        "write latency must steer the plan"
+    );
+}
+
+/// Deferred-vs-materialized: a wide-open filter on the build side stays
+/// a deferred view at high λ (writing it buys nothing), while at low λ
+/// the planner materializes it.
+#[test]
+fn filter_deferral_tracks_lambda() {
+    let mut cat = Catalog::new();
+    cat.add_stats("T", TableStats::wisconsin(4_000));
+    cat.add_stats(
+        "V",
+        TableStats {
+            rows: 16_000,
+            record_bytes: 80,
+            key_domain: 4_000,
+        },
+    );
+    // 95% selectivity: barely smaller than the source.
+    let logical = LogicalPlan::scan("T")
+        .filter(Predicate::KeyBelow(3_800))
+        .join(LogicalPlan::scan("V"));
+
+    let materialization_at = |lambda: f64| {
+        let planned = Planner::new(lambda, 500.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        match &planned.plan {
+            PhysicalPlan::Join { left, .. } => match &**left {
+                PhysicalPlan::Filter {
+                    materialization, ..
+                } => *materialization,
+                other => panic!("expected filter under join, got {}", other.label()),
+            },
+            other => panic!("expected join root, got {}", other.label()),
+        }
+    };
+    assert_eq!(materialization_at(1.0), Materialization::Materialized);
+    assert_eq!(materialization_at(100.0), Materialization::Deferred);
+}
+
+/// The deferred-view lowering path end-to-end: force a setting where
+/// the planner defers the build filter, execute through the §3.1
+/// runtime (`DeferredFilter` + iterate-only join), and check the rows
+/// against the naive executor.
+#[test]
+fn deferred_filter_plans_execute_correctly() {
+    let lambda = 100.0;
+    let dev = PmDevice::new(
+        DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, lambda)),
+    );
+    let w = join_input(4_000, 4, 21);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let mut cat = Catalog::new();
+    cat.add_table("T", &left, 4_000);
+    cat.add_table("V", &right, 4_000);
+
+    // 95% selectivity at a high write cost: writing the view is waste.
+    let logical = LogicalPlan::scan("T")
+        .filter(Predicate::KeyBelow(3_800))
+        .join(LogicalPlan::scan("V"));
+    let pool = BufferPool::new(500 * 64);
+    let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
+    let planned = planner.plan(&logical, &cat).expect("plans");
+
+    let PhysicalPlan::Join { left: build, .. } = &planned.plan else {
+        panic!("expected join root");
+    };
+    let PhysicalPlan::Filter {
+        materialization, ..
+    } = &**build
+    else {
+        panic!("expected filter under join");
+    };
+    assert_eq!(
+        *materialization,
+        Materialization::Deferred,
+        "setting must exercise the deferred path"
+    );
+    // The evidence table must stay on one cost basis: the winner is
+    // literally the cheapest row, even when the deferred view wins.
+    let join_choice = planned
+        .choices
+        .iter()
+        .find(|c| c.node.starts_with("join"))
+        .expect("join enumerated");
+    assert_eq!(join_choice.chosen, join_choice.candidates[0].label);
+
+    let run = execute(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool).expect("runs");
+    let reference = execute_naive(&logical, &cat).expect("naive evaluates");
+    assert_eq!(run.output.len(), 3_800 * 4);
+    assert_eq!(run.output.canonical(), reference.canonical());
+}
+
+/// Property test: lowering any enumerated plan executes and returns the
+/// same rows as the naive DRAM executor, across random shapes, sizes,
+/// predicates, λ, and layers.
+#[test]
+fn lowered_plans_agree_with_naive_execution() {
+    let mut rng = StdRng::seed_from_u64(0x9A7);
+    for case in 0..24 {
+        let t_rows = rng.gen_range(200u64..1200);
+        let fanout = rng.gen_range(1u64..5);
+        let lambda = [1.0, 4.0, 15.0][case % 3];
+        let layer = LayerKind::ALL[case % LayerKind::ALL.len()];
+        let m_records = rng.gen_range(40usize..200);
+
+        let dev = PmDevice::new(
+            DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, lambda)),
+        );
+        let w = join_input(t_rows, fanout, case as u64);
+        let left = PCollection::from_records_uncounted(&dev, layer, "T", w.left);
+        let right = PCollection::from_records_uncounted(&dev, layer, "V", w.right);
+        let sorted_t = PCollection::from_records_uncounted(
+            &dev,
+            layer,
+            "S",
+            sort_input(t_rows, KeyOrder::Random, case as u64 + 7),
+        );
+        let mut cat = Catalog::new();
+        cat.add_table("T", &left, t_rows);
+        cat.add_table("V", &right, t_rows);
+        cat.add_table("S", &sorted_t, t_rows);
+
+        let bound = rng.gen_range(1u64..t_rows);
+        let shapes: [LogicalPlan; 5] = [
+            LogicalPlan::scan("S").sort(),
+            LogicalPlan::scan("S")
+                .filter(Predicate::KeyBelow(bound))
+                .sort(),
+            LogicalPlan::scan("T")
+                .join(LogicalPlan::scan("V"))
+                .aggregate(),
+            LogicalPlan::scan("T")
+                .filter(Predicate::KeyBelow(bound))
+                .join(LogicalPlan::scan("V"))
+                .aggregate()
+                .sort(),
+            LogicalPlan::scan("T")
+                .filter(Predicate::KeyModEq {
+                    modulus: 2,
+                    residue: 0,
+                })
+                .join(LogicalPlan::scan("V")),
+        ];
+        let logical = &shapes[case % shapes.len()];
+
+        let pool = BufferPool::new(m_records * 80);
+        let planner = Planner::for_device(&dev, &pool, layer);
+        let planned = match planner.plan(logical, &cat) {
+            Ok(p) => p,
+            Err(e) => panic!("case {case}: planning failed: {e}"),
+        };
+        let run = match execute(&planned, &cat, &dev, layer, &pool) {
+            Ok(r) => r,
+            Err(e) => panic!(
+                "case {case}: execution failed: {e} (plan: {})",
+                planned.plan.describe()
+            ),
+        };
+        let reference = execute_naive(logical, &cat).expect("naive evaluates");
+        assert_eq!(
+            run.output.canonical(),
+            reference.canonical(),
+            "case {case}: λ={lambda} layer={} plan:\n{}",
+            layer.label(),
+            planned.plan.describe()
+        );
+        // Sort-rooted plans must actually produce ordered keys.
+        if matches!(logical, LogicalPlan::Sort { .. }) {
+            let keys = run.output.keys();
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "case {case}: unsorted"
+            );
+        }
+        assert!(run.stats.cl_reads > 0, "case {case}: nothing measured");
+    }
+}
+
+/// The planner's predicted traffic is in the right regime: within a
+/// factor of three of measured on both axes for the canonical
+/// filter-join-aggregate query (the models drop floors/ceilings, so
+/// exactness is not expected — but order-of-magnitude concordance is
+/// the Fig. 12 property the planner depends on).
+#[test]
+fn predictions_track_measurements_for_the_canonical_query() {
+    let dev = PmDevice::paper_default();
+    let w = join_input(4_000, 5, 11);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let mut cat = Catalog::new();
+    cat.add_table("T", &left, 4_000);
+    cat.add_table("V", &right, 4_000);
+
+    let logical = LogicalPlan::scan("T")
+        .filter(Predicate::KeyBelow(2_000))
+        .join(LogicalPlan::scan("V"))
+        .aggregate();
+    let pool = BufferPool::new(400 * 80);
+    let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
+    let planned = planner.plan(&logical, &cat).expect("plans");
+    let run = execute(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool).expect("runs");
+
+    let pr = planned.predicted.reads;
+    let pw = planned.predicted.writes;
+    let mr = run.stats.cl_reads as f64;
+    let mw = run.stats.cl_writes as f64;
+    assert!(mr > 0.0 && mw > 0.0);
+    assert!(
+        (0.33..3.0).contains(&(pr / mr)),
+        "read prediction off: {pr:.0} vs {mr:.0}"
+    );
+    assert!(
+        (0.33..3.0).contains(&(pw / mw)),
+        "write prediction off: {pw:.0} vs {mw:.0}"
+    );
+}
+
+/// Wisconsin-record predicates route through the planner identically to
+/// raw key comparisons (regression guard for the Predicate plumbing).
+#[test]
+fn predicate_lowering_matches_manual_filtering() {
+    let dev = PmDevice::paper_default();
+    let input = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "T",
+        sort_input(500, KeyOrder::Random, 3),
+    );
+    let mut cat = Catalog::new();
+    cat.add_table("T", &input, 500);
+    let pool = BufferPool::new(60 * 80);
+    let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
+
+    for predicate in [
+        Predicate::KeyBelow(123),
+        Predicate::KeyAtLeast(456),
+        Predicate::KeyModEq {
+            modulus: 7,
+            residue: 3,
+        },
+    ] {
+        let logical = LogicalPlan::scan("T").filter(predicate).sort();
+        let planned = planner.plan(&logical, &cat).expect("plans");
+        let run = execute(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool).expect("runs");
+        let expect: Vec<WisconsinRecord> = {
+            let mut v: Vec<WisconsinRecord> = input
+                .to_vec_uncounted()
+                .into_iter()
+                .filter(|r| predicate.matches(r))
+                .collect();
+            v.sort_by_key(wisconsin::Record::key);
+            v
+        };
+        let planner::OutputRows::Wis(got) = run.output else {
+            panic!("expected base rows")
+        };
+        assert_eq!(got, expect, "{}", predicate.describe());
+    }
+}

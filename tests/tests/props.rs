@@ -1,37 +1,46 @@
 //! Property-based tests on the core invariants.
+//!
+//! The original suite used `proptest`; this environment builds offline,
+//! so the same properties are exercised with deterministic seeded
+//! sampling — each case draws its inputs from a fixed-seed generator and
+//! runs a few dozen iterations, which keeps failures reproducible by
+//! construction (the failing iteration index pins the input).
 
 use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice, ReadCursor, Storage};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use wisconsin::{Permutation, Record, WisconsinRecord};
 use write_limited::join::{expected_match_count, JoinAlgorithm, JoinContext};
 use write_limited::sort::{cycle_sort, SortAlgorithm, SortContext};
 use write_limited::stats::kendall_tau;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// Every sort algorithm returns exactly the input keys, sorted.
-    #[test]
-    fn sorts_are_permutation_preserving(
-        keys in prop::collection::vec(0u64..10_000, 1..400),
-        m_records in 1usize..64,
-        algo_pick in 0usize..5,
-    ) {
-        let algo = [
-            SortAlgorithm::ExMS,
-            SortAlgorithm::SegS { x: 0.5 },
-            SortAlgorithm::HybS { x: 0.5 },
-            SortAlgorithm::LaS,
-            SortAlgorithm::SelS,
-        ][algo_pick];
+/// Every sort algorithm returns exactly the input keys, sorted.
+#[test]
+fn sorts_are_permutation_preserving() {
+    let algos = [
+        SortAlgorithm::ExMS,
+        SortAlgorithm::SegS { x: 0.5 },
+        SortAlgorithm::HybS { x: 0.5 },
+        SortAlgorithm::LaS,
+        SortAlgorithm::SelS,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..400);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..10_000)).collect();
+        let m_records = rng.gen_range(1usize..64);
+        let algo = algos[case % algos.len()];
+
         let dev = PmDevice::paper_default();
         let input = PCollection::from_records_uncounted(
             &dev,
             LayerKind::BlockedMemory,
             "T",
-            keys.iter().enumerate().map(|(i, &k)| {
-                WisconsinRecord::from_key(k).with_payload(i as u64)
-            }),
+            keys.iter()
+                .enumerate()
+                .map(|(i, &k)| WisconsinRecord::from_key(k).with_payload(i as u64)),
         );
         let pool = BufferPool::new(m_records * 80);
         let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
@@ -40,25 +49,35 @@ proptest! {
         let mut expect = keys.clone();
         expect.sort_unstable();
         let got: Vec<u64> = out.to_vec_uncounted().iter().map(|r| r.key()).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(
+            got,
+            expect,
+            "case {case}: {} n={n} M={m_records}",
+            algo.label()
+        );
     }
+}
 
-    /// Every join algorithm produces exactly the reference match count.
-    #[test]
-    fn joins_match_reference_count(
-        left_keys in prop::collection::vec(0u64..50, 1..150),
-        right_keys in prop::collection::vec(0u64..80, 1..300),
-        m_records in 8usize..64,
-        algo_pick in 0usize..6,
-    ) {
-        let algo = [
-            JoinAlgorithm::NLJ,
-            JoinAlgorithm::GJ,
-            JoinAlgorithm::HJ,
-            JoinAlgorithm::HybJ { x: 0.5, y: 0.5 },
-            JoinAlgorithm::SegJ { frac: 0.5 },
-            JoinAlgorithm::LaJ,
-        ][algo_pick];
+/// Every join algorithm produces exactly the reference match count.
+#[test]
+fn joins_match_reference_count() {
+    let algos = [
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::GJ,
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::HybJ { x: 0.5, y: 0.5 },
+        JoinAlgorithm::SegJ { frac: 0.5 },
+        JoinAlgorithm::LaJ,
+    ];
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let left_n = rng.gen_range(1usize..150);
+        let right_n = rng.gen_range(1usize..300);
+        let left_keys: Vec<u64> = (0..left_n).map(|_| rng.gen_range(0u64..50)).collect();
+        let right_keys: Vec<u64> = (0..right_n).map(|_| rng.gen_range(0u64..80)).collect();
+        let m_records = rng.gen_range(8usize..64);
+        let algo = algos[case % algos.len()];
+
         let dev = PmDevice::paper_default();
         let left = PCollection::from_records_uncounted(
             &dev,
@@ -76,45 +95,66 @@ proptest! {
         let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
         let want = expected_match_count(&left, &right);
         match algo.run(&left, &right, &ctx, "out") {
-            Ok(out) => prop_assert_eq!(out.len() as u64, want, "{}", algo.label()),
+            Ok(out) => assert_eq!(out.len() as u64, want, "case {case}: {}", algo.label()),
             Err(_) => {
                 // Only the Grace-family may reject, and only when the
                 // applicability condition genuinely fails.
-                prop_assert!(!ctx.grace_applicable::<WisconsinRecord>(left.len()));
+                assert!(
+                    !ctx.grace_applicable::<WisconsinRecord>(left.len()),
+                    "case {case}: {} rejected an applicable setting",
+                    algo.label()
+                );
             }
         }
     }
+}
 
-    /// The workload permutation is a bijection for arbitrary n and seed.
-    #[test]
-    fn permutation_is_bijective(n in 1u64..3000, seed in any::<u64>()) {
+/// The workload permutation is a bijection for arbitrary n and seed.
+#[test]
+fn permutation_is_bijective() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1u64..3000);
+        let seed: u64 = rng.gen();
         let p = Permutation::new(n, seed);
         let mut seen = vec![false; n as usize];
         for i in 0..n {
             let v = p.apply(i);
-            prop_assert!(v < n);
-            prop_assert!(!seen[v as usize]);
+            assert!(v < n, "n={n} seed={seed}: value {v} out of range");
+            assert!(!seen[v as usize], "n={n} seed={seed}: duplicate {v}");
             seen[v as usize] = true;
         }
     }
+}
 
-    /// Cycle sort agrees with std sort and never writes more than n.
-    #[test]
-    fn cycle_sort_matches_std(mut v in prop::collection::vec(0u32..1000, 0..200)) {
+/// Cycle sort agrees with std sort and never writes more than n.
+#[test]
+fn cycle_sort_matches_std() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for case in 0..CASES {
+        let n = rng.gen_range(0usize..200);
+        let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..1000)).collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         let writes = cycle_sort(&mut v);
-        prop_assert_eq!(v, expect);
-        prop_assert!(writes <= 200);
+        assert_eq!(v, expect, "case {case}");
+        assert!(writes <= 200, "case {case}: {writes} writes");
     }
+}
 
-    /// Storage round-trips arbitrary chunked appends on every layer.
-    #[test]
-    fn storage_roundtrips_on_all_layers(
-        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..300), 1..20),
-        layer_pick in 0usize..4,
-    ) {
-        let layer = LayerKind::ALL[layer_pick];
+/// Storage round-trips arbitrary chunked appends on every layer.
+#[test]
+fn storage_roundtrips_on_all_layers() {
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    for case in 0..CASES {
+        let layer = LayerKind::ALL[case % LayerKind::ALL.len()];
+        let n_chunks = rng.gen_range(1usize..20);
+        let chunks: Vec<Vec<u8>> = (0..n_chunks)
+            .map(|_| {
+                let len = rng.gen_range(1usize..300);
+                (0..len).map(|_| rng.gen::<u8>()).collect()
+            })
+            .collect();
         let dev = PmDevice::paper_default();
         let mut storage = Storage::new(layer, dev.config());
         let mut expect = Vec::new();
@@ -124,13 +164,17 @@ proptest! {
         }
         let mut got = vec![0u8; expect.len()];
         storage.read_at(0, &mut got, &mut ReadCursor::new(), &dev);
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case} on {}", layer.label());
     }
+}
 
-    /// Sequential-scan read accounting is exact: one cacheline counted
-    /// per 64 bytes, regardless of record size (blocked memory).
-    #[test]
-    fn scan_accounting_is_exact(n in 1usize..2000) {
+/// Sequential-scan read accounting is exact: one cacheline counted
+/// per 64 bytes, regardless of record size (blocked memory).
+#[test]
+fn scan_accounting_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0xACC);
+    for case in 0..CASES {
+        let n = rng.gen_range(1usize..2000);
         let dev = PmDevice::paper_default();
         let mut col = PCollection::<u64>::new(&dev, LayerKind::BlockedMemory, "c");
         {
@@ -142,18 +186,23 @@ proptest! {
         let before = dev.snapshot();
         let count = col.reader().count();
         let delta = dev.snapshot().since(&before);
-        prop_assert_eq!(count, n);
-        prop_assert_eq!(delta.cl_reads, col.buffers());
-        prop_assert_eq!(delta.cl_writes, 0);
+        assert_eq!(count, n, "case {case}");
+        assert_eq!(delta.cl_reads, col.buffers(), "case {case}: n={n}");
+        assert_eq!(delta.cl_writes, 0, "case {case}");
     }
+}
 
-    /// Kendall's τ is 1 against itself and -1 against its reverse for
-    /// any strictly increasing sequence.
-    #[test]
-    fn kendall_tau_extremes(n in 2usize..50) {
+/// Kendall's τ is 1 against itself and -1 against its reverse for
+/// any strictly increasing sequence.
+#[test]
+fn kendall_tau_extremes() {
+    for n in 2usize..50 {
         let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let rev: Vec<f64> = a.iter().rev().copied().collect();
-        prop_assert!((kendall_tau(&a, &a).unwrap() - 1.0).abs() < 1e-12);
-        prop_assert!((kendall_tau(&a, &rev).unwrap() + 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&a, &a).unwrap() - 1.0).abs() < 1e-12, "n={n}");
+        assert!(
+            (kendall_tau(&a, &rev).unwrap() + 1.0).abs() < 1e-12,
+            "n={n}"
+        );
     }
 }

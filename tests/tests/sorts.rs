@@ -60,12 +60,8 @@ fn all_algorithms_handle_adversarial_orders() {
             let records = sort_input(2000, order, 5);
             let mut expect: Vec<u64> = records.iter().map(|r| r.key()).collect();
             expect.sort_unstable();
-            let input = PCollection::from_records_uncounted(
-                &dev,
-                LayerKind::BlockedMemory,
-                "T",
-                records,
-            );
+            let input =
+                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", records);
             let pool = BufferPool::new(100 * 80);
             let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
             let out = algo.run(&input, &ctx, "sorted").expect("valid params");
@@ -79,15 +75,18 @@ fn payloads_travel_with_their_keys() {
     // Sorting must move whole records, not just keys.
     let dev = PmDevice::paper_default();
     let records: Vec<WisconsinRecord> = sort_input(1500, KeyOrder::Random, 3);
-    let input =
-        PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", records);
+    let input = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", records);
     let pool = BufferPool::new(100 * 80);
     let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
     let out = SortAlgorithm::SegS { x: 0.5 }
         .run(&input, &ctx, "sorted")
         .expect("valid");
     for r in out.to_vec_uncounted() {
-        assert_eq!(r, WisconsinRecord::from_key(r.key()), "record corrupted in flight");
+        assert_eq!(
+            r,
+            WisconsinRecord::from_key(r.key()),
+            "record corrupted in flight"
+        );
     }
 }
 
@@ -109,7 +108,12 @@ fn tiny_memory_budgets_still_sort() {
         let pool = BufferPool::new(80); // exactly one record
         let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
         let out = algo.run(&input, &ctx, "sorted").expect("valid");
-        assert_eq!(keys_of(&out), (0..200).collect::<Vec<u64>>(), "{}", algo.label());
+        assert_eq!(
+            keys_of(&out),
+            (0..200).collect::<Vec<u64>>(),
+            "{}",
+            algo.label()
+        );
     }
 }
 
