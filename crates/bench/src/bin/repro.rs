@@ -9,6 +9,8 @@
 //! repro --config          # print the simulator configuration (Table 2 stand-in)
 //! repro --breakdown       # per-collection write/read attribution for one SegS run
 //! repro --plan            # plan-level concordance sweep (planner over Fig. 12)
+//! repro --parallel        # wall-clock speedup of parallel partition execution
+//! repro --threads 4 ...   # degree of parallelism for every scenario (= WL_THREADS)
 //! WL_SCALE=quick repro --all
 //! ```
 
@@ -55,11 +57,26 @@ fn breakdown_demo(scale: &wl_bench::Scale) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` sets the default degree of parallelism for every
+    // scenario (equivalent to WL_THREADS=N; the flag wins when both are
+    // given). It must be applied before any context reads the knob.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .expect("usage: repro --threads <N> (positive integer)");
+        std::env::set_var(write_limited::parallel::THREADS_ENV, n.to_string());
+        args.drain(i..i + 2);
+    }
     let scale = Scale::from_env();
     eprintln!(
-        "scale: sort_n={}, join |T|={}, fanout={}",
-        scale.sort_n, scale.join_t, scale.join_fanout
+        "scale: sort_n={}, join |T|={}, fanout={}, threads={}",
+        scale.sort_n,
+        scale.join_t,
+        scale.join_fanout,
+        write_limited::parallel::degree_from_env()
     );
 
     let run_fig = |n: u32| match n {
@@ -89,6 +106,7 @@ fn main() {
             ablation::index_leaf_policies(&scale);
             ablation::input_order(&scale);
             wl_bench::plan_concordance(&scale);
+            wl_bench::parallel_speedup(&scale, &[1, 2, 4, 8]);
         }
         Some("--figure") => {
             let n: u32 = args
@@ -107,10 +125,14 @@ fn main() {
             ablation::input_order(&scale);
         }
         Some("--plan") => wl_bench::plan_concordance(&scale),
+        Some("--parallel") => wl_bench::parallel_speedup(&scale, &[1, 2, 4, 8]),
         Some("--config") => print_config(),
         Some("--breakdown") => breakdown_demo(&scale),
         Some(other) => {
-            eprintln!("unknown flag {other}; see --all/--figure/--table/--ablation/--plan/--config")
+            eprintln!(
+                "unknown flag {other}; see \
+                 --all/--figure/--table/--ablation/--plan/--parallel/--config"
+            )
         }
     }
 }

@@ -11,10 +11,12 @@
 pub mod ablation;
 pub mod figures;
 pub mod measure;
+pub mod parallel;
 pub mod plan;
 pub mod scale;
 pub mod table;
 
 pub use measure::{run_join, run_sort, Measurement};
+pub use parallel::parallel_speedup;
 pub use plan::{plan_concordance, run_plan_concordance, PlanCell};
 pub use scale::Scale;

@@ -85,6 +85,138 @@ pub fn predict_join_io(algo: &JoinAlgorithm, t: f64, v: f64, m: f64, lambda: f64
     IoPrediction { reads, writes }
 }
 
+/// How a plan node's predicted traffic divides between work the
+/// partition-parallel executors overlap across workers and work that
+/// stays on the coordinating thread. Used by planners to estimate the
+/// *critical path* of a node under a degree of parallelism: rather than
+/// the Eqs. 1–11 sum of all partition costs, the elapsed estimate is
+/// `serial + parallel / min(dop, partitions)` (balanced partitions, so
+/// the max partition cost is the mean).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParallelSplit {
+    /// Cost-unit share executed serially (phase-1 partitioning,
+    /// run generation, final merges, iterative algorithms).
+    pub serial: f64,
+    /// Cost-unit share fanned out over independent partitions.
+    pub parallel: f64,
+    /// Number of independent partitions the parallel share divides into.
+    pub partitions: f64,
+}
+
+impl ParallelSplit {
+    /// A fully serial split of `units` cost units.
+    pub fn all_serial(units: f64) -> Self {
+        Self {
+            serial: units,
+            parallel: 0.0,
+            partitions: 1.0,
+        }
+    }
+
+    /// Critical-path estimate in cost units at degree of parallelism
+    /// `dop`: the serial share plus the parallel share divided by the
+    /// effective worker count. At `dop = 1` this is exactly the Eqs.
+    /// 1–11 sum.
+    pub fn critical_path_units(&self, dop: usize) -> f64 {
+        let eff = (dop as f64).min(self.partitions).max(1.0);
+        self.serial + self.parallel / eff
+    }
+}
+
+/// Splits a join's predicted cost (Eqs. 6–11 and the baselines) into its
+/// serial and partition-parallel shares, mirroring what the executors in
+/// [`crate::join`] actually overlap:
+///
+/// * GJ — phase 1 (read + write both inputs) is morsel-parallel too, but
+///   its writes serialize on the shared partitions, so it is counted
+///   serial; phase 2 (re-read both inputs) fans out over the `k`
+///   partition pairs.
+/// * SegJ — the initial scan and partition writes are serial; the Grace
+///   joins of the materialized partitions and the `k − x` iterate passes
+///   fan out.
+/// * HybJ — the prefix partitioning is serial; the per-partition probes
+///   (including the piggybacked V₁₋y scans) and the nested-loop chunks
+///   fan out.
+/// * HJ / LaJ — iterative, each pass consumes the previous one: serial.
+/// * NLJ / SMJ — not parallelized by the executors: serial.
+///
+/// `lambda` weighs the write shares; the output-materialization constant
+/// is excluded, as in [`predict_join_io`].
+pub fn join_parallel_split(
+    algo: &JoinAlgorithm,
+    t: f64,
+    v: f64,
+    m: f64,
+    lambda: f64,
+) -> ParallelSplit {
+    let total = estimate_join(algo, t, v, m, lambda);
+    let k = (t / m).ceil().max(1.0);
+    match algo {
+        JoinAlgorithm::GJ => {
+            let parallel = t + v; // second read of both inputs
+            ParallelSplit {
+                serial: (total - parallel).max(0.0),
+                parallel,
+                partitions: k,
+            }
+        }
+        JoinAlgorithm::SegJ { frac } => {
+            let x = (k * frac).round().min(k);
+            // Materialized-partition joins + iterate passes fan out.
+            let parallel = x / k * (t + v) + (k - x) * (t + v);
+            ParallelSplit {
+                serial: (total - parallel).max(0.0),
+                parallel: parallel.min(total),
+                partitions: k,
+            }
+        }
+        JoinAlgorithm::HybJ { x, y } => {
+            // Serial share: partitioning the prefixes (read once, write
+            // once); everything else — partition probes, piggybacked
+            // scans, and the nested-loop chunks (each chunk's T₁₋ₓ build
+            // reads included, since the chunks are independent parallel
+            // tasks) — fans out.
+            let serial = (x * t + y * v) * (1.0 + lambda);
+            let chunks = ((1.0 - x) * t / m).ceil() + (x * t / m).ceil();
+            ParallelSplit {
+                serial: serial.min(total),
+                parallel: (total - serial).max(0.0),
+                partitions: chunks.max(1.0),
+            }
+        }
+        JoinAlgorithm::NLJ | JoinAlgorithm::HJ | JoinAlgorithm::LaJ | JoinAlgorithm::SMJ { .. } => {
+            ParallelSplit::all_serial(total)
+        }
+    }
+}
+
+/// Splits a sort's predicted cost into serial and parallel shares. Only
+/// ExMS has a parallel share today (its intermediate merge passes fan
+/// out over merge groups); run generation, the final merge, and the
+/// write-limited algorithms' selection scans are serial.
+pub fn sort_parallel_split(algo: &SortAlgorithm, t: f64, m: f64, lambda: f64) -> ParallelSplit {
+    let total = estimate_sort(algo, t, m, lambda);
+    match algo {
+        SortAlgorithm::ExMS => {
+            // Mirror exms_cost's pass structure exactly (runs of length
+            // 2M, block-buffer fan-in): of its `passes` merge passes,
+            // all but the final one are group-parallel in the executor;
+            // run generation and the final merge stay serial.
+            let runs = (t / (2.0 * m)).max(1.0);
+            let passes = sort_costs::merge_passes(runs, m).max(1.0);
+            let per_pass = t * (1.0 + lambda);
+            let parallel = ((passes - 1.0) * per_pass).clamp(0.0, total);
+            let fan = (m / sort_costs::BLOCK_CACHELINES).max(2.0);
+            ParallelSplit {
+                serial: total - parallel,
+                parallel,
+                partitions: (runs / fan).ceil().max(1.0),
+            }
+        }
+        _ => ParallelSplit::all_serial(total),
+    }
+}
+
 /// The candidate set the "informed" sort choice considers: the
 /// baselines, HybS sweeps, the Eq. 4 cost-optimal SegS intensity when
 /// applicable, and a SegS sweep (deduplicated). Exposed for plan
@@ -346,6 +478,50 @@ mod tests {
         assert!(joins
             .iter()
             .any(|a| matches!(a, JoinAlgorithm::SegJ { .. })));
+    }
+
+    #[test]
+    fn critical_path_at_dop_one_is_the_estimate() {
+        let (t, v, m, lambda) = (10_000.0, 100_000.0, 1_000.0, 15.0);
+        for algo in join_candidates(t, v, m, lambda) {
+            let split = join_parallel_split(&algo, t, v, m, lambda);
+            let total = estimate_join(&algo, t, v, m, lambda);
+            assert!(
+                (split.critical_path_units(1) - total).abs() < 1e-6,
+                "{}: {} vs {total}",
+                algo.label(),
+                split.critical_path_units(1)
+            );
+        }
+        for algo in sort_candidates(t, m, lambda) {
+            let split = sort_parallel_split(&algo, t, m, lambda);
+            let total = estimate_sort(&algo, t, m, lambda);
+            assert!((split.critical_path_units(1) - total).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallelism_shrinks_partitioned_joins_not_serial_ones() {
+        let (t, v, m, lambda) = (10_000.0, 100_000.0, 1_000.0, 15.0);
+        let gj = join_parallel_split(&JoinAlgorithm::GJ, t, v, m, lambda);
+        assert!(gj.critical_path_units(4) < gj.critical_path_units(1));
+        let seg = join_parallel_split(&JoinAlgorithm::SegJ { frac: 0.0 }, t, v, m, lambda);
+        assert!(seg.critical_path_units(4) < 0.5 * seg.critical_path_units(1));
+        let nlj = join_parallel_split(&JoinAlgorithm::NLJ, t, v, m, lambda);
+        assert_eq!(nlj.critical_path_units(8), nlj.critical_path_units(1));
+        let hj = join_parallel_split(&JoinAlgorithm::HJ, t, v, m, lambda);
+        assert_eq!(hj.critical_path_units(8), hj.critical_path_units(1));
+    }
+
+    #[test]
+    fn effective_workers_cap_at_partition_count() {
+        let split = ParallelSplit {
+            serial: 100.0,
+            parallel: 900.0,
+            partitions: 3.0,
+        };
+        assert_eq!(split.critical_path_units(8), split.critical_path_units(3));
+        assert_eq!(split.critical_path_units(3), 100.0 + 300.0);
     }
 
     #[test]

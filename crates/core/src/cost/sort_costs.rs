@@ -14,7 +14,7 @@
 //! offset that does not affect rankings.
 
 /// Cachelines per collection block (the default 1024-byte block).
-const BLOCK_CACHELINES: f64 = 16.0;
+pub(crate) const BLOCK_CACHELINES: f64 = 16.0;
 
 /// Merge passes needed for `runs` sorted runs under budget `m` buffers.
 pub(crate) fn merge_passes(runs: f64, m: f64) -> f64 {

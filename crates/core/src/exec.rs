@@ -112,6 +112,7 @@ pub struct SortOp<'p, I: PhysOperator> {
     dev: Pm,
     kind: LayerKind,
     pool: &'p BufferPool,
+    threads: Option<usize>,
     output: Option<PCollection<I::Item>>,
     cursor: usize,
     read_cursor: ReadCursor,
@@ -132,10 +133,19 @@ impl<'p, I: PhysOperator> SortOp<'p, I> {
             dev: dev.clone(),
             kind,
             pool,
+            threads: None,
             output: None,
             cursor: 0,
             read_cursor: ReadCursor::new(),
         }
+    }
+
+    /// Overrides the degree of parallelism for the underlying sort
+    /// (default: the `WL_THREADS` environment knob).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
@@ -149,7 +159,10 @@ impl<'p, I: PhysOperator> PhysOperator for SortOp<'p, I> {
             staged.append(&r);
         }
         self.child.close();
-        let ctx = SortContext::new(&self.dev, self.kind, self.pool);
+        let mut ctx = SortContext::new(&self.dev, self.kind, self.pool);
+        if let Some(t) = self.threads {
+            ctx = ctx.with_threads(t);
+        }
         self.output = Some(self.algo.run(&staged, &ctx, "sort-op-output")?);
         self.cursor = 0;
         self.read_cursor = ReadCursor::new();
@@ -179,6 +192,7 @@ pub struct JoinOp<'a, 'p, L: Record, R: Record> {
     dev: Pm,
     kind: LayerKind,
     pool: &'p BufferPool,
+    threads: Option<usize>,
     output: Option<PCollection<Pair<L, R>>>,
     cursor: usize,
     read_cursor: ReadCursor,
@@ -201,10 +215,19 @@ impl<'a, 'p, L: Record, R: Record> JoinOp<'a, 'p, L, R> {
             dev: dev.clone(),
             kind,
             pool,
+            threads: None,
             output: None,
             cursor: 0,
             read_cursor: ReadCursor::new(),
         }
+    }
+
+    /// Overrides the degree of parallelism for the underlying join
+    /// (default: the `WL_THREADS` environment knob).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
@@ -212,7 +235,10 @@ impl<'a, 'p, L: Record, R: Record> PhysOperator for JoinOp<'a, 'p, L, R> {
     type Item = Pair<L, R>;
 
     fn open(&mut self) -> Result<(), PmError> {
-        let ctx = JoinContext::new(&self.dev, self.kind, self.pool);
+        let mut ctx = JoinContext::new(&self.dev, self.kind, self.pool);
+        if let Some(t) = self.threads {
+            ctx = ctx.with_threads(t);
+        }
         self.output = Some(
             self.algo
                 .run(self.left, self.right, &ctx, "join-op-output")?,

@@ -1,9 +1,9 @@
 //! Shared join machinery: join context, hash partitioning, and in-memory
 //! build/probe tables.
 
-use pmem_sim::{BufferPool, LayerKind, PCollection, Pm};
-use std::cell::Cell;
+use pmem_sim::{BufferPool, LayerKind, PCollection, Pm, RecordBuffer};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use wisconsin::{Pair, Record};
 
 /// Hash-table blow-up factor `f`: "a hash table for a partition is 20%
@@ -11,12 +11,17 @@ use wisconsin::{Pair, Record};
 pub const HASH_TABLE_FACTOR: f64 = 1.2;
 
 /// Execution context shared by every join operator.
+///
+/// The context is `Sync`, so the partition-parallel executors can share
+/// it across a scoped worker pool; `threads` is the degree of
+/// parallelism they fan out to (default: `WL_THREADS` or serial).
 #[derive(Debug)]
 pub struct JoinContext<'p> {
     dev: Pm,
     kind: LayerKind,
     pool: &'p BufferPool,
-    next_id: Cell<u64>,
+    next_id: AtomicU64,
+    threads: usize,
 }
 
 impl<'p> JoinContext<'p> {
@@ -26,8 +31,21 @@ impl<'p> JoinContext<'p> {
             dev: dev.clone(),
             kind,
             pool,
-            next_id: Cell::new(0),
+            next_id: AtomicU64::new(0),
+            threads: crate::parallel::degree_from_env(),
         }
+    }
+
+    /// Overrides the degree of parallelism for partitioned algorithms.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Degree of parallelism the partitioned algorithms fan out to.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Device handle.
@@ -71,11 +89,17 @@ impl<'p> JoinContext<'p> {
         m > (HASH_TABLE_FACTOR * t_records as f64).sqrt()
     }
 
+    /// Allocates a fresh unique collection name. Names are handed out on
+    /// the coordinating thread before workers spawn, so they stay
+    /// deterministic at any degree of parallelism.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        format!("{prefix}-{id}")
+    }
+
     /// Allocates a fresh uniquely-named collection.
     pub fn fresh<R: Record>(&self, prefix: &str) -> PCollection<R> {
-        let id = self.next_id.get();
-        self.next_id.set(id + 1);
-        PCollection::new(&self.dev, self.kind, format!("{prefix}-{id}"))
+        PCollection::new(&self.dev, self.kind, self.fresh_name(prefix))
     }
 }
 
@@ -139,6 +163,21 @@ impl<L: Record> BuildTable<L> {
         if let Some(matches) = self.map.get(&right.key()) {
             for l in matches {
                 out.append(&Pair {
+                    left: *l,
+                    right: *right,
+                });
+            }
+        }
+    }
+
+    /// Probes with `right`, serializing one pair per match into a DRAM
+    /// buffer — the parallel executors' probe path: workers buffer their
+    /// partition's matches and the coordinator flushes the buffers into
+    /// the shared output collection in partition order.
+    pub fn probe_buffered<R: Record>(&self, right: &R, out: &mut RecordBuffer<Pair<L, R>>) {
+        if let Some(matches) = self.map.get(&right.key()) {
+            for l in matches {
+                out.push(&Pair {
                     left: *l,
                     right: *right,
                 });

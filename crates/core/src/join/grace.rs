@@ -4,12 +4,58 @@
 //! pairs on persistent memory; phase 2 joins each pair with an in-DRAM
 //! build/probe. Cost `r·(λ+2)·(|T|+|V|)` plus output writes: each input
 //! is read twice and written once (§2.2.2 uses this as the reference).
+//!
+//! Both phases scale across the context's worker pool
+//! ([`crate::parallel`]): partitioning fans out over fixed-size input
+//! morsels, the join phase over partition pairs. The morsel grid and the
+//! output flush order are independent of the degree of parallelism, so
+//! the simulated counters and the output record order are identical at
+//! any DoP — parallelism buys wall-clock time only.
 
 use super::common::{partition_of, BuildTable, JoinContext};
-use pmem_sim::{PCollection, PmError};
+use crate::parallel;
+use pmem_sim::{IoStats, PCollection, PmError, RecordBuffer};
 use wisconsin::{Pair, Record};
 
-/// Partitions `input` into `k` collections by key hash.
+/// Records per partitioning morsel. Inputs at or below this size are
+/// partitioned exactly as the serial reference implementation does (one
+/// collection per partition); larger inputs split into a fixed grid of
+/// morsels so phase 1 can fan out. The grid depends only on the input
+/// size — never on the degree of parallelism — which keeps the counted
+/// traffic DoP-invariant.
+pub const PARTITION_MORSEL_RECORDS: usize = 8192;
+
+/// A hash-partitioned input: for each of the `k` partitions, the
+/// per-morsel sub-collections holding its records in input order.
+#[derive(Debug)]
+pub struct PartitionedInput<R: Record> {
+    /// `parts[p][m]`: partition `p`'s records from morsel `m`.
+    parts: Vec<Vec<PCollection<R>>>,
+}
+
+impl<R: Record> PartitionedInput<R> {
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Records in partition `p`.
+    pub fn len(&self, p: usize) -> usize {
+        self.parts[p].iter().map(PCollection::len).sum()
+    }
+
+    /// Streams partition `p`'s records in input order, charging the same
+    /// reads a scan of a single per-partition collection would (plus at
+    /// most one boundary cacheline per morsel).
+    pub fn records(&self, p: usize) -> impl Iterator<Item = R> + '_ {
+        self.parts[p].iter().flat_map(|c| c.reader())
+    }
+}
+
+/// Partitions `input` into `k` collections by key hash — the serial
+/// reference path, which inputs of at most one morsel route through
+/// (keeping the two partitioners from drifting apart on the common
+/// case).
 pub fn partition_input<R: Record>(
     input: &PCollection<R>,
     k: usize,
@@ -21,6 +67,72 @@ pub fn partition_input<R: Record>(
         parts[partition_of(r.key(), k)].append(&r);
     }
     parts
+}
+
+/// Partitions `input` into `k` partitions over the fixed morsel grid,
+/// fanning the scan out across the context's worker pool.
+pub fn partition_input_morsels<R: Record>(
+    input: &PCollection<R>,
+    k: usize,
+    ctx: &JoinContext<'_>,
+    prefix: &str,
+) -> PartitionedInput<R> {
+    partition_input_morsels_profiled(input, k, ctx, prefix).0
+}
+
+/// [`partition_input_morsels`] plus each morsel's cost as charged by its
+/// worker's thread-local ledger.
+pub(crate) fn partition_input_morsels_profiled<R: Record>(
+    input: &PCollection<R>,
+    k: usize,
+    ctx: &JoinContext<'_>,
+    prefix: &str,
+) -> (PartitionedInput<R>, Vec<IoStats>) {
+    let n = input.len();
+    let morsels = n.div_ceil(PARTITION_MORSEL_RECORDS).max(1);
+    if morsels == 1 {
+        let before = pmem_sim::thread_stats();
+        let parts = partition_input(input, k, ctx, prefix);
+        let stats = pmem_sim::thread_stats().since(&before);
+        return (
+            PartitionedInput {
+                parts: parts.into_iter().map(|p| vec![p]).collect(),
+            },
+            vec![stats],
+        );
+    }
+
+    // Names are minted morsel-major on the coordinating thread, so
+    // naming stays deterministic under parallel creation.
+    let names: Vec<Vec<String>> = (0..morsels)
+        .map(|_| (0..k).map(|_| ctx.fresh_name(prefix)).collect())
+        .collect();
+
+    let mut parts: Vec<Vec<PCollection<R>>> = (0..k).map(|_| Vec::with_capacity(morsels)).collect();
+    let mut per_morsel = Vec::with_capacity(morsels);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        morsels,
+        |m| {
+            let start = m * PARTITION_MORSEL_RECORDS;
+            let end = (start + PARTITION_MORSEL_RECORDS).min(n);
+            let mut subs: Vec<PCollection<R>> = names[m]
+                .iter()
+                .map(|name| PCollection::new(ctx.device(), ctx.kind(), name.clone()))
+                .collect();
+            for r in input.range_reader(start, end) {
+                subs[partition_of(r.key(), k)].append(&r);
+            }
+            subs
+        },
+        |_, morsel| {
+            for (p, sub) in morsel.value.into_iter().enumerate() {
+                parts[p].push(sub);
+            }
+            per_morsel.push(morsel.stats);
+        },
+    );
+    (PartitionedInput { parts }, per_morsel)
 }
 
 /// Joins one partition pair: builds on `left_part`, probes `right_part`.
@@ -43,6 +155,75 @@ pub fn join_partition<L: Record, R: Record>(
     }
 }
 
+/// Joins every partition pair across the worker pool, appending the
+/// results to `out` in partition order. Returns each partition's cost
+/// as measured by its worker's thread-local ledger (deterministic at
+/// any DoP; the output flush is charged to the coordinator, not the
+/// partitions).
+pub(crate) fn join_partitioned<L: Record, R: Record>(
+    left: &PartitionedInput<L>,
+    right: &PartitionedInput<R>,
+    ctx: &JoinContext<'_>,
+    out: &mut PCollection<Pair<L, R>>,
+) -> Vec<IoStats> {
+    let k = left.partitions();
+    let mut per_partition = Vec::with_capacity(k);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        k,
+        |p| {
+            let mut buf = RecordBuffer::new();
+            if left.len(p) == 0 || right.len(p) == 0 {
+                return buf;
+            }
+            let mut table = BuildTable::new();
+            for l in left.records(p) {
+                table.insert(l);
+            }
+            for r in right.records(p) {
+                table.probe_buffered(&r, &mut buf);
+            }
+            buf
+        },
+        |_, task| {
+            // The flush is serialized here for count determinism, but
+            // the writes belong to the partition: a medium serving DoP
+            // workers concurrently would land each partition's output
+            // from its own worker. Charge them to the partition's cost
+            // through the coordinator's own thread ledger.
+            let before = pmem_sim::thread_stats();
+            out.append_buffer(&task.value);
+            let flush = pmem_sim::thread_stats().since(&before);
+            per_partition.push(task.stats.plus(&flush));
+        },
+    );
+    per_partition
+}
+
+/// Per-phase cost profile of one Grace join run, measured through the
+/// per-worker ledgers: what executes serially (partitioning) versus per
+/// partition pair (the build/probe phase). The per-partition costs sum,
+/// together with the phases' coordinator-side traffic, to the device
+/// delta of the whole join, and every entry is identical at any degree
+/// of parallelism — this is the measured analogue of the planner's
+/// critical-path estimate.
+#[derive(Clone, Debug)]
+pub struct GraceProfile {
+    /// Traffic of phase 1 (hash-partitioning both inputs).
+    pub partition_phase: IoStats,
+    /// Phase-1 traffic per morsel of the left input (the morsels of one
+    /// input fan out concurrently; the two inputs are partitioned one
+    /// after the other).
+    pub per_morsel_left: Vec<IoStats>,
+    /// Phase-1 traffic per morsel of the right input.
+    pub per_morsel_right: Vec<IoStats>,
+    /// Phase-2 traffic per partition pair: the worker's build/probe
+    /// reads plus the partition's output writes (serialized on the
+    /// coordinator for determinism, but attributable to the partition —
+    /// a medium serving DoP workers would land them concurrently).
+    pub per_partition: Vec<IoStats>,
+}
+
 /// Joins `left ⋈ right` with Grace join.
 ///
 /// # Errors
@@ -54,6 +235,20 @@ pub fn grace_join<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<Pair<L, R>>, PmError> {
+    grace_join_profiled(left, right, ctx, output_name).map(|(out, _)| out)
+}
+
+/// [`grace_join`] with the per-phase cost profile alongside the result —
+/// what the speedup harness and critical-path analyses consume.
+///
+/// # Errors
+/// Same as [`grace_join`].
+pub fn grace_join_profiled<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+    ctx: &JoinContext<'_>,
+    output_name: &str,
+) -> Result<(PCollection<Pair<L, R>>, GraceProfile), PmError> {
     if !ctx.grace_applicable::<L>(left.len()) {
         return Err(PmError::InsufficientMemory {
             requirement: format!(
@@ -64,14 +259,22 @@ pub fn grace_join<L: Record, R: Record>(
         });
     }
     let k = ctx.grace_partitions::<L>(left.len());
-    let left_parts = partition_input(left, k, ctx, "gj-t");
-    let right_parts = partition_input(right, k, ctx, "gj-v");
+    let before = ctx.device().snapshot();
+    let (left_parts, per_morsel_left) = partition_input_morsels_profiled(left, k, ctx, "gj-t");
+    let (right_parts, per_morsel_right) = partition_input_morsels_profiled(right, k, ctx, "gj-v");
+    let partition_phase = ctx.device().snapshot().since(&before);
 
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
-    for (lp, rp) in left_parts.iter().zip(right_parts.iter()) {
-        join_partition(lp, rp, &mut out);
-    }
-    Ok(out)
+    let per_partition = join_partitioned(&left_parts, &right_parts, ctx, &mut out);
+    Ok((
+        out,
+        GraceProfile {
+            partition_phase,
+            per_morsel_left,
+            per_morsel_right,
+            per_partition,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -155,5 +358,29 @@ mod tests {
         let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
         let out = grace_join(&left, &right, &ctx, "out").expect("applicable");
         assert_eq!(out.len(), 20); // 4 copies of each of 5 keys
+    }
+
+    #[test]
+    fn parallel_degrees_agree_with_serial_exactly() {
+        let run = |threads: usize| {
+            let dev = PmDevice::paper_default();
+            // Span several morsels so the morselized phase 1 is exercised.
+            let w = join_input(2 * PARTITION_MORSEL_RECORDS as u64, 3, 11);
+            let left =
+                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+            let right =
+                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+            let pool = BufferPool::new(1500 * 80);
+            let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+            let before = dev.snapshot();
+            let out = grace_join(&left, &right, &ctx, "out").expect("applicable");
+            (out.to_vec_uncounted(), dev.snapshot().since(&before))
+        };
+        let (rows1, io1) = run(1);
+        for threads in [2, 4] {
+            let (rows, io) = run(threads);
+            assert_eq!(rows, rows1, "output order must be DoP-invariant");
+            assert_eq!(io, io1, "counters must be DoP-invariant");
+        }
     }
 }

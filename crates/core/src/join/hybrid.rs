@@ -20,7 +20,8 @@
 //! [`crate::cost::join_costs`].
 
 use super::common::{partition_of, BuildTable, JoinContext};
-use pmem_sim::{PCollection, PmError};
+use crate::parallel;
+use pmem_sim::{PCollection, PmError, RecordBuffer};
 use wisconsin::{Pair, Record};
 
 /// Joins `left ⋈ right` with write intensities `x` (left) and `y`
@@ -81,37 +82,56 @@ pub fn hybrid_join<L: Record, R: Record>(
     // blow-up, but hash partitioning cannot split duplicates of a single
     // key: heavily skewed build keys can overflow the budget — the
     // classic hash-join limitation (the paper's f factor covers ordinary
-    // imbalance only).
-    for (tp, vp) in t_parts.iter().zip(v_parts.iter()) {
-        if tp.is_empty() {
-            continue;
-        }
-        let mut table = BuildTable::new();
-        for l in tp.reader() {
-            table.insert(l);
-        }
-        for r in vp.reader() {
-            table.probe(&r, &mut out); // Tx ⋈ Vy
-        }
-        for r in right.range_reader(vy_end, v_len) {
-            table.probe(&r, &mut out); // Tx ⋈ V₁₋y (piggyback)
-        }
-    }
+    // imbalance only). The spilled partitions are independent, so they
+    // fan out across the worker pool; each pass already used its own
+    // range reader over V₁₋y serially, so the counters are unchanged.
+    parallel::for_each_ordered(
+        ctx.threads(),
+        k,
+        |p| {
+            let (tp, vp) = (&t_parts[p], &v_parts[p]);
+            let mut buf = RecordBuffer::new();
+            if tp.is_empty() {
+                return buf;
+            }
+            let mut table = BuildTable::new();
+            for l in tp.reader() {
+                table.insert(l);
+            }
+            for r in vp.reader() {
+                table.probe_buffered(&r, &mut buf); // Tx ⋈ Vy
+            }
+            for r in right.range_reader(vy_end, v_len) {
+                table.probe_buffered(&r, &mut buf); // Tx ⋈ V₁₋y (piggyback)
+            }
+            buf
+        },
+        |_, task| out.append_buffer(&task.value),
+    );
 
-    // Phase 3: T₁₋x ⋈ V by block nested loops.
-    let mut start = tx_end;
-    let mut table = BuildTable::new();
-    while start < t_len {
-        let end = (start + build_cap).min(t_len);
-        table.clear();
-        for l in left.range_reader(start, end) {
-            table.insert(l);
-        }
-        for r in right.reader() {
-            table.probe(&r, &mut out);
-        }
-        start = end;
-    }
+    // Phase 3: T₁₋x ⋈ V by block nested loops. The chunk grid is fixed
+    // by the DRAM budget (one build table per chunk), so the chunks are
+    // independent read-only passes over V — parallel like the spilled
+    // partitions above.
+    let nl_chunks = (t_len - tx_end).div_ceil(build_cap);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        nl_chunks,
+        |c| {
+            let start = tx_end + c * build_cap;
+            let end = (start + build_cap).min(t_len);
+            let mut table = BuildTable::new();
+            for l in left.range_reader(start, end) {
+                table.insert(l);
+            }
+            let mut buf = RecordBuffer::new();
+            for r in right.reader() {
+                table.probe_buffered(&r, &mut buf);
+            }
+            buf
+        },
+        |_, task| out.append_buffer(&task.value),
+    );
     Ok(out)
 }
 

@@ -19,7 +19,10 @@ pub mod segmented;
 pub mod sort_merge;
 
 pub use common::{expected_match_count, partition_of, BuildTable, JoinContext, HASH_TABLE_FACTOR};
-pub use grace::{grace_join, join_partition, partition_input};
+pub use grace::{
+    grace_join, grace_join_profiled, join_partition, partition_input, partition_input_morsels,
+    GraceProfile, PartitionedInput, PARTITION_MORSEL_RECORDS,
+};
 pub use hash::hash_join;
 pub use hybrid::hybrid_join;
 pub use lazy::{lazy_hash_join, lazy_materialization_iterations};

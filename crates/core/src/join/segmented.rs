@@ -12,7 +12,8 @@
 //! write intensity.
 
 use super::common::{partition_of, BuildTable, JoinContext};
-use pmem_sim::{PCollection, PmError};
+use crate::parallel;
+use pmem_sim::{PCollection, PmError, RecordBuffer};
 use wisconsin::{Pair, Record};
 
 /// Joins `left ⋈ right`, materializing `materialized` of the `k`
@@ -69,25 +70,55 @@ pub fn segmented_grace_join<L: Record, R: Record>(
         }
     }
 
-    // Grace phase over the materialized partitions.
-    for (tp, vp) in t_parts.iter().zip(v_parts.iter()) {
-        super::grace::join_partition(tp, vp, &mut out);
-    }
-
-    // Iterate phase: one pass over both originals per remaining partition.
-    for p in x..k {
-        let mut table = BuildTable::new();
-        for l in left.reader() {
-            if partition_of(l.key(), k) == p {
+    // Grace phase over the materialized partitions; the pairs are
+    // independent, so they fan out across the worker pool with the
+    // output flushed in partition order (DoP-invariant counts + order).
+    parallel::for_each_ordered(
+        ctx.threads(),
+        x,
+        |p| {
+            let (tp, vp) = (&t_parts[p], &v_parts[p]);
+            let mut buf = RecordBuffer::new();
+            if tp.is_empty() || vp.is_empty() {
+                return buf;
+            }
+            let mut table = BuildTable::new();
+            for l in tp.reader() {
                 table.insert(l);
             }
-        }
-        for r in right.reader() {
-            if partition_of(r.key(), k) == p {
-                table.probe(&r, &mut out);
+            for r in vp.reader() {
+                table.probe_buffered(&r, &mut buf);
             }
-        }
-    }
+            buf
+        },
+        |_, task| out.append_buffer(&task.value),
+    );
+
+    // Iterate phase: one pass over both originals per remaining
+    // partition. Every pass re-reads the (immutable) originals through
+    // its own readers, exactly as the serial loop does, so the passes
+    // parallelize without changing a single counter.
+    parallel::for_each_ordered(
+        ctx.threads(),
+        k - x,
+        |i| {
+            let p = x + i;
+            let mut table = BuildTable::new();
+            for l in left.reader() {
+                if partition_of(l.key(), k) == p {
+                    table.insert(l);
+                }
+            }
+            let mut buf = RecordBuffer::new();
+            for r in right.reader() {
+                if partition_of(r.key(), k) == p {
+                    table.probe_buffered(&r, &mut buf);
+                }
+            }
+            buf
+        },
+        |_, task| out.append_buffer(&task.value),
+    );
     Ok(out)
 }
 

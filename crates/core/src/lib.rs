@@ -11,6 +11,8 @@
 //!   read/write-split predictions and candidate sets for plan enumerators
 //! * [`exec`] — Volcano operators (`scan → filter → sort → join →
 //!   aggregate`), boxed-operator composition, and counted staging
+//! * [`parallel`] — scoped-thread worker pool that fans partition work
+//!   out across cores (wall-clock scaling; simulated counts unchanged)
 //! * [`stats`] — Kendall's τ for the Fig. 12 concordance experiment
 //!
 //! Plan-level algorithm selection lives in the `wl-planner` crate
@@ -39,6 +41,7 @@ pub mod agg;
 pub mod cost;
 pub mod exec;
 pub mod join;
+pub mod parallel;
 pub mod pipeline;
 pub mod sort;
 pub mod stats;

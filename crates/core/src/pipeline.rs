@@ -19,7 +19,8 @@
 //! non-selective ones stay deferred as long as `k ≤ λ`.
 
 use crate::join::common::{partition_of, BuildTable, JoinContext};
-use pmem_sim::{PCollection, PmError};
+use crate::parallel;
+use pmem_sim::{PCollection, PmError, RecordBuffer};
 use wisconsin::{Pair, Record};
 use wl_runtime::{CStatus, Decision, OpCtx};
 
@@ -142,7 +143,44 @@ pub fn filtered_iterate_join<L: Record, R: Record>(
     }
     let k = ctx.grace_partitions::<L>(filter.source.len());
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
-    for p in 0..k {
+    let mut p = 0;
+    while p < k {
+        if filter.is_materialized() {
+            // Once the runtime has materialized the view it is immutable,
+            // so the remaining passes are independent scans of it — they
+            // fan out across the worker pool, with output flushes and the
+            // runtime's scan bookkeeping serialized in partition order
+            // (identical counters and rule state at any DoP). Passes
+            // *before* this point stay serial: each may flip the
+            // materialization decision, which is order-dependent.
+            let m = filter.materialized.as_ref().expect("checked");
+            let m_buffers = m.buffers() as f64;
+            parallel::for_each_ordered(
+                ctx.threads(),
+                k - p,
+                |i| {
+                    let part = p + i;
+                    let mut table = BuildTable::new();
+                    for l in m.reader() {
+                        if partition_of(l.key(), k) == part {
+                            table.insert(l);
+                        }
+                    }
+                    let mut buf = RecordBuffer::new();
+                    for r in right.reader() {
+                        if partition_of(r.key(), k) == part {
+                            table.probe_buffered(&r, &mut buf);
+                        }
+                    }
+                    buf
+                },
+                |_, task| {
+                    out.append_buffer(&task.value);
+                    rt.note_scan(&filter.name, m_buffers);
+                },
+            );
+            break;
+        }
         let mut table = BuildTable::new();
         filter.scan(rt, ctx, |l| {
             if partition_of(l.key(), k) == p {
@@ -154,6 +192,7 @@ pub fn filtered_iterate_join<L: Record, R: Record>(
                 table.probe(&r, &mut out);
             }
         }
+        p += 1;
     }
     Ok(out)
 }

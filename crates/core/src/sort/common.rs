@@ -1,21 +1,27 @@
 //! Shared sorting machinery: sort context, run generation via replacement
 //! selection, and k-way merging.
 
+use crate::parallel;
 use pmem_sim::{BufferPool, LayerKind, PCollection, Pm};
-use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use wisconsin::Record;
 
 /// Execution context shared by every sort operator: the device, the
 /// persistence layer for intermediate results and output, and the DRAM
 /// budget.
+///
+/// The context is `Sync`, so merge passes can fan their independent
+/// merge groups out across a scoped worker pool; `threads` is the degree
+/// of parallelism (default: `WL_THREADS` or serial).
 #[derive(Debug)]
 pub struct SortContext<'p> {
     dev: Pm,
     kind: LayerKind,
     pool: &'p BufferPool,
-    next_id: Cell<u64>,
+    next_id: AtomicU64,
+    threads: usize,
 }
 
 impl<'p> SortContext<'p> {
@@ -25,8 +31,21 @@ impl<'p> SortContext<'p> {
             dev: dev.clone(),
             kind,
             pool,
-            next_id: Cell::new(0),
+            next_id: AtomicU64::new(0),
+            threads: parallel::degree_from_env(),
         }
+    }
+
+    /// Overrides the degree of parallelism for merge fan-ins.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Degree of parallelism merge passes fan out to.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Device handle.
@@ -50,12 +69,18 @@ impl<'p> SortContext<'p> {
         (self.pool.budget() / R::SIZE).max(1)
     }
 
+    /// Allocates a fresh unique collection name (minted on the
+    /// coordinating thread, so names stay deterministic at any degree of
+    /// parallelism).
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        format!("{prefix}-{id}")
+    }
+
     /// Allocates a fresh uniquely-named collection for an intermediate
     /// result.
     pub fn fresh<R: Record>(&self, prefix: &str) -> PCollection<R> {
-        let id = self.next_id.get();
-        self.next_id.set(id + 1);
-        PCollection::new(&self.dev, self.kind, format!("{prefix}-{id}"))
+        PCollection::new(&self.dev, self.kind, self.fresh_name(prefix))
     }
 }
 
@@ -217,12 +242,19 @@ pub fn merge_runs_into<R: Record>(
     }
     let fan_in = merge_fan_in(ctx);
     while runs.len() > fan_in {
-        let mut merged: Vec<PCollection<R>> = Vec::new();
-        for group in runs.chunks(fan_in) {
-            let mut next = ctx.fresh::<R>("merge");
-            merge_group(group, &mut next);
-            merged.push(next);
-        }
+        // The groups of one intermediate pass are independent merges, so
+        // they fan out across the worker pool. Target names are minted
+        // up front on this thread; each group's reads and writes touch
+        // only its own runs and target, so the counters are identical to
+        // the serial pass at any DoP.
+        let groups: Vec<&[PCollection<R>]> = runs.chunks(fan_in).collect();
+        let names: Vec<String> = (0..groups.len()).map(|_| ctx.fresh_name("merge")).collect();
+        let merged = parallel::map_ordered(ctx.threads(), groups.len(), |g| {
+            let mut next = PCollection::new(ctx.device(), ctx.kind(), names[g].clone());
+            merge_group(groups[g], &mut next);
+            next
+        });
+        drop(groups);
         runs = merged;
     }
     if runs.len() == 1 && out.is_empty() {

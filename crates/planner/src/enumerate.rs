@@ -18,9 +18,11 @@ use wisconsin::WisconsinRecord;
 use wl_runtime::{plan_verdict, Decision};
 use write_limited::agg::GroupAgg;
 use write_limited::cost::{
-    join_candidates, predict_join_io, predict_sort_io, sort_candidates, IoPrediction,
+    join_candidates, join_parallel_split, predict_join_io, predict_sort_io, sort_candidates,
+    sort_parallel_split, IoPrediction,
 };
 use write_limited::join::{JoinAlgorithm, HASH_TABLE_FACTOR};
+use write_limited::sort::SortAlgorithm;
 
 /// Base record width in bytes (what join build sides hold).
 const WIS_BYTES: f64 = WisconsinRecord::SIZE as f64;
@@ -56,7 +58,12 @@ pub struct Candidate {
     pub label: String,
     /// Predicted traffic of the node under this alternative.
     pub io: IoPrediction,
-    /// Scalar cost in read units.
+    /// The figure the planner ranks by, in read units. At degree of
+    /// parallelism 1 this is the Eqs. 1–11 scalar cost; with `threads >
+    /// 1` it is the *critical-path* estimate — the serial share plus the
+    /// partition-parallel share divided by the effective worker count —
+    /// so partitioned algorithms get cheaper relative to iterative ones
+    /// and plan choice can shift under parallelism.
     pub cost_units: f64,
 }
 
@@ -82,6 +89,9 @@ pub struct PlannedQuery {
     pub lambda: f64,
     /// DRAM budget in buffers.
     pub m_buffers: f64,
+    /// Degree of parallelism the plan was costed for (and that the
+    /// executor fans partitioned operators out to).
+    pub threads: usize,
     /// Total predicted traffic of the plan.
     pub predicted: IoPrediction,
 }
@@ -96,6 +106,12 @@ pub struct Planner {
     pub m_buffers: f64,
     /// Persistence layer targeted by intermediates.
     pub layer: LayerKind,
+    /// Degree of parallelism the partitioned operators will run at;
+    /// drives the critical-path ranking. Defaults to 1 (rank by the
+    /// serial Eqs. 1–11 sums); planning for a parallel runtime is an
+    /// explicit choice via [`Planner::with_threads`], so plan choices
+    /// stay stable no matter what `WL_THREADS` the *executor* runs at.
+    pub threads: usize,
     /// Per-storage-call software overhead expressed in read units.
     call_overhead_units: f64,
     /// Cachelines per collection block (call granularity).
@@ -134,9 +150,31 @@ impl Planner {
             lambda,
             m_buffers,
             layer,
+            threads: 1,
             call_overhead_units: call_ns / cfg.latency.read_ns,
             block_cachelines: cfg.cachelines_per_block() as f64,
         }
+    }
+
+    /// Sets the degree of parallelism the plan is costed for. The
+    /// executor fans partitioned operators out to the same degree, so
+    /// the critical-path ranking and the run agree.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Critical-path scaling of a costed candidate: the ratio between
+    /// the split's elapsed estimate at `self.threads` workers and its
+    /// serial sum, applied to the overhead-inclusive figure (overhead
+    /// accrues on the same traffic, so it scales with it).
+    fn scale_units(&self, units: f64, split: write_limited::cost::ParallelSplit) -> f64 {
+        let serial_sum = split.critical_path_units(1);
+        if self.threads <= 1 || serial_sum <= 0.0 {
+            return units;
+        }
+        units * split.critical_path_units(self.threads) / serial_sum
     }
 
     /// Software-overhead surcharge for `traffic` buffers of layer I/O,
@@ -173,6 +211,7 @@ impl Planner {
             choices,
             lambda: self.lambda,
             m_buffers: self.m_buffers,
+            threads: self.threads,
             predicted,
         })
     }
@@ -257,15 +296,16 @@ impl Planner {
     fn plan_sort(&self, child: PhysicalPlan, choices: &mut Vec<NodeChoice>) -> PhysicalPlan {
         let t = child.cost().out_buffers.max(1.0);
         let out_rows = child.cost().out_rows;
-        let mut candidates: Vec<(write_limited::sort::SortAlgorithm, Candidate)> =
+        let mut candidates: Vec<(SortAlgorithm, Candidate)> =
             sort_candidates(t, self.m_buffers, self.lambda)
                 .into_iter()
                 .map(|algo| {
                     let io =
                         self.with_overhead(predict_sort_io(&algo, t, self.m_buffers, self.lambda));
+                    let split = sort_parallel_split(&algo, t, self.m_buffers, self.lambda);
                     let cand = Candidate {
                         label: algo.label(),
-                        cost_units: io.cost_units(self.lambda),
+                        cost_units: self.scale_units(io.cost_units(self.lambda), split),
                         io,
                     };
                     (algo, cand)
@@ -327,6 +367,7 @@ impl Planner {
                 let io = self.with_overhead(
                     predict_join_io(&algo, t, v, self.m_buffers, self.lambda).plus(output_writes),
                 );
+                let split = join_parallel_split(&algo, t, v, self.m_buffers, self.lambda);
                 let label = if swapped {
                     format!("{} (swapped)", algo.label())
                 } else {
@@ -337,7 +378,7 @@ impl Planner {
                     swapped,
                     Candidate {
                         label,
-                        cost_units: io.cost_units(self.lambda),
+                        cost_units: self.scale_units(io.cost_units(self.lambda), split),
                         io,
                     },
                 ));
@@ -374,11 +415,20 @@ impl Planner {
                         }
                         .plus(output_writes),
                     );
+                    // The iterate-only passes fan out like SegJ at
+                    // frac = 0 (the re-filtering scans are the passes).
+                    let split = join_parallel_split(
+                        &JoinAlgorithm::SegJ { frac: 0.0 },
+                        src,
+                        rb,
+                        self.m_buffers,
+                        self.lambda,
+                    );
                     deferred_candidate = Some((
                         verdict,
                         Candidate {
                             label: "SegJ, 0% over deferred σ".into(),
-                            cost_units: io.cost_units(self.lambda),
+                            cost_units: self.scale_units(io.cost_units(self.lambda), split),
                             io,
                         },
                     ));
@@ -677,6 +727,48 @@ mod tests {
         } else {
             panic!("expected join root");
         }
+    }
+
+    #[test]
+    fn parallelism_knob_shifts_join_choice_toward_partitioned_plans() {
+        // λ = 1, M = |T|/4: serially the read-only block-nested-loops
+        // plan edges out the Grace family (it avoids the partition
+        // writes). With workers available, the partitioned candidates'
+        // critical paths shrink while NLJ's cannot, so the winner flips.
+        let mut cat = Catalog::new();
+        cat.add_stats("T", TableStats::wisconsin(10_000));
+        cat.add_stats("V", TableStats::wisconsin(15_000));
+        let logical = LogicalPlan::scan("T").join(LogicalPlan::scan("V"));
+
+        let serial = Planner::new(1.0, 3125.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        let par = Planner::new(1.0, 3125.0, LayerKind::BlockedMemory)
+            .with_threads(8)
+            .plan(&logical, &cat)
+            .expect("plans");
+        assert_eq!(serial.threads, 1);
+        assert_eq!(par.threads, 8);
+
+        let winner = |p: &PlannedQuery| {
+            let c = p
+                .choices
+                .iter()
+                .find(|c| c.node.starts_with("join"))
+                .expect("join enumerated");
+            (c.chosen.clone(), c.candidates[0].cost_units)
+        };
+        let (serial_choice, serial_units) = winner(&serial);
+        let (par_choice, par_units) = winner(&par);
+        assert_eq!(serial_choice, "NLJ", "serial baseline should win at λ=1");
+        assert_ne!(
+            par_choice, "NLJ",
+            "with 8 workers a partitioned plan must win"
+        );
+        assert!(
+            par_units < serial_units,
+            "critical path {par_units} must undercut the serial sum {serial_units}"
+        );
     }
 
     #[test]

@@ -147,6 +147,7 @@ pub fn execute(
         dev,
         layer,
         pool,
+        threads: planned.threads,
         fresh: 0,
     };
     let before = dev.snapshot();
@@ -181,6 +182,9 @@ struct Lowerer<'a, 'c> {
     dev: &'a Pm,
     layer: LayerKind,
     pool: &'a BufferPool,
+    /// Degree of parallelism the plan was costed for; partitioned
+    /// operators fan out to the same degree so prediction and run agree.
+    threads: usize,
     fresh: u64,
 }
 
@@ -267,7 +271,7 @@ impl<'a, 'c> Lowerer<'a, 'c> {
         child: Stream<'c>,
         algo: SortAlgorithm,
     ) -> Result<Stream<'c>, ExecError> {
-        let ctx = SortContext::new(self.dev, self.layer, self.pool);
+        let ctx = SortContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("sorted");
         match child {
             Stream::Borrowed(col) => Ok(Stream::Wis(algo.run(col, &ctx, &name)?)),
@@ -287,7 +291,7 @@ impl<'a, 'c> Lowerer<'a, 'c> {
         algo: write_limited::join::JoinAlgorithm,
         swapped: bool,
     ) -> Result<Stream<'c>, ExecError> {
-        let ctx = JoinContext::new(self.dev, self.layer, self.pool);
+        let ctx = JoinContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("joined");
 
         // Deferred-view build side: §3.1 runtime path.
@@ -341,7 +345,7 @@ impl<'a, 'c> Lowerer<'a, 'c> {
     }
 
     fn aggregate_stream(&mut self, child: Stream<'c>, x: f64) -> Result<Stream<'c>, ExecError> {
-        let ctx = SortContext::new(self.dev, self.layer, self.pool);
+        let ctx = SortContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("groups");
         let out = match child {
             Stream::Borrowed(col) => sort_based_aggregate(col, x, |r| r.payload(), &ctx, &name)?,

@@ -10,24 +10,29 @@
 
 use crate::config::DeviceConfig;
 use crate::metrics::{IoStats, Metrics};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A simulated persistent-memory device.
+///
+/// `PmDevice` is `Send + Sync`: its counter bank is atomic, so
+/// partition-parallel workers can share one device handle and charge
+/// traffic concurrently while totals stay exact.
 #[derive(Debug)]
 pub struct PmDevice {
     config: DeviceConfig,
     metrics: Metrics,
 }
 
-/// Shared handle to a device. Collections hold clones of this handle; the
-/// system is single-threaded (as the paper's implementation), so `Rc`
-/// suffices.
-pub type Pm = Rc<PmDevice>;
+/// Shared handle to a device. Collections hold clones of this handle;
+/// it is `Arc` so worker pools can fan partition work out across threads
+/// (the paper's implementation is single-threaded, but its per-partition
+/// work is embarrassingly parallel).
+pub type Pm = Arc<PmDevice>;
 
 impl PmDevice {
     /// Creates a device with the given configuration.
     pub fn new(config: DeviceConfig) -> Pm {
-        Rc::new(Self {
+        Arc::new(Self {
             config,
             metrics: Metrics::new(),
         })
@@ -79,6 +84,15 @@ impl PmDevice {
 mod tests {
     use super::*;
     use crate::config::LatencyProfile;
+
+    #[test]
+    fn device_is_send_and_sync() {
+        // Compile-time guarantee the worker pool relies on: a device
+        // handle may be shared across scoped threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmDevice>();
+        assert_send_sync::<Pm>();
+    }
 
     #[test]
     fn device_reports_lambda_from_config() {

@@ -78,6 +78,10 @@ impl ReadCursor {
 }
 
 /// Byte storage plus accounting for one persistent collection.
+///
+/// Reads ([`Storage::read_at`]) take `&self` and charge the device's
+/// atomic counters, so any number of worker threads may scan one
+/// collection concurrently; appends require `&mut self`.
 #[derive(Debug)]
 pub struct Storage {
     kind: LayerKind,

@@ -44,12 +44,12 @@ pub mod metrics;
 pub mod pages;
 pub mod pool;
 
-pub use collection::{PCollection, RecordReader, Storable};
+pub use collection::{PCollection, RecordBuffer, RecordReader, Storable};
 pub use config::{cachelines, DeviceConfig, LatencyProfile, CACHELINE, DEFAULT_BLOCK};
 pub use device::{Pm, PmDevice};
 pub use energy::{EnergyModel, WearModel};
 pub use error::PmError;
 pub use layer::{LayerKind, ReadCursor, Storage};
-pub use metrics::{IoStats, Metrics};
+pub use metrics::{thread_stats, IoStats, Metrics};
 pub use pages::{PageId, PageStore};
 pub use pool::{BufferPool, Reservation};

@@ -4,9 +4,25 @@
 //! the numbers of cacheline reads and writes (§4, "Datasets and metrics").
 //! We reproduce the same three metrics deterministically: the simulated
 //! response time is `reads·r + writes·w + software_overhead`.
+//!
+//! The counter bank is lock-free and `Send + Sync`: counters are atomics so
+//! partition-parallel workers can charge traffic to one shared device, and
+//! software time is accumulated in integer picoseconds so the total is
+//! exact and independent of the order in which threads interleave their
+//! additions (no floating-point reassociation). Each thread additionally
+//! mirrors its own traffic into a thread-local ledger ([`thread_stats`]),
+//! which is how the worker pool attributes per-partition costs without
+//! perturbing — or being perturbed by — its siblings.
 
 use crate::config::LatencyProfile;
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Internal software-time resolution: picoseconds per nanosecond. Storing
+/// integer picoseconds makes concurrent accumulation exact (u64 addition
+/// commutes; f64 addition does not).
+const PS_PER_NS: f64 = 1000.0;
 
 /// A point-in-time snapshot of device counters.
 ///
@@ -31,15 +47,52 @@ impl IoStats {
     /// Traffic between `earlier` and `self` (i.e., `self - earlier`).
     ///
     /// # Panics
-    /// Panics in debug builds if `earlier` is not actually earlier.
+    /// Panics in debug builds if `earlier` is not actually earlier — every
+    /// field is checked, so a reset (or a snapshot torn across a reset)
+    /// between the two observations is caught instead of silently
+    /// producing wrapped counters or negative software time.
     pub fn since(&self, earlier: &IoStats) -> IoStats {
-        debug_assert!(self.cl_reads >= earlier.cl_reads);
-        debug_assert!(self.cl_writes >= earlier.cl_writes);
+        debug_assert!(
+            self.cl_reads >= earlier.cl_reads,
+            "cl_reads went backwards: {} < {}",
+            self.cl_reads,
+            earlier.cl_reads
+        );
+        debug_assert!(
+            self.cl_writes >= earlier.cl_writes,
+            "cl_writes went backwards: {} < {}",
+            self.cl_writes,
+            earlier.cl_writes
+        );
+        debug_assert!(
+            self.software_ns >= earlier.software_ns,
+            "software_ns went backwards: {} < {}",
+            self.software_ns,
+            earlier.software_ns
+        );
+        debug_assert!(
+            self.calls >= earlier.calls,
+            "calls went backwards: {} < {}",
+            self.calls,
+            earlier.calls
+        );
         IoStats {
             cl_reads: self.cl_reads - earlier.cl_reads,
             cl_writes: self.cl_writes - earlier.cl_writes,
             software_ns: self.software_ns - earlier.software_ns,
             calls: self.calls - earlier.calls,
+        }
+    }
+
+    /// Component-wise sum (used to reconcile per-worker ledgers against
+    /// the device totals).
+    #[must_use]
+    pub fn plus(&self, other: &IoStats) -> IoStats {
+        IoStats {
+            cl_reads: self.cl_reads + other.cl_reads,
+            cl_writes: self.cl_writes + other.cl_writes,
+            software_ns: self.software_ns + other.software_ns,
+            calls: self.calls + other.calls,
         }
     }
 
@@ -62,26 +115,76 @@ impl IoStats {
     }
 }
 
+/// Per-thread mirror of everything the current thread has charged to any
+/// [`Metrics`] bank, in raw units (picoseconds for software time).
+#[derive(Clone, Copy, Debug, Default)]
+struct LocalLedger {
+    reads: u64,
+    writes: u64,
+    software_ps: u64,
+    calls: u64,
+}
+
+thread_local! {
+    static LEDGER: Cell<LocalLedger> = const { Cell::new(LocalLedger {
+        reads: 0,
+        writes: 0,
+        software_ps: 0,
+        calls: 0,
+    }) };
+}
+
+#[inline]
+fn ledger_update(f: impl FnOnce(&mut LocalLedger)) {
+    LEDGER.with(|l| {
+        let mut v = l.get();
+        f(&mut v);
+        l.set(v);
+    });
+}
+
+/// Cumulative traffic charged *by the calling thread* since it started,
+/// across all devices. Monotonic and never reset; take two observations
+/// and [`IoStats::since`] them to cost a code region. This is the
+/// per-worker ledger the parallel executor uses: unlike a device
+/// snapshot, it is unaffected by concurrent siblings, so per-partition
+/// cost deltas stay deterministic at any degree of parallelism.
+pub fn thread_stats() -> IoStats {
+    let l = LEDGER.with(Cell::get);
+    IoStats {
+        cl_reads: l.reads,
+        cl_writes: l.writes,
+        software_ns: l.software_ps as f64 / PS_PER_NS,
+        calls: l.calls,
+    }
+}
+
 /// Interior-mutable counter bank shared by every collection of a device.
 ///
-/// The system is single-threaded by design (the paper's implementation is
-/// single-threaded, §4), so plain `Cell`s suffice and keep the hot
-/// accounting paths branch- and lock-free.
+/// All counters are atomic, so the bank is `Send + Sync` and a worker
+/// pool can charge partition traffic concurrently; totals are exact
+/// regardless of interleaving. Multi-field [`Metrics::snapshot`]s are
+/// only guaranteed internally consistent while no other thread is
+/// mid-operation — the executors take their measurement snapshots on the
+/// coordinating thread, outside parallel sections.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    cl_reads: Cell<u64>,
-    cl_writes: Cell<u64>,
-    software_ns: Cell<f64>,
-    calls: Cell<u64>,
-    paused: Cell<bool>,
-    breakdown_enabled: Cell<bool>,
-    breakdown: std::cell::RefCell<std::collections::HashMap<String, IoStats>>,
+    cl_reads: AtomicU64,
+    cl_writes: AtomicU64,
+    software_ps: AtomicU64,
+    calls: AtomicU64,
+    paused: AtomicBool,
+    breakdown_enabled: AtomicBool,
+    breakdown: Mutex<std::collections::HashMap<String, IoStats>>,
 }
 
 /// Suspends accounting on a [`Metrics`] bank for its lifetime.
 ///
 /// Used by test/harness facilities (e.g., draining a collection to verify
-/// its contents) that must not perturb the measured experiment.
+/// its contents) that must not perturb the measured experiment. The pause
+/// flag is device-global: pausing while parallel workers are mid-flight
+/// would suppress their accounting too, so pauses belong on the
+/// coordinating thread only.
 #[derive(Debug)]
 pub struct PauseGuard<'a> {
     metrics: &'a Metrics,
@@ -89,7 +192,7 @@ pub struct PauseGuard<'a> {
 
 impl Drop for PauseGuard<'_> {
     fn drop(&mut self) {
-        self.metrics.paused.set(false);
+        self.metrics.paused.store(false, Ordering::Relaxed);
     }
 }
 
@@ -105,84 +208,96 @@ impl Metrics {
     /// Panics if accounting is already paused (pauses do not nest; a nested
     /// pause would silently re-enable accounting too early).
     pub fn pause(&self) -> PauseGuard<'_> {
-        assert!(!self.paused.get(), "metrics already paused");
-        self.paused.set(true);
+        assert!(
+            !self.paused.swap(true, Ordering::Relaxed),
+            "metrics already paused"
+        );
         PauseGuard { metrics: self }
     }
 
     /// Records `n` cacheline reads.
     #[inline]
     pub fn add_reads(&self, n: u64) {
-        if !self.paused.get() {
-            self.cl_reads.set(self.cl_reads.get() + n);
+        if !self.paused.load(Ordering::Relaxed) {
+            self.cl_reads.fetch_add(n, Ordering::Relaxed);
+            ledger_update(|l| l.reads += n);
         }
     }
 
     /// Records `n` cacheline writes.
     #[inline]
     pub fn add_writes(&self, n: u64) {
-        if !self.paused.get() {
-            self.cl_writes.set(self.cl_writes.get() + n);
+        if !self.paused.load(Ordering::Relaxed) {
+            self.cl_writes.fetch_add(n, Ordering::Relaxed);
+            ledger_update(|l| l.writes += n);
         }
     }
 
-    /// Records `ns` nanoseconds of software overhead.
+    /// Records `ns` nanoseconds of software overhead (rounded to the
+    /// picosecond internally, so concurrent accumulation stays exact).
     #[inline]
     pub fn add_software_ns(&self, ns: f64) {
-        if !self.paused.get() {
-            self.software_ns.set(self.software_ns.get() + ns);
+        if !self.paused.load(Ordering::Relaxed) {
+            let ps = (ns * PS_PER_NS).round() as u64;
+            self.software_ps.fetch_add(ps, Ordering::Relaxed);
+            ledger_update(|l| l.software_ps += ps);
         }
     }
 
     /// Records `n` persistence-layer calls.
     #[inline]
     pub fn add_calls(&self, n: u64) {
-        if !self.paused.get() {
-            self.calls.set(self.calls.get() + n);
+        if !self.paused.load(Ordering::Relaxed) {
+            self.calls.fetch_add(n, Ordering::Relaxed);
+            ledger_update(|l| l.calls += n);
         }
     }
 
     /// Current counter values.
     pub fn snapshot(&self) -> IoStats {
         IoStats {
-            cl_reads: self.cl_reads.get(),
-            cl_writes: self.cl_writes.get(),
-            software_ns: self.software_ns.get(),
-            calls: self.calls.get(),
+            cl_reads: self.cl_reads.load(Ordering::Relaxed),
+            cl_writes: self.cl_writes.load(Ordering::Relaxed),
+            software_ns: self.software_ps.load(Ordering::Relaxed) as f64 / PS_PER_NS,
+            calls: self.calls.load(Ordering::Relaxed),
         }
     }
 
     /// Resets every counter to zero (including any per-collection
-    /// breakdown).
+    /// breakdown). Thread-local ledgers are cumulative and unaffected.
     pub fn reset(&self) {
-        self.cl_reads.set(0);
-        self.cl_writes.set(0);
-        self.software_ns.set(0.0);
-        self.calls.set(0);
-        self.breakdown.borrow_mut().clear();
+        self.cl_reads.store(0, Ordering::Relaxed);
+        self.cl_writes.store(0, Ordering::Relaxed);
+        self.software_ps.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
+        self.breakdown
+            .lock()
+            .expect("breakdown lock poisoned")
+            .clear();
     }
 
     /// Enables per-collection I/O attribution. Off by default — when
     /// enabled, collections snapshot around their storage operations and
     /// attribute the deltas by name, which costs a hash update per
-    /// operation.
+    /// operation (and, under concurrency, can interleave deltas between
+    /// collections; enable it for single-threaded diagnostics runs).
     pub fn enable_breakdown(&self) {
-        self.breakdown_enabled.set(true);
+        self.breakdown_enabled.store(true, Ordering::Relaxed);
     }
 
     /// Whether per-collection attribution is on.
     #[inline]
     pub fn breakdown_enabled(&self) -> bool {
-        self.breakdown_enabled.get()
+        self.breakdown_enabled.load(Ordering::Relaxed)
     }
 
     /// Attributes `delta` to `tag` (no-op unless breakdown is enabled;
     /// paused accounting also suppresses attribution).
     pub fn attribute(&self, tag: &str, delta: IoStats) {
-        if !self.breakdown_enabled.get() || self.paused.get() {
+        if !self.breakdown_enabled() || self.paused.load(Ordering::Relaxed) {
             return;
         }
-        let mut map = self.breakdown.borrow_mut();
+        let mut map = self.breakdown.lock().expect("breakdown lock poisoned");
         let slot = map.entry(tag.to_string()).or_default();
         slot.cl_reads += delta.cl_reads;
         slot.cl_writes += delta.cl_writes;
@@ -195,7 +310,8 @@ impl Metrics {
     pub fn breakdown(&self) -> Vec<(String, IoStats)> {
         let mut v: Vec<(String, IoStats)> = self
             .breakdown
-            .borrow()
+            .lock()
+            .expect("breakdown lock poisoned")
             .iter()
             .map(|(k, s)| (k.clone(), *s))
             .collect();
@@ -263,5 +379,92 @@ mod tests {
         m.add_writes(1);
         m.reset();
         assert_eq!(m.snapshot(), IoStats::default());
+    }
+
+    #[test]
+    fn metrics_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Metrics>();
+        assert_send_sync::<IoStats>();
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        m.add_reads(1);
+                        m.add_writes(2);
+                        m.add_software_ns(0.5);
+                        m.add_calls(1);
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.cl_reads, 40_000);
+        assert_eq!(s.cl_writes, 80_000);
+        assert_eq!(s.calls, 40_000);
+        assert!((s.software_ns - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_ledger_mirrors_this_threads_traffic_only() {
+        let m = Metrics::new();
+        let before = thread_stats();
+        m.add_reads(7);
+        m.add_writes(3);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // A sibling's traffic must not appear in our ledger.
+                m.add_reads(1000);
+                let own = thread_stats();
+                assert!(own.cl_reads >= 1000);
+            });
+        });
+        let delta = thread_stats().since(&before);
+        assert_eq!(delta.cl_reads, 7);
+        assert_eq!(delta.cl_writes, 3);
+        assert_eq!(m.snapshot().cl_reads, 1007);
+    }
+
+    #[test]
+    fn paused_accounting_skips_ledger_too() {
+        let m = Metrics::new();
+        let before = thread_stats();
+        {
+            let _p = m.pause();
+            m.add_reads(5);
+        }
+        assert_eq!(thread_stats().since(&before).cl_reads, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "went backwards")]
+    fn since_rejects_non_monotonic_software_time() {
+        let later = IoStats {
+            software_ns: 1.0,
+            ..Default::default()
+        };
+        let earlier = IoStats {
+            software_ns: 2.0,
+            ..Default::default()
+        };
+        let _ = later.since(&earlier);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "calls went backwards")]
+    fn since_rejects_non_monotonic_calls() {
+        let later = IoStats::default();
+        let earlier = IoStats {
+            calls: 3,
+            ..Default::default()
+        };
+        let _ = later.since(&earlier);
     }
 }

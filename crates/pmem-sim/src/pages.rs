@@ -19,6 +19,11 @@ use crate::device::Pm;
 pub type PageId = u32;
 
 /// A persistent-memory page store.
+///
+/// Like [`crate::collection::PCollection`], a store is `Send` (its
+/// device handle is an `Arc` over atomic counters), so index workloads
+/// can move between worker threads; mutation still requires `&mut self`,
+/// one writer at a time.
 #[derive(Debug)]
 pub struct PageStore {
     dev: Pm,

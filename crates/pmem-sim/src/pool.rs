@@ -7,14 +7,19 @@
 //! assert that no algorithm exceeds its allowance.
 
 use crate::error::PmError;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A DRAM budget of `M` buffers (expressed in bytes).
+///
+/// The accounting is atomic, so a pool can be shared by parallel
+/// partition workers (each worker's build table draws from the same
+/// budget; the paper's `M` is a per-operator allowance, which under a
+/// degree of parallelism `d` is shared `d` ways).
 #[derive(Debug)]
 pub struct BufferPool {
     budget: usize,
-    used: Cell<usize>,
-    high_water: Cell<usize>,
+    used: AtomicUsize,
+    high_water: AtomicUsize,
 }
 
 impl BufferPool {
@@ -22,8 +27,8 @@ impl BufferPool {
     pub fn new(budget: usize) -> Self {
         Self {
             budget,
-            used: Cell::new(0),
-            high_water: Cell::new(0),
+            used: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -46,17 +51,17 @@ impl BufferPool {
 
     /// Bytes currently reserved.
     pub fn used(&self) -> usize {
-        self.used.get()
+        self.used.load(Ordering::Relaxed)
     }
 
     /// Bytes still available.
     pub fn available(&self) -> usize {
-        self.budget - self.used.get()
+        self.budget - self.used()
     }
 
     /// Peak reservation observed over the pool's lifetime.
     pub fn high_water(&self) -> usize {
-        self.high_water.get()
+        self.high_water.load(Ordering::Relaxed)
     }
 
     /// How many fixed-size records fit in the *remaining* budget.
@@ -66,15 +71,25 @@ impl BufferPool {
 
     /// Reserves `bytes`, failing if the budget would be exceeded.
     pub fn reserve(&self, bytes: usize) -> Result<Reservation<'_>, PmError> {
-        let used = self.used.get();
-        if used + bytes > self.budget {
-            return Err(PmError::BudgetExceeded {
-                requested: bytes,
-                available: self.budget - used,
-            });
+        let mut used = self.used.load(Ordering::Relaxed);
+        loop {
+            if used + bytes > self.budget {
+                return Err(PmError::BudgetExceeded {
+                    requested: bytes,
+                    available: self.budget - used,
+                });
+            }
+            match self.used.compare_exchange_weak(
+                used,
+                used + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => used = actual,
+            }
         }
-        self.used.set(used + bytes);
-        self.high_water.set(self.high_water.get().max(used + bytes));
+        self.high_water.fetch_max(used + bytes, Ordering::Relaxed);
         Ok(Reservation { pool: self, bytes })
     }
 
@@ -114,13 +129,13 @@ impl Reservation<'_> {
             "cannot give back more than reserved"
         );
         self.bytes -= give_back;
-        self.pool.used.set(self.pool.used.get() - give_back);
+        self.pool.used.fetch_sub(give_back, Ordering::Relaxed);
     }
 }
 
 impl Drop for Reservation<'_> {
     fn drop(&mut self) {
-        self.pool.used.set(self.pool.used.get() - self.bytes);
+        self.pool.used.fetch_sub(self.bytes, Ordering::Relaxed);
     }
 }
 
@@ -176,5 +191,24 @@ mod tests {
         drop(pool.reserve(90));
         let _r = pool.reserve(10).expect("fits");
         assert_eq!(pool.high_water(), 90);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_budget() {
+        let pool = BufferPool::new(1000);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        if let Ok(r) = pool.reserve(300) {
+                            assert!(pool.used() <= pool.budget());
+                            drop(r);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.used(), 0);
+        assert!(pool.high_water() <= 1000);
     }
 }

@@ -9,7 +9,11 @@
 use pmem_sim::Storable;
 
 /// A sortable/joinable record with a `u64` key.
-pub trait Record: Storable {
+///
+/// Records are plain fixed-width values; the `Send + Sync` bounds let
+/// the partition-parallel executors move record batches between worker
+/// threads and share collections across a scoped thread pool.
+pub trait Record: Storable + Send + Sync + 'static {
     /// The ordering/join key.
     fn key(&self) -> u64;
 }

@@ -1,0 +1,262 @@
+//! Determinism of parallel partition execution.
+//!
+//! The worker pool must be invisible in everything but wall-clock: for
+//! every join and sort algorithm, execution at any degree of parallelism
+//! has to produce the same rows in the same order and charge the same
+//! simulated traffic as the serial run. These property-style tests sweep
+//! the full algorithm line-up at several DoPs against the DoP-1 run.
+
+use pmem_sim::{BufferPool, IoStats, LayerKind, PCollection, PmDevice};
+use wisconsin::{join_input, sort_input, KeyOrder, Record, WisconsinRecord};
+use wl_runtime::OpCtx;
+use write_limited::join::{JoinAlgorithm, JoinContext, PARTITION_MORSEL_RECORDS};
+use write_limited::pipeline::{filtered_iterate_join, DeferredFilter};
+use write_limited::sort::{SortAlgorithm, SortContext};
+
+const DOPS: [usize; 3] = [2, 3, 8];
+
+#[test]
+fn device_layer_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PmDevice>();
+    assert_send_sync::<pmem_sim::Pm>();
+    assert_send_sync::<pmem_sim::Metrics>();
+    assert_send_sync::<BufferPool>();
+    assert_send_sync::<PCollection<WisconsinRecord>>();
+    assert_send_sync::<JoinContext<'static>>();
+    assert_send_sync::<SortContext<'static>>();
+}
+
+fn run_join(
+    algo: JoinAlgorithm,
+    t: u64,
+    fanout: u64,
+    m_records: usize,
+    threads: usize,
+) -> (Vec<(u64, u64, u64)>, IoStats) {
+    let dev = PmDevice::paper_default();
+    let w = join_input(t, fanout, 41);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let pool = BufferPool::new(m_records * 80);
+    let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+    let before = dev.snapshot();
+    let out = algo.run(&left, &right, &ctx, "out").expect("applicable");
+    let stats = dev.snapshot().since(&before);
+    // Produced order, not canonicalized: the flush protocol guarantees
+    // byte-identical output order, which is stronger than multiset
+    // equality and what downstream operators observe.
+    let rows = out
+        .to_vec_uncounted()
+        .iter()
+        .map(|p| (p.left.key(), p.left.payload(), p.right.payload()))
+        .collect();
+    (rows, stats)
+}
+
+#[test]
+fn every_join_algorithm_is_dop_invariant() {
+    let algos = [
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::GJ,
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::HybJ { x: 0.6, y: 0.4 },
+        JoinAlgorithm::SegJ { frac: 0.5 },
+        JoinAlgorithm::SegJ { frac: 0.0 },
+        JoinAlgorithm::LaJ,
+        JoinAlgorithm::SMJ { x: 0.5 },
+    ];
+    for algo in algos {
+        let (rows1, io1) = run_join(algo, 900, 6, 70, 1);
+        for threads in DOPS {
+            let (rows, io) = run_join(algo, 900, 6, 70, threads);
+            assert_eq!(
+                rows,
+                rows1,
+                "{}: rows differ at DoP {threads}",
+                algo.label()
+            );
+            assert_eq!(
+                io,
+                io1,
+                "{}: traffic differs at DoP {threads}",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn morsel_spanning_grace_join_is_dop_invariant() {
+    // Inputs larger than one morsel exercise the parallel phase-1 grid.
+    let t = PARTITION_MORSEL_RECORDS as u64 + 3000;
+    let (rows1, io1) = run_join(JoinAlgorithm::GJ, t, 2, 1600, 1);
+    for threads in DOPS {
+        let (rows, io) = run_join(JoinAlgorithm::GJ, t, 2, 1600, threads);
+        assert_eq!(rows, rows1, "rows differ at DoP {threads}");
+        assert_eq!(io, io1, "traffic differs at DoP {threads}");
+    }
+}
+
+fn run_sort(algo: SortAlgorithm, n: u64, m_records: usize, threads: usize) -> (Vec<u64>, IoStats) {
+    let dev = PmDevice::paper_default();
+    let input = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "S",
+        sort_input(n, KeyOrder::Random, 17),
+    );
+    let pool = BufferPool::new(m_records * 80);
+    let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+    let before = dev.snapshot();
+    let out = algo.run(&input, &ctx, "sorted").expect("valid");
+    let stats = dev.snapshot().since(&before);
+    let keys = out
+        .to_vec_uncounted()
+        .iter()
+        .map(wisconsin::Record::key)
+        .collect();
+    (keys, stats)
+}
+
+#[test]
+fn every_sort_algorithm_is_dop_invariant() {
+    let algos = [
+        SortAlgorithm::ExMS,
+        SortAlgorithm::SegS { x: 0.5 },
+        SortAlgorithm::HybS { x: 0.5 },
+        SortAlgorithm::LaS,
+        SortAlgorithm::SelS,
+    ];
+    for algo in algos {
+        // M = 64 records forces a small merge fan-in, so ExMS needs
+        // several (parallelizable) intermediate merge passes.
+        let (keys1, io1) = run_sort(algo, 6000, 64, 1);
+        assert!(keys1.windows(2).all(|w| w[0] <= w[1]), "{}", algo.label());
+        for threads in DOPS {
+            let (keys, io) = run_sort(algo, 6000, 64, threads);
+            assert_eq!(
+                keys,
+                keys1,
+                "{}: keys differ at DoP {threads}",
+                algo.label()
+            );
+            assert_eq!(
+                io,
+                io1,
+                "{}: traffic differs at DoP {threads}",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn deferred_pipeline_join_is_dop_invariant() {
+    let run = |threads: usize| {
+        let dev = PmDevice::paper_default();
+        let w = join_input(600, 4, 23);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(40 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+        let mut rt = OpCtx::new(dev.lambda());
+        // Selective filter: materializes after the first pass, so the
+        // remaining passes run through the parallel tail.
+        let mut filter = DeferredFilter::new(&left, |r| r.key() % 20 == 0, 0.05, &mut rt);
+        let before = dev.snapshot();
+        let out =
+            filtered_iterate_join(&mut filter, &right, &ctx, &mut rt, "out").expect("applicable");
+        let stats = dev.snapshot().since(&before);
+        assert!(filter.is_materialized());
+        let rows: Vec<(u64, u64)> = out
+            .to_vec_uncounted()
+            .iter()
+            .map(|p| (p.left.key(), p.right.payload()))
+            .collect();
+        (rows, stats)
+    };
+    let (rows1, io1) = run(1);
+    for threads in DOPS {
+        let (rows, io) = run(threads);
+        assert_eq!(rows, rows1, "rows differ at DoP {threads}");
+        assert_eq!(io, io1, "traffic differs at DoP {threads}");
+    }
+}
+
+#[test]
+fn planned_query_execution_is_dop_invariant() {
+    use planner::{execute, Catalog, LogicalPlan, Planner, Predicate};
+
+    let dev = PmDevice::paper_default();
+    let w = join_input(800, 4, 5);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let mut cat = Catalog::new();
+    cat.add_table("T", &left, 800);
+    cat.add_table("V", &right, 800);
+
+    let logical = LogicalPlan::scan("T")
+        .filter(Predicate::KeyBelow(400))
+        .join(LogicalPlan::scan("V"));
+    let pool = BufferPool::new(60 * 80);
+    let planned = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory)
+        .plan(&logical, &cat)
+        .expect("plans");
+
+    // Same physical plan, executed at different degrees: identical rows
+    // and identical counted traffic.
+    let mut runs = Vec::new();
+    for threads in [1, 4] {
+        let mut planned = planned.clone();
+        planned.threads = threads;
+        dev.reset_metrics();
+        let executed =
+            execute(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool).expect("executes");
+        runs.push((executed.output.canonical(), executed.stats));
+    }
+    assert_eq!(runs[0].0, runs[1].0, "rows differ across DoP");
+    assert_eq!(runs[0].1, runs[1].1, "traffic differs across DoP");
+}
+
+#[test]
+fn grace_profile_ledgers_reconcile_with_device_totals() {
+    use write_limited::join::grace_join_profiled;
+
+    let run = |threads: usize| {
+        let dev = PmDevice::paper_default();
+        let w = join_input(2000, 5, 3);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(300 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+        let before = dev.snapshot();
+        let (_, profile) = grace_join_profiled(&left, &right, &ctx, "out").expect("applicable");
+        (profile, dev.snapshot().since(&before))
+    };
+    let (p1, total1) = run(1);
+    for threads in [1, 4] {
+        let (profile, total) = run(threads);
+        assert_eq!(total, total1, "device totals differ at DoP {threads}");
+        assert_eq!(
+            profile.per_partition, p1.per_partition,
+            "per-partition ledgers differ at DoP {threads}"
+        );
+        // The phase ledgers cover the whole run: morsel costs sum to the
+        // partitioning phase, and partition costs account for all
+        // remaining traffic (build/probe reads + output writes).
+        let morsels: IoStats = profile
+            .per_morsel_left
+            .iter()
+            .chain(&profile.per_morsel_right)
+            .fold(IoStats::default(), |acc, s| acc.plus(s));
+        assert_eq!(morsels, profile.partition_phase);
+        let parts: IoStats = profile
+            .per_partition
+            .iter()
+            .fold(IoStats::default(), |acc, s| acc.plus(s));
+        assert_eq!(parts, total.since(&profile.partition_phase));
+    }
+}
