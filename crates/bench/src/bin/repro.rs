@@ -59,15 +59,15 @@ fn breakdown_demo(scale: &wl_bench::Scale) {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--threads N` sets the default degree of parallelism for every
-    // scenario (equivalent to WL_THREADS=N; the flag wins when both are
-    // given). It must be applied before any context reads the knob.
+    // scenario. The flag is explicit, so it outranks the `WL_THREADS`
+    // environment variable via the shared resolver.
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         let n: usize = args
             .get(i + 1)
             .and_then(|s| s.parse().ok())
             .filter(|&n| n > 0)
             .expect("usage: repro --threads <N> (positive integer)");
-        std::env::set_var(write_limited::parallel::THREADS_ENV, n.to_string());
+        write_limited::parallel::set_default_threads(n);
         args.drain(i..i + 2);
     }
     let scale = Scale::from_env();

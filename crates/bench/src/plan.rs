@@ -1,18 +1,19 @@
 //! Plan-level concordance: does the planner's predicted cost rank whole
 //! query plans the way the simulator measures them? A plan-granularity
-//! extension of the paper's Fig. 12 experiment.
+//! extension of the paper's Fig. 12 experiment, driven through the
+//! `wl-db` facade the same way a client session would.
 //!
 //! For the canonical filter → join → aggregate query, the harness
 //! sweeps the write/read ratio λ and the DRAM fraction; in every cell
-//! it plans the query, executes the winning plan, and records predicted
-//! vs measured cost units. The report prints each cell's ratio plus
-//! Kendall's τ between the predicted and measured cost across all
-//! cells — high τ means the planner's cross-setting ranking is sound.
+//! it builds a database at that λ, binds the query through a session,
+//! executes the winning plan, and records predicted vs measured cost
+//! units. The report prints each cell's ratio plus Kendall's τ between
+//! the predicted and measured cost across all cells — high τ means the
+//! planner's cross-setting ranking is sound.
 
 use crate::scale::Scale;
-use planner::{execute, Catalog, LogicalPlan, Planner, Predicate};
-use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PCollection, PmDevice};
 use wisconsin::join_input;
+use wl_db::Database;
 use write_limited::stats::kendall_tau;
 
 /// One measured cell of the plan-concordance sweep.
@@ -40,41 +41,40 @@ pub fn run_plan_concordance(scale: &Scale) -> Vec<PlanCell> {
 
     for &mem_fraction in &scale.mem_fractions {
         for &lambda in &lambdas {
-            let latency = LatencyProfile::with_lambda(10.0, lambda);
-            let dev = PmDevice::new(DeviceConfig::paper_default().with_latency(latency));
+            let db = Database::builder()
+                .lambda(lambda)
+                .dram_budget((t as f64 * 80.0 * mem_fraction) as usize)
+                .build();
             let w = join_input(t, fanout, 42);
-            let left =
-                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
-            let right =
-                PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
-            let mut catalog = Catalog::new();
-            catalog.add_table("T", &left, t);
-            catalog.add_table("V", &right, t);
+            db.register_table("t", w.left, t).expect("fresh table");
+            db.register_table("v", w.right, t).expect("fresh table");
 
-            let query = LogicalPlan::scan("T")
-                .filter(Predicate::KeyBelow(t / 2))
-                .join(LogicalPlan::scan("V"))
-                .aggregate();
-            let pool = BufferPool::fraction_of(left.bytes(), mem_fraction);
-            let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
-            let Ok(planned) = planner.plan(&query, &catalog) else {
+            let session = db.session();
+            let sql = format!(
+                "SELECT * FROM t JOIN v ON t.key = v.key WHERE t.key < {} GROUP BY key",
+                t / 2
+            );
+            let Ok(mut stream) = session.query(&sql) else {
                 continue; // no applicable plan at this budget — skip, as the paper's plots do
             };
-            let Ok(run) = execute(&planned, &catalog, &dev, LayerKind::BlockedMemory, &pool) else {
+            if stream.drain().is_err() {
                 continue;
-            };
+            }
+            let planned = stream.planned();
             let chosen_join = planned
                 .choices
                 .iter()
                 .find(|c| c.node.starts_with("join"))
                 .map(|c| c.chosen.clone())
                 .unwrap_or_default();
+            let predicted_units = planned.predicted.cost_units(lambda);
+            let stats = stream.stats().expect("drained");
             cells.push(PlanCell {
                 lambda,
                 mem_fraction,
                 chosen_join,
-                predicted_units: planned.predicted.cost_units(lambda),
-                measured_units: run.stats.cl_reads as f64 + lambda * run.stats.cl_writes as f64,
+                predicted_units,
+                measured_units: stats.io.cl_reads as f64 + lambda * stats.io.cl_writes as f64,
             });
         }
     }

@@ -159,10 +159,8 @@ impl<'p, I: PhysOperator> PhysOperator for SortOp<'p, I> {
             staged.append(&r);
         }
         self.child.close();
-        let mut ctx = SortContext::new(&self.dev, self.kind, self.pool);
-        if let Some(t) = self.threads {
-            ctx = ctx.with_threads(t);
-        }
+        let ctx = SortContext::new(&self.dev, self.kind, self.pool)
+            .with_threads(crate::parallel::resolve_threads(self.threads));
         self.output = Some(self.algo.run(&staged, &ctx, "sort-op-output")?);
         self.cursor = 0;
         self.read_cursor = ReadCursor::new();
@@ -235,10 +233,8 @@ impl<'a, 'p, L: Record, R: Record> PhysOperator for JoinOp<'a, 'p, L, R> {
     type Item = Pair<L, R>;
 
     fn open(&mut self) -> Result<(), PmError> {
-        let mut ctx = JoinContext::new(&self.dev, self.kind, self.pool);
-        if let Some(t) = self.threads {
-            ctx = ctx.with_threads(t);
-        }
+        let ctx = JoinContext::new(&self.dev, self.kind, self.pool)
+            .with_threads(crate::parallel::resolve_threads(self.threads));
         self.output = Some(
             self.algo
                 .run(self.left, self.right, &ctx, "join-op-output")?,

@@ -27,15 +27,44 @@ use std::sync::{mpsc, Condvar, Mutex};
 /// Environment variable holding the default degree of parallelism.
 pub const THREADS_ENV: &str = "WL_THREADS";
 
-/// The default degree of parallelism: `WL_THREADS` when set to a
-/// positive integer, otherwise 1 (serial, matching the paper's
-/// single-threaded implementation).
-pub fn degree_from_env() -> usize {
-    std::env::var(THREADS_ENV)
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
+/// Process-wide explicit degree of parallelism (0 = unset). Set by CLI
+/// flags like `repro --threads N`; outranks the environment variable.
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide explicit degree of parallelism, as a CLI
+/// `--threads` flag does. Outranks `WL_THREADS` in [`resolve_threads`];
+/// pass 0 to clear it.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The one knob-precedence rule for the degree of parallelism, shared by
+/// every context, operator, and binary:
+///
+/// 1. an explicit per-call setting (`with_threads`, a session knob),
+/// 2. a process-wide explicit setting ([`set_default_threads`], i.e. a
+///    `--threads` CLI flag),
+/// 3. the `WL_THREADS` environment variable,
+/// 4. serial (1), matching the paper's single-threaded implementation.
+///
+/// Zero and unparsable values are treated as unset at every level.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
         .filter(|&n| n > 0)
+        .or_else(|| Some(DEFAULT_THREADS.load(Ordering::Relaxed)).filter(|&n| n > 0))
+        .or_else(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
         .unwrap_or(1)
+}
+
+/// The default degree of parallelism when nothing explicit was given:
+/// [`resolve_threads`] with no per-call override.
+pub fn degree_from_env() -> usize {
+    resolve_threads(None)
 }
 
 /// One task's result plus the traffic its worker charged while running
@@ -260,6 +289,14 @@ mod tests {
         // The variable is unset in the test environment unless the CI
         // matrix sets it; accept either but require a positive degree.
         assert!(degree_from_env() >= 1);
+    }
+
+    #[test]
+    fn explicit_threads_outrank_every_default() {
+        // Per-call explicit beats everything, including the process-wide
+        // CLI default and whatever WL_THREADS the test run was given.
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), degree_from_env());
     }
 
     #[test]

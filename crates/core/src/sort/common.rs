@@ -146,6 +146,64 @@ pub fn generate_runs_replacement_range<R: Record>(
     capacity: usize,
     ctx: &SortContext<'_>,
 ) -> Vec<PCollection<R>> {
+    generate_runs_with(input, range, capacity, || ctx.fresh::<R>("run"))
+}
+
+/// Chunk width for parallel run generation, in multiples of the DRAM
+/// heap capacity `M`. Replacement selection emits runs averaging `2M` on
+/// random input, so a `4M` chunk yields ~2 runs and the expected run
+/// count (and with it the merge-pass count) matches the unchunked
+/// generator; only run *boundaries* move. The width depends on `M` and
+/// the input alone — never on the degree of parallelism — so the runs,
+/// their names, and every counter are DoP-invariant.
+const RUN_GEN_CHUNK_CAPACITIES: usize = 4;
+
+/// Parallel run generation: splits the input into fixed `4M`-record
+/// chunks and runs replacement selection on each chunk across the worker
+/// pool. Chunk boundaries are a function of the DRAM budget only, so the
+/// produced runs are identical at any degree of parallelism; inputs no
+/// larger than one chunk fall back to the serial generator unchanged.
+pub fn generate_runs_parallel<R: Record>(
+    input: &PCollection<R>,
+    capacity: usize,
+    ctx: &SortContext<'_>,
+) -> Vec<PCollection<R>> {
+    let chunk = capacity.saturating_mul(RUN_GEN_CHUNK_CAPACITIES).max(1);
+    if input.len() <= chunk {
+        return generate_runs_replacement(input, capacity, ctx);
+    }
+    let n_chunks = input.len().div_ceil(chunk);
+    // Mint one name prefix per chunk on the coordinating thread; workers
+    // derive their run names locally, so naming stays deterministic.
+    let prefixes: Vec<String> = (0..n_chunks).map(|_| ctx.fresh_name("run")).collect();
+    let mut all: Vec<PCollection<R>> = Vec::with_capacity(n_chunks * 2);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        n_chunks,
+        |c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(input.len());
+            let mut local = 0u32;
+            generate_runs_with(input, start..end, capacity, || {
+                let name = format!("{}.{local}", prefixes[c]);
+                local += 1;
+                PCollection::new(ctx.device(), ctx.kind(), name)
+            })
+        },
+        |_, out| all.extend(out.value),
+    );
+    all
+}
+
+/// Replacement selection over `range` with caller-supplied run
+/// allocation — the shared core of the serial and chunk-parallel
+/// generators.
+fn generate_runs_with<R: Record>(
+    input: &PCollection<R>,
+    range: std::ops::Range<usize>,
+    capacity: usize,
+    mut next_run: impl FnMut() -> PCollection<R>,
+) -> Vec<PCollection<R>> {
     assert!(
         capacity > 0,
         "replacement selection needs at least 1 record of DRAM"
@@ -153,7 +211,7 @@ pub fn generate_runs_replacement_range<R: Record>(
     let mut runs: Vec<PCollection<R>> = Vec::new();
     let mut current: BinaryHeap<Reverse<Entry<R>>> = BinaryHeap::with_capacity(capacity);
     let mut next: Vec<Entry<R>> = Vec::new();
-    let mut run = ctx.fresh::<R>("run");
+    let mut run = next_run();
     let mut last_out: Option<u64> = None;
 
     for (seq, record) in input.range_reader(range.start, range.end).enumerate() {
@@ -178,7 +236,7 @@ pub fn generate_runs_replacement_range<R: Record>(
                 next.push(e);
             }
             if current.is_empty() {
-                runs.push(std::mem::replace(&mut run, ctx.fresh::<R>("run")));
+                runs.push(std::mem::replace(&mut run, next_run()));
                 current.extend(next.drain(..).map(Reverse));
                 last_out = None;
             }
@@ -194,7 +252,7 @@ pub fn generate_runs_replacement_range<R: Record>(
     }
     if !next.is_empty() {
         next.sort_unstable();
-        let mut tail = ctx.fresh::<R>("run");
+        let mut tail = next_run();
         for e in next {
             tail.append(&e.record);
         }
@@ -379,6 +437,58 @@ mod tests {
         let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
         let runs = generate_runs_replacement(&input, 100, &ctx);
         assert_eq!(runs.len(), 10); // worst case: every run exactly M
+    }
+
+    #[test]
+    fn parallel_run_generation_is_dop_invariant() {
+        // Same chunked runs — contents, names, and charged traffic — at
+        // every degree of parallelism.
+        let gen_at = |threads: usize| {
+            let (dev, input) = stage(6_000, KeyOrder::Random);
+            let pool = BufferPool::new(100 * 80);
+            let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+            let before = dev.snapshot();
+            let runs = generate_runs_parallel(&input, 100, &ctx);
+            let delta = dev.snapshot().since(&before);
+            let summary: Vec<(String, Vec<u64>)> = runs
+                .iter()
+                .map(|r| {
+                    (
+                        r.name().to_string(),
+                        r.to_vec_uncounted().iter().map(Record::key).collect(),
+                    )
+                })
+                .collect();
+            (summary, delta)
+        };
+        let (serial, d1) = gen_at(1);
+        assert!(serial.len() > 1, "input must span several chunks");
+        let mut total = 0;
+        for (_, keys) in &serial {
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            total += keys.len();
+        }
+        assert_eq!(total, 6_000);
+        for threads in [2, 4] {
+            let (par, dn) = gen_at(threads);
+            assert_eq!(serial, par, "runs must not depend on DoP");
+            assert_eq!(d1, dn, "counters must not depend on DoP");
+        }
+    }
+
+    #[test]
+    fn small_inputs_use_the_serial_generator_unchanged() {
+        let (dev, input) = stage(300, KeyOrder::Random);
+        let pool = BufferPool::new(100 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(4);
+        // 300 <= 4·100: one chunk, byte-for-byte the serial algorithm.
+        let chunked = generate_runs_parallel(&input, 100, &ctx);
+        let ctx2 = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+        let serial = generate_runs_replacement(&input, 100, &ctx2);
+        assert_eq!(chunked.len(), serial.len());
+        for (a, b) in chunked.iter().zip(&serial) {
+            assert_eq!(a.to_vec_uncounted(), b.to_vec_uncounted());
+        }
     }
 
     #[test]

@@ -4,18 +4,24 @@
 //! replacement selection (average length `2M` on random input), then merge
 //! with `log_M |T|` passes. Total cost `|T|·r·(1+λ)·(log_M |T| + 1)`.
 
-use super::common::{generate_runs_replacement, merge_runs, SortContext};
+use super::common::{generate_runs_parallel, merge_runs, SortContext};
 use pmem_sim::PCollection;
 use wisconsin::Record;
 
 /// Sorts `input`, materializing the result as a new collection.
+///
+/// Run generation proceeds over fixed `4M`-record chunks fanned out
+/// across the context's worker pool (serial inputs up to one chunk are
+/// untouched); chunk boundaries depend only on the DRAM budget, so runs
+/// and counters are identical at any degree of parallelism. The merge
+/// phase fans its intermediate passes out the same way.
 pub fn external_merge_sort<R: Record>(
     input: &PCollection<R>,
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> PCollection<R> {
     let capacity = ctx.capacity_records::<R>();
-    let runs = generate_runs_replacement(input, capacity, ctx);
+    let runs = generate_runs_parallel(input, capacity, ctx);
     merge_runs(runs, ctx, output_name)
 }
 

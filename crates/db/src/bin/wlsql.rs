@@ -1,0 +1,182 @@
+//! `wlsql` — a line-oriented SQL shell over the write-limited engine.
+//!
+//! ```text
+//! wlsql [--lambda N] [--threads N] [--memory RECORDS] [--batch ROWS]
+//! ```
+//!
+//! Reads statements (terminated by `;`) from stdin and prints results to
+//! stdout, streaming each result batch as it is pulled. The prompt goes
+//! to stderr and only when stdin is a terminal, so scripted sessions
+//! (`wlsql < session.sql`) produce clean, diffable output — the CI smoke
+//! test pipes a scripted session through and compares against a golden
+//! file. `\q` or end-of-input quits.
+
+use std::io::{BufRead, IsTerminal, Write};
+use wl_db::{Database, DbError, Response, ResultStream};
+
+fn main() {
+    let mut builder = Database::builder();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |what: &str| -> f64 {
+            args.next()
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|&v| v > 0.0)
+                .unwrap_or_else(|| {
+                    eprintln!("usage: wlsql {what} <positive number>");
+                    std::process::exit(2);
+                })
+        };
+        match arg.as_str() {
+            "--lambda" => builder = builder.lambda(num("--lambda")),
+            "--threads" => builder = builder.threads(num("--threads") as usize),
+            "--memory" => builder = builder.dram_records(num("--memory") as usize),
+            "--batch" => builder = builder.batch_rows(num("--batch") as usize),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: wlsql [--lambda N] [--threads N] [--memory RECORDS] [--batch ROWS]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; see wlsql --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let db = builder.build();
+    let mut session = db.session();
+    let interactive = std::io::stdin().is_terminal();
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+
+    if interactive {
+        eprintln!(
+            "wlsql — write-limited SQL shell (λ = {}, layer = {})",
+            db.device().lambda(),
+            db.layer().label()
+        );
+        eprint!("wl> ");
+        let _ = std::io::stderr().flush();
+    }
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim() == r"\q" {
+            break;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute every complete (;-terminated) statement in the buffer.
+        while let Some(i) = statement_end(&buffer) {
+            let stmt: String = buffer[..=i].to_string();
+            buffer = buffer[i + 1..].to_string();
+            run_statement(&mut session, &stmt);
+        }
+        if interactive {
+            eprint!(
+                "{}",
+                if buffer.trim().is_empty() {
+                    "wl> "
+                } else {
+                    "  > "
+                }
+            );
+            let _ = std::io::stderr().flush();
+        }
+    }
+    // A trailing statement without `;` still runs at end of input.
+    if !buffer.trim().is_empty() {
+        run_statement(&mut session, &buffer.clone());
+    }
+}
+
+/// Byte index of the first `;` that terminates a statement — ignoring
+/// semicolons inside `--` line comments and single-quoted strings, so
+/// neither splits a statement in half.
+fn statement_end(buffer: &str) -> Option<usize> {
+    let bytes = buffer.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b';' => return Some(i),
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                i += 1; // closing quote (or end of buffer)
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn run_statement(session: &mut wl_db::Session<'_>, sql: &str) {
+    if sql
+        .trim_matches(|c: char| c.is_whitespace() || c == ';')
+        .is_empty()
+    {
+        return;
+    }
+    match session.execute(sql) {
+        Ok(Response::Created { table, rows }) => println!("created table {table} ({rows} rows)"),
+        Ok(Response::Dropped { table }) => println!("dropped table {table}"),
+        Ok(Response::Tables(tables)) => {
+            if tables.is_empty() {
+                println!("no tables");
+            }
+            for (name, rows) in tables {
+                println!("{name}  {rows} rows");
+            }
+        }
+        Ok(Response::Set { knob, value }) => println!("set {knob} = {value}"),
+        Ok(Response::Rows(mut stream)) => {
+            if let Err(e) = print_stream(&mut stream) {
+                report(&e, sql);
+            }
+        }
+        Ok(Response::Explain(mut stream)) => match stream.drain() {
+            Ok(_) => print!("{}", stream.explain()),
+            Err(e) => report(&e, sql),
+        },
+        Err(e) => report(&e, sql),
+    }
+}
+
+/// Prints a result stream batch by batch, as it is pulled.
+fn print_stream(stream: &mut ResultStream) -> Result<(), DbError> {
+    println!("{}", stream.columns().join(" | "));
+    let mut batches = 0u64;
+    while let Some(batch) = stream.next_batch()? {
+        for row in &batch.rows {
+            let cells: Vec<String> = row.iter().map(u64::to_string).collect();
+            println!("{}", cells.join(" | "));
+        }
+        batches += 1;
+        println!("-- batch {batches}: {} rows", batch.rows.len());
+    }
+    let stats = stream.stats().expect("stream drained");
+    println!(
+        "-- {} rows in {} batches, {:.4}s simulated, {} reads / {} writes (cachelines)",
+        stats.rows, stats.batches, stats.secs, stats.io.cl_reads, stats.io.cl_writes
+    );
+    Ok(())
+}
+
+fn report(err: &DbError, sql: &str) {
+    match err {
+        DbError::Sql(e) => print!("{}", e.render(sql)),
+        other => println!("error: {other}"),
+    }
+}

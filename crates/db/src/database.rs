@@ -1,0 +1,250 @@
+//! The [`Database`] facade: one object owning the simulated device, the
+//! persistence layer, the catalog of named tables, and the default
+//! session knobs — the single entry point to the write-limited engine.
+
+use crate::session::{Session, SessionConfig};
+use planner::Catalog;
+use pmem_sim::{DeviceConfig, LatencyProfile, LayerKind, PCollection, Pm, PmDevice};
+use std::sync::{Arc, RwLock};
+use wisconsin::WisconsinRecord;
+
+/// A write-limited database: device + catalog + planner defaults.
+///
+/// Build one with [`Database::builder`], then open [`Session`]s to run
+/// SQL. Tables live in persistent collections owned by the catalog
+/// behind shared handles, so concurrent sessions and outstanding
+/// [`crate::ResultStream`]s keep working across DDL.
+///
+/// ```
+/// use wl_db::Database;
+///
+/// let db = Database::builder().dram_records(500).build();
+/// let mut session = db.session();
+/// session.execute("CREATE TABLE t AS WISCONSIN(2000)").unwrap();
+/// let mut stream = session.query("SELECT * FROM t WHERE key < 3 ORDER BY key").unwrap();
+/// let batch = stream.next_batch().unwrap().expect("rows");
+/// assert_eq!(batch.rows.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Database {
+    dev: Pm,
+    layer: LayerKind,
+    catalog: RwLock<Catalog>,
+    defaults: SessionConfig,
+}
+
+impl Database {
+    /// Starts a builder with the paper-default device (PCM λ = 15,
+    /// blocked-memory layer).
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::default()
+    }
+
+    /// The simulated device every table and query is charged to.
+    pub fn device(&self) -> &Pm {
+        &self.dev
+    }
+
+    /// The persistence layer intermediates and tables are written
+    /// through.
+    pub fn layer(&self) -> LayerKind {
+        self.layer
+    }
+
+    /// Default knobs new sessions start from.
+    pub fn defaults(&self) -> &SessionConfig {
+        &self.defaults
+    }
+
+    /// Opens a session with the database's default knobs.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self, self.defaults.clone())
+    }
+
+    /// A catalog snapshot (cheap: shared table handles).
+    pub fn catalog(&self) -> Catalog {
+        self.catalog.read().expect("catalog lock").clone()
+    }
+
+    /// Creates a Wisconsin table: `rows` distinct keys × `fanout`
+    /// records per key (permuted by `seed`), loaded uncounted like the
+    /// paper's experiment inputs. Returns the total row count.
+    ///
+    /// # Errors
+    /// Returns the table name back when it already exists.
+    pub fn create_wisconsin(
+        &self,
+        name: &str,
+        rows: u64,
+        fanout: u64,
+        seed: u64,
+    ) -> Result<u64, String> {
+        assert!(rows > 0 && fanout > 0, "degenerate Wisconsin table");
+        let records = if fanout == 1 {
+            wisconsin::sort_input(rows, wisconsin::KeyOrder::Random, seed)
+        } else {
+            wisconsin::join_right_input(rows, fanout, seed)
+        };
+        self.register_table(name, records, rows)
+    }
+
+    /// Registers a pre-built table (staged uncounted, like experiment
+    /// inputs). `key_domain` is the size of the uniform key domain the
+    /// planner estimates selectivities against. Returns the row count.
+    ///
+    /// # Errors
+    /// Returns the table name back when it already exists.
+    pub fn register_table(
+        &self,
+        name: &str,
+        records: impl IntoIterator<Item = WisconsinRecord>,
+        key_domain: u64,
+    ) -> Result<u64, String> {
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        if catalog.stats(name).is_some() {
+            return Err(name.to_string());
+        }
+        let col = Arc::new(PCollection::from_records_uncounted(
+            &self.dev, self.layer, name, records,
+        ));
+        let rows = col.len() as u64;
+        catalog.add_table(name, col, key_domain);
+        Ok(rows)
+    }
+
+    /// Drops a table; returns whether it existed. Outstanding streams
+    /// over the table keep their shared handle.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.catalog.write().expect("catalog lock").remove(name)
+    }
+
+    /// Registered tables as `(name, rows)`, sorted by name.
+    pub fn tables(&self) -> Vec<(String, u64)> {
+        let catalog = self.catalog.read().expect("catalog lock");
+        catalog
+            .names()
+            .into_iter()
+            .map(|n| {
+                let rows = catalog.stats(n).map_or(0, |s| s.rows);
+                (n.to_string(), rows)
+            })
+            .collect()
+    }
+}
+
+/// Builder-style configuration of a [`Database`].
+#[derive(Clone, Debug)]
+pub struct DatabaseBuilder {
+    config: DeviceConfig,
+    layer: LayerKind,
+    defaults: SessionConfig,
+}
+
+impl Default for DatabaseBuilder {
+    fn default() -> Self {
+        Self {
+            config: DeviceConfig::paper_default(),
+            layer: LayerKind::BlockedMemory,
+            defaults: SessionConfig::default(),
+        }
+    }
+}
+
+impl DatabaseBuilder {
+    /// Uses an explicit device configuration.
+    #[must_use]
+    pub fn device(mut self, config: DeviceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Targets a medium with the given write/read cost ratio λ (10 ns
+    /// reads, `10·λ` ns writes).
+    #[must_use]
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.config = self
+            .config
+            .with_latency(LatencyProfile::with_lambda(10.0, lambda));
+        self
+    }
+
+    /// Persistence layer for tables and intermediates.
+    #[must_use]
+    pub fn layer(mut self, layer: LayerKind) -> Self {
+        self.layer = layer;
+        self
+    }
+
+    /// Default per-session DRAM budget in bytes.
+    #[must_use]
+    pub fn dram_budget(mut self, bytes: usize) -> Self {
+        self.defaults.dram_bytes = bytes.max(1);
+        self
+    }
+
+    /// Default per-session DRAM budget in 80-byte Wisconsin records (the
+    /// paper's `M`).
+    #[must_use]
+    pub fn dram_records(self, records: usize) -> Self {
+        self.dram_budget(records.saturating_mul(WisconsinRecord::SIZE))
+    }
+
+    /// Default degree of parallelism. Explicit here, so it outranks the
+    /// `WL_THREADS` environment variable through the shared resolver.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.defaults.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Default result batch size in rows.
+    #[must_use]
+    pub fn batch_rows(mut self, rows: usize) -> Self {
+        self.defaults.batch_rows = rows.max(1);
+        self
+    }
+
+    /// Builds the database.
+    pub fn build(self) -> Database {
+        Database {
+            dev: PmDevice::new(self.config),
+            layer: self.layer,
+            catalog: RwLock::new(Catalog::new()),
+            defaults: self.defaults,
+        }
+    }
+}
+
+// `Storable` gives records their serialized size; used by
+// `dram_records`.
+use pmem_sim::Storable;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_table_lifecycle() {
+        let db = Database::builder().lambda(8.0).dram_records(200).build();
+        assert_eq!(db.device().lambda(), 8.0);
+        assert_eq!(db.create_wisconsin("t", 100, 1, 1).expect("fresh"), 100);
+        assert_eq!(db.create_wisconsin("v", 100, 3, 1).expect("fresh"), 300);
+        assert_eq!(
+            db.tables(),
+            vec![("t".to_string(), 100), ("v".to_string(), 300)]
+        );
+        assert_eq!(db.create_wisconsin("t", 5, 1, 1).unwrap_err(), "t");
+        assert!(db.drop_table("t"));
+        assert!(!db.drop_table("t"));
+    }
+
+    #[test]
+    fn catalog_snapshots_survive_drops() {
+        let db = Database::builder().build();
+        db.create_wisconsin("t", 50, 1, 9).expect("fresh");
+        let snapshot = db.catalog();
+        assert!(db.drop_table("t"));
+        assert!(snapshot.data("t").is_some(), "snapshot keeps the handle");
+        assert!(db.catalog().data("t").is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Error types of the facade: span-carrying SQL errors and the
+//! database-level error umbrella.
+
+use planner::{ExecError, PlanError};
+
+/// A half-open byte range into the SQL text an error refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first offending character.
+    pub start: usize,
+    /// Byte offset one past the last offending character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both inputs.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A SQL front-end error: lexing, parsing, or binding. Always carries
+/// the span of the offending text so clients can point at it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong.
+    pub message: String,
+    /// Where in the statement it went wrong.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// An error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Self {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with a caret line pointing into `sql`:
+    ///
+    /// ```text
+    /// error at 14..15: unknown table "v"
+    ///   SELECT * FROM v;
+    ///                 ^
+    /// ```
+    pub fn render(&self, sql: &str) -> String {
+        let mut out = format!(
+            "error at {}..{}: {}\n",
+            self.span.start, self.span.end, self
+        );
+        let start = self.span.start.min(sql.len());
+        let line_start = sql[..start].rfind('\n').map_or(0, |i| i + 1);
+        let line_end = sql[start..].find('\n').map_or(sql.len(), |i| start + i);
+        let line = &sql[line_start..line_end];
+        let col = sql[line_start..start].chars().count();
+        let width = sql[start..self.span.end.clamp(start, line_end)]
+            .chars()
+            .count()
+            .max(1);
+        out.push_str(&format!("  {line}\n"));
+        out.push_str(&format!("  {}{}\n", " ".repeat(col), "^".repeat(width)));
+        out
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Anything a [`crate::Session`] call can fail with.
+#[derive(Debug)]
+pub enum DbError {
+    /// SQL front-end failure (lexing, parsing, binding) with a span.
+    Sql(SqlError),
+    /// The planner rejected the query.
+    Plan(PlanError),
+    /// Execution failed.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Sql(e) => write!(f, "{e}"),
+            DbError::Plan(e) => write!(f, "{e}"),
+            DbError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<SqlError> for DbError {
+    fn from(e: SqlError) -> Self {
+        DbError::Sql(e)
+    }
+}
+
+impl From<PlanError> for DbError {
+    fn from(e: PlanError) -> Self {
+        DbError::Plan(e)
+    }
+}
+
+impl From<ExecError> for DbError {
+    fn from(e: ExecError) -> Self {
+        DbError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_rendering_points_at_the_span() {
+        let sql = "SELECT * FROM missing;";
+        let err = SqlError::new("unknown table \"missing\"", Span::new(14, 21));
+        let rendered = err.render(sql);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "error at 14..21: unknown table \"missing\"");
+        assert_eq!(lines[1], "  SELECT * FROM missing;");
+        assert_eq!(lines[2], "                ^^^^^^^");
+    }
+
+    #[test]
+    fn caret_rendering_survives_out_of_range_spans() {
+        let err = SqlError::new("unexpected end of input", Span::new(99, 100));
+        let rendered = err.render("SELECT");
+        assert!(rendered.contains("unexpected end of input"));
+    }
+}

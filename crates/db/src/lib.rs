@@ -1,0 +1,61 @@
+//! # wl-db — the database facade over the write-limited engine
+//!
+//! Everything below this crate (simulated device, write-limited sort and
+//! join algorithms, cost models, the plan enumerator) is a library; this
+//! crate makes it a *database*. One [`Database`] owns the device, the
+//! persistence layer, the catalog of named Wisconsin tables, and the
+//! default planner knobs; [`Session`]s carry per-connection knobs
+//! (threads, DRAM budget, planning λ, batch size) and parse a small SQL
+//! subset into [`planner::LogicalPlan`]s; results come back as pull-based
+//! [`ResultStream`]s of row batches with an explain/concordance report
+//! attached.
+//!
+//! The SQL subset:
+//!
+//! ```sql
+//! CREATE TABLE t AS WISCONSIN(10000);          -- 10k unique permuted keys
+//! CREATE TABLE v AS WISCONSIN(10000, 4);       -- 4 records per key (40k rows)
+//! SELECT * FROM t WHERE key < 100 ORDER BY key LIMIT 10;
+//! SELECT * FROM t JOIN v ON t.key = v.key WHERE t.key % 2 = 0 GROUP BY key;
+//! EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key ORDER BY key;
+//! SET threads = 4;                             -- also: batch, lambda, memory
+//! SHOW TABLES; DROP TABLE t;
+//! ```
+//!
+//! ```
+//! use wl_db::{Database, Response};
+//!
+//! let db = Database::builder().lambda(15.0).dram_records(500).build();
+//! let mut session = db.session();
+//! session.execute("CREATE TABLE t AS WISCONSIN(1000)").unwrap();
+//! session.execute("CREATE TABLE v AS WISCONSIN(1000, 4)").unwrap();
+//!
+//! let mut stream = session
+//!     .query("SELECT * FROM t JOIN v ON t.key = v.key GROUP BY key ORDER BY key")
+//!     .unwrap();
+//! let mut rows = 0;
+//! while let Some(batch) = stream.next_batch().unwrap() {
+//!     rows += batch.rows.len(); // delivered incrementally
+//! }
+//! assert_eq!(rows, 1000);
+//! let stats = stream.stats().unwrap();
+//! assert!(stats.io.cl_reads > 0);
+//! println!("{}", stream.explain()); // plan, knobs, predicted vs measured
+//! ```
+//!
+//! The `wlsql` binary (`cargo run -p wl-db --bin wlsql`) wraps a session
+//! in a line-oriented REPL that streams batches as they are pulled.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod session;
+pub mod sql;
+pub mod stream;
+
+pub use database::{Database, DatabaseBuilder};
+pub use error::{DbError, Span, SqlError};
+pub use session::{Response, Session, SessionConfig};
+pub use sql::{bind, parse, BoundQuery, RowShape, Statement};
+pub use stream::{QueryStats, ResultStream, RowBatch};

@@ -1,0 +1,357 @@
+//! Sessions: per-connection knobs plus the statement dispatcher.
+
+use crate::database::Database;
+use crate::error::{DbError, SqlError};
+use crate::sql::{bind, parse, Select, Statement};
+use crate::stream::ResultStream;
+use pmem_sim::{BufferPool, Storable};
+use wisconsin::WisconsinRecord;
+use write_limited::parallel::resolve_threads;
+
+/// Per-session knobs. Sessions start from the database defaults and can
+/// retune themselves with `SET` statements or the typed setters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionConfig {
+    /// Explicit degree of parallelism; `None` falls back to the shared
+    /// resolver chain (CLI default, then `WL_THREADS`, then serial).
+    pub threads: Option<usize>,
+    /// DRAM budget in bytes (the paper's `M`).
+    pub dram_bytes: usize,
+    /// Result batch size in rows.
+    pub batch_rows: usize,
+    /// Planning write/read cost ratio override; `None` plans at the
+    /// device's measured λ.
+    pub lambda: Option<f64>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            dram_bytes: 500 * WisconsinRecord::SIZE,
+            batch_rows: 512,
+            lambda: None,
+        }
+    }
+}
+
+/// What one statement produced.
+#[derive(Debug)]
+pub enum Response {
+    /// `CREATE TABLE` succeeded.
+    Created {
+        /// New table name.
+        table: String,
+        /// Rows loaded.
+        rows: u64,
+    },
+    /// `DROP TABLE` succeeded.
+    Dropped {
+        /// Dropped table name.
+        table: String,
+    },
+    /// `SHOW TABLES` listing as `(name, rows)`.
+    Tables(Vec<(String, u64)>),
+    /// `SET` applied.
+    Set {
+        /// Knob name.
+        knob: String,
+        /// New value.
+        value: u64,
+    },
+    /// A `SELECT`: pull the stream for rows.
+    Rows(ResultStream),
+    /// An `EXPLAIN SELECT`: drain the stream (discarding rows), then
+    /// render [`ResultStream::explain`] for the full report.
+    Explain(ResultStream),
+}
+
+/// A connection to a [`Database`] with its own knobs.
+#[derive(Debug)]
+pub struct Session<'db> {
+    db: &'db Database,
+    config: SessionConfig,
+}
+
+impl<'db> Session<'db> {
+    pub(crate) fn new(db: &'db Database, config: SessionConfig) -> Self {
+        Self { db, config }
+    }
+
+    /// Current knob settings.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Sets the degree of parallelism (explicit: outranks `WL_THREADS`).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.threads = Some(threads.max(1));
+    }
+
+    /// Sets the DRAM budget in bytes.
+    pub fn set_dram_budget(&mut self, bytes: usize) {
+        self.config.dram_bytes = bytes.max(1);
+    }
+
+    /// Sets the result batch size in rows.
+    pub fn set_batch_rows(&mut self, rows: usize) {
+        self.config.batch_rows = rows.max(1);
+    }
+
+    /// Sets the planning λ override.
+    pub fn set_lambda(&mut self, lambda: f64) {
+        self.config.lambda = Some(lambda.max(1.0));
+    }
+
+    /// Parses and executes one statement.
+    ///
+    /// # Errors
+    /// Returns [`DbError`] for SQL front-end errors (span-carrying),
+    /// planning failures, or execution failures.
+    pub fn execute(&mut self, sql: &str) -> Result<Response, DbError> {
+        match parse(sql)? {
+            Statement::Create {
+                table,
+                rows,
+                fanout,
+                seed,
+            } => {
+                let loaded = self
+                    .db
+                    .create_wisconsin(&table.name, rows, fanout, seed)
+                    .map_err(|name| {
+                        SqlError::new(format!("table \"{name}\" already exists"), table.span)
+                    })?;
+                Ok(Response::Created {
+                    table: table.name,
+                    rows: loaded,
+                })
+            }
+            Statement::Drop { table } => {
+                if self.db.drop_table(&table.name) {
+                    Ok(Response::Dropped { table: table.name })
+                } else {
+                    Err(
+                        SqlError::new(format!("unknown table \"{}\"", table.name), table.span)
+                            .into(),
+                    )
+                }
+            }
+            Statement::ShowTables => Ok(Response::Tables(self.db.tables())),
+            Statement::Set { name, value } => {
+                match name.name.as_str() {
+                    "threads" => self.set_threads(value as usize),
+                    "batch" => self.set_batch_rows(value as usize),
+                    "lambda" => self.set_lambda(value as f64),
+                    "memory" => {
+                        let bytes = usize::try_from(value)
+                            .ok()
+                            .and_then(|v| v.checked_mul(WisconsinRecord::SIZE))
+                            .ok_or_else(|| {
+                                SqlError::new(
+                                    format!("memory budget of {value} records is out of range"),
+                                    name.span,
+                                )
+                            })?;
+                        self.set_dram_budget(bytes);
+                    }
+                    other => {
+                        return Err(SqlError::new(
+                            format!(
+                                "unknown knob \"{other}\" (supported: threads, batch, lambda, \
+                                 memory)"
+                            ),
+                            name.span,
+                        )
+                        .into())
+                    }
+                }
+                Ok(Response::Set {
+                    knob: name.name,
+                    value,
+                })
+            }
+            Statement::Select(select) => Ok(Response::Rows(self.plan_select(&select)?)),
+            Statement::Explain(select) => Ok(Response::Explain(self.plan_select(&select)?)),
+        }
+    }
+
+    /// Parses a `SELECT` and returns its result stream without running
+    /// it (execution happens on the first batch pull).
+    ///
+    /// # Errors
+    /// Returns [`DbError`] for non-`SELECT` statements, SQL errors, or
+    /// planning failures.
+    pub fn query(&self, sql: &str) -> Result<ResultStream, DbError> {
+        match parse(sql)? {
+            Statement::Select(select) => self.plan_select(&select),
+            other => Err(SqlError::new(
+                format!(
+                    "query() accepts SELECT only; use execute() for {}",
+                    other.describe().lines().next().unwrap_or_default()
+                ),
+                crate::error::Span::new(0, sql.len()),
+            )
+            .into()),
+        }
+    }
+
+    fn plan_select(&self, select: &Select) -> Result<ResultStream, DbError> {
+        let catalog = self.db.catalog();
+        let bound = bind(select, &catalog)?;
+        let pool = BufferPool::new(self.config.dram_bytes);
+        let dev = self.db.device();
+        let lambda = self.config.lambda.unwrap_or_else(|| dev.lambda());
+        let threads = resolve_threads(self.config.threads);
+        let planner = planner::Planner::with_config(
+            lambda,
+            pool.budget_buffers() as f64,
+            self.db.layer(),
+            dev.config(),
+        )
+        .with_threads(threads);
+        let planned = planner.plan(&bound.logical, &catalog)?;
+        Ok(ResultStream::new(
+            planned,
+            &bound,
+            catalog,
+            dev.clone(),
+            self.db.layer(),
+            pool,
+            self.config.batch_rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::builder().dram_records(200).batch_rows(16).build();
+        db.create_wisconsin("t", 500, 1, 3).expect("fresh");
+        db.create_wisconsin("v", 500, 4, 3).expect("fresh");
+        db
+    }
+
+    #[test]
+    fn select_streams_in_batches_and_reports_stats() {
+        let db = db();
+        let mut s = db.session();
+        let Response::Rows(mut stream) = s
+            .execute("SELECT * FROM t WHERE key < 100 ORDER BY key")
+            .expect("executes")
+        else {
+            panic!("expected rows");
+        };
+        assert_eq!(stream.columns(), ["key", "payload"]);
+        assert!(
+            stream.stats().is_none(),
+            "nothing ran before the first pull"
+        );
+        let mut rows = Vec::new();
+        let mut batches = 0;
+        while let Some(batch) = stream.next_batch().expect("streams") {
+            assert!(batch.rows.len() <= 16);
+            batches += 1;
+            rows.extend(batch.rows);
+        }
+        assert_eq!(batches, 7, "100 rows in 16-row batches");
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[0][0], 0, "ordered by key");
+        assert_eq!(rows[99][0], 99);
+        let stats = stream.stats().expect("drained");
+        assert_eq!(stats.rows, 100);
+        assert!(stats.io.cl_reads > 0 && stats.secs > 0.0);
+    }
+
+    #[test]
+    fn join_group_order_query_round_trips() {
+        let db = db();
+        let mut s = db.session();
+        s.set_batch_rows(64);
+        let mut stream = s
+            .query(
+                "SELECT * FROM t JOIN v ON t.key = v.key WHERE t.key < 50 \
+                 GROUP BY key ORDER BY key",
+            )
+            .expect("plans");
+        let mut rows = Vec::new();
+        while let Some(b) = stream.next_batch().expect("streams") {
+            rows.extend(b.rows);
+        }
+        // 50 surviving keys, fanout 4 → count 4 per group.
+        assert_eq!(rows.len(), 50);
+        assert!(rows.iter().all(|r| r[1] == 4), "count column");
+        assert!(rows.windows(2).all(|w| w[0][0] < w[1][0]), "ordered keys");
+    }
+
+    #[test]
+    fn limit_caps_delivery() {
+        let db = db();
+        let s = db.session();
+        let mut stream = s
+            .query("SELECT * FROM t ORDER BY key LIMIT 5")
+            .expect("plans");
+        let total = stream.drain().expect("drains");
+        assert_eq!(total, 5);
+        assert_eq!(stream.stats().expect("done").rows, 5);
+    }
+
+    #[test]
+    fn explain_reports_algorithms_and_concordance() {
+        let db = db();
+        let mut s = db.session();
+        let Response::Explain(mut stream) = s
+            .execute("EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key GROUP BY key")
+            .expect("executes")
+        else {
+            panic!("expected explain");
+        };
+        let before = stream.explain();
+        assert!(before.contains("knobs: λ = 15"), "{before}");
+        assert!(before.contains("chosen plan:"), "{before}");
+        assert!(before.contains("join"), "{before}");
+        assert!(!before.contains("measured"), "no run yet");
+        stream.drain().expect("runs");
+        let after = stream.explain();
+        assert!(after.contains("predicted vs measured"), "{after}");
+    }
+
+    #[test]
+    fn session_knobs_steer_planning() {
+        let db = db();
+        let mut s = db.session();
+        s.execute("SET lambda = 1").expect("sets");
+        s.execute("SET threads = 4").expect("sets");
+        s.execute("SET memory = 100").expect("sets");
+        let stream = s.query("SELECT * FROM t ORDER BY key").expect("plans");
+        assert_eq!(stream.planned().lambda, 1.0);
+        assert_eq!(stream.planned().threads, 4);
+        assert_eq!(
+            stream.planned().m_buffers,
+            125.0,
+            "100 records = 125 cachelines"
+        );
+        let err = s.execute("SET nope = 1").unwrap_err();
+        let DbError::Sql(e) = err else {
+            panic!("expected SQL error")
+        };
+        assert!(e.message.contains("unknown knob"));
+    }
+
+    #[test]
+    fn ddl_errors_carry_spans() {
+        let db = db();
+        let mut s = db.session();
+        let sql = "DROP TABLE missing";
+        let DbError::Sql(e) = s.execute(sql).unwrap_err() else {
+            panic!("expected SQL error")
+        };
+        assert_eq!(&sql[e.span.start..e.span.end], "missing");
+        let DbError::Sql(e) = s.execute("CREATE TABLE t AS WISCONSIN(10)").unwrap_err() else {
+            panic!("expected SQL error")
+        };
+        assert!(e.message.contains("already exists"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The SQL subset's abstract syntax, span-annotated.
+//!
+//! Every node keeps the span of the text it was parsed from, so the
+//! binder can report semantic errors (unknown table, type mismatch)
+//! pointing at the exact offending characters. [`Statement::describe`]
+//! renders a stable indented tree used by the golden parser tests.
+
+use crate::error::Span;
+
+/// An identifier with its source span (stored lowercased — the subset
+/// is case-insensitive, like unquoted SQL identifiers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ident {
+    /// Lowercased identifier text.
+    pub name: String,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+/// A possibly-qualified column reference, e.g. `key` or `t.key`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Optional table qualifier.
+    pub qualifier: Option<Ident>,
+    /// Column name.
+    pub name: Ident,
+}
+
+impl Column {
+    /// `qualifier.name` or `name`.
+    pub fn describe(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{}.{}", q.name, self.name.name),
+            None => self.name.name.clone(),
+        }
+    }
+
+    /// The span covering the whole reference.
+    pub fn span(&self) -> Span {
+        match &self.qualifier {
+            Some(q) => q.span.to(self.name.span),
+            None => self.name.span,
+        }
+    }
+}
+
+/// A key predicate in a `WHERE` clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WherePred {
+    /// The column the predicate constrains (must bind to a key).
+    pub column: Column,
+    /// Predicate form.
+    pub form: PredForm,
+    /// Span of the whole predicate.
+    pub span: Span,
+}
+
+/// Supported predicate shapes (mirroring `planner::Predicate`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PredForm {
+    /// `col < bound`
+    Below(u64),
+    /// `col >= bound`
+    AtLeast(u64),
+    /// `col % modulus = residue`
+    ModEq {
+        /// Modulus of the congruence.
+        modulus: u64,
+        /// Expected residue.
+        residue: u64,
+    },
+}
+
+impl PredForm {
+    fn describe(&self) -> String {
+        match self {
+            PredForm::Below(b) => format!("< {b}"),
+            PredForm::AtLeast(b) => format!(">= {b}"),
+            PredForm::ModEq { modulus, residue } => format!("% {modulus} = {residue}"),
+        }
+    }
+}
+
+/// An `[INNER] JOIN table ON left = right` clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Join {
+    /// Joined table.
+    pub table: Ident,
+    /// Left side of the `ON` equality.
+    pub left: Column,
+    /// Right side of the `ON` equality.
+    pub right: Column,
+    /// Span of the `ON` condition.
+    pub span: Span,
+}
+
+/// One item of the projection list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A named column.
+    Column(Column),
+}
+
+/// A `SELECT` statement of the subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Select {
+    /// Projection list (contains [`SelectItem::Star`] for `*`).
+    pub projection: Vec<SelectItem>,
+    /// Base table of the `FROM` clause.
+    pub from: Ident,
+    /// Optional join clause.
+    pub join: Option<Join>,
+    /// `WHERE` predicates (implicitly conjoined).
+    pub predicates: Vec<WherePred>,
+    /// `GROUP BY` column, when present.
+    pub group_by: Option<Column>,
+    /// `ORDER BY` column, when present.
+    pub order_by: Option<Column>,
+    /// `LIMIT` row cap, when present.
+    pub limit: Option<u64>,
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Statement {
+    /// `CREATE TABLE name AS WISCONSIN(rows[, fanout[, seed]])`
+    Create {
+        /// New table name.
+        table: Ident,
+        /// Distinct keys (left-side rows).
+        rows: u64,
+        /// Records per key (total rows = rows × fanout).
+        fanout: u64,
+        /// Permutation seed.
+        seed: u64,
+    },
+    /// `DROP TABLE name`
+    Drop {
+        /// Table to drop.
+        table: Ident,
+    },
+    /// `SHOW TABLES`
+    ShowTables,
+    /// `SET knob = value`
+    Set {
+        /// Knob name (`threads`, `batch`, `lambda`, `memory`).
+        name: Ident,
+        /// New value.
+        value: u64,
+    },
+    /// A query.
+    Select(Select),
+    /// `EXPLAIN SELECT …` — plan, run, and report concordance instead of
+    /// returning rows.
+    Explain(Select),
+}
+
+impl Statement {
+    /// Stable indented tree rendering (golden-test surface).
+    pub fn describe(&self) -> String {
+        match self {
+            Statement::Create {
+                table,
+                rows,
+                fanout,
+                seed,
+            } => {
+                format!(
+                    "create {} as wisconsin(rows={rows}, fanout={fanout}, seed={seed})\n",
+                    table.name
+                )
+            }
+            Statement::Drop { table } => format!("drop {}\n", table.name),
+            Statement::ShowTables => "show tables\n".into(),
+            Statement::Set { name, value } => format!("set {} = {value}\n", name.name),
+            Statement::Select(s) => s.describe("select"),
+            Statement::Explain(s) => s.describe("explain select"),
+        }
+    }
+}
+
+impl Select {
+    fn describe(&self, head: &str) -> String {
+        let mut out = format!("{head}\n");
+        let proj: Vec<String> = self
+            .projection
+            .iter()
+            .map(|p| match p {
+                SelectItem::Star => "*".into(),
+                SelectItem::Column(c) => c.describe(),
+            })
+            .collect();
+        out.push_str(&format!("  project {}\n", proj.join(", ")));
+        out.push_str(&format!("  from {}\n", self.from.name));
+        if let Some(j) = &self.join {
+            out.push_str(&format!(
+                "  join {} on {} = {}\n",
+                j.table.name,
+                j.left.describe(),
+                j.right.describe()
+            ));
+        }
+        for p in &self.predicates {
+            out.push_str(&format!(
+                "  where {} {}\n",
+                p.column.describe(),
+                p.form.describe()
+            ));
+        }
+        if let Some(g) = &self.group_by {
+            out.push_str(&format!("  group by {}\n", g.describe()));
+        }
+        if let Some(o) = &self.order_by {
+            out.push_str(&format!("  order by {}\n", o.describe()));
+        }
+        if let Some(l) = self.limit {
+            out.push_str(&format!("  limit {l}\n"));
+        }
+        out
+    }
+}

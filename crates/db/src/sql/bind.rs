@@ -1,0 +1,420 @@
+//! The binder: a parsed [`Select`] plus a catalog become a
+//! [`planner::LogicalPlan`] with a resolved output schema.
+//!
+//! Binding is where span-carrying *semantic* errors surface: unknown
+//! tables, unknown or ambiguous columns, predicates over non-key
+//! attributes, and malformed join conditions all point back at the
+//! offending SQL text.
+
+use super::ast::{Column, PredForm, Select, SelectItem};
+use crate::error::SqlError;
+use planner::{Catalog, LogicalPlan, Predicate};
+
+/// The shape of the rows a bound query produces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RowShape {
+    /// Base Wisconsin records (`key`, `payload`).
+    Base,
+    /// Joined pairs (`key`, `<left>.payload`, `<right>.payload`).
+    Pairs {
+        /// Logical left (FROM) table name.
+        left: String,
+        /// Logical right (JOIN) table name.
+        right: String,
+    },
+    /// Aggregation groups (`key`, `count`, `sum`, `min`, `max`).
+    Groups,
+}
+
+impl RowShape {
+    /// The full column list of this shape, before projection.
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            RowShape::Base => vec!["key".into(), "payload".into()],
+            RowShape::Pairs { left, right } => vec![
+                "key".into(),
+                format!("{left}.payload"),
+                format!("{right}.payload"),
+            ],
+            RowShape::Groups => vec![
+                "key".into(),
+                "count".into(),
+                "sum".into(),
+                "min".into(),
+                "max".into(),
+            ],
+        }
+    }
+}
+
+/// A bound query: the logical plan plus everything needed to deliver
+/// and label its rows.
+#[derive(Clone, Debug)]
+pub struct BoundQuery {
+    /// The logical plan handed to the planner.
+    pub logical: LogicalPlan,
+    /// Row shape of the plan's output.
+    pub shape: RowShape,
+    /// Projected column indices into [`RowShape::columns`].
+    pub projection: Vec<usize>,
+    /// `LIMIT` row cap, when present.
+    pub limit: Option<u64>,
+}
+
+impl BoundQuery {
+    /// The projected column names, in output order.
+    pub fn column_names(&self) -> Vec<String> {
+        let all = self.shape.columns();
+        self.projection.iter().map(|&i| all[i].clone()).collect()
+    }
+}
+
+/// Binds `select` against `catalog`.
+///
+/// # Errors
+/// Returns a span-carrying [`SqlError`] for unknown tables/columns,
+/// non-key predicates, malformed join conditions, or ambiguous
+/// references.
+pub fn bind(select: &Select, catalog: &Catalog) -> Result<BoundQuery, SqlError> {
+    // Resolve tables first so every later message can trust them.
+    let from = &select.from;
+    if catalog.stats(&from.name).is_none() {
+        return Err(SqlError::new(
+            format!("unknown table \"{}\"", from.name),
+            from.span,
+        ));
+    }
+    let join_table = match &select.join {
+        Some(j) => {
+            if catalog.stats(&j.table.name).is_none() {
+                return Err(SqlError::new(
+                    format!("unknown table \"{}\"", j.table.name),
+                    j.table.span,
+                ));
+            }
+            if j.table.name == from.name {
+                return Err(SqlError::new(
+                    format!("self-join of \"{}\" is not supported", j.table.name),
+                    j.table.span,
+                ));
+            }
+            Some(j.table.name.clone())
+        }
+        None => None,
+    };
+
+    // Validate the join condition: key = key, qualifiers covering both
+    // tables in either order.
+    if let Some(j) = &select.join {
+        for side in [&j.left, &j.right] {
+            if side.name.name != "key" {
+                return Err(SqlError::new(
+                    format!(
+                        "type mismatch: joins are equi-joins on key, not \"{}\"",
+                        side.name.name
+                    ),
+                    side.name.span,
+                ));
+            }
+        }
+        let q = |c: &Column| -> Result<String, SqlError> {
+            match &c.qualifier {
+                Some(q) => Ok(q.name.clone()),
+                None => Err(SqlError::new(
+                    "join condition must qualify both sides (e.g. t.key = v.key)",
+                    c.span(),
+                )),
+            }
+        };
+        let (lq, rq) = (q(&j.left)?, q(&j.right)?);
+        let joined = join_table.clone().expect("join table resolved");
+        let covers = (lq == from.name && rq == joined) || (lq == joined && rq == from.name);
+        if !covers {
+            return Err(SqlError::new(
+                format!(
+                    "join condition must relate \"{}\" and \"{joined}\", got \"{lq}\" and \"{rq}\"",
+                    from.name
+                ),
+                j.span,
+            ));
+        }
+    }
+
+    // Split WHERE predicates onto the table scans they qualify; with a
+    // join, unqualified predicates apply to the join output (both sides
+    // share the join key, so `key` is unambiguous there).
+    let mut from_preds = Vec::new();
+    let mut join_preds = Vec::new();
+    let mut post_preds = Vec::new();
+    for p in &select.predicates {
+        if p.column.name.name != "key" {
+            return Err(SqlError::new(
+                format!(
+                    "predicates are supported on key only, not \"{}\"",
+                    p.column.name.name
+                ),
+                p.column.name.span,
+            ));
+        }
+        let predicate = match p.form {
+            PredForm::Below(b) => Predicate::KeyBelow(b),
+            PredForm::AtLeast(b) => Predicate::KeyAtLeast(b),
+            PredForm::ModEq { modulus, residue } => Predicate::KeyModEq { modulus, residue },
+        };
+        match &p.column.qualifier {
+            None => {
+                if join_table.is_some() {
+                    post_preds.push(predicate);
+                } else {
+                    from_preds.push(predicate);
+                }
+            }
+            Some(q) if q.name == from.name => from_preds.push(predicate),
+            Some(q) if Some(&q.name) == join_table.as_ref() => join_preds.push(predicate),
+            Some(q) => {
+                return Err(SqlError::new(
+                    format!("unknown table reference \"{}\" in predicate", q.name),
+                    q.span,
+                ));
+            }
+        }
+    }
+
+    // Assemble the logical plan: scans + pushed filters, join, post-join
+    // filters, aggregate, sort.
+    let mut plan = LogicalPlan::scan(&from.name);
+    for p in &from_preds {
+        plan = plan.filter(*p);
+    }
+    if let Some(joined) = &join_table {
+        let mut right = LogicalPlan::scan(joined);
+        for p in &join_preds {
+            right = right.filter(*p);
+        }
+        plan = plan.join(right);
+        for p in &post_preds {
+            plan = plan.filter(*p);
+        }
+    }
+
+    let known_table = |name: &str| name == from.name || Some(name) == join_table.as_deref();
+
+    if let Some(g) = &select.group_by {
+        check_key_column(g, "GROUP BY", &known_table)?;
+        plan = plan.aggregate();
+    }
+    if let Some(o) = &select.order_by {
+        check_key_column(o, "ORDER BY", &known_table)?;
+        plan = plan.sort();
+    }
+
+    let shape = if select.group_by.is_some() {
+        RowShape::Groups
+    } else if let Some(joined) = &join_table {
+        RowShape::Pairs {
+            left: from.name.clone(),
+            right: joined.clone(),
+        }
+    } else {
+        RowShape::Base
+    };
+
+    let projection = resolve_projection(&select.projection, &shape, &known_table)?;
+
+    Ok(BoundQuery {
+        logical: plan,
+        shape,
+        projection,
+        limit: select.limit,
+    })
+}
+
+fn check_key_column(
+    c: &Column,
+    clause: &str,
+    known_table: &impl Fn(&str) -> bool,
+) -> Result<(), SqlError> {
+    if let Some(q) = &c.qualifier {
+        if !known_table(&q.name) {
+            return Err(SqlError::new(
+                format!("unknown table reference \"{}\" in {clause}", q.name),
+                q.span,
+            ));
+        }
+    }
+    if c.name.name != "key" {
+        return Err(SqlError::new(
+            format!("{clause} is supported on key only, not \"{}\"", c.name.name),
+            c.name.span,
+        ));
+    }
+    Ok(())
+}
+
+fn resolve_projection(
+    items: &[SelectItem],
+    shape: &RowShape,
+    known_table: &impl Fn(&str) -> bool,
+) -> Result<Vec<usize>, SqlError> {
+    let all = shape.columns();
+    let mut out = Vec::new();
+    for item in items {
+        match item {
+            SelectItem::Star => out.extend(0..all.len()),
+            SelectItem::Column(c) => out.push(resolve_column(c, shape, known_table)?),
+        }
+    }
+    Ok(out)
+}
+
+fn resolve_column(
+    c: &Column,
+    shape: &RowShape,
+    known_table: &impl Fn(&str) -> bool,
+) -> Result<usize, SqlError> {
+    if let Some(q) = &c.qualifier {
+        if !known_table(&q.name) {
+            return Err(SqlError::new(
+                format!("unknown table reference \"{}\"", q.name),
+                q.span,
+            ));
+        }
+    }
+    let name = c.name.name.as_str();
+    match shape {
+        RowShape::Base => match name {
+            "key" => Ok(0),
+            "payload" => Ok(1),
+            _ => Err(unknown_column(c, shape)),
+        },
+        RowShape::Pairs { left, right } => match (name, c.qualifier.as_ref()) {
+            ("key", _) => Ok(0),
+            ("payload", Some(q)) if q.name == *left => Ok(1),
+            ("payload", Some(q)) if q.name == *right => Ok(2),
+            ("payload", None) => Err(SqlError::new(
+                format!(
+                    "ambiguous column \"payload\": qualify as {left}.payload or {right}.payload"
+                ),
+                c.name.span,
+            )),
+            _ => Err(unknown_column(c, shape)),
+        },
+        RowShape::Groups => match name {
+            "key" => Ok(0),
+            "count" => Ok(1),
+            "sum" => Ok(2),
+            "min" => Ok(3),
+            "max" => Ok(4),
+            _ => Err(unknown_column(c, shape)),
+        },
+    }
+}
+
+fn unknown_column(c: &Column, shape: &RowShape) -> SqlError {
+    SqlError::new(
+        format!(
+            "unknown column \"{}\" (available: {})",
+            c.describe(),
+            shape.columns().join(", ")
+        ),
+        c.span(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse;
+    use crate::sql::Statement;
+    use planner::TableStats;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_stats("t", TableStats::wisconsin(1_000));
+        c.add_stats("v", TableStats::wisconsin(4_000));
+        c
+    }
+
+    fn bind_sql(sql: &str) -> Result<BoundQuery, SqlError> {
+        let Statement::Select(s) = parse(sql).expect("parses") else {
+            panic!("expected select");
+        };
+        bind(&s, &catalog())
+    }
+
+    #[test]
+    fn binds_the_canonical_join_query() {
+        let b = bind_sql(
+            "SELECT * FROM t JOIN v ON t.key = v.key WHERE t.key < 500 GROUP BY key ORDER BY key",
+        )
+        .expect("binds");
+        assert_eq!(
+            b.logical.describe(),
+            "sort\n  aggregate\n    join\n      filter [key < 500]\n        scan t\n      scan v\n"
+        );
+        assert_eq!(b.shape, RowShape::Groups);
+        assert_eq!(b.column_names(), vec!["key", "count", "sum", "min", "max"]);
+    }
+
+    #[test]
+    fn qualified_predicates_push_to_their_side() {
+        let b =
+            bind_sql("SELECT * FROM t JOIN v ON v.key = t.key WHERE v.key % 2 = 0").expect("binds");
+        assert_eq!(
+            b.logical.describe(),
+            "join\n  scan t\n  filter [key % 2 == 0]\n    scan v\n"
+        );
+        let RowShape::Pairs { left, right } = &b.shape else {
+            panic!("expected pairs");
+        };
+        assert_eq!((left.as_str(), right.as_str()), ("t", "v"));
+    }
+
+    #[test]
+    fn unqualified_join_predicates_apply_after_the_join() {
+        let b = bind_sql("SELECT * FROM t JOIN v ON t.key = v.key WHERE key < 10").expect("binds");
+        assert_eq!(
+            b.logical.describe(),
+            "filter [key < 10]\n  join\n    scan t\n    scan v\n"
+        );
+    }
+
+    #[test]
+    fn unknown_table_errors_carry_the_span() {
+        let sql = "SELECT * FROM nosuch";
+        let err = bind_sql(sql).unwrap_err();
+        assert_eq!(err.message, "unknown table \"nosuch\"");
+        assert_eq!(&sql[err.span.start..err.span.end], "nosuch");
+    }
+
+    #[test]
+    fn non_key_predicates_are_rejected() {
+        let err = bind_sql("SELECT * FROM t WHERE payload < 5").unwrap_err();
+        assert!(err.message.contains("key only"), "{}", err.message);
+    }
+
+    #[test]
+    fn projection_resolution_and_ambiguity() {
+        let b = bind_sql("SELECT key, v.payload FROM t JOIN v ON t.key = v.key").expect("binds");
+        assert_eq!(b.projection, vec![0, 2]);
+        assert_eq!(b.column_names(), vec!["key", "v.payload"]);
+        let err = bind_sql("SELECT payload FROM t JOIN v ON t.key = v.key").unwrap_err();
+        assert!(err.message.contains("ambiguous"), "{}", err.message);
+        let err = bind_sql("SELECT nope FROM t").unwrap_err();
+        assert!(err.message.contains("unknown column"), "{}", err.message);
+    }
+
+    #[test]
+    fn join_condition_shape_is_enforced() {
+        let err = bind_sql("SELECT * FROM t JOIN v ON t.payload = v.key").unwrap_err();
+        assert!(err.message.contains("equi-joins on key"), "{}", err.message);
+        let err = bind_sql("SELECT * FROM t JOIN v ON key = key").unwrap_err();
+        assert!(
+            err.message.contains("qualify both sides"),
+            "{}",
+            err.message
+        );
+        let err = bind_sql("SELECT * FROM t JOIN v ON t.key = t.key").unwrap_err();
+        assert!(err.message.contains("must relate"), "{}", err.message);
+    }
+}

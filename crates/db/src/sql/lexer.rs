@@ -1,0 +1,247 @@
+//! Hand-rolled SQL lexer: identifiers, integer literals, single-quoted
+//! strings, and the punctuation the subset needs, each with its span.
+
+use crate::error::{Span, SqlError};
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Byte range of the token in the statement.
+    pub span: Span,
+}
+
+/// Token payloads of the SQL subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (stored lowercased; keywords are decided by
+    /// the parser).
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// Single-quoted string literal (contents without quotes).
+    StringLit(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Display form for "expected X, found Y" diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::StringLit(s) => format!("string '{s}'"),
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::Comma => "','".into(),
+            TokenKind::Semicolon => "';'".into(),
+            TokenKind::Star => "'*'".into(),
+            TokenKind::Dot => "'.'".into(),
+            TokenKind::Eq => "'='".into(),
+            TokenKind::Lt => "'<'".into(),
+            TokenKind::Ge => "'>='".into(),
+            TokenKind::Percent => "'%'".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Lexes a whole statement.
+///
+/// # Errors
+/// Returns a span-carrying [`SqlError`] on unexpected characters,
+/// unterminated strings, or numeric overflow.
+pub fn lex(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push1(&mut tokens, TokenKind::LParen, &mut i),
+            ')' => push1(&mut tokens, TokenKind::RParen, &mut i),
+            ',' => push1(&mut tokens, TokenKind::Comma, &mut i),
+            ';' => push1(&mut tokens, TokenKind::Semicolon, &mut i),
+            '*' => push1(&mut tokens, TokenKind::Star, &mut i),
+            '.' => push1(&mut tokens, TokenKind::Dot, &mut i),
+            '=' => push1(&mut tokens, TokenKind::Eq, &mut i),
+            '%' => push1(&mut tokens, TokenKind::Percent, &mut i),
+            '<' => push1(&mut tokens, TokenKind::Lt, &mut i),
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        span: Span::new(start, i),
+                    });
+                } else {
+                    return Err(SqlError::new(
+                        "unsupported operator '>' (supported: <, >=, %)",
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let lit_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::new(
+                        "unterminated string literal",
+                        Span::new(start, i),
+                    ));
+                }
+                let s = sql[lit_start..i].to_string();
+                i += 1; // closing quote
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    span: Span::new(start, i),
+                });
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // `_` separators for readability, e.g. 10_000.
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text: String = sql[start..i].chars().filter(|c| *c != '_').collect();
+                let n: u64 = text.parse().map_err(|_| {
+                    SqlError::new(
+                        format!("integer literal {text:?} out of range"),
+                        Span::new(start, i),
+                    )
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    span: Span::new(start, i),
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(sql[start..i].to_ascii_lowercase()),
+                    span: Span::new(start, i),
+                });
+            }
+            other => {
+                return Err(SqlError::new(
+                    format!("unexpected character {other:?}"),
+                    Span::new(start, start + other.len_utf8()),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(sql.len(), sql.len()),
+    });
+    Ok(tokens)
+}
+
+fn push1(tokens: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    tokens.push(Token {
+        kind,
+        span: Span::new(*i, *i + 1),
+    });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_the_subset() {
+        assert_eq!(
+            kinds("SELECT * FROM t WHERE key >= 10_000;"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Star,
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Ident("where".into()),
+                TokenKind::Ident("key".into()),
+                TokenKind::Ge,
+                TokenKind::Number(10_000),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        assert_eq!(
+            kinds("key -- trailing comment\n< 'abc'"),
+            vec![
+                TokenKind::Ident("key".into()),
+                TokenKind::Lt,
+                TokenKind::StringLit("abc".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_point_into_the_source() {
+        let toks = lex("a = 42").expect("lexes");
+        assert_eq!(toks[2].span, Span::new(4, 6));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = lex("SELECT ? FROM t").unwrap_err();
+        assert_eq!(err.span, Span::new(7, 8));
+        assert!(err.message.contains("unexpected character"));
+        let err = lex("key > 5").unwrap_err();
+        assert!(err.message.contains("unsupported operator"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The SQL front-end: lexer, span-annotated AST, recursive-descent
+//! parser, and the binder that lowers statements onto
+//! [`planner::LogicalPlan`].
+
+pub mod ast;
+pub mod bind;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Column, Ident, Join, PredForm, Select, SelectItem, Statement, WherePred};
+pub use bind::{bind, BoundQuery, RowShape};
+pub use parser::parse;

@@ -1,0 +1,441 @@
+//! Recursive-descent parser for the SQL subset:
+//!
+//! ```text
+//! statement := create | drop | show | set | select | explain
+//! create    := CREATE TABLE ident AS WISCONSIN '(' n [',' n [',' n]] ')'
+//! drop      := DROP TABLE ident
+//! show      := SHOW TABLES
+//! set       := SET ident '=' n
+//! explain   := EXPLAIN select
+//! select    := SELECT proj FROM ident [join] [where] [group] [order] [limit]
+//! proj      := '*' | column (',' column)*
+//! join      := [INNER] JOIN ident ON column '=' column
+//! where     := WHERE pred (AND pred)*
+//! pred      := column '<' n | column '>=' n | column '%' n '=' n
+//! group     := GROUP BY column
+//! order     := ORDER BY column
+//! limit     := LIMIT n
+//! column    := ident ['.' ident]
+//! ```
+//!
+//! Every statement must be terminated by `;` or end-of-input; anything
+//! after that is a span-carrying "trailing tokens" error.
+
+use super::ast::{Column, Ident, Join, PredForm, Select, SelectItem, Statement, WherePred};
+use super::lexer::{lex, Token, TokenKind};
+use crate::error::{Span, SqlError};
+
+/// Parses one statement.
+///
+/// # Errors
+/// Returns a span-carrying [`SqlError`] on any lexical, syntactic, or
+/// shape violation (including trailing tokens after the statement).
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_terminator()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the next token if it is the keyword `kw` (lowercase).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s == kw {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<Token, SqlError> {
+        let t = self.peek().clone();
+        if self.eat_keyword(kw) {
+            Ok(t)
+        } else {
+            Err(SqlError::new(
+                format!(
+                    "expected keyword {}, found {}",
+                    kw.to_ascii_uppercase(),
+                    t.kind.describe()
+                ),
+                t.span,
+            ))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, SqlError> {
+        let t = self.peek().clone();
+        if &t.kind == kind {
+            self.advance();
+            Ok(t)
+        } else {
+            Err(SqlError::new(
+                format!("expected {what}, found {}", t.kind.describe()),
+                t.span,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<Ident, SqlError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Ident { name, span: t.span })
+            }
+            other => Err(SqlError::new(
+                format!("expected {what}, found {}", other.describe()),
+                t.span,
+            )),
+        }
+    }
+
+    /// An integer where the grammar requires one; string literals get the
+    /// type-mismatch diagnostic.
+    fn expect_number(&mut self, what: &str) -> Result<(u64, Span), SqlError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok((n, t.span))
+            }
+            TokenKind::StringLit(s) => Err(SqlError::new(
+                format!("type mismatch: expected {what}, found string '{s}'"),
+                t.span,
+            )),
+            other => Err(SqlError::new(
+                format!("expected {what}, found {}", other.describe()),
+                t.span,
+            )),
+        }
+    }
+
+    fn eat_terminator(&mut self) -> Result<(), SqlError> {
+        if self.peek().kind == TokenKind::Semicolon {
+            self.advance();
+        }
+        let t = self.peek().clone();
+        if t.kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(SqlError::new(
+                format!("trailing tokens after statement: {}", t.kind.describe()),
+                Span::new(t.span.start, self.tokens[self.tokens.len() - 1].span.end),
+            ))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        let t = self.peek().clone();
+        if self.eat_keyword("create") {
+            return self.create();
+        }
+        if self.eat_keyword("drop") {
+            self.expect_keyword("table")?;
+            let table = self.expect_ident("table name")?;
+            return Ok(Statement::Drop { table });
+        }
+        if self.eat_keyword("show") {
+            self.expect_keyword("tables")?;
+            return Ok(Statement::ShowTables);
+        }
+        if self.eat_keyword("set") {
+            let name = self.expect_ident("knob name")?;
+            self.expect(&TokenKind::Eq, "'='")?;
+            let (value, _) = self.expect_number("an integer knob value")?;
+            return Ok(Statement::Set { name, value });
+        }
+        if self.eat_keyword("explain") {
+            self.expect_keyword("select")?;
+            return Ok(Statement::Explain(self.select()?));
+        }
+        if self.eat_keyword("select") {
+            return Ok(Statement::Select(self.select()?));
+        }
+        Err(SqlError::new(
+            format!(
+                "expected CREATE, DROP, SHOW, SET, EXPLAIN, or SELECT, found {}",
+                t.kind.describe()
+            ),
+            t.span,
+        ))
+    }
+
+    fn create(&mut self) -> Result<Statement, SqlError> {
+        self.expect_keyword("table")?;
+        let table = self.expect_ident("table name")?;
+        self.expect_keyword("as")?;
+        self.expect_keyword("wisconsin")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let (rows, rows_span) = self.expect_number("a row count")?;
+        if rows == 0 {
+            return Err(SqlError::new("row count must be positive", rows_span));
+        }
+        let mut fanout = 1;
+        let mut seed = 42;
+        if self.peek().kind == TokenKind::Comma {
+            self.advance();
+            let (f, f_span) = self.expect_number("a fanout")?;
+            if f == 0 {
+                return Err(SqlError::new("fanout must be positive", f_span));
+            }
+            fanout = f;
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+                seed = self.expect_number("a seed")?.0;
+            }
+        }
+        self.expect(&TokenKind::RParen, "')'")?;
+        Ok(Statement::Create {
+            table,
+            rows,
+            fanout,
+            seed,
+        })
+    }
+
+    fn column(&mut self) -> Result<Column, SqlError> {
+        let first = self.expect_ident("a column")?;
+        if self.peek().kind == TokenKind::Dot {
+            self.advance();
+            let name = self.expect_ident("a column name after '.'")?;
+            Ok(Column {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(Column {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    fn select(&mut self) -> Result<Select, SqlError> {
+        // Projection list.
+        let mut projection = Vec::new();
+        loop {
+            if self.peek().kind == TokenKind::Star {
+                self.advance();
+                projection.push(SelectItem::Star);
+            } else {
+                projection.push(SelectItem::Column(self.column()?));
+            }
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+
+        self.expect_keyword("from")?;
+        let from = self.expect_ident("a table name")?;
+
+        // Optional join.
+        let mut join = None;
+        let saw_inner = self.eat_keyword("inner");
+        if self.eat_keyword("join") {
+            let table = self.expect_ident("a table name")?;
+            self.expect_keyword("on")?;
+            let left = self.column()?;
+            self.expect(&TokenKind::Eq, "'=' in the join condition")?;
+            let right = self.column()?;
+            let span = left.span().to(right.span());
+            join = Some(Join {
+                table,
+                left,
+                right,
+                span,
+            });
+        } else if saw_inner {
+            let t = self.peek().clone();
+            return Err(SqlError::new(
+                format!("expected JOIN after INNER, found {}", t.kind.describe()),
+                t.span,
+            ));
+        }
+
+        // Optional WHERE with AND-chained predicates.
+        let mut predicates = Vec::new();
+        if self.eat_keyword("where") {
+            loop {
+                predicates.push(self.predicate()?);
+                if !self.eat_keyword("and") {
+                    break;
+                }
+            }
+        }
+
+        let mut group_by = None;
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            group_by = Some(self.column()?);
+        }
+        let mut order_by = None;
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            order_by = Some(self.column()?);
+        }
+        let mut limit = None;
+        if self.eat_keyword("limit") {
+            limit = Some(self.expect_number("a row limit")?.0);
+        }
+
+        Ok(Select {
+            projection,
+            from,
+            join,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn predicate(&mut self) -> Result<WherePred, SqlError> {
+        let column = self.column()?;
+        let start = column.span();
+        let t = self.advance();
+        let (form, end) = match t.kind {
+            TokenKind::Lt => {
+                let (b, s) = self.expect_number("an integer bound")?;
+                (PredForm::Below(b), s)
+            }
+            TokenKind::Ge => {
+                let (b, s) = self.expect_number("an integer bound")?;
+                (PredForm::AtLeast(b), s)
+            }
+            TokenKind::Percent => {
+                let (modulus, m_span) = self.expect_number("a modulus")?;
+                if modulus == 0 {
+                    return Err(SqlError::new("modulus must be positive", m_span));
+                }
+                self.expect(&TokenKind::Eq, "'=' after the modulus")?;
+                let (residue, s) = self.expect_number("a residue")?;
+                (PredForm::ModEq { modulus, residue }, s)
+            }
+            other => {
+                return Err(SqlError::new(
+                    format!(
+                        "expected a predicate operator (<, >=, %), found {}",
+                        other.describe()
+                    ),
+                    t.span,
+                ))
+            }
+        };
+        Ok(WherePred {
+            column,
+            form,
+            span: start.to(end),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_create() {
+        let stmt = parse("CREATE TABLE t AS WISCONSIN(10_000);").expect("parses");
+        assert_eq!(
+            stmt.describe(),
+            "create t as wisconsin(rows=10000, fanout=1, seed=42)\n"
+        );
+        let stmt = parse("create table v as wisconsin(1000, 4, 7)").expect("parses");
+        assert_eq!(
+            stmt.describe(),
+            "create v as wisconsin(rows=1000, fanout=4, seed=7)\n"
+        );
+    }
+
+    #[test]
+    fn golden_full_select() {
+        let stmt = parse(
+            "SELECT t.key, v.payload FROM t JOIN v ON t.key = v.key \
+             WHERE t.key < 500 AND t.key % 2 = 0 GROUP BY key ORDER BY key LIMIT 10;",
+        )
+        .expect("parses");
+        assert_eq!(
+            stmt.describe(),
+            "select\n\
+             \x20 project t.key, v.payload\n\
+             \x20 from t\n\
+             \x20 join v on t.key = v.key\n\
+             \x20 where t.key < 500\n\
+             \x20 where t.key % 2 = 0\n\
+             \x20 group by key\n\
+             \x20 order by key\n\
+             \x20 limit 10\n"
+        );
+    }
+
+    #[test]
+    fn golden_explain_and_simple_clauses() {
+        let stmt = parse("EXPLAIN SELECT * FROM t ORDER BY key").expect("parses");
+        assert_eq!(
+            stmt.describe(),
+            "explain select\n  project *\n  from t\n  order by key\n"
+        );
+        assert_eq!(parse("SHOW TABLES;").unwrap().describe(), "show tables\n");
+        assert_eq!(parse("DROP TABLE t;").unwrap().describe(), "drop t\n");
+        assert_eq!(
+            parse("SET threads = 4;").unwrap().describe(),
+            "set threads = 4\n"
+        );
+        assert_eq!(
+            parse("SELECT * FROM t WHERE key >= 100;")
+                .unwrap()
+                .describe(),
+            "select\n  project *\n  from t\n  where key >= 100\n"
+        );
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected_with_spans() {
+        let sql = "SELECT * FROM t; garbage";
+        let err = parse(sql).unwrap_err();
+        assert!(err.message.contains("trailing tokens"), "{}", err.message);
+        assert_eq!(&sql[err.span.start..err.span.end], "garbage");
+    }
+
+    #[test]
+    fn type_mismatch_points_at_the_literal() {
+        let sql = "SELECT * FROM t WHERE key < 'abc'";
+        let err = parse(sql).unwrap_err();
+        assert!(err.message.contains("type mismatch"), "{}", err.message);
+        assert_eq!(&sql[err.span.start..err.span.end], "'abc'");
+    }
+
+    #[test]
+    fn malformed_clauses_error_in_place() {
+        assert!(parse("SELECT FROM t").is_err());
+        let err = parse("SELECT * FROM t WHERE key = 5").unwrap_err();
+        assert!(err.message.contains("predicate operator"));
+        let err = parse("CREATE TABLE t AS WISCONSIN(0)").unwrap_err();
+        assert!(err.message.contains("row count must be positive"));
+        let err = parse("SELECT * FROM t WHERE key % 0 = 1").unwrap_err();
+        assert!(err.message.contains("modulus must be positive"));
+    }
+}

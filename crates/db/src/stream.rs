@@ -1,0 +1,260 @@
+//! Pull-based query results: nothing executes until the first batch is
+//! pulled, and rows are delivered in bounded [`RowBatch`]es instead of
+//! one eager materialization.
+//!
+//! A [`ResultStream`] owns everything it needs (catalog snapshot with
+//! shared table handles, device handle, its session's buffer pool), so
+//! it is free of borrows and can outlive the [`crate::Session`] call
+//! that produced it. Blocking operators still do their work all at once
+//! — that cost is real and counted — but it is deferred to the first
+//! pull, and delivery is incremental from then on.
+
+use crate::error::DbError;
+use crate::sql::{BoundQuery, RowShape};
+use planner::{
+    execute_stream, render_choices, render_concordance_stats, render_plan, Catalog, ExecutedStream,
+    OutputRows, PlannedQuery,
+};
+use pmem_sim::{BufferPool, IoStats, LayerKind, Pm};
+
+/// One batch of projected result rows (all attributes are `u64`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowBatch {
+    /// Projected column names, in output order.
+    pub columns: Vec<String>,
+    /// Row-major projected values.
+    pub rows: Vec<Vec<u64>>,
+}
+
+/// Post-execution traffic summary of one query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryStats {
+    /// Measured cacheline traffic of the run.
+    pub io: IoStats,
+    /// Simulated wall-clock seconds of the run.
+    pub secs: f64,
+    /// Rows delivered to the client (after LIMIT).
+    pub rows: u64,
+    /// Batches delivered to the client.
+    pub batches: u64,
+}
+
+/// A streaming query result.
+///
+/// Pull batches with [`ResultStream::next_batch`] (or the [`Iterator`]
+/// impl); once the stream is exhausted, [`ResultStream::stats`] reports
+/// the measured traffic and [`ResultStream::explain`] the full
+/// predicted-vs-measured report.
+#[derive(Debug)]
+pub struct ResultStream {
+    planned: PlannedQuery,
+    columns: Vec<String>,
+    projection: Vec<usize>,
+    shape: RowShape,
+    limit: Option<u64>,
+    batch_rows: usize,
+    catalog: Catalog,
+    dev: Pm,
+    layer: LayerKind,
+    pool: BufferPool,
+    state: State,
+    delivered: u64,
+    batches: u64,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Not yet executed; the first pull runs the plan.
+    Pending,
+    /// Executed; draining from `cursor`.
+    Open { run: ExecutedStream, cursor: usize },
+    /// Fully drained (or failed).
+    Done { io: IoStats, secs: f64 },
+}
+
+impl ResultStream {
+    pub(crate) fn new(
+        planned: PlannedQuery,
+        bound: &BoundQuery,
+        catalog: Catalog,
+        dev: Pm,
+        layer: LayerKind,
+        pool: BufferPool,
+        batch_rows: usize,
+    ) -> Self {
+        Self {
+            planned,
+            columns: bound.column_names(),
+            projection: bound.projection.clone(),
+            shape: bound.shape.clone(),
+            limit: bound.limit,
+            batch_rows: batch_rows.max(1),
+            catalog,
+            dev,
+            layer,
+            pool,
+            state: State::Pending,
+            delivered: 0,
+            batches: 0,
+        }
+    }
+
+    /// Projected column names, available before execution.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The planned query (chosen algorithms, knobs, predictions).
+    pub fn planned(&self) -> &PlannedQuery {
+        &self.planned
+    }
+
+    /// Pulls the next batch of rows. The first call executes the plan
+    /// (blocking operators run here — the cost is charged to the
+    /// device); subsequent calls drain the result incrementally. Returns
+    /// `Ok(None)` once exhausted (or once `LIMIT` rows were delivered).
+    ///
+    /// # Errors
+    /// Returns [`DbError::Exec`] when execution fails; the stream is
+    /// finished afterwards.
+    pub fn next_batch(&mut self) -> Result<Option<RowBatch>, DbError> {
+        loop {
+            match &mut self.state {
+                State::Pending => {
+                    match execute_stream(
+                        &self.planned,
+                        &self.catalog,
+                        &self.dev,
+                        self.layer,
+                        &self.pool,
+                    ) {
+                        Ok(run) => {
+                            self.state = State::Open { run, cursor: 0 };
+                        }
+                        Err(e) => {
+                            self.state = State::Done {
+                                io: IoStats::default(),
+                                secs: 0.0,
+                            };
+                            return Err(DbError::Exec(e));
+                        }
+                    }
+                }
+                State::Open { run, cursor } => {
+                    let remaining = match self.limit {
+                        Some(l) => (l.saturating_sub(self.delivered)) as usize,
+                        None => usize::MAX,
+                    };
+                    let want = self.batch_rows.min(remaining);
+                    let rows = if want == 0 {
+                        None
+                    } else {
+                        run.result.rows(*cursor, want)
+                    };
+                    match rows {
+                        Some(out) => {
+                            *cursor += out.len();
+                            self.delivered += out.len() as u64;
+                            self.batches += 1;
+                            let batch = RowBatch {
+                                columns: self.columns.clone(),
+                                rows: project_rows(&out, &self.projection),
+                            };
+                            return Ok(Some(batch));
+                        }
+                        None => {
+                            self.state = State::Done {
+                                io: run.stats,
+                                secs: run.secs,
+                            };
+                            return Ok(None);
+                        }
+                    }
+                }
+                State::Done { .. } => return Ok(None),
+            }
+        }
+    }
+
+    /// Drains every remaining batch, returning the total row count.
+    ///
+    /// # Errors
+    /// Propagates the first execution error.
+    pub fn drain(&mut self) -> Result<u64, DbError> {
+        while self.next_batch()?.is_some() {}
+        Ok(self.delivered)
+    }
+
+    /// Measured traffic and delivery counts — `Some` once the stream is
+    /// exhausted.
+    pub fn stats(&self) -> Option<QueryStats> {
+        match &self.state {
+            State::Done { io, secs } => Some(QueryStats {
+                io: *io,
+                secs: *secs,
+                rows: self.delivered,
+                batches: self.batches,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The explain report: chosen algorithms, knobs, per-node candidate
+    /// tables, the plan tree, predicted traffic — and, once the stream
+    /// has been drained, predicted-vs-measured concordance.
+    pub fn explain(&self) -> String {
+        let mut out = format!(
+            "knobs: λ = {}, M = {:.0} buffers, threads = {}, layer = {}\n",
+            self.planned.lambda,
+            self.planned.m_buffers,
+            self.planned.threads,
+            self.layer.label(),
+        );
+        out.push_str(&render_choices(&self.planned));
+        out.push_str(&render_plan(&self.planned));
+        if let State::Done { io, .. } = &self.state {
+            out.push_str(&render_concordance_stats(
+                &self.planned,
+                io,
+                &self.dev.config().latency,
+            ));
+        }
+        out
+    }
+}
+
+impl Iterator for ResultStream {
+    type Item = Result<RowBatch, DbError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_batch().transpose()
+    }
+}
+
+/// Expands each row into the shape's full column values, then projects.
+fn project_rows(out: &OutputRows, projection: &[usize]) -> Vec<Vec<u64>> {
+    use wisconsin::Record;
+    let full: Vec<Vec<u64>> = match out {
+        OutputRows::Wis(rows) => rows.iter().map(|r| vec![r.key(), r.payload()]).collect(),
+        OutputRows::Pairs(rows) => rows
+            .iter()
+            .map(|(l, r)| vec![l.key(), l.payload(), r.payload()])
+            .collect(),
+        OutputRows::Groups(rows) => rows
+            .iter()
+            .map(|g| vec![g.key, g.count, g.sum, g.min, g.max])
+            .collect(),
+    };
+    full.into_iter()
+        .map(|row| projection.iter().map(|&i| row[i]).collect())
+        .collect()
+}
+
+// `shape` drives header rendering for empty results in clients; keep it
+// reachable even though projection already fixed the column names.
+impl ResultStream {
+    /// The row shape of the (unprojected) result.
+    pub fn shape(&self) -> &RowShape {
+        &self.shape
+    }
+}

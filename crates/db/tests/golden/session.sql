@@ -1,0 +1,17 @@
+-- wlsql golden smoke session: create Wisconsin tables, stream a
+-- filtered scan, run join + group-by + order-by queries, and check
+-- EXPLAIN concordance. Threads are pinned first so the session is
+-- deterministic under any WL_THREADS.
+SET threads = 2;
+SET batch = 8;
+CREATE TABLE t AS WISCONSIN(2000);
+CREATE TABLE v AS WISCONSIN(2000, 4);
+SHOW TABLES;
+SELECT * FROM t WHERE key < 20 ORDER BY key LIMIT 18;
+SELECT key, count, sum FROM t JOIN v ON t.key = v.key WHERE t.key < 10 GROUP BY key ORDER BY key;
+SELECT t.key, v.payload FROM t JOIN v ON t.key = v.key WHERE t.key % 500 = 3 ORDER BY key;
+EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key WHERE t.key < 1000 GROUP BY key;
+SELECT * FROM missing;
+SELECT * FROM t WHERE key < 'abc';
+DROP TABLE t;
+SHOW TABLES;

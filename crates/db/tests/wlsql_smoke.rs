@@ -1,0 +1,47 @@
+//! End-to-end smoke test: pipe the scripted golden session through the
+//! `wlsql` binary and diff its stdout against the checked-in golden
+//! file — the same check CI runs as a shell step. The session pins
+//! `SET threads` up front, so the output is identical under any
+//! `WL_THREADS` (the CI matrix runs both serial and DoP 4).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+#[test]
+fn scripted_session_matches_the_golden_output() {
+    let sql = include_str!("golden/session.sql");
+    let expected = include_str!("golden/session.out");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_wlsql"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("wlsql starts");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(sql.as_bytes())
+        .expect("session written");
+    let out = child.wait_with_output().expect("wlsql exits");
+
+    assert!(out.status.success(), "wlsql failed: {:?}", out.status);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    if stdout != expected {
+        // Line-level diff for a readable failure.
+        let got: Vec<&str> = stdout.lines().collect();
+        let want: Vec<&str> = expected.lines().collect();
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g, w, "first divergence at golden line {}", i + 1);
+        }
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "output length differs (got {}, golden {})",
+            got.len(),
+            want.len()
+        );
+        panic!("outputs differ in trailing whitespace only");
+    }
+}

@@ -3,11 +3,16 @@
 //! A [`Catalog`] names Wisconsin-style base tables and carries the two
 //! things the planner needs per table: cardinality statistics (rows,
 //! record width, key domain) and — when the catalog is built for
-//! execution rather than pure planning — a reference to the actual
-//! persistent collection.
+//! execution rather than pure planning — a shared handle to the actual
+//! persistent collection. Bound tables are held as
+//! [`Arc<PCollection>`](std::sync::Arc), so a catalog is `Clone` and
+//! free of borrowed lifetimes: a database facade can own the base
+//! tables, hand cheap catalog snapshots to concurrent sessions, and let
+//! result streams outlive the call that produced them.
 
 use pmem_sim::{PCollection, CACHELINE};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use wisconsin::WisconsinRecord;
 
 /// Statistics of one base table.
@@ -41,19 +46,19 @@ impl TableStats {
 }
 
 /// One catalog entry: stats plus, optionally, the bound data.
-#[derive(Debug)]
-struct Table<'a> {
+#[derive(Clone, Debug)]
+struct Table {
     stats: TableStats,
-    data: Option<&'a PCollection<WisconsinRecord>>,
+    data: Option<Arc<PCollection<WisconsinRecord>>>,
 }
 
 /// Named base tables with statistics and (optionally) bound collections.
-#[derive(Debug, Default)]
-pub struct Catalog<'a> {
-    tables: BTreeMap<String, Table<'a>>,
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
 }
 
-impl<'a> Catalog<'a> {
+impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
         Self::default()
@@ -69,7 +74,7 @@ impl<'a> Catalog<'a> {
     pub fn add_table(
         &mut self,
         name: impl Into<String>,
-        data: &'a PCollection<WisconsinRecord>,
+        data: Arc<PCollection<WisconsinRecord>>,
         key_domain: u64,
     ) {
         let stats = TableStats {
@@ -86,14 +91,19 @@ impl<'a> Catalog<'a> {
         );
     }
 
+    /// Removes a table; returns whether it was registered.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.tables.remove(name).is_some()
+    }
+
     /// The table's statistics, if registered.
     pub fn stats(&self, name: &str) -> Option<&TableStats> {
         self.tables.get(name).map(|t| &t.stats)
     }
 
     /// The table's bound collection, if registered with data.
-    pub fn data(&self, name: &str) -> Option<&'a PCollection<WisconsinRecord>> {
-        self.tables.get(name).and_then(|t| t.data)
+    pub fn data(&self, name: &str) -> Option<&Arc<PCollection<WisconsinRecord>>> {
+        self.tables.get(name).and_then(|t| t.data.as_ref())
     }
 
     /// Registered table names, sorted.
@@ -118,18 +128,24 @@ mod tests {
     #[test]
     fn bound_tables_expose_stats_and_data() {
         let dev = PmDevice::paper_default();
-        let col = PCollection::from_records_uncounted(
+        let col = Arc::new(PCollection::from_records_uncounted(
             &dev,
             LayerKind::BlockedMemory,
             "T",
             (0..50).map(WisconsinRecord::from_key),
-        );
+        ));
         let mut cat = Catalog::new();
-        cat.add_table("T", &col, 50);
+        cat.add_table("T", Arc::clone(&col), 50);
         assert_eq!(cat.stats("T").unwrap().rows, 50);
         assert!(cat.data("T").is_some());
         assert!(cat.stats("missing").is_none());
         assert_eq!(cat.names(), vec!["T"]);
+        // Catalogs are cheap snapshots: clones share the bound data.
+        let snapshot = cat.clone();
+        assert!(Arc::ptr_eq(snapshot.data("T").unwrap(), &col));
+        assert!(cat.remove("T"));
+        assert!(!cat.remove("T"));
+        assert!(snapshot.data("T").is_some());
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl Planner {
     pub fn plan(
         &self,
         logical: &LogicalPlan,
-        catalog: &Catalog<'_>,
+        catalog: &Catalog,
     ) -> Result<PlannedQuery, PlanError> {
         let mut choices = Vec::new();
         let plan = self.plan_node(logical, catalog, &mut choices)?;
@@ -219,7 +219,7 @@ impl Planner {
     fn plan_node(
         &self,
         logical: &LogicalPlan,
-        catalog: &Catalog<'_>,
+        catalog: &Catalog,
         choices: &mut Vec<NodeChoice>,
     ) -> Result<PhysicalPlan, PlanError> {
         match logical {
@@ -265,7 +265,7 @@ impl Planner {
         child: PhysicalPlan,
         predicate: Predicate,
         logical_input: &LogicalPlan,
-        catalog: &Catalog<'_>,
+        catalog: &Catalog,
     ) -> PhysicalPlan {
         let key_domain = base_key_domain(logical_input, catalog);
         let selectivity = predicate.selectivity(key_domain);
@@ -604,7 +604,7 @@ impl Planner {
 
 /// Key domain of the base table(s) under a plan, for selectivity
 /// estimation.
-fn base_key_domain(logical: &LogicalPlan, catalog: &Catalog<'_>) -> u64 {
+fn base_key_domain(logical: &LogicalPlan, catalog: &Catalog) -> u64 {
     match logical {
         LogicalPlan::Scan { table } => catalog.stats(table).map_or(0, |s| s.key_domain),
         LogicalPlan::Filter { input, .. }
@@ -627,7 +627,7 @@ mod tests {
     use crate::catalog::TableStats;
     use write_limited::sort::SortAlgorithm;
 
-    fn catalog() -> Catalog<'static> {
+    fn catalog() -> Catalog {
         let mut c = Catalog::new();
         c.add_stats("T", TableStats::wisconsin(10_000));
         c.add_stats("V", TableStats::wisconsin(100_000));

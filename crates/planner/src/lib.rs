@@ -23,16 +23,17 @@
 //! ```
 //! use planner::{Catalog, LogicalPlan, Planner, Predicate};
 //! use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice};
+//! use std::sync::Arc;
 //!
 //! let dev = PmDevice::paper_default();
 //! let w = wisconsin::join_input(2_000, 4, 7);
-//! let t = PCollection::from_records_uncounted(
-//!     &dev, LayerKind::BlockedMemory, "T", w.left);
-//! let v = PCollection::from_records_uncounted(
-//!     &dev, LayerKind::BlockedMemory, "V", w.right);
+//! let t = Arc::new(PCollection::from_records_uncounted(
+//!     &dev, LayerKind::BlockedMemory, "T", w.left));
+//! let v = Arc::new(PCollection::from_records_uncounted(
+//!     &dev, LayerKind::BlockedMemory, "V", w.right));
 //! let mut catalog = Catalog::new();
-//! catalog.add_table("T", &t, 2_000);
-//! catalog.add_table("V", &v, 2_000);
+//! catalog.add_table("T", Arc::clone(&t), 2_000);
+//! catalog.add_table("V", Arc::clone(&v), 2_000);
 //!
 //! let query = LogicalPlan::scan("T")
 //!     .filter(Predicate::KeyBelow(1_000))
@@ -62,7 +63,9 @@ pub mod report;
 pub use catalog::{Catalog, TableStats};
 pub use enumerate::{Candidate, NodeChoice, PlanError, PlannedQuery, Planner};
 pub use logical::{LogicalPlan, Predicate};
-pub use lower::{execute, ExecError, Executed, OutputRows, WisPair};
+pub use lower::{
+    execute, execute_stream, ExecError, Executed, ExecutedStream, OutputRows, ResultSet, WisPair,
+};
 pub use naive::execute_naive;
 pub use physical::{Materialization, NodeCost, PhysicalPlan};
-pub use report::{render_choices, render_concordance, render_plan};
+pub use report::{render_choices, render_concordance, render_concordance_stats, render_plan};

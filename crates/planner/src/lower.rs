@@ -8,12 +8,18 @@
 //! the counted device. Deferred filters are lowered onto the §3.1
 //! runtime ([`DeferredFilter`] + [`filtered_iterate_join`]), which
 //! re-filters the source per pass instead of writing the view.
+//!
+//! Two entry points share the machinery: [`execute_stream`] runs the
+//! plan and hands back an owned [`ResultSet`] that clients drain in
+//! batches (the `wl-db` facade's streaming path), while [`execute`]
+//! drains it eagerly into [`OutputRows`] for tests and harnesses.
 
 use crate::catalog::Catalog;
 use crate::enumerate::{PlanError, PlannedQuery};
 use crate::logical::Predicate;
 use crate::physical::{Materialization, PhysicalPlan};
 use pmem_sim::{BufferPool, IoStats, LayerKind, Pm, PmError};
+use std::sync::Arc;
 use wisconsin::{Pair, Record, WisconsinRecord};
 use wl_runtime::OpCtx;
 use write_limited::agg::{sort_based_aggregate, GroupAgg};
@@ -55,8 +61,8 @@ impl From<PmError> for ExecError {
 }
 
 /// The rows a plan produced, drained to DRAM (uncounted) for
-/// verification. Pairs are normalized to logical order (build-side
-/// swaps undone).
+/// verification or client delivery. Pairs are normalized to logical
+/// order (build-side swaps undone).
 #[derive(Clone, Debug, PartialEq)]
 pub enum OutputRows {
     /// Base records.
@@ -107,7 +113,119 @@ impl OutputRows {
     }
 }
 
-/// One measured plan execution.
+/// A shared-or-owned Wisconsin collection: base tables come out of the
+/// catalog as shared [`Arc`] handles, intermediates are owned.
+#[derive(Debug)]
+enum WisSource {
+    Shared(Arc<pmem_sim::PCollection<WisconsinRecord>>),
+    Owned(pmem_sim::PCollection<WisconsinRecord>),
+}
+
+impl WisSource {
+    fn as_col(&self) -> &pmem_sim::PCollection<WisconsinRecord> {
+        match self {
+            WisSource::Shared(c) => c,
+            WisSource::Owned(c) => c,
+        }
+    }
+}
+
+/// The materialized output of one plan execution, owned (no borrows on
+/// the catalog) so it can be drained incrementally after the call that
+/// produced it returns.
+#[derive(Debug)]
+pub enum ResultSet {
+    /// Base records.
+    Wis(WisResult),
+    /// Joined pairs; `swapped` records whether the physical build side
+    /// was the logical right (undone when rows are drained).
+    Pairs {
+        /// The joined output collection.
+        col: pmem_sim::PCollection<WisPair>,
+        /// True when build and probe sides were swapped by the planner.
+        swapped: bool,
+    },
+    /// Aggregation groups.
+    Groups(pmem_sim::PCollection<GroupAgg>),
+}
+
+/// Base-record result payload (shared base table or owned intermediate).
+#[derive(Debug)]
+pub struct WisResult(WisSource);
+
+impl ResultSet {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ResultSet::Wis(w) => w.0.as_col().len(),
+            ResultSet::Pairs { col, .. } => col.len(),
+            ResultSet::Groups(col) => col.len(),
+        }
+    }
+
+    /// True when the result holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains rows `[start, start + max)` (clamped to the result length)
+    /// into DRAM without charging reads — result delivery to the client
+    /// sits outside the simulated cost model, which already charged the
+    /// run that produced the collection. Returns `None` once `start` is
+    /// past the end; pair rows are normalized to logical order.
+    pub fn rows(&self, start: usize, max: usize) -> Option<OutputRows> {
+        let len = self.len();
+        if start >= len {
+            return None;
+        }
+        let end = start.saturating_add(max).min(len);
+        Some(match self {
+            ResultSet::Wis(w) => OutputRows::Wis(w.0.as_col().range_to_vec_uncounted(start, end)),
+            ResultSet::Pairs { col, swapped } => OutputRows::Pairs(
+                col.range_to_vec_uncounted(start, end)
+                    .into_iter()
+                    .map(|p| {
+                        if *swapped {
+                            (p.right, p.left)
+                        } else {
+                            (p.left, p.right)
+                        }
+                    })
+                    .collect(),
+            ),
+            ResultSet::Groups(col) => OutputRows::Groups(col.range_to_vec_uncounted(start, end)),
+        })
+    }
+
+    /// Drains every row at once (the eager path).
+    pub fn all_rows(&self) -> OutputRows {
+        let len = self.len();
+        self.rows(0, len).unwrap_or_else(|| self.empty_rows())
+    }
+
+    /// An empty [`OutputRows`] of this result's shape.
+    pub fn empty_rows(&self) -> OutputRows {
+        match self {
+            ResultSet::Wis(_) => OutputRows::Wis(Vec::new()),
+            ResultSet::Pairs { .. } => OutputRows::Pairs(Vec::new()),
+            ResultSet::Groups(_) => OutputRows::Groups(Vec::new()),
+        }
+    }
+}
+
+/// One measured plan execution with the result left un-drained: the
+/// streaming entry point's return value.
+#[derive(Debug)]
+pub struct ExecutedStream {
+    /// The produced rows, owned and drainable in batches.
+    pub result: ResultSet,
+    /// Cacheline traffic the run charged to the device.
+    pub stats: IoStats,
+    /// Simulated wall-clock seconds of the run.
+    pub secs: f64,
+}
+
+/// One measured plan execution, eagerly drained.
 #[derive(Clone, Debug)]
 pub struct Executed {
     /// The produced rows (drained uncounted).
@@ -119,9 +237,8 @@ pub struct Executed {
 }
 
 /// Intermediate result of one plan subtree.
-enum Stream<'a> {
-    Borrowed(&'a pmem_sim::PCollection<WisconsinRecord>),
-    Wis(pmem_sim::PCollection<WisconsinRecord>),
+enum Stream {
+    Wis(WisSource),
     Pairs {
         col: pmem_sim::PCollection<WisPair>,
         swapped: bool,
@@ -130,18 +247,19 @@ enum Stream<'a> {
 }
 
 /// Executes a planned query against the catalog's bound tables,
-/// measuring the traffic between entry and exit.
+/// measuring the traffic between entry and exit, and returns the result
+/// as an owned, batch-drainable [`ResultSet`].
 ///
 /// # Errors
 /// Returns [`ExecError`] when a table has no data bound or an algorithm
 /// rejects its inputs.
-pub fn execute(
+pub fn execute_stream(
     planned: &PlannedQuery,
-    catalog: &Catalog<'_>,
+    catalog: &Catalog,
     dev: &Pm,
     layer: LayerKind,
     pool: &BufferPool,
-) -> Result<Executed, ExecError> {
+) -> Result<ExecutedStream, ExecError> {
     let mut lowerer = Lowerer {
         catalog,
         dev,
@@ -153,32 +271,41 @@ pub fn execute(
     let before = dev.snapshot();
     let result = lowerer.eval(&planned.plan)?;
     let stats = dev.snapshot().since(&before);
-    let output = match result {
-        Stream::Borrowed(col) => OutputRows::Wis(col.to_vec_uncounted()),
-        Stream::Wis(col) => OutputRows::Wis(col.to_vec_uncounted()),
-        Stream::Pairs { col, swapped } => OutputRows::Pairs(
-            col.to_vec_uncounted()
-                .into_iter()
-                .map(|p| {
-                    if swapped {
-                        (p.right, p.left)
-                    } else {
-                        (p.left, p.right)
-                    }
-                })
-                .collect(),
-        ),
-        Stream::Groups(col) => OutputRows::Groups(col.to_vec_uncounted()),
+    let result = match result {
+        Stream::Wis(src) => ResultSet::Wis(WisResult(src)),
+        Stream::Pairs { col, swapped } => ResultSet::Pairs { col, swapped },
+        Stream::Groups(col) => ResultSet::Groups(col),
     };
-    Ok(Executed {
-        output,
+    Ok(ExecutedStream {
+        result,
         secs: stats.time_secs(&dev.config().latency),
         stats,
     })
 }
 
-struct Lowerer<'a, 'c> {
-    catalog: &'a Catalog<'c>,
+/// Executes a planned query and drains every row — [`execute_stream`]
+/// plus an eager drain, for tests and harnesses.
+///
+/// # Errors
+/// Returns [`ExecError`] when a table has no data bound or an algorithm
+/// rejects its inputs.
+pub fn execute(
+    planned: &PlannedQuery,
+    catalog: &Catalog,
+    dev: &Pm,
+    layer: LayerKind,
+    pool: &BufferPool,
+) -> Result<Executed, ExecError> {
+    let run = execute_stream(planned, catalog, dev, layer, pool)?;
+    Ok(Executed {
+        output: run.result.all_rows(),
+        stats: run.stats,
+        secs: run.secs,
+    })
+}
+
+struct Lowerer<'a> {
+    catalog: &'a Catalog,
     dev: &'a Pm,
     layer: LayerKind,
     pool: &'a BufferPool,
@@ -188,20 +315,20 @@ struct Lowerer<'a, 'c> {
     fresh: u64,
 }
 
-impl<'a, 'c> Lowerer<'a, 'c> {
+impl<'a> Lowerer<'a> {
     fn name(&mut self, prefix: &str) -> String {
         self.fresh += 1;
         format!("{prefix}-{}", self.fresh)
     }
 
-    fn eval(&mut self, plan: &PhysicalPlan) -> Result<Stream<'c>, ExecError> {
+    fn eval(&mut self, plan: &PhysicalPlan) -> Result<Stream, ExecError> {
         match plan {
             PhysicalPlan::Scan { table, .. } => {
                 let col = self
                     .catalog
                     .data(table)
                     .ok_or_else(|| ExecError::MissingData(table.clone()))?;
-                Ok(Stream::Borrowed(col))
+                Ok(Stream::Wis(WisSource::Shared(Arc::clone(col))))
             }
             PhysicalPlan::Filter {
                 input, predicate, ..
@@ -233,11 +360,7 @@ impl<'a, 'c> Lowerer<'a, 'c> {
 
     /// Lowers a filter as a Volcano `scan → filter` chain staged into a
     /// fresh persistent collection.
-    fn filter_stream(
-        &mut self,
-        child: Stream<'c>,
-        predicate: Predicate,
-    ) -> Result<Stream<'c>, ExecError> {
+    fn filter_stream(&mut self, child: Stream, predicate: Predicate) -> Result<Stream, ExecError> {
         fn run<R: Record>(
             col: &pmem_sim::PCollection<R>,
             predicate: Predicate,
@@ -250,12 +373,13 @@ impl<'a, 'c> Lowerer<'a, 'c> {
         }
         let name = self.name("filtered");
         match child {
-            Stream::Borrowed(col) => Ok(Stream::Wis(run(
-                col, predicate, self.dev, self.layer, &name,
-            )?)),
-            Stream::Wis(col) => Ok(Stream::Wis(run(
-                &col, predicate, self.dev, self.layer, &name,
-            )?)),
+            Stream::Wis(src) => Ok(Stream::Wis(WisSource::Owned(run(
+                src.as_col(),
+                predicate,
+                self.dev,
+                self.layer,
+                &name,
+            )?))),
             Stream::Pairs { col, swapped } => Ok(Stream::Pairs {
                 col: run(&col, predicate, self.dev, self.layer, &name)?,
                 swapped,
@@ -266,16 +390,15 @@ impl<'a, 'c> Lowerer<'a, 'c> {
         }
     }
 
-    fn sort_stream(
-        &mut self,
-        child: Stream<'c>,
-        algo: SortAlgorithm,
-    ) -> Result<Stream<'c>, ExecError> {
+    fn sort_stream(&mut self, child: Stream, algo: SortAlgorithm) -> Result<Stream, ExecError> {
         let ctx = SortContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("sorted");
         match child {
-            Stream::Borrowed(col) => Ok(Stream::Wis(algo.run(col, &ctx, &name)?)),
-            Stream::Wis(col) => Ok(Stream::Wis(algo.run(&col, &ctx, &name)?)),
+            Stream::Wis(src) => Ok(Stream::Wis(WisSource::Owned(algo.run(
+                src.as_col(),
+                &ctx,
+                &name,
+            )?))),
             Stream::Pairs { col, swapped } => Ok(Stream::Pairs {
                 col: algo.run(&col, &ctx, &name)?,
                 swapped,
@@ -290,7 +413,7 @@ impl<'a, 'c> Lowerer<'a, 'c> {
         right: &PhysicalPlan,
         algo: write_limited::join::JoinAlgorithm,
         swapped: bool,
-    ) -> Result<Stream<'c>, ExecError> {
+    ) -> Result<Stream, ExecError> {
         let ctx = JoinContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("joined");
 
@@ -304,7 +427,7 @@ impl<'a, 'c> Lowerer<'a, 'c> {
         } = left
         {
             let src = match self.eval(input)? {
-                Stream::Borrowed(col) => col,
+                Stream::Wis(WisSource::Shared(col)) => col,
                 _ => {
                     return Err(ExecError::Plan(PlanError::Unsupported(
                         "deferred filter over a non-base input".into(),
@@ -314,8 +437,9 @@ impl<'a, 'c> Lowerer<'a, 'c> {
             let probe = self.eval_to_wis(right)?;
             let mut rt = OpCtx::new(self.dev.lambda());
             let p = *predicate;
-            let mut filter = DeferredFilter::new(src, move |r| p.matches(r), *selectivity, &mut rt);
-            let out = filtered_iterate_join(&mut filter, probe.as_ref(), &ctx, &mut rt, &name)?;
+            let mut filter =
+                DeferredFilter::new(&src, move |r| p.matches(r), *selectivity, &mut rt);
+            let out = filtered_iterate_join(&mut filter, probe.as_col(), &ctx, &mut rt, &name)?;
             return Ok(Stream::Pairs {
                 col: out,
                 swapped: false,
@@ -325,31 +449,31 @@ impl<'a, 'c> Lowerer<'a, 'c> {
         let build = self.eval_to_wis(left)?;
         let probe = self.eval_to_wis(right)?;
         let (b, p) = if swapped {
-            (probe.as_ref(), build.as_ref())
+            (probe.as_col(), build.as_col())
         } else {
-            (build.as_ref(), probe.as_ref())
+            (build.as_col(), probe.as_col())
         };
         let out = algo.run(b, p, &ctx, &name)?;
         Ok(Stream::Pairs { col: out, swapped })
     }
 
     /// Evaluates a subtree that must produce base records (join inputs).
-    fn eval_to_wis(&mut self, plan: &PhysicalPlan) -> Result<WisHandle<'c>, ExecError> {
+    fn eval_to_wis(&mut self, plan: &PhysicalPlan) -> Result<WisSource, ExecError> {
         match self.eval(plan)? {
-            Stream::Borrowed(col) => Ok(WisHandle::Borrowed(col)),
-            Stream::Wis(col) => Ok(WisHandle::Owned(col)),
+            Stream::Wis(src) => Ok(src),
             _ => Err(ExecError::Plan(PlanError::Unsupported(
                 "join inputs must produce base records".into(),
             ))),
         }
     }
 
-    fn aggregate_stream(&mut self, child: Stream<'c>, x: f64) -> Result<Stream<'c>, ExecError> {
+    fn aggregate_stream(&mut self, child: Stream, x: f64) -> Result<Stream, ExecError> {
         let ctx = SortContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("groups");
         let out = match child {
-            Stream::Borrowed(col) => sort_based_aggregate(col, x, |r| r.payload(), &ctx, &name)?,
-            Stream::Wis(col) => sort_based_aggregate(&col, x, |r| r.payload(), &ctx, &name)?,
+            Stream::Wis(src) => {
+                sort_based_aggregate(src.as_col(), x, |r| r.payload(), &ctx, &name)?
+            }
             Stream::Pairs { col, swapped } => {
                 if swapped {
                     sort_based_aggregate(&col, x, |p| p.left.payload(), &ctx, &name)?
@@ -364,20 +488,5 @@ impl<'a, 'c> Lowerer<'a, 'c> {
             }
         };
         Ok(Stream::Groups(out))
-    }
-}
-
-/// Borrowed-or-owned Wisconsin collection.
-enum WisHandle<'c> {
-    Borrowed(&'c pmem_sim::PCollection<WisconsinRecord>),
-    Owned(pmem_sim::PCollection<WisconsinRecord>),
-}
-
-impl<'c> WisHandle<'c> {
-    fn as_ref(&self) -> &pmem_sim::PCollection<WisconsinRecord> {
-        match self {
-            WisHandle::Borrowed(c) => c,
-            WisHandle::Owned(c) => c,
-        }
     }
 }

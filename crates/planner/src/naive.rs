@@ -16,14 +16,11 @@ use write_limited::agg::GroupAgg;
 /// Returns [`ExecError`] for unknown/unbound tables or shapes outside
 /// the supported algebra (joins over non-base inputs, nested
 /// aggregates).
-pub fn execute_naive(
-    logical: &LogicalPlan,
-    catalog: &Catalog<'_>,
-) -> Result<OutputRows, ExecError> {
+pub fn execute_naive(logical: &LogicalPlan, catalog: &Catalog) -> Result<OutputRows, ExecError> {
     eval(logical, catalog)
 }
 
-fn eval(logical: &LogicalPlan, catalog: &Catalog<'_>) -> Result<OutputRows, ExecError> {
+fn eval(logical: &LogicalPlan, catalog: &Catalog) -> Result<OutputRows, ExecError> {
     match logical {
         LogicalPlan::Scan { table } => {
             let col = catalog
@@ -119,12 +116,21 @@ mod tests {
     fn naive_join_aggregate_counts_fanout() {
         let dev = PmDevice::paper_default();
         let w = wisconsin::join_input(20, 3, 1);
-        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
-        let right =
-            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let left = std::sync::Arc::new(PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            w.left,
+        ));
+        let right = std::sync::Arc::new(PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "V",
+            w.right,
+        ));
         let mut cat = Catalog::new();
-        cat.add_table("T", &left, 20);
-        cat.add_table("V", &right, 20);
+        cat.add_table("T", left, 20);
+        cat.add_table("V", right, 20);
 
         let logical = LogicalPlan::scan("T")
             .join(LogicalPlan::scan("V"))
@@ -140,14 +146,14 @@ mod tests {
     #[test]
     fn naive_filter_sort_orders_survivors() {
         let dev = PmDevice::paper_default();
-        let input = PCollection::from_records_uncounted(
+        let input = std::sync::Arc::new(PCollection::from_records_uncounted(
             &dev,
             LayerKind::BlockedMemory,
             "T",
             wisconsin::sort_input(100, wisconsin::KeyOrder::Random, 3),
-        );
+        ));
         let mut cat = Catalog::new();
-        cat.add_table("T", &input, 100);
+        cat.add_table("T", input, 100);
         let logical = LogicalPlan::scan("T")
             .filter(Predicate::KeyBelow(40))
             .sort();

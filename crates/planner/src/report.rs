@@ -41,8 +41,18 @@ pub fn render_concordance(
     executed: &Executed,
     latency: &LatencyProfile,
 ) -> String {
+    render_concordance_stats(planned, &executed.stats, latency)
+}
+
+/// [`render_concordance`] from raw measured traffic — the form streaming
+/// consumers (which never materialize an [`Executed`]) use.
+pub fn render_concordance_stats(
+    planned: &PlannedQuery,
+    measured: &pmem_sim::IoStats,
+    latency: &LatencyProfile,
+) -> String {
     let p = planned.predicted;
-    let m = &executed.stats;
+    let m = measured;
     let ratio = |pred: f64, meas: u64| {
         if meas == 0 {
             if pred == 0.0 {

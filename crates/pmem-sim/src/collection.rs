@@ -233,6 +233,15 @@ impl<R: Storable> PCollection<R> {
         self.reader().collect()
     }
 
+    /// Reads records `[start, end)` into a DRAM vector **without**
+    /// charging reads — the result-delivery path streaming consumers use
+    /// to hand batches to the client outside the simulated cost model
+    /// (the run that *produced* the collection was already counted).
+    pub fn range_to_vec_uncounted(&self, start: usize, end: usize) -> Vec<R> {
+        let _pause = self.dev.metrics().pause();
+        self.range_reader(start, end).collect()
+    }
+
     /// Builds a collection from `records` **without** charging writes.
     ///
     /// The paper factors the cost of loading input data out of its reported

@@ -15,4 +15,6 @@ pub mod workload;
 pub use distributions::Zipf;
 pub use permute::Permutation;
 pub use record::{Pair, Record, WisconsinRecord, WISCONSIN_ATTRS};
-pub use workload::{join_input, join_input_skewed, sort_input, JoinWorkload, KeyOrder};
+pub use workload::{
+    join_input, join_input_skewed, join_right_input, sort_input, JoinWorkload, KeyOrder,
+};

@@ -84,19 +84,27 @@ pub fn join_input(t_len: u64, fanout: u64, seed: u64) -> JoinWorkload {
     assert!(t_len > 0 && fanout > 0, "degenerate join workload");
     let left_perm = Permutation::new(t_len, seed);
     let left: Vec<WisconsinRecord> = left_perm.iter().map(WisconsinRecord::from_key).collect();
-
-    let v_len = t_len * fanout;
-    let right_perm = Permutation::new(v_len, seed ^ 0xdead_beef);
-    let right: Vec<WisconsinRecord> = right_perm
-        .iter()
-        .map(|i| WisconsinRecord::from_key(i % t_len).with_payload(i))
-        .collect();
+    let right = join_right_input(t_len, fanout, seed);
 
     JoinWorkload {
+        expected_matches: right.len() as u64,
         left,
         right,
-        expected_matches: v_len,
     }
+}
+
+/// Just the right side of [`join_input`]: `t_len · fanout` permuted
+/// records, `fanout` per key in `[0, t_len)`, payloads distinguishing
+/// the copies. For callers that only need a fanout table (e.g.
+/// `CREATE TABLE … AS WISCONSIN(n, f)`), this skips generating and
+/// discarding the left side.
+pub fn join_right_input(t_len: u64, fanout: u64, seed: u64) -> Vec<WisconsinRecord> {
+    assert!(t_len > 0 && fanout > 0, "degenerate join workload");
+    let v_len = t_len * fanout;
+    Permutation::new(v_len, seed ^ 0xdead_beef)
+        .iter()
+        .map(|i| WisconsinRecord::from_key(i % t_len).with_payload(i))
+        .collect()
 }
 
 /// Join workload with Zipf-skewed right-side key frequencies; some left

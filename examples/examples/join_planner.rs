@@ -1,25 +1,24 @@
 //! Cost-model-driven join planning, end to end: the Fig. 2 heatmap
 //! intuition (Eq. 6 surface), the §4.2.3 informed choice — now made by
-//! the plan enumerator over the whole candidate field — and a measured
-//! run of the winning plan.
+//! the plan enumerator over the whole candidate field, reached through
+//! the `wl-db` facade — and a measured run of the winning plan.
 //!
 //! ```text
 //! cargo run -p wl-examples --example join_planner
 //! ```
 
-use planner::{execute, Catalog, LogicalPlan, Planner};
-use pmem_sim::{BufferPool, LatencyProfile, LayerKind, PCollection, PmDevice};
-use wisconsin::join_input;
+use pmem_sim::LatencyProfile;
+use wl_db::Database;
 use write_limited::cost::join_costs;
 
 fn main() {
     let t_records = 10_000u64;
     let fanout = 10u64;
-    let mem_fraction = 0.05;
+    let mem_records = (t_records as f64 * 0.05) as usize; // M = 5% of |T|
 
     let t = (t_records * 80).div_ceil(64) as f64;
     let v = t * fanout as f64;
-    let m = t * mem_fraction;
+    let m = t * 0.05;
     let lambda = LatencyProfile::PCM.lambda();
 
     // Where Eq. 6's surface bottoms out (the Fig. 2 intuition).
@@ -28,34 +27,28 @@ fn main() {
     let (sx, sy) = join_costs::hybrid_saddle(t, v, m, lambda);
     println!("Eqs. 7–8 saddle point: x_h = {sx:.3}, y_h = {sy:.3} (a saddle, not a minimum)\n");
 
-    // The informed choice, now at plan level: enumerate every algorithm
-    // in both build orders, rank by the cost models, run the winner.
-    let dev = PmDevice::paper_default();
-    let w = join_input(t_records, fanout, 3);
-    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
-    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
-    let mut catalog = Catalog::new();
-    catalog.add_table("T", &left, t_records);
-    catalog.add_table("V", &right, t_records);
+    // The informed choice, now at plan level behind the facade: the
+    // session enumerates every algorithm in both build orders, ranks by
+    // the cost models, runs the winner, and streams the matches back.
+    let db = Database::builder().dram_records(mem_records).build();
+    let mut session = db.session();
+    session
+        .execute("CREATE TABLE t AS WISCONSIN(10_000, 1, 3)")
+        .expect("t loads");
+    session
+        .execute("CREATE TABLE v AS WISCONSIN(10_000, 10, 3)")
+        .expect("v loads");
 
-    let pool = BufferPool::fraction_of(left.bytes(), mem_fraction);
-    let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
-    let query = LogicalPlan::scan("T").join(LogicalPlan::scan("V"));
-    let planned = planner.plan(&query, &catalog).expect("query plans");
+    let mut stream = session
+        .query("SELECT * FROM t JOIN v ON t.key = v.key")
+        .expect("query plans");
+    let matches = stream.drain().expect("query runs");
+    assert_eq!(matches, t_records * fanout);
 
-    print!("{}", planner::render_choices(&planned));
-    print!("{}", planner::render_plan(&planned));
-
-    let run = execute(&planned, &catalog, &dev, LayerKind::BlockedMemory, &pool)
-        .expect("planner only proposes applicable plans");
-    assert_eq!(run.output.len() as u64, w.expected_matches);
+    let stats = stream.stats().expect("drained");
     println!(
-        "\nmeasured: {} matches in {:.3}s simulated",
-        run.output.len(),
-        run.secs
+        "measured: {} matches in {:.3}s simulated\n",
+        stats.rows, stats.secs
     );
-    print!(
-        "{}",
-        planner::render_concordance(&planned, &run, &dev.config().latency)
-    );
+    print!("{}", stream.explain());
 }

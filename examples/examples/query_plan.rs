@@ -1,63 +1,59 @@
-//! Cost-based planning of a composed query over the write-limited
-//! operators:
+//! Cost-based planning of a composed query, driven entirely through the
+//! `wl-db` facade:
 //!
 //! ```sql
-//! SELECT l.key, COUNT(*), SUM(r.payload)
-//! FROM   T l JOIN V r ON l.key = r.key
-//! WHERE  l.key < 5000        -- pushed below the join
-//! GROUP  BY l.key
+//! SELECT key, count, sum
+//! FROM   t JOIN v ON t.key = v.key
+//! WHERE  t.key < 5000        -- pushed below the join
+//! GROUP  BY key
 //! ```
 //!
-//! The planner enumerates every applicable sort/join algorithm and knob
-//! for the plan's nodes, costs them with the paper's Eqs. 1–11 under
-//! the device's λ, picks the cheapest physical plan, lowers it onto the
-//! Volcano operators, runs it against the simulator, and reports
-//! predicted vs measured cacheline traffic. Running the same query at a
-//! symmetric write latency changes the chosen plan — the paper's core
-//! claim, at plan granularity.
+//! The session parses the SQL, the planner enumerates every applicable
+//! sort/join algorithm and knob, costs them with the paper's Eqs. 1–11
+//! under the device's λ, lowers the winner onto the Volcano operators,
+//! and the result streams back with predicted vs measured cacheline
+//! traffic. Running the same query on a device with symmetric write
+//! latency changes the chosen plan — the paper's core claim, at plan
+//! granularity.
 //!
 //! ```text
 //! cargo run -p wl-examples --example query_plan
 //! ```
 
-use planner::{execute, Catalog, LogicalPlan, Planner, Predicate};
-use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PCollection, PmDevice};
-use wisconsin::join_input;
+use wl_db::Database;
 
 fn plan_and_run(lambda: f64) -> String {
-    let latency = LatencyProfile::with_lambda(10.0, lambda);
-    let dev = PmDevice::new(DeviceConfig::paper_default().with_latency(latency));
-    let w = join_input(10_000, 10, 5);
-    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
-    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
-    let mut catalog = Catalog::new();
-    catalog.add_table("T", &left, 10_000);
-    catalog.add_table("V", &right, 10_000);
+    let db = Database::builder()
+        .lambda(lambda)
+        // M small enough that the build side takes several passes — the
+        // regime where the write/read ratio decides between partitioning
+        // (write-heavy, few passes) and iterating (read-heavy, no writes).
+        .dram_records(1_000)
+        .build();
+    let mut session = db.session();
+    session
+        .execute("CREATE TABLE t AS WISCONSIN(10_000, 1, 5)")
+        .expect("t loads");
+    session
+        .execute("CREATE TABLE v AS WISCONSIN(10_000, 10, 5)")
+        .expect("v loads");
 
-    let query = LogicalPlan::scan("T")
-        .filter(Predicate::KeyBelow(5_000))
-        .join(LogicalPlan::scan("V"))
-        .aggregate();
-
-    // M small enough that the build side takes several passes — the
-    // regime where the write/read ratio decides between partitioning
-    // (write-heavy, few passes) and iterating (read-heavy, no writes).
-    let pool = BufferPool::new(1_000 * 80);
-    let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
-    let planned = planner.plan(&query, &catalog).expect("query plans");
+    let mut stream = session
+        .query(
+            "SELECT key, count, sum FROM t JOIN v ON t.key = v.key \
+             WHERE t.key < 5_000 GROUP BY key",
+        )
+        .expect("query plans");
+    let rows = stream.drain().expect("query runs");
+    assert_eq!(rows, 5_000, "one group per surviving key");
 
     println!("=== λ = {lambda} ===");
-    print!("{}", planner::render_choices(&planned));
-    print!("{}", planner::render_plan(&planned));
-
-    let run = execute(&planned, &catalog, &dev, LayerKind::BlockedMemory, &pool)
-        .expect("planner only proposes executable plans");
-    assert_eq!(run.output.len(), 5_000, "one group per surviving key");
-    print!("{}", planner::render_concordance(&planned, &run, &latency));
+    print!("{}", stream.explain());
     println!();
 
     // The join choice is what the λ sweep steers; return its label.
-    planned
+    stream
+        .planned()
         .choices
         .iter()
         .find(|c| c.node.starts_with("join"))
@@ -68,7 +64,7 @@ fn plan_and_run(lambda: f64) -> String {
 fn main() {
     // The paper's PCM profile (λ = 15) vs a symmetric medium (λ = 1):
     // same query, same data, different winning plan.
-    let at_pcm = plan_and_run(LatencyProfile::PCM.lambda());
+    let at_pcm = plan_and_run(15.0);
     let at_symmetric = plan_and_run(1.0);
     println!("chosen join at λ=15: {at_pcm}");
     println!("chosen join at λ=1:  {at_symmetric}");

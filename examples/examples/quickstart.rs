@@ -1,58 +1,57 @@
-//! Quickstart: sort and join on a simulated persistent-memory device,
-//! reporting response time and cacheline traffic.
+//! Quickstart: the `wl-db` facade end to end — create Wisconsin tables,
+//! stream a sorted scan, run a join, and read the measured cacheline
+//! traffic of each query on a simulated persistent-memory device.
 //!
 //! ```text
 //! cargo run -p wl-examples --example quickstart
 //! ```
 
-use pmem_sim::{BufferPool, LayerKind, PCollection, PmDevice};
-use wisconsin::{join_input, sort_input, KeyOrder};
-use write_limited::join::{lazy_hash_join, JoinContext};
-use write_limited::sort::{segment_sort, SortContext};
+use wl_db::Database;
 
 fn main() {
-    // A device with the paper's PCM profile: 10 ns reads, 150 ns writes.
-    let dev = PmDevice::paper_default();
-    println!("medium: λ = {} (write/read cost ratio)", dev.lambda());
-
-    // ---- Sort ----
-    let input = PCollection::from_records_uncounted(
-        &dev,
-        LayerKind::BlockedMemory,
-        "T",
-        sort_input(50_000, KeyOrder::Random, 42),
-    );
-    // M = 5% of the input.
-    let pool = BufferPool::fraction_of(input.bytes(), 0.05);
-    let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
-
-    let before = dev.snapshot();
-    let sorted = segment_sort(&input, 0.5, &ctx, "sorted").expect("x in [0,1]");
-    let stats = dev.snapshot().since(&before);
-    assert_eq!(sorted.len(), 50_000);
+    // A database on the paper's PCM profile: 10 ns reads, 150 ns writes
+    // (λ = 15), with M = 2500 records of DRAM per session.
+    let db = Database::builder().dram_records(2_500).build();
     println!(
-        "segment sort (x = 50%): {:.3}s simulated, {} cacheline writes, {} reads",
-        stats.time_secs(&dev.config().latency),
-        stats.cl_writes,
-        stats.cl_reads,
+        "medium: λ = {} (write/read cost ratio)",
+        db.device().lambda()
     );
 
-    // ---- Join ----
-    let w = join_input(10_000, 10, 7);
-    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "L", w.left);
-    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "R", w.right);
-    let pool = BufferPool::fraction_of(left.bytes(), 0.05);
-    let jctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+    let mut session = db.session();
+    session
+        .execute("CREATE TABLE t AS WISCONSIN(50_000)")
+        .expect("t loads");
+    session
+        .execute("CREATE TABLE v AS WISCONSIN(10_000, 10)")
+        .expect("v loads");
 
-    let before = dev.snapshot();
-    let joined = lazy_hash_join(&left, &right, &jctx, "joined");
-    let stats = dev.snapshot().since(&before);
-    assert_eq!(joined.len() as u64, w.expected_matches);
+    // ---- Sort, streamed ----
+    let mut sorted = session
+        .query("SELECT * FROM t ORDER BY key")
+        .expect("query plans");
+    let mut rows = 0u64;
+    while let Some(batch) = sorted.next_batch().expect("streams") {
+        rows += batch.rows.len() as u64; // batches arrive incrementally
+    }
+    assert_eq!(rows, 50_000);
+    let stats = sorted.stats().expect("drained");
     println!(
-        "lazy hash join: {} matches, {:.3}s simulated, {} writes, {} reads",
-        joined.len(),
-        stats.time_secs(&dev.config().latency),
-        stats.cl_writes,
-        stats.cl_reads,
+        "sort: {} rows in {} batches, {:.3}s simulated, {} cacheline writes, {} reads",
+        stats.rows, stats.batches, stats.secs, stats.io.cl_writes, stats.io.cl_reads,
     );
+
+    // ---- Join, streamed ----
+    let mut joined = session
+        .query("SELECT * FROM v JOIN t ON v.key = t.key WHERE t.key < 10_000")
+        .expect("query plans");
+    let matches = joined.drain().expect("streams");
+    assert_eq!(matches, 100_000, "10 right records per surviving key");
+    let stats = joined.stats().expect("drained");
+    println!(
+        "join: {} matches, {:.3}s simulated, {} writes, {} reads",
+        stats.rows, stats.secs, stats.io.cl_writes, stats.io.cl_reads,
+    );
+
+    // The planner picked the algorithms; EXPLAIN shows its working.
+    println!("\n{}", joined.explain());
 }

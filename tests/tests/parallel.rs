@@ -191,11 +191,21 @@ fn planned_query_execution_is_dop_invariant() {
 
     let dev = PmDevice::paper_default();
     let w = join_input(800, 4, 5);
-    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
-    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let left = std::sync::Arc::new(PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "T",
+        w.left,
+    ));
+    let right = std::sync::Arc::new(PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "V",
+        w.right,
+    ));
     let mut cat = Catalog::new();
-    cat.add_table("T", &left, 800);
-    cat.add_table("V", &right, 800);
+    cat.add_table("T", left, 800);
+    cat.add_table("V", right, 800);
 
     let logical = LogicalPlan::scan("T")
         .filter(Predicate::KeyBelow(400))

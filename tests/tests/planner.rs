@@ -9,6 +9,7 @@ use planner::{
 use pmem_sim::{BufferPool, DeviceConfig, LatencyProfile, LayerKind, PCollection, PmDevice};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use wisconsin::{join_input, sort_input, KeyOrder, WisconsinRecord};
 use write_limited::sort::SortAlgorithm;
 
@@ -190,11 +191,21 @@ fn deferred_filter_plans_execute_correctly() {
         DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, lambda)),
     );
     let w = join_input(4_000, 4, 21);
-    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
-    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let left = Arc::new(PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "T",
+        w.left,
+    ));
+    let right = Arc::new(PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "V",
+        w.right,
+    ));
     let mut cat = Catalog::new();
-    cat.add_table("T", &left, 4_000);
-    cat.add_table("V", &right, 4_000);
+    cat.add_table("T", left, 4_000);
+    cat.add_table("V", right, 4_000);
 
     // 95% selectivity at a high write cost: writing the view is waste.
     let logical = LogicalPlan::scan("T")
@@ -250,18 +261,22 @@ fn lowered_plans_agree_with_naive_execution() {
             DeviceConfig::paper_default().with_latency(LatencyProfile::with_lambda(10.0, lambda)),
         );
         let w = join_input(t_rows, fanout, case as u64);
-        let left = PCollection::from_records_uncounted(&dev, layer, "T", w.left);
-        let right = PCollection::from_records_uncounted(&dev, layer, "V", w.right);
-        let sorted_t = PCollection::from_records_uncounted(
+        let left = Arc::new(PCollection::from_records_uncounted(
+            &dev, layer, "T", w.left,
+        ));
+        let right = Arc::new(PCollection::from_records_uncounted(
+            &dev, layer, "V", w.right,
+        ));
+        let sorted_t = Arc::new(PCollection::from_records_uncounted(
             &dev,
             layer,
             "S",
             sort_input(t_rows, KeyOrder::Random, case as u64 + 7),
-        );
+        ));
         let mut cat = Catalog::new();
-        cat.add_table("T", &left, t_rows);
-        cat.add_table("V", &right, t_rows);
-        cat.add_table("S", &sorted_t, t_rows);
+        cat.add_table("T", left, t_rows);
+        cat.add_table("V", right, t_rows);
+        cat.add_table("S", sorted_t, t_rows);
 
         let bound = rng.gen_range(1u64..t_rows);
         let shapes: [LogicalPlan; 5] = [
@@ -328,11 +343,21 @@ fn lowered_plans_agree_with_naive_execution() {
 fn predictions_track_measurements_for_the_canonical_query() {
     let dev = PmDevice::paper_default();
     let w = join_input(4_000, 5, 11);
-    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
-    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let left = Arc::new(PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "T",
+        w.left,
+    ));
+    let right = Arc::new(PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "V",
+        w.right,
+    ));
     let mut cat = Catalog::new();
-    cat.add_table("T", &left, 4_000);
-    cat.add_table("V", &right, 4_000);
+    cat.add_table("T", left, 4_000);
+    cat.add_table("V", right, 4_000);
 
     let logical = LogicalPlan::scan("T")
         .filter(Predicate::KeyBelow(2_000))
@@ -363,14 +388,14 @@ fn predictions_track_measurements_for_the_canonical_query() {
 #[test]
 fn predicate_lowering_matches_manual_filtering() {
     let dev = PmDevice::paper_default();
-    let input = PCollection::from_records_uncounted(
+    let input = Arc::new(PCollection::from_records_uncounted(
         &dev,
         LayerKind::BlockedMemory,
         "T",
         sort_input(500, KeyOrder::Random, 3),
-    );
+    ));
     let mut cat = Catalog::new();
-    cat.add_table("T", &input, 500);
+    cat.add_table("T", Arc::clone(&input), 500);
     let pool = BufferPool::new(60 * 80);
     let planner = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory);
 

@@ -1,0 +1,196 @@
+//! Integration tests for the `wl-db` facade: golden parse trees for
+//! every supported clause, span-carrying error paths, and end-to-end
+//! agreement between SQL sessions and the naive DRAM executor.
+
+use planner::{execute_naive, LogicalPlan, OutputRows, Predicate};
+use wl_db::{parse, Database, DbError, Response, Statement};
+
+// ---------- golden parse trees, one per supported clause ----------
+
+#[test]
+fn golden_parse_trees_cover_every_clause() {
+    let cases: &[(&str, &str)] = &[
+        (
+            "CREATE TABLE t AS WISCONSIN(10_000);",
+            "create t as wisconsin(rows=10000, fanout=1, seed=42)\n",
+        ),
+        (
+            "CREATE TABLE v AS WISCONSIN(1000, 4, 7);",
+            "create v as wisconsin(rows=1000, fanout=4, seed=7)\n",
+        ),
+        ("DROP TABLE t;", "drop t\n"),
+        ("SHOW TABLES;", "show tables\n"),
+        ("SET threads = 8;", "set threads = 8\n"),
+        (
+            "SELECT * FROM t;",
+            "select\n  project *\n  from t\n",
+        ),
+        (
+            "SELECT key, payload FROM t WHERE key < 100;",
+            "select\n  project key, payload\n  from t\n  where key < 100\n",
+        ),
+        (
+            "SELECT * FROM t WHERE key >= 10 AND key % 3 = 1;",
+            "select\n  project *\n  from t\n  where key >= 10\n  where key % 3 = 1\n",
+        ),
+        (
+            "SELECT * FROM t INNER JOIN v ON t.key = v.key;",
+            "select\n  project *\n  from t\n  join v on t.key = v.key\n",
+        ),
+        (
+            "SELECT * FROM t GROUP BY key;",
+            "select\n  project *\n  from t\n  group by key\n",
+        ),
+        (
+            "SELECT * FROM t ORDER BY key LIMIT 5;",
+            "select\n  project *\n  from t\n  order by key\n  limit 5\n",
+        ),
+        (
+            "EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key GROUP BY key ORDER BY key;",
+            "explain select\n  project *\n  from t\n  join v on t.key = v.key\n  group by key\n  order by key\n",
+        ),
+    ];
+    for (sql, golden) in cases {
+        let stmt = parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert_eq!(&stmt.describe(), golden, "golden tree for {sql}");
+    }
+}
+
+// ---------- error paths with spans ----------
+
+#[test]
+fn error_paths_carry_spans_into_the_source() {
+    let db = Database::builder().build();
+    db.create_wisconsin("t", 100, 1, 1).expect("fresh");
+    let mut session = db.session();
+
+    // Unknown table: binder error, span on the table name.
+    let sql = "SELECT * FROM nosuch";
+    let DbError::Sql(e) = session.execute(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert_eq!(e.message, "unknown table \"nosuch\"");
+    assert_eq!(&sql[e.span.start..e.span.end], "nosuch");
+    assert!(e.render(sql).contains("^^^^^^"), "caret under the span");
+
+    // Type mismatch: parser error, span on the string literal.
+    let sql = "SELECT * FROM t WHERE key < 'ten'";
+    let DbError::Sql(e) = session.execute(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(e.message.contains("type mismatch"), "{}", e.message);
+    assert_eq!(&sql[e.span.start..e.span.end], "'ten'");
+
+    // Trailing tokens: parser error, span from the first extra token.
+    let sql = "SHOW TABLES extra stuff";
+    let DbError::Sql(e) = session.execute(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(e.message.contains("trailing tokens"), "{}", e.message);
+    assert_eq!(&sql[e.span.start..e.span.end], "extra stuff");
+}
+
+// ---------- end-to-end: SQL sessions vs the naive executor ----------
+
+#[test]
+fn sql_results_agree_with_the_naive_executor() {
+    let db = Database::builder().dram_records(150).batch_rows(33).build();
+    db.create_wisconsin("t", 700, 1, 11).expect("fresh");
+    db.create_wisconsin("v", 700, 3, 11).expect("fresh");
+    let catalog = db.catalog();
+    let session = db.session();
+
+    let cases: &[(&str, LogicalPlan)] = &[
+        (
+            "SELECT * FROM t WHERE key < 300 ORDER BY key",
+            LogicalPlan::scan("t")
+                .filter(Predicate::KeyBelow(300))
+                .sort(),
+        ),
+        (
+            "SELECT * FROM t JOIN v ON t.key = v.key WHERE t.key % 2 = 0",
+            LogicalPlan::scan("t")
+                .filter(Predicate::KeyModEq {
+                    modulus: 2,
+                    residue: 0,
+                })
+                .join(LogicalPlan::scan("v")),
+        ),
+        (
+            "SELECT * FROM t JOIN v ON t.key = v.key GROUP BY key ORDER BY key",
+            LogicalPlan::scan("t")
+                .join(LogicalPlan::scan("v"))
+                .aggregate()
+                .sort(),
+        ),
+    ];
+
+    for (sql, logical) in cases {
+        let mut stream = session.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let mut got: Vec<Vec<u64>> = Vec::new();
+        while let Some(batch) = stream.next_batch().expect("streams") {
+            assert!(batch.rows.len() <= 33, "batch cap respected");
+            got.extend(batch.rows);
+        }
+        let reference = execute_naive(logical, &catalog).expect("naive evaluates");
+        use wisconsin::Record as _;
+        let want: Vec<Vec<u64>> = match reference {
+            OutputRows::Wis(rows) => rows.iter().map(|r| vec![r.key(), r.payload()]).collect(),
+            OutputRows::Pairs(rows) => rows
+                .iter()
+                .map(|(l, r)| vec![l.key(), l.payload(), r.payload()])
+                .collect(),
+            OutputRows::Groups(rows) => rows
+                .iter()
+                .map(|g| vec![g.key, g.count, g.sum, g.min, g.max])
+                .collect(),
+        };
+        let canon = |mut v: Vec<Vec<u64>>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            canon(got),
+            canon(want),
+            "{sql}: session rows diverge from the naive executor"
+        );
+    }
+}
+
+// ---------- session knob precedence ----------
+
+#[test]
+fn explicit_session_threads_outrank_the_environment() {
+    // Whatever WL_THREADS the test process runs under (the CI matrix
+    // uses 1 and 4), an explicit SET must win in the planned query.
+    let db = Database::builder().build();
+    db.create_wisconsin("t", 200, 1, 2).expect("fresh");
+    let mut session = db.session();
+    session.execute("SET threads = 3").expect("sets");
+    let stream = session
+        .query("SELECT * FROM t ORDER BY key")
+        .expect("plans");
+    assert_eq!(stream.planned().threads, 3);
+}
+
+// ---------- EXPLAIN through the statement interface ----------
+
+#[test]
+fn explain_streams_no_rows_but_reports_the_plan() {
+    let db = Database::builder().build();
+    db.create_wisconsin("t", 400, 1, 5).expect("fresh");
+    let mut session = db.session();
+    let Response::Explain(mut stream) = session
+        .execute("EXPLAIN SELECT * FROM t ORDER BY key")
+        .expect("executes")
+    else {
+        panic!("expected explain response");
+    };
+    stream.drain().expect("runs");
+    let report = stream.explain();
+    assert!(report.contains("sort via"), "{report}");
+    assert!(report.contains("predicted vs measured"), "{report}");
+    let Statement::Explain(_) = parse("EXPLAIN SELECT * FROM t").expect("parses") else {
+        panic!("expected explain statement");
+    };
+}
