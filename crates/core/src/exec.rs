@@ -104,6 +104,37 @@ impl<I: PhysOperator, P: FnMut(&I::Item) -> bool> PhysOperator for FilterOp<I, P
     }
 }
 
+/// Streaming record-to-record map: reshapes each child record (the
+/// planner's chain-join lowering folds joined pairs into flat n-way
+/// rows with it).
+pub struct MapOp<I: PhysOperator, F> {
+    child: I,
+    f: F,
+}
+
+impl<I: PhysOperator, F> MapOp<I, F> {
+    /// Maps `child`'s records through `f`.
+    pub fn new(child: I, f: F) -> Self {
+        Self { child, f }
+    }
+}
+
+impl<I: PhysOperator, O: Record, F: FnMut(&I::Item) -> O> PhysOperator for MapOp<I, F> {
+    type Item = O;
+
+    fn open(&mut self) -> Result<(), PmError> {
+        self.child.open()
+    }
+
+    fn next(&mut self) -> Option<O> {
+        self.child.next().map(|r| (self.f)(&r))
+    }
+
+    fn close(&mut self) {
+        self.child.close();
+    }
+}
+
 /// Blocking sort: consumes its child into a collection on `open()`,
 /// sorts it with the configured algorithm, then streams the result.
 pub struct SortOp<'p, I: PhysOperator> {

@@ -68,7 +68,9 @@ impl Database {
 
     /// Creates a Wisconsin table: `rows` distinct keys × `fanout`
     /// records per key (permuted by `seed`), loaded uncounted like the
-    /// paper's experiment inputs. Returns the total row count.
+    /// paper's experiment inputs. `rows = 0` creates a legitimately
+    /// empty table (queries over it yield empty results). Returns the
+    /// total row count.
     ///
     /// # Errors
     /// Returns the table name back when it already exists.
@@ -79,8 +81,10 @@ impl Database {
         fanout: u64,
         seed: u64,
     ) -> Result<u64, String> {
-        assert!(rows > 0 && fanout > 0, "degenerate Wisconsin table");
-        let records = if fanout == 1 {
+        assert!(fanout > 0, "degenerate Wisconsin fanout");
+        let records = if rows == 0 {
+            Vec::new()
+        } else if fanout == 1 {
             wisconsin::sort_input(rows, wisconsin::KeyOrder::Random, seed)
         } else {
             wisconsin::join_right_input(rows, fanout, seed)

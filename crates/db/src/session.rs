@@ -138,7 +138,18 @@ impl<'db> Session<'db> {
                 }
             }
             Statement::ShowTables => Ok(Response::Tables(self.db.tables())),
-            Statement::Set { name, value } => {
+            Statement::Set {
+                name,
+                value,
+                value_span,
+            } => {
+                if value == 0 {
+                    return Err(SqlError::new(
+                        format!("knob \"{}\" requires a positive value, got 0", name.name),
+                        value_span,
+                    )
+                    .into());
+                }
                 match name.name.as_str() {
                     "threads" => self.set_threads(value as usize),
                     "batch" => self.set_batch_rows(value as usize),

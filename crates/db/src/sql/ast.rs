@@ -81,17 +81,27 @@ impl PredForm {
     }
 }
 
-/// An `[INNER] JOIN table ON left = right` clause.
+/// An `[INNER] JOIN table [AS alias] ON left = right` clause.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Join {
     /// Joined table.
     pub table: Ident,
+    /// Optional alias (`AS u`) the query refers to this occurrence by —
+    /// required to disambiguate self-joins.
+    pub alias: Option<Ident>,
     /// Left side of the `ON` equality.
     pub left: Column,
     /// Right side of the `ON` equality.
     pub right: Column,
     /// Span of the `ON` condition.
     pub span: Span,
+}
+
+impl Join {
+    /// The name this occurrence binds under: the alias, or the table.
+    pub fn binding(&self) -> &Ident {
+        self.alias.as_ref().unwrap_or(&self.table)
+    }
 }
 
 /// One item of the projection list.
@@ -110,8 +120,10 @@ pub struct Select {
     pub projection: Vec<SelectItem>,
     /// Base table of the `FROM` clause.
     pub from: Ident,
-    /// Optional join clause.
-    pub join: Option<Join>,
+    /// Optional alias (`AS x`) for the `FROM` table.
+    pub from_alias: Option<Ident>,
+    /// Join clauses, in syntactic order (zero or more).
+    pub joins: Vec<Join>,
     /// `WHERE` predicates (implicitly conjoined).
     pub predicates: Vec<WherePred>,
     /// `GROUP BY` column, when present.
@@ -149,6 +161,8 @@ pub enum Statement {
         name: Ident,
         /// New value.
         value: u64,
+        /// Span of the value literal (for range diagnostics).
+        value_span: Span,
     },
     /// A query.
     Select(Select),
@@ -174,7 +188,7 @@ impl Statement {
             }
             Statement::Drop { table } => format!("drop {}\n", table.name),
             Statement::ShowTables => "show tables\n".into(),
-            Statement::Set { name, value } => format!("set {} = {value}\n", name.name),
+            Statement::Set { name, value, .. } => format!("set {} = {value}\n", name.name),
             Statement::Select(s) => s.describe("select"),
             Statement::Explain(s) => s.describe("explain select"),
         }
@@ -193,10 +207,18 @@ impl Select {
             })
             .collect();
         out.push_str(&format!("  project {}\n", proj.join(", ")));
-        out.push_str(&format!("  from {}\n", self.from.name));
-        if let Some(j) = &self.join {
+        match &self.from_alias {
+            Some(a) => out.push_str(&format!("  from {} as {}\n", self.from.name, a.name)),
+            None => out.push_str(&format!("  from {}\n", self.from.name)),
+        }
+        for j in &self.joins {
+            let alias = j
+                .alias
+                .as_ref()
+                .map(|a| format!(" as {}", a.name))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "  join {} on {} = {}\n",
+                "  join {}{alias} on {} = {}\n",
                 j.table.name,
                 j.left.describe(),
                 j.right.describe()

@@ -8,7 +8,7 @@
 
 use super::ast::{Column, PredForm, Select, SelectItem};
 use crate::error::SqlError;
-use planner::{Catalog, LogicalPlan, Predicate};
+use planner::{Catalog, LogicalPlan, Predicate, MAX_JOIN_RELATIONS};
 
 /// The shape of the rows a bound query produces.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -17,10 +17,16 @@ pub enum RowShape {
     Base,
     /// Joined pairs (`key`, `<left>.payload`, `<right>.payload`).
     Pairs {
-        /// Logical left (FROM) table name.
+        /// Logical left (FROM) binding name.
         left: String,
-        /// Logical right (JOIN) table name.
+        /// Logical right (JOIN) binding name.
         right: String,
+    },
+    /// n-way joined rows (`key`, one `<binding>.payload` per relation in
+    /// join order).
+    Joined {
+        /// Binding names of every joined relation, in syntactic order.
+        tables: Vec<String>,
     },
     /// Aggregation groups (`key`, `count`, `sum`, `min`, `max`).
     Groups,
@@ -36,6 +42,9 @@ impl RowShape {
                 format!("{left}.payload"),
                 format!("{right}.payload"),
             ],
+            RowShape::Joined { tables } => std::iter::once("key".to_string())
+                .chain(tables.iter().map(|t| format!("{t}.payload")))
+                .collect(),
             RowShape::Groups => vec![
                 "key".into(),
                 "count".into(),
@@ -76,36 +85,63 @@ impl BoundQuery {
 /// non-key predicates, malformed join conditions, or ambiguous
 /// references.
 pub fn bind(select: &Select, catalog: &Catalog) -> Result<BoundQuery, SqlError> {
-    // Resolve tables first so every later message can trust them.
-    let from = &select.from;
-    if catalog.stats(&from.name).is_none() {
+    // Resolve the relation list first — FROM plus every JOIN — so every
+    // later message can trust the binding namespace. Each occurrence
+    // binds under its alias (or table name); duplicates are rejected so
+    // self-joins must alias.
+    struct Rel {
+        binding: String,
+        table: String,
+    }
+    let mut rels: Vec<Rel> = Vec::new();
+    {
+        let add = |table: &super::ast::Ident,
+                   alias: Option<&super::ast::Ident>,
+                   rels: &mut Vec<Rel>|
+         -> Result<(), SqlError> {
+            if catalog.stats(&table.name).is_none() {
+                return Err(SqlError::new(
+                    format!("unknown table \"{}\"", table.name),
+                    table.span,
+                ));
+            }
+            let bound = alias.unwrap_or(table);
+            if rels.iter().any(|r| r.binding == bound.name) {
+                let hint = if alias.is_none() {
+                    " (alias the second occurrence, e.g. JOIN ... AS u)"
+                } else {
+                    ""
+                };
+                return Err(SqlError::new(
+                    format!("duplicate table name \"{}\" in FROM{hint}", bound.name),
+                    bound.span,
+                ));
+            }
+            rels.push(Rel {
+                binding: bound.name.clone(),
+                table: table.name.clone(),
+            });
+            Ok(())
+        };
+        add(&select.from, select.from_alias.as_ref(), &mut rels)?;
+        for j in &select.joins {
+            add(&j.table, j.alias.as_ref(), &mut rels)?;
+        }
+    }
+    let n = rels.len();
+    if n > MAX_JOIN_RELATIONS {
         return Err(SqlError::new(
-            format!("unknown table \"{}\"", from.name),
-            from.span,
+            format!("query joins {n} relations; at most {MAX_JOIN_RELATIONS} are supported"),
+            select.joins[MAX_JOIN_RELATIONS - 1].table.span,
         ));
     }
-    let join_table = match &select.join {
-        Some(j) => {
-            if catalog.stats(&j.table.name).is_none() {
-                return Err(SqlError::new(
-                    format!("unknown table \"{}\"", j.table.name),
-                    j.table.span,
-                ));
-            }
-            if j.table.name == from.name {
-                return Err(SqlError::new(
-                    format!("self-join of \"{}\" is not supported", j.table.name),
-                    j.table.span,
-                ));
-            }
-            Some(j.table.name.clone())
-        }
-        None => None,
-    };
+    let rel_index = |name: &str| rels.iter().position(|r| r.binding == name);
 
-    // Validate the join condition: key = key, qualifiers covering both
-    // tables in either order.
-    if let Some(j) = &select.join {
+    // Validate each join condition: key = key, both sides qualified, one
+    // qualifier naming the newly joined relation and the other one
+    // already in scope — so every join connects to the tree built so far.
+    for (i, j) in select.joins.iter().enumerate() {
+        let new_binding = &j.binding().name;
         for side in [&j.left, &j.right] {
             if side.name.name != "key" {
                 return Err(SqlError::new(
@@ -127,24 +163,48 @@ pub fn bind(select: &Select, catalog: &Catalog) -> Result<BoundQuery, SqlError> 
             }
         };
         let (lq, rq) = (q(&j.left)?, q(&j.right)?);
-        let joined = join_table.clone().expect("join table resolved");
-        let covers = (lq == from.name && rq == joined) || (lq == joined && rq == from.name);
-        if !covers {
+        for (name, col) in [(&lq, &j.left), (&rq, &j.right)] {
+            let Some(idx) = rel_index(name) else {
+                return Err(SqlError::new(
+                    format!(
+                        "unknown table reference \"{name}\" in join condition (in scope: {})",
+                        rels[..=i + 1]
+                            .iter()
+                            .map(|r| r.binding.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                    col.span(),
+                ));
+            };
+            if idx > i + 1 {
+                return Err(SqlError::new(
+                    format!("table \"{name}\" is joined later and not yet in scope here"),
+                    col.span(),
+                ));
+            }
+        }
+        if lq == rq {
+            return Err(SqlError::new(
+                "join condition must relate two different tables",
+                j.span,
+            ));
+        }
+        if lq != *new_binding && rq != *new_binding {
             return Err(SqlError::new(
                 format!(
-                    "join condition must relate \"{}\" and \"{joined}\", got \"{lq}\" and \"{rq}\"",
-                    from.name
+                    "join condition must involve the joined table \"{new_binding}\", \
+                     got \"{lq}\" and \"{rq}\""
                 ),
                 j.span,
             ));
         }
     }
 
-    // Split WHERE predicates onto the table scans they qualify; with a
-    // join, unqualified predicates apply to the join output (both sides
+    // Split WHERE predicates onto the relation scans they qualify; with
+    // joins, unqualified predicates apply to the join output (all sides
     // share the join key, so `key` is unambiguous there).
-    let mut from_preds = Vec::new();
-    let mut join_preds = Vec::new();
+    let mut rel_preds: Vec<Vec<Predicate>> = (0..n).map(|_| Vec::new()).collect();
     let mut post_preds = Vec::new();
     for p in &select.predicates {
         if p.column.name.name != "key" {
@@ -163,41 +223,43 @@ pub fn bind(select: &Select, catalog: &Catalog) -> Result<BoundQuery, SqlError> 
         };
         match &p.column.qualifier {
             None => {
-                if join_table.is_some() {
+                if n > 1 {
                     post_preds.push(predicate);
                 } else {
-                    from_preds.push(predicate);
+                    rel_preds[0].push(predicate);
                 }
             }
-            Some(q) if q.name == from.name => from_preds.push(predicate),
-            Some(q) if Some(&q.name) == join_table.as_ref() => join_preds.push(predicate),
-            Some(q) => {
-                return Err(SqlError::new(
-                    format!("unknown table reference \"{}\" in predicate", q.name),
-                    q.span,
-                ));
-            }
+            Some(q) => match rel_index(&q.name) {
+                Some(idx) => rel_preds[idx].push(predicate),
+                None => {
+                    return Err(SqlError::new(
+                        format!("unknown table reference \"{}\" in predicate", q.name),
+                        q.span,
+                    ));
+                }
+            },
         }
     }
 
-    // Assemble the logical plan: scans + pushed filters, join, post-join
-    // filters, aggregate, sort.
-    let mut plan = LogicalPlan::scan(&from.name);
-    for p in &from_preds {
+    // Assemble the logical plan: scans + pushed filters joined left-deep
+    // in syntactic order (the planner's DP re-orders ≥ 3-way joins),
+    // then post-join filters, aggregate, sort.
+    let leaf = |i: usize| {
+        let mut l = LogicalPlan::scan(&rels[i].table);
+        for p in &rel_preds[i] {
+            l = l.filter(*p);
+        }
+        l
+    };
+    let mut plan = leaf(0);
+    for i in 1..n {
+        plan = plan.join(leaf(i));
+    }
+    for p in &post_preds {
         plan = plan.filter(*p);
     }
-    if let Some(joined) = &join_table {
-        let mut right = LogicalPlan::scan(joined);
-        for p in &join_preds {
-            right = right.filter(*p);
-        }
-        plan = plan.join(right);
-        for p in &post_preds {
-            plan = plan.filter(*p);
-        }
-    }
 
-    let known_table = |name: &str| name == from.name || Some(name) == join_table.as_deref();
+    let known_table = |name: &str| rel_index(name).is_some();
 
     if let Some(g) = &select.group_by {
         check_key_column(g, "GROUP BY", &known_table)?;
@@ -210,10 +272,14 @@ pub fn bind(select: &Select, catalog: &Catalog) -> Result<BoundQuery, SqlError> 
 
     let shape = if select.group_by.is_some() {
         RowShape::Groups
-    } else if let Some(joined) = &join_table {
+    } else if n >= 3 {
+        RowShape::Joined {
+            tables: rels.iter().map(|r| r.binding.clone()).collect(),
+        }
+    } else if n == 2 {
         RowShape::Pairs {
-            left: from.name.clone(),
-            right: joined.clone(),
+            left: rels[0].binding.clone(),
+            right: rels[1].binding.clone(),
         }
     } else {
         RowShape::Base
@@ -294,6 +360,25 @@ fn resolve_column(
             ("payload", None) => Err(SqlError::new(
                 format!(
                     "ambiguous column \"payload\": qualify as {left}.payload or {right}.payload"
+                ),
+                c.name.span,
+            )),
+            _ => Err(unknown_column(c, shape)),
+        },
+        RowShape::Joined { tables } => match (name, c.qualifier.as_ref()) {
+            ("key", _) => Ok(0),
+            ("payload", Some(q)) => match tables.iter().position(|t| *t == q.name) {
+                Some(i) => Ok(1 + i),
+                None => Err(unknown_column(c, shape)),
+            },
+            ("payload", None) => Err(SqlError::new(
+                format!(
+                    "ambiguous column \"payload\": qualify as one of {}",
+                    tables
+                        .iter()
+                        .map(|t| format!("{t}.payload"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ),
                 c.name.span,
             )),

@@ -244,4 +244,19 @@ mod tests {
         let err = lex("key > 5").unwrap_err();
         assert!(err.message.contains("unsupported operator"));
     }
+
+    #[test]
+    fn overflowing_literals_error_with_the_literal_span() {
+        // One past u64::MAX, with and without underscore separators:
+        // a span-carrying error, never a panic or a silent wrap.
+        for lit in ["18446744073709551616", "18_446_744_073_709_551_616"] {
+            let sql = format!("key < {lit}");
+            let err = lex(&sql).unwrap_err();
+            assert!(err.message.contains("out of range"), "{}", err.message);
+            assert_eq!(&sql[err.span.start..err.span.end], lit);
+        }
+        // u64::MAX itself still lexes.
+        let toks = lex("18446744073709551615").expect("max fits");
+        assert_eq!(toks[0].kind, TokenKind::Number(u64::MAX));
+    }
 }

@@ -7,9 +7,10 @@
 //! show      := SHOW TABLES
 //! set       := SET ident '=' n
 //! explain   := EXPLAIN select
-//! select    := SELECT proj FROM ident [join] [where] [group] [order] [limit]
+//! select    := SELECT proj FROM tableref (join)* [where] [group] [order] [limit]
 //! proj      := '*' | column (',' column)*
-//! join      := [INNER] JOIN ident ON column '=' column
+//! tableref  := ident [AS ident]
+//! join      := [INNER] JOIN tableref ON column '=' column
 //! where     := WHERE pred (AND pred)*
 //! pred      := column '<' n | column '>=' n | column '%' n '=' n
 //! group     := GROUP BY column
@@ -162,8 +163,12 @@ impl Parser {
         if self.eat_keyword("set") {
             let name = self.expect_ident("knob name")?;
             self.expect(&TokenKind::Eq, "'='")?;
-            let (value, _) = self.expect_number("an integer knob value")?;
-            return Ok(Statement::Set { name, value });
+            let (value, value_span) = self.expect_number("an integer knob value")?;
+            return Ok(Statement::Set {
+                name,
+                value,
+                value_span,
+            });
         }
         if self.eat_keyword("explain") {
             self.expect_keyword("select")?;
@@ -187,10 +192,8 @@ impl Parser {
         self.expect_keyword("as")?;
         self.expect_keyword("wisconsin")?;
         self.expect(&TokenKind::LParen, "'('")?;
-        let (rows, rows_span) = self.expect_number("a row count")?;
-        if rows == 0 {
-            return Err(SqlError::new("row count must be positive", rows_span));
-        }
+        // A row count of 0 is allowed: it creates an empty table.
+        let (rows, _) = self.expect_number("a row count")?;
         let mut fanout = 1;
         let mut seed = 42;
         if self.peek().kind == TokenKind::Comma {
@@ -249,30 +252,35 @@ impl Parser {
         }
 
         self.expect_keyword("from")?;
-        let from = self.expect_ident("a table name")?;
+        let (from, from_alias) = self.table_ref()?;
 
-        // Optional join.
-        let mut join = None;
-        let saw_inner = self.eat_keyword("inner");
-        if self.eat_keyword("join") {
-            let table = self.expect_ident("a table name")?;
-            self.expect_keyword("on")?;
-            let left = self.column()?;
-            self.expect(&TokenKind::Eq, "'=' in the join condition")?;
-            let right = self.column()?;
-            let span = left.span().to(right.span());
-            join = Some(Join {
-                table,
-                left,
-                right,
-                span,
-            });
-        } else if saw_inner {
-            let t = self.peek().clone();
-            return Err(SqlError::new(
-                format!("expected JOIN after INNER, found {}", t.kind.describe()),
-                t.span,
-            ));
+        // Zero or more join clauses.
+        let mut joins = Vec::new();
+        loop {
+            let saw_inner = self.eat_keyword("inner");
+            if self.eat_keyword("join") {
+                let (table, alias) = self.table_ref()?;
+                self.expect_keyword("on")?;
+                let left = self.column()?;
+                self.expect(&TokenKind::Eq, "'=' in the join condition")?;
+                let right = self.column()?;
+                let span = left.span().to(right.span());
+                joins.push(Join {
+                    table,
+                    alias,
+                    left,
+                    right,
+                    span,
+                });
+            } else if saw_inner {
+                let t = self.peek().clone();
+                return Err(SqlError::new(
+                    format!("expected JOIN after INNER, found {}", t.kind.describe()),
+                    t.span,
+                ));
+            } else {
+                break;
+            }
         }
 
         // Optional WHERE with AND-chained predicates.
@@ -304,12 +312,24 @@ impl Parser {
         Ok(Select {
             projection,
             from,
-            join,
+            from_alias,
+            joins,
             predicates,
             group_by,
             order_by,
             limit,
         })
+    }
+
+    /// A table reference with an optional `AS alias`.
+    fn table_ref(&mut self) -> Result<(Ident, Option<Ident>), SqlError> {
+        let table = self.expect_ident("a table name")?;
+        let alias = if self.eat_keyword("as") {
+            Some(self.expect_ident("an alias after AS")?)
+        } else {
+            None
+        };
+        Ok((table, alias))
     }
 
     fn predicate(&mut self) -> Result<WherePred, SqlError> {
@@ -433,8 +453,10 @@ mod tests {
         assert!(parse("SELECT FROM t").is_err());
         let err = parse("SELECT * FROM t WHERE key = 5").unwrap_err();
         assert!(err.message.contains("predicate operator"));
-        let err = parse("CREATE TABLE t AS WISCONSIN(0)").unwrap_err();
-        assert!(err.message.contains("row count must be positive"));
+        // An empty table is legitimate; a zero fanout is not.
+        assert!(parse("CREATE TABLE t AS WISCONSIN(0)").is_ok());
+        let err = parse("CREATE TABLE t AS WISCONSIN(10, 0)").unwrap_err();
+        assert!(err.message.contains("fanout must be positive"));
         let err = parse("SELECT * FROM t WHERE key % 0 = 1").unwrap_err();
         assert!(err.message.contains("modulus must be positive"));
     }

@@ -68,8 +68,11 @@ enum State {
     Pending,
     /// Executed; draining from `cursor`.
     Open { run: ExecutedStream, cursor: usize },
-    /// Fully drained (or failed).
-    Done { io: IoStats, secs: f64 },
+    /// Finished. `ran` records whether the plan actually executed —
+    /// `false` for the `LIMIT 0` short-circuit and for failed runs, so
+    /// the explain report does not present the zeroed ledger as a
+    /// measurement.
+    Done { io: IoStats, secs: f64, ran: bool },
 }
 
 impl ResultStream {
@@ -82,6 +85,18 @@ impl ResultStream {
         pool: BufferPool,
         batch_rows: usize,
     ) -> Self {
+        // LIMIT 0 can never deliver a row: short-circuit to the drained
+        // state so the first pull does not execute the plan (blocking
+        // operators would otherwise run — and be charged — for nothing).
+        let state = if bound.limit == Some(0) {
+            State::Done {
+                io: IoStats::default(),
+                secs: 0.0,
+                ran: false,
+            }
+        } else {
+            State::Pending
+        };
         Self {
             planned,
             columns: bound.column_names(),
@@ -93,7 +108,7 @@ impl ResultStream {
             dev,
             layer,
             pool,
-            state: State::Pending,
+            state,
             delivered: 0,
             batches: 0,
         }
@@ -135,6 +150,7 @@ impl ResultStream {
                             self.state = State::Done {
                                 io: IoStats::default(),
                                 secs: 0.0,
+                                ran: false,
                             };
                             return Err(DbError::Exec(e));
                         }
@@ -166,6 +182,7 @@ impl ResultStream {
                             self.state = State::Done {
                                 io: run.stats,
                                 secs: run.secs,
+                                ran: true,
                             };
                             return Ok(None);
                         }
@@ -189,7 +206,7 @@ impl ResultStream {
     /// exhausted.
     pub fn stats(&self) -> Option<QueryStats> {
         match &self.state {
-            State::Done { io, secs } => Some(QueryStats {
+            State::Done { io, secs, .. } => Some(QueryStats {
                 io: *io,
                 secs: *secs,
                 rows: self.delivered,
@@ -212,7 +229,7 @@ impl ResultStream {
         );
         out.push_str(&render_choices(&self.planned));
         out.push_str(&render_plan(&self.planned));
-        if let State::Done { io, .. } = &self.state {
+        if let State::Done { io, ran: true, .. } = &self.state {
             out.push_str(&render_concordance_stats(
                 &self.planned,
                 io,
@@ -233,19 +250,8 @@ impl Iterator for ResultStream {
 
 /// Expands each row into the shape's full column values, then projects.
 fn project_rows(out: &OutputRows, projection: &[usize]) -> Vec<Vec<u64>> {
-    use wisconsin::Record;
-    let full: Vec<Vec<u64>> = match out {
-        OutputRows::Wis(rows) => rows.iter().map(|r| vec![r.key(), r.payload()]).collect(),
-        OutputRows::Pairs(rows) => rows
-            .iter()
-            .map(|(l, r)| vec![l.key(), l.payload(), r.payload()])
-            .collect(),
-        OutputRows::Groups(rows) => rows
-            .iter()
-            .map(|g| vec![g.key, g.count, g.sum, g.min, g.max])
-            .collect(),
-    };
-    full.into_iter()
+    out.wide_rows()
+        .into_iter()
         .map(|row| projection.iter().map(|&i| row[i]).collect())
         .collect()
 }

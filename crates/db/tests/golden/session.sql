@@ -1,16 +1,25 @@
 -- wlsql golden smoke session: create Wisconsin tables, stream a
--- filtered scan, run join + group-by + order-by queries, and check
--- EXPLAIN concordance. Threads are pinned first so the session is
--- deterministic under any WL_THREADS.
+-- filtered scan, run join + group-by + order-by queries (two-way and
+-- three-way), and check EXPLAIN concordance. Threads are pinned first
+-- so the session is deterministic under any WL_THREADS.
 SET threads = 2;
 SET batch = 8;
 CREATE TABLE t AS WISCONSIN(2000);
 CREATE TABLE v AS WISCONSIN(2000, 4);
+CREATE TABLE w AS WISCONSIN(2000);
 SHOW TABLES;
 SELECT * FROM t WHERE key < 20 ORDER BY key LIMIT 18;
 SELECT key, count, sum FROM t JOIN v ON t.key = v.key WHERE t.key < 10 GROUP BY key ORDER BY key;
 SELECT t.key, v.payload FROM t JOIN v ON t.key = v.key WHERE t.key % 500 = 3 ORDER BY key;
 EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key WHERE t.key < 1000 GROUP BY key;
+-- Three-way join: the planner's DP join-order search picks the edge
+-- order; the folded rows carry one payload per relation.
+SELECT t.key, v.payload, w.payload FROM t JOIN v ON t.key = v.key JOIN w ON v.key = w.key WHERE t.key < 3 ORDER BY key;
+EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key JOIN w ON v.key = w.key WHERE t.key < 200 ORDER BY key;
+-- Self-joins need an alias; LIMIT 0 never executes.
+SELECT key FROM w JOIN w AS u ON w.key = u.key ORDER BY key LIMIT 3;
+SELECT * FROM t JOIN t ON t.key = t.key;
+SELECT * FROM t JOIN v ON t.key = v.key ORDER BY key LIMIT 0;
 SELECT * FROM missing;
 SELECT * FROM t WHERE key < 'abc';
 DROP TABLE t;

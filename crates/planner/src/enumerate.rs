@@ -12,8 +12,9 @@
 use crate::catalog::Catalog;
 use crate::logical::{LogicalPlan, Predicate};
 use crate::lower::WisPair;
-use crate::physical::{Materialization, NodeCost, PhysicalPlan};
+use crate::physical::{ChainSlots, Materialization, NodeCost, PhysicalPlan};
 use pmem_sim::{BufferPool, DeviceConfig, LayerKind, Pm, Storable, CACHELINE};
+use std::collections::HashMap;
 use wisconsin::WisconsinRecord;
 use wl_runtime::{plan_verdict, Decision};
 use write_limited::agg::GroupAgg;
@@ -30,6 +31,12 @@ const WIS_BYTES: f64 = WisconsinRecord::SIZE as f64;
 const PAIR_BYTES: f64 = WisPair::SIZE as f64;
 /// GroupAgg record width in bytes.
 const GROUP_BYTES: f64 = GroupAgg::SIZE as f64;
+
+/// Most base relations one join chain may combine. Chain rows carry one
+/// payload slot per relation inside an 80-byte Wisconsin record (nine
+/// slots available); eight keeps the `3^n` subset DP comfortably small
+/// while leaving the row format headroom.
+pub const MAX_JOIN_RELATIONS: usize = 8;
 
 /// Planning failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -245,11 +252,7 @@ impl Planner {
                 let child = self.plan_node(input, catalog, choices)?;
                 Ok(self.plan_sort(child, choices))
             }
-            LogicalPlan::Join { left, right } => {
-                let l = self.plan_node(left, catalog, choices)?;
-                let r = self.plan_node(right, catalog, choices)?;
-                self.plan_join(l, r, choices)
-            }
+            LogicalPlan::Join { .. } => self.plan_join_tree(logical, catalog, choices),
             LogicalPlan::Aggregate { input } => {
                 let child = self.plan_node(input, catalog, choices)?;
                 Ok(self.plan_agg(child))
@@ -331,12 +334,142 @@ impl Planner {
         }
     }
 
+    /// Plans an entire join subtree. Two base relations keep the classic
+    /// single-edge enumeration (pair output); three or more go through
+    /// the Selinger-style DP join-order search over relation subsets.
+    fn plan_join_tree(
+        &self,
+        logical: &LogicalPlan,
+        catalog: &Catalog,
+        choices: &mut Vec<NodeChoice>,
+    ) -> Result<PhysicalPlan, PlanError> {
+        let mut leaves = Vec::new();
+        collect_join_leaves(logical, &mut leaves);
+        let n = leaves.len();
+        if n == 2 {
+            let l = self.plan_node(leaves[0], catalog, choices)?;
+            let r = self.plan_node(leaves[1], catalog, choices)?;
+            let lu = l.total_io().cost_units(self.lambda);
+            let ru = r.total_io().cost_units(self.lambda);
+            let planned = self.plan_join(l, r, lu, ru, None)?;
+            choices.push(planned.choice);
+            return Ok(planned.plan);
+        }
+        if n > MAX_JOIN_RELATIONS {
+            return Err(PlanError::Unsupported(format!(
+                "join of {n} relations exceeds the {MAX_JOIN_RELATIONS}-relation limit"
+            )));
+        }
+
+        // Per-subset memo of the best physical plan found so far. All
+        // relations join on the shared key, so every subset is connected
+        // and every split of it is a valid (cross-product-free) join.
+        struct Memo {
+            plan: PhysicalPlan,
+            units: f64,
+            choices: Vec<NodeChoice>,
+            slots: Vec<usize>,
+            expr: String,
+        }
+        let mut memo: HashMap<u32, Memo> = HashMap::new();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let mut leaf_choices = Vec::new();
+            let plan = self.plan_node(leaf, catalog, &mut leaf_choices)?;
+            let units = plan.total_io().cost_units(self.lambda);
+            memo.insert(
+                1 << i,
+                Memo {
+                    plan,
+                    units,
+                    choices: leaf_choices,
+                    slots: vec![i],
+                    expr: leaf_relation_name(leaf),
+                },
+            );
+        }
+
+        let full: u32 = (1u32 << n) - 1;
+        let mut considered = 0usize;
+        let mut root_alternatives: Vec<Candidate> = Vec::new();
+        // Numeric order visits every proper submask before its superset.
+        for mask in 3..=full {
+            if mask.count_ones() < 2 {
+                continue;
+            }
+            let lowbit = mask & mask.wrapping_neg();
+            let mut best: Option<Memo> = None;
+            let mut split_err = None;
+            // Enumerate unordered splits by pinning the lowest relation
+            // to the left side; plan_join itself tries both build orders.
+            let mut l = (mask - 1) & mask;
+            while l > 0 {
+                if l & lowbit != 0 {
+                    let r = mask ^ l;
+                    let (ml, mr) = (&memo[&l], &memo[&r]);
+                    considered += 1;
+                    match self.plan_join(
+                        ml.plan.clone(),
+                        mr.plan.clone(),
+                        ml.units,
+                        mr.units,
+                        Some((&ml.slots, &mr.slots)),
+                    ) {
+                        Ok(planned) => {
+                            let expr = format!("({} ⋈ {})", ml.expr, mr.expr);
+                            if mask == full {
+                                root_alternatives.push(Candidate {
+                                    label: expr.clone(),
+                                    io: planned.plan.total_io(),
+                                    cost_units: planned.units,
+                                });
+                            }
+                            if best.as_ref().is_none_or(|b| planned.units < b.units) {
+                                let mut sub_choices = ml.choices.clone();
+                                sub_choices.extend(mr.choices.iter().cloned());
+                                sub_choices.push(planned.choice);
+                                let mut slots = ml.slots.clone();
+                                slots.extend(&mr.slots);
+                                best = Some(Memo {
+                                    plan: planned.plan,
+                                    units: planned.units,
+                                    choices: sub_choices,
+                                    slots,
+                                    expr,
+                                });
+                            }
+                        }
+                        Err(e) => split_err = Some(e),
+                    }
+                }
+                l = (l - 1) & mask;
+            }
+            let best = best.ok_or_else(|| {
+                split_err.unwrap_or_else(|| {
+                    PlanError::Unsupported("no joinable split for a relation subset".into())
+                })
+            })?;
+            memo.insert(mask, best);
+        }
+
+        let root = memo.remove(&full).expect("full subset planned");
+        root_alternatives.sort_by(|a, b| a.cost_units.total_cmp(&b.cost_units));
+        choices.push(NodeChoice {
+            node: format!("join order over {n} relations ({considered} subplans considered)"),
+            candidates: root_alternatives,
+            chosen: root.expr,
+        });
+        choices.extend(root.choices);
+        Ok(root.plan)
+    }
+
     fn plan_join(
         &self,
         left: PhysicalPlan,
         right: PhysicalPlan,
-        choices: &mut Vec<NodeChoice>,
-    ) -> Result<PhysicalPlan, PlanError> {
+        left_units: f64,
+        right_units: f64,
+        chain: Option<(&[usize], &[usize])>,
+    ) -> Result<JoinPlanned, PlanError> {
         let lb = left.cost().out_buffers.max(1.0);
         let rb = right.cost().out_buffers.max(1.0);
         let l_rows = left.cost().out_rows;
@@ -348,10 +481,26 @@ impl Planner {
         let r_distinct = right.cost().distinct_keys.max(1.0);
         let matching = l_distinct.min(r_distinct);
         let out_rows = (l_rows / l_distinct) * (r_rows / r_distinct) * matching;
-        let out_buffers = (out_rows * PAIR_BYTES / CACHELINE as f64).ceil();
+        let pair_buffers = (out_rows * PAIR_BYTES / CACHELINE as f64).ceil();
+        // Chain joins fold the pair output into slotted 80-byte rows in
+        // one extra staged pass: re-read the pairs, write the flat rows.
+        let chain_buffers = (out_rows * WIS_BYTES / CACHELINE as f64).ceil();
+        let fold_io = if chain.is_some() {
+            IoPrediction {
+                reads: pair_buffers,
+                writes: chain_buffers,
+            }
+        } else {
+            IoPrediction::ZERO
+        };
+        let out_buffers = if chain.is_some() {
+            chain_buffers
+        } else {
+            pair_buffers
+        };
         let output_writes = IoPrediction {
-            reads: 0.0,
-            writes: out_buffers,
+            reads: fold_io.reads,
+            writes: pair_buffers + fold_io.writes,
         };
 
         // Candidate field: every applicable algorithm in both build
@@ -473,8 +622,12 @@ impl Planner {
             _ => false,
         };
 
+        let chain_slots = chain.map(|(l, r)| ChainSlots {
+            left: l.to_vec(),
+            right: r.to_vec(),
+        });
         let node_label = format!("join ~{l_rows:.0} x ~{r_rows:.0} rows ({lb:.0}/{rb:.0} buffers)");
-        let (plan, chosen_label) = if deferred_wins {
+        let (plan, chosen_label, units) = if deferred_wins {
             let (verdict, cand) = deferred_candidate.expect("checked");
             let mut left = left;
             if let PhysicalPlan::Filter {
@@ -491,12 +644,16 @@ impl Planner {
                 cost.io = IoPrediction::ZERO;
             }
             let label = cand.label.clone();
+            // The filter's materialization units leave the left subtree;
+            // re-filtering is carried by this node's own figure.
+            let units = left_units - filter_units + right_units + cand.cost_units;
             (
                 PhysicalPlan::Join {
                     left: Box::new(left),
                     right: Box::new(right),
                     algo: JoinAlgorithm::SegJ { frac: 0.0 },
                     swapped: false,
+                    chain: chain_slots,
                     cost: NodeCost {
                         io: cand.io,
                         out_rows,
@@ -505,26 +662,32 @@ impl Planner {
                     },
                 },
                 label,
+                units,
             )
         } else {
             let (algo, swapped, cand) = best_fixed.expect("field is non-empty");
             let label = cand.label.clone();
             // The node's own cost excludes the build filter's traffic
             // (the filter node carries it); undo the table-basis fold.
-            let node_io = if deferred_candidate.is_some() {
-                IoPrediction {
-                    reads: cand.io.reads - left.cost().io.reads,
-                    writes: cand.io.writes - left.cost().io.writes,
-                }
+            let (node_io, node_units) = if deferred_candidate.is_some() {
+                (
+                    IoPrediction {
+                        reads: cand.io.reads - left.cost().io.reads,
+                        writes: cand.io.writes - left.cost().io.writes,
+                    },
+                    cand.cost_units - filter_units,
+                )
             } else {
-                cand.io
+                (cand.io, cand.cost_units)
             };
+            let units = left_units + right_units + node_units;
             (
                 PhysicalPlan::Join {
                     left: Box::new(left),
                     right: Box::new(right),
                     algo,
                     swapped,
+                    chain: chain_slots,
                     cost: NodeCost {
                         io: node_io,
                         out_rows,
@@ -533,14 +696,18 @@ impl Planner {
                     },
                 },
                 label,
+                units,
             )
         };
-        choices.push(NodeChoice {
-            node: node_label,
-            candidates: all,
-            chosen: chosen_label,
-        });
-        Ok(plan)
+        Ok(JoinPlanned {
+            plan,
+            choice: NodeChoice {
+                node: node_label,
+                candidates: all,
+                chosen: chosen_label,
+            },
+            units,
+        })
     }
 
     /// Aggregation is lowered onto the write-limited sort-based
@@ -599,6 +766,37 @@ impl Planner {
         let m_records = self.m_buffers * CACHELINE as f64 / WIS_BYTES;
         let cap = (m_records / HASH_TABLE_FACTOR).max(1.0);
         (t_rows / cap).ceil().max(1.0)
+    }
+}
+
+/// One planned join edge: the composed plan, its evidence row, and the
+/// ranking figure of the whole subtree (used by the join-order DP).
+struct JoinPlanned {
+    plan: PhysicalPlan,
+    choice: NodeChoice,
+    units: f64,
+}
+
+/// Flattens a maximal join subtree into its relation leaves (the
+/// non-join subplans), in logical (SQL) order.
+pub(crate) fn collect_join_leaves<'a>(plan: &'a LogicalPlan, out: &mut Vec<&'a LogicalPlan>) {
+    match plan {
+        LogicalPlan::Join { left, right } => {
+            collect_join_leaves(left, out);
+            collect_join_leaves(right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Display name of a join-order leaf: the base table it scans (with a σ
+/// marker when filtered).
+fn leaf_relation_name(leaf: &LogicalPlan) -> String {
+    match leaf {
+        LogicalPlan::Scan { table } => table.clone(),
+        LogicalPlan::Filter { input, .. } => format!("σ{}", leaf_relation_name(input)),
+        LogicalPlan::Sort { input } | LogicalPlan::Aggregate { input } => leaf_relation_name(input),
+        LogicalPlan::Join { left, .. } => leaf_relation_name(left),
     }
 }
 
@@ -693,6 +891,87 @@ mod tests {
             .windows(2)
             .all(|w| w[0].cost_units <= w[1].cost_units));
         assert_eq!(join_choice.chosen, join_choice.candidates[0].label);
+    }
+
+    #[test]
+    fn three_way_join_runs_the_order_search() {
+        let mut cat = catalog();
+        cat.add_stats("W", TableStats::wisconsin(1_000));
+        let logical = LogicalPlan::scan("T")
+            .join(LogicalPlan::scan("V"))
+            .join(LogicalPlan::scan("W"));
+        let planned = Planner::new(15.0, 1250.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        let order = planned
+            .choices
+            .iter()
+            .find(|c| c.node.starts_with("join order"))
+            .expect("order search summary");
+        assert!(order.node.contains("3 relations"), "{}", order.node);
+        assert_eq!(order.candidates.len(), 3, "three root splits");
+        assert_eq!(order.chosen, order.candidates[0].label);
+        // Two per-edge evidence tables follow the summary.
+        let edges = planned
+            .choices
+            .iter()
+            .filter(|c| c.node.starts_with("join ~"))
+            .count();
+        assert_eq!(edges, 2);
+        // The root is a chain join covering all three relations.
+        let PhysicalPlan::Join {
+            chain: Some(slots), ..
+        } = &planned.plan
+        else {
+            panic!("expected chain join root, got {}", planned.plan.label());
+        };
+        assert_eq!(slots.tables(), 3);
+        let mut all: Vec<usize> = slots.left.iter().chain(&slots.right).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+        // The cheapest root split should put the two small relations
+        // (T: 10k, W: 1k) together before touching the 100k-row V.
+        assert!(
+            order.chosen.contains("(T ⋈ W)") || order.chosen.contains("(W ⋈ T)"),
+            "expected the small relations joined first, got {}",
+            order.chosen
+        );
+    }
+
+    #[test]
+    fn nested_logical_joins_flatten_into_the_same_search() {
+        let mut cat = catalog();
+        cat.add_stats("W", TableStats::wisconsin(1_000));
+        // Bushy input shape: join(T, join(V, W)).
+        let bushy =
+            LogicalPlan::scan("T").join(LogicalPlan::scan("V").join(LogicalPlan::scan("W")));
+        let left_deep = LogicalPlan::scan("T")
+            .join(LogicalPlan::scan("V"))
+            .join(LogicalPlan::scan("W"));
+        let planner = Planner::new(15.0, 1250.0, LayerKind::BlockedMemory);
+        let a = planner.plan(&bushy, &cat).expect("plans");
+        let b = planner.plan(&left_deep, &cat).expect("plans");
+        // Same leaves → same search → same predicted traffic.
+        assert_eq!(a.predicted, b.predicted);
+    }
+
+    #[test]
+    fn too_many_relations_is_a_plan_error() {
+        let mut cat = Catalog::new();
+        let mut logical = LogicalPlan::scan("r0");
+        cat.add_stats("r0", TableStats::wisconsin(100));
+        for i in 1..=MAX_JOIN_RELATIONS {
+            let name = format!("r{i}");
+            cat.add_stats(&name, TableStats::wisconsin(100));
+            logical = logical.join(LogicalPlan::scan(&name));
+        }
+        let err = Planner::new(15.0, 625.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .unwrap_err();
+        assert!(
+            matches!(err, PlanError::Unsupported(ref m) if m.contains("exceeds")),
+            "{err}"
+        );
     }
 
     #[test]

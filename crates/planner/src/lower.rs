@@ -17,19 +17,51 @@
 use crate::catalog::Catalog;
 use crate::enumerate::{PlanError, PlannedQuery};
 use crate::logical::Predicate;
-use crate::physical::{Materialization, PhysicalPlan};
+use crate::physical::{ChainSlots, Materialization, PhysicalPlan};
 use pmem_sim::{BufferPool, IoStats, LayerKind, Pm, PmError};
 use std::sync::Arc;
 use wisconsin::{Pair, Record, WisconsinRecord};
 use wl_runtime::OpCtx;
 use write_limited::agg::{sort_based_aggregate, GroupAgg};
-use write_limited::exec::{stage, FilterOp, ScanOp};
+use write_limited::exec::{stage, FilterOp, MapOp, ScanOp};
 use write_limited::join::JoinContext;
 use write_limited::pipeline::{filtered_iterate_join, DeferredFilter};
 use write_limited::sort::{SortAlgorithm, SortContext};
 
 /// A joined Wisconsin pair.
 pub type WisPair = Pair<WisconsinRecord, WisconsinRecord>;
+
+/// Builds one flat chain row from a joined pair: the join key lands in
+/// `attrs[0]`, each relation's payload in its logical slot
+/// (`attrs[1 + slot]`), and every other attribute is zeroed — so lowered
+/// and naive n-way evaluation produce bit-identical rows.
+pub(crate) fn fold_pair(
+    left: &WisconsinRecord,
+    l_slots: &[usize],
+    right: &WisconsinRecord,
+    r_slots: &[usize],
+) -> WisconsinRecord {
+    let mut out = WisconsinRecord {
+        attrs: [0; wisconsin::WISCONSIN_ATTRS],
+    };
+    out.attrs[0] = left.key();
+    copy_slots(&mut out, left, l_slots);
+    copy_slots(&mut out, right, r_slots);
+    out
+}
+
+fn copy_slots(out: &mut WisconsinRecord, rec: &WisconsinRecord, slots: &[usize]) {
+    match slots {
+        // A base-relation leaf still carries its payload natively.
+        [slot] => out.attrs[1 + slot] = rec.payload(),
+        // A chain-join child is already slotted.
+        _ => {
+            for &s in slots {
+                out.attrs[1 + s] = rec.attrs[1 + s];
+            }
+        }
+    }
+}
 
 /// Execution failure.
 #[derive(Debug)]
@@ -69,6 +101,15 @@ pub enum OutputRows {
     Wis(Vec<WisconsinRecord>),
     /// Joined pairs in logical (left, right) order.
     Pairs(Vec<(WisconsinRecord, WisconsinRecord)>),
+    /// n-way joined chain rows: `attrs[0]` is the join key,
+    /// `attrs[1..=tables]` one payload per base relation in logical
+    /// (SQL) join order.
+    Multi {
+        /// Slotted chain rows.
+        rows: Vec<WisconsinRecord>,
+        /// Number of base relations joined.
+        tables: usize,
+    },
     /// Aggregation groups.
     Groups(Vec<GroupAgg>),
 }
@@ -79,6 +120,7 @@ impl OutputRows {
         match self {
             OutputRows::Wis(v) => v.len(),
             OutputRows::Pairs(v) => v.len(),
+            OutputRows::Multi { rows, .. } => rows.len(),
             OutputRows::Groups(v) => v.len(),
         }
     }
@@ -89,7 +131,9 @@ impl OutputRows {
     }
 
     /// Canonical multiset form for cross-plan equivalence: one sorted
-    /// `(key, a, b)` triple per row.
+    /// `(key, a, b)` triple per row. n-way rows keep their first two
+    /// payload slots; use [`OutputRows::canonical_wide`] for the full
+    /// row.
     pub fn canonical(&self) -> Vec<(u64, u64, u64)> {
         let mut v: Vec<(u64, u64, u64)> = match self {
             OutputRows::Wis(rows) => rows.iter().map(|r| (r.key(), r.payload(), 0)).collect(),
@@ -97,8 +141,42 @@ impl OutputRows {
                 .iter()
                 .map(|(l, r)| (l.key(), l.payload(), r.payload()))
                 .collect(),
+            OutputRows::Multi { rows, .. } => rows
+                .iter()
+                .map(|r| (r.key(), r.attrs[1], r.attrs[2]))
+                .collect(),
             OutputRows::Groups(rows) => rows.iter().map(|g| (g.key, g.count, g.sum)).collect(),
         };
+        v.sort_unstable();
+        v
+    }
+
+    /// Expands each row into its full column values, in produced order —
+    /// base: `key, payload`; pairs: `key, l.payload, r.payload`; n-way:
+    /// `key, payloads…`; groups: `key, count, sum, min, max`. The one
+    /// shape-to-columns mapping that result projection and the
+    /// equivalence surfaces share.
+    pub fn wide_rows(&self) -> Vec<Vec<u64>> {
+        match self {
+            OutputRows::Wis(rows) => rows.iter().map(|r| vec![r.key(), r.payload()]).collect(),
+            OutputRows::Pairs(rows) => rows
+                .iter()
+                .map(|(l, r)| vec![l.key(), l.payload(), r.payload()])
+                .collect(),
+            OutputRows::Multi { rows, tables } => {
+                rows.iter().map(|r| r.attrs[..=*tables].to_vec()).collect()
+            }
+            OutputRows::Groups(rows) => rows
+                .iter()
+                .map(|g| vec![g.key, g.count, g.sum, g.min, g.max])
+                .collect(),
+        }
+    }
+
+    /// Canonical multiset form carrying every column — the n-way
+    /// equivalence surface: one sorted value vector per row.
+    pub fn canonical_wide(&self) -> Vec<Vec<u64>> {
+        let mut v = self.wide_rows();
         v.sort_unstable();
         v
     }
@@ -108,6 +186,7 @@ impl OutputRows {
         match self {
             OutputRows::Wis(rows) => rows.iter().map(Record::key).collect(),
             OutputRows::Pairs(rows) => rows.iter().map(|(l, _)| l.key()).collect(),
+            OutputRows::Multi { rows, .. } => rows.iter().map(Record::key).collect(),
             OutputRows::Groups(rows) => rows.iter().map(|g| g.key).collect(),
         }
     }
@@ -145,6 +224,13 @@ pub enum ResultSet {
         /// True when build and probe sides were swapped by the planner.
         swapped: bool,
     },
+    /// n-way chain rows (already normalized to logical slot order).
+    Multi {
+        /// The folded chain-row collection.
+        col: pmem_sim::PCollection<WisconsinRecord>,
+        /// Number of base relations joined.
+        tables: usize,
+    },
     /// Aggregation groups.
     Groups(pmem_sim::PCollection<GroupAgg>),
 }
@@ -159,6 +245,7 @@ impl ResultSet {
         match self {
             ResultSet::Wis(w) => w.0.as_col().len(),
             ResultSet::Pairs { col, .. } => col.len(),
+            ResultSet::Multi { col, .. } => col.len(),
             ResultSet::Groups(col) => col.len(),
         }
     }
@@ -193,6 +280,10 @@ impl ResultSet {
                     })
                     .collect(),
             ),
+            ResultSet::Multi { col, tables } => OutputRows::Multi {
+                rows: col.range_to_vec_uncounted(start, end),
+                tables: *tables,
+            },
             ResultSet::Groups(col) => OutputRows::Groups(col.range_to_vec_uncounted(start, end)),
         })
     }
@@ -208,6 +299,10 @@ impl ResultSet {
         match self {
             ResultSet::Wis(_) => OutputRows::Wis(Vec::new()),
             ResultSet::Pairs { .. } => OutputRows::Pairs(Vec::new()),
+            ResultSet::Multi { tables, .. } => OutputRows::Multi {
+                rows: Vec::new(),
+                tables: *tables,
+            },
             ResultSet::Groups(_) => OutputRows::Groups(Vec::new()),
         }
     }
@@ -243,6 +338,10 @@ enum Stream {
         col: pmem_sim::PCollection<WisPair>,
         swapped: bool,
     },
+    Chain {
+        col: pmem_sim::PCollection<WisconsinRecord>,
+        tables: usize,
+    },
     Groups(pmem_sim::PCollection<GroupAgg>),
 }
 
@@ -274,6 +373,7 @@ pub fn execute_stream(
     let result = match result {
         Stream::Wis(src) => ResultSet::Wis(WisResult(src)),
         Stream::Pairs { col, swapped } => ResultSet::Pairs { col, swapped },
+        Stream::Chain { col, tables } => ResultSet::Multi { col, tables },
         Stream::Groups(col) => ResultSet::Groups(col),
     };
     Ok(ExecutedStream {
@@ -349,8 +449,9 @@ impl<'a> Lowerer<'a> {
                 right,
                 algo,
                 swapped,
+                chain,
                 ..
-            } => self.join(left, right, *algo, *swapped),
+            } => self.join(left, right, *algo, *swapped, chain.as_ref()),
             PhysicalPlan::Aggregate { input, x, .. } => {
                 let child = self.eval(input)?;
                 self.aggregate_stream(child, *x)
@@ -384,6 +485,10 @@ impl<'a> Lowerer<'a> {
                 col: run(&col, predicate, self.dev, self.layer, &name)?,
                 swapped,
             }),
+            Stream::Chain { col, tables } => Ok(Stream::Chain {
+                col: run(&col, predicate, self.dev, self.layer, &name)?,
+                tables,
+            }),
             Stream::Groups(col) => Ok(Stream::Groups(run(
                 &col, predicate, self.dev, self.layer, &name,
             )?)),
@@ -403,6 +508,10 @@ impl<'a> Lowerer<'a> {
                 col: algo.run(&col, &ctx, &name)?,
                 swapped,
             }),
+            Stream::Chain { col, tables } => Ok(Stream::Chain {
+                col: algo.run(&col, &ctx, &name)?,
+                tables,
+            }),
             Stream::Groups(col) => Ok(Stream::Groups(algo.run(&col, &ctx, &name)?)),
         }
     }
@@ -413,6 +522,7 @@ impl<'a> Lowerer<'a> {
         right: &PhysicalPlan,
         algo: write_limited::join::JoinAlgorithm,
         swapped: bool,
+        chain: Option<&ChainSlots>,
     ) -> Result<Stream, ExecError> {
         let ctx = JoinContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("joined");
@@ -440,10 +550,7 @@ impl<'a> Lowerer<'a> {
             let mut filter =
                 DeferredFilter::new(&src, move |r| p.matches(r), *selectivity, &mut rt);
             let out = filtered_iterate_join(&mut filter, probe.as_col(), &ctx, &mut rt, &name)?;
-            return Ok(Stream::Pairs {
-                col: out,
-                swapped: false,
-            });
+            return self.finish_join(out, false, chain);
         }
 
         let build = self.eval_to_wis(left)?;
@@ -454,13 +561,45 @@ impl<'a> Lowerer<'a> {
             (build.as_col(), probe.as_col())
         };
         let out = algo.run(b, p, &ctx, &name)?;
-        Ok(Stream::Pairs { col: out, swapped })
+        self.finish_join(out, swapped, chain)
     }
 
-    /// Evaluates a subtree that must produce base records (join inputs).
+    /// Delivers a join's pair output: two-way joins stream the pairs,
+    /// chain joins fold them into slotted flat rows in one staged pass
+    /// (the fold normalizes swapped sides back to logical order, so
+    /// chain streams never carry a swap flag).
+    fn finish_join(
+        &mut self,
+        out: pmem_sim::PCollection<WisPair>,
+        swapped: bool,
+        chain: Option<&ChainSlots>,
+    ) -> Result<Stream, ExecError> {
+        let Some(slots) = chain else {
+            return Ok(Stream::Pairs { col: out, swapped });
+        };
+        let name = self.name("chained");
+        let (ls, rs) = (slots.left.clone(), slots.right.clone());
+        let mut op = MapOp::new(ScanOp::new(&out), move |p: &WisPair| {
+            let (l, r) = if swapped {
+                (&p.right, &p.left)
+            } else {
+                (&p.left, &p.right)
+            };
+            fold_pair(l, &ls, r, &rs)
+        });
+        let col = stage(&mut op, self.dev, self.layer, &name)?;
+        Ok(Stream::Chain {
+            col,
+            tables: slots.tables(),
+        })
+    }
+
+    /// Evaluates a subtree that must produce flat Wisconsin records —
+    /// base records or already-folded chain rows (join inputs).
     fn eval_to_wis(&mut self, plan: &PhysicalPlan) -> Result<WisSource, ExecError> {
         match self.eval(plan)? {
             Stream::Wis(src) => Ok(src),
+            Stream::Chain { col, .. } => Ok(WisSource::Owned(col)),
             _ => Err(ExecError::Plan(PlanError::Unsupported(
                 "join inputs must produce base records".into(),
             ))),
@@ -480,6 +619,11 @@ impl<'a> Lowerer<'a> {
                 } else {
                     sort_based_aggregate(&col, x, |p| p.right.payload(), &ctx, &name)?
                 }
+            }
+            // Chain rows aggregate the last-joined relation's payload,
+            // mirroring the two-way probe-side convention.
+            Stream::Chain { col, tables } => {
+                sort_based_aggregate(&col, x, move |r| r.attrs[tables], &ctx, &name)?
             }
             Stream::Groups(_) => {
                 return Err(ExecError::Plan(PlanError::Unsupported(

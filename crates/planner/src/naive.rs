@@ -3,9 +3,9 @@
 //! produce exactly these rows — the planner's correctness oracle.
 
 use crate::catalog::Catalog;
-use crate::enumerate::PlanError;
+use crate::enumerate::{collect_join_leaves, PlanError};
 use crate::logical::LogicalPlan;
-use crate::lower::{ExecError, OutputRows};
+use crate::lower::{fold_pair, ExecError, OutputRows};
 use std::collections::BTreeMap;
 use wisconsin::{Record, WisconsinRecord};
 use write_limited::agg::GroupAgg;
@@ -39,6 +39,10 @@ fn eval(logical: &LogicalPlan, catalog: &Catalog) -> Result<OutputRows, ExecErro
                         .filter(|(l, _)| predicate.matches(l))
                         .collect(),
                 ),
+                OutputRows::Multi { rows, tables } => OutputRows::Multi {
+                    rows: rows.into_iter().filter(|r| predicate.matches(r)).collect(),
+                    tables,
+                },
                 OutputRows::Groups(v) => {
                     OutputRows::Groups(v.into_iter().filter(|g| predicate.matches(g)).collect())
                 }
@@ -55,6 +59,10 @@ fn eval(logical: &LogicalPlan, catalog: &Catalog) -> Result<OutputRows, ExecErro
                     v.sort_by_key(|(l, _)| l.key());
                     OutputRows::Pairs(v)
                 }
+                OutputRows::Multi { mut rows, tables } => {
+                    rows.sort_by_key(Record::key);
+                    OutputRows::Multi { rows, tables }
+                }
                 OutputRows::Groups(mut v) => {
                     v.sort_by_key(|g| g.key);
                     OutputRows::Groups(v)
@@ -62,6 +70,11 @@ fn eval(logical: &LogicalPlan, catalog: &Catalog) -> Result<OutputRows, ExecErro
             })
         }
         LogicalPlan::Join { left, right } => {
+            let mut leaves = Vec::new();
+            collect_join_leaves(logical, &mut leaves);
+            if leaves.len() > 2 {
+                return eval_chain(&leaves, catalog);
+            }
             let (OutputRows::Wis(l), OutputRows::Wis(r)) =
                 (eval(left, catalog)?, eval(right, catalog)?)
             else {
@@ -88,6 +101,10 @@ fn eval(logical: &LogicalPlan, catalog: &Catalog) -> Result<OutputRows, ExecErro
             let kv: Vec<(u64, u64)> = match rows {
                 OutputRows::Wis(v) => v.iter().map(|r| (r.key(), r.payload())).collect(),
                 OutputRows::Pairs(v) => v.iter().map(|(l, r)| (l.key(), r.payload())).collect(),
+                // Last-joined relation's payload, as in the lowered path.
+                OutputRows::Multi { rows, tables } => {
+                    rows.iter().map(|r| (r.key(), r.attrs[tables])).collect()
+                }
                 OutputRows::Groups(_) => {
                     return Err(ExecError::Plan(PlanError::Unsupported(
                         "aggregate over aggregate".into(),
@@ -104,6 +121,45 @@ fn eval(logical: &LogicalPlan, catalog: &Catalog) -> Result<OutputRows, ExecErro
             Ok(OutputRows::Groups(groups.into_values().collect()))
         }
     }
+}
+
+/// Evaluates an n-way (≥ 3 relation) join subtree: hash-joins the
+/// relation leaves left-deep in logical order, folding each match into a
+/// slotted chain row with the same [`fold_pair`] the lowered path uses —
+/// so rows agree bit-for-bit with any join order the DP picks.
+fn eval_chain(leaves: &[&LogicalPlan], catalog: &Catalog) -> Result<OutputRows, ExecError> {
+    let n = leaves.len();
+    let mut acc: Vec<WisconsinRecord> = Vec::new();
+    let mut acc_slots: Vec<usize> = vec![0];
+    for (i, leaf) in leaves.iter().enumerate() {
+        let OutputRows::Wis(rows) = eval(leaf, catalog)? else {
+            return Err(ExecError::Plan(PlanError::Unsupported(
+                "join inputs must produce base records".into(),
+            )));
+        };
+        if i == 0 {
+            acc = rows;
+            continue;
+        }
+        let mut by_key: BTreeMap<u64, Vec<WisconsinRecord>> = BTreeMap::new();
+        for rec in &acc {
+            by_key.entry(rec.key()).or_default().push(*rec);
+        }
+        let mut out = Vec::new();
+        for probe in &rows {
+            if let Some(matches) = by_key.get(&probe.key()) {
+                for build in matches {
+                    out.push(fold_pair(build, &acc_slots, probe, &[i]));
+                }
+            }
+        }
+        acc = out;
+        acc_slots.push(i);
+    }
+    Ok(OutputRows::Multi {
+        rows: acc,
+        tables: n,
+    })
 }
 
 #[cfg(test)]

@@ -16,6 +16,28 @@ pub enum Materialization {
     Deferred,
 }
 
+/// Payload-slot bookkeeping of a join that is part of an n-way chain
+/// (≥ 3 base relations). Chain joins fold their pair output into flat
+/// rows that carry one payload per base relation: relation `s` (its
+/// position in the logical join order) lands in payload slot `s`. Each
+/// side contributes either one slot (a base-relation leaf, whose records
+/// still hold their payload in the native position) or several (a chain
+/// join child, whose records are already slotted).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainSlots {
+    /// Slots the logical left side contributes, in its own join order.
+    pub left: Vec<usize>,
+    /// Slots the logical right side contributes, in its own join order.
+    pub right: Vec<usize>,
+}
+
+impl ChainSlots {
+    /// Total number of base relations under this join.
+    pub fn tables(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+}
+
 /// Per-node cost annotation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NodeCost {
@@ -78,6 +100,10 @@ pub enum PhysicalPlan {
         /// True when the enumerator swapped build and probe sides
         /// (the physical build side is the logical `right`).
         swapped: bool,
+        /// `Some` when this join is part of an n-way chain and folds its
+        /// pair output into slotted flat rows; `None` for the classic
+        /// two-way join delivering pairs.
+        chain: Option<ChainSlots>,
         /// Cost annotation.
         cost: NodeCost,
     },
@@ -134,12 +160,24 @@ impl PhysicalPlan {
                 format!("filter [{}] ({m})", predicate.describe())
             }
             PhysicalPlan::Sort { algo, .. } => format!("sort via {}", algo.label()),
-            PhysicalPlan::Join { algo, swapped, .. } => {
+            PhysicalPlan::Join {
+                algo,
+                swapped,
+                chain,
+                ..
+            } => {
+                let mut out = format!("join via {}", algo.label());
                 if *swapped {
-                    format!("join via {} (sides swapped)", algo.label())
-                } else {
-                    format!("join via {}", algo.label())
+                    out.push_str(" (sides swapped)");
                 }
+                if let Some(slots) = chain {
+                    out.push_str(&format!(
+                        " (fold {:?} + {:?})",
+                        slots.left.as_slice(),
+                        slots.right.as_slice()
+                    ));
+                }
+                out
             }
             PhysicalPlan::Aggregate { x, .. } => format!("aggregate (x = {x:.2})"),
         }
@@ -198,6 +236,7 @@ mod tests {
             right: Box::new(leaf(200.0)),
             algo: JoinAlgorithm::GJ,
             swapped: false,
+            chain: None,
             cost: NodeCost {
                 io: IoPrediction {
                     reads: 600.0,

@@ -54,6 +54,78 @@ fn invalid_knobs_error_for_every_parameterized_algorithm() {
     }
 }
 
+/// Empty inputs must flow through every algorithm as empty results —
+/// no divide-by-zero, no empty-partition panics, no errors. Sweeps all
+/// join algorithms over (empty, empty), (empty, full), (full, empty),
+/// every sort algorithm over an empty collection, and the aggregator.
+#[test]
+fn empty_inputs_yield_empty_results_for_every_algorithm() {
+    let dev = PmDevice::paper_default();
+    let empty = PCollection::<WisconsinRecord>::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "E",
+        std::iter::empty(),
+    );
+    let full = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "F",
+        (0..200).map(WisconsinRecord::from_key),
+    );
+    let pool = BufferPool::new(100 * 80);
+    let jctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool);
+    let sctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool);
+
+    let joins = [
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::GJ,
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::HybJ { x: 0.5, y: 0.5 },
+        JoinAlgorithm::SegJ { frac: 0.5 },
+        JoinAlgorithm::LaJ,
+        JoinAlgorithm::SMJ { x: 0.5 },
+    ];
+    for algo in joins {
+        for (name, l, r) in [
+            ("empty ⋈ empty", &empty, &empty),
+            ("empty ⋈ full", &empty, &full),
+            ("full ⋈ empty", &full, &empty),
+        ] {
+            let out = algo
+                .run(l, r, &jctx, "j")
+                .unwrap_or_else(|e| panic!("{} over {name}: {e:?}", algo.label()));
+            assert!(out.is_empty(), "{} over {name} produced rows", algo.label());
+        }
+    }
+
+    let sorts = [
+        SortAlgorithm::ExMS,
+        SortAlgorithm::SegS { x: 0.5 },
+        SortAlgorithm::HybS { x: 0.5 },
+        SortAlgorithm::LaS,
+        SortAlgorithm::SelS,
+    ];
+    for algo in sorts {
+        let out = algo
+            .run(&empty, &sctx, "s")
+            .unwrap_or_else(|e| panic!("{} over empty: {e:?}", algo.label()));
+        assert!(out.is_empty(), "{} over empty produced rows", algo.label());
+    }
+
+    for x in [0.0, 0.5, 1.0] {
+        let out = write_limited::agg::sort_based_aggregate(
+            &empty,
+            x,
+            |r: &WisconsinRecord| r.payload(),
+            &sctx,
+            "a",
+        )
+        .unwrap_or_else(|e| panic!("aggregate (x={x}) over empty: {e:?}"));
+        assert!(out.is_empty(), "aggregate over empty produced groups");
+    }
+}
+
 #[test]
 fn extreme_keys_sort_correctly() {
     let keys = [u64::MAX, 0, u64::MAX - 1, 1, u64::MAX / 2, u64::MAX, 0];

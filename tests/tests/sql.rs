@@ -1,9 +1,11 @@
 //! Integration tests for the `wl-db` facade: golden parse trees for
 //! every supported clause, span-carrying error paths, and end-to-end
-//! agreement between SQL sessions and the naive DRAM executor.
+//! agreement between SQL sessions and the naive DRAM executor —
+//! including multi-way join queries, self-join aliases, empty tables,
+//! and LIMIT short-circuits.
 
-use planner::{execute_naive, LogicalPlan, OutputRows, Predicate};
-use wl_db::{parse, Database, DbError, Response, Statement};
+use planner::{execute_naive, LogicalPlan, Predicate};
+use wl_db::{bind, parse, Database, DbError, Response, Statement};
 
 // ---------- golden parse trees, one per supported clause ----------
 
@@ -49,6 +51,19 @@ fn golden_parse_trees_cover_every_clause() {
             "EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key GROUP BY key ORDER BY key;",
             "explain select\n  project *\n  from t\n  join v on t.key = v.key\n  group by key\n  order by key\n",
         ),
+        (
+            "SELECT * FROM t JOIN v ON t.key = v.key JOIN w ON v.key = w.key;",
+            "select\n  project *\n  from t\n  join v on t.key = v.key\n  join w on v.key = w.key\n",
+        ),
+        (
+            "SELECT t.payload, u.payload FROM t JOIN t AS u ON t.key = u.key;",
+            "select\n  project t.payload, u.payload\n  from t\n  join t as u on t.key = u.key\n",
+        ),
+        (
+            "SELECT * FROM t AS x WHERE x.key < 9;",
+            "select\n  project *\n  from t as x\n  where x.key < 9\n",
+        ),
+        ("CREATE TABLE e AS WISCONSIN(0);", "create e as wisconsin(rows=0, fanout=1, seed=42)\n"),
     ];
     for (sql, golden) in cases {
         let stmt = parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
@@ -133,26 +148,373 @@ fn sql_results_agree_with_the_naive_executor() {
             got.extend(batch.rows);
         }
         let reference = execute_naive(logical, &catalog).expect("naive evaluates");
-        use wisconsin::Record as _;
-        let want: Vec<Vec<u64>> = match reference {
-            OutputRows::Wis(rows) => rows.iter().map(|r| vec![r.key(), r.payload()]).collect(),
-            OutputRows::Pairs(rows) => rows
-                .iter()
-                .map(|(l, r)| vec![l.key(), l.payload(), r.payload()])
-                .collect(),
-            OutputRows::Groups(rows) => rows
-                .iter()
-                .map(|g| vec![g.key, g.count, g.sum, g.min, g.max])
-                .collect(),
-        };
-        let canon = |mut v: Vec<Vec<u64>>| {
-            v.sort_unstable();
-            v
-        };
+        let want = reference.canonical_wide();
+        got.sort_unstable();
         assert_eq!(
-            canon(got),
-            canon(want),
+            got, want,
             "{sql}: session rows diverge from the naive executor"
+        );
+    }
+}
+
+// ---------- multi-way joins through SQL ----------
+
+/// Drains a stream into rows.
+fn drain_rows(stream: &mut wl_db::ResultStream) -> Vec<Vec<u64>> {
+    let mut rows = Vec::new();
+    while let Some(batch) = stream.next_batch().expect("streams") {
+        rows.extend(batch.rows);
+    }
+    rows
+}
+
+#[test]
+fn three_table_chain_query_matches_the_naive_oracle() {
+    let db = Database::builder().dram_records(300).batch_rows(64).build();
+    db.create_wisconsin("t", 300, 1, 5).expect("fresh");
+    db.create_wisconsin("v", 300, 2, 5).expect("fresh");
+    db.create_wisconsin("w", 300, 3, 5).expect("fresh");
+    let session = db.session();
+
+    let sql = "SELECT * FROM t JOIN v ON t.key = v.key JOIN w ON v.key = w.key \
+               WHERE t.key < 100";
+    let mut stream = session.query(sql).expect("plans");
+    assert_eq!(
+        stream.columns(),
+        ["key", "t.payload", "v.payload", "w.payload"]
+    );
+    let mut got = drain_rows(&mut stream);
+    got.sort_unstable();
+    assert_eq!(got.len(), 100 * 2 * 3, "fanout product under the filter");
+
+    let Statement::Select(select) = parse(sql).expect("parses") else {
+        panic!("expected select")
+    };
+    let bound = bind(&select, &db.catalog()).expect("binds");
+    let reference = execute_naive(&bound.logical, &db.catalog()).expect("naive evaluates");
+    assert_eq!(got, reference.canonical_wide());
+}
+
+#[test]
+fn explain_reports_the_chosen_join_order() {
+    let db = Database::builder().dram_records(400).build();
+    db.create_wisconsin("t", 200, 1, 1).expect("fresh");
+    db.create_wisconsin("v", 2_000, 1, 1).expect("fresh");
+    db.create_wisconsin("w", 200, 1, 1).expect("fresh");
+    let mut session = db.session();
+    let Response::Explain(mut stream) = session
+        .execute(
+            "EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key JOIN w ON v.key = w.key \
+             ORDER BY key",
+        )
+        .expect("executes")
+    else {
+        panic!("expected explain");
+    };
+    stream.drain().expect("runs");
+    let report = stream.explain();
+    assert!(report.contains("join order over 3 relations"), "{report}");
+    assert!(report.contains("⋈"), "{report}");
+    // Two per-edge evidence tables and the chain-join plan nodes.
+    assert!(report.contains("join ~"), "{report}");
+    assert!(report.contains("fold"), "{report}");
+    assert!(report.contains("predicted vs measured"), "{report}");
+}
+
+/// Property-style loop: randomized 3–4 table chain and star queries,
+/// checked against the n-way naive oracle, re-executed at DoP 4 — rows
+/// and simulated counters must both be independent of the parallelism.
+#[test]
+fn random_multiway_sql_agrees_with_naive_at_any_dop() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0x3B17);
+    for case in 0..6 {
+        let n = rng.gen_range(3usize..5);
+        let keys = rng.gen_range(80u64..250);
+        let db = Database::builder().dram_records(250).batch_rows(37).build();
+        let names = ["a", "b", "c", "d"];
+        for name in &names[..n] {
+            let fanout = rng.gen_range(1u64..3);
+            db.create_wisconsin(name, keys, fanout, case as u64 + 1)
+                .expect("fresh");
+        }
+
+        // Chain: each ON joins the previous table; star: all to `a`.
+        let star = case % 2 == 1;
+        let mut sql = String::from("SELECT * FROM a");
+        for i in 1..n {
+            let anchor = if star { "a" } else { names[i - 1] };
+            sql.push_str(&format!(
+                " JOIN {} ON {anchor}.key = {}.key",
+                names[i], names[i]
+            ));
+        }
+        if case % 3 == 0 {
+            sql.push_str(&format!(" WHERE a.key < {}", keys / 2));
+        }
+
+        let mut session = db.session();
+        session.execute("SET threads = 1").expect("sets");
+        let mut stream = session.query(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let mut got = drain_rows(&mut stream);
+        got.sort_unstable();
+        let stats1 = stream.stats().expect("drained");
+
+        let Statement::Select(select) = parse(&sql).expect("parses") else {
+            panic!("expected select")
+        };
+        let bound = bind(&select, &db.catalog()).expect("binds");
+        let reference = execute_naive(&bound.logical, &db.catalog()).expect("naive evaluates");
+        assert_eq!(
+            got,
+            reference.canonical_wide(),
+            "case {case} ({sql}) diverges from the oracle"
+        );
+
+        // Re-execute the same plan at DoP 4: identical rows, identical
+        // counters (parallelism buys wall-clock only).
+        let planned4 = planner::PlannedQuery {
+            threads: 4,
+            ..stream.planned().clone()
+        };
+        let pool = pmem_sim::BufferPool::new(250 * 80);
+        let run4 = planner::execute(&planned4, &db.catalog(), db.device(), db.layer(), &pool)
+            .expect("runs at DoP 4");
+        assert_eq!(
+            run4.output.canonical_wide(),
+            got,
+            "case {case}: rows changed with DoP"
+        );
+        assert_eq!(
+            run4.stats.cl_reads, stats1.io.cl_reads,
+            "case {case}: reads changed with DoP"
+        );
+        assert_eq!(
+            run4.stats.cl_writes, stats1.io.cl_writes,
+            "case {case}: writes changed with DoP"
+        );
+    }
+}
+
+// ---------- self-joins and aliases ----------
+
+#[test]
+fn self_join_with_alias_round_trips() {
+    let db = Database::builder().dram_records(200).build();
+    db.create_wisconsin("t", 150, 2, 9).expect("fresh");
+    let session = db.session();
+    let mut stream = session
+        .query("SELECT key, t.payload, u.payload FROM t JOIN t AS u ON t.key = u.key")
+        .expect("plans");
+    assert_eq!(stream.columns(), ["key", "t.payload", "u.payload"]);
+    let rows = drain_rows(&mut stream);
+    // fanout 2 on both sides → 4 pairs per key.
+    assert_eq!(rows.len(), 150 * 4);
+}
+
+#[test]
+fn self_join_without_alias_is_a_span_carrying_error() {
+    let db = Database::builder().build();
+    db.create_wisconsin("t", 50, 1, 1).expect("fresh");
+    let session = db.session();
+    let sql = "SELECT * FROM t JOIN t ON t.key = t.key";
+    let DbError::Sql(e) = session.query(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(e.message.contains("duplicate table name"), "{}", e.message);
+    assert!(e.message.contains("AS"), "hint at aliasing: {}", e.message);
+    assert_eq!(&sql[e.span.start..e.span.end], "t");
+    assert_eq!(e.span.start, 21, "span on the second occurrence");
+}
+
+#[test]
+fn multiway_binder_errors_carry_spans() {
+    let db = Database::builder().build();
+    db.create_wisconsin("t", 50, 1, 1).expect("fresh");
+    db.create_wisconsin("v", 50, 1, 1).expect("fresh");
+    db.create_wisconsin("w", 50, 1, 1).expect("fresh");
+    let session = db.session();
+
+    // Unknown alias inside a 3-table join condition.
+    let sql = "SELECT * FROM t JOIN v ON t.key = v.key JOIN w ON nope.key = w.key";
+    let DbError::Sql(e) = session.query(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(
+        e.message.contains("unknown table reference \"nope\""),
+        "{}",
+        e.message
+    );
+    assert!(e.message.contains("in scope: t, v, w"), "{}", e.message);
+    assert_eq!(&sql[e.span.start..e.span.end], "nope.key");
+
+    // A join condition that fails to involve the newly joined table.
+    let sql = "SELECT * FROM t JOIN v ON t.key = v.key JOIN w ON t.key = v.key";
+    let DbError::Sql(e) = session.query(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(
+        e.message.contains("must involve the joined table \"w\""),
+        "{}",
+        e.message
+    );
+
+    // A join condition referencing a table joined later.
+    let sql = "SELECT * FROM t JOIN v ON w.key = v.key JOIN w ON t.key = w.key";
+    let DbError::Sql(e) = session.query(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(e.message.contains("not yet in scope"), "{}", e.message);
+
+    // Ambiguous unqualified payload across three tables.
+    let sql = "SELECT payload FROM t JOIN v ON t.key = v.key JOIN w ON v.key = w.key";
+    let DbError::Sql(e) = session.query(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(e.message.contains("ambiguous"), "{}", e.message);
+    assert!(e.message.contains("w.payload"), "{}", e.message);
+
+    // Unknown qualifier in the projection.
+    let sql = "SELECT z.payload FROM t JOIN v ON t.key = v.key JOIN w ON v.key = w.key";
+    let DbError::Sql(e) = session.query(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(
+        e.message.contains("unknown table reference \"z\""),
+        "{}",
+        e.message
+    );
+    assert_eq!(&sql[e.span.start..e.span.end], "z");
+}
+
+// ---------- empty tables ----------
+
+#[test]
+fn empty_tables_flow_through_every_query_shape() {
+    let db = Database::builder().dram_records(200).build();
+    let mut session = db.session();
+    let Response::Created { rows, .. } = session
+        .execute("CREATE TABLE e AS WISCONSIN(0)")
+        .expect("creates")
+    else {
+        panic!("expected created");
+    };
+    assert_eq!(rows, 0);
+    db.create_wisconsin("t", 100, 2, 3).expect("fresh");
+
+    for sql in [
+        "SELECT * FROM e",
+        "SELECT * FROM e WHERE key < 10 ORDER BY key",
+        "SELECT * FROM e GROUP BY key",
+        "SELECT * FROM e JOIN t ON e.key = t.key",
+        "SELECT * FROM t JOIN e ON t.key = e.key",
+        "SELECT * FROM e JOIN t ON e.key = t.key GROUP BY key ORDER BY key",
+        "SELECT * FROM t JOIN e ON t.key = e.key JOIN t AS u ON e.key = u.key",
+    ] {
+        let mut stream = session.query(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let rows = drain_rows(&mut stream);
+        assert!(
+            rows.is_empty(),
+            "{sql}: expected no rows, got {}",
+            rows.len()
+        );
+    }
+}
+
+// ---------- LIMIT short-circuits ----------
+
+#[test]
+fn limit_zero_never_executes_the_plan() {
+    let db = Database::builder().dram_records(200).build();
+    db.create_wisconsin("t", 2_000, 1, 7).expect("fresh");
+    db.create_wisconsin("v", 2_000, 2, 7).expect("fresh");
+    let session = db.session();
+
+    // An expensive join + sort behind LIMIT 0: the first pull must not
+    // run it, and the IO ledger must stay at zero.
+    let mut stream = session
+        .query("SELECT * FROM t JOIN v ON t.key = v.key ORDER BY key LIMIT 0")
+        .expect("plans");
+    assert!(stream.next_batch().expect("streams").is_none());
+    let stats = stream.stats().expect("done");
+    assert_eq!(stats.rows, 0);
+    assert_eq!(stats.batches, 0);
+    assert_eq!(stats.io.cl_reads, 0, "LIMIT 0 must not touch the device");
+    assert_eq!(stats.io.cl_writes, 0, "LIMIT 0 must not touch the device");
+    // The explain report still shows the plan, but must not present the
+    // never-executed run's zeroed ledger as a measurement.
+    let report = stream.explain();
+    assert!(report.contains("chosen plan"), "{report}");
+    assert!(
+        !report.contains("predicted vs measured"),
+        "no concordance for a run that never happened:\n{report}"
+    );
+
+    // A limit smaller than the first batch stops delivery at the limit.
+    let mut stream = session
+        .query("SELECT * FROM t ORDER BY key LIMIT 3")
+        .expect("plans");
+    let rows = drain_rows(&mut stream);
+    assert_eq!(rows.len(), 3);
+    assert_eq!(stream.stats().expect("done").rows, 3);
+}
+
+// ---------- lexer and SET range diagnostics ----------
+
+#[test]
+fn numeric_overflow_and_zero_knobs_are_span_carrying_errors() {
+    let db = Database::builder().build();
+    db.create_wisconsin("t", 50, 1, 1).expect("fresh");
+    let mut session = db.session();
+
+    // A literal past u64::MAX must error with the literal's span, and
+    // the caret rendering must underline exactly it.
+    let sql = "SELECT * FROM t WHERE key < 99999999999999999999999";
+    let DbError::Sql(e) = session.execute(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(e.message.contains("out of range"), "{}", e.message);
+    assert_eq!(&sql[e.span.start..e.span.end], "99999999999999999999999");
+    let rendered = e.render(sql);
+    assert!(
+        rendered.contains(&"^".repeat("99999999999999999999999".len())),
+        "caret must underline the literal:\n{rendered}"
+    );
+
+    // Underscore separators participate in the overflow check.
+    let sql = "SET memory = 99_999_999_999_999_999_999_999";
+    let DbError::Sql(e) = session.execute(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(e.message.contains("out of range"), "{}", e.message);
+
+    // u64::MAX itself lexes; the memory knob reports its own range
+    // error instead of panicking on overflow.
+    let sql = "SET memory = 18446744073709551615";
+    let DbError::Sql(e) = session.execute(sql).unwrap_err() else {
+        panic!("expected SQL error")
+    };
+    assert!(e.message.contains("out of range"), "{}", e.message);
+
+    // Zero knob values error with the value's span.
+    for knob in ["threads", "batch", "lambda", "memory"] {
+        let sql = format!("SET {knob} = 0");
+        let DbError::Sql(e) = session.execute(&sql).unwrap_err() else {
+            panic!("expected SQL error for {knob}")
+        };
+        assert!(
+            e.message.contains("positive value"),
+            "{knob}: {}",
+            e.message
+        );
+        assert_eq!(&sql[e.span.start..e.span.end], "0", "{knob} span");
+        let rendered = e.render(&sql);
+        let caret_line = rendered.lines().nth(2).expect("caret line");
+        assert_eq!(
+            caret_line.trim(),
+            "^",
+            "caret must sit under the 0:\n{rendered}"
         );
     }
 }
