@@ -9,7 +9,8 @@
 //! repro --config          # print the simulator configuration (Table 2 stand-in)
 //! repro --breakdown       # per-collection write/read attribution for one SegS run
 //! repro --plan            # plan-level concordance sweep (planner over Fig. 12)
-//! repro --parallel        # wall-clock speedup of parallel partition execution
+//! repro --parallel        # speedup matrix; writes BENCH_parallel.json baseline
+//! repro --parallel-smoke  # CI-sized DoP 1 vs 4 matrix, counters must be identical
 //! repro --threads 4 ...   # degree of parallelism for every scenario (= WL_THREADS)
 //! WL_SCALE=quick repro --all
 //! ```
@@ -126,12 +127,18 @@ fn main() {
         }
         Some("--plan") => wl_bench::plan_concordance(&scale),
         Some("--parallel") => wl_bench::parallel_speedup(&scale, &[1, 2, 4, 8]),
+        Some("--parallel-smoke") => {
+            // CI bench smoke: the matrix itself asserts the counters are
+            // identical across DoPs, so completing the run is the check.
+            wl_bench::parallel_speedup_cells(&scale, &[1, 4], true);
+        }
         Some("--config") => print_config(),
         Some("--breakdown") => breakdown_demo(&scale),
         Some(other) => {
             eprintln!(
                 "unknown flag {other}; see \
-                 --all/--figure/--table/--ablation/--plan/--parallel/--config"
+                 --all/--figure/--table/--ablation/--plan/--parallel/\
+                 --parallel-smoke/--config"
             )
         }
     }

@@ -17,6 +17,6 @@ pub mod scale;
 pub mod table;
 
 pub use measure::{run_join, run_sort, Measurement};
-pub use parallel::parallel_speedup;
+pub use parallel::{parallel_speedup, parallel_speedup_cells};
 pub use plan::{plan_concordance, run_plan_concordance, PlanCell};
 pub use scale::Scale;

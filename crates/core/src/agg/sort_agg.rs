@@ -9,23 +9,31 @@
 //! mergesort are written (but never the sorted result itself).
 
 use crate::agg::GroupAgg;
+use crate::parallel;
 use crate::sort::common::{
-    generate_runs_replacement_range, merge_fan_in, merge_group, SortContext,
+    generate_runs_replacement_range, merge_fan_in, merge_group, run_segment_cuts, segment_streams,
+    KWayMerge, SortContext, MERGE_SEGMENT_RECORDS,
 };
 use crate::sort::selection::SelectionStream;
-use pmem_sim::{PCollection, PmError};
+use pmem_sim::{PCollection, PmError, RecordBuffer};
 use wisconsin::Record;
 
 /// Aggregates `input` by key, extracting the aggregated value with
 /// `value_of`, using a sort-based pipeline at write intensity `x`.
 /// Output groups are emitted in ascending key order.
 ///
+/// At full write intensity the final merge-aggregate pass
+/// range-partitions the key space across the worker pool (groups cannot
+/// straddle a splitter, so segments aggregate independently); lower
+/// intensities keep the deferred selection stream, which regenerates
+/// itself by rescanning the input and therefore merges serially.
+///
 /// # Errors
 /// Returns [`PmError::InvalidParameter`] unless `0 ≤ x ≤ 1`.
 pub fn sort_based_aggregate<R: Record>(
     input: &PCollection<R>,
     x: f64,
-    value_of: impl Fn(&R) -> u64,
+    value_of: impl Fn(&R) -> u64 + Sync,
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<GroupAgg>, PmError> {
@@ -39,17 +47,30 @@ pub fn sort_based_aggregate<R: Record>(
     let split = ((n as f64) * x).round() as usize;
     let capacity = ctx.capacity_records::<R>();
 
-    // Write-incurring prefix: external-mergesort runs.
+    // Write-incurring prefix: external-mergesort runs. Pre-merge passes
+    // fan out over their independent groups (names minted up front, so
+    // naming and counters are DoP-invariant).
     let mut runs = generate_runs_replacement_range(input, 0..split, capacity, ctx);
     let fan_in = merge_fan_in(ctx).saturating_sub(1).max(2);
     while runs.len() > fan_in {
-        let mut merged: Vec<PCollection<R>> = Vec::new();
-        for group in runs.chunks(fan_in) {
-            let mut next = ctx.fresh::<R>("agg-merge");
-            merge_group(group, &mut next);
-            merged.push(next);
-        }
+        let groups: Vec<&[PCollection<R>]> = runs.chunks(fan_in).collect();
+        let names: Vec<String> = (0..groups.len())
+            .map(|_| ctx.fresh_name("agg-merge"))
+            .collect();
+        let merged = parallel::map_ordered(ctx.threads(), groups.len(), |g| {
+            let mut next = PCollection::new(ctx.device(), ctx.kind(), names[g].clone());
+            merge_group(groups[g], &mut next);
+            next
+        });
+        drop(groups);
         runs = merged;
+    }
+
+    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+    let segments = n.div_ceil(MERGE_SEGMENT_RECORDS).max(1);
+    if split == n && runs.len() > 1 && segments > 1 {
+        aggregate_runs_parallel(&runs, &value_of, segments, ctx, &mut out);
+        return Ok(out);
     }
 
     // Merge streams straight into the aggregator: the sorted sequence is
@@ -62,18 +83,9 @@ pub fn sort_based_aggregate<R: Record>(
         streams.push(Box::new(SelectionStream::new(input, split..n, capacity)));
     }
 
-    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
     let mut current: Option<GroupAgg> = None;
     for record in KWayMerge::new(streams) {
-        let (key, value) = (record.key(), value_of(&record));
-        match current.as_mut() {
-            Some(g) if g.key == key => g.fold(value),
-            Some(g) => {
-                out.append(g);
-                current = Some(GroupAgg::seed(key, value));
-            }
-            None => current = Some(GroupAgg::seed(key, value)),
-        }
+        fold_into(&mut current, &record, &value_of, |g| out.append(g));
     }
     if let Some(g) = current {
         out.append(&g);
@@ -81,51 +93,54 @@ pub fn sort_based_aggregate<R: Record>(
     Ok(out)
 }
 
-/// A pull-based k-way merge over sorted streams (iterator flavour of
-/// [`crate::sort::common::merge_streams`], for consumers that must see
-/// records instead of a collection).
-struct KWayMerge<'a, R: Record> {
-    streams: Vec<Box<dyn Iterator<Item = R> + 'a>>,
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>>,
-    heads: Vec<Option<R>>,
-    seq: u64,
+/// Folds one record into the running group, emitting the finished group
+/// when the key advances.
+fn fold_into<R: Record>(
+    current: &mut Option<GroupAgg>,
+    record: &R,
+    value_of: &impl Fn(&R) -> u64,
+    mut emit: impl FnMut(&GroupAgg),
+) {
+    let (key, value) = (record.key(), value_of(record));
+    match current.as_mut() {
+        Some(g) if g.key == key => g.fold(value),
+        Some(g) => {
+            emit(g);
+            *current = Some(GroupAgg::seed(key, value));
+        }
+        None => *current = Some(GroupAgg::seed(key, value)),
+    }
 }
 
-impl<'a, R: Record> KWayMerge<'a, R> {
-    fn new(mut streams: Vec<Box<dyn Iterator<Item = R> + 'a>>) -> Self {
-        let mut heap = std::collections::BinaryHeap::with_capacity(streams.len());
-        let mut heads = Vec::with_capacity(streams.len());
-        let mut seq = 0u64;
-        for (i, s) in streams.iter_mut().enumerate() {
-            let head = s.next();
-            if let Some(ref r) = head {
-                heap.push(std::cmp::Reverse((r.key(), seq, i)));
-                seq += 1;
+/// Range-partitioned final merge-aggregate: splitter keys sampled from
+/// the runs carve the key space into segments; every group falls wholly
+/// inside one segment, so each worker merges and aggregates its ranges
+/// independently and the coordinator concatenates the group outputs in
+/// splitter order — identical rows and counters at any DoP.
+fn aggregate_runs_parallel<R: Record>(
+    runs: &[PCollection<R>],
+    value_of: &(impl Fn(&R) -> u64 + Sync),
+    segments: usize,
+    ctx: &SortContext<'_>,
+    out: &mut PCollection<GroupAgg>,
+) {
+    let cuts = run_segment_cuts(runs, segments);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        segments,
+        |seg| {
+            let mut buf = RecordBuffer::new();
+            let mut current: Option<GroupAgg> = None;
+            for record in KWayMerge::new(segment_streams(runs, &cuts, seg)) {
+                fold_into(&mut current, &record, value_of, |g| buf.push(g));
             }
-            heads.push(head);
-        }
-        Self {
-            streams,
-            heap,
-            heads,
-            seq,
-        }
-    }
-}
-
-impl<'a, R: Record> Iterator for KWayMerge<'a, R> {
-    type Item = R;
-
-    fn next(&mut self) -> Option<R> {
-        let std::cmp::Reverse((_, _, i)) = self.heap.pop()?;
-        let rec = self.heads[i].take().expect("head present for popped entry");
-        if let Some(nxt) = self.streams[i].next() {
-            self.heap.push(std::cmp::Reverse((nxt.key(), self.seq, i)));
-            self.seq += 1;
-            self.heads[i] = Some(nxt);
-        }
-        Some(rec)
-    }
+            if let Some(g) = current {
+                buf.push(&g);
+            }
+            buf
+        },
+        |_, task| out.append_buffer(&task.value),
+    );
 }
 
 #[cfg(test)]

@@ -123,22 +123,38 @@ impl ParallelSplit {
     }
 }
 
+/// Cachelines per execution morsel, the fixed task granule the
+/// morselized scans fan out over:
+/// [`crate::join::PARTITION_MORSEL_RECORDS`] 80-byte Wisconsin records
+/// over 64-byte cachelines. Caps how many workers a morsel-parallel
+/// scan can keep busy.
+pub(crate) const MORSEL_CACHELINES: f64 = (crate::join::PARTITION_MORSEL_RECORDS * 80 / 64) as f64;
+
+/// Independent tasks of a morsel-parallel scan over `buffers`
+/// cachelines of input.
+fn scan_morsels(buffers: f64) -> f64 {
+    (buffers / MORSEL_CACHELINES).ceil().max(1.0)
+}
+
 /// Splits a join's predicted cost (Eqs. 6–11 and the baselines) into its
 /// serial and partition-parallel shares, mirroring what the executors in
 /// [`crate::join`] actually overlap:
 ///
-/// * GJ — phase 1 (read + write both inputs) is morsel-parallel too, but
-///   its writes serialize on the shared partitions, so it is counted
-///   serial; phase 2 (re-read both inputs) fans out over the `k`
-///   partition pairs.
+/// * GJ — phase 1 fans out over fixed input morsels and phase 2 over the
+///   `k` partition pairs; nothing of substance stays on the coordinator
+///   (output and partition flushes are attributable to their tasks).
 /// * SegJ — the initial scan and partition writes are serial; the Grace
 ///   joins of the materialized partitions and the `k − x` iterate passes
 ///   fan out.
 /// * HybJ — the prefix partitioning is serial; the per-partition probes
 ///   (including the piggybacked V₁₋y scans) and the nested-loop chunks
 ///   fan out.
-/// * HJ / LaJ — iterative, each pass consumes the previous one: serial.
-/// * NLJ / SMJ — not parallelized by the executors: serial.
+/// * HJ / LaJ — the passes stay sequential (each consumes the previous
+///   one's offload), but every pass's two scans are morsel-parallel, so
+///   the whole cost fans out at morsel granularity.
+/// * NLJ — fans out over the `⌈f·|T|/M⌉` outer blocks.
+/// * SMJ — the two segment sorts stay serial; the merge-join co-scan
+///   range-partitions over key segments.
 ///
 /// `lambda` weighs the write shares; the output-materialization constant
 /// is excluded, as in [`predict_join_io`].
@@ -152,14 +168,14 @@ pub fn join_parallel_split(
     let total = estimate_join(algo, t, v, m, lambda);
     let k = (t / m).ceil().max(1.0);
     match algo {
-        JoinAlgorithm::GJ => {
-            let parallel = t + v; // second read of both inputs
-            ParallelSplit {
-                serial: (total - parallel).max(0.0),
-                parallel,
-                partitions: k,
-            }
-        }
+        JoinAlgorithm::GJ => ParallelSplit {
+            // Phase 1 fans out over the input morsels, phase 2 over the
+            // k partition pairs; the phases run in sequence, so the
+            // smaller task count bounds the speedup.
+            serial: 0.0,
+            parallel: total,
+            partitions: k.min(scan_morsels(t + v)),
+        },
         JoinAlgorithm::SegJ { frac } => {
             let x = (k * frac).round().min(k);
             // Materialized-partition joins + iterate passes fan out.
@@ -184,33 +200,49 @@ pub fn join_parallel_split(
                 partitions: chunks.max(1.0),
             }
         }
-        JoinAlgorithm::NLJ | JoinAlgorithm::HJ | JoinAlgorithm::LaJ | JoinAlgorithm::SMJ { .. } => {
-            ParallelSplit::all_serial(total)
+        JoinAlgorithm::HJ | JoinAlgorithm::LaJ => ParallelSplit {
+            // Every pass scans at most the full inputs; the morsel count
+            // of the first (largest) pass bounds the useful workers.
+            serial: 0.0,
+            parallel: total,
+            partitions: scan_morsels(t + v),
+        },
+        JoinAlgorithm::NLJ => ParallelSplit {
+            serial: 0.0,
+            parallel: total,
+            partitions: k,
+        },
+        JoinAlgorithm::SMJ { x } => {
+            let sorts = sort_costs::segment_cost(t, m, lambda, *x)
+                + sort_costs::segment_cost(v, m, lambda, *x);
+            ParallelSplit {
+                serial: sorts.min(total),
+                parallel: (total - sorts).max(0.0),
+                partitions: scan_morsels(t + v),
+            }
         }
     }
 }
 
-/// Splits a sort's predicted cost into serial and parallel shares. Only
-/// ExMS has a parallel share today (its intermediate merge passes fan
-/// out over merge groups); run generation, the final merge, and the
-/// write-limited algorithms' selection scans are serial.
+/// Splits a sort's predicted cost into serial and parallel shares. ExMS
+/// is parallel end-to-end: run generation fans out over fixed
+/// `4M`-record chunks, intermediate merge passes over their groups, and
+/// the final merge over sampled key-range segments. The write-limited
+/// algorithms' deferred selection streams regenerate by rescanning the
+/// input, so they stay serial.
 pub fn sort_parallel_split(algo: &SortAlgorithm, t: f64, m: f64, lambda: f64) -> ParallelSplit {
     let total = estimate_sort(algo, t, m, lambda);
     match algo {
         SortAlgorithm::ExMS => {
-            // Mirror exms_cost's pass structure exactly (runs of length
-            // 2M, block-buffer fan-in): of its `passes` merge passes,
-            // all but the final one are group-parallel in the executor;
-            // run generation and the final merge stay serial.
-            let runs = (t / (2.0 * m)).max(1.0);
-            let passes = sort_costs::merge_passes(runs, m).max(1.0);
-            let per_pass = t * (1.0 + lambda);
-            let parallel = ((passes - 1.0) * per_pass).clamp(0.0, total);
-            let fan = (m / sort_costs::BLOCK_CACHELINES).max(2.0);
+            // Run generation: one task per 4M-record chunk. Merge
+            // passes: one task per key-range segment. The phases run in
+            // sequence, so the smaller task count bounds the speedup.
+            let chunks = (t / (4.0 * m)).ceil().max(1.0);
+            let segments = scan_morsels(t);
             ParallelSplit {
-                serial: total - parallel,
-                parallel,
-                partitions: (runs / fan).ceil().max(1.0),
+                serial: 0.0,
+                parallel: total,
+                partitions: chunks.min(segments).max(1.0),
             }
         }
         _ => ParallelSplit::all_serial(total),
@@ -501,16 +533,38 @@ mod tests {
     }
 
     #[test]
-    fn parallelism_shrinks_partitioned_joins_not_serial_ones() {
+    fn parallelism_shrinks_every_join_family() {
+        // Since the morsel-driven executors, every join has a parallel
+        // share: the partitioned family over partitions, HJ/LaJ over
+        // scan morsels, NLJ over outer blocks, SMJ's co-scan over key
+        // segments (its sorts stay serial, so it shrinks least).
         let (t, v, m, lambda) = (10_000.0, 100_000.0, 1_000.0, 15.0);
         let gj = join_parallel_split(&JoinAlgorithm::GJ, t, v, m, lambda);
-        assert!(gj.critical_path_units(4) < gj.critical_path_units(1));
+        assert!(gj.critical_path_units(4) < 0.5 * gj.critical_path_units(1));
         let seg = join_parallel_split(&JoinAlgorithm::SegJ { frac: 0.0 }, t, v, m, lambda);
         assert!(seg.critical_path_units(4) < 0.5 * seg.critical_path_units(1));
         let nlj = join_parallel_split(&JoinAlgorithm::NLJ, t, v, m, lambda);
-        assert_eq!(nlj.critical_path_units(8), nlj.critical_path_units(1));
+        assert!(nlj.critical_path_units(8) < 0.5 * nlj.critical_path_units(1));
         let hj = join_parallel_split(&JoinAlgorithm::HJ, t, v, m, lambda);
-        assert_eq!(hj.critical_path_units(8), hj.critical_path_units(1));
+        assert!(hj.critical_path_units(8) < 0.5 * hj.critical_path_units(1));
+        let laj = join_parallel_split(&JoinAlgorithm::LaJ, t, v, m, lambda);
+        assert!(laj.critical_path_units(8) < 0.5 * laj.critical_path_units(1));
+        let smj = join_parallel_split(&JoinAlgorithm::SMJ { x: 0.5 }, t, v, m, lambda);
+        let shrunk = smj.critical_path_units(8);
+        assert!(shrunk < smj.critical_path_units(1));
+        assert!(shrunk >= smj.serial, "the sorts stay on the critical path");
+    }
+
+    #[test]
+    fn exms_split_is_parallel_end_to_end() {
+        let (t, m, lambda) = (100_000.0, 2_000.0, 15.0);
+        let split = sort_parallel_split(&SortAlgorithm::ExMS, t, m, lambda);
+        assert_eq!(split.serial, 0.0);
+        assert!(split.partitions >= 4.0, "partitions {}", split.partitions);
+        assert!(split.critical_path_units(4) < 0.3 * split.critical_path_units(1));
+        // The write-limited sorts' deferred streams keep them serial.
+        let seg = sort_parallel_split(&SortAlgorithm::SegS { x: 0.5 }, t, m, lambda);
+        assert_eq!(seg.critical_path_units(8), seg.critical_path_units(1));
     }
 
     #[test]

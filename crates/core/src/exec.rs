@@ -327,7 +327,7 @@ impl<'p, I: PhysOperator, V: Fn(&I::Item) -> u64> AggOp<'p, I, V> {
     }
 }
 
-impl<'p, I: PhysOperator, V: Fn(&I::Item) -> u64> PhysOperator for AggOp<'p, I, V> {
+impl<'p, I: PhysOperator, V: Fn(&I::Item) -> u64 + Sync> PhysOperator for AggOp<'p, I, V> {
     type Item = GroupAgg;
 
     fn open(&mut self) -> Result<(), PmError> {

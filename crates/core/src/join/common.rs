@@ -1,7 +1,8 @@
 //! Shared join machinery: join context, hash partitioning, and in-memory
 //! build/probe tables.
 
-use pmem_sim::{BufferPool, LayerKind, PCollection, Pm, RecordBuffer};
+use crate::parallel;
+use pmem_sim::{thread_stats, BufferPool, IoStats, LayerKind, PCollection, Pm, RecordBuffer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use wisconsin::{Pair, Record};
@@ -189,6 +190,132 @@ impl<L: Record> BuildTable<L> {
     pub fn match_count<R: Record>(&self, right: &R) -> usize {
         self.map.get(&right.key()).map_or(0, |v| v.len())
     }
+}
+
+/// What one pass of an iterative join does with a scanned record.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ScanAction {
+    /// The record belongs to the pass's partition: build or probe it.
+    Keep,
+    /// Offload it to the next pass's input.
+    Offload,
+    /// Neither (a dead record in a lazy pass, or the last pass).
+    Skip,
+}
+
+/// Per-pass ledger profile of an iterative (standard or lazy) hash
+/// join: for every pass, the traffic of its independent input morsels.
+/// Build and probe scans of one pass run one after the other; the
+/// morsels within each scan fan out. Every entry is identical at any
+/// degree of parallelism — the speedup harness schedules them onto DoP
+/// workers for the deterministic critical-path estimate.
+#[derive(Clone, Debug, Default)]
+pub struct IterJoinProfile {
+    /// Per pass, the build-side scan's per-morsel traffic.
+    pub per_build_morsel: Vec<Vec<IoStats>>,
+    /// Per pass, the probe-side scan's per-morsel traffic.
+    pub per_probe_morsel: Vec<Vec<IoStats>>,
+}
+
+/// Morselized build-side pass scan: fans the scan of `src` out over
+/// fixed-size morsels; kept records land in `table` and offloaded ones
+/// in `next`, both applied on the coordinating thread in morsel order —
+/// so the table's insertion order, the offload collection's record
+/// order, and every charged counter are identical to the serial scan at
+/// any DoP. Returns the per-morsel traffic (scan reads plus the
+/// morsel's share of the offload writes).
+pub(crate) fn build_pass_morsels<L: Record>(
+    src: &PCollection<L>,
+    ctx: &JoinContext<'_>,
+    classify: impl Fn(&L) -> ScanAction + Sync,
+    table: &mut BuildTable<L>,
+    mut next: Option<&mut PCollection<L>>,
+) -> Vec<IoStats> {
+    let morsels = src
+        .len()
+        .div_ceil(super::grace::PARTITION_MORSEL_RECORDS)
+        .max(1);
+    let mut stats = Vec::with_capacity(morsels);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        morsels,
+        |m| {
+            let start = m * super::grace::PARTITION_MORSEL_RECORDS;
+            let end = (start + super::grace::PARTITION_MORSEL_RECORDS).min(src.len());
+            let mut keep: Vec<L> = Vec::new();
+            let mut offload = RecordBuffer::new();
+            for l in src.range_reader(start, end) {
+                match classify(&l) {
+                    ScanAction::Keep => keep.push(l),
+                    ScanAction::Offload => offload.push(&l),
+                    ScanAction::Skip => {}
+                }
+            }
+            (keep, offload)
+        },
+        |_, task| {
+            let before = thread_stats();
+            let (keep, offload) = task.value;
+            for l in keep {
+                table.insert(l);
+            }
+            if let Some(next) = next.as_deref_mut() {
+                next.append_buffer(&offload);
+            }
+            let flush = thread_stats().since(&before);
+            stats.push(task.stats.plus(&flush));
+        },
+    );
+    stats
+}
+
+/// Morselized probe-side pass scan, the counterpart of
+/// [`build_pass_morsels`]: workers probe the shared (read-only) `table`
+/// and buffer their matches and offloads; the coordinator flushes both
+/// in morsel order, so output order, offload order, and counters are
+/// DoP-invariant.
+pub(crate) fn probe_pass_morsels<L: Record, R: Record>(
+    src: &PCollection<R>,
+    ctx: &JoinContext<'_>,
+    classify: impl Fn(&R) -> ScanAction + Sync,
+    table: &BuildTable<L>,
+    out: &mut PCollection<Pair<L, R>>,
+    mut next: Option<&mut PCollection<R>>,
+) -> Vec<IoStats> {
+    let morsels = src
+        .len()
+        .div_ceil(super::grace::PARTITION_MORSEL_RECORDS)
+        .max(1);
+    let mut stats = Vec::with_capacity(morsels);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        morsels,
+        |m| {
+            let start = m * super::grace::PARTITION_MORSEL_RECORDS;
+            let end = (start + super::grace::PARTITION_MORSEL_RECORDS).min(src.len());
+            let mut matches = RecordBuffer::new();
+            let mut offload = RecordBuffer::new();
+            for r in src.range_reader(start, end) {
+                match classify(&r) {
+                    ScanAction::Keep => table.probe_buffered(&r, &mut matches),
+                    ScanAction::Offload => offload.push(&r),
+                    ScanAction::Skip => {}
+                }
+            }
+            (matches, offload)
+        },
+        |_, task| {
+            let before = thread_stats();
+            let (matches, offload) = task.value;
+            out.append_buffer(&matches);
+            if let Some(next) = next.as_deref_mut() {
+                next.append_buffer(&offload);
+            }
+            let flush = thread_stats().since(&before);
+            stats.push(task.stats.plus(&flush));
+        },
+    );
+    stats
 }
 
 /// Reference in-memory join used to verify operator outputs in tests:

@@ -8,7 +8,19 @@
 //! the write profile of Table 1 — `(m−i)·(M+M_T)` writes in iteration
 //! `i` — and what lazy hash join eliminates.
 
-use super::common::{partition_of, BuildTable, JoinContext};
+//! Both scans of each iteration fan out over fixed-size input morsels
+//! across the context's worker pool ([`crate::parallel`]): workers
+//! classify and buffer their morsel's records, and the coordinator
+//! applies the buffers in morsel order, so the offload collections, the
+//! output order, and every simulated counter are identical at any
+//! degree of parallelism. The iterations themselves stay sequential —
+//! each consumes the previous one's offload — which is exactly the
+//! dependency the cost model's per-pass split captures.
+
+use super::common::{
+    build_pass_morsels, partition_of, probe_pass_morsels, BuildTable, IterJoinProfile, JoinContext,
+    ScanAction,
+};
 use pmem_sim::PCollection;
 use wisconsin::{Pair, Record};
 
@@ -19,8 +31,21 @@ pub fn hash_join<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> PCollection<Pair<L, R>> {
+    hash_join_profiled(left, right, ctx, output_name).0
+}
+
+/// [`hash_join`] with the per-pass, per-morsel ledger profile alongside
+/// the result — what the speedup harness and critical-path analyses
+/// consume.
+pub fn hash_join_profiled<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+    ctx: &JoinContext<'_>,
+    output_name: &str,
+) -> (PCollection<Pair<L, R>>, IterJoinProfile) {
     let k = ctx.grace_partitions::<L>(left.len());
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+    let mut profile = IterJoinProfile::default();
 
     // Owned shrinking copies after the first iteration.
     let mut t_cur: Option<PCollection<L>> = None;
@@ -33,31 +58,50 @@ pub fn hash_join<L: Record, R: Record>(
 
         {
             let t_src: &PCollection<L> = t_cur.as_ref().unwrap_or(left);
-            for l in t_src.reader() {
-                if partition_of(l.key(), k) == i {
-                    table.insert(l);
-                } else if let Some(t_next) = t_next.as_mut() {
-                    t_next.append(&l); // offload: pays a write now
-                }
-            }
+            let build = build_pass_morsels(
+                t_src,
+                ctx,
+                |l| {
+                    if partition_of(l.key(), k) == i {
+                        ScanAction::Keep
+                    } else if last {
+                        ScanAction::Skip
+                    } else {
+                        ScanAction::Offload // offload: pays a write now
+                    }
+                },
+                &mut table,
+                t_next.as_mut(),
+            );
+            profile.per_build_morsel.push(build);
         }
 
         let mut v_next = (!last).then(|| ctx.fresh::<R>("hj-v"));
         {
             let v_src: &PCollection<R> = v_cur.as_ref().unwrap_or(right);
-            for r in v_src.reader() {
-                if partition_of(r.key(), k) == i {
-                    table.probe(&r, &mut out);
-                } else if let Some(v_next) = v_next.as_mut() {
-                    v_next.append(&r);
-                }
-            }
+            let probe = probe_pass_morsels(
+                v_src,
+                ctx,
+                |r| {
+                    if partition_of(r.key(), k) == i {
+                        ScanAction::Keep
+                    } else if last {
+                        ScanAction::Skip
+                    } else {
+                        ScanAction::Offload
+                    }
+                },
+                &table,
+                &mut out,
+                v_next.as_mut(),
+            );
+            profile.per_probe_morsel.push(probe);
         }
 
         t_cur = t_next;
         v_cur = v_next;
     }
-    out
+    (out, profile)
 }
 
 #[cfg(test)]

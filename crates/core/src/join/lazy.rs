@@ -18,7 +18,16 @@
 //! contradicts the algorithm's premise.) We implement the corrected form
 //! and note the discrepancy in EXPERIMENTS.md.
 
-use super::common::{partition_of, BuildTable, JoinContext};
+//! Like the standard hash join, each pass's two scans fan out over
+//! fixed-size input morsels ([`crate::parallel`]); buffers are applied
+//! in morsel order on the coordinator, so the piggybacked
+//! materializations, the output order, and the counters are identical
+//! at any degree of parallelism.
+
+use super::common::{
+    build_pass_morsels, partition_of, probe_pass_morsels, BuildTable, IterJoinProfile, JoinContext,
+    ScanAction,
+};
 use pmem_sim::PCollection;
 use wisconsin::{Pair, Record};
 
@@ -35,9 +44,21 @@ pub fn lazy_hash_join<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> PCollection<Pair<L, R>> {
+    lazy_hash_join_profiled(left, right, ctx, output_name).0
+}
+
+/// [`lazy_hash_join`] with the per-pass, per-morsel ledger profile
+/// alongside the result.
+pub fn lazy_hash_join_profiled<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+    ctx: &JoinContext<'_>,
+    output_name: &str,
+) -> (PCollection<Pair<L, R>>, IterJoinProfile) {
     let k = ctx.grace_partitions::<L>(left.len());
     let lambda = ctx.device().lambda();
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+    let mut profile = IterJoinProfile::default();
 
     // Current sources: the originals, then materialized remainders.
     let mut t_cur: Option<PCollection<L>> = None;
@@ -54,34 +75,43 @@ pub fn lazy_hash_join<L: Record, R: Record>(
         let mut table = BuildTable::new();
         let mut t_next = materialize.then(|| ctx.fresh::<L>("laj-t"));
 
+        // p == i: this pass's partition. p > i: piggybacked
+        // materialization (when one is running). p < i: dead record —
+        // the rescan penalty, no write.
+        let classify = |p: usize| {
+            if p == i {
+                ScanAction::Keep
+            } else if p > i && materialize {
+                ScanAction::Offload
+            } else {
+                ScanAction::Skip
+            }
+        };
+
         {
             let t_src: &PCollection<L> = t_cur.as_ref().unwrap_or(left);
-            for l in t_src.reader() {
-                let p = partition_of(l.key(), k);
-                if p == i {
-                    table.insert(l);
-                } else if p > i {
-                    if let Some(t_next) = t_next.as_mut() {
-                        t_next.append(&l); // piggybacked materialization
-                    }
-                }
-                // p < i: dead record — the rescan penalty, no write.
-            }
+            let build = build_pass_morsels(
+                t_src,
+                ctx,
+                |l| classify(partition_of(l.key(), k)),
+                &mut table,
+                t_next.as_mut(),
+            );
+            profile.per_build_morsel.push(build);
         }
 
         let mut v_next = materialize.then(|| ctx.fresh::<R>("laj-v"));
         {
             let v_src: &PCollection<R> = v_cur.as_ref().unwrap_or(right);
-            for r in v_src.reader() {
-                let p = partition_of(r.key(), k);
-                if p == i {
-                    table.probe(&r, &mut out);
-                } else if p > i {
-                    if let Some(v_next) = v_next.as_mut() {
-                        v_next.append(&r);
-                    }
-                }
-            }
+            let probe = probe_pass_morsels(
+                v_src,
+                ctx,
+                |r| classify(partition_of(r.key(), k)),
+                &table,
+                &mut out,
+                v_next.as_mut(),
+            );
+            profile.per_probe_morsel.push(probe);
         }
 
         if materialize {
@@ -91,7 +121,7 @@ pub fn lazy_hash_join<L: Record, R: Record>(
             threshold = lazy_materialization_iterations(remaining_after, lambda).max(1);
         }
     }
-    out
+    (out, profile)
 }
 
 #[cfg(test)]

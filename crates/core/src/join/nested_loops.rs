@@ -6,9 +6,27 @@
 //! write reference the write-limited joins approach (§4.1.2). Cost:
 //! `r·(|T| + ⌈|T|/M⌉·|V|)` plus output writes.
 
+//! The outer blocks are independent — each builds its own DRAM table
+//! and scans the whole right input — so they fan out across the
+//! context's worker pool ([`crate::parallel`]), with each block's
+//! matches buffered and flushed in block order: identical output order
+//! and counters at any DoP. (The *simulated* DRAM budget still models
+//! one block of `M`; concurrent workers hold their blocks in harness
+//! memory, exactly as the Grace executor holds its partition tables.)
+
 use super::common::{BuildTable, JoinContext};
-use pmem_sim::PCollection;
+use crate::parallel;
+use pmem_sim::{thread_stats, IoStats, PCollection, RecordBuffer};
 use wisconsin::{Pair, Record};
+
+/// Per-block ledger profile of one block nested-loops run: each outer
+/// block's build reads, probe-scan reads, and output writes, identical
+/// at any degree of parallelism.
+#[derive(Clone, Debug, Default)]
+pub struct NljProfile {
+    /// Traffic per outer block, in block order.
+    pub per_block: Vec<IoStats>,
+}
 
 /// Joins `left ⋈ right` on key equality with block nested loops.
 pub fn nested_loops_join<L: Record, R: Record>(
@@ -17,23 +35,46 @@ pub fn nested_loops_join<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> PCollection<Pair<L, R>> {
+    nested_loops_join_profiled(left, right, ctx, output_name).0
+}
+
+/// [`nested_loops_join`] with the per-block ledger profile alongside
+/// the result.
+pub fn nested_loops_join_profiled<L: Record, R: Record>(
+    left: &PCollection<L>,
+    right: &PCollection<R>,
+    ctx: &JoinContext<'_>,
+    output_name: &str,
+) -> (PCollection<Pair<L, R>>, NljProfile) {
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
     let block = ctx.build_capacity::<L>();
-    let mut table = BuildTable::new();
+    let blocks = left.len().div_ceil(block);
+    let mut profile = NljProfile::default();
 
-    let mut start = 0usize;
-    while start < left.len() {
-        let end = (start + block).min(left.len());
-        table.clear();
-        for l in left.range_reader(start, end) {
-            table.insert(l);
-        }
-        for r in right.reader() {
-            table.probe(&r, &mut out);
-        }
-        start = end;
-    }
-    out
+    parallel::for_each_ordered(
+        ctx.threads(),
+        blocks,
+        |b| {
+            let start = b * block;
+            let end = (start + block).min(left.len());
+            let mut table = BuildTable::new();
+            for l in left.range_reader(start, end) {
+                table.insert(l);
+            }
+            let mut buf = RecordBuffer::new();
+            for r in right.reader() {
+                table.probe_buffered(&r, &mut buf);
+            }
+            buf
+        },
+        |_, task| {
+            let before = thread_stats();
+            out.append_buffer(&task.value);
+            let flush = thread_stats().since(&before);
+            profile.per_block.push(task.stats.plus(&flush));
+        },
+    );
+    (out, profile)
 }
 
 #[cfg(test)]

@@ -9,9 +9,20 @@
 //! duplicate-handling co-scan buffers one key group of the (smaller)
 //! left input in DRAM.
 
+//! The merge phase range-partitions the key space across the context's
+//! worker pool: splitter keys sampled from both sorted inputs carve
+//! them into aligned segments (a key group can never straddle a
+//! splitter), each worker co-scans its segment pair, and the
+//! coordinator concatenates the match buffers in splitter order — the
+//! same rows, order, and counters as the serial co-scan at any DoP.
+
 use super::common::JoinContext;
+use crate::parallel;
+use crate::sort::common::{
+    key_range_cuts, sample_keys, splitters_from_samples, MERGE_SEGMENT_RECORDS,
+};
 use crate::sort::{segment_sort, SortContext};
-use pmem_sim::{PCollection, PmError};
+use pmem_sim::{PCollection, PmError, RecordBuffer};
 use wisconsin::{Pair, Record};
 
 /// Joins `left ⋈ right` by sorting both inputs at write intensity `x`
@@ -26,16 +37,57 @@ pub fn sort_merge_join<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<Pair<L, R>>, PmError> {
-    let sort_ctx = SortContext::new(ctx.device(), ctx.kind(), ctx.pool());
+    let sort_ctx =
+        SortContext::new(ctx.device(), ctx.kind(), ctx.pool()).with_threads(ctx.threads());
     let sorted_left = segment_sort(left, x, &sort_ctx, "smj-left")?;
     let sorted_right = segment_sort(right, x, &sort_ctx, "smj-right")?;
 
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
-    let mut li = sorted_left.reader();
-    let mut ri = sorted_right.reader();
+    let total = sorted_left.len() + sorted_right.len();
+    let segments = total.div_ceil(MERGE_SEGMENT_RECORDS).max(1);
+    if segments <= 1 || sorted_left.is_empty() || sorted_right.is_empty() {
+        let mut buf = RecordBuffer::new();
+        co_scan(sorted_left.reader(), sorted_right.reader(), &mut buf);
+        out.append_buffer(&buf);
+        return Ok(out);
+    }
+
+    // The segment grid depends only on the merged sizes — never on the
+    // DoP — so the sampled splitters, boundary searches, and counters
+    // are identical at any degree of parallelism.
+    let splitters = {
+        let mut sample = sample_keys(&sorted_left, segments);
+        sample.extend(sample_keys(&sorted_right, segments));
+        splitters_from_samples(sample, segments)
+    };
+    let cuts_l = key_range_cuts(&sorted_left, &splitters);
+    let cuts_r = key_range_cuts(&sorted_right, &splitters);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        segments,
+        |seg| {
+            let mut buf = RecordBuffer::new();
+            co_scan(
+                sorted_left.range_reader(cuts_l[seg], cuts_l[seg + 1]),
+                sorted_right.range_reader(cuts_r[seg], cuts_r[seg + 1]),
+                &mut buf,
+            );
+            buf
+        },
+        |_, task| out.append_buffer(&task.value),
+    );
+    Ok(out)
+}
+
+/// The duplicate-handling co-scan of two sorted streams, buffering one
+/// left key group in DRAM for the cross products.
+fn co_scan<L: Record, R: Record>(
+    mut li: impl Iterator<Item = L>,
+    mut ri: impl Iterator<Item = R>,
+    out: &mut RecordBuffer<Pair<L, R>>,
+) {
     let mut l = li.next();
     let mut r = ri.next();
-    // One left key-group buffered in DRAM for duplicate cross products.
     let mut group: Vec<L> = Vec::new();
     let mut group_key: Option<u64> = None;
 
@@ -63,14 +115,13 @@ pub fn sort_merge_join<L: Record, R: Record>(
             }
         }
         for lv in &group {
-            out.append(&Pair {
+            out.push(&Pair {
                 left: *lv,
                 right: rv,
             });
         }
         r = ri.next();
     }
-    Ok(out)
 }
 
 #[cfg(test)]

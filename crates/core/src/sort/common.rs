@@ -2,7 +2,9 @@
 //! selection, and k-way merging.
 
 use crate::parallel;
-use pmem_sim::{BufferPool, LayerKind, PCollection, Pm};
+use pmem_sim::{
+    thread_stats, BufferPool, IoStats, LayerKind, PCollection, Pm, ReadCursor, RecordBuffer,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -168,15 +170,29 @@ pub fn generate_runs_parallel<R: Record>(
     capacity: usize,
     ctx: &SortContext<'_>,
 ) -> Vec<PCollection<R>> {
+    generate_runs_parallel_profiled(input, capacity, ctx).0
+}
+
+/// [`generate_runs_parallel`] plus each chunk's traffic as charged by
+/// its worker's thread-local ledger — the run-generation half of the
+/// speedup harness's critical-path profile.
+pub fn generate_runs_parallel_profiled<R: Record>(
+    input: &PCollection<R>,
+    capacity: usize,
+    ctx: &SortContext<'_>,
+) -> (Vec<PCollection<R>>, Vec<IoStats>) {
     let chunk = capacity.saturating_mul(RUN_GEN_CHUNK_CAPACITIES).max(1);
     if input.len() <= chunk {
-        return generate_runs_replacement(input, capacity, ctx);
+        let before = thread_stats();
+        let runs = generate_runs_replacement(input, capacity, ctx);
+        return (runs, vec![thread_stats().since(&before)]);
     }
     let n_chunks = input.len().div_ceil(chunk);
     // Mint one name prefix per chunk on the coordinating thread; workers
     // derive their run names locally, so naming stays deterministic.
     let prefixes: Vec<String> = (0..n_chunks).map(|_| ctx.fresh_name("run")).collect();
     let mut all: Vec<PCollection<R>> = Vec::with_capacity(n_chunks * 2);
+    let mut per_chunk = Vec::with_capacity(n_chunks);
     parallel::for_each_ordered(
         ctx.threads(),
         n_chunks,
@@ -190,9 +206,12 @@ pub fn generate_runs_parallel<R: Record>(
                 PCollection::new(ctx.device(), ctx.kind(), name)
             })
         },
-        |_, out| all.extend(out.value),
+        |_, out| {
+            all.extend(out.value);
+            per_chunk.push(out.stats);
+        },
     );
-    all
+    (all, per_chunk)
 }
 
 /// Replacement selection over `range` with caller-supplied run
@@ -286,17 +305,38 @@ pub fn merge_runs<R: Record>(
     out
 }
 
+/// Per-pass ledger profile of a multi-pass merge: one entry per pass,
+/// each holding the traffic of that pass's independent tasks (merge
+/// groups for intermediate passes, key-range segments for the final
+/// one). The speedup harness turns these into critical-path estimates.
+#[derive(Clone, Debug, Default)]
+pub struct MergeProfile {
+    /// Per pass, the per-task traffic in execution (task-index) order.
+    pub passes: Vec<Vec<IoStats>>,
+}
+
 /// Merges `runs` and **appends** the result to `out` (which may already
 /// hold a sorted prefix smaller than every run record, as in hybrid
 /// sort). Intermediate passes reduce the run count to the fan-in; the
-/// final pass streams straight into `out`.
+/// final pass range-partitions the key space and streams each segment
+/// into `out` in splitter order.
 pub fn merge_runs_into<R: Record>(
-    mut runs: Vec<PCollection<R>>,
+    runs: Vec<PCollection<R>>,
     ctx: &SortContext<'_>,
     out: &mut PCollection<R>,
 ) {
+    let _ = merge_runs_into_profiled(runs, ctx, out);
+}
+
+/// [`merge_runs_into`] plus the per-pass, per-task ledger profile.
+pub fn merge_runs_into_profiled<R: Record>(
+    mut runs: Vec<PCollection<R>>,
+    ctx: &SortContext<'_>,
+    out: &mut PCollection<R>,
+) -> MergeProfile {
+    let mut profile = MergeProfile::default();
     if runs.is_empty() {
-        return;
+        return profile;
     }
     let fan_in = merge_fan_in(ctx);
     while runs.len() > fan_in {
@@ -307,24 +347,38 @@ pub fn merge_runs_into<R: Record>(
         // the serial pass at any DoP.
         let groups: Vec<&[PCollection<R>]> = runs.chunks(fan_in).collect();
         let names: Vec<String> = (0..groups.len()).map(|_| ctx.fresh_name("merge")).collect();
-        let merged = parallel::map_ordered(ctx.threads(), groups.len(), |g| {
-            let mut next = PCollection::new(ctx.device(), ctx.kind(), names[g].clone());
-            merge_group(groups[g], &mut next);
-            next
-        });
+        let mut merged = Vec::with_capacity(groups.len());
+        let mut pass = Vec::with_capacity(groups.len());
+        parallel::for_each_ordered(
+            ctx.threads(),
+            groups.len(),
+            |g| {
+                let mut next = PCollection::new(ctx.device(), ctx.kind(), names[g].clone());
+                merge_group(groups[g], &mut next);
+                next
+            },
+            |_, task| {
+                merged.push(task.value);
+                pass.push(task.stats);
+            },
+        );
         drop(groups);
         runs = merged;
+        profile.passes.push(pass);
     }
     if runs.len() == 1 && out.is_empty() {
         // Concatenation with an empty prefix: copying is unavoidable to
         // land the data in `out`, but prefer the cheap path when the
         // caller can take ownership via `merge_runs` instead.
+        let before = thread_stats();
         for r in runs[0].reader() {
             out.append(&r);
         }
-        return;
+        profile.passes.push(vec![thread_stats().since(&before)]);
+        return profile;
     }
-    merge_group(&runs, out);
+    profile.passes.push(merge_group_parallel(&runs, ctx, out));
+    profile
 }
 
 /// Streams one merge group into `out` using a tournament over the run
@@ -337,8 +391,153 @@ pub fn merge_group<R: Record>(group: &[PCollection<R>], out: &mut PCollection<R>
     merge_streams(streams, out);
 }
 
+/// Records per key-range segment of the parallel final merge. The
+/// segment grid depends only on the merged record count — never on the
+/// degree of parallelism — so the splitter keys, the per-run boundary
+/// searches, and every charged counter are DoP-invariant.
+pub const MERGE_SEGMENT_RECORDS: usize = 8192;
+
+/// Final-pass merge of one group, range-partitioned across the worker
+/// pool: splitter keys are sampled from the runs, each worker merges its
+/// key range from **all** runs into an ordered segment, and the
+/// coordinator concatenates the segments in splitter order. The output
+/// is byte-identical to [`merge_group`] (equal keys tie-break by run
+/// index in both), and the counters are identical at any DoP. Returns
+/// the per-segment traffic (segment reads plus its share of the output
+/// flush).
+pub fn merge_group_parallel<R: Record>(
+    group: &[PCollection<R>],
+    ctx: &SortContext<'_>,
+    out: &mut PCollection<R>,
+) -> Vec<IoStats> {
+    let total: usize = group.iter().map(PCollection::len).sum();
+    let segments = total.div_ceil(MERGE_SEGMENT_RECORDS).max(1);
+    if group.len() <= 1 || segments <= 1 {
+        let before = thread_stats();
+        merge_group(group, out);
+        return vec![thread_stats().since(&before)];
+    }
+    let cuts = run_segment_cuts(group, segments);
+    let mut per_segment = Vec::with_capacity(segments);
+    parallel::for_each_ordered(
+        ctx.threads(),
+        segments,
+        |seg| {
+            let mut buf = RecordBuffer::new();
+            for rec in KWayMerge::new(segment_streams(group, &cuts, seg)) {
+                buf.push(&rec);
+            }
+            buf
+        },
+        |_, task| {
+            // The flush is serialized here for count determinism, but the
+            // writes belong to the segment (a medium serving DoP workers
+            // would land each segment from its own worker); charge them
+            // to the segment's cost through the coordinator's ledger.
+            let before = thread_stats();
+            out.append_buffer(&task.value);
+            let flush = thread_stats().since(&before);
+            per_segment.push(task.stats.plus(&flush));
+        },
+    );
+    per_segment
+}
+
+/// One segment's merge inputs under a [`run_segment_cuts`] grid: run
+/// `r`'s records in `cuts[r][seg]..cuts[r][seg + 1]`, as boxed streams
+/// ready for a [`KWayMerge`].
+pub(crate) fn segment_streams<'a, R: Record>(
+    runs: &'a [PCollection<R>],
+    cuts: &[Vec<usize>],
+    seg: usize,
+) -> Vec<Box<dyn Iterator<Item = R> + 'a>> {
+    runs.iter()
+        .enumerate()
+        .map(|(r, run)| {
+            Box::new(run.range_reader(cuts[r][seg], cuts[r][seg + 1]))
+                as Box<dyn Iterator<Item = R> + 'a>
+        })
+        .collect()
+}
+
+/// The shared scaffolding of the range-partitioned passes over a set of
+/// sorted runs: pool an evenly spaced key sample from every run, reduce
+/// it to quantile splitters, and cut each run at them — `cuts[r][i]..
+/// cuts[r][i + 1]` is run `r`'s slice of segment `i`. The grid depends
+/// only on the data, so it is identical at any DoP.
+pub(crate) fn run_segment_cuts<R: Record>(
+    runs: &[PCollection<R>],
+    segments: usize,
+) -> Vec<Vec<usize>> {
+    let mut sample: Vec<u64> = Vec::with_capacity(runs.len() * segments);
+    for run in runs {
+        sample.extend(sample_keys(run, segments));
+    }
+    let splitters = splitters_from_samples(sample, segments);
+    runs.iter().map(|r| key_range_cuts(r, &splitters)).collect()
+}
+
+/// Samples up to `count` keys from a sorted collection at evenly spaced
+/// positions through one forward cursor (charged like a sparse scan).
+pub(crate) fn sample_keys<R: Record>(col: &PCollection<R>, count: usize) -> Vec<u64> {
+    if col.is_empty() || count == 0 {
+        return Vec::new();
+    }
+    let mut cursor = ReadCursor::new();
+    (0..count)
+        .map(|j| {
+            col.get_with_cursor(j * col.len() / count, &mut cursor)
+                .key()
+        })
+        .collect()
+}
+
+/// Reduces a pooled key sample to `segments − 1` splitter keys at the
+/// sample's quantiles. Heavily skewed samples may repeat a splitter;
+/// the repeated ranges are simply empty — correct, just less parallel
+/// (all-equal keys are the worst case and degrade to one segment).
+pub(crate) fn splitters_from_samples(mut sample: Vec<u64>, segments: usize) -> Vec<u64> {
+    if sample.is_empty() {
+        return Vec::new();
+    }
+    sample.sort_unstable();
+    (1..segments)
+        .map(|i| sample[i * sample.len() / segments])
+        .collect()
+}
+
+/// First index in the sorted `col` whose key is ≥ `key`, by binary
+/// search over counted point reads (a handful of random accesses per
+/// boundary; the probe sequence depends only on the data).
+pub(crate) fn lower_bound_by_key<R: Record>(col: &PCollection<R>, key: u64) -> usize {
+    let (mut lo, mut hi) = (0usize, col.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if col.get(mid).key() < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Segment boundaries of a sorted collection under `splitters`:
+/// `splitters.len() + 2` nondecreasing positions from 0 to `len`, so
+/// segment `i` is `cuts[i]..cuts[i + 1]`.
+pub(crate) fn key_range_cuts<R: Record>(col: &PCollection<R>, splitters: &[u64]) -> Vec<usize> {
+    let mut cuts = Vec::with_capacity(splitters.len() + 2);
+    cuts.push(0);
+    for &s in splitters {
+        cuts.push(lower_bound_by_key(col, s));
+    }
+    cuts.push(col.len());
+    cuts
+}
+
 /// Merges arbitrary sorted streams (run readers, on-the-fly selection
-/// streams, …) into `out` with a tournament over the stream heads.
+/// streams, …) into `out` with a loser-tree tournament over the stream
+/// heads.
 ///
 /// This is what lets segment sort keep its selection-sorted segment
 /// **deferred**: the segment participates in the merge as a stream that
@@ -346,28 +545,130 @@ pub fn merge_group<R: Record>(group: &[PCollection<R>], out: &mut PCollection<R>
 /// written exactly once — at their final location in `out` (the paper's
 /// "minimum number of writes: as many as there are buffers in T").
 pub fn merge_streams<R: Record>(
-    mut streams: Vec<Box<dyn Iterator<Item = R> + '_>>,
+    streams: Vec<Box<dyn Iterator<Item = R> + '_>>,
     out: &mut PCollection<R>,
 ) {
-    let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::with_capacity(streams.len());
-    let mut heads: Vec<Option<R>> = Vec::with_capacity(streams.len());
-    let mut seq = 0u64;
-    for (i, s) in streams.iter_mut().enumerate() {
-        let head = s.next();
-        if let Some(ref r) = head {
-            heap.push(Reverse((r.key(), seq, i)));
-            seq += 1;
-        }
-        heads.push(head);
-    }
-    while let Some(Reverse((_, _, i))) = heap.pop() {
-        let rec = heads[i].take().expect("head present for popped entry");
+    for rec in KWayMerge::new(streams) {
         out.append(&rec);
-        if let Some(nxt) = streams[i].next() {
-            heap.push(Reverse((nxt.key(), seq, i)));
-            seq += 1;
-            heads[i] = Some(nxt);
+    }
+}
+
+/// A k-way tournament (loser tree) over stream indices: `log₂ k`
+/// comparisons per emitted record regardless of which stream wins,
+/// versus the up-to-`2·log₂ k` sift of a binary heap — the difference
+/// shows at high merge fan-in. Equal keys tie-break by the smaller
+/// stream index, which makes the merge *stable by stream* and lets the
+/// range-partitioned final merge reproduce the serial output exactly.
+#[derive(Debug)]
+pub struct LoserTree {
+    /// `node[0]`: the overall winner leaf; `node[1..p]`: the loser leaf
+    /// of the internal match at that slot.
+    node: Vec<usize>,
+    /// Leaf count padded to the next power of two (padding leaves are
+    /// permanently exhausted).
+    p: usize,
+}
+
+/// Whether leaf `a` beats leaf `b` given the streams' current head keys
+/// (`None` = exhausted, loses to everything; ties go to the smaller
+/// index).
+fn beats(a: usize, b: usize, keys: &[Option<u64>]) -> bool {
+    match (
+        keys.get(a).copied().flatten(),
+        keys.get(b).copied().flatten(),
+    ) {
+        (Some(x), Some(y)) => (x, a) < (y, b),
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => a < b,
+    }
+}
+
+impl LoserTree {
+    /// Builds the tournament over `keys.len()` streams.
+    pub fn new(keys: &[Option<u64>]) -> Self {
+        let p = keys.len().max(1).next_power_of_two();
+        let mut tree = Self {
+            node: vec![0; p],
+            p,
+        };
+        tree.node[0] = tree.build(1, keys);
+        tree
+    }
+
+    /// Plays out the subtree under internal node `n`, recording losers;
+    /// returns the subtree's winning leaf.
+    fn build(&mut self, n: usize, keys: &[Option<u64>]) -> usize {
+        if n >= self.p {
+            return n - self.p;
         }
+        let a = self.build(2 * n, keys);
+        let b = self.build(2 * n + 1, keys);
+        if beats(a, b, keys) {
+            self.node[n] = b;
+            a
+        } else {
+            self.node[n] = a;
+            b
+        }
+    }
+
+    /// Index of the stream holding the smallest head.
+    pub fn winner(&self) -> usize {
+        self.node[0]
+    }
+
+    /// Replays the winner's path after its stream advanced (`keys` must
+    /// reflect the new head): exactly `log₂ p` matches.
+    pub fn replay(&mut self, keys: &[Option<u64>]) {
+        let mut w = self.node[0];
+        let mut n = (self.p + w) >> 1;
+        while n >= 1 {
+            if beats(self.node[n], w, keys) {
+                std::mem::swap(&mut self.node[n], &mut w);
+            }
+            n >>= 1;
+        }
+        self.node[0] = w;
+    }
+}
+
+/// Pull-based k-way merge over sorted streams (iterator flavour of
+/// [`merge_streams`], for consumers that must see records instead of a
+/// collection — the aggregation pipeline, the segment mergers). Runs on
+/// a [`LoserTree`]; equal keys come out in stream-index order.
+pub struct KWayMerge<'a, R: Record> {
+    streams: Vec<Box<dyn Iterator<Item = R> + 'a>>,
+    heads: Vec<Option<R>>,
+    keys: Vec<Option<u64>>,
+    tree: LoserTree,
+}
+
+impl<'a, R: Record> KWayMerge<'a, R> {
+    /// Primes every stream and builds the tournament.
+    pub fn new(mut streams: Vec<Box<dyn Iterator<Item = R> + 'a>>) -> Self {
+        let heads: Vec<Option<R>> = streams.iter_mut().map(Iterator::next).collect();
+        let keys: Vec<Option<u64>> = heads.iter().map(|h| h.as_ref().map(Record::key)).collect();
+        let tree = LoserTree::new(&keys);
+        Self {
+            streams,
+            heads,
+            keys,
+            tree,
+        }
+    }
+}
+
+impl<'a, R: Record> Iterator for KWayMerge<'a, R> {
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        let i = self.tree.winner();
+        let rec = self.heads.get_mut(i)?.take()?;
+        self.heads[i] = self.streams[i].next();
+        self.keys[i] = self.heads[i].as_ref().map(Record::key);
+        self.tree.replay(&self.keys);
+        Some(rec)
     }
 }
 
@@ -526,5 +827,151 @@ mod tests {
         let a = Entry::new(WisconsinRecord::from_key(5), 0);
         let b = Entry::new(WisconsinRecord::from_key(5), 1);
         assert!(a < b);
+    }
+
+    #[test]
+    fn loser_tree_emits_total_order_with_stream_index_ties() {
+        // Three streams with interleaved and duplicate keys: the merge
+        // must be sorted, and equal keys must come out in stream order.
+        let streams: Vec<Vec<u64>> = vec![vec![1, 4, 4, 9], vec![2, 4, 9], vec![4, 7]];
+        let mut keys: Vec<Option<u64>> = streams.iter().map(|s| s.first().copied()).collect();
+        let mut pos = vec![0usize; streams.len()];
+        let mut tree = LoserTree::new(&keys);
+        let mut merged = Vec::new();
+        loop {
+            let i = tree.winner();
+            let Some(k) = keys[i] else { break };
+            merged.push((k, i));
+            pos[i] += 1;
+            keys[i] = streams[i].get(pos[i]).copied();
+            tree.replay(&keys);
+        }
+        assert_eq!(
+            merged,
+            vec![
+                (1, 0),
+                (2, 1),
+                (4, 0),
+                (4, 0),
+                (4, 1),
+                (4, 2),
+                (7, 2),
+                (9, 0),
+                (9, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn loser_tree_handles_degenerate_stream_counts() {
+        // Zero streams: the virtual winner is exhausted.
+        let tree = LoserTree::new(&[]);
+        assert_eq!(tree.winner(), 0);
+        // One stream: it always wins until exhausted.
+        let mut keys = vec![Some(3u64)];
+        let mut tree = LoserTree::new(&keys);
+        assert_eq!(tree.winner(), 0);
+        keys[0] = None;
+        tree.replay(&keys);
+        assert_eq!(tree.winner(), 0);
+    }
+
+    #[test]
+    fn lower_bound_by_key_finds_first_not_less() {
+        let dev = PmDevice::paper_default();
+        let col = PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "s",
+            [1u64, 3, 3, 3, 8, 9].map(WisconsinRecord::from_key),
+        );
+        assert_eq!(lower_bound_by_key(&col, 0), 0);
+        assert_eq!(lower_bound_by_key(&col, 3), 1);
+        assert_eq!(lower_bound_by_key(&col, 4), 4);
+        assert_eq!(lower_bound_by_key(&col, 9), 5);
+        assert_eq!(lower_bound_by_key(&col, 100), 6);
+    }
+
+    #[test]
+    fn parallel_final_merge_matches_serial_merge_exactly() {
+        // The range-partitioned final pass must produce byte-identical
+        // output to the serial tournament, and identical counters at
+        // every DoP (the grid depends on the data, not the workers).
+        let make_runs = |dev: &Pm| -> Vec<PCollection<WisconsinRecord>> {
+            (0..4u64)
+                .map(|r| {
+                    PCollection::from_records_uncounted(
+                        dev,
+                        LayerKind::BlockedMemory,
+                        format!("r{r}"),
+                        (0..6000u64).map(move |i| {
+                            WisconsinRecord::from_key(i / 2 + r).with_payload(r * 10_000 + i)
+                        }),
+                    )
+                })
+                .collect()
+        };
+        let serial = {
+            let dev = PmDevice::paper_default();
+            let runs = make_runs(&dev);
+            let mut out = PCollection::new(&dev, LayerKind::BlockedMemory, "serial");
+            merge_group(&runs, &mut out);
+            out.to_vec_uncounted()
+        };
+        let mut baseline = None;
+        for threads in [1, 2, 4] {
+            let dev = PmDevice::paper_default();
+            let runs = make_runs(&dev);
+            let pool = BufferPool::new(200 * 80);
+            let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+            let mut out = PCollection::new(&dev, LayerKind::BlockedMemory, "parallel");
+            let before = dev.snapshot();
+            let per_segment = merge_group_parallel(&runs, &ctx, &mut out);
+            let delta = dev.snapshot().since(&before);
+            assert!(per_segment.len() > 1, "spans several segments");
+            assert_eq!(out.to_vec_uncounted(), serial, "DoP {threads}");
+            match &baseline {
+                None => baseline = Some((delta, per_segment)),
+                Some((d, p)) => {
+                    assert_eq!(*d, delta, "counters differ at DoP {threads}");
+                    assert_eq!(*p, per_segment, "ledgers differ at DoP {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_ledgers_cover_the_whole_parallel_merge() {
+        // Splitter sampling and boundary probes run on the coordinator;
+        // everything else — segment reads and output writes — must land
+        // in the per-segment ledgers.
+        let dev = PmDevice::paper_default();
+        let runs: Vec<PCollection<WisconsinRecord>> = (0..3u64)
+            .map(|r| {
+                PCollection::from_records_uncounted(
+                    &dev,
+                    LayerKind::BlockedMemory,
+                    format!("r{r}"),
+                    (0..8000u64).map(move |i| WisconsinRecord::from_key(3 * i + r)),
+                )
+            })
+            .collect();
+        let pool = BufferPool::new(200 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(4);
+        let mut out = PCollection::new(&dev, LayerKind::BlockedMemory, "out");
+        let before = dev.snapshot();
+        let per_segment = merge_group_parallel(&runs, &ctx, &mut out);
+        let delta = dev.snapshot().since(&before);
+        let covered = per_segment
+            .iter()
+            .fold(pmem_sim::IoStats::default(), |acc, s| acc.plus(s));
+        assert_eq!(covered.cl_writes, delta.cl_writes, "writes all attributed");
+        assert!(covered.cl_reads <= delta.cl_reads);
+        let residual = delta.cl_reads - covered.cl_reads;
+        assert!(
+            (residual as f64) < 0.05 * delta.cl_reads as f64,
+            "splitter/boundary residual {residual} of {} reads",
+            delta.cl_reads
+        );
     }
 }

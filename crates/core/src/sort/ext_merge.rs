@@ -4,9 +4,24 @@
 //! replacement selection (average length `2M` on random input), then merge
 //! with `log_M |T|` passes. Total cost `|T|·r·(1+λ)·(log_M |T| + 1)`.
 
-use super::common::{generate_runs_parallel, merge_runs, SortContext};
-use pmem_sim::PCollection;
+use super::common::{generate_runs_parallel_profiled, merge_runs_into_profiled, SortContext};
+use pmem_sim::{IoStats, PCollection};
 use wisconsin::Record;
+
+/// Per-phase ledger profile of one external-merge-sort run: what the
+/// run-generation chunks and each merge pass's independent tasks cost,
+/// measured through the per-worker ledgers. Every entry is identical at
+/// any degree of parallelism; the speedup harness schedules them onto
+/// `DoP` workers to get the deterministic critical-path estimate.
+#[derive(Clone, Debug, Default)]
+pub struct ExmsProfile {
+    /// Traffic per fixed `4M`-record run-generation chunk.
+    pub run_generation: Vec<IoStats>,
+    /// Per merge pass, the traffic of its independent tasks: merge
+    /// groups for intermediate passes, key-range segments for the final
+    /// pass.
+    pub merge_passes: Vec<Vec<IoStats>>,
+}
 
 /// Sorts `input`, materializing the result as a new collection.
 ///
@@ -14,15 +29,48 @@ use wisconsin::Record;
 /// across the context's worker pool (serial inputs up to one chunk are
 /// untouched); chunk boundaries depend only on the DRAM budget, so runs
 /// and counters are identical at any degree of parallelism. The merge
-/// phase fans its intermediate passes out the same way.
+/// phase fans its intermediate passes out over merge groups and the
+/// final pass over sampled key-range segments the same way.
 pub fn external_merge_sort<R: Record>(
     input: &PCollection<R>,
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> PCollection<R> {
+    external_merge_sort_profiled(input, ctx, output_name).0
+}
+
+/// [`external_merge_sort`] with the per-phase ledger profile alongside
+/// the result — what the speedup harness consumes.
+pub fn external_merge_sort_profiled<R: Record>(
+    input: &PCollection<R>,
+    ctx: &SortContext<'_>,
+    output_name: &str,
+) -> (PCollection<R>, ExmsProfile) {
     let capacity = ctx.capacity_records::<R>();
-    let runs = generate_runs_parallel(input, capacity, ctx);
-    merge_runs(runs, ctx, output_name)
+    let (mut runs, run_generation) = generate_runs_parallel_profiled(input, capacity, ctx);
+    if runs.len() == 1 {
+        // A single run is already the sorted output; returning it
+        // directly avoids a spurious rewrite (its name stays "run-…",
+        // which is cosmetic — cost fidelity matters more than the
+        // label).
+        let out = runs.pop().expect("one run");
+        return (
+            out,
+            ExmsProfile {
+                run_generation,
+                merge_passes: Vec::new(),
+            },
+        );
+    }
+    let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
+    let merge = merge_runs_into_profiled(runs, ctx, &mut out);
+    (
+        out,
+        ExmsProfile {
+            run_generation,
+            merge_passes: merge.passes,
+        },
+    )
 }
 
 #[cfg(test)]

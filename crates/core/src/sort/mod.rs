@@ -18,11 +18,13 @@ pub mod segment;
 pub mod selection;
 
 pub use common::{
-    generate_runs_replacement, generate_runs_replacement_range, is_sorted_by_key, merge_fan_in,
-    merge_group, merge_runs, merge_runs_into, merge_streams, Entry, SortContext,
+    generate_runs_parallel, generate_runs_parallel_profiled, generate_runs_replacement,
+    generate_runs_replacement_range, is_sorted_by_key, merge_fan_in, merge_group,
+    merge_group_parallel, merge_runs, merge_runs_into, merge_runs_into_profiled, merge_streams,
+    Entry, KWayMerge, LoserTree, MergeProfile, SortContext, MERGE_SEGMENT_RECORDS,
 };
 pub use cycle::cycle_sort;
-pub use ext_merge::external_merge_sort;
+pub use ext_merge::{external_merge_sort, external_merge_sort_profiled, ExmsProfile};
 pub use hybrid::hybrid_sort;
 pub use lazy::{lazy_sort, materialization_pass};
 pub use segment::segment_sort;

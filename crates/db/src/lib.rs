@@ -56,6 +56,6 @@ pub mod stream;
 
 pub use database::{Database, DatabaseBuilder};
 pub use error::{DbError, Span, SqlError};
-pub use session::{Response, Session, SessionConfig};
+pub use session::{Response, Session, SessionConfig, MAX_THREADS};
 pub use sql::{bind, parse, BoundQuery, RowShape, Statement};
 pub use stream::{QueryStats, ResultStream, RowBatch};

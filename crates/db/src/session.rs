@@ -8,6 +8,11 @@ use pmem_sim::{BufferPool, Storable};
 use wisconsin::WisconsinRecord;
 use write_limited::parallel::resolve_threads;
 
+/// Upper bound on a session's degree of parallelism: the worker pool
+/// spawns scoped threads per query, so an absurd `SET threads` must be
+/// rejected up front instead of fanning out unbounded workers.
+pub const MAX_THREADS: usize = 256;
+
 /// Per-session knobs. Sessions start from the database defaults and can
 /// retune themselves with `SET` statements or the typed setters.
 #[derive(Clone, Debug, PartialEq)]
@@ -83,9 +88,10 @@ impl<'db> Session<'db> {
         &self.config
     }
 
-    /// Sets the degree of parallelism (explicit: outranks `WL_THREADS`).
+    /// Sets the degree of parallelism (explicit: outranks `WL_THREADS`),
+    /// clamped to `1..=`[`MAX_THREADS`].
     pub fn set_threads(&mut self, threads: usize) {
-        self.config.threads = Some(threads.max(1));
+        self.config.threads = Some(threads.clamp(1, MAX_THREADS));
     }
 
     /// Sets the DRAM budget in bytes.
@@ -151,7 +157,16 @@ impl<'db> Session<'db> {
                     .into());
                 }
                 match name.name.as_str() {
-                    "threads" => self.set_threads(value as usize),
+                    "threads" => {
+                        if value > MAX_THREADS as u64 {
+                            return Err(SqlError::new(
+                                format!("threads must be between 1 and {MAX_THREADS}, got {value}"),
+                                value_span,
+                            )
+                            .into());
+                        }
+                        self.set_threads(value as usize);
+                    }
                     "batch" => self.set_batch_rows(value as usize),
                     "lambda" => self.set_lambda(value as f64),
                     "memory" => {
@@ -349,6 +364,29 @@ mod tests {
             panic!("expected SQL error")
         };
         assert!(e.message.contains("unknown knob"));
+    }
+
+    #[test]
+    fn set_threads_rejects_values_above_the_cap() {
+        let db = db();
+        let mut s = db.session();
+        // The cap itself is fine; one past it errors with the value span.
+        s.execute("SET threads = 256").expect("at the cap");
+        assert_eq!(s.config().threads, Some(256));
+        let sql = "SET threads = 1000";
+        let DbError::Sql(e) = s.execute(sql).unwrap_err() else {
+            panic!("expected SQL error")
+        };
+        assert!(
+            e.message.contains("between 1 and 256"),
+            "message: {}",
+            e.message
+        );
+        assert_eq!(&sql[e.span.start..e.span.end], "1000", "caret on value");
+        assert_eq!(s.config().threads, Some(256), "knob unchanged on error");
+        // The typed setter clamps instead of erroring (no span to carry).
+        s.set_threads(100_000);
+        assert_eq!(s.config().threads, Some(MAX_THREADS));
     }
 
     #[test]

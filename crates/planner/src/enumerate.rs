@@ -1009,11 +1009,14 @@ mod tests {
     }
 
     #[test]
-    fn parallelism_knob_shifts_join_choice_toward_partitioned_plans() {
+    fn parallelism_knob_scales_every_candidates_critical_path() {
         // λ = 1, M = |T|/4: serially the read-only block-nested-loops
         // plan edges out the Grace family (it avoids the partition
-        // writes). With workers available, the partitioned candidates'
-        // critical paths shrink while NLJ's cannot, so the winner flips.
+        // writes). Before the morsel-driven executors, only the
+        // partitioned candidates could shrink under workers and the
+        // winner flipped away from NLJ; now NLJ fans out over its outer
+        // blocks too, so it keeps both its serial win *and* its lead at
+        // DoP 8 — and every candidate's critical path must shrink.
         let mut cat = Catalog::new();
         cat.add_stats("T", TableStats::wisconsin(10_000));
         cat.add_stats("V", TableStats::wisconsin(15_000));
@@ -1029,25 +1032,50 @@ mod tests {
         assert_eq!(serial.threads, 1);
         assert_eq!(par.threads, 8);
 
-        let winner = |p: &PlannedQuery| {
-            let c = p
-                .choices
+        let join_choice = |p: &PlannedQuery| {
+            p.choices
                 .iter()
                 .find(|c| c.node.starts_with("join"))
-                .expect("join enumerated");
-            (c.chosen.clone(), c.candidates[0].cost_units)
+                .expect("join enumerated")
+                .clone()
         };
-        let (serial_choice, serial_units) = winner(&serial);
-        let (par_choice, par_units) = winner(&par);
-        assert_eq!(serial_choice, "NLJ", "serial baseline should win at λ=1");
+        let (serial_join, par_join) = (join_choice(&serial), join_choice(&par));
+        assert_eq!(
+            serial_join.chosen, "NLJ",
+            "serial baseline should win at λ=1"
+        );
+        // The flip the critical path buys now happens *within* the NLJ
+        // family: swapping the build side makes more (smaller) outer
+        // blocks, which serially costs extra block reads but at DoP 8
+        // fans out wider — the swapped variant overtakes.
+        assert!(
+            par_join.chosen.starts_with("NLJ"),
+            "block-parallel NLJ keeps its lead under workers, got {}",
+            par_join.chosen
+        );
         assert_ne!(
-            par_choice, "NLJ",
-            "with 8 workers a partitioned plan must win"
+            par_join.chosen, serial_join.chosen,
+            "the wider-fan-out build order should win under workers"
         );
         assert!(
-            par_units < serial_units,
-            "critical path {par_units} must undercut the serial sum {serial_units}"
+            par_join.candidates[0].cost_units < serial_join.candidates[0].cost_units,
+            "critical path must undercut the serial sum"
         );
+        // Every candidate family shrinks: no all-serial joins are left.
+        for c in &par_join.candidates {
+            let serial_units = serial_join
+                .candidates
+                .iter()
+                .find(|s| s.label == c.label)
+                .expect("same candidate field")
+                .cost_units;
+            assert!(
+                c.cost_units < serial_units,
+                "{}: {} !< {serial_units}",
+                c.label,
+                c.cost_units
+            );
+        }
     }
 
     #[test]

@@ -152,6 +152,233 @@ fn every_sort_algorithm_is_dop_invariant() {
 }
 
 #[test]
+fn morsel_spanning_iterative_joins_are_dop_invariant() {
+    // Inputs spanning several execution morsels exercise the fanned-out
+    // build and probe scans of the standard and lazy hash joins and the
+    // multi-block fan-out of NLJ.
+    let t = PARTITION_MORSEL_RECORDS as u64 + 4000;
+    for algo in [JoinAlgorithm::HJ, JoinAlgorithm::LaJ, JoinAlgorithm::NLJ] {
+        let (rows1, io1) = run_join(algo, t, 2, 3000, 1);
+        for threads in [2, 4] {
+            let (rows, io) = run_join(algo, t, 2, 3000, threads);
+            assert_eq!(
+                rows,
+                rows1,
+                "{}: rows differ at DoP {threads}",
+                algo.label()
+            );
+            assert_eq!(
+                io,
+                io1,
+                "{}: traffic differs at DoP {threads}",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn skewed_all_one_key_inputs_are_dop_invariant() {
+    // Every row carries the same key: the worst case for range
+    // partitioning (one degenerate segment) and for hash partitioning
+    // (one partition holds everything). Output must still be exact and
+    // identical at every DoP.
+    let run = |algo: JoinAlgorithm, threads: usize| {
+        let dev = PmDevice::paper_default();
+        let one_key = |n: u64| (0..n).map(|i| WisconsinRecord::from_key(7).with_payload(i));
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", one_key(90));
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", one_key(110));
+        let pool = BufferPool::new(100 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+        let before = dev.snapshot();
+        let out = algo.run(&left, &right, &ctx, "out").expect("applicable");
+        let rows: Vec<(u64, u64)> = out
+            .to_vec_uncounted()
+            .iter()
+            .map(|p| (p.left.payload(), p.right.payload()))
+            .collect();
+        (rows, dev.snapshot().since(&before))
+    };
+    for algo in [
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::LaJ,
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::SMJ { x: 0.5 },
+    ] {
+        let (rows1, io1) = run(algo, 1);
+        assert_eq!(rows1.len(), 90 * 110, "{}", algo.label());
+        for threads in [2, 4] {
+            let (rows, io) = run(algo, threads);
+            assert_eq!(
+                rows,
+                rows1,
+                "{}: rows differ at DoP {threads}",
+                algo.label()
+            );
+            assert_eq!(
+                io,
+                io1,
+                "{}: traffic differs at DoP {threads}",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_inputs_are_dop_invariant_for_every_parallel_join() {
+    for algo in [
+        JoinAlgorithm::HJ,
+        JoinAlgorithm::LaJ,
+        JoinAlgorithm::NLJ,
+        JoinAlgorithm::SMJ { x: 0.5 },
+    ] {
+        for threads in [1, 4] {
+            let dev = PmDevice::paper_default();
+            let empty: PCollection<WisconsinRecord> =
+                PCollection::new(&dev, LayerKind::BlockedMemory, "E");
+            let some = PCollection::from_records_uncounted(
+                &dev,
+                LayerKind::BlockedMemory,
+                "S",
+                (0..50).map(WisconsinRecord::from_key),
+            );
+            let pool = BufferPool::new(60 * 80);
+            let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+            assert!(
+                algo.run(&empty, &some, &ctx, "o1")
+                    .expect("runs")
+                    .is_empty(),
+                "{} empty left at DoP {threads}",
+                algo.label()
+            );
+            assert!(
+                algo.run(&some, &empty, &ctx, "o2")
+                    .expect("runs")
+                    .is_empty(),
+                "{} empty right at DoP {threads}",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_final_merge_is_dop_invariant_across_input_shapes() {
+    use write_limited::sort::external_merge_sort_profiled;
+
+    // Random keys (many runs, several key segments), all-one-key skew
+    // (range partitioning degenerates to one segment), and sorted input
+    // (a single run — the merge is skipped entirely).
+    let shapes: [(&str, KeyOrder); 3] = [
+        ("random", KeyOrder::Random),
+        ("one-key", KeyOrder::FewDistinct { distinct: 1 }),
+        ("sorted", KeyOrder::Sorted),
+    ];
+    for (label, order) in shapes {
+        let run = |threads: usize| {
+            let dev = PmDevice::paper_default();
+            let input = PCollection::from_records_uncounted(
+                &dev,
+                LayerKind::BlockedMemory,
+                "S",
+                sort_input(30_000, order, 9),
+            );
+            let pool = BufferPool::new(600 * 80);
+            let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+            let before = dev.snapshot();
+            let (out, profile) = external_merge_sort_profiled(&input, &ctx, "sorted");
+            let stats = dev.snapshot().since(&before);
+            let rows: Vec<(u64, u64)> = out
+                .to_vec_uncounted()
+                .iter()
+                .map(|r| (r.key(), r.payload()))
+                .collect();
+            (rows, stats, profile.merge_passes.len())
+        };
+        let (rows1, io1, passes1) = run(1);
+        assert!(rows1.windows(2).all(|w| w[0] <= w[1]), "{label}: sorted");
+        assert_eq!(rows1.len(), 30_000, "{label}");
+        for threads in [2, 4] {
+            let (rows, io, passes) = run(threads);
+            assert_eq!(rows, rows1, "{label}: rows differ at DoP {threads}");
+            assert_eq!(io, io1, "{label}: traffic differs at DoP {threads}");
+            assert_eq!(passes, passes1, "{label}: pass structure differs");
+        }
+    }
+}
+
+#[test]
+fn empty_sort_input_is_dop_invariant() {
+    for threads in [1, 4] {
+        let dev = PmDevice::paper_default();
+        let input: PCollection<WisconsinRecord> =
+            PCollection::new(&dev, LayerKind::BlockedMemory, "S");
+        let pool = BufferPool::new(100 * 80);
+        let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+        let out = write_limited::sort::external_merge_sort(&input, &ctx, "sorted");
+        assert!(out.is_empty(), "DoP {threads}");
+    }
+}
+
+#[test]
+fn parallel_sort_aggregation_is_dop_invariant() {
+    use write_limited::agg::sort_based_aggregate;
+
+    // x = 1 over a morsel-spanning input drives the range-partitioned
+    // merge-aggregate; the few-distinct shape makes wide groups, the
+    // single-key shape the degenerate one-segment case.
+    for distinct in [1u64, 37, 5_000] {
+        let run = |threads: usize| {
+            let dev = PmDevice::paper_default();
+            let input = PCollection::from_records_uncounted(
+                &dev,
+                LayerKind::BlockedMemory,
+                "A",
+                sort_input(20_000, KeyOrder::FewDistinct { distinct }, 5),
+            );
+            let pool = BufferPool::new(400 * 80);
+            let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+            let before = dev.snapshot();
+            let out =
+                sort_based_aggregate(&input, 1.0, |r| r.payload(), &ctx, "agg").expect("valid x");
+            let groups: Vec<(u64, u64, u64)> = out
+                .to_vec_uncounted()
+                .iter()
+                .map(|g| (g.key, g.count, g.sum))
+                .collect();
+            (groups, dev.snapshot().since(&before))
+        };
+        let (groups1, io1) = run(1);
+        // Keys are drawn randomly from the domain: every key shows up
+        // for small domains, a large domain may miss a few.
+        assert!(groups1.len() as u64 <= distinct, "one row per group");
+        if distinct <= 37 {
+            assert_eq!(groups1.len() as u64, distinct, "all keys present");
+        }
+        assert!(groups1.windows(2).all(|w| w[0].0 < w[1].0), "key order");
+        assert_eq!(
+            groups1.iter().map(|g| g.1).sum::<u64>(),
+            20_000,
+            "counts cover the input"
+        );
+        for threads in [2, 4] {
+            let (groups, io) = run(threads);
+            assert_eq!(
+                groups, groups1,
+                "distinct={distinct}: rows differ at DoP {threads}"
+            );
+            assert_eq!(
+                io, io1,
+                "distinct={distinct}: traffic differs at DoP {threads}"
+            );
+        }
+    }
+}
+
+#[test]
 fn deferred_pipeline_join_is_dop_invariant() {
     let run = |threads: usize| {
         let dev = PmDevice::paper_default();
