@@ -11,6 +11,8 @@
 //! repro --plan            # plan-level concordance sweep (planner over Fig. 12)
 //! repro --parallel        # speedup matrix; writes BENCH_parallel.json baseline
 //! repro --parallel-smoke  # CI-sized DoP 1 vs 4 matrix, counters must be identical
+//! repro --profile         # span-tree profile (DoP 1 vs 4); writes BENCH_profile.json
+//! repro --profile-smoke   # CI-sized structural check of the span profile
 //! repro --threads 4 ...   # degree of parallelism for every scenario (= WL_THREADS)
 //! WL_SCALE=quick repro --all
 //! ```
@@ -132,13 +134,15 @@ fn main() {
             // identical across DoPs, so completing the run is the check.
             wl_bench::parallel_speedup_cells(&scale, &[1, 4], true);
         }
+        Some("--profile") => wl_bench::profile_to_file(&scale),
+        Some("--profile-smoke") => wl_bench::profile_smoke(&scale),
         Some("--config") => print_config(),
         Some("--breakdown") => breakdown_demo(&scale),
         Some(other) => {
             eprintln!(
                 "unknown flag {other}; see \
                  --all/--figure/--table/--ablation/--plan/--parallel/\
-                 --parallel-smoke/--config"
+                 --parallel-smoke/--profile/--profile-smoke/--config"
             )
         }
     }

@@ -13,10 +13,12 @@ pub mod figures;
 pub mod measure;
 pub mod parallel;
 pub mod plan;
+pub mod profile;
 pub mod scale;
 pub mod table;
 
 pub use measure::{run_join, run_sort, Measurement};
 pub use parallel::{parallel_speedup, parallel_speedup_cells};
 pub use plan::{plan_concordance, run_plan_concordance, PlanCell};
+pub use profile::{profile_runs, profile_smoke, profile_to_file, ProfiledRun};
 pub use scale::Scale;

@@ -1,0 +1,372 @@
+//! Span-tree profiling of the parallel algorithms: where does the wall
+//! clock go at DoP 4?
+//!
+//! Simulated counters are DoP-invariant, so the parallel story lives in
+//! *host* time — and the wall-clock speedup at DoP 4 routinely lands
+//! below the ledger-derived critical-path bound. This scenario runs each
+//! parallel algorithm at DoP 1 and DoP 4 under a span profile
+//! ([`pmem_sim::span`]) and reports, per worker-pool phase, the per-task
+//! wall breakdown: total task-seconds, the makespan (slowest task), and
+//! the inflation of DoP-4 task-seconds over the DoP-1 run of the same
+//! phase. Phases whose task-seconds *grow* with DoP are the contended
+//! ones (allocator, memory bandwidth); phases whose makespan dominates
+//! are the imbalanced ones. `repro --profile` writes the full span
+//! trees to `BENCH_profile.json` (hand-rolled JSON — the offline
+//! environment has no serde); `repro --profile-smoke` validates the
+//! structure at CI scale.
+
+use crate::Scale;
+use pmem_sim::span::{begin_profile, end_profile};
+use pmem_sim::{BufferPool, IoStats, LayerKind, PCollection, PmDevice, SpanNode};
+use std::time::Instant;
+use wisconsin::{join_input, sort_input, KeyOrder};
+use write_limited::join::{grace_join, hash_join, lazy_hash_join, nested_loops_join, JoinContext};
+use write_limited::sort::{external_merge_sort, SortContext};
+
+/// One algorithm's profiled run at one degree of parallelism.
+pub struct ProfiledRun {
+    /// Algorithm label.
+    pub algorithm: &'static str,
+    /// Degree of parallelism of this run.
+    pub dop: usize,
+    /// Harness wall-clock of the whole run in milliseconds.
+    pub wall_ms: f64,
+    /// Simulated traffic of the run (must be identical across DoPs).
+    pub stats: IoStats,
+    /// The recorded span tree.
+    pub tree: SpanNode,
+}
+
+/// Per-phase wall breakdown extracted from a run's `tasks[n]` spans.
+pub struct PhaseBreakdown {
+    /// The pool-phase label (`tasks[n]`), qualified by occurrence index
+    /// so repeated phases (merge passes) stay distinguishable.
+    pub label: String,
+    /// Number of task leaves under the phase.
+    pub tasks: usize,
+    /// Sum of the task leaves' wall time (task-seconds), ms.
+    pub task_wall_sum_ms: f64,
+    /// Slowest single task (the phase's makespan floor), ms.
+    pub task_wall_max_ms: f64,
+}
+
+/// Collects the worker-pool phases (`tasks[n]` spans) of a tree in
+/// pre-order, with their per-task wall totals.
+pub fn phase_breakdown(tree: &SpanNode) -> Vec<PhaseBreakdown> {
+    let mut out = Vec::new();
+    collect_phases(tree, &mut out);
+    out
+}
+
+fn collect_phases(node: &SpanNode, out: &mut Vec<PhaseBreakdown>) {
+    if node.label.starts_with("tasks[") {
+        let leaves: Vec<&SpanNode> = node
+            .children
+            .iter()
+            .filter(|c| c.label.starts_with("task-"))
+            .collect();
+        let sum: u64 = leaves.iter().map(|t| t.wall_ns).sum();
+        let max = leaves.iter().map(|t| t.wall_ns).max().unwrap_or(0);
+        out.push(PhaseBreakdown {
+            label: format!("{}#{}", node.label, out.len()),
+            tasks: leaves.len(),
+            task_wall_sum_ms: sum as f64 / 1e6,
+            task_wall_max_ms: max as f64 / 1e6,
+        });
+    }
+    for child in &node.children {
+        collect_phases(child, out);
+    }
+}
+
+fn profiled<F: FnOnce()>(
+    algorithm: &'static str,
+    dop: usize,
+    dev: &PmDevice,
+    work: F,
+) -> ProfiledRun {
+    let before = dev.snapshot();
+    begin_profile(algorithm);
+    let start = Instant::now();
+    work();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let tree = end_profile().expect("profile was active");
+    let stats = dev.snapshot().since(&before);
+    ProfiledRun {
+        algorithm,
+        dop,
+        wall_ms,
+        stats,
+        tree,
+    }
+}
+
+fn profile_sort(n: u64, m_records: usize, dop: usize) -> ProfiledRun {
+    let dev = PmDevice::paper_default();
+    let input = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "S",
+        sort_input(n, KeyOrder::Random, 7),
+    );
+    let pool = BufferPool::new(m_records * 80);
+    let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(dop);
+    profiled("ExMS", dop, &dev, || {
+        let out = external_merge_sort(&input, &ctx, "sorted");
+        assert_eq!(out.len() as u64, n, "wrong sort result");
+    })
+}
+
+fn profile_join(
+    algorithm: &'static str,
+    t: u64,
+    fanout: u64,
+    m_records: usize,
+    dop: usize,
+) -> ProfiledRun {
+    let dev = PmDevice::paper_default();
+    let w = join_input(t, fanout, 7);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let pool = BufferPool::new(m_records * 80);
+    let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(dop);
+    profiled(algorithm, dop, &dev, || {
+        let len = match algorithm {
+            "GJ" => grace_join(&left, &right, &ctx, "out")
+                .expect("applicable")
+                .len(),
+            "HJ" => hash_join(&left, &right, &ctx, "out").len(),
+            "NLJ" => nested_loops_join(&left, &right, &ctx, "out").len(),
+            "LaJ" => lazy_hash_join(&left, &right, &ctx, "out").len(),
+            other => unreachable!("unprofiled algorithm {other}"),
+        };
+        assert_eq!(
+            len as u64, w.expected_matches,
+            "{algorithm}: wrong join result"
+        );
+    })
+}
+
+/// Runs every parallel algorithm at each degree in `dops` under a span
+/// profile and prints the per-phase wall breakdown, comparing each
+/// phase's task-seconds against the DoP-1 run to localize contention.
+/// Panics if any run's simulated counters diverge across DoPs (the
+/// profile must observe, never perturb).
+pub fn profile_runs(scale: &Scale, dops: &[usize]) -> Vec<ProfiledRun> {
+    let t = scale.join_t;
+    let fanout = scale.join_fanout;
+    let sort_n = scale.sort_n;
+    let m_records = (t / 10).max(16) as usize;
+    println!("=== Span-tree profile: per-task wall breakdown by DoP ===");
+    println!(
+        "joins: |T| = {t}, |V| = {}, M = {m_records} records; sort: {sort_n} records",
+        t * fanout
+    );
+
+    let mut runs: Vec<ProfiledRun> = Vec::new();
+    let jobs: [&'static str; 5] = ["ExMS", "GJ", "HJ", "NLJ", "LaJ"];
+    for algorithm in jobs {
+        let mut per_dop: Vec<ProfiledRun> = dops
+            .iter()
+            .map(|&d| {
+                if algorithm == "ExMS" {
+                    profile_sort(sort_n, (sort_n / 100).max(16) as usize, d)
+                } else {
+                    profile_join(algorithm, t, fanout, m_records, d)
+                }
+            })
+            .collect();
+        report_algorithm(&per_dop);
+        runs.append(&mut per_dop);
+    }
+    runs
+}
+
+/// Prints one algorithm's phase table and asserts counter identity and
+/// span-tree validity for every DoP.
+fn report_algorithm(runs: &[ProfiledRun]) {
+    let base = &runs[0];
+    base.tree.validate().expect("span sums hold");
+    let base_phases = phase_breakdown(&base.tree);
+    for run in runs {
+        run.tree.validate().expect("span sums hold");
+        assert_eq!(
+            (run.stats.cl_reads, run.stats.cl_writes),
+            (base.stats.cl_reads, base.stats.cl_writes),
+            "{}: simulated counters diverged at DoP {}",
+            run.algorithm,
+            run.dop
+        );
+        // The profile must cover the whole device delta.
+        assert_eq!(
+            run.tree.io.cl_reads, run.stats.cl_reads,
+            "{}",
+            run.algorithm
+        );
+        assert_eq!(
+            run.tree.io.cl_writes, run.stats.cl_writes,
+            "{}",
+            run.algorithm
+        );
+        let phases = phase_breakdown(&run.tree);
+        println!(
+            "{:<6} DoP {}  wall {:>8.1} ms  {:>4} tasks in {:>2} pool phases",
+            run.algorithm,
+            run.dop,
+            run.wall_ms,
+            run.tree.task_count(),
+            phases.len(),
+        );
+        for (i, p) in phases.iter().enumerate() {
+            // Same phase in the DoP-1 run (task partitioning is
+            // DoP-independent, so phase i lines up with phase i).
+            let inflation = base_phases
+                .get(i)
+                .filter(|b| b.task_wall_sum_ms > 0.0)
+                .map(|b| p.task_wall_sum_ms / b.task_wall_sum_ms);
+            let note = match inflation {
+                Some(f) if run.dop > 1 && f > 1.25 => {
+                    format!("  <-- {f:.2}x task-seconds vs DoP 1: contention")
+                }
+                Some(f) if run.dop > 1 => format!("  ({f:.2}x task-seconds vs DoP 1)"),
+                _ => String::new(),
+            };
+            println!(
+                "        {:<12} {:>3} tasks  sum {:>8.2} ms  max {:>7.2} ms{note}",
+                p.label, p.tasks, p.task_wall_sum_ms, p.task_wall_max_ms
+            );
+        }
+    }
+}
+
+/// Serializes the profiled runs — summary fields plus the full span
+/// trees — as JSON.
+pub fn profile_json(runs: &[ProfiledRun]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"algorithm\": \"{}\", \"dop\": {}, \"wall_ms\": {:.3}, \
+             \"cl_reads\": {}, \"cl_writes\": {}, \"tasks\": {},\n   \"phases\": [",
+            r.algorithm,
+            r.dop,
+            r.wall_ms,
+            r.stats.cl_reads,
+            r.stats.cl_writes,
+            r.tree.task_count(),
+        ));
+        let phases = phase_breakdown(&r.tree);
+        for (j, p) in phases.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"label\": \"{}\", \"tasks\": {}, \"task_wall_sum_ms\": {:.3}, \
+                 \"task_wall_max_ms\": {:.3}}}",
+                if j == 0 { "" } else { ", " },
+                p.label,
+                p.tasks,
+                p.task_wall_sum_ms,
+                p.task_wall_max_ms
+            ));
+        }
+        out.push_str("],\n   \"span_tree\": ");
+        span_json(&r.tree, &mut out);
+        out.push_str(&format!(
+            "}}{}\n",
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn span_json(node: &SpanNode, out: &mut String) {
+    let rows = node.rows.map_or("null".to_string(), |n| n.to_string());
+    out.push_str(&format!(
+        "{{\"label\": \"{}\", \"thread\": {}, \"wall_ns\": {}, \"reads\": {}, \
+         \"writes\": {}, \"software_ns\": {:.1}, \"rows\": {rows}, \"children\": [",
+        node.label.replace('"', "'"),
+        node.thread,
+        node.wall_ns,
+        node.io.cl_reads,
+        node.io.cl_writes,
+        node.io.software_ns,
+    ));
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        span_json(child, out);
+    }
+    out.push_str("]}");
+}
+
+/// `repro --profile`: runs the profile matrix at DoP 1 and 4 and writes
+/// `BENCH_profile.json`.
+pub fn profile_to_file(scale: &Scale) {
+    let runs = profile_runs(scale, &[1, 4]);
+    let path = "BENCH_profile.json";
+    match std::fs::write(path, profile_json(&runs)) {
+        Ok(()) => println!("span-tree profile written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// `repro --profile-smoke`: the CI-sized structural check. Runs the
+/// matrix, validates every tree, checks that DoP-4 runs actually fanned
+/// out, and that the JSON document is balanced and complete.
+pub fn profile_smoke(scale: &Scale) {
+    let runs = profile_runs(scale, &[1, 4]);
+    assert_eq!(runs.len(), 10, "five algorithms at two DoPs");
+    for r in &runs {
+        assert!(r.tree.task_count() > 0, "{}: no task leaves", r.algorithm);
+        assert!(
+            !phase_breakdown(&r.tree).is_empty(),
+            "{}: no pool phases",
+            r.algorithm
+        );
+    }
+    let json = profile_json(&runs);
+    assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced JSON"
+    );
+    assert_eq!(json.matches("\"span_tree\"").count(), 10);
+    println!("profile smoke: 10 runs, all trees valid, JSON well-formed — PASS");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_sort_produces_a_valid_tree_with_task_leaves() {
+        let run = profile_sort(4_000, 40, 4);
+        run.tree.validate().expect("span sums hold");
+        assert_eq!(run.tree.label, "ExMS");
+        assert!(run.tree.task_count() > 0, "worker tasks recorded");
+        let phases = phase_breakdown(&run.tree);
+        assert!(!phases.is_empty());
+        assert!(phases
+            .iter()
+            .all(|p| p.task_wall_sum_ms >= p.task_wall_max_ms));
+    }
+
+    #[test]
+    fn profile_json_is_balanced_and_carries_trees() {
+        let run = profile_join("HJ", 500, 2, 100, 2);
+        let json = profile_json(&[run]);
+        assert!(json.contains("\"algorithm\": \"HJ\""));
+        assert!(json.contains("\"span_tree\": {"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn counters_are_identical_across_dops_under_profiling() {
+        let a = profile_join("GJ", 800, 2, 80, 1);
+        let b = profile_join("GJ", 800, 2, 80, 4);
+        assert_eq!(a.stats.cl_reads, b.stats.cl_reads);
+        assert_eq!(a.stats.cl_writes, b.stats.cl_writes);
+        assert!(b.tree.task_count() >= a.tree.task_count());
+    }
+}

@@ -184,6 +184,7 @@ impl<'p, I: PhysOperator> PhysOperator for SortOp<'p, I> {
     type Item = I::Item;
 
     fn open(&mut self) -> Result<(), PmError> {
+        let _span = pmem_sim::span::span_with(|| format!("sort-op {}", self.algo.label()));
         self.child.open()?;
         let mut staged = PCollection::new(&self.dev, self.kind, "sort-op-input");
         while let Some(r) = self.child.next() {
@@ -264,6 +265,7 @@ impl<'a, 'p, L: Record, R: Record> PhysOperator for JoinOp<'a, 'p, L, R> {
     type Item = Pair<L, R>;
 
     fn open(&mut self) -> Result<(), PmError> {
+        let _span = pmem_sim::span::span_with(|| format!("join-op {}", self.algo.label()));
         let ctx = JoinContext::new(&self.dev, self.kind, self.pool)
             .with_threads(crate::parallel::resolve_threads(self.threads));
         self.output = Some(
@@ -331,6 +333,7 @@ impl<'p, I: PhysOperator, V: Fn(&I::Item) -> u64 + Sync> PhysOperator for AggOp<
     type Item = GroupAgg;
 
     fn open(&mut self) -> Result<(), PmError> {
+        let _span = pmem_sim::span::span("agg-op");
         self.child.open()?;
         let mut staged = PCollection::new(&self.dev, self.kind, "agg-op-input");
         while let Some(r) = self.child.next() {
@@ -398,6 +401,7 @@ pub fn stage<O: PhysOperator>(
     kind: LayerKind,
     name: &str,
 ) -> Result<PCollection<O::Item>, PmError> {
+    let _span = pmem_sim::span::span_with(|| format!("stage {name}"));
     op.open()?;
     let mut out = PCollection::new(dev, kind, name);
     while let Some(r) = op.next() {

@@ -95,6 +95,14 @@ impl JoinAlgorithm {
         ctx: &JoinContext<'_>,
         output_name: &str,
     ) -> Result<PCollection<Pair<L, R>>, PmError> {
+        // Hold the DRAM working set (the build table: the build side if
+        // it fits, the remaining budget otherwise) for the blocking
+        // phase. Pure telemetry — capacity decisions read the budget,
+        // not the reservation ledger.
+        let pool = ctx.pool();
+        let _working_set = pool
+            .reserve((left.len() * L::SIZE).min(pool.available()))
+            .ok();
         match self {
             JoinAlgorithm::NLJ => Ok(nested_loops_join(left, right, ctx, output_name)),
             JoinAlgorithm::GJ => grace_join(left, right, ctx, output_name),

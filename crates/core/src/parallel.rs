@@ -20,9 +20,11 @@
 //! parallelism; what the pool buys is wall-clock scaling of the harness
 //! itself.
 
-use pmem_sim::{thread_stats, IoStats};
+use pmem_sim::metrics::{adopt, thread_flow};
+use pmem_sim::{span, IoStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Environment variable holding the default degree of parallelism.
 pub const THREADS_ENV: &str = "WL_THREADS";
@@ -68,14 +70,19 @@ pub fn degree_from_env() -> usize {
 }
 
 /// One task's result plus the traffic its worker charged while running
-/// it (taken from the worker's thread-local ledger, so concurrent
-/// siblings cannot perturb it).
+/// it (taken from the worker's thread-local flow ledger, so concurrent
+/// siblings cannot perturb it and nested fan-out the task consumed is
+/// included).
 #[derive(Debug)]
 pub struct TaskOutput<T> {
     /// The task's return value.
     pub value: T,
     /// Cacheline traffic the task charged to the device.
     pub stats: IoStats,
+    /// Host wall-clock duration of the task in nanoseconds.
+    pub wall_ns: u64,
+    /// Profiler id of the thread that ran the task.
+    pub thread: u64,
 }
 
 /// How many tasks may be in flight (running or completed but not yet
@@ -105,13 +112,29 @@ where
     if n_tasks == 0 {
         return;
     }
+    // Phase span covering the whole fan-out; per-task leaves attach under
+    // it at consumption time, so a profile records the pool's shape (task
+    // counts, which threads ran what, per-task wall) at any DoP. All of
+    // this is inert unless a profile is armed on the coordinator.
+    let _pool_span = span::span_with(|| format!("tasks[{n_tasks}]"));
     let workers = threads.min(n_tasks);
     if workers <= 1 {
         for i in 0..n_tasks {
-            let before = thread_stats();
+            let before = thread_flow();
+            let t0 = Instant::now();
             let value = task(i);
-            let stats = thread_stats().since(&before);
-            consume(i, TaskOutput { value, stats });
+            let out = TaskOutput {
+                value,
+                stats: thread_flow().since(&before),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+                thread: span::thread_id(),
+            };
+            // Inline tasks ran on the coordinator, so their traffic is
+            // already in its ledger — attach the leaf, adopt nothing.
+            if span::profiling() {
+                span::attach_task(format!("task-{i}"), out.thread, out.wall_ns, out.stats);
+            }
+            consume(i, out);
         }
         return;
     }
@@ -147,11 +170,17 @@ where
                     }
                 }
                 let release = ReleaseOnPanic { progress, aborted };
-                let before = thread_stats();
+                let before = thread_flow();
+                let t0 = Instant::now();
                 let value = task(i);
-                let stats = thread_stats().since(&before);
+                let out = TaskOutput {
+                    value,
+                    stats: thread_flow().since(&before),
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                    thread: span::thread_id(),
+                };
                 std::mem::forget(release);
-                if tx.send((i, TaskOutput { value, stats })).is_err() {
+                if tx.send((i, out)).is_err() {
                     break;
                 }
             });
@@ -168,6 +197,20 @@ where
                     while next_out < n_tasks {
                         match pending[next_out].take() {
                             Some(out) => {
+                                // The task ran on a worker: credit its
+                                // traffic to the coordinator's flow
+                                // ledger so enclosing spans (and nested
+                                // pools run from within a task) account
+                                // for the delegated work.
+                                adopt(&out.stats);
+                                if span::profiling() {
+                                    span::attach_task(
+                                        format!("task-{next_out}"),
+                                        out.thread,
+                                        out.wall_ns,
+                                        out.stats,
+                                    );
+                                }
                                 consume(next_out, out);
                                 next_out += 1;
                             }
@@ -297,6 +340,81 @@ mod tests {
         // CLI default and whatever WL_THREADS the test run was given.
         assert_eq!(resolve_threads(Some(3)), 3);
         assert_eq!(resolve_threads(Some(0)), degree_from_env());
+    }
+
+    #[test]
+    fn task_outputs_carry_wall_and_thread_at_any_dop() {
+        for threads in [1, 4] {
+            let mut threads_seen = std::collections::HashSet::new();
+            for_each_ordered(
+                threads,
+                6,
+                |i| i,
+                |_, out| {
+                    threads_seen.insert(out.thread);
+                },
+            );
+            assert!(!threads_seen.is_empty());
+            assert!(threads_seen.len() <= threads);
+        }
+    }
+
+    #[test]
+    fn coordinator_flow_adopts_parallel_task_traffic() {
+        let dev = PmDevice::paper_default();
+        let cols: Vec<PCollection<u64>> = (0..8)
+            .map(|i| {
+                PCollection::from_records_uncounted(
+                    &dev,
+                    LayerKind::BlockedMemory,
+                    format!("c{i}"),
+                    0..400u64,
+                )
+            })
+            .collect();
+        let before_dev = dev.snapshot();
+        let before_flow = pmem_sim::thread_flow();
+        let sums = map_ordered(4, cols.len(), |i| cols[i].reader().sum::<u64>());
+        assert_eq!(sums.len(), cols.len());
+        let dev_delta = dev.snapshot().since(&before_dev);
+        let flow_delta = pmem_sim::thread_flow().since(&before_flow);
+        // All traffic happened on workers, but the coordinator adopted it
+        // at consumption time, so its flow ledger covers the device delta.
+        assert_eq!(flow_delta.cl_reads, dev_delta.cl_reads);
+        assert_eq!(flow_delta.cl_writes, dev_delta.cl_writes);
+        assert_eq!(flow_delta.calls, dev_delta.calls);
+    }
+
+    #[test]
+    fn pool_profiles_have_identical_counters_at_any_dop() {
+        let profile = |threads: usize| {
+            let dev = PmDevice::paper_default();
+            let cols: Vec<PCollection<u64>> = (0..5)
+                .map(|i| {
+                    PCollection::from_records_uncounted(
+                        &dev,
+                        LayerKind::BlockedMemory,
+                        format!("c{i}"),
+                        0..300u64,
+                    )
+                })
+                .collect();
+            pmem_sim::span::begin_profile("pool");
+            let _ = map_ordered(threads, cols.len(), |i| cols[i].reader().sum::<u64>());
+            pmem_sim::span::end_profile().expect("profile recorded")
+        };
+        let p1 = profile(1);
+        let p4 = profile(4);
+        p1.validate().expect("serial tree sums");
+        p4.validate().expect("parallel tree sums");
+        assert_eq!(p1.task_count(), 5);
+        assert_eq!(p4.task_count(), 5);
+        assert_eq!(p1.io.cl_reads, p4.io.cl_reads);
+        assert_eq!(p1.io.cl_writes, p4.io.cl_writes);
+        assert_eq!(p1.io.calls, p4.io.calls);
+        let pool1 = p1.find("tasks[5]").expect("phase span");
+        let pool4 = p4.find("tasks[5]").expect("phase span");
+        assert_eq!(pool1.children_io().cl_reads, pool4.children_io().cl_reads);
     }
 
     #[test]

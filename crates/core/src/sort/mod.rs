@@ -80,6 +80,14 @@ impl SortAlgorithm {
         ctx: &SortContext<'_>,
         output_name: &str,
     ) -> Result<PCollection<R>, PmError> {
+        // Hold the DRAM working set for the blocking phase: the whole
+        // input if it fits, the remaining budget otherwise (external
+        // algorithms run at capacity). Pure telemetry — capacity
+        // decisions read the budget, not the reservation ledger.
+        let pool = ctx.pool();
+        let _working_set = pool
+            .reserve((input.len() * R::SIZE).min(pool.available()))
+            .ok();
         match self {
             SortAlgorithm::ExMS => Ok(external_merge_sort(input, ctx, output_name)),
             SortAlgorithm::SegS { x } => segment_sort(input, *x, ctx, output_name),

@@ -141,8 +141,14 @@ fn run_statement(session: &mut wl_db::Session<'_>, sql: &str) {
             }
         }
         Ok(Response::Set { knob, value }) => println!("set {knob} = {value}"),
+        Ok(Response::Metrics(snapshot)) => {
+            for (name, value) in snapshot.rows() {
+                println!("{name}  {value}");
+            }
+        }
         Ok(Response::Rows(mut stream)) => {
-            if let Err(e) = print_stream(&mut stream) {
+            let timing = session.config().timing;
+            if let Err(e) = print_stream(&mut stream, timing) {
                 report(&e, sql);
             }
         }
@@ -150,12 +156,18 @@ fn run_statement(session: &mut wl_db::Session<'_>, sql: &str) {
             Ok(_) => print!("{}", stream.explain()),
             Err(e) => report(&e, sql),
         },
+        Ok(Response::ExplainAnalyze(mut stream)) => match stream.drain() {
+            Ok(_) => print!("{}", stream.analyze()),
+            Err(e) => report(&e, sql),
+        },
         Err(e) => report(&e, sql),
     }
 }
 
-/// Prints a result stream batch by batch, as it is pulled.
-fn print_stream(stream: &mut ResultStream) -> Result<(), DbError> {
+/// Prints a result stream batch by batch, as it is pulled. The host
+/// wall-time footer is opt-in (`SET timing = on`) — it varies run to
+/// run, and the default footer must stay byte-stable for golden diffs.
+fn print_stream(stream: &mut ResultStream, timing: bool) -> Result<(), DbError> {
     println!("{}", stream.columns().join(" | "));
     let mut batches = 0u64;
     while let Some(batch) = stream.next_batch()? {
@@ -167,8 +179,13 @@ fn print_stream(stream: &mut ResultStream) -> Result<(), DbError> {
         println!("-- batch {batches}: {} rows", batch.rows.len());
     }
     let stats = stream.stats().expect("stream drained");
+    let host = if timing {
+        format!(", {:.1}ms host", stats.elapsed_secs * 1e3)
+    } else {
+        String::new()
+    };
     println!(
-        "-- {} rows in {} batches, {:.4}s simulated, {} reads / {} writes (cachelines)",
+        "-- {} rows in {} batches, {:.4}s simulated, {} reads / {} writes (cachelines){host}",
         stats.rows, stats.batches, stats.secs, stats.io.cl_reads, stats.io.cl_writes
     );
     Ok(())

@@ -2,6 +2,7 @@
 //! persistence layer, the catalog of named tables, and the default
 //! session knobs — the single entry point to the write-limited engine.
 
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::session::{Session, SessionConfig};
 use planner::Catalog;
 use pmem_sim::{DeviceConfig, LatencyProfile, LayerKind, PCollection, Pm, PmDevice};
@@ -31,6 +32,7 @@ pub struct Database {
     layer: LayerKind,
     catalog: RwLock<Catalog>,
     defaults: SessionConfig,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Database {
@@ -64,6 +66,17 @@ impl Database {
     /// A catalog snapshot (cheap: shared table handles).
     pub fn catalog(&self) -> Catalog {
         self.catalog.read().expect("catalog lock").clone()
+    }
+
+    /// The engine-wide metrics registry streams fold their counters into.
+    pub(crate) fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of the engine-wide counters — the
+    /// programmatic face of `SHOW METRICS`.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Creates a Wisconsin table: `rows` distinct keys × `fanout`
@@ -215,6 +228,7 @@ impl DatabaseBuilder {
             layer: self.layer,
             catalog: RwLock::new(Catalog::new()),
             defaults: self.defaults,
+            metrics: Arc::new(EngineMetrics::default()),
         }
     }
 }

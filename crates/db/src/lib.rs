@@ -18,8 +18,10 @@
 //! SELECT * FROM t WHERE key < 100 ORDER BY key LIMIT 10;
 //! SELECT * FROM t JOIN v ON t.key = v.key WHERE t.key % 2 = 0 GROUP BY key;
 //! EXPLAIN SELECT * FROM t JOIN v ON t.key = v.key ORDER BY key;
+//! EXPLAIN ANALYZE SELECT * FROM t ORDER BY key;  -- run + per-node profile
 //! SET threads = 4;                             -- also: batch, lambda, memory
-//! SHOW TABLES; DROP TABLE t;
+//! SET timing = on;                             -- also: profile (on/off)
+//! SHOW TABLES; SHOW METRICS; DROP TABLE t;
 //! ```
 //!
 //! ```
@@ -50,12 +52,14 @@
 
 pub mod database;
 pub mod error;
+pub mod metrics;
 pub mod session;
 pub mod sql;
 pub mod stream;
 
 pub use database::{Database, DatabaseBuilder};
 pub use error::{DbError, Span, SqlError};
+pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use session::{Response, Session, SessionConfig, MAX_THREADS};
 pub use sql::{bind, parse, BoundQuery, RowShape, Statement};
 pub use stream::{QueryStats, ResultStream, RowBatch};

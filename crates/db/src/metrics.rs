@@ -1,0 +1,150 @@
+//! The database-wide metrics registry behind `SHOW METRICS`.
+//!
+//! One [`EngineMetrics`] lives in the [`crate::Database`] and aggregates
+//! across every session and query: queries executed, result rows /
+//! bytes / batches actually delivered to clients (the simulated device
+//! never sees delivery — result drains are uncounted reads — so the
+//! registry is the only place this traffic is visible), buffer-pool
+//! pressure, and host wall time spent executing. Counters are atomics;
+//! [`EngineMetrics::snapshot`] takes a consistent-enough point-in-time
+//! copy for reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic engine-wide counters. All methods are `&self` and
+/// lock-free; streams fold their totals in as they finish.
+#[derive(Debug, Default)]
+pub struct EngineMetrics {
+    queries: AtomicU64,
+    result_rows: AtomicU64,
+    result_bytes: AtomicU64,
+    result_batches: AtomicU64,
+    pool_reservations: AtomicU64,
+    pool_exhausted: AtomicU64,
+    pool_peak_bytes: AtomicU64,
+    exec_wall_ns: AtomicU64,
+}
+
+impl EngineMetrics {
+    /// Notes that a query plan started executing.
+    pub fn note_query(&self) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes one result batch delivered to a client. `bytes` is the
+    /// projected payload size — delivery traffic the simulated device
+    /// does not account (`range_to_vec_uncounted` drains are invisible
+    /// to the cacheline ledger by design).
+    pub fn note_delivery(&self, rows: u64, bytes: u64) {
+        self.result_batches.fetch_add(1, Ordering::Relaxed);
+        self.result_rows.fetch_add(rows, Ordering::Relaxed);
+        self.result_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Folds a finished query's buffer-pool counters and host wall time
+    /// into the registry.
+    pub fn note_run(&self, reservations: u64, exhausted: u64, peak_bytes: u64, wall_ns: u64) {
+        self.pool_reservations
+            .fetch_add(reservations, Ordering::Relaxed);
+        self.pool_exhausted.fetch_add(exhausted, Ordering::Relaxed);
+        self.pool_peak_bytes
+            .fetch_max(peak_bytes, Ordering::Relaxed);
+        self.exec_wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            result_rows: self.result_rows.load(Ordering::Relaxed),
+            result_bytes: self.result_bytes.load(Ordering::Relaxed),
+            result_batches: self.result_batches.load(Ordering::Relaxed),
+            pool_reservations: self.pool_reservations.load(Ordering::Relaxed),
+            pool_exhausted: self.pool_exhausted.load(Ordering::Relaxed),
+            pool_peak_bytes: self.pool_peak_bytes.load(Ordering::Relaxed),
+            exec_wall_ns: self.exec_wall_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the [`EngineMetrics`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Query plans executed (EXPLAIN variants included — they run).
+    pub queries: u64,
+    /// Result rows delivered to clients.
+    pub result_rows: u64,
+    /// Result payload bytes delivered to clients.
+    pub result_bytes: u64,
+    /// Result batches delivered to clients.
+    pub result_batches: u64,
+    /// Buffer-pool reservations granted.
+    pub pool_reservations: u64,
+    /// Buffer-pool reservation attempts refused (memory pressure).
+    pub pool_exhausted: u64,
+    /// Largest buffer-pool high-water mark any query reached, in bytes.
+    pub pool_peak_bytes: u64,
+    /// Host wall time spent executing and draining queries.
+    pub exec_wall_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// The counters as `(name, value)` rows in a stable order — the
+    /// `SHOW METRICS` surface golden tests diff against.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("queries", self.queries),
+            ("result_delivery_rows", self.result_rows),
+            ("result_delivery_bytes", self.result_bytes),
+            ("result_delivery_batches", self.result_batches),
+            ("pool_reservations", self.pool_reservations),
+            ("pool_exhausted", self.pool_exhausted),
+            ("pool_peak_bytes", self.pool_peak_bytes),
+            ("exec_wall_ns", self.exec_wall_ns),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_peak_takes_max() {
+        let m = EngineMetrics::default();
+        m.note_query();
+        m.note_query();
+        m.note_delivery(10, 160);
+        m.note_delivery(5, 80);
+        m.note_run(3, 1, 4096, 1_000);
+        m.note_run(2, 0, 1024, 2_000);
+        let s = m.snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.result_rows, 15);
+        assert_eq!(s.result_bytes, 240);
+        assert_eq!(s.result_batches, 2);
+        assert_eq!(s.pool_reservations, 5);
+        assert_eq!(s.pool_exhausted, 1);
+        assert_eq!(s.pool_peak_bytes, 4096, "peak is a max, not a sum");
+        assert_eq!(s.exec_wall_ns, 3_000);
+    }
+
+    #[test]
+    fn snapshot_rows_are_stable_and_complete() {
+        let s = MetricsSnapshot::default();
+        let names: Vec<&str> = s.rows().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "queries",
+                "result_delivery_rows",
+                "result_delivery_bytes",
+                "result_delivery_batches",
+                "pool_reservations",
+                "pool_exhausted",
+                "pool_peak_bytes",
+                "exec_wall_ns",
+            ]
+        );
+    }
+}

@@ -2,9 +2,12 @@
 
 use crate::database::Database;
 use crate::error::{DbError, SqlError};
+use crate::metrics::MetricsSnapshot;
+use crate::sql::ast::SetValue;
 use crate::sql::{bind, parse, Select, Statement};
-use crate::stream::ResultStream;
-use pmem_sim::{BufferPool, Storable};
+use crate::stream::{ResultStream, StreamHooks};
+use pmem_sim::{BufferPool, SpanNode, Storable};
+use std::sync::{Arc, Mutex};
 use wisconsin::WisconsinRecord;
 use write_limited::parallel::resolve_threads;
 
@@ -27,6 +30,13 @@ pub struct SessionConfig {
     /// Planning write/read cost ratio override; `None` plans at the
     /// device's measured λ.
     pub lambda: Option<f64>,
+    /// Print host wall time in client footers (`SET timing = on`). Off
+    /// by default so scripted sessions stay byte-stable.
+    pub timing: bool,
+    /// Record a span-tree profile for every query (`SET profile = off`
+    /// to disable). Profiling never touches the simulated counters, so
+    /// it is cheap enough to leave on.
+    pub profile: bool,
 }
 
 impl Default for SessionConfig {
@@ -36,6 +46,8 @@ impl Default for SessionConfig {
             dram_bytes: 500 * WisconsinRecord::SIZE,
             batch_rows: 512,
             lambda: None,
+            timing: false,
+            profile: true,
         }
     }
 }
@@ -57,18 +69,23 @@ pub enum Response {
     },
     /// `SHOW TABLES` listing as `(name, rows)`.
     Tables(Vec<(String, u64)>),
+    /// `SHOW METRICS` — the engine-wide counter registry.
+    Metrics(MetricsSnapshot),
     /// `SET` applied.
     Set {
         /// Knob name.
         knob: String,
-        /// New value.
-        value: u64,
+        /// New value, rendered (`"4"`, `"on"`).
+        value: String,
     },
     /// A `SELECT`: pull the stream for rows.
     Rows(ResultStream),
     /// An `EXPLAIN SELECT`: drain the stream (discarding rows), then
     /// render [`ResultStream::explain`] for the full report.
     Explain(ResultStream),
+    /// An `EXPLAIN ANALYZE SELECT`: drain the stream (discarding rows),
+    /// then render [`ResultStream::analyze`] for the annotated plan.
+    ExplainAnalyze(ResultStream),
 }
 
 /// A connection to a [`Database`] with its own knobs.
@@ -76,16 +93,30 @@ pub enum Response {
 pub struct Session<'db> {
     db: &'db Database,
     config: SessionConfig,
+    /// Where the session's streams deposit their span-tree profile when
+    /// they finish; [`Session::last_profile`] reads it back.
+    profile_sink: Arc<Mutex<Option<SpanNode>>>,
 }
 
 impl<'db> Session<'db> {
     pub(crate) fn new(db: &'db Database, config: SessionConfig) -> Self {
-        Self { db, config }
+        Self {
+            db,
+            config,
+            profile_sink: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// Current knob settings.
     pub fn config(&self) -> &SessionConfig {
         &self.config
+    }
+
+    /// The span-tree profile of the most recently *completed* query in
+    /// this session (streams deposit it when they finish draining), or
+    /// `None` before the first profiled run.
+    pub fn last_profile(&self) -> Option<SpanNode> {
+        self.profile_sink.lock().expect("profile sink").clone()
     }
 
     /// Sets the degree of parallelism (explicit: outranks `WL_THREADS`),
@@ -144,11 +175,51 @@ impl<'db> Session<'db> {
                 }
             }
             Statement::ShowTables => Ok(Response::Tables(self.db.tables())),
+            Statement::ShowMetrics => Ok(Response::Metrics(self.db.metrics_snapshot())),
             Statement::Set {
                 name,
                 value,
                 value_span,
             } => {
+                // Boolean knobs take on/off; everything else an integer.
+                match name.name.as_str() {
+                    "timing" | "profile" => {
+                        let SetValue::Flag(flag) = value else {
+                            return Err(SqlError::new(
+                                format!("knob \"{}\" takes on or off", name.name),
+                                value_span,
+                            )
+                            .into());
+                        };
+                        if name.name == "timing" {
+                            self.config.timing = flag;
+                        } else {
+                            self.config.profile = flag;
+                        }
+                        return Ok(Response::Set {
+                            knob: name.name,
+                            value: value.describe(),
+                        });
+                    }
+                    "threads" | "batch" | "lambda" | "memory" => {}
+                    other => {
+                        return Err(SqlError::new(
+                            format!(
+                                "unknown knob \"{other}\" (supported: threads, batch, lambda, \
+                                 memory, timing, profile)"
+                            ),
+                            name.span,
+                        )
+                        .into())
+                    }
+                }
+                let SetValue::Num(value) = value else {
+                    return Err(SqlError::new(
+                        format!("knob \"{}\" requires an integer value", name.name),
+                        value_span,
+                    )
+                    .into());
+                };
                 if value == 0 {
                     return Err(SqlError::new(
                         format!("knob \"{}\" requires a positive value, got 0", name.name),
@@ -181,24 +252,20 @@ impl<'db> Session<'db> {
                             })?;
                         self.set_dram_budget(bytes);
                     }
-                    other => {
-                        return Err(SqlError::new(
-                            format!(
-                                "unknown knob \"{other}\" (supported: threads, batch, lambda, \
-                                 memory)"
-                            ),
-                            name.span,
-                        )
-                        .into())
-                    }
+                    _ => unreachable!("knob names vetted above"),
                 }
                 Ok(Response::Set {
                     knob: name.name,
-                    value,
+                    value: value.to_string(),
                 })
             }
-            Statement::Select(select) => Ok(Response::Rows(self.plan_select(&select)?)),
-            Statement::Explain(select) => Ok(Response::Explain(self.plan_select(&select)?)),
+            Statement::Select(select) => Ok(Response::Rows(self.plan_select(&select, false)?)),
+            Statement::Explain(select) => Ok(Response::Explain(self.plan_select(&select, false)?)),
+            // EXPLAIN ANALYZE needs the span tree regardless of the
+            // session's profile knob.
+            Statement::ExplainAnalyze(select) => {
+                Ok(Response::ExplainAnalyze(self.plan_select(&select, true)?))
+            }
         }
     }
 
@@ -210,7 +277,7 @@ impl<'db> Session<'db> {
     /// planning failures.
     pub fn query(&self, sql: &str) -> Result<ResultStream, DbError> {
         match parse(sql)? {
-            Statement::Select(select) => self.plan_select(&select),
+            Statement::Select(select) => self.plan_select(&select, false),
             other => Err(SqlError::new(
                 format!(
                     "query() accepts SELECT only; use execute() for {}",
@@ -222,7 +289,7 @@ impl<'db> Session<'db> {
         }
     }
 
-    fn plan_select(&self, select: &Select) -> Result<ResultStream, DbError> {
+    fn plan_select(&self, select: &Select, force_profile: bool) -> Result<ResultStream, DbError> {
         let catalog = self.db.catalog();
         let bound = bind(select, &catalog)?;
         let pool = BufferPool::new(self.config.dram_bytes);
@@ -245,6 +312,11 @@ impl<'db> Session<'db> {
             self.db.layer(),
             pool,
             self.config.batch_rows,
+            StreamHooks {
+                profile: self.config.profile || force_profile,
+                sink: Arc::clone(&self.profile_sink),
+                metrics: Arc::clone(self.db.metrics()),
+            },
         ))
     }
 }
@@ -387,6 +459,127 @@ mod tests {
         // The typed setter clamps instead of erroring (no span to carry).
         s.set_threads(100_000);
         assert_eq!(s.config().threads, Some(MAX_THREADS));
+    }
+
+    #[test]
+    fn explain_analyze_annotates_a_three_way_join() {
+        let db = db();
+        db.create_wisconsin("w", 500, 2, 5).expect("fresh");
+        let mut s = db.session();
+        let Response::ExplainAnalyze(mut stream) = s
+            .execute(
+                "EXPLAIN ANALYZE SELECT * FROM t JOIN v ON t.key = v.key \
+                 JOIN w ON v.key = w.key ORDER BY key",
+            )
+            .expect("executes")
+        else {
+            panic!("expected explain analyze");
+        };
+        stream.drain().expect("runs");
+        let report = stream.analyze();
+        assert!(report.contains("analyzed plan"), "{report}");
+        assert!(report.contains("scan t"), "{report}");
+        assert!(report.contains("scan v"), "{report}");
+        assert!(report.contains("scan w"), "{report}");
+        assert!(report.contains("ms wall"), "{report}");
+        assert!(report.contains("meas"), "{report}");
+        assert!(!report.contains("not measured"), "{report}");
+        // The profile covers the whole run and satisfies the sum
+        // invariant.
+        let profile = stream.profile().expect("profiled by default");
+        profile.validate().expect("span sums hold");
+        let stats = stream.stats().expect("drained");
+        assert_eq!(profile.io.cl_reads, stats.io.cl_reads);
+        assert_eq!(profile.io.cl_writes, stats.io.cl_writes);
+    }
+
+    #[test]
+    fn profile_lands_in_the_session_and_respects_the_knob() {
+        let db = db();
+        let mut s = db.session();
+        assert!(s.last_profile().is_none(), "nothing ran yet");
+        let mut stream = s.query("SELECT * FROM t ORDER BY key").expect("plans");
+        stream.drain().expect("runs");
+        let profile = s.last_profile().expect("deposited on completion");
+        profile.validate().expect("span sums hold");
+        assert_eq!(profile.label, "query");
+        // Turning the knob off stops recording (the old profile stays).
+        s.execute("SET profile = off").expect("sets");
+        assert!(!s.config().profile);
+        let mut stream = s.query("SELECT * FROM t ORDER BY key").expect("plans");
+        stream.drain().expect("runs");
+        assert!(stream.profile().is_none(), "profiling disabled");
+        // EXPLAIN ANALYZE overrides the knob.
+        let Response::ExplainAnalyze(mut stream) = s
+            .execute("EXPLAIN ANALYZE SELECT * FROM t ORDER BY key")
+            .expect("executes")
+        else {
+            panic!("expected explain analyze");
+        };
+        stream.drain().expect("runs");
+        assert!(stream.profile().is_some(), "forced despite profile = off");
+    }
+
+    #[test]
+    fn metrics_registry_counts_queries_and_delivery() {
+        let db = db();
+        let before = db.metrics_snapshot();
+        assert_eq!(before.queries, 0);
+        let mut s = db.session();
+        let Response::Rows(mut stream) = s
+            .execute("SELECT * FROM t WHERE key < 100 ORDER BY key")
+            .expect("executes")
+        else {
+            panic!("expected rows");
+        };
+        stream.drain().expect("runs");
+        let after = db.metrics_snapshot();
+        assert_eq!(after.queries, 1);
+        assert_eq!(after.result_rows, 100);
+        assert_eq!(after.result_batches, 7, "100 rows in 16-row batches");
+        assert_eq!(after.result_bytes, 100 * 2 * 8, "two u64 columns per row");
+        assert!(after.exec_wall_ns > 0);
+        // An external sort (2000 rows, 200-record budget) exercises the
+        // buffer pool, which shows up in the registry.
+        let mut stream = s.query("SELECT * FROM v ORDER BY key").expect("plans");
+        stream.drain().expect("runs");
+        let after = db.metrics_snapshot();
+        assert_eq!(after.queries, 2);
+        assert!(after.pool_reservations > 0, "the sort reserved DRAM");
+        assert!(after.pool_peak_bytes > 0);
+        // SHOW METRICS surfaces the same snapshot through SQL.
+        let Response::Metrics(shown) = s.execute("SHOW METRICS").expect("executes") else {
+            panic!("expected metrics");
+        };
+        assert_eq!(shown.queries, 2);
+        assert!(shown
+            .rows()
+            .iter()
+            .any(|(n, v)| *n == "result_delivery_rows" && *v == 100 + 2000));
+    }
+
+    #[test]
+    fn boolean_and_numeric_knobs_reject_mismatched_values() {
+        let db = db();
+        let mut s = db.session();
+        let DbError::Sql(e) = s.execute("SET timing = 4").unwrap_err() else {
+            panic!("expected SQL error")
+        };
+        assert!(e.message.contains("takes on or off"), "{}", e.message);
+        let DbError::Sql(e) = s.execute("SET threads = on").unwrap_err() else {
+            panic!("expected SQL error")
+        };
+        assert!(
+            e.message.contains("requires an integer value"),
+            "{}",
+            e.message
+        );
+        s.execute("SET timing = on").expect("sets");
+        assert!(s.config().timing);
+        let mut stream = s.query("SELECT * FROM t LIMIT 1").expect("plans");
+        stream.drain().expect("runs");
+        let stats = stream.stats().expect("drained");
+        assert!(stats.elapsed_secs > 0.0, "host wall time recorded");
     }
 
     #[test]

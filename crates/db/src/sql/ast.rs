@@ -155,12 +155,15 @@ pub enum Statement {
     },
     /// `SHOW TABLES`
     ShowTables,
+    /// `SHOW METRICS` — the database-wide counter registry.
+    ShowMetrics,
     /// `SET knob = value`
     Set {
-        /// Knob name (`threads`, `batch`, `lambda`, `memory`).
+        /// Knob name (`threads`, `batch`, `lambda`, `memory`,
+        /// `timing`, `profile`).
         name: Ident,
         /// New value.
-        value: u64,
+        value: SetValue,
         /// Span of the value literal (for range diagnostics).
         value_span: Span,
     },
@@ -169,6 +172,30 @@ pub enum Statement {
     /// `EXPLAIN SELECT …` — plan, run, and report concordance instead of
     /// returning rows.
     Explain(Select),
+    /// `EXPLAIN ANALYZE SELECT …` — run the query and render the plan
+    /// annotated with per-node measured traffic, rows, and timings.
+    ExplainAnalyze(Select),
+}
+
+/// The right-hand side of a `SET` statement: numeric knobs take an
+/// integer, boolean knobs take `on`/`off`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetValue {
+    /// An integer literal.
+    Num(u64),
+    /// `on` or `off`.
+    Flag(bool),
+}
+
+impl SetValue {
+    /// Stable rendering: the number, or `on`/`off`.
+    pub fn describe(&self) -> String {
+        match self {
+            SetValue::Num(n) => n.to_string(),
+            SetValue::Flag(true) => "on".into(),
+            SetValue::Flag(false) => "off".into(),
+        }
+    }
 }
 
 impl Statement {
@@ -188,9 +215,13 @@ impl Statement {
             }
             Statement::Drop { table } => format!("drop {}\n", table.name),
             Statement::ShowTables => "show tables\n".into(),
-            Statement::Set { name, value, .. } => format!("set {} = {value}\n", name.name),
+            Statement::ShowMetrics => "show metrics\n".into(),
+            Statement::Set { name, value, .. } => {
+                format!("set {} = {}\n", name.name, value.describe())
+            }
             Statement::Select(s) => s.describe("select"),
             Statement::Explain(s) => s.describe("explain select"),
+            Statement::ExplainAnalyze(s) => s.describe("explain analyze select"),
         }
     }
 }

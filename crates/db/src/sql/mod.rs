@@ -7,6 +7,6 @@ pub mod bind;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{Column, Ident, Join, PredForm, Select, SelectItem, Statement, WherePred};
+pub use ast::{Column, Ident, Join, PredForm, Select, SelectItem, SetValue, Statement, WherePred};
 pub use bind::{bind, BoundQuery, RowShape};
 pub use parser::parse;

@@ -4,9 +4,9 @@
 //! statement := create | drop | show | set | select | explain
 //! create    := CREATE TABLE ident AS WISCONSIN '(' n [',' n [',' n]] ')'
 //! drop      := DROP TABLE ident
-//! show      := SHOW TABLES
-//! set       := SET ident '=' n
-//! explain   := EXPLAIN select
+//! show      := SHOW (TABLES | METRICS)
+//! set       := SET ident '=' (n | ON | OFF)
+//! explain   := EXPLAIN [ANALYZE] select
 //! select    := SELECT proj FROM tableref (join)* [where] [group] [order] [limit]
 //! proj      := '*' | column (',' column)*
 //! tableref  := ident [AS ident]
@@ -22,7 +22,9 @@
 //! Every statement must be terminated by `;` or end-of-input; anything
 //! after that is a span-carrying "trailing tokens" error.
 
-use super::ast::{Column, Ident, Join, PredForm, Select, SelectItem, Statement, WherePred};
+use super::ast::{
+    Column, Ident, Join, PredForm, Select, SelectItem, SetValue, Statement, WherePred,
+};
 use super::lexer::{lex, Token, TokenKind};
 use crate::error::{Span, SqlError};
 
@@ -131,6 +133,26 @@ impl Parser {
         }
     }
 
+    /// The right-hand side of `SET`: an integer, or `on`/`off` for
+    /// boolean knobs.
+    fn set_value(&mut self) -> Result<(SetValue, Span), SqlError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::Ident(s) if s == "on" => {
+                self.advance();
+                Ok((SetValue::Flag(true), t.span))
+            }
+            TokenKind::Ident(s) if s == "off" => {
+                self.advance();
+                Ok((SetValue::Flag(false), t.span))
+            }
+            _ => {
+                let (n, span) = self.expect_number("an integer knob value (or on/off)")?;
+                Ok((SetValue::Num(n), span))
+            }
+        }
+    }
+
     fn eat_terminator(&mut self) -> Result<(), SqlError> {
         if self.peek().kind == TokenKind::Semicolon {
             self.advance();
@@ -157,13 +179,25 @@ impl Parser {
             return Ok(Statement::Drop { table });
         }
         if self.eat_keyword("show") {
-            self.expect_keyword("tables")?;
-            return Ok(Statement::ShowTables);
+            if self.eat_keyword("metrics") {
+                return Ok(Statement::ShowMetrics);
+            }
+            let t = self.peek().clone();
+            if self.eat_keyword("tables") {
+                return Ok(Statement::ShowTables);
+            }
+            return Err(SqlError::new(
+                format!(
+                    "expected TABLES or METRICS after SHOW, found {}",
+                    t.kind.describe()
+                ),
+                t.span,
+            ));
         }
         if self.eat_keyword("set") {
             let name = self.expect_ident("knob name")?;
             self.expect(&TokenKind::Eq, "'='")?;
-            let (value, value_span) = self.expect_number("an integer knob value")?;
+            let (value, value_span) = self.set_value()?;
             return Ok(Statement::Set {
                 name,
                 value,
@@ -171,6 +205,10 @@ impl Parser {
             });
         }
         if self.eat_keyword("explain") {
+            if self.eat_keyword("analyze") {
+                self.expect_keyword("select")?;
+                return Ok(Statement::ExplainAnalyze(self.select()?));
+            }
             self.expect_keyword("select")?;
             return Ok(Statement::Explain(self.select()?));
         }
@@ -419,11 +457,28 @@ mod tests {
             "explain select\n  project *\n  from t\n  order by key\n"
         );
         assert_eq!(parse("SHOW TABLES;").unwrap().describe(), "show tables\n");
+        assert_eq!(parse("SHOW METRICS;").unwrap().describe(), "show metrics\n");
         assert_eq!(parse("DROP TABLE t;").unwrap().describe(), "drop t\n");
         assert_eq!(
             parse("SET threads = 4;").unwrap().describe(),
             "set threads = 4\n"
         );
+        assert_eq!(
+            parse("SET timing = on;").unwrap().describe(),
+            "set timing = on\n"
+        );
+        assert_eq!(
+            parse("SET profile = OFF;").unwrap().describe(),
+            "set profile = off\n"
+        );
+        assert_eq!(
+            parse("EXPLAIN ANALYZE SELECT * FROM t ORDER BY key")
+                .unwrap()
+                .describe(),
+            "explain analyze select\n  project *\n  from t\n  order by key\n"
+        );
+        let err = parse("SHOW knobs").unwrap_err();
+        assert!(err.message.contains("TABLES or METRICS"), "{}", err.message);
         assert_eq!(
             parse("SELECT * FROM t WHERE key >= 100;")
                 .unwrap()

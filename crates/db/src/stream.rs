@@ -10,12 +10,15 @@
 //! pull, and delivery is incremental from then on.
 
 use crate::error::DbError;
+use crate::metrics::EngineMetrics;
 use crate::sql::{BoundQuery, RowShape};
 use planner::{
-    execute_stream, render_choices, render_concordance_stats, render_plan, Catalog, ExecutedStream,
-    OutputRows, PlannedQuery,
+    execute_stream, execute_stream_profiled, render_analyze, render_choices,
+    render_concordance_stats, render_plan, Catalog, ExecutedStream, OutputRows, PlannedQuery,
 };
-use pmem_sim::{BufferPool, IoStats, LayerKind, Pm};
+use pmem_sim::{BufferPool, IoStats, LayerKind, Pm, SpanNode};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One batch of projected result rows (all attributes are `u64`).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,10 +36,27 @@ pub struct QueryStats {
     pub io: IoStats,
     /// Simulated wall-clock seconds of the run.
     pub secs: f64,
+    /// Host wall-clock seconds spent executing and draining (real time,
+    /// unlike `secs`; varies run to run, so clients gate printing it on
+    /// the `timing` knob).
+    pub elapsed_secs: f64,
     /// Rows delivered to the client (after LIMIT).
     pub rows: u64,
     /// Batches delivered to the client.
     pub batches: u64,
+}
+
+/// Observability plumbing a [`crate::Session`] hands its streams: the
+/// profile switch, where to deposit the finished span tree, and the
+/// engine-wide registry to fold delivery/pool/wall counters into.
+#[derive(Debug)]
+pub(crate) struct StreamHooks {
+    /// Record a span-tree profile for this query.
+    pub profile: bool,
+    /// The session's last-profile slot.
+    pub sink: Arc<Mutex<Option<SpanNode>>>,
+    /// The database's metrics registry.
+    pub metrics: Arc<EngineMetrics>,
 }
 
 /// A streaming query result.
@@ -60,6 +80,12 @@ pub struct ResultStream {
     state: State,
     delivered: u64,
     batches: u64,
+    hooks: StreamHooks,
+    /// The span tree the profiled execution recorded (available as soon
+    /// as the plan ran, i.e. after the first pull).
+    profile: Option<SpanNode>,
+    /// Host wall time accumulated across every pull.
+    wall_ns: u64,
 }
 
 #[derive(Debug)]
@@ -67,7 +93,10 @@ enum State {
     /// Not yet executed; the first pull runs the plan.
     Pending,
     /// Executed; draining from `cursor`.
-    Open { run: ExecutedStream, cursor: usize },
+    Open {
+        run: Box<ExecutedStream>,
+        cursor: usize,
+    },
     /// Finished. `ran` records whether the plan actually executed —
     /// `false` for the `LIMIT 0` short-circuit and for failed runs, so
     /// the explain report does not present the zeroed ledger as a
@@ -76,6 +105,7 @@ enum State {
 }
 
 impl ResultStream {
+    #[allow(clippy::too_many_arguments)] // one internal call site
     pub(crate) fn new(
         planned: PlannedQuery,
         bound: &BoundQuery,
@@ -84,6 +114,7 @@ impl ResultStream {
         layer: LayerKind,
         pool: BufferPool,
         batch_rows: usize,
+        hooks: StreamHooks,
     ) -> Self {
         // LIMIT 0 can never deliver a row: short-circuit to the drained
         // state so the first pull does not execute the plan (blocking
@@ -111,6 +142,9 @@ impl ResultStream {
             state,
             delivered: 0,
             batches: 0,
+            hooks,
+            profile: None,
+            wall_ns: 0,
         }
     }
 
@@ -133,18 +167,77 @@ impl ResultStream {
     /// Returns [`DbError::Exec`] when execution fails; the stream is
     /// finished afterwards.
     pub fn next_batch(&mut self) -> Result<Option<RowBatch>, DbError> {
+        let was_done = matches!(self.state, State::Done { .. });
+        let t0 = Instant::now();
+        let result = self.advance();
+        self.wall_ns += t0.elapsed().as_nanos() as u64;
+        match &result {
+            Ok(Some(batch)) => {
+                // Delivery is invisible to the simulated device (result
+                // drains read uncounted), so the registry is where it
+                // shows up.
+                let rows = batch.rows.len() as u64;
+                self.hooks
+                    .metrics
+                    .note_delivery(rows, rows * self.columns.len() as u64 * 8);
+            }
+            Ok(None) | Err(_) => {
+                if !was_done {
+                    if let State::Done { ran, .. } = self.state {
+                        self.finish(ran);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Deposits the profile and folds this run's counters into the
+    /// engine registry — once, when the stream transitions to done.
+    fn finish(&mut self, ran: bool) {
+        if !ran {
+            return;
+        }
+        if self.profile.is_some() {
+            *self.hooks.sink.lock().expect("profile sink") = self.profile.clone();
+        }
+        self.hooks.metrics.note_run(
+            self.pool.reservations(),
+            self.pool.exhausted(),
+            self.pool.high_water() as u64,
+            self.wall_ns,
+        );
+    }
+
+    fn advance(&mut self) -> Result<Option<RowBatch>, DbError> {
         loop {
             match &mut self.state {
                 State::Pending => {
-                    match execute_stream(
-                        &self.planned,
-                        &self.catalog,
-                        &self.dev,
-                        self.layer,
-                        &self.pool,
-                    ) {
-                        Ok(run) => {
-                            self.state = State::Open { run, cursor: 0 };
+                    self.hooks.metrics.note_query();
+                    let run = if self.hooks.profile {
+                        execute_stream_profiled(
+                            &self.planned,
+                            &self.catalog,
+                            &self.dev,
+                            self.layer,
+                            &self.pool,
+                        )
+                    } else {
+                        execute_stream(
+                            &self.planned,
+                            &self.catalog,
+                            &self.dev,
+                            self.layer,
+                            &self.pool,
+                        )
+                    };
+                    match run {
+                        Ok(mut run) => {
+                            self.profile = run.profile.take();
+                            self.state = State::Open {
+                                run: Box::new(run),
+                                cursor: 0,
+                            };
                         }
                         Err(e) => {
                             self.state = State::Done {
@@ -209,11 +302,18 @@ impl ResultStream {
             State::Done { io, secs, .. } => Some(QueryStats {
                 io: *io,
                 secs: *secs,
+                elapsed_secs: self.wall_ns as f64 / 1e9,
                 rows: self.delivered,
                 batches: self.batches,
             }),
             _ => None,
         }
+    }
+
+    /// The span-tree profile of this query's execution — `Some` once the
+    /// plan ran (first pull) with profiling enabled.
+    pub fn profile(&self) -> Option<&SpanNode> {
+        self.profile.as_ref()
     }
 
     /// The explain report: chosen algorithms, knobs, per-node candidate
@@ -235,6 +335,25 @@ impl ResultStream {
                 io,
                 &self.dev.config().latency,
             ));
+        }
+        out
+    }
+
+    /// The `EXPLAIN ANALYZE` report: the explain body followed by the
+    /// plan annotated per node with measured rows, traffic, simulated
+    /// time, and host wall time. Meaningful once the stream has been
+    /// drained (before that there is no profile to annotate from).
+    pub fn analyze(&self) -> String {
+        let mut out = self.explain();
+        match &self.profile {
+            Some(p) => {
+                out.push_str(&render_analyze(
+                    &self.planned,
+                    p,
+                    &self.dev.config().latency,
+                ));
+            }
+            None => out.push_str("no profile recorded (SET profile = on to enable)\n"),
         }
         out
     }

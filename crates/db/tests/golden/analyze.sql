@@ -1,0 +1,21 @@
+-- wlsql golden observability session: EXPLAIN ANALYZE over a filtered
+-- scan and a three-way join, the profile knob, timing footers, and the
+-- metrics registry. Host wall-clock numbers vary run to run, so the
+-- harness (and CI's sed step) masks `...ms wall`, `...ms host`, and the
+-- exec_wall_ns metric before diffing. Threads are pinned first so the
+-- simulated columns are identical under any WL_THREADS.
+SET threads = 2;
+SET batch = 8;
+SET timing = on;
+CREATE TABLE t AS WISCONSIN(2000);
+CREATE TABLE v AS WISCONSIN(2000, 4);
+CREATE TABLE w AS WISCONSIN(2000);
+EXPLAIN ANALYZE SELECT * FROM t WHERE key < 40 ORDER BY key;
+EXPLAIN ANALYZE SELECT t.key, v.payload, w.payload FROM t JOIN v ON t.key = v.key JOIN w ON v.key = w.key WHERE t.key < 100 ORDER BY key;
+-- The profile knob turns span capture off; EXPLAIN ANALYZE forces it
+-- back on for its own statement.
+SET profile = off;
+SELECT key FROM t WHERE key < 3 ORDER BY key;
+EXPLAIN ANALYZE SELECT key FROM t WHERE key < 3 ORDER BY key;
+SET timing = off;
+SHOW METRICS;

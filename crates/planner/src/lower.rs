@@ -318,6 +318,9 @@ pub struct ExecutedStream {
     pub stats: IoStats,
     /// Simulated wall-clock seconds of the run.
     pub secs: f64,
+    /// Recorded span tree when the run was profiled
+    /// ([`execute_stream_profiled`]); `None` otherwise.
+    pub profile: Option<pmem_sim::SpanNode>,
 }
 
 /// One measured plan execution, eagerly drained.
@@ -329,6 +332,16 @@ pub struct Executed {
     pub stats: IoStats,
     /// Simulated wall-clock seconds of the run.
     pub secs: f64,
+}
+
+/// Result cardinality of an intermediate stream (profiling annotation).
+fn stream_len(s: &Stream) -> usize {
+    match s {
+        Stream::Wis(src) => src.as_col().len(),
+        Stream::Pairs { col, .. } => col.len(),
+        Stream::Chain { col, .. } => col.len(),
+        Stream::Groups(col) => col.len(),
+    }
 }
 
 /// Intermediate result of one plan subtree.
@@ -359,6 +372,39 @@ pub fn execute_stream(
     layer: LayerKind,
     pool: &BufferPool,
 ) -> Result<ExecutedStream, ExecError> {
+    execute_stream_inner(planned, catalog, dev, layer, pool, false)
+}
+
+/// [`execute_stream`] with profiling armed: every plan node, operator
+/// phase, and worker task records a span, and the resulting tree comes
+/// back in [`ExecutedStream::profile`]. The spans observe the
+/// thread-local ledgers without touching the device counters, so the
+/// measured traffic is bit-identical to an unprofiled run.
+///
+/// # Errors
+/// Returns [`ExecError`] when a table has no data bound or an algorithm
+/// rejects its inputs.
+///
+/// # Panics
+/// Panics if a profile is already active on the calling thread.
+pub fn execute_stream_profiled(
+    planned: &PlannedQuery,
+    catalog: &Catalog,
+    dev: &Pm,
+    layer: LayerKind,
+    pool: &BufferPool,
+) -> Result<ExecutedStream, ExecError> {
+    execute_stream_inner(planned, catalog, dev, layer, pool, true)
+}
+
+fn execute_stream_inner(
+    planned: &PlannedQuery,
+    catalog: &Catalog,
+    dev: &Pm,
+    layer: LayerKind,
+    pool: &BufferPool,
+    profile: bool,
+) -> Result<ExecutedStream, ExecError> {
     let mut lowerer = Lowerer {
         catalog,
         dev,
@@ -368,7 +414,18 @@ pub fn execute_stream(
         fresh: 0,
     };
     let before = dev.snapshot();
-    let result = lowerer.eval(&planned.plan)?;
+    if profile {
+        pmem_sim::span::begin_profile("query");
+    }
+    let result = lowerer.eval(&planned.plan);
+    // Close the root frame on success *and* error so the thread-local
+    // profiling stack never leaks across queries.
+    let tree = if profile {
+        pmem_sim::span::end_profile()
+    } else {
+        None
+    };
+    let result = result?;
     let stats = dev.snapshot().since(&before);
     let result = match result {
         Stream::Wis(src) => ResultSet::Wis(WisResult(src)),
@@ -380,6 +437,7 @@ pub fn execute_stream(
         result,
         secs: stats.time_secs(&dev.config().latency),
         stats,
+        profile: tree,
     })
 }
 
@@ -421,7 +479,22 @@ impl<'a> Lowerer<'a> {
         format!("{prefix}-{}", self.fresh)
     }
 
+    /// Evaluates `plan` inside a span labelled like the node, recording
+    /// the result cardinality — so a profiled run yields a span tree
+    /// whose plan-node spans mirror the physical plan's shape (plus
+    /// operator-phase and per-task spans nested below them). Inert when
+    /// no profile is armed.
     fn eval(&mut self, plan: &PhysicalPlan) -> Result<Stream, ExecError> {
+        let span = pmem_sim::span::span_with(|| plan.label());
+        let out = self.eval_node(plan)?;
+        if span.is_active() {
+            pmem_sim::span::note_rows(stream_len(&out) as u64);
+        }
+        drop(span);
+        Ok(out)
+    }
+
+    fn eval_node(&mut self, plan: &PhysicalPlan) -> Result<Stream, ExecError> {
         match plan {
             PhysicalPlan::Scan { table, .. } => {
                 let col = self
@@ -536,12 +609,18 @@ impl<'a> Lowerer<'a> {
             ..
         } = left
         {
-            let src = match self.eval(input)? {
-                Stream::Wis(WisSource::Shared(col)) => col,
-                _ => {
-                    return Err(ExecError::Plan(PlanError::Unsupported(
-                        "deferred filter over a non-base input".into(),
-                    )))
+            // The deferred view bypasses the Filter node's `eval` (its
+            // work happens inside the iterate-join), so open its span
+            // here to keep the profile tree congruent with the plan.
+            let src = {
+                let _fspan = pmem_sim::span::span_with(|| left.label());
+                match self.eval(input)? {
+                    Stream::Wis(WisSource::Shared(col)) => col,
+                    _ => {
+                        return Err(ExecError::Plan(PlanError::Unsupported(
+                            "deferred filter over a non-base input".into(),
+                        )))
+                    }
                 }
             };
             let probe = self.eval_to_wis(right)?;

@@ -144,6 +144,19 @@ impl PhysicalPlan {
         }
     }
 
+    /// Direct children, left before right — the same order execution
+    /// evaluates them, so a profile's span tree lines up with a
+    /// pre-order walk of the plan.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::Scan { .. } => Vec::new(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Aggregate { input, .. } => vec![input],
+            PhysicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
     /// One-line label of this node's operation and choice.
     pub fn label(&self) -> String {
         match self {

@@ -88,6 +88,112 @@ pub fn render_concordance_stats(
     )
 }
 
+/// Renders the physical plan annotated per node with measured rows,
+/// measured-vs-predicted cacheline traffic, simulated time, and host
+/// wall time — the `EXPLAIN ANALYZE` body. `profile` is the span tree a
+/// profiled execution recorded ([`crate::lower::execute_stream_profiled`]);
+/// its plan-node spans carry the same labels as the plan, so the two
+/// trees are walked in lock-step. Per-node traffic and simulated time
+/// are *exclusive* of plan children (matching the per-node predictions,
+/// which exclude inputs) but inclusive of the node's own operator
+/// phases and worker tasks; wall time is inclusive.
+pub fn render_analyze(
+    planned: &PlannedQuery,
+    profile: &pmem_sim::SpanNode,
+    latency: &LatencyProfile,
+) -> String {
+    let mut out =
+        String::from("analyzed plan (node traffic excludes inputs; wall is inclusive):\n");
+    // The profile root is the "query" frame wrapping the plan-root span.
+    match profile.find(&planned.plan.label()) {
+        Some(root_span) => analyze_into(&planned.plan, root_span, latency, 1, &mut out),
+        None => analyze_missing(&planned.plan, 1, &mut out),
+    }
+    out
+}
+
+fn io_minus(a: pmem_sim::IoStats, b: &pmem_sim::IoStats) -> pmem_sim::IoStats {
+    pmem_sim::IoStats {
+        cl_reads: a.cl_reads.saturating_sub(b.cl_reads),
+        cl_writes: a.cl_writes.saturating_sub(b.cl_writes),
+        software_ns: (a.software_ns - b.software_ns).max(0.0),
+        calls: a.calls.saturating_sub(b.calls),
+    }
+}
+
+fn analyze_into(
+    plan: &crate::physical::PhysicalPlan,
+    span: &pmem_sim::SpanNode,
+    latency: &LatencyProfile,
+    depth: usize,
+    out: &mut String,
+) {
+    // Match plan children to this span's children by label, in order
+    // (execution opened them in the same pre-order the plan lists them).
+    let children = plan.children();
+    let mut matched: Vec<Option<&pmem_sim::SpanNode>> = Vec::with_capacity(children.len());
+    let mut cursor = 0usize;
+    for child in &children {
+        let label = child.label();
+        let found = span.children[cursor..]
+            .iter()
+            .position(|c| c.label == label)
+            .map(|p| {
+                cursor += p + 1;
+                &span.children[cursor - 1]
+            });
+        matched.push(found);
+    }
+
+    // This node's own delta: inclusive minus plan-child subtrees. What
+    // remains covers the node's operator phases, staging, and tasks.
+    let mut own = span.io;
+    let mut child_tasks = 0usize;
+    for m in matched.iter().flatten() {
+        own = io_minus(own, &m.io);
+        child_tasks += m.task_count();
+    }
+    let tasks = span.task_count() - child_tasks;
+
+    let c = plan.cost();
+    let rows = match span.rows {
+        Some(n) => format!("{n} rows"),
+        None => format!("~{:.0} rows", c.out_rows),
+    };
+    let task_note = if tasks > 0 {
+        format!(" | {tasks} tasks")
+    } else {
+        String::new()
+    };
+    let pad = "  ".repeat(depth);
+    out.push_str(&format!(
+        "{pad}{}  [{rows} | {}r/{}w meas, {:.0}r/{:.0}w pred | {:.4}s sim | {:.1}ms wall{task_note}]\n",
+        plan.label(),
+        own.cl_reads,
+        own.cl_writes,
+        c.io.reads,
+        c.io.writes,
+        own.time_secs(latency),
+        span.wall_ns as f64 / 1e6,
+    ));
+    for (child, m) in children.iter().zip(matched) {
+        match m {
+            Some(child_span) => analyze_into(child, child_span, latency, depth + 1, out),
+            None => analyze_missing(child, depth + 1, out),
+        }
+    }
+}
+
+/// Fallback rendering for a plan subtree the profile carries no span
+/// for (should not happen; kept so a report never panics).
+fn analyze_missing(plan: &crate::physical::PhysicalPlan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&format!("{pad}{}  [not measured]\n", plan.label()));
+    for child in plan.children() {
+        analyze_missing(child, depth + 1, out);
+    }
+}
+
 fn indent(s: &str, by: usize) -> String {
     let pad = " ".repeat(by);
     s.lines().map(|l| format!("{pad}{l}\n")).collect::<String>()
@@ -99,7 +205,9 @@ mod tests {
     use crate::catalog::{Catalog, TableStats};
     use crate::enumerate::Planner;
     use crate::logical::LogicalPlan;
-    use pmem_sim::LayerKind;
+    use crate::lower::execute_stream_profiled;
+    use pmem_sim::{BufferPool, LayerKind, PmDevice};
+    use std::sync::Arc;
 
     #[test]
     fn choice_report_marks_the_winner() {
@@ -114,5 +222,45 @@ mod tests {
         let plan_report = render_plan(&planned);
         assert!(plan_report.contains("sort via"));
         assert!(plan_report.contains("scan T"));
+    }
+
+    #[test]
+    fn analyze_report_annotates_every_plan_node() {
+        let dev = PmDevice::paper_default();
+        let rows = 2000u64;
+        let data = Arc::new(pmem_sim::PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            wisconsin::sort_input(rows, wisconsin::KeyOrder::Random, 7),
+        ));
+        let mut cat = Catalog::new();
+        cat.add_table("T", data, rows);
+        let pool = BufferPool::new(rows as usize * 8); // force external behaviour
+        let planned = Planner::new(
+            dev.lambda(),
+            pool.budget_buffers() as f64,
+            LayerKind::BlockedMemory,
+        )
+        .plan(
+            &LogicalPlan::scan("T")
+                .filter(crate::logical::Predicate::KeyBelow(1000))
+                .sort(),
+            &cat,
+        )
+        .expect("plans");
+        let run = execute_stream_profiled(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool)
+            .expect("executes");
+        let profile = run.profile.expect("profile recorded");
+        profile.validate().expect("span sums hold");
+        // The profile covers exactly the measured device delta.
+        assert_eq!(profile.io.cl_reads, run.stats.cl_reads);
+        assert_eq!(profile.io.cl_writes, run.stats.cl_writes);
+        let report = render_analyze(&planned, &profile, &dev.config().latency);
+        assert!(report.contains("sort via"));
+        assert!(report.contains("scan T"));
+        assert!(report.contains("1000 rows"));
+        assert!(report.contains("ms wall"));
+        assert!(!report.contains("not measured"));
     }
 }

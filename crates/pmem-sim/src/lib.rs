@@ -43,6 +43,7 @@ pub mod layer;
 pub mod metrics;
 pub mod pages;
 pub mod pool;
+pub mod span;
 
 pub use collection::{PCollection, RecordBuffer, RecordReader, Storable};
 pub use config::{cachelines, DeviceConfig, LatencyProfile, CACHELINE, DEFAULT_BLOCK};
@@ -50,6 +51,7 @@ pub use device::{Pm, PmDevice};
 pub use energy::{EnergyModel, WearModel};
 pub use error::PmError;
 pub use layer::{LayerKind, ReadCursor, Storage};
-pub use metrics::{thread_stats, IoStats, Metrics};
+pub use metrics::{thread_flow, thread_stats, IoStats, Metrics};
 pub use pages::{PageId, PageStore};
 pub use pool::{BufferPool, Reservation};
+pub use span::SpanNode;

@@ -159,6 +159,47 @@ pub fn thread_stats() -> IoStats {
     }
 }
 
+thread_local! {
+    static ADOPTED: Cell<LocalLedger> = const { Cell::new(LocalLedger {
+        reads: 0,
+        writes: 0,
+        software_ps: 0,
+        calls: 0,
+    }) };
+}
+
+/// Credits `stats` — traffic charged by *another* thread on this thread's
+/// behalf (a completed worker task whose results this thread consumed) —
+/// to the calling thread's adopted ledger, so [`thread_flow`] accounts
+/// for delegated work. Adopted amounts are kept in the same raw integer
+/// units as the ledger itself, so adoption round-trips exactly.
+pub fn adopt(stats: &IoStats) {
+    ADOPTED.with(|l| {
+        let mut v = l.get();
+        v.reads += stats.cl_reads;
+        v.writes += stats.cl_writes;
+        v.software_ps += (stats.software_ns * PS_PER_NS).round() as u64;
+        v.calls += stats.calls;
+        l.set(v);
+    });
+}
+
+/// [`thread_stats`] plus everything this thread has [`adopt`]ed from
+/// workers: the total traffic this thread is *responsible* for. Like the
+/// ledger it is monotonic and never reset, so flow deltas around a code
+/// region cost that region inclusive of any parallel fan-out it consumed
+/// — which is exactly the quantity profiling spans report.
+pub fn thread_flow() -> IoStats {
+    let own = LEDGER.with(Cell::get);
+    let ad = ADOPTED.with(Cell::get);
+    IoStats {
+        cl_reads: own.reads + ad.reads,
+        cl_writes: own.writes + ad.writes,
+        software_ns: (own.software_ps + ad.software_ps) as f64 / PS_PER_NS,
+        calls: own.calls + ad.calls,
+    }
+}
+
 /// Interior-mutable counter bank shared by every collection of a device.
 ///
 /// All counters are atomic, so the bank is `Send + Sync` and a worker
@@ -439,6 +480,28 @@ mod tests {
             m.add_reads(5);
         }
         assert_eq!(thread_stats().since(&before).cl_reads, 0);
+    }
+
+    #[test]
+    fn adopted_traffic_flows_but_stays_out_of_thread_stats() {
+        let m = Metrics::new();
+        let own0 = thread_stats();
+        let flow0 = thread_flow();
+        m.add_reads(2);
+        adopt(&IoStats {
+            cl_reads: 10,
+            cl_writes: 4,
+            software_ns: 1.5,
+            calls: 3,
+        });
+        let own = thread_stats().since(&own0);
+        assert_eq!(own.cl_reads, 2);
+        assert_eq!(own.cl_writes, 0);
+        let flow = thread_flow().since(&flow0);
+        assert_eq!(flow.cl_reads, 12);
+        assert_eq!(flow.cl_writes, 4);
+        assert_eq!(flow.calls, 3);
+        assert!((flow.software_ns - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! assert that no algorithm exceeds its allowance.
 
 use crate::error::PmError;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A DRAM budget of `M` buffers (expressed in bytes).
 ///
@@ -20,6 +20,8 @@ pub struct BufferPool {
     budget: usize,
     used: AtomicUsize,
     high_water: AtomicUsize,
+    reservations: AtomicU64,
+    exhausted: AtomicU64,
 }
 
 impl BufferPool {
@@ -29,6 +31,8 @@ impl BufferPool {
             budget,
             used: AtomicUsize::new(0),
             high_water: AtomicUsize::new(0),
+            reservations: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
         }
     }
 
@@ -64,6 +68,18 @@ impl BufferPool {
         self.high_water.load(Ordering::Relaxed)
     }
 
+    /// Successful reservations granted over the pool's lifetime.
+    pub fn reservations(&self) -> u64 {
+        self.reservations.load(Ordering::Relaxed)
+    }
+
+    /// Reservation attempts refused because the budget was exhausted
+    /// (callers typically respond by spilling or chunking — the paper's
+    /// memory-starved regimes — so this counts memory-pressure events).
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
     /// How many fixed-size records fit in the *remaining* budget.
     pub fn records_available(&self, record_size: usize) -> usize {
         self.available() / record_size
@@ -74,6 +90,7 @@ impl BufferPool {
         let mut used = self.used.load(Ordering::Relaxed);
         loop {
             if used + bytes > self.budget {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
                 return Err(PmError::BudgetExceeded {
                     requested: bytes,
                     available: self.budget - used,
@@ -90,6 +107,7 @@ impl BufferPool {
             }
         }
         self.high_water.fetch_max(used + bytes, Ordering::Relaxed);
+        self.reservations.fetch_add(1, Ordering::Relaxed);
         Ok(Reservation { pool: self, bytes })
     }
 
@@ -160,6 +178,8 @@ mod tests {
         let pool = BufferPool::new(100);
         let _a = pool.reserve(80).expect("fits");
         assert!(pool.reserve(30).is_err());
+        assert_eq!(pool.reservations(), 1);
+        assert_eq!(pool.exhausted(), 1);
     }
 
     #[test]

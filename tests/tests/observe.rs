@@ -1,0 +1,231 @@
+//! Observability invariants: the span profile must be an accounting
+//! identity over the simulated counters, and it must never perturb them.
+//!
+//! Three properties hold for every algorithm at every degree of
+//! parallelism:
+//!
+//! 1. **Hierarchy**: in every recorded tree, each node's children sum to
+//!    at most the node's own counters ([`SpanNode::validate`]).
+//! 2. **Coverage**: the root span's counters equal the device-level
+//!    metrics delta of the run — nothing escapes the profile.
+//! 3. **Transparency**: running with profiling on charges bit-identical
+//!    simulated traffic to running with it off, at any DoP.
+
+use pmem_sim::span::{begin_profile, end_profile};
+use pmem_sim::{BufferPool, IoStats, LayerKind, PCollection, PmDevice, SpanNode};
+use wisconsin::{join_input, sort_input, KeyOrder};
+use write_limited::join::{JoinAlgorithm, JoinContext};
+use write_limited::sort::{SortAlgorithm, SortContext};
+
+/// Runs `algo` over a fresh device, profiled or not, and returns the
+/// device delta plus the recorded tree (when profiled).
+fn run_join_observed(
+    algo: JoinAlgorithm,
+    threads: usize,
+    profiled: bool,
+) -> (IoStats, Option<SpanNode>) {
+    let dev = PmDevice::paper_default();
+    let w = join_input(1200, 5, 13);
+    let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+    let right = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+    let pool = BufferPool::new(120 * 80);
+    let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+    let before = dev.snapshot();
+    if profiled {
+        begin_profile("join");
+    }
+    let out = algo.run(&left, &right, &ctx, "out").expect("applicable");
+    let tree = if profiled { end_profile() } else { None };
+    assert_eq!(out.len() as u64, w.expected_matches, "{}", algo.label());
+    (dev.snapshot().since(&before), tree)
+}
+
+fn run_sort_observed(
+    algo: SortAlgorithm,
+    threads: usize,
+    profiled: bool,
+) -> (IoStats, Option<SpanNode>) {
+    let dev = PmDevice::paper_default();
+    let input = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "S",
+        sort_input(5000, KeyOrder::Random, 29),
+    );
+    let pool = BufferPool::new(90 * 80);
+    let ctx = SortContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+    let before = dev.snapshot();
+    if profiled {
+        begin_profile("sort");
+    }
+    let out = algo.run(&input, &ctx, "sorted").expect("valid");
+    let tree = if profiled { end_profile() } else { None };
+    assert_eq!(out.len(), 5000, "{}", algo.label());
+    (dev.snapshot().since(&before), tree)
+}
+
+const JOINS: [JoinAlgorithm; 5] = [
+    JoinAlgorithm::NLJ,
+    JoinAlgorithm::GJ,
+    JoinAlgorithm::HJ,
+    JoinAlgorithm::LaJ,
+    JoinAlgorithm::SegJ { frac: 0.5 },
+];
+
+const SORTS: [SortAlgorithm; 3] = [
+    SortAlgorithm::ExMS,
+    SortAlgorithm::SegS { x: 0.5 },
+    SortAlgorithm::LaS,
+];
+
+#[test]
+fn every_span_tree_sums_children_into_parents() {
+    for threads in [1, 4] {
+        for algo in JOINS {
+            let (_, tree) = run_join_observed(algo, threads, true);
+            let tree = tree.expect("profile recorded");
+            tree.validate()
+                .unwrap_or_else(|e| panic!("{} at DoP {threads}: {e}", algo.label()));
+            assert!(
+                tree.node_count() > 1,
+                "{}: tree has structure",
+                algo.label()
+            );
+        }
+        for algo in SORTS {
+            let (_, tree) = run_sort_observed(algo, threads, true);
+            let tree = tree.expect("profile recorded");
+            tree.validate()
+                .unwrap_or_else(|e| panic!("{} at DoP {threads}: {e}", algo.label()));
+        }
+    }
+}
+
+#[test]
+fn root_span_covers_the_whole_device_delta() {
+    // Nothing the algorithm charges may escape the profile: the root
+    // span's counters must equal the device snapshot delta exactly,
+    // including work done on pool worker threads.
+    for threads in [1, 4] {
+        for algo in JOINS {
+            let (delta, tree) = run_join_observed(algo, threads, true);
+            let tree = tree.expect("profile recorded");
+            assert_eq!(
+                (tree.io.cl_reads, tree.io.cl_writes),
+                (delta.cl_reads, delta.cl_writes),
+                "{} at DoP {threads}: profile does not cover the run",
+                algo.label()
+            );
+        }
+        for algo in SORTS {
+            let (delta, tree) = run_sort_observed(algo, threads, true);
+            let tree = tree.expect("profile recorded");
+            assert_eq!(
+                (tree.io.cl_reads, tree.io.cl_writes),
+                (delta.cl_reads, delta.cl_writes),
+                "{} at DoP {threads}: profile does not cover the run",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_attach_task_leaves_with_thread_ids() {
+    let (_, tree) = run_sort_observed(SortAlgorithm::ExMS, 4, true);
+    let tree = tree.expect("profile recorded");
+    assert!(tree.task_count() > 0, "DoP-4 run fans out to task leaves");
+    // Task leaves carry per-thread wall time; at least one ran off the
+    // coordinator thread.
+    let mut threads = Vec::new();
+    collect_task_threads(&tree, &mut threads);
+    assert!(!threads.is_empty());
+    assert!(
+        threads.iter().any(|&t| t != tree.thread),
+        "some task ran on a worker thread"
+    );
+}
+
+fn collect_task_threads(node: &SpanNode, out: &mut Vec<u64>) {
+    if node.label.starts_with("task-") {
+        out.push(node.thread);
+    }
+    for c in &node.children {
+        collect_task_threads(c, out);
+    }
+}
+
+#[test]
+fn profiling_is_invisible_in_the_simulated_counters() {
+    // The regression guard for "observation changes the experiment":
+    // with and without an active profile, at DoP 1 and 4, every
+    // algorithm charges bit-identical simulated traffic (counters AND
+    // modeled software time).
+    for threads in [1, 4] {
+        for algo in JOINS {
+            let (off, _) = run_join_observed(algo, threads, false);
+            let (on, _) = run_join_observed(algo, threads, true);
+            assert_eq!(
+                off,
+                on,
+                "{} at DoP {threads}: profiling perturbed the counters",
+                algo.label()
+            );
+        }
+        for algo in SORTS {
+            let (off, _) = run_sort_observed(algo, threads, false);
+            let (on, _) = run_sort_observed(algo, threads, true);
+            assert_eq!(
+                off,
+                on,
+                "{} at DoP {threads}: profiling perturbed the counters",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn profiled_counters_are_dop_invariant() {
+    // Observation at different degrees sees the same experiment: the
+    // profiled device delta at DoP 4 equals the profiled delta at DoP 1.
+    for algo in JOINS {
+        let (d1, _) = run_join_observed(algo, 1, true);
+        let (d4, _) = run_join_observed(algo, 4, true);
+        assert_eq!(d1, d4, "{}: profiled traffic differs by DoP", algo.label());
+    }
+    for algo in SORTS {
+        let (d1, _) = run_sort_observed(algo, 1, true);
+        let (d4, _) = run_sort_observed(algo, 4, true);
+        assert_eq!(d1, d4, "{}: profiled traffic differs by DoP", algo.label());
+    }
+}
+
+#[test]
+fn session_profile_reconciles_with_query_stats() {
+    // End-to-end through the SQL layer: the span tree a session records
+    // for a query accounts for exactly the traffic the stream reports.
+    use wl_db::{Database, Response};
+
+    let db = Database::builder().dram_records(200).batch_rows(64).build();
+    db.create_wisconsin("t", 5000, 1, 3).expect("fresh");
+    let mut s = db.session();
+    let resp = s.execute("SELECT * FROM t ORDER BY key").expect("runs");
+    let Response::Rows(mut stream) = resp else {
+        panic!("expected rows");
+    };
+    let mut n = 0usize;
+    while let Some(batch) = stream.next_batch().expect("clean stream") {
+        n += batch.rows.len();
+    }
+    assert_eq!(n, 5000);
+    let stats = stream.stats().expect("the stream completed");
+    let profile = stream.profile().expect("profiling defaults to on").clone();
+    profile.validate().expect("span sums hold");
+    assert_eq!(profile.io.cl_reads, stats.io.cl_reads);
+    assert_eq!(profile.io.cl_writes, stats.io.cl_writes);
+    // The session keeps the last profile after the stream is dropped.
+    drop(stream);
+    let kept = s.last_profile().expect("session keeps the profile");
+    assert_eq!(kept.io.cl_reads, profile.io.cl_reads);
+}
