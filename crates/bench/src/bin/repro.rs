@@ -13,6 +13,8 @@
 //! repro --parallel-smoke  # CI-sized DoP 1 vs 4 matrix, counters must be identical
 //! repro --profile         # span-tree profile (DoP 1 vs 4); writes BENCH_profile.json
 //! repro --profile-smoke   # CI-sized structural check of the span profile
+//! repro --crash           # 120-seed kill/reopen/verify loop; writes BENCH_crash.json
+//! repro --crash-smoke     # CI-sized crash loop (12 seeds, no baseline file)
 //! repro --threads 4 ...   # degree of parallelism for every scenario (= WL_THREADS)
 //! WL_SCALE=quick repro --all
 //! ```
@@ -136,13 +138,16 @@ fn main() {
         }
         Some("--profile") => wl_bench::profile_to_file(&scale),
         Some("--profile-smoke") => wl_bench::profile_smoke(&scale),
+        Some("--crash") => wl_bench::crash_harness(),
+        Some("--crash-smoke") => wl_bench::crash_smoke(),
         Some("--config") => print_config(),
         Some("--breakdown") => breakdown_demo(&scale),
         Some(other) => {
             eprintln!(
                 "unknown flag {other}; see \
                  --all/--figure/--table/--ablation/--plan/--parallel/\
-                 --parallel-smoke/--profile/--profile-smoke/--config"
+                 --parallel-smoke/--profile/--profile-smoke/--crash/\
+                 --crash-smoke/--config"
             )
         }
     }

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod crash;
 pub mod figures;
 pub mod measure;
 pub mod parallel;
@@ -17,6 +18,7 @@ pub mod profile;
 pub mod scale;
 pub mod table;
 
+pub use crash::{crash_harness, crash_smoke};
 pub use measure::{run_join, run_sort, Measurement};
 pub use parallel::{parallel_speedup, parallel_speedup_cells};
 pub use plan::{plan_concordance, run_plan_concordance, PlanCell};

@@ -1,7 +1,7 @@
 //! `wlsql` — a line-oriented SQL shell over the write-limited engine.
 //!
 //! ```text
-//! wlsql [--lambda N] [--threads N] [--memory RECORDS] [--batch ROWS]
+//! wlsql [--path DIR] [--lambda N] [--threads N] [--memory RECORDS] [--batch ROWS]
 //! ```
 //!
 //! Reads statements (terminated by `;`) from stdin and prints results to
@@ -10,12 +10,19 @@
 //! (`wlsql < session.sql`) produce clean, diffable output — the CI smoke
 //! test pipes a scripted session through and compares against a golden
 //! file. `\q` or end-of-input quits.
+//!
+//! With `--path DIR` the database is durable: DDL and inserts are
+//! WAL-logged under `DIR`, `CHECKPOINT` materializes the catalog, and
+//! reopening the same directory recovers the committed state (a one-line
+//! recovery banner is printed so scripted reopen sessions can assert on
+//! it).
 
 use std::io::{BufRead, IsTerminal, Write};
 use wl_db::{Database, DbError, Response, ResultStream};
 
 fn main() {
     let mut builder = Database::builder();
+    let mut path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut num = |what: &str| -> f64 {
@@ -32,9 +39,16 @@ fn main() {
             "--threads" => builder = builder.threads(num("--threads") as usize),
             "--memory" => builder = builder.dram_records(num("--memory") as usize),
             "--batch" => builder = builder.batch_rows(num("--batch") as usize),
+            "--path" => {
+                path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("usage: wlsql --path <directory>");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: wlsql [--lambda N] [--threads N] [--memory RECORDS] [--batch ROWS]"
+                    "usage: wlsql [--path DIR] [--lambda N] [--threads N] [--memory RECORDS] \
+                     [--batch ROWS]"
                 );
                 return;
             }
@@ -45,7 +59,20 @@ fn main() {
         }
     }
 
-    let db = builder.build();
+    let db = match path {
+        Some(dir) => match builder.open(&dir) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("wlsql: cannot open {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => builder.build(),
+    };
+    // Scripted reopen sessions assert on this deterministic banner.
+    if let Some(report) = db.recovery_report() {
+        println!("{}", report.banner());
+    }
     let mut session = db.session();
     let interactive = std::io::stdin().is_terminal();
     let stdin = std::io::stdin();
@@ -131,7 +158,13 @@ fn run_statement(session: &mut wl_db::Session<'_>, sql: &str) {
     }
     match session.execute(sql) {
         Ok(Response::Created { table, rows }) => println!("created table {table} ({rows} rows)"),
+        Ok(Response::Inserted { table, rows }) => {
+            println!("inserted {rows} rows into {table}");
+        }
         Ok(Response::Dropped { table }) => println!("dropped table {table}"),
+        Ok(Response::Checkpointed { tables, rows }) => {
+            println!("checkpointed {tables} tables ({rows} rows)");
+        }
         Ok(Response::Tables(tables)) => {
             if tables.is_empty() {
                 println!("no tables");

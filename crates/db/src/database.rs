@@ -1,13 +1,69 @@
 //! The [`Database`] facade: one object owning the simulated device, the
 //! persistence layer, the catalog of named tables, and the default
 //! session knobs — the single entry point to the write-limited engine.
+//!
+//! Built with a path ([`DatabaseBuilder::open`] / [`Database::reopen`]),
+//! the database is *durable*: every SQL-visible DDL statement (`CREATE
+//! TABLE … AS WISCONSIN`, `INSERT`, `DROP TABLE`) appends a logical
+//! record to a write-ahead log and fsyncs it **before** the catalog
+//! changes, and reopening the same path replays the log over the last
+//! checkpoint — recovering exactly the acknowledged statements, even
+//! after a kill mid-write.
 
+use crate::durable::{
+    read_checkpoint, write_checkpoint, CheckpointData, CheckpointTable, RecoveryReport,
+};
+use crate::error::StorageError;
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::session::{Session, SessionConfig};
+use crate::wal::{read_wal, Wal, WalRecord, WAL_FILE};
 use planner::Catalog;
 use pmem_sim::{DeviceConfig, LatencyProfile, LayerKind, PCollection, Pm, PmDevice};
-use std::sync::{Arc, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
 use wisconsin::WisconsinRecord;
+
+/// A DDL statement failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DdlError {
+    /// `CREATE` target already exists (carries the name).
+    Duplicate(String),
+    /// `INSERT`/`DROP` target does not exist (carries the name).
+    Unknown(String),
+    /// The statement requires a durable database (opened with a path).
+    NotDurable,
+    /// The WAL append or checkpoint write failed; the statement was NOT
+    /// applied (write-ahead discipline: no log record, no state change).
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for DdlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DdlError::Duplicate(name) => write!(f, "table \"{name}\" already exists"),
+            DdlError::Unknown(name) => write!(f, "unknown table \"{name}\""),
+            DdlError::NotDurable => {
+                write!(f, "database is not durable (opened without a path)")
+            }
+            DdlError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DdlError {}
+
+impl From<StorageError> for DdlError {
+    fn from(e: StorageError) -> Self {
+        DdlError::Storage(e)
+    }
+}
+
+/// Durable-side state: the database directory and the open log.
+#[derive(Debug)]
+struct DurableState {
+    dir: PathBuf,
+    wal: Wal,
+}
 
 /// A write-limited database: device + catalog + planner defaults.
 ///
@@ -33,6 +89,10 @@ pub struct Database {
     catalog: RwLock<Catalog>,
     defaults: SessionConfig,
     metrics: Arc<EngineMetrics>,
+    /// WAL + directory when opened with a path; `None` = in-memory only.
+    durable: Option<Mutex<DurableState>>,
+    /// What `open`/`reopen` found on disk; `None` for in-memory builds.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Database {
@@ -40,6 +100,20 @@ impl Database {
     /// blocked-memory layer).
     pub fn builder() -> DatabaseBuilder {
         DatabaseBuilder::default()
+    }
+
+    /// Opens (or initializes) a durable database at `path` with default
+    /// knobs. Equivalent to `Database::builder().open(path)`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Self::builder().open(path)
+    }
+
+    /// Reopens a durable database directory, running crash recovery:
+    /// load the checkpoint, replay acknowledged WAL records past it,
+    /// drop any torn tail, re-checkpoint. An alias of [`Database::open`]
+    /// named for what it does after a crash.
+    pub fn reopen(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Self::open(path)
     }
 
     /// The simulated device every table and query is charged to.
@@ -85,54 +159,179 @@ impl Database {
     /// empty table (queries over it yield empty results). Returns the
     /// total row count.
     ///
-    /// # Errors
-    /// Returns the table name back when it already exists.
+    /// On a durable database the generator parameters are WAL-logged
+    /// and fsynced before the table appears (the generator is
+    /// deterministic, so replay regenerates the table exactly).
     pub fn create_wisconsin(
         &self,
         name: &str,
         rows: u64,
         fanout: u64,
         seed: u64,
-    ) -> Result<u64, String> {
+    ) -> Result<u64, DdlError> {
+        let records = Self::generate_wisconsin(rows, fanout, seed);
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        if catalog.stats(name).is_some() {
+            return Err(DdlError::Duplicate(name.to_string()));
+        }
+        self.log(WalRecord::Create {
+            name: name.to_string(),
+            rows,
+            fanout,
+            seed,
+        })?;
+        Ok(self.install_table(&mut catalog, name, records, rows))
+    }
+
+    fn generate_wisconsin(rows: u64, fanout: u64, seed: u64) -> Vec<WisconsinRecord> {
         assert!(fanout > 0, "degenerate Wisconsin fanout");
-        let records = if rows == 0 {
+        if rows == 0 {
             Vec::new()
         } else if fanout == 1 {
             wisconsin::sort_input(rows, wisconsin::KeyOrder::Random, seed)
         } else {
             wisconsin::join_right_input(rows, fanout, seed)
-        };
-        self.register_table(name, records, rows)
+        }
+    }
+
+    /// Builds the collection and puts it in the catalog; returns rows.
+    fn install_table(
+        &self,
+        catalog: &mut Catalog,
+        name: &str,
+        records: Vec<WisconsinRecord>,
+        key_domain: u64,
+    ) -> u64 {
+        let col = Arc::new(PCollection::from_records_uncounted(
+            &self.dev, self.layer, name, records,
+        ));
+        let rows = col.len() as u64;
+        catalog.add_table(name, col, key_domain);
+        rows
     }
 
     /// Registers a pre-built table (staged uncounted, like experiment
     /// inputs). `key_domain` is the size of the uniform key domain the
     /// planner estimates selectivities against. Returns the row count.
     ///
-    /// # Errors
-    /// Returns the table name back when it already exists.
+    /// Arbitrary records have no logical WAL representation, so this is
+    /// **not** WAL-logged even on a durable database — it is covered by
+    /// the next checkpoint only. The SQL surface never reaches it.
     pub fn register_table(
         &self,
         name: &str,
         records: impl IntoIterator<Item = WisconsinRecord>,
         key_domain: u64,
-    ) -> Result<u64, String> {
+    ) -> Result<u64, DdlError> {
         let mut catalog = self.catalog.write().expect("catalog lock");
         if catalog.stats(name).is_some() {
-            return Err(name.to_string());
+            return Err(DdlError::Duplicate(name.to_string()));
         }
-        let col = Arc::new(PCollection::from_records_uncounted(
-            &self.dev, self.layer, name, records,
-        ));
-        let rows = col.len() as u64;
-        catalog.add_table(name, col, key_domain);
-        Ok(rows)
+        Ok(self.install_table(
+            &mut catalog,
+            name,
+            records.into_iter().collect(),
+            key_domain,
+        ))
+    }
+
+    /// Appends `keys` to a table as fresh Wisconsin records (all ten
+    /// attributes derived from the key). Returns the rows inserted.
+    /// WAL-logged (keys, in order) on a durable database.
+    pub fn insert_keys(&self, table: &str, keys: &[u64]) -> Result<u64, DdlError> {
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        let data = match catalog.data(table) {
+            Some(d) => Arc::clone(d),
+            None => return Err(DdlError::Unknown(table.to_string())),
+        };
+        let key_domain = catalog.stats(table).map_or(0, |s| s.key_domain);
+        self.log(WalRecord::Insert {
+            table: table.to_string(),
+            keys: keys.to_vec(),
+        })?;
+        // Collections are append-only behind shared handles, so an
+        // insert rebuilds the collection and swaps the catalog entry;
+        // snapshots and outstanding streams keep the old version.
+        let mut records = data.to_vec_uncounted();
+        records.extend(keys.iter().copied().map(WisconsinRecord::from_key));
+        let new_domain = keys
+            .iter()
+            .map(|k| k + 1)
+            .max()
+            .unwrap_or(0)
+            .max(key_domain);
+        self.install_table(&mut catalog, table, records, new_domain);
+        Ok(keys.len() as u64)
     }
 
     /// Drops a table; returns whether it existed. Outstanding streams
-    /// over the table keep their shared handle.
-    pub fn drop_table(&self, name: &str) -> bool {
-        self.catalog.write().expect("catalog lock").remove(name)
+    /// over the table keep their shared handle. WAL-logged on a durable
+    /// database (only when the table exists — failed drops log nothing).
+    pub fn drop_table(&self, name: &str) -> Result<bool, DdlError> {
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        if catalog.stats(name).is_none() {
+            return Ok(false);
+        }
+        self.log(WalRecord::Drop {
+            name: name.to_string(),
+        })?;
+        Ok(catalog.remove(name))
+    }
+
+    /// Appends `record` to the WAL and fsyncs it (no-op when not
+    /// durable). Called with the catalog write lock held, so the logged
+    /// order and the applied order agree.
+    fn log(&self, record: WalRecord) -> Result<(), DdlError> {
+        let Some(durable) = &self.durable else {
+            return Ok(());
+        };
+        let mut state = durable.lock().expect("durable lock");
+        let (_lsn, bytes) = state.wal.append(&record, &self.dev)?;
+        self.metrics.note_wal_append(bytes);
+        self.metrics.note_fsync();
+        Ok(())
+    }
+
+    /// Whether the database was opened with a path (WAL + checkpoints).
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// What `open`/`reopen` found on disk (`None` for in-memory builds).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Materializes the full catalog into a fresh checkpoint and resets
+    /// the WAL behind it. Returns `(tables, rows, checkpoint_bytes)`.
+    pub fn checkpoint(&self) -> Result<(u64, u64, u64), DdlError> {
+        let Some(durable) = &self.durable else {
+            return Err(DdlError::NotDurable);
+        };
+        // Lock order everywhere: catalog before durable.
+        let catalog = self.catalog.read().expect("catalog lock");
+        let mut state = durable.lock().expect("durable lock");
+        let data = Self::snapshot_catalog(&catalog, state.wal.last_lsn());
+        let tables = data.tables.len() as u64;
+        let rows = data.total_rows();
+        let bytes = write_checkpoint(&state.dir, &self.dev, &data)?;
+        self.metrics.note_fsync();
+        state.wal = Wal::create(&state.dir, &self.dev, data.last_lsn)?;
+        self.metrics.note_fsync();
+        Ok((tables, rows, bytes))
+    }
+
+    /// Every bound table's full contents, stamped with `last_lsn`.
+    fn snapshot_catalog(catalog: &Catalog, last_lsn: u64) -> CheckpointData {
+        let tables = catalog
+            .bound_entries()
+            .map(|(name, stats, data)| CheckpointTable {
+                name: name.to_string(),
+                key_domain: stats.key_domain,
+                records: data.to_vec_uncounted(),
+            })
+            .collect();
+        CheckpointData { last_lsn, tables }
     }
 
     /// Registered tables as `(name, rows)`, sorted by name.
@@ -221,7 +420,7 @@ impl DatabaseBuilder {
         self
     }
 
-    /// Builds the database.
+    /// Builds an in-memory database (no WAL, no checkpoints).
     pub fn build(self) -> Database {
         Database {
             dev: PmDevice::new(self.config),
@@ -229,7 +428,145 @@ impl DatabaseBuilder {
             catalog: RwLock::new(Catalog::new()),
             defaults: self.defaults,
             metrics: Arc::new(EngineMetrics::default()),
+            durable: None,
+            recovery: None,
         }
+    }
+
+    /// Opens (or initializes) a durable database in the directory
+    /// `path`, running crash recovery if the directory already holds
+    /// one:
+    ///
+    /// 1. load `checkpoint.bin` (typed error if damaged — checkpoints
+    ///    are published atomically, damage is real corruption),
+    /// 2. replay every intact `wal.log` record past the checkpoint's
+    ///    LSN, dropping at most a torn tail frame,
+    /// 3. write a fresh checkpoint and reset the log — torn tails are
+    ///    scrubbed by rewrite, never by truncating in place.
+    ///
+    /// The result is exactly the acknowledged statement prefix: a
+    /// statement whose WAL record was fsynced survives, one whose
+    /// record was cut does not — and the cut is detected, not guessed.
+    pub fn open(self, path: impl AsRef<Path>) -> Result<Database, StorageError> {
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StorageError::file(dir.display().to_string(), e.to_string()))?;
+        let mut db = self.build();
+
+        let checkpoint = read_checkpoint(&dir)?;
+        let fresh = checkpoint.is_none() && !dir.join(WAL_FILE).exists();
+        let mut report = RecoveryReport {
+            fresh,
+            ..Default::default()
+        };
+        let mut last_lsn = 0;
+        if let Some(ckpt) = checkpoint {
+            last_lsn = ckpt.last_lsn;
+            let mut catalog = db.catalog.write().expect("catalog lock");
+            for table in ckpt.tables {
+                db.install_table(&mut catalog, &table.name, table.records, table.key_domain);
+            }
+        } else if !fresh {
+            // A WAL without any checkpoint: initialization never
+            // completed its first checkpoint, or the checkpoint was
+            // deleted. Either way there is no base to replay onto.
+            return Err(StorageError::file(
+                dir.join("checkpoint.bin").display().to_string(),
+                "WAL present but checkpoint missing",
+            ));
+        }
+
+        let readout = read_wal(&dir.join(WAL_FILE))?;
+        if readout.base_lsn > last_lsn {
+            return Err(StorageError::file(
+                dir.join(WAL_FILE).display().to_string(),
+                format!(
+                    "WAL starts after LSN {} but checkpoint covers only {} (log gap)",
+                    readout.base_lsn, last_lsn
+                ),
+            ));
+        }
+        report.dropped_wal_bytes = readout.dropped_tail_bytes;
+        for (i, record) in readout.records.iter().enumerate() {
+            let lsn = readout.base_lsn + 1 + i as u64;
+            if lsn <= last_lsn {
+                continue; // already inside the checkpoint
+            }
+            db.replay(record, &dir, lsn)?;
+            last_lsn = lsn;
+            report.replayed_records += 1;
+        }
+
+        // Re-checkpoint: bounds future replay, scrubs any torn tail,
+        // and leaves the directory clean for the next open.
+        {
+            let catalog = db.catalog.read().expect("catalog lock");
+            let data = Database::snapshot_catalog(&catalog, last_lsn);
+            report.tables = data.tables.len() as u64;
+            report.rows = data.total_rows();
+            write_checkpoint(&dir, &db.dev, &data)?;
+            db.metrics.note_fsync();
+        }
+        let wal = Wal::create(&dir, &db.dev, last_lsn)?;
+        db.metrics.note_fsync();
+        if !fresh {
+            db.metrics.note_recovery(report.replayed_records);
+        }
+        db.durable = Some(Mutex::new(DurableState { dir, wal }));
+        db.recovery = Some(report);
+        Ok(db)
+    }
+}
+
+impl Database {
+    /// Applies one replayed WAL record (no re-logging). Malformed
+    /// replay — a create of an existing table, an insert into or drop
+    /// of a missing one — means log and checkpoint disagree: typed
+    /// corruption error, never a panic.
+    fn replay(&self, record: &WalRecord, dir: &Path, lsn: u64) -> Result<(), StorageError> {
+        let conflict = |what: String| {
+            StorageError::file(
+                dir.join(WAL_FILE).display().to_string(),
+                format!("replay conflict at LSN {lsn}: {what}"),
+            )
+        };
+        let mut catalog = self.catalog.write().expect("catalog lock");
+        match record {
+            WalRecord::Create {
+                name,
+                rows,
+                fanout,
+                seed,
+            } => {
+                if catalog.stats(name).is_some() {
+                    return Err(conflict(format!("table \"{name}\" already exists")));
+                }
+                let records = Self::generate_wisconsin(*rows, *fanout, *seed);
+                self.install_table(&mut catalog, name, records, *rows);
+            }
+            WalRecord::Insert { table, keys } => {
+                let data = match catalog.data(table) {
+                    Some(d) => Arc::clone(d),
+                    None => return Err(conflict(format!("insert into missing table \"{table}\""))),
+                };
+                let key_domain = catalog.stats(table).map_or(0, |s| s.key_domain);
+                let mut records = data.to_vec_uncounted();
+                records.extend(keys.iter().copied().map(WisconsinRecord::from_key));
+                let new_domain = keys
+                    .iter()
+                    .map(|k| k + 1)
+                    .max()
+                    .unwrap_or(0)
+                    .max(key_domain);
+                self.install_table(&mut catalog, table, records, new_domain);
+            }
+            WalRecord::Drop { name } => {
+                if !catalog.remove(name) {
+                    return Err(conflict(format!("drop of missing table \"{name}\"")));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -251,9 +588,12 @@ mod tests {
             db.tables(),
             vec![("t".to_string(), 100), ("v".to_string(), 300)]
         );
-        assert_eq!(db.create_wisconsin("t", 5, 1, 1).unwrap_err(), "t");
-        assert!(db.drop_table("t"));
-        assert!(!db.drop_table("t"));
+        assert_eq!(
+            db.create_wisconsin("t", 5, 1, 1).unwrap_err(),
+            DdlError::Duplicate("t".into())
+        );
+        assert!(db.drop_table("t").unwrap());
+        assert!(!db.drop_table("t").unwrap());
     }
 
     #[test]
@@ -261,8 +601,77 @@ mod tests {
         let db = Database::builder().build();
         db.create_wisconsin("t", 50, 1, 9).expect("fresh");
         let snapshot = db.catalog();
-        assert!(db.drop_table("t"));
+        assert!(db.drop_table("t").unwrap());
         assert!(snapshot.data("t").is_some(), "snapshot keeps the handle");
         assert!(db.catalog().data("t").is_none());
+    }
+
+    #[test]
+    fn insert_appends_keys_and_grows_the_domain() {
+        let db = Database::builder().build();
+        db.create_wisconsin("t", 10, 1, 1).expect("fresh");
+        assert_eq!(db.insert_keys("t", &[100, 200]).unwrap(), 2);
+        let cat = db.catalog();
+        assert_eq!(cat.stats("t").unwrap().rows, 12);
+        assert_eq!(cat.stats("t").unwrap().key_domain, 201);
+        assert_eq!(
+            db.insert_keys("missing", &[1]).unwrap_err(),
+            DdlError::Unknown("missing".into())
+        );
+        assert!(!db.is_durable());
+        assert_eq!(db.checkpoint().unwrap_err(), DdlError::NotDurable);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("wl-db-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let db = Database::open(&dir).unwrap();
+            assert!(db.is_durable());
+            assert!(db.recovery_report().unwrap().fresh);
+            db.create_wisconsin("t", 100, 1, 7).unwrap();
+            db.create_wisconsin("gone", 5, 1, 1).unwrap();
+            db.insert_keys("t", &[500, 501]).unwrap();
+            db.drop_table("gone").unwrap();
+            let m = db.metrics_snapshot();
+            assert_eq!(m.wal_appends, 4);
+            assert!(m.wal_bytes > 0);
+            assert!(m.fsyncs >= 4);
+        }
+        let db = Database::reopen(&dir).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(!report.fresh);
+        assert_eq!(report.replayed_records, 4);
+        assert_eq!(report.tables, 1);
+        assert_eq!(report.rows, 102);
+        assert_eq!(db.tables(), vec![("t".to_string(), 102)]);
+        assert_eq!(db.metrics_snapshot().recoveries, 1);
+        // A third open replays nothing: the reopen re-checkpointed.
+        let db = Database::reopen(&dir).unwrap();
+        assert_eq!(db.recovery_report().unwrap().replayed_records, 0);
+        assert_eq!(db.tables(), vec![("t".to_string(), 102)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_checkpoint_resets_the_wal() {
+        let dir = tmpdir("ckpt");
+        let db = Database::open(&dir).unwrap();
+        db.create_wisconsin("t", 50, 1, 3).unwrap();
+        let (tables, rows, bytes) = db.checkpoint().unwrap();
+        assert_eq!((tables, rows), (1, 50));
+        assert!(bytes > 50 * 80);
+        // The reset log holds no records, so reopen replays nothing.
+        drop(db);
+        let db = Database::reopen(&dir).unwrap();
+        assert_eq!(db.recovery_report().unwrap().replayed_records, 0);
+        assert_eq!(db.tables(), vec![("t".to_string(), 50)]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,314 @@
+//! Checkpoints and the durable-state bookkeeping behind
+//! [`crate::Database::reopen`].
+//!
+//! A checkpoint is a full materialization of the catalog — every bound
+//! table's name, key domain, and rows — stamped with the LSN of the
+//! last statement it covers and sealed by a trailing CRC. It is written
+//! to `checkpoint.tmp`, fsynced, and published by atomic rename, so a
+//! crash mid-checkpoint leaves the previous checkpoint (and the log
+//! that reaches past it) untouched.
+//!
+//! Recovery = load the checkpoint, replay the intact WAL records with
+//! LSNs past it, then write a *fresh* checkpoint and reset the log —
+//! which both bounds replay time and scrubs any torn tail without ever
+//! physically truncating a file in place.
+//!
+//! ## Checkpoint format
+//!
+//! ```text
+//! magic "WLCKPT1\0" (8 bytes)
+//! last_lsn (u64 LE)   table_count (u32 LE)
+//! per table: name_len (u16 LE) + name bytes,
+//!            key_domain (u64 LE), rows (u64 LE), rows × 80-byte records
+//! crc32 (u32 LE, IEEE, over every preceding byte)
+//! ```
+
+use crate::error::StorageError;
+use crate::wal::crc32;
+use pmem_sim::{Pm, Storable, Storage};
+use std::path::Path;
+use wisconsin::WisconsinRecord;
+
+/// Checkpoint magic: format name + version, 8 bytes.
+const MAGIC: &[u8; 8] = b"WLCKPT1\0";
+
+/// File name of the live checkpoint inside a database directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+/// Staging name for checkpoint writes (published by atomic rename).
+pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// One table's full state inside a checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointTable {
+    /// Table name.
+    pub name: String,
+    /// Key-domain size the planner estimates selectivities against.
+    pub key_domain: u64,
+    /// Every row.
+    pub records: Vec<WisconsinRecord>,
+}
+
+/// A full-database checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointData {
+    /// LSN of the last statement this checkpoint covers; recovery
+    /// replays only WAL records with larger LSNs.
+    pub last_lsn: u64,
+    /// Tables in name order.
+    pub tables: Vec<CheckpointTable>,
+}
+
+impl CheckpointData {
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> u64 {
+        self.tables.iter().map(|t| t.records.len() as u64).sum()
+    }
+}
+
+/// Serializes, writes (one append through the fault-injectable file
+/// layer), fsyncs, and atomically publishes a checkpoint. Returns the
+/// byte size written.
+pub fn write_checkpoint(dir: &Path, dev: &Pm, data: &CheckpointData) -> Result<u64, StorageError> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&data.last_lsn.to_le_bytes());
+    buf.extend_from_slice(&(data.tables.len() as u32).to_le_bytes());
+    for table in &data.tables {
+        let name = table.name.as_bytes();
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.extend_from_slice(&table.key_domain.to_le_bytes());
+        buf.extend_from_slice(&(table.records.len() as u64).to_le_bytes());
+        let at = buf.len();
+        buf.resize(at + table.records.len() * WisconsinRecord::SIZE, 0);
+        for (i, rec) in table.records.iter().enumerate() {
+            rec.write_to(&mut buf[at + i * WisconsinRecord::SIZE..]);
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+
+    let tmp = dir.join(CHECKPOINT_TMP);
+    let mut storage = Storage::create_file(&tmp, dev.config()).map_err(StorageError::from)?;
+    storage.try_append(&buf, dev).map_err(StorageError::from)?;
+    storage.fsync(dev).map_err(StorageError::from)?;
+    storage
+        .persist_as(dir.join(CHECKPOINT_FILE))
+        .map_err(StorageError::from)?;
+    Ok(buf.len() as u64)
+}
+
+/// Loads the checkpoint in `dir`. `None` means no checkpoint exists (a
+/// directory never initialized as a database). Any damage — truncation,
+/// bad magic, CRC mismatch — is a typed error: checkpoints are
+/// published atomically, so a bad one is real corruption, not a crash
+/// artifact.
+pub fn read_checkpoint(dir: &Path) -> Result<Option<CheckpointData>, StorageError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let display = path.display().to_string();
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StorageError::file(display, e.to_string())),
+    };
+    let truncated = |at: usize, what: &str| {
+        StorageError::at(
+            display.clone(),
+            at as u64,
+            format!("truncated checkpoint: {what}"),
+        )
+    };
+    if bytes.len() < MAGIC.len() + 8 + 4 + 4 {
+        return Err(truncated(bytes.len(), "shorter than an empty checkpoint"));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(StorageError::at(display, 0, "bad checkpoint magic"));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4"));
+    if crc32(body) != stored_crc {
+        return Err(StorageError::at(
+            display,
+            (bytes.len() - 4) as u64,
+            "checkpoint CRC mismatch",
+        ));
+    }
+    let mut pos = MAGIC.len();
+    let take = |pos: &mut usize, n: usize, what: &str| -> Result<&[u8], StorageError> {
+        if body.len() - *pos < n {
+            return Err(truncated(*pos, what));
+        }
+        let out = &body[*pos..*pos + n];
+        *pos += n;
+        Ok(out)
+    };
+    let last_lsn = u64::from_le_bytes(take(&mut pos, 8, "last_lsn")?.try_into().expect("8"));
+    let table_count =
+        u32::from_le_bytes(take(&mut pos, 4, "table count")?.try_into().expect("4")) as usize;
+    let mut tables = Vec::with_capacity(table_count.min(1 << 16));
+    for _ in 0..table_count {
+        let name_len =
+            u16::from_le_bytes(take(&mut pos, 2, "name length")?.try_into().expect("2")) as usize;
+        let name = String::from_utf8(take(&mut pos, name_len, "name")?.to_vec())
+            .map_err(|_| truncated(pos, "non-UTF-8 table name"))?;
+        let key_domain =
+            u64::from_le_bytes(take(&mut pos, 8, "key domain")?.try_into().expect("8"));
+        let rows = u64::from_le_bytes(take(&mut pos, 8, "row count")?.try_into().expect("8"));
+        let data = take(&mut pos, rows as usize * WisconsinRecord::SIZE, "rows")?;
+        let records = data
+            .chunks_exact(WisconsinRecord::SIZE)
+            .map(WisconsinRecord::read_from)
+            .collect();
+        tables.push(CheckpointTable {
+            name,
+            key_domain,
+            records,
+        });
+    }
+    if pos != body.len() {
+        return Err(truncated(pos, "trailing bytes after last table"));
+    }
+    Ok(Some(CheckpointData { last_lsn, tables }))
+}
+
+/// What [`crate::Database::reopen`] found and did. Every field is
+/// deterministic for a given on-disk state, so the wlsql banner built
+/// from it can be golden-tested.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// True if the directory held no database and one was initialized.
+    pub fresh: bool,
+    /// Tables live after recovery.
+    pub tables: u64,
+    /// Rows live after recovery.
+    pub rows: u64,
+    /// WAL records replayed past the checkpoint.
+    pub replayed_records: u64,
+    /// Torn/incomplete WAL tail bytes dropped.
+    pub dropped_wal_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// The one-line banner wlsql prints on open.
+    pub fn banner(&self) -> String {
+        if self.fresh {
+            "durable: fresh database".to_string()
+        } else {
+            let mut line = format!(
+                "durable: recovered {} tables ({} rows), replayed {} wal records",
+                self.tables, self.rows, self.replayed_records
+            );
+            if self.dropped_wal_bytes > 0 {
+                line.push_str(&format!(
+                    ", dropped {} torn tail bytes",
+                    self.dropped_wal_bytes
+                ));
+            }
+            line
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::PmDevice;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("wl-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("tmpdir");
+        d
+    }
+
+    fn sample() -> CheckpointData {
+        CheckpointData {
+            last_lsn: 17,
+            tables: vec![
+                CheckpointTable {
+                    name: "a".into(),
+                    key_domain: 5,
+                    records: (0..5).map(WisconsinRecord::from_key).collect(),
+                },
+                CheckpointTable {
+                    name: "empty".into(),
+                    key_domain: 0,
+                    records: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let dev = PmDevice::paper_default();
+        let data = sample();
+        let bytes = write_checkpoint(&dir, &dev, &data).unwrap();
+        assert!(bytes > 0);
+        assert!(!dir.join(CHECKPOINT_TMP).exists(), "tmp was renamed away");
+        let loaded = read_checkpoint(&dir).unwrap().expect("present");
+        assert_eq!(loaded, data);
+        assert_eq!(loaded.total_rows(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let dir = tmpdir("missing");
+        assert_eq!(read_checkpoint(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        let dir = tmpdir("corrupt");
+        let dev = PmDevice::paper_default();
+        write_checkpoint(&dir, &dev, &sample()).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert!(err.cause.contains("CRC"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_a_typed_error() {
+        let dir = tmpdir("trunc");
+        let dev = PmDevice::paper_default();
+        write_checkpoint(&dir, &dev, &sample()).unwrap();
+        let path = dir.join(CHECKPOINT_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert!(err.cause.contains("truncated"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_banner_is_deterministic() {
+        let fresh = RecoveryReport {
+            fresh: true,
+            ..Default::default()
+        };
+        assert_eq!(fresh.banner(), "durable: fresh database");
+        let recovered = RecoveryReport {
+            fresh: false,
+            tables: 2,
+            rows: 300,
+            replayed_records: 4,
+            dropped_wal_bytes: 0,
+        };
+        assert_eq!(
+            recovered.banner(),
+            "durable: recovered 2 tables (300 rows), replayed 4 wal records"
+        );
+        let torn = RecoveryReport {
+            dropped_wal_bytes: 33,
+            ..recovered
+        };
+        assert!(torn.banner().ends_with("dropped 33 torn tail bytes"));
+    }
+}

@@ -81,6 +81,64 @@ impl std::fmt::Display for SqlError {
 
 impl std::error::Error for SqlError {}
 
+/// A durable-storage failure: WAL append, checkpoint I/O, or crash
+/// recovery. Spanless (storage has no SQL text to point into) but
+/// actionable: always the file, the offset when one is known, and the
+/// cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageError {
+    /// Path of the file involved.
+    pub path: String,
+    /// Byte offset of the failure within the file, when known.
+    pub offset: Option<u64>,
+    /// What went wrong.
+    pub cause: String,
+}
+
+impl StorageError {
+    /// An error for `path` with a known offset.
+    pub fn at(path: impl Into<String>, offset: u64, cause: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            offset: Some(offset),
+            cause: cause.into(),
+        }
+    }
+
+    /// An error for `path` without a meaningful offset.
+    pub fn file(path: impl Into<String>, cause: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            offset: None,
+            cause: cause.into(),
+        }
+    }
+}
+
+impl From<pmem_sim::PmError> for StorageError {
+    fn from(e: pmem_sim::PmError) -> Self {
+        match e {
+            pmem_sim::PmError::Io {
+                path,
+                offset,
+                cause,
+            } => StorageError::at(path, offset, cause),
+            other => StorageError::file("", other.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "storage error at {}+{}: {}", self.path, off, self.cause),
+            None => write!(f, "storage error in {}: {}", self.path, self.cause),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
 /// Anything a [`crate::Session`] call can fail with.
 #[derive(Debug)]
 pub enum DbError {
@@ -90,6 +148,8 @@ pub enum DbError {
     Plan(PlanError),
     /// Execution failed.
     Exec(ExecError),
+    /// Durable storage failed (WAL, checkpoint, or recovery).
+    Storage(StorageError),
 }
 
 impl std::fmt::Display for DbError {
@@ -98,11 +158,18 @@ impl std::fmt::Display for DbError {
             DbError::Sql(e) => write!(f, "{e}"),
             DbError::Plan(e) => write!(f, "{e}"),
             DbError::Exec(e) => write!(f, "{e}"),
+            DbError::Storage(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for DbError {}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
 
 impl From<SqlError> for DbError {
     fn from(e: SqlError) -> Self {
@@ -135,6 +202,27 @@ mod tests {
         assert_eq!(lines[0], "error at 14..21: unknown table \"missing\"");
         assert_eq!(lines[1], "  SELECT * FROM missing;");
         assert_eq!(lines[2], "                ^^^^^^^");
+    }
+
+    #[test]
+    fn storage_errors_carry_path_and_offset() {
+        let e = StorageError::at("/tmp/wal.log", 4096, "bad frame CRC");
+        assert_eq!(
+            e.to_string(),
+            "storage error at /tmp/wal.log+4096: bad frame CRC"
+        );
+        let e = StorageError::file("/tmp/ckpt.bin", "truncated header");
+        assert_eq!(
+            e.to_string(),
+            "storage error in /tmp/ckpt.bin: truncated header"
+        );
+        let e: StorageError = pmem_sim::PmError::Io {
+            path: "f".into(),
+            offset: 7,
+            cause: "injected crash".into(),
+        }
+        .into();
+        assert_eq!(e.offset, Some(7));
     }
 
     #[test]

@@ -22,7 +22,15 @@
 //! SET threads = 4;                             -- also: batch, lambda, memory
 //! SET timing = on;                             -- also: profile (on/off)
 //! SHOW TABLES; SHOW METRICS; DROP TABLE t;
+//! INSERT INTO t VALUES (10000), (10001);       -- key-derived Wisconsin rows
+//! CHECKPOINT;                                  -- durable databases only
 //! ```
+//!
+//! A database opened with [`Database::open`] (or `wlsql --path dir`) is
+//! durable: DDL and inserts are WAL-logged with fsync before the ack,
+//! `CHECKPOINT` materializes the catalog, and [`Database::reopen`]
+//! replays the committed prefix after a crash (see the `wal` and
+//! `durable` modules).
 //!
 //! ```
 //! use wl_db::{Database, Response};
@@ -51,15 +59,19 @@
 #![warn(missing_docs)]
 
 pub mod database;
+pub mod durable;
 pub mod error;
 pub mod metrics;
 pub mod session;
 pub mod sql;
 pub mod stream;
+pub mod wal;
 
-pub use database::{Database, DatabaseBuilder};
-pub use error::{DbError, Span, SqlError};
+pub use database::{Database, DatabaseBuilder, DdlError};
+pub use durable::{CheckpointData, CheckpointTable, RecoveryReport};
+pub use error::{DbError, Span, SqlError, StorageError};
 pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use session::{Response, Session, SessionConfig, MAX_THREADS};
 pub use sql::{bind, parse, BoundQuery, RowShape, Statement};
 pub use stream::{QueryStats, ResultStream, RowBatch};
+pub use wal::{Wal, WalReadout, WalRecord};

@@ -23,6 +23,11 @@ pub struct EngineMetrics {
     pool_exhausted: AtomicU64,
     pool_peak_bytes: AtomicU64,
     exec_wall_ns: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    recoveries: AtomicU64,
+    replayed_records: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -52,6 +57,24 @@ impl EngineMetrics {
         self.exec_wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
     }
 
+    /// Notes one WAL record appended (and fsynced) with its framed size.
+    pub fn note_wal_append(&self, bytes: u64) {
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Notes one fsync issued by a durable code path (WAL or checkpoint).
+    pub fn note_fsync(&self) {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Notes a completed crash recovery that replayed `records` WAL
+    /// records past the checkpoint.
+    pub fn note_recovery(&self, records: u64) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.replayed_records.fetch_add(records, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -63,6 +86,11 @@ impl EngineMetrics {
             pool_exhausted: self.pool_exhausted.load(Ordering::Relaxed),
             pool_peak_bytes: self.pool_peak_bytes.load(Ordering::Relaxed),
             exec_wall_ns: self.exec_wall_ns.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            replayed_records: self.replayed_records.load(Ordering::Relaxed),
         }
     }
 }
@@ -86,6 +114,16 @@ pub struct MetricsSnapshot {
     pub pool_peak_bytes: u64,
     /// Host wall time spent executing and draining queries.
     pub exec_wall_ns: u64,
+    /// WAL records appended (each fsynced before the statement applies).
+    pub wal_appends: u64,
+    /// Framed WAL bytes appended.
+    pub wal_bytes: u64,
+    /// fsyncs issued by durable code paths (WAL appends + checkpoints).
+    pub fsyncs: u64,
+    /// Crash recoveries performed by `Database::reopen`.
+    pub recoveries: u64,
+    /// WAL records replayed past checkpoints during recoveries.
+    pub replayed_records: u64,
 }
 
 impl MetricsSnapshot {
@@ -101,6 +139,11 @@ impl MetricsSnapshot {
             ("pool_exhausted", self.pool_exhausted),
             ("pool_peak_bytes", self.pool_peak_bytes),
             ("exec_wall_ns", self.exec_wall_ns),
+            ("wal_appends", self.wal_appends),
+            ("wal_bytes", self.wal_bytes),
+            ("fsyncs", self.fsyncs),
+            ("recoveries", self.recoveries),
+            ("replayed_records", self.replayed_records),
         ]
     }
 }
@@ -118,6 +161,10 @@ mod tests {
         m.note_delivery(5, 80);
         m.note_run(3, 1, 4096, 1_000);
         m.note_run(2, 0, 1024, 2_000);
+        m.note_wal_append(40);
+        m.note_wal_append(24);
+        m.note_fsync();
+        m.note_recovery(7);
         let s = m.snapshot();
         assert_eq!(s.queries, 2);
         assert_eq!(s.result_rows, 15);
@@ -127,6 +174,11 @@ mod tests {
         assert_eq!(s.pool_exhausted, 1);
         assert_eq!(s.pool_peak_bytes, 4096, "peak is a max, not a sum");
         assert_eq!(s.exec_wall_ns, 3_000);
+        assert_eq!(s.wal_appends, 2);
+        assert_eq!(s.wal_bytes, 64);
+        assert_eq!(s.fsyncs, 1);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.replayed_records, 7);
     }
 
     #[test]
@@ -144,6 +196,11 @@ mod tests {
                 "pool_exhausted",
                 "pool_peak_bytes",
                 "exec_wall_ns",
+                "wal_appends",
+                "wal_bytes",
+                "fsyncs",
+                "recoveries",
+                "replayed_records",
             ]
         );
     }

@@ -1,6 +1,6 @@
 //! Sessions: per-connection knobs plus the statement dispatcher.
 
-use crate::database::Database;
+use crate::database::{Database, DdlError};
 use crate::error::{DbError, SqlError};
 use crate::metrics::MetricsSnapshot;
 use crate::sql::ast::SetValue;
@@ -62,10 +62,24 @@ pub enum Response {
         /// Rows loaded.
         rows: u64,
     },
+    /// `INSERT` succeeded.
+    Inserted {
+        /// Target table name.
+        table: String,
+        /// Rows inserted.
+        rows: u64,
+    },
     /// `DROP TABLE` succeeded.
     Dropped {
         /// Dropped table name.
         table: String,
+    },
+    /// `CHECKPOINT` succeeded.
+    Checkpointed {
+        /// Tables materialized.
+        tables: u64,
+        /// Rows materialized.
+        rows: u64,
     },
     /// `SHOW TABLES` listing as `(name, rows)`.
     Tables(Vec<(String, u64)>),
@@ -156,23 +170,37 @@ impl<'db> Session<'db> {
                 let loaded = self
                     .db
                     .create_wisconsin(&table.name, rows, fanout, seed)
-                    .map_err(|name| {
-                        SqlError::new(format!("table \"{name}\" already exists"), table.span)
-                    })?;
+                    .map_err(|e| ddl_error(e, table.span))?;
                 Ok(Response::Created {
                     table: table.name,
                     rows: loaded,
                 })
             }
-            Statement::Drop { table } => {
-                if self.db.drop_table(&table.name) {
-                    Ok(Response::Dropped { table: table.name })
-                } else {
-                    Err(
-                        SqlError::new(format!("unknown table \"{}\"", table.name), table.span)
-                            .into(),
-                    )
-                }
+            Statement::Insert { table, keys } => {
+                let inserted = self
+                    .db
+                    .insert_keys(&table.name, &keys)
+                    .map_err(|e| ddl_error(e, table.span))?;
+                Ok(Response::Inserted {
+                    table: table.name,
+                    rows: inserted,
+                })
+            }
+            Statement::Drop { table } => match self.db.drop_table(&table.name) {
+                Ok(true) => Ok(Response::Dropped { table: table.name }),
+                Ok(false) => Err(SqlError::new(
+                    format!("unknown table \"{}\"", table.name),
+                    table.span,
+                )
+                .into()),
+                Err(e) => Err(ddl_error(e, table.span)),
+            },
+            Statement::Checkpoint => {
+                let (tables, rows, _bytes) = self
+                    .db
+                    .checkpoint()
+                    .map_err(|e| ddl_error(e, crate::error::Span::new(0, sql.len())))?;
+                Ok(Response::Checkpointed { tables, rows })
             }
             Statement::ShowTables => Ok(Response::Tables(self.db.tables())),
             Statement::ShowMetrics => Ok(Response::Metrics(self.db.metrics_snapshot())),
@@ -318,6 +346,16 @@ impl<'db> Session<'db> {
                 metrics: Arc::clone(self.db.metrics()),
             },
         ))
+    }
+}
+
+/// Maps a [`DdlError`] onto the session's error surface: storage
+/// failures pass through typed (path + offset intact), everything else
+/// becomes a span-carrying SQL diagnostic.
+fn ddl_error(err: DdlError, span: crate::error::Span) -> DbError {
+    match err {
+        DdlError::Storage(e) => DbError::Storage(e),
+        other => SqlError::new(other.to_string(), span).into(),
     }
 }
 
@@ -580,6 +618,33 @@ mod tests {
         stream.drain().expect("runs");
         let stats = stream.stats().expect("drained");
         assert!(stats.elapsed_secs > 0.0, "host wall time recorded");
+    }
+
+    #[test]
+    fn insert_and_checkpoint_through_sql() {
+        let db = db();
+        let mut s = db.session();
+        let Response::Inserted { table, rows } = s
+            .execute("INSERT INTO t VALUES (500), (501)")
+            .expect("inserts")
+        else {
+            panic!("expected inserted");
+        };
+        assert_eq!(table, "t");
+        assert_eq!(rows, 2);
+        let mut stream = s.query("SELECT * FROM t WHERE key >= 500").expect("plans");
+        assert_eq!(stream.drain().expect("runs"), 2, "new keys visible");
+        // Unknown target carries the table's span.
+        let sql = "INSERT INTO missing VALUES (1)";
+        let DbError::Sql(e) = s.execute(sql).unwrap_err() else {
+            panic!("expected SQL error")
+        };
+        assert_eq!(&sql[e.span.start..e.span.end], "missing");
+        // CHECKPOINT needs a durable database; this one is in-memory.
+        let DbError::Sql(e) = s.execute("CHECKPOINT").unwrap_err() else {
+            panic!("expected SQL error")
+        };
+        assert!(e.message.contains("not durable"), "{}", e.message);
     }
 
     #[test]

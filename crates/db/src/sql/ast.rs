@@ -148,11 +148,22 @@ pub enum Statement {
         /// Permutation seed.
         seed: u64,
     },
+    /// `INSERT INTO name VALUES (k1)[, (k2)…]` — one key per tuple; the
+    /// remaining nine Wisconsin attributes derive from the key.
+    Insert {
+        /// Target table.
+        table: Ident,
+        /// Keys, in statement order.
+        keys: Vec<u64>,
+    },
     /// `DROP TABLE name`
     Drop {
         /// Table to drop.
         table: Ident,
     },
+    /// `CHECKPOINT` — materialize the catalog and reset the WAL
+    /// (durable databases only).
+    Checkpoint,
     /// `SHOW TABLES`
     ShowTables,
     /// `SHOW METRICS` — the database-wide counter registry.
@@ -213,7 +224,12 @@ impl Statement {
                     table.name
                 )
             }
+            Statement::Insert { table, keys } => {
+                let keys: Vec<String> = keys.iter().map(u64::to_string).collect();
+                format!("insert {} keys [{}]\n", table.name, keys.join(", "))
+            }
             Statement::Drop { table } => format!("drop {}\n", table.name),
+            Statement::Checkpoint => "checkpoint\n".into(),
             Statement::ShowTables => "show tables\n".into(),
             Statement::ShowMetrics => "show metrics\n".into(),
             Statement::Set { name, value, .. } => {

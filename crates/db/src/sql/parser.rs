@@ -1,9 +1,11 @@
 //! Recursive-descent parser for the SQL subset:
 //!
 //! ```text
-//! statement := create | drop | show | set | select | explain
+//! statement := create | insert | drop | checkpoint | show | set | select | explain
 //! create    := CREATE TABLE ident AS WISCONSIN '(' n [',' n [',' n]] ')'
+//! insert    := INSERT INTO ident VALUES '(' n ')' (',' '(' n ')')*
 //! drop      := DROP TABLE ident
+//! checkpoint:= CHECKPOINT
 //! show      := SHOW (TABLES | METRICS)
 //! set       := SET ident '=' (n | ON | OFF)
 //! explain   := EXPLAIN [ANALYZE] select
@@ -173,10 +175,16 @@ impl Parser {
         if self.eat_keyword("create") {
             return self.create();
         }
+        if self.eat_keyword("insert") {
+            return self.insert();
+        }
         if self.eat_keyword("drop") {
             self.expect_keyword("table")?;
             let table = self.expect_ident("table name")?;
             return Ok(Statement::Drop { table });
+        }
+        if self.eat_keyword("checkpoint") {
+            return Ok(Statement::Checkpoint);
         }
         if self.eat_keyword("show") {
             if self.eat_keyword("metrics") {
@@ -217,11 +225,29 @@ impl Parser {
         }
         Err(SqlError::new(
             format!(
-                "expected CREATE, DROP, SHOW, SET, EXPLAIN, or SELECT, found {}",
+                "expected CREATE, INSERT, DROP, CHECKPOINT, SHOW, SET, EXPLAIN, or SELECT, found {}",
                 t.kind.describe()
             ),
             t.span,
         ))
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_keyword("into")?;
+        let table = self.expect_ident("table name")?;
+        self.expect_keyword("values")?;
+        let mut keys = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "'('")?;
+            keys.push(self.expect_number("a key")?.0);
+            self.expect(&TokenKind::RParen, "')'")?;
+            if self.peek().kind == TokenKind::Comma {
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, keys })
     }
 
     fn create(&mut self) -> Result<Statement, SqlError> {
@@ -459,6 +485,20 @@ mod tests {
         assert_eq!(parse("SHOW TABLES;").unwrap().describe(), "show tables\n");
         assert_eq!(parse("SHOW METRICS;").unwrap().describe(), "show metrics\n");
         assert_eq!(parse("DROP TABLE t;").unwrap().describe(), "drop t\n");
+        assert_eq!(
+            parse("INSERT INTO t VALUES (7);").unwrap().describe(),
+            "insert t keys [7]\n"
+        );
+        assert_eq!(
+            parse("insert into t values (1), (2), (3)")
+                .unwrap()
+                .describe(),
+            "insert t keys [1, 2, 3]\n"
+        );
+        assert_eq!(parse("CHECKPOINT;").unwrap().describe(), "checkpoint\n");
+        let err = parse("INSERT INTO t VALUES (1, 2)").unwrap_err();
+        assert!(err.message.contains("')'"), "{}", err.message);
+        assert!(parse("INSERT INTO t").is_err());
         assert_eq!(
             parse("SET threads = 4;").unwrap().describe(),
             "set threads = 4\n"

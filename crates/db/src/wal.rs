@@ -1,0 +1,543 @@
+//! The write-ahead log: CRC-framed logical records on the file-backed
+//! layer.
+//!
+//! The durability contract is append-then-fsync-then-apply: a statement
+//! is acknowledged only after its WAL record is framed, appended, and
+//! fsynced; the in-memory catalog changes afterwards. A crash therefore
+//! leaves the log holding exactly the acknowledged prefix (plus at most
+//! one torn tail frame, which recovery drops), and
+//! [`crate::Database::reopen`] reconstructs precisely the acknowledged
+//! statements.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! header:  "WLWAL1\0\0" (8 bytes)  base_lsn (u64 LE)
+//! frame:   len (u32 LE)  crc32 (u32 LE, IEEE, over payload)  payload
+//! ```
+//!
+//! Records are *logical*: `CREATE TABLE … AS WISCONSIN` logs its
+//! generator parameters (the generator is deterministic), `INSERT` logs
+//! the keys, `DROP` logs the name. The record at index `i` of a log has
+//! LSN `base_lsn + 1 + i`.
+//!
+//! ## Tail policy
+//!
+//! Reading a log distinguishes two kinds of damage:
+//!
+//! * **Torn tail** — the final frame is incomplete or fails its CRC and
+//!   extends to end-of-file: the expected shape of a crash mid-append.
+//!   The tail is dropped and recovery proceeds.
+//! * **Mid-log corruption** — a frame fails its CRC with valid bytes
+//!   after it, or a payload is malformed despite a good CRC: not
+//!   producible by a crash, so it surfaces as a typed
+//!   [`StorageError`] (never a panic, never silent data loss).
+
+use crate::error::StorageError;
+use pmem_sim::{Pm, Storage};
+use std::path::{Path, PathBuf};
+
+/// Log-file magic: format name + version, 8 bytes.
+const MAGIC: &[u8; 8] = b"WLWAL1\0\0";
+/// Header length: magic + base LSN.
+const HEADER_LEN: usize = 16;
+/// Frame header length: payload length + CRC.
+const FRAME_HEADER: usize = 8;
+
+/// File name of the live log inside a database directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Staging name for log resets (published by atomic rename).
+pub const WAL_TMP: &str = "wal.tmp";
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time —
+/// the container has no checksum crate, and 30 lines of const fn beat a
+/// dependency.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One logical WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// `CREATE TABLE name AS WISCONSIN(rows, fanout)` with the
+    /// generator seed — enough to regenerate the table exactly.
+    Create {
+        /// Table name.
+        name: String,
+        /// Distinct keys.
+        rows: u64,
+        /// Records per key.
+        fanout: u64,
+        /// Permutation seed.
+        seed: u64,
+    },
+    /// `INSERT INTO table VALUES …` — the inserted keys.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Keys inserted, in statement order.
+        keys: Vec<u64>,
+    },
+    /// `DROP TABLE name`.
+    Drop {
+        /// Table name.
+        name: String,
+    },
+}
+
+const TAG_CREATE: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_DROP: u8 = 3;
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    debug_assert!(bytes.len() <= u16::MAX as usize, "identifier too long");
+    buf.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    buf.extend_from_slice(bytes);
+}
+
+/// Byte cursor over a record payload; every read is bounds-checked so
+/// malformed payloads surface as `Err`, never a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.pos < n {
+            return Err(format!(
+                "payload truncated: wanted {n} bytes at offset {}, {} left",
+                self.pos,
+                self.bytes.len() - self.pos
+            ));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2")) as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| "non-UTF-8 identifier".to_string())
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos != self.bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after record",
+                self.bytes.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl WalRecord {
+    /// Serializes the record payload (no frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            WalRecord::Create {
+                name,
+                rows,
+                fanout,
+                seed,
+            } => {
+                buf.push(TAG_CREATE);
+                put_str(&mut buf, name);
+                buf.extend_from_slice(&rows.to_le_bytes());
+                buf.extend_from_slice(&fanout.to_le_bytes());
+                buf.extend_from_slice(&seed.to_le_bytes());
+            }
+            WalRecord::Insert { table, keys } => {
+                buf.push(TAG_INSERT);
+                put_str(&mut buf, table);
+                buf.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for k in keys {
+                    buf.extend_from_slice(&k.to_le_bytes());
+                }
+            }
+            WalRecord::Drop { name } => {
+                buf.push(TAG_DROP);
+                put_str(&mut buf, name);
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a record payload; `Err` is a human-readable cause.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let mut cur = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let tag = *cur.take(1)?.first().expect("1 byte");
+        let rec = match tag {
+            TAG_CREATE => WalRecord::Create {
+                name: cur.str()?,
+                rows: cur.u64()?,
+                fanout: cur.u64()?,
+                seed: cur.u64()?,
+            },
+            TAG_INSERT => {
+                let table = cur.str()?;
+                let n = u32::from_le_bytes(cur.take(4)?.try_into().expect("4")) as usize;
+                let mut keys = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    keys.push(cur.u64()?);
+                }
+                WalRecord::Insert { table, keys }
+            }
+            TAG_DROP => WalRecord::Drop { name: cur.str()? },
+            other => return Err(format!("unknown record tag {other}")),
+        };
+        cur.done()?;
+        Ok(rec)
+    }
+}
+
+/// A parsed log: base LSN, intact records, and how much tail (if any)
+/// was dropped as torn.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalReadout {
+    /// LSN the log starts after (records begin at `base_lsn + 1`).
+    pub base_lsn: u64,
+    /// Intact records in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes dropped from the end as a torn/incomplete tail (0 = clean).
+    pub dropped_tail_bytes: u64,
+}
+
+impl WalReadout {
+    /// LSN of the last intact record (or `base_lsn` if none).
+    pub fn last_lsn(&self) -> u64 {
+        self.base_lsn + self.records.len() as u64
+    }
+
+    fn empty() -> Self {
+        Self {
+            base_lsn: 0,
+            records: Vec::new(),
+            dropped_tail_bytes: 0,
+        }
+    }
+}
+
+/// Parses the log at `path` under the tail policy described in the
+/// module docs. A missing file reads as an empty log (a crash between
+/// checkpoint publication and log creation leaves exactly that state).
+pub fn read_wal(path: &Path) -> Result<WalReadout, StorageError> {
+    let display = path.display().to_string();
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalReadout::empty()),
+        Err(e) => return Err(StorageError::file(display, e.to_string())),
+    };
+    if bytes.len() < HEADER_LEN {
+        // A header can only be cut short by a crash during initial
+        // creation, before any record could have been acknowledged:
+        // the committed state is empty.
+        return Ok(WalReadout {
+            dropped_tail_bytes: bytes.len() as u64,
+            ..WalReadout::empty()
+        });
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(StorageError::at(display, 0, "bad WAL magic"));
+    }
+    let base_lsn = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
+    let mut records = Vec::new();
+    let mut off = HEADER_LEN;
+    let mut dropped_tail_bytes = 0u64;
+    while off < bytes.len() {
+        let rem = bytes.len() - off;
+        if rem < FRAME_HEADER {
+            dropped_tail_bytes = rem as u64;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4"));
+        if len > rem - FRAME_HEADER {
+            // Incomplete payload: the append was cut mid-frame.
+            dropped_tail_bytes = rem as u64;
+            break;
+        }
+        let payload = &bytes[off + FRAME_HEADER..off + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            if off + FRAME_HEADER + len == bytes.len() {
+                // The damaged frame is the last thing in the file: a
+                // torn tail, exactly what a kill mid-append produces.
+                dropped_tail_bytes = rem as u64;
+                break;
+            }
+            return Err(StorageError::at(
+                display,
+                off as u64,
+                "WAL frame CRC mismatch with valid data after it (mid-log corruption)",
+            ));
+        }
+        let rec = WalRecord::decode(payload).map_err(|cause| {
+            StorageError::at(
+                display.clone(),
+                off as u64,
+                format!("bad WAL record: {cause}"),
+            )
+        })?;
+        records.push(rec);
+        off += FRAME_HEADER + len;
+    }
+    Ok(WalReadout {
+        base_lsn,
+        records,
+        dropped_tail_bytes,
+    })
+}
+
+/// An open, appendable log.
+#[derive(Debug)]
+pub struct Wal {
+    storage: Storage,
+    next_lsn: u64,
+}
+
+impl Wal {
+    /// Creates a fresh log in `dir` starting after `base_lsn`, staged
+    /// as `wal.tmp` and published by atomic rename — the previous log
+    /// stays intact until the new header is durable.
+    pub fn create(dir: &Path, dev: &Pm, base_lsn: u64) -> Result<Self, StorageError> {
+        let tmp = dir.join(WAL_TMP);
+        let mut storage = Storage::create_file(&tmp, dev.config()).map_err(StorageError::from)?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&base_lsn.to_le_bytes());
+        storage
+            .try_append(&header, dev)
+            .map_err(StorageError::from)?;
+        storage.fsync(dev).map_err(StorageError::from)?;
+        storage
+            .persist_as(dir.join(WAL_FILE))
+            .map_err(StorageError::from)?;
+        Ok(Self {
+            storage,
+            next_lsn: base_lsn + 1,
+        })
+    }
+
+    /// Appends and fsyncs one record; on success the record is durable
+    /// and its LSN assigned. Returns `(lsn, framed_bytes)`. On error the
+    /// record is *not* acknowledged (the statement must fail).
+    pub fn append(&mut self, record: &WalRecord, dev: &Pm) -> Result<(u64, u64), StorageError> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.storage
+            .try_append(&frame, dev)
+            .map_err(StorageError::from)?;
+        self.storage.fsync(dev).map_err(StorageError::from)?;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        Ok((lsn, frame.len() as u64))
+    }
+
+    /// LSN of the last acknowledged record (or the base LSN if none).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> PathBuf {
+        self.storage
+            .file_path()
+            .map(Path::to_path_buf)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::PmDevice;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("wl-wal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("tmpdir");
+        d
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Create {
+                name: "t".into(),
+                rows: 100,
+                fanout: 1,
+                seed: 42,
+            },
+            WalRecord::Insert {
+                table: "t".into(),
+                keys: vec![100, 101, 102],
+            },
+            WalRecord::Drop { name: "t".into() },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        for rec in sample_records() {
+            assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(WalRecord::decode(&[]).is_err(), "empty");
+        assert!(WalRecord::decode(&[99]).is_err(), "unknown tag");
+        let mut cut = sample_records()[0].encode();
+        cut.truncate(cut.len() - 3);
+        assert!(WalRecord::decode(&cut).is_err(), "truncated");
+        let mut trailing = sample_records()[2].encode();
+        trailing.push(0);
+        assert!(WalRecord::decode(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn log_roundtrips_through_the_file() {
+        let dir = tmpdir("roundtrip");
+        let dev = PmDevice::paper_default();
+        let mut wal = Wal::create(&dir, &dev, 5).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec, &dev).unwrap();
+        }
+        assert_eq!(wal.last_lsn(), 8);
+        let readout = read_wal(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(readout.base_lsn, 5);
+        assert_eq!(readout.records, sample_records());
+        assert_eq!(readout.last_lsn(), 8);
+        assert_eq!(readout.dropped_tail_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let dir = tmpdir("truncated");
+        let dev = PmDevice::paper_default();
+        let mut wal = Wal::create(&dir, &dev, 0).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec, &dev).unwrap();
+        }
+        let path = dir.join(WAL_FILE);
+        let full = std::fs::read(&path).unwrap();
+        // Cut mid-way into the final frame.
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let readout = read_wal(&path).unwrap();
+        assert_eq!(readout.records.len(), 2, "last record dropped");
+        assert!(readout.dropped_tail_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_at_the_tail_is_dropped() {
+        let dir = tmpdir("tailcrc");
+        let dev = PmDevice::paper_default();
+        let mut wal = Wal::create(&dir, &dev, 0).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec, &dev).unwrap();
+        }
+        let path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // garble the final payload byte
+        std::fs::write(&path, &bytes).unwrap();
+        let readout = read_wal(&path).unwrap();
+        assert_eq!(readout.records.len(), 2);
+        assert!(readout.dropped_tail_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_mid_log_is_a_typed_error() {
+        let dir = tmpdir("midcrc");
+        let dev = PmDevice::paper_default();
+        let mut wal = Wal::create(&dir, &dev, 0).unwrap();
+        for rec in sample_records() {
+            wal.append(&rec, &dev).unwrap();
+        }
+        let path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN + FRAME_HEADER] ^= 0xFF; // first record's payload
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_wal(&path).unwrap_err();
+        assert!(err.cause.contains("mid-log"), "{err}");
+        assert_eq!(err.offset, Some(HEADER_LEN as u64));
+        assert!(err.path.ends_with(WAL_FILE));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_log_reads_as_empty() {
+        let readout = read_wal(Path::new("/nonexistent/wal.log")).unwrap();
+        assert_eq!(readout.records.len(), 0);
+        assert_eq!(readout.base_lsn, 0);
+    }
+
+    #[test]
+    fn bad_magic_is_a_typed_error() {
+        let dir = tmpdir("magic");
+        let path = dir.join(WAL_FILE);
+        std::fs::write(&path, b"NOTAWAL!0000000000000000").unwrap();
+        let err = read_wal(&path).unwrap_err();
+        assert!(err.cause.contains("magic"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_header_reads_as_empty_torn_creation() {
+        let dir = tmpdir("shorthdr");
+        let path = dir.join(WAL_FILE);
+        std::fs::write(&path, &MAGIC[..6]).unwrap();
+        let readout = read_wal(&path).unwrap();
+        assert!(readout.records.is_empty());
+        assert_eq!(readout.dropped_tail_bytes, 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,13 @@
+-- Golden durable session, part 1 (run with --path on a fresh dir):
+-- create, insert, checkpoint, then mutate past the checkpoint so the
+-- reopen in part 2 has WAL records to replay. DoP pinned so the output
+-- is identical under any WL_THREADS.
+SET threads = 2;
+CREATE TABLE t AS WISCONSIN(1000);
+INSERT INTO t VALUES (1000), (1001);
+SELECT * FROM t WHERE key >= 998 ORDER BY key;
+CHECKPOINT;
+CREATE TABLE v AS WISCONSIN(500, 2);
+DROP TABLE v;
+CREATE TABLE v AS WISCONSIN(200, 2, 7);
+SHOW TABLES;

@@ -1,0 +1,7 @@
+-- Golden durable session, part 2: reopen the directory part 1 wrote.
+-- The recovery banner (first output line) pins how many WAL records
+-- were replayed; the queries check the recovered data itself.
+SET threads = 2;
+SHOW TABLES;
+SELECT * FROM t WHERE key >= 998 ORDER BY key;
+SELECT * FROM v WHERE key < 3 ORDER BY key;

@@ -46,7 +46,12 @@ fn mask_host_time(raw: &str) -> String {
 }
 
 fn run_wlsql(sql: &str) -> String {
+    run_wlsql_with(&[], sql)
+}
+
+fn run_wlsql_with(args: &[&str], sql: &str) -> String {
     let mut child = Command::new(env!("CARGO_BIN_EXE_wlsql"))
+        .args(args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -104,6 +109,24 @@ fn masking_pins_exactly_the_host_dependent_fields() {
     // Simulated fields pass through untouched.
     assert!(masked.contains("0.0000s sim"));
     assert!(masked.contains("pool_peak_bytes  40000"));
+}
+
+#[test]
+fn persistence_session_survives_a_reopen() {
+    // Part 1 builds a durable database (create, insert, checkpoint,
+    // post-checkpoint DDL); part 2 reopens the same directory and must
+    // see the recovered state, starting with the deterministic recovery
+    // banner. Same pair of sessions CI runs as a shell step.
+    let dir = std::env::temp_dir().join(format!("wlsql-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.to_str().expect("utf-8 temp path");
+
+    let first = run_wlsql_with(&["--path", path], include_str!("golden/persist.sql"));
+    diff_against_golden(&first, include_str!("golden/persist.out"));
+    let second = run_wlsql_with(&["--path", path], include_str!("golden/persist2.sql"));
+    diff_against_golden(&second, include_str!("golden/persist2.out"));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

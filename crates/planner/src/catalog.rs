@@ -110,6 +110,17 @@ impl Catalog {
     pub fn names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
     }
+
+    /// Iterates all bound tables in name order: `(name, stats, data)`.
+    /// Stats-only entries are skipped — checkpointing and other
+    /// whole-database walks only care about tables that hold rows.
+    pub fn bound_entries(
+        &self,
+    ) -> impl Iterator<Item = (&str, &TableStats, &Arc<PCollection<WisconsinRecord>>)> {
+        self.tables
+            .iter()
+            .filter_map(|(name, t)| Some((name.as_str(), &t.stats, t.data.as_ref()?)))
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +165,30 @@ mod tests {
         cat.add_stats("S", TableStats::wisconsin(10));
         assert!(cat.data("S").is_none());
         assert_eq!(cat.stats("S").unwrap().buffers(), 13.0);
+    }
+
+    #[test]
+    fn bound_entries_walks_bound_tables_in_name_order() {
+        let dev = PmDevice::paper_default();
+        let col = |n: u64| {
+            Arc::new(PCollection::from_records_uncounted(
+                &dev,
+                LayerKind::BlockedMemory,
+                "t",
+                (0..n).map(WisconsinRecord::from_key),
+            ))
+        };
+        let mut cat = Catalog::new();
+        cat.add_table("b", col(3), 3);
+        cat.add_table("a", col(5), 5);
+        cat.add_stats("stats_only", TableStats::wisconsin(7));
+        let seen: Vec<(&str, u64)> = cat
+            .bound_entries()
+            .map(|(name, stats, data)| {
+                assert_eq!(stats.rows, data.len() as u64);
+                (name, stats.rows)
+            })
+            .collect();
+        assert_eq!(seen, vec![("a", 5), ("b", 3)]);
     }
 }

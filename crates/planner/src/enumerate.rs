@@ -151,6 +151,7 @@ impl Planner {
         let call_ns = match layer {
             LayerKind::Pmfs => cfg.pmfs_call_ns,
             LayerKind::RamDisk => cfg.ramdisk_call_ns,
+            LayerKind::FileBacked => cfg.file_call_ns,
             LayerKind::BlockedMemory | LayerKind::DynArray => 0.0,
         };
         Self {

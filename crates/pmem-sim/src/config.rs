@@ -18,6 +18,11 @@ pub const DEFAULT_BLOCK: usize = 1024;
 /// records").
 pub const RAMDISK_RECORD: usize = 512;
 
+/// File-backed record size in bytes: the file layer goes through a real
+/// block filesystem, so its I/O rounds to the same 512-byte records the
+/// RAM disk models.
+pub const FILE_RECORD: usize = 512;
+
 /// Per-cacheline read/write latencies of the simulated medium.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LatencyProfile {
@@ -77,6 +82,10 @@ pub struct DeviceConfig {
     /// disk goes through block-device filesystem paths, so its per-call
     /// cost is markedly higher.
     pub ramdisk_call_ns: f64,
+    /// Per-call software overhead of the file-backed layer (ns): a real
+    /// syscall into a disk filesystem, costlier than the memory-mounted
+    /// RAM disk.
+    pub file_call_ns: f64,
 }
 
 impl DeviceConfig {
@@ -87,6 +96,7 @@ impl DeviceConfig {
             block_size: DEFAULT_BLOCK,
             pmfs_call_ns: 60.0,
             ramdisk_call_ns: 220.0,
+            file_call_ns: 400.0,
         }
     }
 

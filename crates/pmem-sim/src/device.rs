@@ -9,8 +9,9 @@
 //! [`crate::collection::PCollection`]s bound to it.
 
 use crate::config::DeviceConfig;
+use crate::fault::{FaultKind, FaultPlan, FaultState, WriteVerdict};
 use crate::metrics::{IoStats, Metrics};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A simulated persistent-memory device.
 ///
@@ -21,6 +22,10 @@ use std::sync::Arc;
 pub struct PmDevice {
     config: DeviceConfig,
     metrics: Metrics,
+    /// Fault-injection schedule for file-backed writes (crash harness
+    /// hook); consulted only by the file layer, so the lock is off every
+    /// simulated-memory hot path.
+    fault: Mutex<FaultState>,
 }
 
 /// Shared handle to a device. Collections hold clones of this handle;
@@ -35,6 +40,7 @@ impl PmDevice {
         Arc::new(Self {
             config,
             metrics: Metrics::new(),
+            fault: Mutex::new(FaultState::default()),
         })
     }
 
@@ -77,6 +83,45 @@ impl PmDevice {
     /// factors out of its reported timings).
     pub fn reset_metrics(&self) {
         self.metrics.reset();
+    }
+
+    /// Arms a fault-injection plan for the device's file-backed writes.
+    /// Replaces any previous plan and resets the durable-byte counter.
+    pub fn arm_faults(&self, plan: FaultPlan) {
+        self.fault.lock().expect("fault state").arm(plan);
+    }
+
+    /// Removes the fault plan; file-backed writes succeed again.
+    pub fn disarm_faults(&self) {
+        self.fault.lock().expect("fault state").disarm();
+    }
+
+    /// The fault that has tripped, if any (once tripped, every
+    /// file-backed write and fsync fails until disarmed).
+    pub fn fault_tripped(&self) -> Option<FaultKind> {
+        self.fault.lock().expect("fault state").tripped()
+    }
+
+    /// File-backed bytes durably written since the plan was armed —
+    /// harnesses measure a fault-free run with [`FaultPlan::observe`]
+    /// to place kill points on later runs.
+    pub fn fault_bytes_written(&self) -> u64 {
+        self.fault.lock().expect("fault state").bytes_written()
+    }
+
+    /// Verdict for a file-backed write of `len` bytes (file layer only).
+    pub(crate) fn fault_before_write(&self, len: usize) -> WriteVerdict {
+        self.fault.lock().expect("fault state").before_write(len)
+    }
+
+    /// Whether a file-backed fsync may proceed (file layer only).
+    pub(crate) fn fault_before_sync(&self) -> Result<(), FaultKind> {
+        self.fault.lock().expect("fault state").before_sync()
+    }
+
+    /// Seed for torn-tail garbling (file layer only).
+    pub(crate) fn fault_garble_seed(&self) -> u64 {
+        self.fault.lock().expect("fault state").garble_seed()
     }
 }
 

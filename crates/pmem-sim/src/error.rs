@@ -26,6 +26,17 @@ pub enum PmError {
         /// Description of the violation.
         message: String,
     },
+    /// A file-backed operation failed — a real OS error or an injected
+    /// fault. Always carries the file, the byte offset the failure hit,
+    /// and the cause, so callers can render an actionable message.
+    Io {
+        /// Path of the backing file.
+        path: String,
+        /// Byte offset in the file where the failure occurred.
+        offset: u64,
+        /// What went wrong (OS error string or injected-fault label).
+        cause: String,
+    },
 }
 
 impl fmt::Display for PmError {
@@ -43,6 +54,13 @@ impl fmt::Display for PmError {
             }
             PmError::InvalidParameter { name, message } => {
                 write!(f, "invalid parameter `{name}`: {message}")
+            }
+            PmError::Io {
+                path,
+                offset,
+                cause,
+            } => {
+                write!(f, "I/O failure at {path}+{offset}: {cause}")
             }
         }
     }

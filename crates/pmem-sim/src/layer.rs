@@ -16,11 +16,27 @@
 //! * [`LayerKind::DynArray`] — capacity-doubling dynamic array over a
 //!   persistent allocator; every expansion *copies* the populated prefix,
 //!   paying counted reads and writes for it.
+//!
+//! A fifth, non-paper layer backs the engine's durability work:
+//!
+//! * [`LayerKind::FileBacked`] — writes a **real file** through the OS,
+//!   so the simulated counts can be sanity-checked against actual I/O
+//!   ([`Storage::file_stats`]), appends can fail ([`Storage::try_append`]
+//!   under an armed [`crate::fault::FaultPlan`]), and contents survive
+//!   the process ([`Storage::open_file`]). The WAL and checkpoint files
+//!   of the database live on this layer.
 
-use crate::config::{cachelines, DeviceConfig, CACHELINE, RAMDISK_RECORD};
+use crate::config::{cachelines, DeviceConfig, CACHELINE, FILE_RECORD, RAMDISK_RECORD};
 use crate::device::PmDevice;
+use crate::error::PmError;
+use crate::fault::{FaultKind, WriteVerdict};
+use std::fs;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Selects one of the four §3.2 persistence-layer implementations.
+/// Selects one of the §3.2 persistence-layer implementations, or the
+/// file-backed durability layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Linked list of fixed-size memory blocks; no overhead beyond raw
@@ -33,6 +49,11 @@ pub enum LayerKind {
     /// Capacity-doubling dynamic array (C++ `std::vector` over a
     /// persistent-memory allocator).
     DynArray,
+    /// A real file on the host filesystem (512-byte records, syscall
+    /// overhead): durable across process exit, fallible under fault
+    /// injection, with host-side I/O counters next to the simulated
+    /// ones.
+    FileBacked,
 }
 
 impl LayerKind {
@@ -51,9 +72,45 @@ impl LayerKind {
             LayerKind::Pmfs => "PMFS",
             LayerKind::RamDisk => "RAM disk",
             LayerKind::DynArray => "dyn. array",
+            LayerKind::FileBacked => "file-backed",
         }
     }
 }
+
+/// Host-side I/O counters of a file-backed storage — the ground truth
+/// the simulated counters are sanity-checked against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FileStats {
+    /// `write(2)` calls issued to the OS file.
+    pub write_syscalls: u64,
+    /// Bytes actually handed to the OS file.
+    pub bytes_written: u64,
+    /// `fdatasync` calls issued.
+    pub fsyncs: u64,
+}
+
+/// The real OS file behind a [`LayerKind::FileBacked`] storage.
+#[derive(Debug)]
+struct FileBacking {
+    path: PathBuf,
+    file: fs::File,
+    /// Anonymous scratch file (created by [`Storage::new`]); removed on
+    /// drop. Named files ([`Storage::create_file`] / [`Storage::open_file`])
+    /// are left behind — durability is their point.
+    ephemeral: bool,
+    stats: FileStats,
+}
+
+impl Drop for FileBacking {
+    fn drop(&mut self) {
+        if self.ephemeral {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// Process-wide counter so concurrent ephemeral files get distinct names.
+static EPHEMERAL_FILE_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Forward-only read cursor.
 ///
@@ -96,6 +153,9 @@ pub struct Storage {
     /// Granules already charged as written (ceil-delta accounting).
     written_granules: u64,
     block_size: usize,
+    /// Real OS file (FileBacked only). `contiguous` doubles as an
+    /// in-memory mirror so reads never touch the OS.
+    file: Option<FileBacking>,
 }
 
 /// Initial dynamic-array capacity in bytes (one block).
@@ -103,7 +163,23 @@ const DYNARRAY_INITIAL_CAPACITY: usize = 1024;
 
 impl Storage {
     /// Creates empty storage of the given kind under `config`.
+    ///
+    /// For [`LayerKind::FileBacked`] this creates an anonymous scratch
+    /// file in the OS temp directory, removed when the storage drops;
+    /// use [`Storage::create_file`] for a file that should survive.
+    ///
+    /// # Panics
+    /// Panics if the scratch file cannot be created (FileBacked only).
     pub fn new(kind: LayerKind, config: &DeviceConfig) -> Self {
+        if kind == LayerKind::FileBacked {
+            let path = std::env::temp_dir().join(format!(
+                "wl-scratch-{}-{}.bin",
+                std::process::id(),
+                EPHEMERAL_FILE_ID.fetch_add(1, Ordering::Relaxed)
+            ));
+            return Self::create_file_at(&path, true, config)
+                .expect("create ephemeral file-backed storage");
+        }
         Self {
             kind,
             blocks: Vec::new(),
@@ -112,7 +188,79 @@ impl Storage {
             capacity: 0,
             written_granules: 0,
             block_size: config.block_size,
+            file: None,
         }
+    }
+
+    /// Creates (truncating) a named file-backed storage at `path`.
+    /// The file persists after the storage drops.
+    pub fn create_file(path: impl AsRef<Path>, config: &DeviceConfig) -> Result<Self, PmError> {
+        Self::create_file_at(path.as_ref(), false, config)
+    }
+
+    fn create_file_at(
+        path: &Path,
+        ephemeral: bool,
+        config: &DeviceConfig,
+    ) -> Result<Self, PmError> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| PmError::Io {
+                path: path.display().to_string(),
+                offset: 0,
+                cause: e.to_string(),
+            })?;
+        Ok(Self {
+            kind: LayerKind::FileBacked,
+            blocks: Vec::new(),
+            contiguous: Vec::new(),
+            len: 0,
+            capacity: 0,
+            written_granules: 0,
+            block_size: config.block_size,
+            file: Some(FileBacking {
+                path: path.to_path_buf(),
+                file,
+                ephemeral,
+                stats: FileStats::default(),
+            }),
+        })
+    }
+
+    /// Opens an existing file-backed storage at `path`, loading its
+    /// contents into the in-memory mirror. Appends continue at the end;
+    /// no write traffic is charged for the preexisting bytes.
+    pub fn open_file(path: impl AsRef<Path>, config: &DeviceConfig) -> Result<Self, PmError> {
+        let path = path.as_ref();
+        let io_err = |cause: String| PmError::Io {
+            path: path.display().to_string(),
+            offset: 0,
+            cause,
+        };
+        let contents = fs::read(path).map_err(|e| io_err(e.to_string()))?;
+        let file = fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(e.to_string()))?;
+        let len = contents.len();
+        Ok(Self {
+            kind: LayerKind::FileBacked,
+            blocks: Vec::new(),
+            contiguous: contents,
+            len,
+            capacity: 0,
+            written_granules: (len as u64).div_ceil(FILE_RECORD as u64),
+            block_size: config.block_size,
+            file: Some(FileBacking {
+                path: path.to_path_buf(),
+                file,
+                ephemeral: false,
+                stats: FileStats::default(),
+            }),
+        })
     }
 
     /// Which §3.2 alternative this storage implements.
@@ -132,11 +280,12 @@ impl Storage {
         self.len == 0
     }
 
-    /// Write granularity in bytes: 512-byte records for the RAM disk,
-    /// cachelines for the byte-addressable layers.
+    /// Write granularity in bytes: 512-byte records for the RAM disk and
+    /// the file layer, cachelines for the byte-addressable layers.
     fn granule(&self) -> usize {
         match self.kind {
             LayerKind::RamDisk => RAMDISK_RECORD,
+            LayerKind::FileBacked => FILE_RECORD,
             _ => CACHELINE,
         }
     }
@@ -152,22 +301,45 @@ impl Storage {
             LayerKind::BlockedMemory | LayerKind::DynArray => 0.0,
             LayerKind::Pmfs => dev.config().pmfs_call_ns,
             LayerKind::RamDisk => dev.config().ramdisk_call_ns,
+            LayerKind::FileBacked => dev.config().file_call_ns,
         }
     }
 
     /// Bytes served per layer call: one filesystem record for the RAM
-    /// disk, one collection block for PMFS.
+    /// disk and the file layer, one collection block for PMFS.
     fn call_granule(&self) -> usize {
         match self.kind {
             LayerKind::RamDisk => RAMDISK_RECORD,
+            LayerKind::FileBacked => FILE_RECORD,
             _ => self.block_size,
         }
     }
 
     /// Appends `data`, charging writes under this layer's model.
+    ///
+    /// # Panics
+    /// Panics if the append fails — possible only on the file-backed
+    /// layer (OS error or armed fault). Durable code paths that must
+    /// survive failure use [`Storage::try_append`] instead.
     pub fn append(&mut self, data: &[u8], dev: &PmDevice) {
+        if let Err(e) = self.try_append(data, dev) {
+            panic!("append failed: {e}");
+        }
+    }
+
+    /// Appends `data`, charging writes under this layer's model.
+    ///
+    /// On the simulated-memory layers this never fails. On the
+    /// file-backed layer it consults the device's fault plan first: a
+    /// kill mid-write leaves the surviving prefix in the file (garbled
+    /// at the tail if the plan says torn) and returns [`PmError::Io`];
+    /// ENOSPC refuses the write in full.
+    pub fn try_append(&mut self, data: &[u8], dev: &PmDevice) -> Result<(), PmError> {
         if data.is_empty() {
-            return;
+            return Ok(());
+        }
+        if self.file.is_some() {
+            return self.append_file(data, dev);
         }
         let old_len = self.len;
         let new_len = old_len + data.len();
@@ -177,11 +349,18 @@ impl Storage {
             LayerKind::BlockedMemory => self.append_blocked(data),
             LayerKind::DynArray => self.append_dynarray(data, dev),
             LayerKind::Pmfs | LayerKind::RamDisk => self.contiguous.extend_from_slice(data),
+            LayerKind::FileBacked => unreachable!("file-backed handled above"),
         }
         self.len = new_len;
+        self.charge_append(old_len, new_len, dev);
+        Ok(())
+    }
 
-        // Medium traffic: first touch of each granule counts once
-        // (write-back buffering within a granule).
+    /// Medium traffic (first touch of each granule counts once —
+    /// write-back buffering within a granule) plus software overhead
+    /// (one layer call per call-granule first touched) for growing the
+    /// storage from `old_len` to `new_len` bytes.
+    fn charge_append(&mut self, old_len: usize, new_len: usize, dev: &PmDevice) {
         let granule = self.granule() as u64;
         let total_granules = (new_len as u64).div_ceil(granule);
         let new_granules = total_granules - self.written_granules;
@@ -191,9 +370,6 @@ impl Storage {
             self.written_granules = total_granules;
         }
 
-        // Software overhead: appends are buffered at call granularity, so
-        // one layer call is charged per call-granule first touched
-        // (filesystem layers only).
         let call_ns = self.call_ns(dev);
         if call_ns > 0.0 {
             let cg = self.call_granule() as u64;
@@ -203,6 +379,121 @@ impl Storage {
                 dev.metrics().add_calls(calls);
             }
         }
+    }
+
+    fn append_file(&mut self, data: &[u8], dev: &PmDevice) -> Result<(), PmError> {
+        match dev.fault_before_write(data.len()) {
+            WriteVerdict::Full => self.file_write(data, dev),
+            WriteVerdict::Refuse(kind) => Err(self.file_error(kind.describe())),
+            WriteVerdict::Partial { keep, torn } => {
+                if keep > 0 {
+                    let mut kept = data[..keep].to_vec();
+                    if torn {
+                        // Garble the tail of the kept prefix: a torn page
+                        // that only a checksum can tell from valid data.
+                        let pat = (dev.fault_garble_seed() as u8) | 0x01;
+                        let n = kept.len().min(CACHELINE);
+                        let start = kept.len() - n;
+                        for b in &mut kept[start..] {
+                            *b ^= pat;
+                        }
+                    }
+                    self.file_write(&kept, dev)?;
+                }
+                Err(self.file_error(FaultKind::Crash.describe()))
+            }
+        }
+    }
+
+    /// Writes `data` to the OS file and the mirror, then charges the
+    /// simulated counters for it.
+    fn file_write(&mut self, data: &[u8], dev: &PmDevice) -> Result<(), PmError> {
+        let old_len = self.len;
+        {
+            let fb = self.file.as_mut().expect("file-backed storage");
+            if let Err(e) = fb.file.write_all(data) {
+                let cause = e.to_string();
+                return Err(self.file_error(cause));
+            }
+            let fb = self.file.as_mut().expect("file-backed storage");
+            fb.stats.write_syscalls += 1;
+            fb.stats.bytes_written += data.len() as u64;
+        }
+        self.contiguous.extend_from_slice(data);
+        self.len = old_len + data.len();
+        self.charge_append(old_len, self.len, dev);
+        Ok(())
+    }
+
+    /// [`PmError::Io`] at the current end of this storage's file.
+    fn file_error(&self, cause: impl Into<String>) -> PmError {
+        PmError::Io {
+            path: self
+                .file
+                .as_ref()
+                .map(|f| f.path.display().to_string())
+                .unwrap_or_default(),
+            offset: self.len as u64,
+            cause: cause.into(),
+        }
+    }
+
+    /// Forces written data to the OS file (file-backed only; a no-op on
+    /// the simulated layers). Charges one layer call. Fails if a fault
+    /// has tripped — data cut by a kill can never be made durable.
+    pub fn fsync(&mut self, dev: &PmDevice) -> Result<(), PmError> {
+        if self.file.is_none() {
+            return Ok(());
+        }
+        if let Err(kind) = dev.fault_before_sync() {
+            return Err(self.file_error(kind.describe()));
+        }
+        let fb = self.file.as_mut().expect("file-backed storage");
+        if let Err(e) = fb.file.sync_data() {
+            let cause = e.to_string();
+            return Err(self.file_error(cause));
+        }
+        let fb = self.file.as_mut().expect("file-backed storage");
+        fb.stats.fsyncs += 1;
+        dev.metrics().add_software_ns(dev.config().file_call_ns);
+        dev.metrics().add_calls(1);
+        Ok(())
+    }
+
+    /// Atomically renames the backing file (file-backed only); the open
+    /// handle keeps writing to the same inode, so appends continue to
+    /// land in the renamed file. This is the publish step of the
+    /// write-tmp-fsync-rename discipline durable code uses.
+    pub fn persist_as(&mut self, new_path: impl AsRef<Path>) -> Result<(), PmError> {
+        let new_path = new_path.as_ref();
+        let fb = match self.file.as_mut() {
+            Some(fb) => fb,
+            None => {
+                return Err(PmError::Io {
+                    path: new_path.display().to_string(),
+                    offset: 0,
+                    cause: "persist_as on a non-file-backed storage".into(),
+                })
+            }
+        };
+        fs::rename(&fb.path, new_path).map_err(|e| PmError::Io {
+            path: fb.path.display().to_string(),
+            offset: 0,
+            cause: e.to_string(),
+        })?;
+        fb.path = new_path.to_path_buf();
+        fb.ephemeral = false;
+        Ok(())
+    }
+
+    /// Host-side I/O counters (file-backed only).
+    pub fn file_stats(&self) -> Option<FileStats> {
+        self.file.as_ref().map(|f| f.stats)
+    }
+
+    /// Path of the backing file (file-backed only).
+    pub fn file_path(&self) -> Option<&Path> {
+        self.file.as_ref().map(|f| f.path.as_path())
     }
 
     fn append_blocked(&mut self, data: &[u8]) {
@@ -309,12 +600,17 @@ impl Storage {
     }
 
     /// Truncates to zero length. Dynamic arrays keep their capacity (as
-    /// C++ `vector::clear` does); blocked memory releases its blocks.
+    /// C++ `vector::clear` does); blocked memory releases its blocks;
+    /// file-backed storage truncates the OS file (best-effort).
     pub fn clear(&mut self) {
         self.blocks.clear();
         self.contiguous.clear();
         self.len = 0;
         self.written_granules = 0;
+        if let Some(fb) = self.file.as_mut() {
+            let _ = fb.file.set_len(0);
+            let _ = fb.file.seek(SeekFrom::Start(0));
+        }
     }
 }
 
@@ -453,6 +749,117 @@ mod tests {
         assert_eq!(s.len(), 0);
         s.append(&[0u8; 64], &d);
         assert_eq!(d.snapshot().cl_writes, 2); // both fills counted
+    }
+
+    #[test]
+    fn file_backed_roundtrips_and_counts_like_ramdisk() {
+        let d = dev();
+        let mut s = Storage::new(LayerKind::FileBacked, d.config());
+        s.append(&[0u8; 80], &d);
+        // One 512-byte record = 8 cachelines, same rounding as the RAM disk.
+        assert_eq!(d.snapshot().cl_writes, 8);
+        let mut buf = [0u8; 80];
+        s.read_at(0, &mut buf, &mut ReadCursor::new(), &d);
+        assert_eq!(buf, [0u8; 80]);
+    }
+
+    #[test]
+    fn file_backed_simulated_counts_match_host_io() {
+        let d = dev();
+        let mut s = Storage::new(LayerKind::FileBacked, d.config());
+        let data: Vec<u8> = (0..3000u32).map(|i| (i % 253) as u8).collect();
+        for chunk in data.chunks(100) {
+            s.append(chunk, &d);
+        }
+        s.fsync(&d).unwrap();
+        let stats = s.file_stats().unwrap();
+        assert_eq!(stats.bytes_written, 3000, "host bytes == logical bytes");
+        assert_eq!(stats.write_syscalls, 30);
+        assert_eq!(stats.fsyncs, 1);
+        // Simulated writes cover the same bytes at record granularity.
+        assert_eq!(d.snapshot().cl_writes, 3000u64.div_ceil(512) * 8);
+        // And the file on disk really holds the bytes.
+        let on_disk = fs::read(s.file_path().unwrap()).unwrap();
+        assert_eq!(on_disk, data);
+    }
+
+    #[test]
+    fn ephemeral_file_is_removed_on_drop() {
+        let d = dev();
+        let path = {
+            let s = Storage::new(LayerKind::FileBacked, d.config());
+            let p = s.file_path().unwrap().to_path_buf();
+            assert!(p.exists());
+            p
+        };
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn named_file_survives_drop_and_reopens() {
+        let d = dev();
+        let path = std::env::temp_dir().join(format!("wl-layer-test-{}.bin", std::process::id()));
+        {
+            let mut s = Storage::create_file(&path, d.config()).unwrap();
+            s.append(b"hello, durable world", &d);
+            s.fsync(&d).unwrap();
+        }
+        let mut s = Storage::open_file(&path, d.config()).unwrap();
+        assert_eq!(s.len(), 20);
+        let mut buf = [0u8; 20];
+        s.read_at(0, &mut buf, &mut ReadCursor::new(), &d);
+        assert_eq!(&buf, b"hello, durable world");
+        // Appends continue at the end.
+        s.append(b"!", &d);
+        s.fsync(&d).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello, durable world!");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn armed_kill_truncates_the_file_and_fails_later_io() {
+        let d = dev();
+        let mut s = Storage::new(LayerKind::FileBacked, d.config());
+        d.arm_faults(crate::fault::FaultPlan::kill_at(100, false, 0));
+        s.try_append(&[1u8; 64], &d).unwrap();
+        let err = s.try_append(&[2u8; 64], &d).unwrap_err();
+        assert!(matches!(err, PmError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        // The surviving prefix (64 full + 36 cut) is in the file.
+        assert_eq!(s.len(), 100);
+        assert_eq!(fs::read(s.file_path().unwrap()).unwrap().len(), 100);
+        // Everything after the kill fails, including fsync.
+        assert!(s.try_append(&[0u8; 1], &d).is_err());
+        assert!(s.fsync(&d).is_err());
+        d.disarm_faults();
+        assert!(s.try_append(&[0u8; 1], &d).is_ok());
+    }
+
+    #[test]
+    fn torn_tail_garbles_the_kept_prefix() {
+        let d = dev();
+        let mut s = Storage::new(LayerKind::FileBacked, d.config());
+        d.arm_faults(crate::fault::FaultPlan::kill_at(100, true, 0xAB));
+        assert!(s.try_append(&[0u8; 200], &d).is_err());
+        let on_disk = fs::read(s.file_path().unwrap()).unwrap();
+        assert_eq!(on_disk.len(), 100);
+        assert!(
+            on_disk.iter().any(|&b| b != 0),
+            "torn tail must differ from the written zeros"
+        );
+        d.disarm_faults();
+    }
+
+    #[test]
+    fn enospc_refuses_without_touching_the_file() {
+        let d = dev();
+        let mut s = Storage::new(LayerKind::FileBacked, d.config());
+        d.arm_faults(crate::fault::FaultPlan::enospc_at(10));
+        let err = s.try_append(&[0u8; 64], &d).unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(s.len(), 0);
+        assert_eq!(fs::read(s.file_path().unwrap()).unwrap().len(), 0);
+        d.disarm_faults();
     }
 
     #[test]

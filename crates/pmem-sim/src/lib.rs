@@ -39,6 +39,7 @@ pub mod config;
 pub mod device;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod layer;
 pub mod metrics;
 pub mod pages;
@@ -46,11 +47,12 @@ pub mod pool;
 pub mod span;
 
 pub use collection::{PCollection, RecordBuffer, RecordReader, Storable};
-pub use config::{cachelines, DeviceConfig, LatencyProfile, CACHELINE, DEFAULT_BLOCK};
+pub use config::{cachelines, DeviceConfig, LatencyProfile, CACHELINE, DEFAULT_BLOCK, FILE_RECORD};
 pub use device::{Pm, PmDevice};
 pub use energy::{EnergyModel, WearModel};
 pub use error::PmError;
-pub use layer::{LayerKind, ReadCursor, Storage};
+pub use fault::{FaultKind, FaultPlan, WriteVerdict};
+pub use layer::{FileStats, LayerKind, ReadCursor, Storage};
 pub use metrics::{thread_flow, thread_stats, IoStats, Metrics};
 pub use pages::{PageId, PageStore};
 pub use pool::{BufferPool, Reservation};
