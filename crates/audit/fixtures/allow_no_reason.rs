@@ -1,0 +1,4 @@
+//! Fixture: an allow without a reason is itself a violation.
+pub fn decode(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap() // audit:allow(panic-free)
+}

@@ -1,0 +1,5 @@
+//! Fixture: an allow comment with a reason suppresses the finding.
+pub fn decode(bytes: &[u8]) -> u8 {
+    // audit:allow(panic-free) fixture demonstrating suppression
+    *bytes.first().unwrap()
+}

@@ -1,0 +1,12 @@
+//! Fixture: shadow device-counter accounting outside pmem-sim.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Shadow {
+    pub cl_writes: AtomicU64,
+}
+
+impl Shadow {
+    pub fn bump(&self) {
+        self.cl_writes.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: raw atomic RMW inside the simulator, outside its accounting files.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static LOCAL: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    LOCAL.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,9 @@
+//! Fixture: panics in recovery code.
+pub fn decode(bytes: &[u8]) -> u64 {
+    let first = bytes.first().unwrap();
+    let arr: [u8; 8] = bytes[..8].try_into().expect("8 bytes");
+    if *first == 0 {
+        unreachable!("zero tag");
+    }
+    u64::from_le_bytes(arr)
+}

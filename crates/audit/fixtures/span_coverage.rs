@@ -1,0 +1,4 @@
+//! Fixture: an operator module that opens no profiling span.
+pub fn bogus_sort(input: &mut [u64]) {
+    input.sort_unstable();
+}

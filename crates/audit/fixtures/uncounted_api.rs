@@ -1,0 +1,6 @@
+//! Fixture: uncounted escape hatch on a measured path.
+use pmem_sim::PCollection;
+
+pub fn drain(col: &PCollection) -> Vec<Vec<u8>> {
+    col.to_vec_uncounted()
+}

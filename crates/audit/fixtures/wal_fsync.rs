@@ -1,0 +1,7 @@
+//! Fixture: append acknowledged without a following fsync.
+impl Wal {
+    pub fn push(&mut self, rec: &[u8]) -> Result<u64, StorageError> {
+        let lsn = self.storage.try_append(self.file, rec)?;
+        Ok(lsn)
+    }
+}

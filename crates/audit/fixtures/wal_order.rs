@@ -1,0 +1,8 @@
+//! Fixture: state applied before the WAL append.
+impl Database {
+    pub fn create_table(&self, t: Table) -> Result<(), DdlError> {
+        self.install_table(t.clone());
+        self.log(&Record::Create(t))?;
+        Ok(())
+    }
+}

@@ -1,0 +1,450 @@
+//! A minimal, dependency-free Rust tokenizer — just enough lexical
+//! fidelity for the audit rules.
+//!
+//! The scanner does not parse Rust; it produces a line-numbered stream
+//! of identifier and punctuation tokens with everything that could hide
+//! a false match stripped out: line and (nested) block comments, string
+//! literals (plain, byte, and raw with any number of `#`s), character
+//! literals, lifetimes, and numeric literals. Comments are not entirely
+//! discarded — `// audit:allow(<rule>) <reason>` escape comments are
+//! collected separately so the rule engine can honor them.
+//!
+//! A post-pass ([`strip_cfg_test`]) removes every item annotated
+//! `#[cfg(test)]` (or any `cfg` attribute mentioning `test` without a
+//! `not`), so the rules see only code that ships in release binaries.
+
+/// Token classification — the rules only distinguish words from
+/// punctuation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token text (one char for punctuation).
+    pub text: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Word or punctuation.
+    pub kind: TokKind,
+}
+
+/// A parsed `// audit:allow(<rule>) <reason>` escape comment. It
+/// suppresses diagnostics of `rule` on its own line and the line
+/// directly below it (so it can trail the flagged code or sit above it).
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// Rule id inside the parentheses.
+    pub rule: String,
+    /// Free-text justification after the closing parenthesis.
+    pub reason: String,
+}
+
+/// Output of [`lex`]: the token stream plus any allow directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Escape comments in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals simply end the
+/// stream (the compiler rejects such files anyway; the auditor only runs
+/// on code that builds).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(allow) = parse_allow(&text, line) {
+                out.allows.push(allow);
+            }
+            continue;
+        }
+        // Nested block comment.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+        if c == 'r' || c == 'b' {
+            if let Some(next) = try_string_prefix(&chars, i, &mut line) {
+                i = next;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            i = skip_string(&chars, i + 1, &mut line);
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            i = skip_char_or_lifetime(&chars, i, &mut line);
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                text: chars[start..i].iter().collect(),
+                line,
+                kind: TokKind::Ident,
+            });
+            continue;
+        }
+        // Numeric literal (not emitted; consumed so suffixes like
+        // `1u64` don't surface as identifiers).
+        if c.is_ascii_digit() {
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        out.toks.push(Tok {
+            text: c.to_string(),
+            line,
+            kind: TokKind::Punct,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Consumes a raw or byte string starting at `i` if one is there;
+/// returns the index past it, or `None` if `i` is an ordinary ident.
+fn try_string_prefix(chars: &[char], i: usize, line: &mut u32) -> Option<usize> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        match chars.get(j) {
+            Some('\'') => {
+                // Byte char literal b'x' — always a char, never a
+                // lifetime.
+                return Some(skip_char_literal(chars, j + 1, line));
+            }
+            Some('"') => return Some(skip_string(chars, j + 1, line)),
+            Some('r') => j += 1,
+            _ => return None,
+        }
+    } else {
+        j += 1; // past 'r'
+    }
+    // Here the prefix is `r` or `br`: count hashes, then require `"`.
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if chars[j] == '"' && chars[j + 1..].iter().take_while(|&&h| h == '#').count() >= hashes {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+/// Consumes a (possibly multi-line) string body starting just past the
+/// opening quote; returns the index past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a char-literal body starting just past the opening quote.
+fn skip_char_literal(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\'' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Distinguishes `'a'` (char) from `'a` (lifetime) at a `'`.
+fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut u32) -> usize {
+    match (chars.get(i + 1), chars.get(i + 2)) {
+        // Escaped char: '\n', '\'', '\u{..}' …
+        (Some('\\'), _) => skip_char_literal(chars, i + 1, line),
+        // Exactly one char between quotes: 'x'.
+        (Some(_), Some('\'')) => i + 3,
+        // Otherwise a lifetime: consume the quote and the ident.
+        _ => {
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            j
+        }
+    }
+}
+
+/// Parses `audit:allow(<rule>) <reason>` out of a line comment.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let at = comment.find("audit:allow(")?;
+    let rest = &comment[at + "audit:allow(".len()..];
+    let close = rest.find(')')?;
+    Some(Allow {
+        line,
+        rule: rest[..close].trim().to_string(),
+        reason: rest[close + 1..].trim().to_string(),
+    })
+}
+
+/// Removes every item guarded by a `cfg` attribute that mentions `test`
+/// (and does not mention `not`), so rules never fire on test-only code.
+/// The skipped item is the attribute's target: any stacked attributes
+/// after it, then one `mod`/`fn`/`use`/… terminated by a top-level `;`
+/// or a balanced `{…}` block.
+pub fn strip_cfg_test(toks: &[Tok]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+            let (end, is_test) = scan_attr(toks, i + 1);
+            if is_test {
+                i = skip_item(toks, end);
+                continue;
+            }
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Scans the bracketed attribute starting at its `[`; returns the index
+/// past the closing `]` and whether it is a test-only `cfg`.
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = open;
+    let (mut has_cfg, mut has_test, mut has_not) = (false, false, false);
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            "cfg" => has_cfg = true,
+            "test" => has_test = true,
+            "not" => has_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, has_cfg && has_test && !has_not)
+}
+
+/// Skips one item starting at `i` (stacked attributes included);
+/// returns the index past it.
+fn skip_item(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len() && toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
+        let (end, _) = scan_attr(toks, i + 1);
+        i = end;
+    }
+    let mut brace = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => brace += 1,
+            "}" => {
+                brace -= 1;
+                if brace == 0 {
+                    return i + 1;
+                }
+            }
+            ";" if brace == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_tokenize() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "unwrap() inside a string";
+            let r = r#"expect("x") inside a raw string"#;
+            let b = b"fetch_add";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(!ids.contains(&"fetch_add".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_lex_cleanly() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = 'x'; let n = '\\n'; c }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_string()));
+        // The lifetime name is consumed, not surfaced as an ident.
+        assert_eq!(ids.iter().filter(|s| s.as_str() == "a").count(), 0);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "a\n/* two\nlines */\nb";
+        let lexed = lex(src);
+        assert_eq!(lexed.toks[0].line, 1);
+        assert_eq!(lexed.toks[1].line, 4);
+    }
+
+    #[test]
+    fn allow_comments_are_collected() {
+        let src = "x(); // audit:allow(panic-free) FFI boundary, cannot unwind\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "panic-free");
+        assert_eq!(lexed.allows[0].reason, "FFI boundary, cannot unwind");
+        assert_eq!(lexed.allows[0].line, 1);
+    }
+
+    #[test]
+    fn cfg_test_items_are_stripped() {
+        let src = r#"
+            fn shipping() { ship(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { hidden(); }
+            }
+            fn also_shipping() { also(); }
+        "#;
+        let lexed = lex(src);
+        let kept: Vec<String> = strip_cfg_test(&lexed.toks)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert!(kept.contains(&"ship".to_string()));
+        assert!(kept.contains(&"also".to_string()));
+        assert!(!kept.contains(&"hidden".to_string()));
+    }
+
+    #[test]
+    fn cfg_not_test_items_survive() {
+        let src = "#[cfg(not(test))] fn shipping() { ship(); }";
+        let lexed = lex(src);
+        let kept: Vec<String> = strip_cfg_test(&lexed.toks)
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert!(kept.contains(&"ship".to_string()));
+    }
+
+    #[test]
+    fn stacked_attributes_on_test_mods_are_skipped_whole() {
+        let src = r#"
+            #[cfg(test)]
+            #[path = "x_tests.rs"]
+            mod tests;
+            fn live() { keep(); }
+        "#;
+        let lexed = lex(src);
+        let kept: Vec<String> = strip_cfg_test(&lexed.toks)
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert!(kept.contains(&"keep".to_string()));
+        assert!(!kept.contains(&"tests".to_string()));
+    }
+}

@@ -1,0 +1,28 @@
+//! CLI entry point: scan the workspace, print diagnostics, exit
+//! nonzero if any rule fired. Intended to run as a CI gate:
+//! `cargo run --release -q -p wl-audit`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
+    let Some(root) = wl_audit::find_workspace_root(&cwd) else {
+        eprintln!("wl-audit: no workspace root found above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+    let diags = wl_audit::scan_workspace(&root);
+    if diags.is_empty() {
+        println!("wl-audit: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!(
+        "wl-audit: {} violation{} (suppress a site with `// audit:allow(<rule>) <reason>`)",
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,159 @@
+//! Line-precise tests over the known-bad fixtures: each fixture trips
+//! exactly its rule at the expected line, and `// audit:allow`
+//! suppresses it (when it carries a reason).
+
+use wl_audit::{rules, scan_source, Diagnostic};
+
+/// Asserts `diags` is exactly the given `(line, rule)` set, in order.
+fn assert_diags(diags: &[Diagnostic], expect: &[(u32, &str)]) {
+    let got: Vec<(u32, &str)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+    assert_eq!(got, expect, "diagnostics: {diags:#?}");
+}
+
+#[test]
+fn counted_io_outside_sim_trips_at_the_fetch_add() {
+    let diags = scan_source(
+        "crates/runtime/src/exec.rs",
+        include_str!("../fixtures/counted_io.rs"),
+    );
+    assert_diags(&diags, &[(10, rules::COUNTED_IO)]);
+}
+
+#[test]
+fn counted_io_inside_sim_outside_accounting_files_trips() {
+    let diags = scan_source(
+        "crates/pmem-sim/src/layer.rs",
+        include_str!("../fixtures/counted_io_sim.rs"),
+    );
+    assert_diags(&diags, &[(7, rules::COUNTED_IO)]);
+}
+
+#[test]
+fn counted_io_is_silent_in_the_accounting_files() {
+    let diags = scan_source(
+        "crates/pmem-sim/src/metrics.rs",
+        include_str!("../fixtures/counted_io_sim.rs"),
+    );
+    assert_diags(&diags, &[]);
+}
+
+#[test]
+fn uncounted_api_trips_outside_the_whitelist() {
+    let diags = scan_source(
+        "crates/runtime/src/exec.rs",
+        include_str!("../fixtures/uncounted_api.rs"),
+    );
+    assert_diags(&diags, &[(5, rules::UNCOUNTED_API)]);
+}
+
+#[test]
+fn uncounted_api_is_silent_at_delivery_sites() {
+    let diags = scan_source(
+        "crates/planner/src/lower.rs",
+        include_str!("../fixtures/uncounted_api.rs"),
+    );
+    assert_diags(&diags, &[]);
+}
+
+#[test]
+fn wal_order_trips_on_state_applied_before_the_append() {
+    let diags = scan_source(
+        "crates/db/src/database.rs",
+        include_str!("../fixtures/wal_order.rs"),
+    );
+    assert_diags(&diags, &[(4, rules::WAL_ORDER)]);
+}
+
+#[test]
+fn wal_order_trips_on_append_without_fsync() {
+    let diags = scan_source(
+        "crates/db/src/wal.rs",
+        include_str!("../fixtures/wal_fsync.rs"),
+    );
+    assert_diags(&diags, &[(4, rules::WAL_ORDER)]);
+}
+
+#[test]
+fn panic_free_trips_each_site_in_a_zone_file() {
+    let diags = scan_source(
+        "crates/db/src/wal.rs",
+        include_str!("../fixtures/panic_free.rs"),
+    );
+    assert_diags(
+        &diags,
+        &[
+            (3, rules::PANIC_FREE),
+            (4, rules::PANIC_FREE),
+            (6, rules::PANIC_FREE),
+        ],
+    );
+}
+
+#[test]
+fn panic_free_is_silent_outside_the_zones() {
+    let diags = scan_source(
+        "crates/wisconsin/src/lib.rs",
+        include_str!("../fixtures/panic_free.rs"),
+    );
+    assert_diags(&diags, &[]);
+}
+
+#[test]
+fn span_coverage_trips_on_spanless_operator_modules() {
+    let diags = scan_source(
+        "crates/core/src/sort/bogus.rs",
+        include_str!("../fixtures/span_coverage.rs"),
+    );
+    assert_diags(&diags, &[(1, rules::SPAN_COVERAGE)]);
+}
+
+#[test]
+fn span_coverage_skips_dispatch_and_helper_files() {
+    let diags = scan_source(
+        "crates/core/src/sort/mod.rs",
+        include_str!("../fixtures/span_coverage.rs"),
+    );
+    assert_diags(&diags, &[]);
+}
+
+#[test]
+fn allow_with_reason_suppresses_the_finding() {
+    let diags = scan_source(
+        "crates/db/src/wal.rs",
+        include_str!("../fixtures/allow_suppressed.rs"),
+    );
+    assert_diags(&diags, &[]);
+}
+
+#[test]
+fn allow_without_reason_is_itself_flagged() {
+    let diags = scan_source(
+        "crates/db/src/wal.rs",
+        include_str!("../fixtures/allow_no_reason.rs"),
+    );
+    assert_diags(&diags, &[(3, rules::ALLOW_REASON), (3, rules::PANIC_FREE)]);
+}
+
+#[test]
+fn allow_for_the_wrong_rule_does_not_suppress() {
+    let src = "pub fn f(b: &[u8]) -> u8 {\n    // audit:allow(wal-order) wrong rule\n    *b.first().unwrap()\n}\n";
+    let diags = scan_source("crates/db/src/wal.rs", src);
+    assert_diags(&diags, &[(3, rules::PANIC_FREE)]);
+}
+
+#[test]
+fn the_shipped_workspace_is_clean() {
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = wl_audit::find_workspace_root(here).expect("workspace root");
+    let diags = wl_audit::scan_workspace(&root);
+    assert!(
+        diags.is_empty(),
+        "wl-audit found {} violation(s) in the shipped tree:\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -148,7 +148,7 @@ fn main() {
                  --all/--figure/--table/--ablation/--plan/--parallel/\
                  --parallel-smoke/--profile/--profile-smoke/--crash/\
                  --crash-smoke/--config"
-            )
+            );
         }
     }
 }

@@ -352,8 +352,8 @@ pub fn fig8(scale: &Scale) {
 /// Fig. 9: impact of write intensity on SegS and HybS, all four layers,
 /// at a fixed mid-sweep memory size.
 pub fn fig9(scale: &Scale) {
-    let mem = scale.mem_fractions[scale.mem_fractions.len() / 2];
     type Maker = fn(f64) -> SortAlgorithm;
+    let mem = scale.mem_fractions[scale.mem_fractions.len() / 2];
     let mut rows = Vec::new();
     let makers: [(&str, Maker); 2] = [
         ("HybS", |x| SortAlgorithm::HybS { x }),

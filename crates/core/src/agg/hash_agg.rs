@@ -21,6 +21,7 @@ pub fn hash_aggregate<R: Record>(
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<GroupAgg>, PmError> {
+    let _span = pmem_sim::span::span("alg hash-agg");
     let budget_groups = (ctx.pool().budget() / GroupAgg::SIZE).max(1);
     let mut groups: HashMap<u64, GroupAgg> = HashMap::new();
     for record in input.reader() {

@@ -95,7 +95,16 @@ impl Storable for GroupAgg {
     }
 
     fn read_from(buf: &[u8]) -> Self {
-        let f = |i: usize| u64::from_le_bytes(buf[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+        // Zero-padding copy instead of `try_into().expect(..)`: the agg
+        // operators are a panic-free zone, and `Storable` callers bound
+        // `buf` to exactly `SIZE` bytes.
+        let f = |i: usize| {
+            let mut w = [0u8; 8];
+            for (dst, src) in w.iter_mut().zip(buf.iter().skip(i * 8)) {
+                *dst = *src;
+            }
+            u64::from_le_bytes(w)
+        };
         Self {
             key: f(0),
             count: f(1),

@@ -37,6 +37,7 @@ pub fn sort_based_aggregate<R: Record>(
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<GroupAgg>, PmError> {
+    let _span = pmem_sim::span::span("alg sort-agg");
     if !(0.0..=1.0).contains(&x) {
         return Err(PmError::InvalidParameter {
             name: "x",

@@ -382,7 +382,7 @@ impl<O: PhysOperator + ?Sized> PhysOperator for Box<O> {
     }
 
     fn close(&mut self) {
-        (**self).close()
+        (**self).close();
     }
 }
 

@@ -249,6 +249,7 @@ pub fn grace_join_profiled<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> Result<(PCollection<Pair<L, R>>, GraceProfile), PmError> {
+    let _span = pmem_sim::span::span("alg grace");
     if !ctx.grace_applicable::<L>(left.len()) {
         return Err(PmError::InsufficientMemory {
             requirement: format!(

@@ -43,6 +43,7 @@ pub fn hash_join_profiled<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> (PCollection<Pair<L, R>>, IterJoinProfile) {
+    let _span = pmem_sim::span::span("alg hash-join");
     let k = ctx.grace_partitions::<L>(left.len());
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
     let mut profile = IterJoinProfile::default();

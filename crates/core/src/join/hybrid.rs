@@ -39,6 +39,7 @@ pub fn hybrid_join<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<Pair<L, R>>, PmError> {
+    let _span = pmem_sim::span::span("alg hybrid-join");
     for (name, v) in [("x", x), ("y", y)] {
         if !(0.0..=1.0).contains(&v) {
             return Err(PmError::InvalidParameter {

@@ -55,6 +55,7 @@ pub fn lazy_hash_join_profiled<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> (PCollection<Pair<L, R>>, IterJoinProfile) {
+    let _span = pmem_sim::span::span("alg lazy-join");
     let k = ctx.grace_partitions::<L>(left.len());
     let lambda = ctx.device().lambda();
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);

@@ -46,6 +46,7 @@ pub fn nested_loops_join_profiled<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> (PCollection<Pair<L, R>>, NljProfile) {
+    let _span = pmem_sim::span::span("alg nlj");
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
     let block = ctx.build_capacity::<L>();
     let blocks = left.len().div_ceil(block);

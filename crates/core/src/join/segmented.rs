@@ -29,6 +29,7 @@ pub fn segmented_grace_join<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<Pair<L, R>>, PmError> {
+    let _span = pmem_sim::span::span("alg segmented-grace");
     if !ctx.grace_applicable::<L>(left.len()) {
         return Err(PmError::InsufficientMemory {
             requirement: format!(

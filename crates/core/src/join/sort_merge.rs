@@ -37,6 +37,7 @@ pub fn sort_merge_join<L: Record, R: Record>(
     ctx: &JoinContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<Pair<L, R>>, PmError> {
+    let _span = pmem_sim::span::span("alg smj");
     let sort_ctx =
         SortContext::new(ctx.device(), ctx.kind(), ctx.pool()).with_threads(ctx.threads());
     let sorted_left = segment_sort(left, x, &sort_ctx, "smj-left")?;

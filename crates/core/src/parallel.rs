@@ -136,6 +136,7 @@ where
             }
             consume(i, out);
         }
+        pmem_sim::audit::flush_barrier();
         return;
     }
 
@@ -227,6 +228,9 @@ where
             }
         }
     });
+    // The join is the flush barrier of the race auditor: every worker
+    // write above is now ordered before whatever the next phase writes.
+    pmem_sim::audit::flush_barrier();
 }
 
 /// Drop guard armed around a task invocation: runs only when the task

@@ -8,6 +8,7 @@
 /// Sorts `v` in place with at most one write per element; returns the
 /// number of element writes performed (0 for an already-sorted slice).
 pub fn cycle_sort<T: Ord + Copy>(v: &mut [T]) -> usize {
+    let _span = pmem_sim::span::span("alg cycle-sort");
     let n = v.len();
     let mut writes = 0;
     for start in 0..n.saturating_sub(1) {

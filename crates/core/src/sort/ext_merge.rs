@@ -46,6 +46,7 @@ pub fn external_merge_sort_profiled<R: Record>(
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> (PCollection<R>, ExmsProfile) {
+    let _span = pmem_sim::span::span("alg exms");
     let capacity = ctx.capacity_records::<R>();
     let (mut runs, run_generation) = generate_runs_parallel_profiled(input, capacity, ctx);
     if runs.len() == 1 {
@@ -53,14 +54,15 @@ pub fn external_merge_sort_profiled<R: Record>(
         // directly avoids a spurious rewrite (its name stays "run-…",
         // which is cosmetic — cost fidelity matters more than the
         // label).
-        let out = runs.pop().expect("one run");
-        return (
-            out,
-            ExmsProfile {
-                run_generation,
-                merge_passes: Vec::new(),
-            },
-        );
+        if let Some(out) = runs.pop() {
+            return (
+                out,
+                ExmsProfile {
+                    run_generation,
+                    merge_passes: Vec::new(),
+                },
+            );
+        }
     }
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
     let merge = merge_runs_into_profiled(runs, ctx, &mut out);

@@ -39,6 +39,7 @@ pub fn hybrid_sort<R: Record>(
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<R>, PmError> {
+    let _span = pmem_sim::span::span("alg hybrid-sort");
     if !(0.0..=1.0).contains(&x) {
         return Err(PmError::InvalidParameter {
             name: "x",
@@ -70,11 +71,14 @@ pub fn hybrid_sort<R: Record>(
                 rs.push(e);
                 continue;
             }
-            let max = rs.peek().expect("rs at capacity");
-            if (e.key, e.seq) < (max.key, max.seq) {
-                let evicted = rs.pop().expect("rs non-empty");
-                rs.push(e);
-                e = evicted; // the displaced max flows into Rr
+            if rs
+                .peek()
+                .is_some_and(|max| (e.key, e.seq) < (max.key, max.seq))
+            {
+                if let Some(evicted) = rs.pop() {
+                    rs.push(e);
+                    e = evicted; // the displaced max flows into Rr
+                }
             }
         }
 
@@ -85,10 +89,7 @@ pub fn hybrid_sort<R: Record>(
                 Some(b) if (e.key, e.seq) < b => next.push(e),
                 _ => current.push(Reverse(e)),
             }
-        } else {
-            let Reverse(min) = current
-                .pop()
-                .expect("current run heap non-empty at capacity");
+        } else if let Some(Reverse(min)) = current.pop() {
             run.append(&min.record);
             last_out = Some((min.key, min.seq));
             if (e.key, e.seq) >= (min.key, min.seq) {
@@ -101,6 +102,11 @@ pub fn hybrid_sort<R: Record>(
                 current.extend(next.drain(..).map(Reverse));
                 last_out = None;
             }
+        } else {
+            // Unreachable by the region invariant (the run switch above
+            // refills `current` the moment it empties); degrade by
+            // seeding the next run rather than panicking mid-sort.
+            current.push(Reverse(e));
         }
     }
 

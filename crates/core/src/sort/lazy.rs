@@ -28,6 +28,7 @@ pub fn lazy_sort<R: Record>(
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> PCollection<R> {
+    let _span = pmem_sim::span::span("alg lazy-sort");
     let m = ctx.capacity_records::<R>();
     let lambda = ctx.device().lambda();
     let total = input.len();
@@ -65,8 +66,7 @@ pub fn lazy_sort<R: Record>(
             };
             if heap.len() < m {
                 heap.push(entry);
-            } else {
-                let max = *heap.peek().expect("heap at capacity");
+            } else if let Some(&max) = heap.peek() {
                 if (entry.key, entry.seq) < (max.key, max.seq) {
                     heap.pop();
                     heap.push(entry);

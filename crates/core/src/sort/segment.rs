@@ -28,6 +28,7 @@ pub fn segment_sort<R: Record>(
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> Result<PCollection<R>, PmError> {
+    let _span = pmem_sim::span::span("alg segment-sort");
     if !(0.0..=1.0).contains(&x) {
         return Err(PmError::InvalidParameter {
             name: "x",

@@ -30,6 +30,7 @@ pub fn selection_sort<R: Record>(
     ctx: &SortContext<'_>,
     output_name: &str,
 ) -> PCollection<R> {
+    let _span = pmem_sim::span::span("alg selection-sort");
     let mut out = PCollection::new(ctx.device(), ctx.kind(), output_name);
     selection_sort_into(input, ctx, &mut out);
     out
@@ -132,7 +133,7 @@ pub fn selection_sort_into<R: Record>(
     ctx: &SortContext<'_>,
     out: &mut PCollection<R>,
 ) {
-    selection_sort_range_into(input, 0..input.len(), ctx, out)
+    selection_sort_range_into(input, 0..input.len(), ctx, out);
 }
 
 /// Range variant of [`selection_sort_into`]: sorts only records

@@ -8,6 +8,7 @@
 /// complete disagreement, `0` independence. Returns `None` when either
 /// sample has fewer than two items or is entirely tied (τ undefined).
 pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
+    use std::cmp::Ordering::Equal;
     assert_eq!(a.len(), b.len(), "samples must be paired");
     let n = a.len();
     if n < 2 {
@@ -21,7 +22,6 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
         for j in (i + 1)..n {
             let da = a[i].partial_cmp(&a[j]).expect("finite values");
             let db = b[i].partial_cmp(&b[j]).expect("finite values");
-            use std::cmp::Ordering::Equal;
             match (da, db) {
                 (Equal, Equal) => {}
                 (Equal, _) => ties_a += 1,

@@ -89,10 +89,7 @@ fn main() {
     }
 
     for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
-        };
+        let Ok(line) = line else { break };
         if line.trim() == r"\q" {
             break;
         }

@@ -139,7 +139,10 @@ impl Database {
 
     /// A catalog snapshot (cheap: shared table handles).
     pub fn catalog(&self) -> Catalog {
-        self.catalog.read().expect("catalog lock").clone()
+        self.catalog
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// The engine-wide metrics registry streams fold their counters into.
@@ -170,7 +173,7 @@ impl Database {
         seed: u64,
     ) -> Result<u64, DdlError> {
         let records = Self::generate_wisconsin(rows, fanout, seed);
-        let mut catalog = self.catalog.write().expect("catalog lock");
+        let mut catalog = self.catalog.write().unwrap_or_else(|e| e.into_inner());
         if catalog.stats(name).is_some() {
             return Err(DdlError::Duplicate(name.to_string()));
         }
@@ -223,7 +226,7 @@ impl Database {
         records: impl IntoIterator<Item = WisconsinRecord>,
         key_domain: u64,
     ) -> Result<u64, DdlError> {
-        let mut catalog = self.catalog.write().expect("catalog lock");
+        let mut catalog = self.catalog.write().unwrap_or_else(|e| e.into_inner());
         if catalog.stats(name).is_some() {
             return Err(DdlError::Duplicate(name.to_string()));
         }
@@ -239,7 +242,7 @@ impl Database {
     /// attributes derived from the key). Returns the rows inserted.
     /// WAL-logged (keys, in order) on a durable database.
     pub fn insert_keys(&self, table: &str, keys: &[u64]) -> Result<u64, DdlError> {
-        let mut catalog = self.catalog.write().expect("catalog lock");
+        let mut catalog = self.catalog.write().unwrap_or_else(|e| e.into_inner());
         let data = match catalog.data(table) {
             Some(d) => Arc::clone(d),
             None => return Err(DdlError::Unknown(table.to_string())),
@@ -268,7 +271,7 @@ impl Database {
     /// over the table keep their shared handle. WAL-logged on a durable
     /// database (only when the table exists — failed drops log nothing).
     pub fn drop_table(&self, name: &str) -> Result<bool, DdlError> {
-        let mut catalog = self.catalog.write().expect("catalog lock");
+        let mut catalog = self.catalog.write().unwrap_or_else(|e| e.into_inner());
         if catalog.stats(name).is_none() {
             return Ok(false);
         }
@@ -285,7 +288,7 @@ impl Database {
         let Some(durable) = &self.durable else {
             return Ok(());
         };
-        let mut state = durable.lock().expect("durable lock");
+        let mut state = durable.lock().unwrap_or_else(|e| e.into_inner());
         let (_lsn, bytes) = state.wal.append(&record, &self.dev)?;
         self.metrics.note_wal_append(bytes);
         self.metrics.note_fsync();
@@ -309,8 +312,8 @@ impl Database {
             return Err(DdlError::NotDurable);
         };
         // Lock order everywhere: catalog before durable.
-        let catalog = self.catalog.read().expect("catalog lock");
-        let mut state = durable.lock().expect("durable lock");
+        let catalog = self.catalog.read().unwrap_or_else(|e| e.into_inner());
+        let mut state = durable.lock().unwrap_or_else(|e| e.into_inner());
         let data = Self::snapshot_catalog(&catalog, state.wal.last_lsn());
         let tables = data.tables.len() as u64;
         let rows = data.total_rows();
@@ -336,7 +339,7 @@ impl Database {
 
     /// Registered tables as `(name, rows)`, sorted by name.
     pub fn tables(&self) -> Vec<(String, u64)> {
-        let catalog = self.catalog.read().expect("catalog lock");
+        let catalog = self.catalog.read().unwrap_or_else(|e| e.into_inner());
         catalog
             .names()
             .into_iter()
@@ -462,7 +465,7 @@ impl DatabaseBuilder {
         let mut last_lsn = 0;
         if let Some(ckpt) = checkpoint {
             last_lsn = ckpt.last_lsn;
-            let mut catalog = db.catalog.write().expect("catalog lock");
+            let mut catalog = db.catalog.write().unwrap_or_else(|e| e.into_inner());
             for table in ckpt.tables {
                 db.install_table(&mut catalog, &table.name, table.records, table.key_domain);
             }
@@ -500,7 +503,7 @@ impl DatabaseBuilder {
         // Re-checkpoint: bounds future replay, scrubs any torn tail,
         // and leaves the directory clean for the next open.
         {
-            let catalog = db.catalog.read().expect("catalog lock");
+            let catalog = db.catalog.read().unwrap_or_else(|e| e.into_inner());
             let data = Database::snapshot_catalog(&catalog, last_lsn);
             report.tables = data.tables.len() as u64;
             report.rows = data.total_rows();
@@ -530,7 +533,7 @@ impl Database {
                 format!("replay conflict at LSN {lsn}: {what}"),
             )
         };
-        let mut catalog = self.catalog.write().expect("catalog lock");
+        let mut catalog = self.catalog.write().unwrap_or_else(|e| e.into_inner());
         match record {
             WalRecord::Create {
                 name,

@@ -24,7 +24,7 @@
 //! ```
 
 use crate::error::StorageError;
-use crate::wal::crc32;
+use crate::wal::{crc32, le_array};
 use pmem_sim::{Pm, Storable, Storage};
 use std::path::Path;
 use wisconsin::WisconsinRecord;
@@ -125,7 +125,7 @@ pub fn read_checkpoint(dir: &Path) -> Result<Option<CheckpointData>, StorageErro
         return Err(StorageError::at(display, 0, "bad checkpoint magic"));
     }
     let body = &bytes[..bytes.len() - 4];
-    let stored_crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4"));
+    let stored_crc = u32::from_le_bytes(le_array(&bytes[bytes.len() - 4..]));
     if crc32(body) != stored_crc {
         return Err(StorageError::at(
             display,
@@ -142,18 +142,15 @@ pub fn read_checkpoint(dir: &Path) -> Result<Option<CheckpointData>, StorageErro
         *pos += n;
         Ok(out)
     };
-    let last_lsn = u64::from_le_bytes(take(&mut pos, 8, "last_lsn")?.try_into().expect("8"));
-    let table_count =
-        u32::from_le_bytes(take(&mut pos, 4, "table count")?.try_into().expect("4")) as usize;
+    let last_lsn = u64::from_le_bytes(le_array(take(&mut pos, 8, "last_lsn")?));
+    let table_count = u32::from_le_bytes(le_array(take(&mut pos, 4, "table count")?)) as usize;
     let mut tables = Vec::with_capacity(table_count.min(1 << 16));
     for _ in 0..table_count {
-        let name_len =
-            u16::from_le_bytes(take(&mut pos, 2, "name length")?.try_into().expect("2")) as usize;
+        let name_len = u16::from_le_bytes(le_array(take(&mut pos, 2, "name length")?)) as usize;
         let name = String::from_utf8(take(&mut pos, name_len, "name")?.to_vec())
             .map_err(|_| truncated(pos, "non-UTF-8 table name"))?;
-        let key_domain =
-            u64::from_le_bytes(take(&mut pos, 8, "key domain")?.try_into().expect("8"));
-        let rows = u64::from_le_bytes(take(&mut pos, 8, "row count")?.try_into().expect("8"));
+        let key_domain = u64::from_le_bytes(le_array(take(&mut pos, 8, "key domain")?));
+        let rows = u64::from_le_bytes(le_array(take(&mut pos, 8, "row count")?));
         let data = take(&mut pos, rows as usize * WisconsinRecord::SIZE, "rows")?;
         let records = data
             .chunks_exact(WisconsinRecord::SIZE)
@@ -210,105 +207,5 @@ impl RecoveryReport {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use pmem_sim::PmDevice;
-    use std::path::PathBuf;
-
-    fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("wl-ckpt-{tag}-{}", std::process::id()));
-        std::fs::create_dir_all(&d).expect("tmpdir");
-        d
-    }
-
-    fn sample() -> CheckpointData {
-        CheckpointData {
-            last_lsn: 17,
-            tables: vec![
-                CheckpointTable {
-                    name: "a".into(),
-                    key_domain: 5,
-                    records: (0..5).map(WisconsinRecord::from_key).collect(),
-                },
-                CheckpointTable {
-                    name: "empty".into(),
-                    key_domain: 0,
-                    records: Vec::new(),
-                },
-            ],
-        }
-    }
-
-    #[test]
-    fn checkpoint_roundtrips() {
-        let dir = tmpdir("roundtrip");
-        let dev = PmDevice::paper_default();
-        let data = sample();
-        let bytes = write_checkpoint(&dir, &dev, &data).unwrap();
-        assert!(bytes > 0);
-        assert!(!dir.join(CHECKPOINT_TMP).exists(), "tmp was renamed away");
-        let loaded = read_checkpoint(&dir).unwrap().expect("present");
-        assert_eq!(loaded, data);
-        assert_eq!(loaded.total_rows(), 5);
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn missing_checkpoint_is_none() {
-        let dir = tmpdir("missing");
-        assert_eq!(read_checkpoint(&dir).unwrap(), None);
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn corrupt_checkpoint_is_a_typed_error() {
-        let dir = tmpdir("corrupt");
-        let dev = PmDevice::paper_default();
-        write_checkpoint(&dir, &dev, &sample()).unwrap();
-        let path = dir.join(CHECKPOINT_FILE);
-        let mut bytes = std::fs::read(&path).unwrap();
-        bytes[20] ^= 0xFF;
-        std::fs::write(&path, &bytes).unwrap();
-        let err = read_checkpoint(&dir).unwrap_err();
-        assert!(err.cause.contains("CRC"), "{err}");
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn truncated_checkpoint_is_a_typed_error() {
-        let dir = tmpdir("trunc");
-        let dev = PmDevice::paper_default();
-        write_checkpoint(&dir, &dev, &sample()).unwrap();
-        let path = dir.join(CHECKPOINT_FILE);
-        let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..10]).unwrap();
-        let err = read_checkpoint(&dir).unwrap_err();
-        assert!(err.cause.contains("truncated"), "{err}");
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn recovery_banner_is_deterministic() {
-        let fresh = RecoveryReport {
-            fresh: true,
-            ..Default::default()
-        };
-        assert_eq!(fresh.banner(), "durable: fresh database");
-        let recovered = RecoveryReport {
-            fresh: false,
-            tables: 2,
-            rows: 300,
-            replayed_records: 4,
-            dropped_wal_bytes: 0,
-        };
-        assert_eq!(
-            recovered.banner(),
-            "durable: recovered 2 tables (300 rows), replayed 4 wal records"
-        );
-        let torn = RecoveryReport {
-            dropped_wal_bytes: 33,
-            ..recovered
-        };
-        assert!(torn.banner().ends_with("dropped 33 torn tail bytes"));
-    }
-}
+#[path = "durable_tests.rs"]
+mod tests;

@@ -123,6 +123,19 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(bytes);
 }
 
+/// Copies `b` into a zero-padded `N`-byte array without any fallible
+/// conversion — the panic-free alternative to a fallible `try_into`
+/// for fixed-width little-endian reads. Callers bound `b` to exactly
+/// `N` bytes first (via [`Cursor::take`] or a checked slice); a shorter
+/// input zero-pads rather than panicking.
+pub(crate) fn le_array<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    for (dst, src) in a.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    a
+}
+
 /// Byte cursor over a record payload; every read is bounds-checked so
 /// malformed payloads surface as `Err`, never a panic.
 struct Cursor<'a> {
@@ -145,11 +158,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(le_array(self.take(8)?)))
     }
 
     fn str(&mut self) -> Result<String, String> {
-        let len = u16::from_le_bytes(self.take(2)?.try_into().expect("2")) as usize;
+        let len = u16::from_le_bytes(le_array(self.take(2)?)) as usize;
         String::from_utf8(self.take(len)?.to_vec()).map_err(|_| "non-UTF-8 identifier".to_string())
     }
 
@@ -203,7 +216,7 @@ impl WalRecord {
             bytes: payload,
             pos: 0,
         };
-        let tag = *cur.take(1)?.first().expect("1 byte");
+        let tag = cur.take(1)?[0];
         let rec = match tag {
             TAG_CREATE => WalRecord::Create {
                 name: cur.str()?,
@@ -213,7 +226,7 @@ impl WalRecord {
             },
             TAG_INSERT => {
                 let table = cur.str()?;
-                let n = u32::from_le_bytes(cur.take(4)?.try_into().expect("4")) as usize;
+                let n = u32::from_le_bytes(le_array(cur.take(4)?)) as usize;
                 let mut keys = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
                     keys.push(cur.u64()?);
@@ -277,7 +290,7 @@ pub fn read_wal(path: &Path) -> Result<WalReadout, StorageError> {
     if &bytes[..MAGIC.len()] != MAGIC {
         return Err(StorageError::at(display, 0, "bad WAL magic"));
     }
-    let base_lsn = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
+    let base_lsn = u64::from_le_bytes(le_array(&bytes[8..16]));
     let mut records = Vec::new();
     let mut off = HEADER_LEN;
     let mut dropped_tail_bytes = 0u64;
@@ -287,8 +300,8 @@ pub fn read_wal(path: &Path) -> Result<WalReadout, StorageError> {
             dropped_tail_bytes = rem as u64;
             break;
         }
-        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")) as usize;
-        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4"));
+        let len = u32::from_le_bytes(le_array(&bytes[off..off + 4])) as usize;
+        let crc = u32::from_le_bytes(le_array(&bytes[off + 4..off + 8]));
         if len > rem - FRAME_HEADER {
             // Incomplete payload: the append was cut mid-frame.
             dropped_tail_bytes = rem as u64;
@@ -388,156 +401,5 @@ impl Wal {
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use pmem_sim::PmDevice;
-
-    fn tmpdir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir().join(format!("wl-wal-{tag}-{}", std::process::id()));
-        std::fs::create_dir_all(&d).expect("tmpdir");
-        d
-    }
-
-    fn sample_records() -> Vec<WalRecord> {
-        vec![
-            WalRecord::Create {
-                name: "t".into(),
-                rows: 100,
-                fanout: 1,
-                seed: 42,
-            },
-            WalRecord::Insert {
-                table: "t".into(),
-                keys: vec![100, 101, 102],
-            },
-            WalRecord::Drop { name: "t".into() },
-        ]
-    }
-
-    #[test]
-    fn crc32_matches_known_vectors() {
-        // IEEE CRC-32 check value for "123456789".
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-    }
-
-    #[test]
-    fn records_roundtrip() {
-        for rec in sample_records() {
-            assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
-        }
-    }
-
-    #[test]
-    fn decode_rejects_malformed_payloads() {
-        assert!(WalRecord::decode(&[]).is_err(), "empty");
-        assert!(WalRecord::decode(&[99]).is_err(), "unknown tag");
-        let mut cut = sample_records()[0].encode();
-        cut.truncate(cut.len() - 3);
-        assert!(WalRecord::decode(&cut).is_err(), "truncated");
-        let mut trailing = sample_records()[2].encode();
-        trailing.push(0);
-        assert!(WalRecord::decode(&trailing).is_err(), "trailing bytes");
-    }
-
-    #[test]
-    fn log_roundtrips_through_the_file() {
-        let dir = tmpdir("roundtrip");
-        let dev = PmDevice::paper_default();
-        let mut wal = Wal::create(&dir, &dev, 5).unwrap();
-        for rec in sample_records() {
-            wal.append(&rec, &dev).unwrap();
-        }
-        assert_eq!(wal.last_lsn(), 8);
-        let readout = read_wal(&dir.join(WAL_FILE)).unwrap();
-        assert_eq!(readout.base_lsn, 5);
-        assert_eq!(readout.records, sample_records());
-        assert_eq!(readout.last_lsn(), 8);
-        assert_eq!(readout.dropped_tail_bytes, 0);
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn truncated_tail_is_dropped_not_fatal() {
-        let dir = tmpdir("truncated");
-        let dev = PmDevice::paper_default();
-        let mut wal = Wal::create(&dir, &dev, 0).unwrap();
-        for rec in sample_records() {
-            wal.append(&rec, &dev).unwrap();
-        }
-        let path = dir.join(WAL_FILE);
-        let full = std::fs::read(&path).unwrap();
-        // Cut mid-way into the final frame.
-        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
-        let readout = read_wal(&path).unwrap();
-        assert_eq!(readout.records.len(), 2, "last record dropped");
-        assert!(readout.dropped_tail_bytes > 0);
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn corrupt_crc_at_the_tail_is_dropped() {
-        let dir = tmpdir("tailcrc");
-        let dev = PmDevice::paper_default();
-        let mut wal = Wal::create(&dir, &dev, 0).unwrap();
-        for rec in sample_records() {
-            wal.append(&rec, &dev).unwrap();
-        }
-        let path = dir.join(WAL_FILE);
-        let mut bytes = std::fs::read(&path).unwrap();
-        let last = bytes.len() - 1;
-        bytes[last] ^= 0xFF; // garble the final payload byte
-        std::fs::write(&path, &bytes).unwrap();
-        let readout = read_wal(&path).unwrap();
-        assert_eq!(readout.records.len(), 2);
-        assert!(readout.dropped_tail_bytes > 0);
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn corrupt_crc_mid_log_is_a_typed_error() {
-        let dir = tmpdir("midcrc");
-        let dev = PmDevice::paper_default();
-        let mut wal = Wal::create(&dir, &dev, 0).unwrap();
-        for rec in sample_records() {
-            wal.append(&rec, &dev).unwrap();
-        }
-        let path = dir.join(WAL_FILE);
-        let mut bytes = std::fs::read(&path).unwrap();
-        bytes[HEADER_LEN + FRAME_HEADER] ^= 0xFF; // first record's payload
-        std::fs::write(&path, &bytes).unwrap();
-        let err = read_wal(&path).unwrap_err();
-        assert!(err.cause.contains("mid-log"), "{err}");
-        assert_eq!(err.offset, Some(HEADER_LEN as u64));
-        assert!(err.path.ends_with(WAL_FILE));
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn missing_log_reads_as_empty() {
-        let readout = read_wal(Path::new("/nonexistent/wal.log")).unwrap();
-        assert_eq!(readout.records.len(), 0);
-        assert_eq!(readout.base_lsn, 0);
-    }
-
-    #[test]
-    fn bad_magic_is_a_typed_error() {
-        let dir = tmpdir("magic");
-        let path = dir.join(WAL_FILE);
-        std::fs::write(&path, b"NOTAWAL!0000000000000000").unwrap();
-        let err = read_wal(&path).unwrap_err();
-        assert!(err.cause.contains("magic"), "{err}");
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn short_header_reads_as_empty_torn_creation() {
-        let dir = tmpdir("shorthdr");
-        let path = dir.join(WAL_FILE);
-        std::fs::write(&path, &MAGIC[..6]).unwrap();
-        let readout = read_wal(&path).unwrap();
-        assert!(readout.records.is_empty());
-        assert_eq!(readout.dropped_tail_bytes, 6);
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-}
+#[path = "wal_tests.rs"]
+mod tests;

@@ -1,0 +1,160 @@
+//! Unit tests for the WAL, split out of `wal.rs` so the shipping file
+//! stays literally panic-free (`wl-audit` skips `*_tests.rs`).
+
+use super::*;
+use pmem_sim::PmDevice;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("wl-wal-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("tmpdir");
+    d
+}
+
+fn sample_records() -> Vec<WalRecord> {
+    vec![
+        WalRecord::Create {
+            name: "t".into(),
+            rows: 100,
+            fanout: 1,
+            seed: 42,
+        },
+        WalRecord::Insert {
+            table: "t".into(),
+            keys: vec![100, 101, 102],
+        },
+        WalRecord::Drop { name: "t".into() },
+    ]
+}
+
+#[test]
+fn crc32_matches_known_vectors() {
+    // IEEE CRC-32 check value for "123456789".
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    assert_eq!(crc32(b""), 0);
+}
+
+#[test]
+fn le_array_zero_pads_short_input() {
+    assert_eq!(le_array::<4>(&[1, 2]), [1, 2, 0, 0]);
+    assert_eq!(le_array::<2>(&[7, 8]), [7, 8]);
+}
+
+#[test]
+fn records_roundtrip() {
+    for rec in sample_records() {
+        assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
+    }
+}
+
+#[test]
+fn decode_rejects_malformed_payloads() {
+    assert!(WalRecord::decode(&[]).is_err(), "empty");
+    assert!(WalRecord::decode(&[99]).is_err(), "unknown tag");
+    let mut cut = sample_records()[0].encode();
+    cut.truncate(cut.len() - 3);
+    assert!(WalRecord::decode(&cut).is_err(), "truncated");
+    let mut trailing = sample_records()[2].encode();
+    trailing.push(0);
+    assert!(WalRecord::decode(&trailing).is_err(), "trailing bytes");
+}
+
+#[test]
+fn log_roundtrips_through_the_file() {
+    let dir = tmpdir("roundtrip");
+    let dev = PmDevice::paper_default();
+    let mut wal = Wal::create(&dir, &dev, 5).unwrap();
+    for rec in sample_records() {
+        wal.append(&rec, &dev).unwrap();
+    }
+    assert_eq!(wal.last_lsn(), 8);
+    let readout = read_wal(&dir.join(WAL_FILE)).unwrap();
+    assert_eq!(readout.base_lsn, 5);
+    assert_eq!(readout.records, sample_records());
+    assert_eq!(readout.last_lsn(), 8);
+    assert_eq!(readout.dropped_tail_bytes, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_tail_is_dropped_not_fatal() {
+    let dir = tmpdir("truncated");
+    let dev = PmDevice::paper_default();
+    let mut wal = Wal::create(&dir, &dev, 0).unwrap();
+    for rec in sample_records() {
+        wal.append(&rec, &dev).unwrap();
+    }
+    let path = dir.join(WAL_FILE);
+    let full = std::fs::read(&path).unwrap();
+    // Cut mid-way into the final frame.
+    std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+    let readout = read_wal(&path).unwrap();
+    assert_eq!(readout.records.len(), 2, "last record dropped");
+    assert!(readout.dropped_tail_bytes > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_crc_at_the_tail_is_dropped() {
+    let dir = tmpdir("tailcrc");
+    let dev = PmDevice::paper_default();
+    let mut wal = Wal::create(&dir, &dev, 0).unwrap();
+    for rec in sample_records() {
+        wal.append(&rec, &dev).unwrap();
+    }
+    let path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF; // garble the final payload byte
+    std::fs::write(&path, &bytes).unwrap();
+    let readout = read_wal(&path).unwrap();
+    assert_eq!(readout.records.len(), 2);
+    assert!(readout.dropped_tail_bytes > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_crc_mid_log_is_a_typed_error() {
+    let dir = tmpdir("midcrc");
+    let dev = PmDevice::paper_default();
+    let mut wal = Wal::create(&dir, &dev, 0).unwrap();
+    for rec in sample_records() {
+        wal.append(&rec, &dev).unwrap();
+    }
+    let path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[HEADER_LEN + FRAME_HEADER] ^= 0xFF; // first record's payload
+    std::fs::write(&path, &bytes).unwrap();
+    let err = read_wal(&path).unwrap_err();
+    assert!(err.cause.contains("mid-log"), "{err}");
+    assert_eq!(err.offset, Some(HEADER_LEN as u64));
+    assert!(err.path.ends_with(WAL_FILE));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_log_reads_as_empty() {
+    let readout = read_wal(Path::new("/nonexistent/wal.log")).unwrap();
+    assert_eq!(readout.records.len(), 0);
+    assert_eq!(readout.base_lsn, 0);
+}
+
+#[test]
+fn bad_magic_is_a_typed_error() {
+    let dir = tmpdir("magic");
+    let path = dir.join(WAL_FILE);
+    std::fs::write(&path, b"NOTAWAL!0000000000000000").unwrap();
+    let err = read_wal(&path).unwrap_err();
+    assert!(err.cause.contains("magic"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn short_header_reads_as_empty_torn_creation() {
+    let dir = tmpdir("shorthdr");
+    let path = dir.join(WAL_FILE);
+    std::fs::write(&path, &MAGIC[..6]).unwrap();
+    let readout = read_wal(&path).unwrap();
+    assert!(readout.records.is_empty());
+    assert_eq!(readout.dropped_tail_bytes, 6);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -344,6 +344,16 @@ impl Planner {
         catalog: &Catalog,
         choices: &mut Vec<NodeChoice>,
     ) -> Result<PhysicalPlan, PlanError> {
+        // Per-subset memo of the best physical plan found so far. All
+        // relations join on the shared key, so every subset is connected
+        // and every split of it is a valid (cross-product-free) join.
+        struct Memo {
+            plan: PhysicalPlan,
+            units: f64,
+            choices: Vec<NodeChoice>,
+            slots: Vec<usize>,
+            expr: String,
+        }
         let mut leaves = Vec::new();
         collect_join_leaves(logical, &mut leaves);
         let n = leaves.len();
@@ -362,16 +372,6 @@ impl Planner {
             )));
         }
 
-        // Per-subset memo of the best physical plan found so far. All
-        // relations join on the shared key, so every subset is connected
-        // and every split of it is a valid (cross-product-free) join.
-        struct Memo {
-            plan: PhysicalPlan,
-            units: f64,
-            choices: Vec<NodeChoice>,
-            slots: Vec<usize>,
-            expr: String,
-        }
         let mut memo: HashMap<u32, Memo> = HashMap::new();
         for (i, leaf) in leaves.iter().enumerate() {
             let mut leaf_choices = Vec::new();

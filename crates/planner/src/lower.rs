@@ -197,7 +197,7 @@ impl OutputRows {
 #[derive(Debug)]
 enum WisSource {
     Shared(Arc<pmem_sim::PCollection<WisconsinRecord>>),
-    Owned(pmem_sim::PCollection<WisconsinRecord>),
+    Owned(Box<pmem_sim::PCollection<WisconsinRecord>>),
 }
 
 impl WisSource {
@@ -547,13 +547,13 @@ impl<'a> Lowerer<'a> {
         }
         let name = self.name("filtered");
         match child {
-            Stream::Wis(src) => Ok(Stream::Wis(WisSource::Owned(run(
+            Stream::Wis(src) => Ok(Stream::Wis(WisSource::Owned(Box::new(run(
                 src.as_col(),
                 predicate,
                 self.dev,
                 self.layer,
                 &name,
-            )?))),
+            )?)))),
             Stream::Pairs { col, swapped } => Ok(Stream::Pairs {
                 col: run(&col, predicate, self.dev, self.layer, &name)?,
                 swapped,
@@ -572,11 +572,11 @@ impl<'a> Lowerer<'a> {
         let ctx = SortContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("sorted");
         match child {
-            Stream::Wis(src) => Ok(Stream::Wis(WisSource::Owned(algo.run(
+            Stream::Wis(src) => Ok(Stream::Wis(WisSource::Owned(Box::new(algo.run(
                 src.as_col(),
                 &ctx,
                 &name,
-            )?))),
+            )?)))),
             Stream::Pairs { col, swapped } => Ok(Stream::Pairs {
                 col: algo.run(&col, &ctx, &name)?,
                 swapped,
@@ -678,7 +678,7 @@ impl<'a> Lowerer<'a> {
     fn eval_to_wis(&mut self, plan: &PhysicalPlan) -> Result<WisSource, ExecError> {
         match self.eval(plan)? {
             Stream::Wis(src) => Ok(src),
-            Stream::Chain { col, .. } => Ok(WisSource::Owned(col)),
+            Stream::Chain { col, .. } => Ok(WisSource::Owned(Box::new(col))),
             _ => Err(ExecError::Plan(PlanError::Unsupported(
                 "join inputs must produce base records".into(),
             ))),

@@ -62,6 +62,10 @@ pub struct PCollection<R: Storable> {
     storage: Storage,
     n_records: usize,
     scratch: Vec<u8>,
+    /// Write-range ledger of the access-discipline race auditor
+    /// ([`crate::audit`]); debug builds only.
+    #[cfg(debug_assertions)]
+    write_audit: crate::audit::WriteAudit,
     _marker: PhantomData<R>,
 }
 
@@ -75,6 +79,8 @@ impl<R: Storable> PCollection<R> {
             storage: Storage::new(kind, dev.config()),
             n_records: 0,
             scratch: vec![0u8; R::SIZE],
+            #[cfg(debug_assertions)]
+            write_audit: crate::audit::WriteAudit::default(),
             _marker: PhantomData,
         }
     }
@@ -134,6 +140,13 @@ impl<R: Storable> PCollection<R> {
         scratch.iter_mut().for_each(|b| *b = 0);
         self.scratch = scratch;
         self.n_records += 1;
+        #[cfg(debug_assertions)]
+        self.write_audit.note(
+            &self.name,
+            self.n_records - 1,
+            self.n_records,
+            crate::span::thread_id(),
+        );
     }
 
     /// Appends every record in `records`.
@@ -167,6 +180,15 @@ impl<R: Storable> PCollection<R> {
             self.storage.append(&buf.bytes, &self.dev);
         }
         self.n_records += buf.n_records;
+        // The flushed range belongs to the thread that *filled* the
+        // buffer (a worker), not the one landing it (the coordinator).
+        #[cfg(debug_assertions)]
+        self.write_audit.note(
+            &self.name,
+            self.n_records - buf.n_records,
+            self.n_records,
+            buf.owner.unwrap_or_else(crate::span::thread_id),
+        );
     }
 
     /// A fresh forward-only reader positioned at the first record. Each
@@ -277,6 +299,10 @@ impl<R: Storable> PCollection<R> {
 pub struct RecordBuffer<R: Storable> {
     bytes: Vec<u8>,
     n_records: usize,
+    /// Profiler id of the thread that first pushed into this buffer —
+    /// the range's owner when it lands ([`crate::audit`]); debug only.
+    #[cfg(debug_assertions)]
+    owner: Option<u64>,
     _marker: PhantomData<R>,
 }
 
@@ -292,12 +318,26 @@ impl<R: Storable> RecordBuffer<R> {
         Self {
             bytes: Vec::new(),
             n_records: 0,
+            #[cfg(debug_assertions)]
+            owner: None,
             _marker: PhantomData,
         }
     }
 
     /// Serializes one record onto the end of the buffer.
     pub fn push(&mut self, record: &R) {
+        #[cfg(debug_assertions)]
+        {
+            let me = crate::span::thread_id();
+            match self.owner {
+                None => self.owner = Some(me),
+                Some(owner) if owner != me => panic!(
+                    "race auditor: RecordBuffer filled by threads {owner} and {me}; \
+                     a staging buffer belongs to exactly one worker"
+                ),
+                Some(_) => {}
+            }
+        }
         let start = self.bytes.len();
         self.bytes.resize(start + R::SIZE, 0);
         record.write_to(&mut self.bytes[start..]);

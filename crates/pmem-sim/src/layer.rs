@@ -175,6 +175,7 @@ impl Storage {
             let path = std::env::temp_dir().join(format!(
                 "wl-scratch-{}-{}.bin",
                 std::process::id(),
+                // audit:allow(counted-io) process-unique scratch-file id, not a device counter
                 EPHEMERAL_FILE_ID.fetch_add(1, Ordering::Relaxed)
             ));
             return Self::create_file_at(&path, true, config)
@@ -466,15 +467,12 @@ impl Storage {
     /// write-tmp-fsync-rename discipline durable code uses.
     pub fn persist_as(&mut self, new_path: impl AsRef<Path>) -> Result<(), PmError> {
         let new_path = new_path.as_ref();
-        let fb = match self.file.as_mut() {
-            Some(fb) => fb,
-            None => {
-                return Err(PmError::Io {
-                    path: new_path.display().to_string(),
-                    offset: 0,
-                    cause: "persist_as on a non-file-backed storage".into(),
-                })
-            }
+        let Some(fb) = self.file.as_mut() else {
+            return Err(PmError::Io {
+                path: new_path.display().to_string(),
+                offset: 0,
+                cause: "persist_as on a non-file-backed storage".into(),
+            });
         };
         fs::rename(&fb.path, new_path).map_err(|e| PmError::Io {
             path: fb.path.display().to_string(),

@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod collection;
 pub mod config;
 pub mod device;

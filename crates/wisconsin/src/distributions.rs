@@ -25,7 +25,7 @@ impl Zipf {
             cdf.push(acc);
         }
         let total = acc;
-        for c in cdf.iter_mut() {
+        for c in &mut cdf {
             *c /= total;
         }
         Self { cdf }

@@ -40,7 +40,7 @@ impl Permutation {
         let mask = (1u64 << half_bits) - 1;
         let mut keys = [0u64; ROUNDS];
         let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        for k in keys.iter_mut() {
+        for k in &mut keys {
             s = mix(s);
             *k = s;
         }
