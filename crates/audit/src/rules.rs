@@ -4,6 +4,7 @@
 //! | rule id         | discipline                                                      |
 //! |-----------------|-----------------------------------------------------------------|
 //! | `counted-io`    | device counters mutate only in `pmem-sim`'s accounting files    |
+//! | `ledger-only`   | `Metrics::add_*` charges only inside the simulator; shard merges only in `metrics.rs` |
 //! | `uncounted-api` | `*_uncounted` escape hatches only at delivery/checkpoint sites  |
 //! | `wal-order`     | append → fsync → apply; no state mutation before the WAL append |
 //! | `panic-free`    | no `unwrap`/`expect`/`panic!`/`unreachable!` in recovery zones  |
@@ -17,6 +18,8 @@ use crate::lexer::{strip_cfg_test, Allow, Lexed, Tok, TokKind};
 
 /// Rule id: counted-I/O discipline.
 pub const COUNTED_IO: &str = "counted-io";
+/// Rule id: ledger-only hot-path accounting.
+pub const LEDGER_ONLY: &str = "ledger-only";
 /// Rule id: uncounted-API audit.
 pub const UNCOUNTED_API: &str = "uncounted-api";
 /// Rule id: WAL append→fsync→apply ordering.
@@ -56,6 +59,7 @@ pub fn check(rel: &str, lexed: &Lexed) -> Vec<Diagnostic> {
     let toks = strip_cfg_test(&lexed.toks);
     let mut diags = Vec::new();
     rule_counted_io(rel, &toks, &mut diags);
+    rule_ledger_only(rel, &toks, &mut diags);
     rule_uncounted_api(rel, &toks, &mut diags);
     rule_wal_order(rel, &toks, &mut diags);
     rule_panic_free(rel, &toks, &mut diags);
@@ -155,6 +159,51 @@ fn rule_counted_io(rel: &str, toks: &[Tok], diags: &mut Vec<Diagnostic>) {
                     ),
                 });
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ledger-only
+// ---------------------------------------------------------------------
+
+/// The counter-charging entry points of the sharded accounting spine.
+const LEDGER_ENTRY_POINTS: &[&str] = &["add_reads", "add_writes", "add_software_ns", "add_calls"];
+
+/// Ledger-only discipline (the sharded-accounting refactor's contract):
+/// `Metrics::add_*` is the charge API of the simulator's own persistence
+/// layers — callable only inside `crates/pmem-sim/src/` — and
+/// `merge_shard`, the bulk publication of a thread shard into the shared
+/// bank, belongs to `metrics.rs` alone. Everything outside the simulator
+/// observes counters through snapshots and thread ledgers; it never
+/// charges or publishes them directly.
+fn rule_ledger_only(rel: &str, toks: &[Tok], diags: &mut Vec<Diagnostic>) {
+    let in_sim = rel.contains("crates/pmem-sim/src/");
+    let in_metrics = in_sim && rel.ends_with("metrics.rs");
+    for i in 0..toks.len() {
+        let text = toks[i].text.as_str();
+        if !in_sim && LEDGER_ENTRY_POINTS.contains(&text) && is_method_call(toks, i, text) {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: toks[i].line,
+                rule: LEDGER_ONLY,
+                msg: format!(
+                    "`.{text}(` outside pmem-sim; only the simulator's persistence \
+                     layers charge the device — measured code observes counters \
+                     through snapshots and thread ledgers"
+                ),
+            });
+        }
+        if !in_metrics && text == "merge_shard" && is_call(toks, i, "merge_shard") {
+            diags.push(Diagnostic {
+                file: rel.to_string(),
+                line: toks[i].line,
+                rule: LEDGER_ONLY,
+                msg: "shard publication (`merge_shard`) is internal to pmem-sim's \
+                      metrics.rs; call pmem_sim::flush_thread_accounting() at a \
+                      flush point instead"
+                    .to_string(),
+            });
         }
     }
 }

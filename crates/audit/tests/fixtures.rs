@@ -38,6 +38,33 @@ fn counted_io_is_silent_in_the_accounting_files() {
 }
 
 #[test]
+fn ledger_only_trips_charges_and_merges_outside_the_simulator() {
+    let diags = scan_source(
+        "crates/runtime/src/exec.rs",
+        include_str!("../fixtures/ledger_only.rs"),
+    );
+    assert_diags(&diags, &[(5, rules::LEDGER_ONLY), (9, rules::LEDGER_ONLY)]);
+}
+
+#[test]
+fn ledger_only_allows_charges_inside_the_simulator_but_not_merges() {
+    let diags = scan_source(
+        "crates/pmem-sim/src/layer.rs",
+        include_str!("../fixtures/ledger_only.rs"),
+    );
+    assert_diags(&diags, &[(9, rules::LEDGER_ONLY)]);
+}
+
+#[test]
+fn ledger_only_is_silent_in_the_shard_merge_internals() {
+    let diags = scan_source(
+        "crates/pmem-sim/src/metrics.rs",
+        include_str!("../fixtures/ledger_only.rs"),
+    );
+    assert_diags(&diags, &[]);
+}
+
+#[test]
 fn uncounted_api_trips_outside_the_whitelist() {
     let diags = scan_source(
         "crates/runtime/src/exec.rs",

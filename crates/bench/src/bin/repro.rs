@@ -9,8 +9,9 @@
 //! repro --config          # print the simulator configuration (Table 2 stand-in)
 //! repro --breakdown       # per-collection write/read attribution for one SegS run
 //! repro --plan            # plan-level concordance sweep (planner over Fig. 12)
-//! repro --parallel        # speedup matrix; writes BENCH_parallel.json baseline
+//! repro --parallel        # speedup matrix; writes the BENCH_parallel.json summary
 //! repro --parallel-smoke  # CI-sized DoP 1 vs 4 matrix, counters must be identical
+//! repro --wall-gap-smoke  # GJ/HJ/ExMS wall-vs-critical-path gap (host-tolerant floor)
 //! repro --profile         # span-tree profile (DoP 1 vs 4); writes BENCH_profile.json
 //! repro --profile-smoke   # CI-sized structural check of the span profile
 //! repro --crash           # 120-seed kill/reopen/verify loop; writes BENCH_crash.json
@@ -136,6 +137,7 @@ fn main() {
             // identical across DoPs, so completing the run is the check.
             wl_bench::parallel_speedup_cells(&scale, &[1, 4], true);
         }
+        Some("--wall-gap-smoke") => wl_bench::wall_gap_smoke(&scale),
         Some("--profile") => wl_bench::profile_to_file(&scale),
         Some("--profile-smoke") => wl_bench::profile_smoke(&scale),
         Some("--crash") => wl_bench::crash_harness(),
@@ -146,8 +148,8 @@ fn main() {
             eprintln!(
                 "unknown flag {other}; see \
                  --all/--figure/--table/--ablation/--plan/--parallel/\
-                 --parallel-smoke/--profile/--profile-smoke/--crash/\
-                 --crash-smoke/--config"
+                 --parallel-smoke/--wall-gap-smoke/--profile/\
+                 --profile-smoke/--crash/--crash-smoke/--config"
             );
         }
     }

@@ -20,7 +20,7 @@ pub mod table;
 
 pub use crash::{crash_harness, crash_smoke};
 pub use measure::{run_join, run_sort, Measurement};
-pub use parallel::{parallel_speedup, parallel_speedup_cells};
+pub use parallel::{parallel_speedup, parallel_speedup_cells, summary_json, wall_gap_smoke};
 pub use plan::{plan_concordance, run_plan_concordance, PlanCell};
 pub use profile::{profile_runs, profile_smoke, profile_to_file, ProfiledRun};
 pub use scale::Scale;

@@ -16,9 +16,14 @@
 //! * whether the simulated cacheline counters match the serial run
 //!   exactly (they must — the worker pool is count-invariant).
 //!
-//! `repro --parallel` additionally writes the rows to
-//! `BENCH_parallel.json`, a machine-readable baseline future changes can
-//! diff their speedup trajectory against.
+//! `repro --parallel` additionally writes `BENCH_parallel.json`, a
+//! committed host-independent summary: per cell the ledger-derived
+//! critical-path speedup plus the wall/cp gap ratio — `null` when the
+//! recording host had fewer cores than the DoP, so the file diffs
+//! cleanly across machines. With sharded accounting (metrics shards +
+//! pool leases merging at barriers) the wall-clock is expected to track
+//! the critical path: the non-smoke run asserts the DoP-4 gap for
+//! GJ/HJ/ExMS on hosts with enough cores.
 
 use crate::Scale;
 use pmem_sim::{BufferPool, IoStats, LatencyProfile, LayerKind, PCollection, PmDevice};
@@ -290,7 +295,7 @@ pub fn parallel_speedup_cells(scale: &Scale, dops: &[usize], smoke: bool) -> Vec
         .iter()
         .map(|&d| time_hash(t, fanout, m_records, d))
         .collect();
-    let (_, hj_cp) = report(dops, &mut hj);
+    let (hj_wall, hj_cp) = report(dops, &mut hj);
     all.extend(hj);
 
     let mut nlj: Vec<Cell> = dops
@@ -318,7 +323,7 @@ pub fn parallel_speedup_cells(scale: &Scale, dops: &[usize], smoke: bool) -> Vec
         .iter()
         .map(|&d| time_sort(sort_n, (sort_n / 100).max(16) as usize, d))
         .collect();
-    let (_, exms_cp) = report(dops, &mut exms);
+    let (exms_wall, exms_cp) = report(dops, &mut exms);
     all.extend(exms);
 
     if smoke {
@@ -326,64 +331,175 @@ pub fn parallel_speedup_cells(scale: &Scale, dops: &[usize], smoke: bool) -> Vec
         return all;
     }
 
-    let target = 1.8;
-    if cores >= 4 {
-        println!(
-            "GJ wall-clock speedup at DoP 4: {gj_wall:.2}x \
-             (target >= {target}x) — {}",
-            if gj_wall >= target { "PASS" } else { "FAIL" }
-        );
-    } else {
-        println!(
-            "GJ wall-clock speedup at DoP 4: {gj_wall:.2}x — host has \
-             {cores} core(s), so wall-clock cannot exceed ~1x here"
-        );
-    }
+    // The acceptance bar: once accounting is sharded (no shared RMW per
+    // counted access), wall-clock catches the ledger-derived critical
+    // path — DoP-4 wall within ~25% of the cp speedup and >= 2x
+    // absolute. Host-gated: a box with fewer than 4 cores cannot scale
+    // wall-clock, so there the run reports cp only.
+    let wall_floor = 2.0;
+    let gap_floor = 0.75;
     let cp_target = 2.5;
-    for (name, cp) in [("GJ", gj_cp), ("HJ", hj_cp), ("ExMS", exms_cp)] {
+    for (name, wall, cp) in [
+        ("GJ", gj_wall, gj_cp),
+        ("HJ", hj_wall, hj_cp),
+        ("ExMS", exms_wall, exms_cp),
+    ] {
         println!(
             "{name} critical-path speedup at DoP 4 (per-worker ledgers, \
              host-independent): {cp:.2}x (target >= {cp_target}x) — {}",
             if cp >= cp_target { "PASS" } else { "FAIL" }
         );
+        if cores >= 4 {
+            let gap = wall / cp;
+            println!(
+                "{name} wall-clock speedup at DoP 4: {wall:.2}x, wall/cp \
+                 gap {gap:.2} (targets >= {wall_floor}x and >= {gap_floor}) — {}",
+                if wall >= wall_floor && gap >= gap_floor {
+                    "PASS"
+                } else {
+                    "FAIL"
+                }
+            );
+            assert!(
+                wall >= wall_floor && gap >= gap_floor,
+                "{name}: DoP-4 wall-clock speedup {wall:.2}x (wall/cp gap \
+                 {gap:.2}) below the acceptance bar (>= {wall_floor}x and \
+                 gap >= {gap_floor})"
+            );
+        } else {
+            println!(
+                "{name} wall-clock speedup at DoP 4: {wall:.2}x — host has \
+                 {cores} core(s), wall cannot scale here; gap assertion skipped"
+            );
+        }
     }
     all
 }
 
-/// Runs the speedup matrix and writes the machine-readable baseline to
-/// `BENCH_parallel.json` in the working directory.
+/// Runs the speedup matrix and writes the committed host-independent
+/// summary to `BENCH_parallel.json` in the working directory.
 pub fn parallel_speedup(scale: &Scale, dops: &[usize]) {
     let cells = parallel_speedup_cells(scale, dops, false);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let path = "BENCH_parallel.json";
-    match std::fs::write(path, baseline_json(&cells)) {
-        Ok(()) => println!("speedup baseline written to {path}"),
+    match std::fs::write(path, summary_json(&cells, cores)) {
+        Ok(()) => println!("speedup summary written to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
 
-/// Serializes the measured cells as a JSON baseline (hand-rolled; the
-/// offline environment has no serde).
-pub fn baseline_json(cells: &[Cell]) -> String {
-    let mut out = String::from("[\n");
+/// The wall-gap CI smoke: GJ, HJ, and ExMS at DoP 1 and 4 with inputs
+/// just big enough to amortize thread spawns. Counter identity is
+/// asserted unconditionally (inside `report`); the wall/cp gap gets a
+/// host-tolerant floor — half the full-run bar, evaluated only when the
+/// host actually has 4 cores — so the smoke passes on small CI boxes
+/// while still catching an accounting-contention regression on real
+/// ones.
+pub fn wall_gap_smoke(scale: &Scale) {
+    let t = scale.join_t.max(12_000);
+    let fanout = scale.join_fanout.max(4);
+    let sort_n = scale.sort_n.max(120_000);
+    let m_records = (t / 10).max(16) as usize;
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let dops = [1usize, 4];
+
+    println!("=== Wall-vs-critical-path gap smoke ===");
+    println!(
+        "joins: |T| = {t}, |V| = {}, M = {m_records} records; \
+         sort: {sort_n} records; host cores: {cores}",
+        t * fanout,
+    );
+    println!(
+        "{:<10} {:>4} {:>10} {:>9} {:>9} {:>12} {:>12}   counts",
+        "algorithm", "DoP", "wall ms", "wall spd", "crit spd", "cl reads", "cl writes"
+    );
+    let mut gj: Vec<Cell> = dops
+        .iter()
+        .map(|&d| time_grace(t, fanout, m_records, d))
+        .collect();
+    let (gj_wall, gj_cp) = report(&dops, &mut gj);
+    let mut hj: Vec<Cell> = dops
+        .iter()
+        .map(|&d| time_hash(t, fanout, m_records, d))
+        .collect();
+    let (hj_wall, hj_cp) = report(&dops, &mut hj);
+    let mut exms: Vec<Cell> = dops
+        .iter()
+        .map(|&d| time_sort(sort_n, (sort_n / 100).max(16) as usize, d))
+        .collect();
+    let (exms_wall, exms_cp) = report(&dops, &mut exms);
+
+    if cores < 4 {
+        println!(
+            "host has {cores} core(s): wall-clock cannot scale; counters \
+             checked, gap floor skipped"
+        );
+        return;
+    }
+    let wall_floor = 1.5;
+    let gap_floor = 0.5;
+    for (name, wall, cp) in [
+        ("GJ", gj_wall, gj_cp),
+        ("HJ", hj_wall, hj_cp),
+        ("ExMS", exms_wall, exms_cp),
+    ] {
+        let gap = wall / cp;
+        println!(
+            "{name}: wall {wall:.2}x, cp {cp:.2}x, wall/cp gap {gap:.2} \
+             (smoke floors >= {wall_floor}x and >= {gap_floor}) — {}",
+            if wall >= wall_floor && gap >= gap_floor {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+        assert!(
+            wall >= wall_floor && gap >= gap_floor,
+            "{name}: smoke wall-clock speedup {wall:.2}x (gap {gap:.2}) \
+             below the host-tolerant floor"
+        );
+    }
+    println!("wall-gap smoke PASS");
+}
+
+/// Serializes the measured cells as the committed host-independent
+/// summary (hand-rolled JSON; the offline environment has no serde).
+///
+/// `cp_speedup` comes from the per-worker ledgers, so it is identical on
+/// every machine; `wall_cp_gap` (wall speedup ÷ cp speedup) is only
+/// meaningful when the recording host could actually scale to the cell's
+/// DoP and is `null` otherwise — which keeps the committed file stable
+/// across hosts of any width.
+pub fn summary_json(cells: &[Cell], cores: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"wl-parallel-summary-v1\",\n");
+    out.push_str(&format!(
+        "  \"note\": \"cp_speedup is ledger-derived and host-independent; \
+         wall_cp_gap = wall_speedup / cp_speedup, null when the recording \
+         host had fewer cores than the dop (recorded on a {cores}-core host)\",\n"
+    ));
+    out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let cp = c
             .cp_speedup
             .map_or("null".to_string(), |s| format!("{s:.4}"));
+        let gap = match c.cp_speedup {
+            Some(cp) if cores >= c.dop && cp > 0.0 => {
+                format!("{:.4}", c.wall_speedup / cp)
+            }
+            _ => "null".to_string(),
+        };
         out.push_str(&format!(
-            "  {{\"algorithm\": \"{}\", \"dop\": {}, \"wall_ms\": {:.3}, \
-             \"wall_speedup\": {:.4}, \"cp_speedup\": {cp}, \
-             \"cl_reads\": {}, \"cl_writes\": {}}}{}\n",
+            "    {{\"algorithm\": \"{}\", \"dop\": {}, \"cp_speedup\": {cp}, \
+             \"wall_cp_gap\": {gap}, \"cl_reads\": {}, \"cl_writes\": {}}}{}\n",
             c.algorithm,
             c.dop,
-            c.wall_ms,
-            c.wall_speedup,
             c.stats.cl_reads,
             c.stats.cl_writes,
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
-    out.push(']');
-    out.push('\n');
+    out.push_str("  ]\n}\n");
     out
 }
 
@@ -419,19 +535,37 @@ mod tests {
     }
 
     #[test]
-    fn baseline_json_is_well_formed() {
-        let cells = vec![Cell {
-            algorithm: "GJ",
-            dop: 4,
-            wall_ms: 12.5,
-            wall_speedup: 3.2,
-            stats: IoStats::default(),
-            cp_speedup: Some(3.4),
-        }];
-        let json = baseline_json(&cells);
-        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
-        assert!(json.contains("\"algorithm\": \"GJ\""));
-        assert!(json.contains("\"cp_speedup\": 3.4000"));
+    fn summary_json_is_host_independent() {
+        let cells = vec![
+            Cell {
+                algorithm: "GJ",
+                dop: 1,
+                wall_ms: 40.0,
+                wall_speedup: 1.0,
+                stats: IoStats::default(),
+                cp_speedup: Some(1.0),
+            },
+            Cell {
+                algorithm: "GJ",
+                dop: 4,
+                wall_ms: 12.5,
+                wall_speedup: 3.2,
+                stats: IoStats::default(),
+                cp_speedup: Some(3.4),
+            },
+        ];
+        // On a wide host the DoP-4 gap is recorded…
+        let wide = summary_json(&cells, 8);
+        assert!(wide.contains("\"schema\": \"wl-parallel-summary-v1\""));
+        assert!(wide.contains("\"cp_speedup\": 3.4000"));
+        assert!(wide.contains("\"wall_cp_gap\": 0.9412"));
+        // …and on a narrow host it is null (cp stays), so the committed
+        // file never encodes the recording machine's width as numbers.
+        let narrow = summary_json(&cells, 1);
+        assert!(narrow.contains("\"cp_speedup\": 3.4000"));
+        assert!(narrow.contains("\"wall_cp_gap\": null"));
+        // DoP 1 always has a gap (any host has >= 1 core).
+        assert!(narrow.contains("\"wall_cp_gap\": 1.0000"));
     }
 
     #[test]

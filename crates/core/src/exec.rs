@@ -196,6 +196,10 @@ impl<'p, I: PhysOperator> PhysOperator for SortOp<'p, I> {
         self.output = Some(self.algo.run(&staged, &ctx, "sort-op-output")?);
         self.cursor = 0;
         self.read_cursor = ReadCursor::new();
+        // Operator span boundary = accounting flush point: device
+        // snapshots taken between operators observe everything this
+        // operator charged.
+        pmem_sim::flush_thread_accounting();
         Ok(())
     }
 
@@ -274,6 +278,7 @@ impl<'a, 'p, L: Record, R: Record> PhysOperator for JoinOp<'a, 'p, L, R> {
         );
         self.cursor = 0;
         self.read_cursor = ReadCursor::new();
+        pmem_sim::flush_thread_accounting();
         Ok(())
     }
 
@@ -349,6 +354,7 @@ impl<'p, I: PhysOperator, V: Fn(&I::Item) -> u64 + Sync> PhysOperator for AggOp<
             "agg-op-output",
         )?);
         self.cursor = 0;
+        pmem_sim::flush_thread_accounting();
         Ok(())
     }
 
@@ -408,6 +414,7 @@ pub fn stage<O: PhysOperator>(
         out.append(&r);
     }
     op.close();
+    pmem_sim::flush_thread_accounting();
     Ok(out)
 }
 

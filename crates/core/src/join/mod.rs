@@ -97,11 +97,14 @@ impl JoinAlgorithm {
     ) -> Result<PCollection<Pair<L, R>>, PmError> {
         // Hold the DRAM working set (the build table: the build side if
         // it fits, the remaining budget otherwise) for the blocking
-        // phase. Pure telemetry — capacity decisions read the budget,
-        // not the reservation ledger.
+        // phase; the refused full-size attempt is the memory-pressure
+        // event `exhausted` telemetry counts. Pure telemetry — capacity
+        // decisions read the budget, not the reservation ledger.
         let pool = ctx.pool();
+        let want = left.len() * L::SIZE;
         let _working_set = pool
-            .reserve((left.len() * L::SIZE).min(pool.available()))
+            .reserve(want)
+            .or_else(|_| pool.reserve(want.min(pool.available())))
             .ok();
         match self {
             JoinAlgorithm::NLJ => Ok(nested_loops_join(left, right, ctx, output_name)),

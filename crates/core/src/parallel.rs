@@ -7,8 +7,12 @@
 //! lets them fan out over `std::thread::scope` — no extra dependencies —
 //! while keeping the *simulated* cost model intact:
 //!
-//! * the device counters are atomic ([`pmem_sim::Metrics`]), so totals
-//!   are exact under any interleaving;
+//! * the device counters are sharded ([`pmem_sim::Metrics`] buffers
+//!   per-thread and bulk-merges at flush points), and this pool is where
+//!   the flush points live: each task publishes its shard before its
+//!   result ships, and the pool flushes again at the join barrier — so
+//!   totals are exact at every point the coordinator can observe them,
+//!   without a shared atomic RMW per counted access;
 //! * each task's own traffic is measured through the per-thread ledger
 //!   ([`pmem_sim::thread_stats`]), so per-partition cost deltas are
 //!   deterministic at any degree of parallelism; and
@@ -136,6 +140,7 @@ where
             }
             consume(i, out);
         }
+        pmem_sim::flush_thread_accounting();
         pmem_sim::audit::flush_barrier();
         return;
     }
@@ -181,6 +186,11 @@ where
                     thread: span::thread_id(),
                 };
                 std::mem::forget(release);
+                // Publish this task's pending accounting before the
+                // result ships: the channel send orders the merge before
+                // the coordinator consumes the task, so snapshots taken
+                // after consumption always cover it.
+                pmem_sim::flush_thread_accounting();
                 if tx.send((i, out)).is_err() {
                     break;
                 }
@@ -228,8 +238,11 @@ where
             }
         }
     });
-    // The join is the flush barrier of the race auditor: every worker
-    // write above is now ordered before whatever the next phase writes.
+    // Publish anything the consume callbacks buffered on the coordinator
+    // (output flushes land here), then mark the race-auditor barrier: the
+    // join ordered every worker write before whatever the next phase
+    // writes.
+    pmem_sim::flush_thread_accounting();
     pmem_sim::audit::flush_barrier();
 }
 
@@ -244,6 +257,12 @@ struct ReleaseOnPanic<'a> {
 
 impl Drop for ReleaseOnPanic<'_> {
     fn drop(&mut self) {
+        // Publish the failed task's partial accounting while still on the
+        // worker thread: the scope join happens-after this, so the
+        // coordinator observes the partial traffic exactly once (never
+        // lost to the unwind, never double-merged by the exit flush —
+        // flushing zeroes the shard).
+        pmem_sim::flush_thread_accounting();
         self.aborted.store(true, Ordering::Relaxed);
         let (lock, cvar) = self.progress;
         // Take the lock so no waiter can re-park between its flag check

@@ -82,11 +82,15 @@ impl SortAlgorithm {
     ) -> Result<PCollection<R>, PmError> {
         // Hold the DRAM working set for the blocking phase: the whole
         // input if it fits, the remaining budget otherwise (external
-        // algorithms run at capacity). Pure telemetry — capacity
-        // decisions read the budget, not the reservation ledger.
+        // algorithms run at capacity — the refused full-size attempt is
+        // the memory-pressure event `exhausted` telemetry counts). Pure
+        // telemetry — capacity decisions read the budget, not the
+        // reservation ledger.
         let pool = ctx.pool();
+        let want = input.len() * R::SIZE;
         let _working_set = pool
-            .reserve((input.len() * R::SIZE).min(pool.available()))
+            .reserve(want)
+            .or_else(|_| pool.reserve(want.min(pool.available())))
             .ok();
         match self {
             SortAlgorithm::ExMS => Ok(external_merge_sort(input, ctx, output_name)),

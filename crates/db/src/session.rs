@@ -597,6 +597,36 @@ mod tests {
     }
 
     #[test]
+    fn pool_exhaustion_is_counted_exactly_once_per_failed_attempt() {
+        let db = db();
+        let mut s = db.session();
+        // 100-record budget; sorting the 2000-row v cannot lease the
+        // full input, so each run makes exactly one refused attempt
+        // before falling back to the largest grantable reservation.
+        s.execute("SET memory = 100").expect("sets");
+        let mut stream = s.query("SELECT * FROM v ORDER BY key").expect("plans");
+        stream.drain().expect("runs");
+        let one = db.metrics_snapshot().pool_exhausted;
+        assert!(one >= 1, "the memory-constrained sort records a refusal");
+        // An identical second run adds exactly the same count: refusals
+        // are published eagerly at the failed attempt, not re-merged or
+        // dropped at a later flush.
+        let mut stream = s.query("SELECT * FROM v ORDER BY key").expect("plans");
+        stream.drain().expect("runs");
+        let two = db.metrics_snapshot().pool_exhausted;
+        assert_eq!(two, 2 * one, "exactly once per failed attempt");
+        // SHOW METRICS surfaces the same counter through SQL.
+        let Response::Metrics(shown) = s.execute("SHOW METRICS").expect("executes") else {
+            panic!("expected metrics");
+        };
+        assert_eq!(shown.pool_exhausted, two);
+        assert!(shown
+            .rows()
+            .iter()
+            .any(|(n, v)| *n == "pool_exhausted" && *v == two));
+    }
+
+    #[test]
     fn boolean_and_numeric_knobs_reject_mismatched_values() {
         let db = db();
         let mut s = db.session();

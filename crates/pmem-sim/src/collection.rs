@@ -130,9 +130,12 @@ impl<R: Storable> PCollection<R> {
         // scratch is sized in the constructor; split borrow via take.
         let mut scratch = std::mem::take(&mut self.scratch);
         if self.dev.metrics().breakdown_enabled() {
-            let before = self.dev.snapshot();
+            // Measure through the thread ledger, not a device snapshot:
+            // the ledger only sees this thread's charges (so parallel
+            // siblings can't pollute the attribution) and costs no flush.
+            let before = crate::metrics::thread_stats();
             self.storage.append(&scratch, &self.dev);
-            let delta = self.dev.snapshot().since(&before);
+            let delta = crate::metrics::thread_stats().since(&before);
             self.dev.metrics().attribute(&self.name, delta);
         } else {
             self.storage.append(&scratch, &self.dev);
@@ -172,13 +175,17 @@ impl<R: Storable> PCollection<R> {
             return;
         }
         if self.dev.metrics().breakdown_enabled() {
-            let before = self.dev.snapshot();
+            let before = crate::metrics::thread_stats();
             self.storage.append(&buf.bytes, &self.dev);
-            let delta = self.dev.snapshot().since(&before);
+            let delta = crate::metrics::thread_stats().since(&before);
             self.dev.metrics().attribute(&self.name, delta);
         } else {
             self.storage.append(&buf.bytes, &self.dev);
         }
+        // A bulk flush is an accounting boundary: publish this thread's
+        // pending shards so coordinator-side snapshots taken right after
+        // landing a batch observe it.
+        crate::flush_thread_accounting();
         self.n_records += buf.n_records;
         // The flushed range belongs to the thread that *filled* the
         // buffer (a worker), not the one landing it (the coordinator).
@@ -385,7 +392,7 @@ impl<'a, R: Storable> Iterator for RecordReader<'a, R> {
             return None;
         }
         let attributing = self.col.dev.metrics().breakdown_enabled();
-        let before = attributing.then(|| self.col.dev.snapshot());
+        let before = attributing.then(crate::metrics::thread_stats);
         self.col.storage.read_at(
             self.next_record * R::SIZE,
             &mut self.buf,
@@ -393,7 +400,7 @@ impl<'a, R: Storable> Iterator for RecordReader<'a, R> {
             &self.col.dev,
         );
         if let Some(before) = before {
-            let delta = self.col.dev.snapshot().since(&before);
+            let delta = crate::metrics::thread_stats().since(&before);
             self.col.dev.metrics().attribute(&self.col.name, delta);
         }
         self.next_record += 1;

@@ -458,6 +458,144 @@ fn planned_query_execution_is_dop_invariant() {
 }
 
 #[test]
+fn counters_are_bit_identical_across_dops_with_profiling_on_and_off() {
+    // The sharded hot-path accounting must publish exactly the serial
+    // totals no matter how tasks were divided across workers, and
+    // per-collection attribution (profiling) must neither perturb the
+    // counters nor itself vary by DoP.
+    let run = |algo: JoinAlgorithm, profiled: bool, threads: usize| {
+        let dev = PmDevice::paper_default();
+        if profiled {
+            dev.metrics().enable_breakdown();
+        }
+        let w = join_input(900, 6, 41);
+        let left = PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", w.left);
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", w.right);
+        let pool = BufferPool::new(70 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+        let before = dev.snapshot();
+        algo.run(&left, &right, &ctx, "out").expect("applicable");
+        // breakdown() is deterministically ordered (writes desc, name),
+        // so it is directly comparable across runs.
+        (dev.snapshot().since(&before), dev.metrics().breakdown())
+    };
+    for profiled in [false, true] {
+        for algo in [JoinAlgorithm::GJ, JoinAlgorithm::HJ] {
+            let (io1, attr1) = run(algo, profiled, 1);
+            assert_eq!(attr1.is_empty(), !profiled, "{}", algo.label());
+            for threads in [4, 8] {
+                let (io, attr) = run(algo, profiled, threads);
+                assert_eq!(
+                    io,
+                    io1,
+                    "{} (profiled={profiled}): traffic differs at DoP {threads}",
+                    algo.label()
+                );
+                assert_eq!(
+                    attr,
+                    attr1,
+                    "{} (profiled={profiled}): attribution differs at DoP {threads}",
+                    algo.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn skewed_one_key_counters_are_bit_identical_across_dops_while_profiling() {
+    // All-one-key skew funnels every row through one partition, so one
+    // worker's shard carries almost all of the traffic while its
+    // siblings stay near-idle — the stress case for merge-at-barrier
+    // bookkeeping. Attribution is on throughout.
+    let run = |algo: JoinAlgorithm, threads: usize| {
+        let dev = PmDevice::paper_default();
+        dev.metrics().enable_breakdown();
+        let one_key = |n: u64| (0..n).map(|i| WisconsinRecord::from_key(7).with_payload(i));
+        let left =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "T", one_key(90));
+        let right =
+            PCollection::from_records_uncounted(&dev, LayerKind::BlockedMemory, "V", one_key(110));
+        let pool = BufferPool::new(100 * 80);
+        let ctx = JoinContext::new(&dev, LayerKind::BlockedMemory, &pool).with_threads(threads);
+        let before = dev.snapshot();
+        algo.run(&left, &right, &ctx, "out").expect("applicable");
+        (dev.snapshot().since(&before), dev.metrics().breakdown())
+    };
+    for algo in [JoinAlgorithm::HJ, JoinAlgorithm::SMJ { x: 0.5 }] {
+        let (io1, attr1) = run(algo, 1);
+        assert!(!attr1.is_empty(), "{}", algo.label());
+        for threads in [4, 8] {
+            let (io, attr) = run(algo, threads);
+            assert_eq!(
+                io,
+                io1,
+                "{}: traffic differs at DoP {threads}",
+                algo.label()
+            );
+            assert_eq!(
+                attr,
+                attr1,
+                "{}: attribution differs at DoP {threads}",
+                algo.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_task_panic_publishes_partial_accounting_exactly_once() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use write_limited::parallel::for_each_ordered;
+
+    let dev = PmDevice::paper_default();
+    let coll = PCollection::from_records_uncounted(
+        &dev,
+        LayerKind::BlockedMemory,
+        "P",
+        (0..64).map(WisconsinRecord::from_key),
+    );
+    let scan = || coll.reader().map(|r| r.key()).sum::<u64>();
+
+    // The cost of one full counted scan, measured serially.
+    let before = dev.snapshot();
+    scan();
+    let one = dev.snapshot().since(&before);
+    assert!(one.cl_reads > 0, "the scan is counted");
+
+    // Two tasks across two workers; the second panics after charging a
+    // full scan. Workers pull task indices unconditionally, so both
+    // tasks always execute and the surviving total is deterministic:
+    // exactly two scans — the panicking task's partial ledger included
+    // (published by the worker's unwind), never lost or double-merged.
+    let before = dev.snapshot();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        for_each_ordered(
+            2,
+            2,
+            |i| {
+                scan();
+                if i == 1 {
+                    panic!("injected mid-task failure");
+                }
+                i
+            },
+            |_, _| {},
+        );
+    }));
+    assert!(caught.is_err(), "the worker panic propagates at the join");
+    let after = dev.snapshot().since(&before);
+    assert_eq!(
+        after,
+        one.plus(&one),
+        "partial ledger published exactly once"
+    );
+    // Re-reading the bank must not merge anything a second time.
+    assert_eq!(dev.snapshot().since(&before), after);
+}
+
+#[test]
 fn grace_profile_ledgers_reconcile_with_device_totals() {
     use write_limited::join::grace_join_profiled;
 
