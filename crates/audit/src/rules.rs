@@ -4,7 +4,7 @@
 //! | rule id         | discipline                                                      |
 //! |-----------------|-----------------------------------------------------------------|
 //! | `counted-io`    | device counters mutate only in `pmem-sim`'s accounting files    |
-//! | `ledger-only`   | `Metrics::add_*` charges only inside the simulator; shard merges only in `metrics.rs` |
+//! | `ledger-only`   | `Metrics::add_*` charges only in metrics.rs/layer.rs/pages.rs; shard merges only in `metrics.rs` |
 //! | `uncounted-api` | `*_uncounted` escape hatches only at delivery/checkpoint sites  |
 //! | `wal-order`     | append → fsync → apply; no state mutation before the WAL append |
 //! | `panic-free`    | no `unwrap`/`expect`/`panic!`/`unreachable!` in recovery zones  |
@@ -170,27 +170,37 @@ fn rule_counted_io(rel: &str, toks: &[Tok], diags: &mut Vec<Diagnostic>) {
 /// The counter-charging entry points of the sharded accounting spine.
 const LEDGER_ENTRY_POINTS: &[&str] = &["add_reads", "add_writes", "add_software_ns", "add_calls"];
 
+/// The simulator files that legitimately charge the device: the ledger
+/// itself and the two persistence layers that move cachelines. Anything
+/// else in pmem-sim (spans, devices, pools) observes, never charges.
+const LEDGER_CHARGE_FILES: &[&str] = &[
+    "crates/pmem-sim/src/metrics.rs",
+    "crates/pmem-sim/src/layer.rs",
+    "crates/pmem-sim/src/pages.rs",
+];
+
 /// Ledger-only discipline (the sharded-accounting refactor's contract):
-/// `Metrics::add_*` is the charge API of the simulator's own persistence
-/// layers — callable only inside `crates/pmem-sim/src/` — and
-/// `merge_shard`, the bulk publication of a thread shard into the shared
-/// bank, belongs to `metrics.rs` alone. Everything outside the simulator
-/// observes counters through snapshots and thread ledgers; it never
-/// charges or publishes them directly.
+/// `Metrics::add_*` is the charge API of the simulator's persistence
+/// layers — callable only from the files in [`LEDGER_CHARGE_FILES`] —
+/// and `merge_shard`, the bulk publication of a thread shard into the
+/// shared bank, belongs to `metrics.rs` alone. Everything else,
+/// including the rest of pmem-sim, observes counters through snapshots
+/// and thread ledgers; it never charges or publishes them directly.
 fn rule_ledger_only(rel: &str, toks: &[Tok], diags: &mut Vec<Diagnostic>) {
-    let in_sim = rel.contains("crates/pmem-sim/src/");
-    let in_metrics = in_sim && rel.ends_with("metrics.rs");
+    let in_charge_file = LEDGER_CHARGE_FILES.iter().any(|f| rel.ends_with(f));
+    let in_metrics = rel.contains("crates/pmem-sim/src/") && rel.ends_with("metrics.rs");
     for i in 0..toks.len() {
         let text = toks[i].text.as_str();
-        if !in_sim && LEDGER_ENTRY_POINTS.contains(&text) && is_method_call(toks, i, text) {
+        if !in_charge_file && LEDGER_ENTRY_POINTS.contains(&text) && is_method_call(toks, i, text) {
             diags.push(Diagnostic {
                 file: rel.to_string(),
                 line: toks[i].line,
                 rule: LEDGER_ONLY,
                 msg: format!(
-                    "`.{text}(` outside pmem-sim; only the simulator's persistence \
-                     layers charge the device — measured code observes counters \
-                     through snapshots and thread ledgers"
+                    "`.{text}(` outside the simulator's charge files; only \
+                     metrics.rs, layer.rs, and pages.rs charge the device — \
+                     measured code observes counters through snapshots and \
+                     thread ledgers"
                 ),
             });
         }

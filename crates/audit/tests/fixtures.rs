@@ -56,6 +56,26 @@ fn ledger_only_allows_charges_inside_the_simulator_but_not_merges() {
 }
 
 #[test]
+fn ledger_only_trips_charges_in_sim_files_outside_the_charge_list() {
+    // Simulator files that aren't metrics/layer/pages (spans, devices,
+    // pools) observe the ledger; a charge there is a violation too.
+    let diags = scan_source(
+        "crates/pmem-sim/src/span.rs",
+        include_str!("../fixtures/ledger_only.rs"),
+    );
+    assert_diags(&diags, &[(5, rules::LEDGER_ONLY), (9, rules::LEDGER_ONLY)]);
+}
+
+#[test]
+fn ledger_only_allows_charges_in_the_page_cache() {
+    let diags = scan_source(
+        "crates/pmem-sim/src/pages.rs",
+        include_str!("../fixtures/ledger_only.rs"),
+    );
+    assert_diags(&diags, &[(9, rules::LEDGER_ONLY)]);
+}
+
+#[test]
 fn ledger_only_is_silent_in_the_shard_merge_internals() {
     let diags = scan_source(
         "crates/pmem-sim/src/metrics.rs",

@@ -16,6 +16,8 @@
 //! repro --profile-smoke   # CI-sized structural check of the span profile
 //! repro --crash           # 120-seed kill/reopen/verify loop; writes BENCH_crash.json
 //! repro --crash-smoke     # CI-sized crash loop (12 seeds, no baseline file)
+//! repro --skew            # Zipf-star adaptive-vs-static sweep; writes BENCH_skew.json
+//! repro --skew-smoke      # CI-sized stars: guided <= static traffic, oracle rows
 //! repro --threads 4 ...   # degree of parallelism for every scenario (= WL_THREADS)
 //! WL_SCALE=quick repro --all
 //! ```
@@ -140,6 +142,8 @@ fn main() {
         Some("--wall-gap-smoke") => wl_bench::wall_gap_smoke(&scale),
         Some("--profile") => wl_bench::profile_to_file(&scale),
         Some("--profile-smoke") => wl_bench::profile_smoke(&scale),
+        Some("--skew") => wl_bench::skew_bench(&scale),
+        Some("--skew-smoke") => wl_bench::skew_smoke(&scale),
         Some("--crash") => wl_bench::crash_harness(),
         Some("--crash-smoke") => wl_bench::crash_smoke(),
         Some("--config") => print_config(),
@@ -149,7 +153,8 @@ fn main() {
                 "unknown flag {other}; see \
                  --all/--figure/--table/--ablation/--plan/--parallel/\
                  --parallel-smoke/--wall-gap-smoke/--profile/\
-                 --profile-smoke/--crash/--crash-smoke/--config"
+                 --profile-smoke/--crash/--crash-smoke/--skew/\
+                 --skew-smoke/--config"
             );
         }
     }

@@ -16,6 +16,7 @@ pub mod parallel;
 pub mod plan;
 pub mod profile;
 pub mod scale;
+pub mod skew;
 pub mod table;
 
 pub use crash::{crash_harness, crash_smoke};
@@ -24,3 +25,4 @@ pub use parallel::{parallel_speedup, parallel_speedup_cells, summary_json, wall_
 pub use plan::{plan_concordance, run_plan_concordance, PlanCell};
 pub use profile::{profile_runs, profile_smoke, profile_to_file, ProfiledRun};
 pub use scale::Scale;
+pub use skew::{run_skew_cells, skew_bench, skew_smoke, SkewCell};

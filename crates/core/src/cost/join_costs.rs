@@ -110,6 +110,17 @@ pub fn grace_io(t: f64, v: f64) -> (f64, f64) {
     (2.0 * (t + v), t + v)
 }
 
+/// Read/write split of the cardinality-guided join (library extension):
+/// the hot fractions `hot_t`/`hot_v` of the two inputs skip the Grace
+/// partition round-trip — they are scanned once and never written — so
+/// only the cold remainders pay the second read and the partition write.
+/// At `hot_t = hot_v = 0` this is exactly [`grace_io`].
+pub fn guided_io(t: f64, v: f64, hot_t: f64, hot_v: f64) -> (f64, f64) {
+    let cold_t = (1.0 - hot_t.clamp(0.0, 1.0)) * t;
+    let cold_v = (1.0 - hot_v.clamp(0.0, 1.0)) * v;
+    (t + v + cold_t + cold_v, cold_t + cold_v)
+}
+
 /// Read/write split of [`nlj_cost`]: reads only.
 pub fn nlj_io(t: f64, v: f64, m: f64) -> (f64, f64) {
     (t + (t / m).ceil().max(1.0) * v, 0.0)

@@ -81,6 +81,9 @@ pub fn predict_join_io(algo: &JoinAlgorithm, t: f64, v: f64, m: f64, lambda: f64
             let (rr, rw) = sort_costs::segment_io(v, m, lambda, *x);
             (lr + rr + t + v, lw + rw)
         }
+        // Without catalog statistics the hot fractions are unknown; the
+        // planner applies the skew discount via `join_costs::guided_io`.
+        JoinAlgorithm::CGJ => join_costs::guided_io(t, v, 0.0, 0.0),
     };
     IoPrediction { reads, writes }
 }
@@ -168,7 +171,9 @@ pub fn join_parallel_split(
     let total = estimate_join(algo, t, v, m, lambda);
     let k = (t / m).ceil().max(1.0);
     match algo {
-        JoinAlgorithm::GJ => ParallelSplit {
+        // CGJ's two scans and partition-pair joins overlap exactly like
+        // Grace's (the hot probes ride the scan morsels).
+        JoinAlgorithm::GJ | JoinAlgorithm::CGJ => ParallelSplit {
             // Phase 1 fans out over the input morsels, phase 2 over the
             // k partition pairs; the phases run in sequence, so the
             // smaller task count bounds the speedup.
@@ -343,6 +348,10 @@ pub fn estimate_join(algo: &JoinAlgorithm, t: f64, v: f64, m: f64, lambda: f64) 
             sort_costs::segment_cost(t, m, lambda, *x)
                 + sort_costs::segment_cost(v, m, lambda, *x)
                 + (t + v)
+        }
+        JoinAlgorithm::CGJ => {
+            let (reads, writes) = join_costs::guided_io(t, v, 0.0, 0.0);
+            reads + lambda * writes
         }
     }
 }

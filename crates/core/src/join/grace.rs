@@ -34,6 +34,14 @@ pub struct PartitionedInput<R: Record> {
 }
 
 impl<R: Record> PartitionedInput<R> {
+    /// Assembles a partitioned input from per-partition, per-morsel
+    /// sub-collections (`parts[p][m]`) — for operators that interleave
+    /// partitioning with other routing work (e.g. the guided join's
+    /// hot/cold split) but reuse the shared partition-pair join phase.
+    pub(crate) fn from_parts(parts: Vec<Vec<PCollection<R>>>) -> Self {
+        Self { parts }
+    }
+
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
         self.parts.len()

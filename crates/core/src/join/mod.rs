@@ -8,9 +8,14 @@
 //! | HybJ | [`hybrid_join`] | intensities `x`/`y` per input (Eq. 6) |
 //! | SegJ | [`segmented_grace_join`] | materialize `x` of `k` partitions (Eq. 9) |
 //! | LaJ | [`lazy_hash_join`] | dynamic, Eq. 11 materialization |
+//!
+//! [`guided_join`] (CGJ) is a library extension beyond the paper's
+//! line-up: catalog statistics steer hot keys around the partition
+//! round-trip entirely (see [`guided`]).
 
 pub mod common;
 pub mod grace;
+pub mod guided;
 pub mod hash;
 pub mod hybrid;
 pub mod lazy;
@@ -25,6 +30,7 @@ pub use grace::{
     grace_join, grace_join_profiled, join_partition, partition_input, partition_input_morsels,
     GraceProfile, PartitionedInput, PARTITION_MORSEL_RECORDS,
 };
+pub use guided::{guided_join, guided_join_with};
 pub use hash::{hash_join, hash_join_profiled};
 pub use hybrid::hybrid_join;
 pub use lazy::{lazy_hash_join, lazy_hash_join_profiled, lazy_materialization_iterations};
@@ -65,6 +71,11 @@ pub enum JoinAlgorithm {
         /// Write intensity passed to both segment sorts.
         x: f64,
     },
+    /// Cardinality-guided join (library extension): heavy-hitter keys
+    /// bypass the partition round-trip. The hot-key set comes from the
+    /// catalog statistics when the planner lowers the operator, or from
+    /// a bounded frequency pre-scan when run standalone.
+    CGJ,
 }
 
 impl JoinAlgorithm {
@@ -80,6 +91,7 @@ impl JoinAlgorithm {
             JoinAlgorithm::SegJ { frac } => format!("SegJ, {:.0}%", frac * 100.0),
             JoinAlgorithm::LaJ => "LaJ".into(),
             JoinAlgorithm::SMJ { x } => format!("SMJ, {:.0}%", x * 100.0),
+            JoinAlgorithm::CGJ => "CGJ".into(),
         }
     }
 
@@ -116,6 +128,7 @@ impl JoinAlgorithm {
             }
             JoinAlgorithm::LaJ => Ok(lazy_hash_join(left, right, ctx, output_name)),
             JoinAlgorithm::SMJ { x } => sort_merge_join(left, right, *x, ctx, output_name),
+            JoinAlgorithm::CGJ => guided_join(left, right, ctx, output_name),
         }
     }
 }
@@ -136,6 +149,7 @@ mod tests {
             JoinAlgorithm::SegJ { frac: 0.5 },
             JoinAlgorithm::LaJ,
             JoinAlgorithm::SMJ { x: 0.5 },
+            JoinAlgorithm::CGJ,
         ];
         for algo in algos {
             let dev = PmDevice::paper_default();

@@ -1,6 +1,444 @@
-//! Rank statistics: Kendall's τ, used by the paper's cost-model
-//! validation (Fig. 12) to measure the concordance between estimated and
-//! true performance rankings.
+//! Statistics: Kendall's τ for the cost-model validation (Fig. 12),
+//! plus the per-table statistics the planner's cardinality estimates
+//! run on — a seeded HLL-style distinct-count sketch, an equi-depth
+//! key histogram, and a heavy-hitter list that together replace the
+//! uniform-key assumption on skewed data.
+
+use std::collections::HashMap;
+
+/// Number of HLL registers in a [`DistinctSketch`]: 1024 registers give
+/// a relative standard error of `1.04/√1024 ≈ 3.2%`.
+const SKETCH_REGISTERS: usize = 1024;
+
+/// Number of buckets an [`EquiDepthHistogram`] aims for.
+const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Maximum number of heavy hitters [`TableStatistics`] tracks.
+const HEAVY_HITTERS: usize = 32;
+
+/// A key only counts as a heavy hitter when its frequency exceeds this
+/// multiple of the table's mean key frequency — uniform tables therefore
+/// carry an empty list and estimate exactly as before.
+const HEAVY_FACTOR: f64 = 2.0;
+
+/// Strong 64-bit mix (splitmix64 finalizer) used to hash keys into the
+/// sketch; `seed` decorrelates sketches built for different tables.
+fn mix64(key: u64, seed: u64) -> u64 {
+    let mut x = key ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Seeded HLL-style distinct-count sketch: each key hashes into one of
+/// [`SKETCH_REGISTERS`] registers, which retains the maximum
+/// leading-zero rank observed. O(1) insert, O(registers) estimate.
+#[derive(Clone, Debug)]
+pub struct DistinctSketch {
+    seed: u64,
+    registers: Vec<u8>,
+}
+
+impl DistinctSketch {
+    /// An empty sketch seeded for deterministic hashing.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            registers: vec![0; SKETCH_REGISTERS],
+        }
+    }
+
+    /// Observes one key occurrence (duplicates are absorbed).
+    pub fn insert(&mut self, key: u64) {
+        let h = mix64(key, self.seed);
+        // High 10 bits pick the register; the rank of the remainder's
+        // leading zeros is the observation.
+        let idx = (h >> (64 - 10)) as usize;
+        let rest = h << 10;
+        let rank = (rest.leading_zeros() as u8 + 1).min(54);
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct keys observed, with the standard
+    /// linear-counting correction for small cardinalities.
+    pub fn estimate(&self) -> f64 {
+        let m = SKETCH_REGISTERS as f64;
+        let alpha = 0.7213 / (1.0 + 1.079 / m);
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2.0f64.powi(-i32::from(r)))
+            .sum();
+        let raw = alpha * m * m / sum;
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+}
+
+/// One bucket of an [`EquiDepthHistogram`].
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    /// Largest key in the bucket (inclusive).
+    max_key: u64,
+    /// Number of rows in the bucket.
+    rows: u64,
+    /// Number of distinct keys in the bucket.
+    distinct: u64,
+}
+
+/// Equi-depth key histogram: ~[`HISTOGRAM_BUCKETS`] buckets of roughly
+/// equal row counts, each recording its key range, row count, and
+/// distinct count. Selectivity lookups interpolate within the
+/// straddling bucket.
+#[derive(Clone, Debug)]
+pub struct EquiDepthHistogram {
+    min_key: u64,
+    buckets: Vec<Bucket>,
+    rows: u64,
+}
+
+impl EquiDepthHistogram {
+    /// Builds the histogram from a sorted key slice. Returns `None` for
+    /// an empty input.
+    fn from_sorted(keys: &[u64]) -> Option<Self> {
+        let (&first, &last) = (keys.first()?, keys.last()?);
+        debug_assert!(first <= last, "keys must be sorted");
+        let depth = (keys.len() / HISTOGRAM_BUCKETS).max(1);
+        let mut buckets = Vec::new();
+        let (mut rows, mut distinct) = (0u64, 0u64);
+        let mut prev: Option<u64> = None;
+        for (i, &k) in keys.iter().enumerate() {
+            if prev != Some(k) {
+                // Equal keys never straddle a bucket boundary, so a
+                // point lookup of a frequent key stays exact.
+                if rows as usize >= depth {
+                    buckets.push(Bucket {
+                        max_key: prev.unwrap_or(k),
+                        rows,
+                        distinct,
+                    });
+                    rows = 0;
+                    distinct = 0;
+                }
+                distinct += 1;
+            }
+            rows += 1;
+            prev = Some(k);
+            if i + 1 == keys.len() {
+                buckets.push(Bucket {
+                    max_key: k,
+                    rows,
+                    distinct,
+                });
+            }
+        }
+        Some(Self {
+            min_key: first,
+            buckets,
+            rows: keys.len() as u64,
+        })
+    }
+
+    /// Estimated fraction of rows with `key < bound`.
+    pub fn fraction_below(&self, bound: u64) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        let mut covered = 0u64;
+        let mut lo = self.min_key;
+        for b in &self.buckets {
+            if b.max_key < bound {
+                covered += b.rows;
+            } else {
+                // Straddling bucket: interpolate over its key range.
+                let width = (b.max_key - lo + 1) as f64;
+                let part = bound.saturating_sub(lo) as f64 / width;
+                return ((covered as f64 + b.rows as f64 * part.clamp(0.0, 1.0))
+                    / self.rows as f64)
+                    .clamp(0.0, 1.0);
+            }
+            lo = b.max_key + 1;
+        }
+        1.0
+    }
+
+    /// Estimated number of distinct keys with `key < bound`.
+    pub fn distinct_below(&self, bound: u64) -> f64 {
+        let mut covered = 0.0;
+        let mut lo = self.min_key;
+        for b in &self.buckets {
+            if b.max_key < bound {
+                covered += b.distinct as f64;
+            } else {
+                let width = (b.max_key - lo + 1) as f64;
+                let part = bound.saturating_sub(lo) as f64 / width;
+                return covered + b.distinct as f64 * part.clamp(0.0, 1.0);
+            }
+            lo = b.max_key + 1;
+        }
+        covered
+    }
+
+    /// Total rows the histogram covers.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+/// Per-table statistics stored in the catalog at ingest: row count, a
+/// sketch-estimated distinct count, an equi-depth histogram, and the
+/// exact frequencies of the heavy-hitter keys (those `≥ 2×` the mean
+/// frequency). Built deterministically from the data and the seed, so
+/// the same seed always yields the same statistics.
+#[derive(Clone, Debug)]
+pub struct TableStatistics {
+    rows: f64,
+    distinct: f64,
+    min_key: u64,
+    max_key: u64,
+    histogram: Option<EquiDepthHistogram>,
+    /// `(key, estimated rows with that key)`, descending by frequency.
+    heavy: Vec<(u64, f64)>,
+    heavy_rows: f64,
+}
+
+impl TableStatistics {
+    /// Builds statistics from one pass over the table's keys (plus a
+    /// sort for the histogram). Deterministic in `keys` and `seed`.
+    pub fn build(keys: &[u64], seed: u64) -> Self {
+        let mut sketch = DistinctSketch::new(seed);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for &k in keys {
+            sketch.insert(k);
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        let histogram = EquiDepthHistogram::from_sorted(&sorted);
+        let rows = keys.len() as f64;
+        let distinct = if keys.is_empty() {
+            0.0
+        } else {
+            sketch.estimate().max(1.0)
+        };
+        let mean = if counts.is_empty() {
+            0.0
+        } else {
+            rows / counts.len() as f64
+        };
+        let mut heavy: Vec<(u64, f64)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c as f64 >= HEAVY_FACTOR * mean && c > 1)
+            .map(|(k, c)| (k, c as f64))
+            .collect();
+        heavy.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        heavy.truncate(HEAVY_HITTERS);
+        let heavy_rows = heavy.iter().map(|&(_, c)| c).sum();
+        Self {
+            rows,
+            distinct,
+            min_key: sorted.first().copied().unwrap_or(0),
+            max_key: sorted.last().copied().unwrap_or(0),
+            histogram,
+            heavy,
+            heavy_rows,
+        }
+    }
+
+    /// Statistics for a join intermediate observed at run time: the row
+    /// count is exact, the rest is estimated from the keys.
+    pub fn observed(keys: &[u64], seed: u64) -> Self {
+        Self::build(keys, seed)
+    }
+
+    /// Estimated row count.
+    pub fn rows(&self) -> f64 {
+        self.rows
+    }
+
+    /// Estimated distinct-key count.
+    pub fn distinct_keys(&self) -> f64 {
+        self.distinct
+    }
+
+    /// Heavy-hitter keys, most frequent first (empty on uniform data).
+    pub fn heavy_keys(&self) -> Vec<u64> {
+        self.heavy.iter().map(|&(k, _)| k).collect()
+    }
+
+    /// Fraction of rows covered by the heavy-hitter keys.
+    pub fn heavy_cover(&self) -> f64 {
+        if self.rows == 0.0 {
+            0.0
+        } else {
+            self.heavy_rows / self.rows
+        }
+    }
+
+    /// O(1)-style frequency lookup: exact for a heavy hitter, the mean
+    /// residual frequency otherwise.
+    pub fn frequency(&self, key: u64) -> f64 {
+        for &(k, c) in &self.heavy {
+            if k == key {
+                return c;
+            }
+        }
+        let resid_distinct = (self.distinct - self.heavy.len() as f64).max(1.0);
+        (self.rows - self.heavy_rows).max(0.0) / resid_distinct
+    }
+
+    /// Estimated fraction of rows with `key < bound`.
+    pub fn fraction_below(&self, bound: u64) -> f64 {
+        if self.rows == 0.0 {
+            return 0.0;
+        }
+        self.histogram.as_ref().map_or_else(
+            || uniform_fraction_below(self.min_key, self.max_key, bound),
+            |h| h.fraction_below(bound),
+        )
+    }
+
+    /// Estimated fraction of rows with `key >= bound`.
+    pub fn fraction_at_least(&self, bound: u64) -> f64 {
+        (1.0 - self.fraction_below(bound)).clamp(0.0, 1.0)
+    }
+
+    /// Estimated number of distinct keys with `key < bound`.
+    pub fn distinct_below(&self, bound: u64) -> f64 {
+        match &self.histogram {
+            Some(h) => h.distinct_below(bound).min(self.distinct.max(1.0)),
+            None => self.distinct * uniform_fraction_below(self.min_key, self.max_key, bound),
+        }
+    }
+
+    /// Conditions the statistics on `key < bound`.
+    #[must_use]
+    pub fn filtered_below(&self, bound: u64) -> Self {
+        let frac = self.fraction_below(bound);
+        let heavy: Vec<(u64, f64)> = self
+            .heavy
+            .iter()
+            .filter(|&&(k, _)| k < bound)
+            .copied()
+            .collect();
+        self.scaled(frac, self.distinct_below(bound), heavy, self.min_key, {
+            bound.saturating_sub(1).min(self.max_key)
+        })
+    }
+
+    /// Conditions the statistics on `key >= bound`.
+    #[must_use]
+    pub fn filtered_at_least(&self, bound: u64) -> Self {
+        let frac = self.fraction_at_least(bound);
+        let heavy: Vec<(u64, f64)> = self
+            .heavy
+            .iter()
+            .filter(|&&(k, _)| k >= bound)
+            .copied()
+            .collect();
+        let distinct = (self.distinct - self.distinct_below(bound)).max(0.0);
+        self.scaled(frac, distinct, heavy, bound.max(self.min_key), self.max_key)
+    }
+
+    /// Conditions the statistics on `key % modulus == residue`.
+    #[must_use]
+    pub fn filtered_mod(&self, modulus: u64, residue: u64) -> Self {
+        let m = modulus.max(1);
+        let heavy: Vec<(u64, f64)> = self
+            .heavy
+            .iter()
+            .filter(|&&(k, _)| k % m == residue)
+            .copied()
+            .collect();
+        self.scaled(
+            1.0 / m as f64,
+            self.distinct / m as f64,
+            heavy,
+            self.min_key,
+            self.max_key,
+        )
+    }
+
+    fn scaled(&self, frac: f64, distinct: f64, heavy: Vec<(u64, f64)>, lo: u64, hi: u64) -> Self {
+        let heavy_rows = heavy.iter().map(|&(_, c)| c).sum::<f64>();
+        let rows = (self.rows * frac).max(heavy_rows);
+        Self {
+            rows,
+            distinct: distinct
+                .max(heavy.len() as f64)
+                .max(if rows > 0.0 { 1.0 } else { 0.0 }),
+            min_key: lo,
+            max_key: hi,
+            histogram: None,
+            heavy,
+            heavy_rows,
+        }
+    }
+
+    /// Estimated output cardinality of an equi-join with `other`, plus
+    /// the statistics of the join's output keys: heavy hitters multiply
+    /// per key (`Σ f_l(k)·f_r(k)`), the residual masses join under the
+    /// classic uniform `r_l·r_r / max(d_l, d_r)` estimate.
+    pub fn join(&self, other: &Self) -> (f64, Self) {
+        let mut keys: Vec<u64> = self.heavy.iter().map(|&(k, _)| k).collect();
+        for &(k, _) in &other.heavy {
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        let mut out_heavy: Vec<(u64, f64)> = Vec::new();
+        let mut hot = 0.0;
+        for k in keys {
+            if k < self.min_key.max(other.min_key) || k > self.max_key.min(other.max_key) {
+                continue;
+            }
+            let f = self.frequency(k) * other.frequency(k);
+            if f > 0.0 {
+                hot += f;
+                out_heavy.push((k, f));
+            }
+        }
+        let rd_l = (self.distinct - self.heavy.len() as f64).max(0.0);
+        let rd_r = (other.distinct - other.heavy.len() as f64).max(0.0);
+        let rr_l = (self.rows - self.heavy_rows).max(0.0);
+        let rr_r = (other.rows - other.heavy_rows).max(0.0);
+        let cold = if rd_l > 0.0 && rd_r > 0.0 {
+            rr_l * rr_r / rd_l.max(rd_r)
+        } else {
+            0.0
+        };
+        let rows = hot + cold;
+        out_heavy.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out_heavy.truncate(HEAVY_HITTERS);
+        // Keys below twice the output's mean frequency are not heavy.
+        let out_distinct = self.distinct.min(other.distinct).max(1.0);
+        let mean = rows / out_distinct;
+        out_heavy.retain(|&(_, f)| f >= HEAVY_FACTOR * mean);
+        let heavy_rows = out_heavy.iter().map(|&(_, f)| f).sum();
+        let stats = Self {
+            rows,
+            distinct: out_distinct,
+            min_key: self.min_key.max(other.min_key),
+            max_key: self.max_key.min(other.max_key),
+            histogram: None,
+            heavy: out_heavy,
+            heavy_rows,
+        };
+        (rows, stats)
+    }
+}
+
+/// Uniform fallback for `fraction_below` when no histogram exists.
+fn uniform_fraction_below(min_key: u64, max_key: u64, bound: u64) -> f64 {
+    let width = (max_key - min_key + 1) as f64;
+    (bound.saturating_sub(min_key) as f64 / width).clamp(0.0, 1.0)
+}
 
 /// Kendall's τ-b between two paired samples (ties-adjusted).
 ///
@@ -97,5 +535,176 @@ mod tests {
     #[test]
     fn ranks_are_dense_with_ties() {
         assert_eq!(ranks(&[3.0, 1.0, 2.0, 1.0]), vec![2, 0, 1, 0]);
+    }
+}
+
+#[cfg(test)]
+mod table_statistics_tests {
+    use super::*;
+    use wisconsin::Record;
+
+    fn zipf_keys(n: u64, domain: u64, theta: f64, seed: u64) -> Vec<u64> {
+        wisconsin::join_input_skewed(domain, n, theta, seed)
+            .right
+            .iter()
+            .map(Record::key)
+            .collect()
+    }
+
+    #[test]
+    fn sketch_estimates_distinct_counts_within_error_bounds() {
+        // Property loop: across seeds and cardinalities, the HLL-style
+        // estimate stays within 10% of the truth (3σ of the 3.2% RSE).
+        for seed in 0..10u64 {
+            for &n in &[100u64, 1_000, 10_000, 50_000] {
+                let mut sketch = DistinctSketch::new(seed);
+                for k in 0..n {
+                    sketch.insert(k);
+                    sketch.insert(k); // duplicates must be absorbed
+                }
+                let est = sketch.estimate();
+                let err = (est - n as f64).abs() / n as f64;
+                assert!(err < 0.10, "seed {seed}, n {n}: estimate {est}, err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_selectivity_tracks_uniform_and_zipf_truth() {
+        for seed in 0..5u64 {
+            // Uniform: every key in [0, 2000) appears twice.
+            let uniform: Vec<u64> = (0..4000u64).map(|i| i % 2000).collect();
+            // Zipf(1.2) over a 500-key domain.
+            let zipf = zipf_keys(6000, 500, 1.2, seed);
+            for keys in [&uniform, &zipf] {
+                let stats = TableStatistics::build(keys, seed);
+                for &bound in &[1u64, 50, 250, 499, 1000, 1999] {
+                    let truth =
+                        keys.iter().filter(|&&k| k < bound).count() as f64 / keys.len() as f64;
+                    let est = stats.fraction_below(bound);
+                    assert!(
+                        (est - truth).abs() < 0.05,
+                        "seed {seed}, bound {bound}: est {est}, truth {truth}"
+                    );
+                    let est_ge = stats.fraction_at_least(bound);
+                    assert!((est_ge - (1.0 - truth)).abs() < 0.05);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_are_empty_on_uniform_and_exact_on_zipf() {
+        let uniform: Vec<u64> = (0..4000u64).map(|i| i % 1000).collect();
+        let stats = TableStatistics::build(&uniform, 7);
+        assert!(
+            stats.heavy_keys().is_empty(),
+            "uniform data must not report heavy hitters"
+        );
+
+        let zipf = zipf_keys(8000, 1000, 1.2, 3);
+        let stats = TableStatistics::build(&zipf, 7);
+        let heavy = stats.heavy_keys();
+        assert!(!heavy.is_empty(), "Zipf(1.2) has heavy hitters");
+        // The reported frequency of each heavy hitter is exact.
+        for &k in &heavy {
+            let truth = zipf.iter().filter(|&&x| x == k).count() as f64;
+            assert!((stats.frequency(k) - truth).abs() < 1e-9, "key {k}");
+        }
+        assert!(stats.heavy_cover() > 0.2, "cover {}", stats.heavy_cover());
+    }
+
+    #[test]
+    fn join_estimate_beats_uniform_by_an_order_of_magnitude_on_skew() {
+        // Two Zipf-skewed sides over one domain: the true join blows up
+        // on the hot keys; the uniform estimate misses that entirely.
+        for seed in 0..5u64 {
+            let a = zipf_keys(4000, 400, 1.2, seed);
+            let b = zipf_keys(4000, 400, 1.2, seed ^ 0xa5a5);
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for &k in &a {
+                *counts.entry(k).or_insert(0) += 1;
+            }
+            let truth: f64 = b
+                .iter()
+                .map(|k| counts.get(k).copied().unwrap_or(0) as f64)
+                .sum();
+            let sa = TableStatistics::build(&a, 1);
+            let sb = TableStatistics::build(&b, 2);
+            let (est, _) = sa.join(&sb);
+            let uniform = a.len() as f64 * b.len() as f64 / 400.0;
+            let err = (est / truth).max(truth / est);
+            let uniform_err = (uniform / truth).max(truth / uniform);
+            assert!(
+                err < 2.0,
+                "seed {seed}: est {est}, truth {truth} (err {err})"
+            );
+            assert!(
+                err < uniform_err,
+                "seed {seed}: stats err {err} vs uniform err {uniform_err}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_estimate_matches_uniform_formula_on_uniform_inputs() {
+        let a: Vec<u64> = (0..1000u64).collect();
+        let b: Vec<u64> = (0..5000u64).map(|i| i % 1000).collect();
+        let sa = TableStatistics::build(&a, 1);
+        let sb = TableStatistics::build(&b, 2);
+        let (est, out) = sa.join(&sb);
+        // Truth is 5000; both the stats and the uniform formula should
+        // land within sketch error of it.
+        assert!(
+            (est - 5000.0).abs() / 5000.0 < 0.15,
+            "join estimate {est} far from 5000"
+        );
+        assert!(out.heavy_keys().is_empty(), "uniform join output");
+    }
+
+    #[test]
+    fn filters_condition_the_statistics() {
+        let zipf = zipf_keys(8000, 1000, 1.0, 9);
+        let stats = TableStatistics::build(&zipf, 4);
+        let below = stats.filtered_below(100);
+        let truth = zipf.iter().filter(|&&k| k < 100).count() as f64;
+        assert!(
+            (below.rows() - truth).abs() / truth < 0.1,
+            "rows {} vs {truth}",
+            below.rows()
+        );
+        assert!(below.heavy_keys().iter().all(|&k| k < 100));
+        let modded = stats.filtered_mod(4, 1);
+        assert!(modded.heavy_keys().iter().all(|&k| k % 4 == 1));
+        assert!(modded.rows() <= stats.rows() / 2.0);
+        let ge = stats.filtered_at_least(500);
+        let truth_ge = zipf.iter().filter(|&&k| k >= 500).count() as f64;
+        assert!(
+            (ge.rows() - truth_ge).abs() <= 0.1 * zipf.len() as f64,
+            "rows {} vs {truth_ge}",
+            ge.rows()
+        );
+    }
+
+    #[test]
+    fn statistics_are_deterministic_in_data_and_seed() {
+        let zipf = zipf_keys(4000, 300, 1.1, 12);
+        let a = TableStatistics::build(&zipf, 5);
+        let b = TableStatistics::build(&zipf, 5);
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.distinct_keys(), b.distinct_keys());
+        assert_eq!(a.heavy_keys(), b.heavy_keys());
+        assert_eq!(a.fraction_below(57), b.fraction_below(57));
+    }
+
+    #[test]
+    fn empty_tables_are_harmless() {
+        let stats = TableStatistics::build(&[], 3);
+        assert_eq!(stats.rows(), 0.0);
+        assert_eq!(stats.distinct_keys(), 0.0);
+        assert!(stats.heavy_keys().is_empty());
+        assert_eq!(stats.fraction_below(10), 0.0);
+        let (rows, _) = stats.join(&stats);
+        assert_eq!(rows, 0.0);
     }
 }

@@ -22,6 +22,11 @@ use pmem_sim::{DeviceConfig, LatencyProfile, LayerKind, PCollection, Pm, PmDevic
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use wisconsin::WisconsinRecord;
+use write_limited::stats::TableStatistics;
+
+/// Sampling seed the ingest-side statistics sketches are built with —
+/// fixed so the same data always yields the same sketch.
+const STATS_SEED: u64 = 0x57A7;
 
 /// A DDL statement failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -88,6 +93,8 @@ pub struct Database {
     layer: LayerKind,
     catalog: RwLock<Catalog>,
     defaults: SessionConfig,
+    /// Build per-table key-frequency sketches at table install.
+    statistics: bool,
     metrics: Arc<EngineMetrics>,
     /// WAL + directory when opened with a path; `None` = in-memory only.
     durable: Option<Mutex<DurableState>>,
@@ -172,7 +179,22 @@ impl Database {
         fanout: u64,
         seed: u64,
     ) -> Result<u64, DdlError> {
-        let records = Self::generate_wisconsin(rows, fanout, seed);
+        self.create_wisconsin_skewed(name, rows, fanout, seed, 0.0)
+    }
+
+    /// [`Database::create_wisconsin`] with a Zipf exponent on the key
+    /// draw: `skew = 0` is the classic uniform generator; larger values
+    /// concentrate the `rows × fanout` records on the low keys of the
+    /// `rows`-wide domain. Deterministic in all four parameters.
+    pub fn create_wisconsin_skewed(
+        &self,
+        name: &str,
+        rows: u64,
+        fanout: u64,
+        seed: u64,
+        skew: f64,
+    ) -> Result<u64, DdlError> {
+        let records = Self::generate_wisconsin(rows, fanout, seed, skew);
         let mut catalog = self.catalog.write().unwrap_or_else(|e| e.into_inner());
         if catalog.stats(name).is_some() {
             return Err(DdlError::Duplicate(name.to_string()));
@@ -182,14 +204,17 @@ impl Database {
             rows,
             fanout,
             seed,
+            skew,
         })?;
         Ok(self.install_table(&mut catalog, name, records, rows))
     }
 
-    fn generate_wisconsin(rows: u64, fanout: u64, seed: u64) -> Vec<WisconsinRecord> {
+    fn generate_wisconsin(rows: u64, fanout: u64, seed: u64, skew: f64) -> Vec<WisconsinRecord> {
         assert!(fanout > 0, "degenerate Wisconsin fanout");
         if rows == 0 {
             Vec::new()
+        } else if skew > 0.0 {
+            wisconsin::skewed_input(rows * fanout, fanout, skew, seed)
         } else if fanout == 1 {
             wisconsin::sort_input(rows, wisconsin::KeyOrder::Random, seed)
         } else {
@@ -198,6 +223,10 @@ impl Database {
     }
 
     /// Builds the collection and puts it in the catalog; returns rows.
+    /// When the statistics knob is on (the default), a key-frequency
+    /// sketch is built from the loaded records and attached, so the
+    /// planner sees real per-table skew instead of the uniform
+    /// assumption.
     fn install_table(
         &self,
         catalog: &mut Catalog,
@@ -205,11 +234,19 @@ impl Database {
         records: Vec<WisconsinRecord>,
         key_domain: u64,
     ) -> u64 {
+        use wisconsin::Record as _;
+        let statistics = self.statistics.then(|| {
+            let keys: Vec<u64> = records.iter().map(WisconsinRecord::key).collect();
+            Arc::new(TableStatistics::build(&keys, STATS_SEED))
+        });
         let col = Arc::new(PCollection::from_records_uncounted(
             &self.dev, self.layer, name, records,
         ));
         let rows = col.len() as u64;
-        catalog.add_table(name, col, key_domain);
+        match statistics {
+            Some(s) => catalog.add_table_with_statistics(name, col, key_domain, s),
+            None => catalog.add_table(name, col, key_domain),
+        }
         rows
     }
 
@@ -357,6 +394,7 @@ pub struct DatabaseBuilder {
     config: DeviceConfig,
     layer: LayerKind,
     defaults: SessionConfig,
+    statistics: bool,
 }
 
 impl Default for DatabaseBuilder {
@@ -365,6 +403,7 @@ impl Default for DatabaseBuilder {
             config: DeviceConfig::paper_default(),
             layer: LayerKind::BlockedMemory,
             defaults: SessionConfig::default(),
+            statistics: true,
         }
     }
 }
@@ -423,6 +462,16 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Whether tables get key-frequency sketches at install (on by
+    /// default). Turning this off restores the uniform-assumption
+    /// planner: no skew-aware estimates, no cardinality-guided joins,
+    /// and mid-plan re-planning only fires on the coarse row counts.
+    #[must_use]
+    pub fn statistics(mut self, on: bool) -> Self {
+        self.statistics = on;
+        self
+    }
+
     /// Builds an in-memory database (no WAL, no checkpoints).
     pub fn build(self) -> Database {
         Database {
@@ -430,6 +479,7 @@ impl DatabaseBuilder {
             layer: self.layer,
             catalog: RwLock::new(Catalog::new()),
             defaults: self.defaults,
+            statistics: self.statistics,
             metrics: Arc::new(EngineMetrics::default()),
             durable: None,
             recovery: None,
@@ -540,11 +590,12 @@ impl Database {
                 rows,
                 fanout,
                 seed,
+                skew,
             } => {
                 if catalog.stats(name).is_some() {
                     return Err(conflict(format!("table \"{name}\" already exists")));
                 }
-                let records = Self::generate_wisconsin(*rows, *fanout, *seed);
+                let records = Self::generate_wisconsin(*rows, *fanout, *seed, *skew);
                 self.install_table(&mut catalog, name, records, *rows);
             }
             WalRecord::Insert { table, keys } => {
@@ -597,6 +648,59 @@ mod tests {
         );
         assert!(db.drop_table("t").unwrap());
         assert!(!db.drop_table("t").unwrap());
+    }
+
+    #[test]
+    fn skewed_creates_are_deterministic_and_attach_statistics() {
+        let contents = || {
+            let db = Database::builder().build();
+            db.create_wisconsin_skewed("z", 500, 4, 7, 1.2)
+                .expect("fresh");
+            db.catalog().data("z").unwrap().to_vec_uncounted()
+        };
+        let a = contents();
+        assert_eq!(a.len(), 2000);
+        assert_eq!(a, contents(), "same parameters, same table");
+        // Skew concentrates mass: the sketch must flag heavy keys the
+        // uniform generator never produces.
+        let db = Database::builder().build();
+        db.create_wisconsin_skewed("z", 500, 4, 7, 1.2)
+            .expect("fresh");
+        db.create_wisconsin("u", 500, 4, 7).expect("fresh");
+        let cat = db.catalog();
+        let z = cat.statistics("z").expect("sketch attached");
+        assert!(z.rows() == 2000.0 && !z.heavy_keys().is_empty());
+        assert!(cat
+            .statistics("u")
+            .expect("sketch attached")
+            .heavy_keys()
+            .is_empty());
+    }
+
+    #[test]
+    fn statistics_knob_disables_sketches() {
+        let db = Database::builder().statistics(false).build();
+        db.create_wisconsin_skewed("z", 100, 2, 3, 1.5)
+            .expect("fresh");
+        assert!(db.catalog().statistics("z").is_none());
+    }
+
+    #[test]
+    fn skewed_tables_survive_reopen() {
+        let dir = tmpdir("skew-reopen");
+        let before = {
+            let db = Database::open(&dir).unwrap();
+            db.create_wisconsin_skewed("z", 200, 2, 9, 1.1).unwrap();
+            db.catalog().data("z").unwrap().to_vec_uncounted()
+        };
+        let db = Database::reopen(&dir).unwrap();
+        assert_eq!(db.tables(), vec![("z".to_string(), 400)]);
+        assert_eq!(
+            db.catalog().data("z").unwrap().to_vec_uncounted(),
+            before,
+            "replay regenerates the skewed table exactly"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

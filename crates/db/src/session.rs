@@ -166,10 +166,11 @@ impl<'db> Session<'db> {
                 rows,
                 fanout,
                 seed,
+                skew,
             } => {
                 let loaded = self
                     .db
-                    .create_wisconsin(&table.name, rows, fanout, seed)
+                    .create_wisconsin_skewed(&table.name, rows, fanout, seed, skew)
                     .map_err(|e| ddl_error(e, table.span))?;
                 Ok(Response::Created {
                     table: table.name,
@@ -529,6 +530,45 @@ mod tests {
         let stats = stream.stats().expect("drained");
         assert_eq!(profile.io.cl_reads, stats.io.cl_reads);
         assert_eq!(profile.io.cl_writes, stats.io.cl_writes);
+    }
+
+    #[test]
+    fn misestimated_joins_replan_mid_run_and_the_report_says_so() {
+        use wisconsin::WisconsinRecord;
+        // Sketches off and key domains registered 20× too wide: the
+        // uniform estimate of every pairwise join is an order of
+        // magnitude under the truth, so the first materialization
+        // drifts and the remaining subtree is re-enumerated.
+        let db = Database::builder()
+            .dram_records(300)
+            .statistics(false)
+            .build();
+        let rep =
+            |n: u64, k: u64| (0..n).map(move |i| WisconsinRecord::from_key(i % k).with_payload(i));
+        db.register_table("s1", rep(400, 20), 400).expect("fresh");
+        db.register_table("s2", rep(400, 20), 400).expect("fresh");
+        db.register_table("u", (0..40).map(WisconsinRecord::from_key), 40)
+            .expect("fresh");
+        let mut s = db.session();
+        let Response::ExplainAnalyze(mut stream) = s
+            .execute(
+                "EXPLAIN ANALYZE SELECT * FROM s1 JOIN s2 ON s1.key = s2.key \
+                 JOIN u ON s2.key = u.key ORDER BY key",
+            )
+            .expect("executes")
+        else {
+            panic!("expected explain analyze");
+        };
+        stream.drain().expect("runs");
+        let adapted = stream.adapted().expect("drift must fire");
+        assert!(adapted.observed_rows as f64 > 2.0 * adapted.estimated_rows);
+        let report = stream.analyze();
+        assert!(report.contains("re-planned mid-run"), "{report}");
+        assert!(report.contains("(re-planned)"), "{report}");
+        assert!(!report.contains("~mid"), "{report}");
+        assert!(!report.contains("not measured"), "{report}");
+        let stats = stream.stats().expect("drained");
+        assert_eq!(stats.rows, 20 * 20 * 20, "oracle rows survive re-planning");
     }
 
     #[test]

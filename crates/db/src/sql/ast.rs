@@ -135,9 +135,9 @@ pub struct Select {
 }
 
 /// A parsed statement.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Statement {
-    /// `CREATE TABLE name AS WISCONSIN(rows[, fanout[, seed]])`
+    /// `CREATE TABLE name AS WISCONSIN(rows[, fanout[, seed[, skew]]])`
     Create {
         /// New table name.
         table: Ident,
@@ -147,6 +147,9 @@ pub enum Statement {
         fanout: u64,
         /// Permutation seed.
         seed: u64,
+        /// Zipf exponent of the key draw; `0` (the default) keeps the
+        /// classic uniform generator.
+        skew: f64,
     },
     /// `INSERT INTO name VALUES (k1)[, (k2)…]` — one key per tuple; the
     /// remaining nine Wisconsin attributes derive from the key.
@@ -218,9 +221,15 @@ impl Statement {
                 rows,
                 fanout,
                 seed,
+                skew,
             } => {
+                let skew = if *skew > 0.0 {
+                    format!(", skew={skew}")
+                } else {
+                    String::new()
+                };
                 format!(
-                    "create {} as wisconsin(rows={rows}, fanout={fanout}, seed={seed})\n",
+                    "create {} as wisconsin(rows={rows}, fanout={fanout}, seed={seed}{skew})\n",
                     table.name
                 )
             }

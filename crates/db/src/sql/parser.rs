@@ -135,6 +135,23 @@ impl Parser {
         }
     }
 
+    /// A non-negative decimal literal, e.g. `1.2` — lexed as
+    /// `Number Dot Number`, reassembled here. The fraction's leading
+    /// zeros survive via its span width (`.05` has a two-digit span).
+    fn expect_decimal(&mut self, what: &str) -> Result<(f64, Span), SqlError> {
+        let (whole, start) = self.expect_number(what)?;
+        let mut value = whole as f64;
+        let mut end = start;
+        if self.peek().kind == TokenKind::Dot {
+            self.advance();
+            let (frac, f_span) = self.expect_number("fraction digits after '.'")?;
+            let digits = f_span.end.saturating_sub(f_span.start).max(1);
+            value += frac as f64 / 10f64.powi(digits as i32);
+            end = f_span;
+        }
+        Ok((value, start.to(end)))
+    }
+
     /// The right-hand side of `SET`: an integer, or `on`/`off` for
     /// boolean knobs.
     fn set_value(&mut self) -> Result<(SetValue, Span), SqlError> {
@@ -260,6 +277,7 @@ impl Parser {
         let (rows, _) = self.expect_number("a row count")?;
         let mut fanout = 1;
         let mut seed = 42;
+        let mut skew = 0.0;
         if self.peek().kind == TokenKind::Comma {
             self.advance();
             let (f, f_span) = self.expect_number("a fanout")?;
@@ -270,6 +288,14 @@ impl Parser {
             if self.peek().kind == TokenKind::Comma {
                 self.advance();
                 seed = self.expect_number("a seed")?.0;
+                if self.peek().kind == TokenKind::Comma {
+                    self.advance();
+                    let (s, s_span) = self.expect_decimal("a skew exponent")?;
+                    if !(0.0..=4.0).contains(&s) {
+                        return Err(SqlError::new("skew must be between 0 and 4", s_span));
+                    }
+                    skew = s;
+                }
             }
         }
         self.expect(&TokenKind::RParen, "')'")?;
@@ -278,6 +304,7 @@ impl Parser {
             rows,
             fanout,
             seed,
+            skew,
         })
     }
 
@@ -452,6 +479,42 @@ mod tests {
             stmt.describe(),
             "create v as wisconsin(rows=1000, fanout=4, seed=7)\n"
         );
+    }
+
+    #[test]
+    fn golden_create_with_skew() {
+        let stmt = parse("CREATE TABLE z AS WISCONSIN(1000, 4, 7, 1.2);").expect("parses");
+        assert_eq!(
+            stmt.describe(),
+            "create z as wisconsin(rows=1000, fanout=4, seed=7, skew=1.2)\n"
+        );
+        // Whole-number and leading-zero fractions both reassemble.
+        let stmt = parse("create table z as wisconsin(100, 2, 3, 2)").expect("parses");
+        assert_eq!(
+            stmt.describe(),
+            "create z as wisconsin(rows=100, fanout=2, seed=3, skew=2)\n"
+        );
+        let stmt = parse("create table z as wisconsin(100, 2, 3, 0.05)").expect("parses");
+        assert_eq!(
+            stmt.describe(),
+            "create z as wisconsin(rows=100, fanout=2, seed=3, skew=0.05)\n"
+        );
+        // skew=0 is the uniform default and renders without the knob.
+        let stmt = parse("create table z as wisconsin(100, 2, 3, 0.0)").expect("parses");
+        assert_eq!(
+            stmt.describe(),
+            "create z as wisconsin(rows=100, fanout=2, seed=3)\n"
+        );
+    }
+
+    #[test]
+    fn out_of_range_skew_errors_point_at_the_literal() {
+        let sql = "CREATE TABLE z AS WISCONSIN(100, 2, 3, 4.5)";
+        let err = parse(sql).unwrap_err();
+        assert!(err.message.contains("skew must be"), "{}", err.message);
+        assert_eq!(&sql[err.span.start..err.span.end], "4.5");
+        let err = parse("CREATE TABLE z AS WISCONSIN(100, 2, 3, 1.)").unwrap_err();
+        assert!(err.message.contains("fraction digits"), "{}", err.message);
     }
 
     #[test]

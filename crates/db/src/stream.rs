@@ -13,8 +13,9 @@ use crate::error::DbError;
 use crate::metrics::EngineMetrics;
 use crate::sql::{BoundQuery, RowShape};
 use planner::{
-    execute_stream, execute_stream_profiled, render_analyze, render_choices,
-    render_concordance_stats, render_plan, Catalog, ExecutedStream, OutputRows, PlannedQuery,
+    execute_stream, execute_stream_profiled, render_analyze, render_analyze_plan, render_choices,
+    render_concordance_stats, render_plan, AdaptedPlan, Catalog, ExecutedStream, OutputRows,
+    PlannedQuery,
 };
 use pmem_sim::{BufferPool, IoStats, LayerKind, Pm, SpanNode};
 use std::sync::{Arc, Mutex};
@@ -84,6 +85,8 @@ pub struct ResultStream {
     /// The span tree the profiled execution recorded (available as soon
     /// as the plan ran, i.e. after the first pull).
     profile: Option<SpanNode>,
+    /// Evidence of a mid-run re-planning, when drift triggered one.
+    adapted: Option<AdaptedPlan>,
     /// Host wall time accumulated across every pull.
     wall_ns: u64,
 }
@@ -144,6 +147,7 @@ impl ResultStream {
             batches: 0,
             hooks,
             profile: None,
+            adapted: None,
             wall_ns: 0,
         }
     }
@@ -234,6 +238,7 @@ impl ResultStream {
                     match run {
                         Ok(mut run) => {
                             self.profile = run.profile.take();
+                            self.adapted = run.adapted.take();
                             self.state = State::Open {
                                 run: Box::new(run),
                                 cursor: 0,
@@ -316,6 +321,12 @@ impl ResultStream {
         self.profile.as_ref()
     }
 
+    /// Mid-run re-planning evidence — `Some` once the plan ran and the
+    /// first materialized cardinality drifted past the threshold.
+    pub fn adapted(&self) -> Option<&AdaptedPlan> {
+        self.adapted.as_ref()
+    }
+
     /// The explain report: chosen algorithms, knobs, per-node candidate
     /// tables, the plan tree, predicted traffic — and, once the stream
     /// has been drained, predicted-vs-measured concordance.
@@ -345,15 +356,25 @@ impl ResultStream {
     /// drained (before that there is no profile to annotate from).
     pub fn analyze(&self) -> String {
         let mut out = self.explain();
-        match &self.profile {
-            Some(p) => {
+        if let Some(a) = &self.adapted {
+            out.push_str(&format!(
+                "re-planned mid-run: first materialization produced {} rows \
+                 (estimate ~{:.0}); remaining joins re-enumerated\n",
+                a.observed_rows, a.estimated_rows
+            ));
+        }
+        match (&self.profile, &self.adapted) {
+            (Some(p), Some(a)) => {
+                out.push_str(&render_analyze_plan(&a.plan, p, &self.dev.config().latency));
+            }
+            (Some(p), None) => {
                 out.push_str(&render_analyze(
                     &self.planned,
                     p,
                     &self.dev.config().latency,
                 ));
             }
-            None => out.push_str("no profile recorded (SET profile = on to enable)\n"),
+            (None, _) => out.push_str("no profile recorded (SET profile = on to enable)\n"),
         }
         out
     }

@@ -84,7 +84,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 /// One logical WAL record.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum WalRecord {
     /// `CREATE TABLE name AS WISCONSIN(rows, fanout)` with the
     /// generator seed — enough to regenerate the table exactly.
@@ -97,6 +97,10 @@ pub enum WalRecord {
         fanout: u64,
         /// Permutation seed.
         seed: u64,
+        /// Zipf exponent of the key draw (0 = uniform). Serialized as a
+        /// trailing optional field: records written before the knob
+        /// existed decode as uniform, so old logs stay replayable.
+        skew: f64,
     },
     /// `INSERT INTO table VALUES …` — the inserted keys.
     Insert {
@@ -166,6 +170,10 @@ impl<'a> Cursor<'a> {
         String::from_utf8(self.take(len)?.to_vec()).map_err(|_| "non-UTF-8 identifier".to_string())
     }
 
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn done(&self) -> Result<(), String> {
         if self.pos != self.bytes.len() {
             return Err(format!(
@@ -187,12 +195,18 @@ impl WalRecord {
                 rows,
                 fanout,
                 seed,
+                skew,
             } => {
                 buf.push(TAG_CREATE);
                 put_str(&mut buf, name);
                 buf.extend_from_slice(&rows.to_le_bytes());
                 buf.extend_from_slice(&fanout.to_le_bytes());
                 buf.extend_from_slice(&seed.to_le_bytes());
+                // Trailing optional field: uniform creates keep the
+                // legacy layout byte-for-byte.
+                if *skew != 0.0 {
+                    buf.extend_from_slice(&skew.to_bits().to_le_bytes());
+                }
             }
             WalRecord::Insert { table, keys } => {
                 buf.push(TAG_INSERT);
@@ -218,12 +232,27 @@ impl WalRecord {
         };
         let tag = cur.take(1)?[0];
         let rec = match tag {
-            TAG_CREATE => WalRecord::Create {
-                name: cur.str()?,
-                rows: cur.u64()?,
-                fanout: cur.u64()?,
-                seed: cur.u64()?,
-            },
+            TAG_CREATE => {
+                let name = cur.str()?;
+                let rows = cur.u64()?;
+                let fanout = cur.u64()?;
+                let seed = cur.u64()?;
+                let skew = if cur.remaining() > 0 {
+                    f64::from_bits(cur.u64()?)
+                } else {
+                    0.0
+                };
+                if !(0.0..=4.0).contains(&skew) {
+                    return Err(format!("skew {skew} out of range"));
+                }
+                WalRecord::Create {
+                    name,
+                    rows,
+                    fanout,
+                    seed,
+                    skew,
+                }
+            }
             TAG_INSERT => {
                 let table = cur.str()?;
                 let n = u32::from_le_bytes(le_array(cur.take(4)?)) as usize;
@@ -243,7 +272,7 @@ impl WalRecord {
 
 /// A parsed log: base LSN, intact records, and how much tail (if any)
 /// was dropped as torn.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WalReadout {
     /// LSN the log starts after (records begin at `base_lsn + 1`).
     pub base_lsn: u64,

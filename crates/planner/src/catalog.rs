@@ -14,6 +14,7 @@ use pmem_sim::{PCollection, CACHELINE};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wisconsin::WisconsinRecord;
+use write_limited::stats::TableStatistics;
 
 /// Statistics of one base table.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -45,11 +46,13 @@ impl TableStats {
     }
 }
 
-/// One catalog entry: stats plus, optionally, the bound data.
+/// One catalog entry: stats plus, optionally, the bound data and the
+/// ingest-time skew statistics (sketch, histogram, heavy hitters).
 #[derive(Clone, Debug)]
 struct Table {
     stats: TableStats,
     data: Option<Arc<PCollection<WisconsinRecord>>>,
+    statistics: Option<Arc<TableStatistics>>,
 }
 
 /// Named base tables with statistics and (optionally) bound collections.
@@ -66,16 +69,47 @@ impl Catalog {
 
     /// Registers a table by statistics only (planning without data).
     pub fn add_stats(&mut self, name: impl Into<String>, stats: TableStats) {
-        self.tables.insert(name.into(), Table { stats, data: None });
+        self.tables.insert(
+            name.into(),
+            Table {
+                stats,
+                data: None,
+                statistics: None,
+            },
+        );
     }
 
     /// Registers a table bound to a collection; rows and width are taken
-    /// from the collection, the key domain from `key_domain`.
+    /// from the collection, the key domain from `key_domain`. No skew
+    /// statistics are attached — estimates fall back to the uniform-key
+    /// assumption (see [`Catalog::add_table_with_statistics`]).
     pub fn add_table(
         &mut self,
         name: impl Into<String>,
         data: Arc<PCollection<WisconsinRecord>>,
         key_domain: u64,
+    ) {
+        self.install(name, data, key_domain, None);
+    }
+
+    /// [`Catalog::add_table`] plus ingest-time skew statistics the
+    /// planner's selectivity and join-cardinality estimates consume.
+    pub fn add_table_with_statistics(
+        &mut self,
+        name: impl Into<String>,
+        data: Arc<PCollection<WisconsinRecord>>,
+        key_domain: u64,
+        statistics: Arc<TableStatistics>,
+    ) {
+        self.install(name, data, key_domain, Some(statistics));
+    }
+
+    fn install(
+        &mut self,
+        name: impl Into<String>,
+        data: Arc<PCollection<WisconsinRecord>>,
+        key_domain: u64,
+        statistics: Option<Arc<TableStatistics>>,
     ) {
         let stats = TableStats {
             rows: data.len() as u64,
@@ -87,6 +121,7 @@ impl Catalog {
             Table {
                 stats,
                 data: Some(data),
+                statistics,
             },
         );
     }
@@ -104,6 +139,11 @@ impl Catalog {
     /// The table's bound collection, if registered with data.
     pub fn data(&self, name: &str) -> Option<&Arc<PCollection<WisconsinRecord>>> {
         self.tables.get(name).and_then(|t| t.data.as_ref())
+    }
+
+    /// The table's ingest-time skew statistics, if any were attached.
+    pub fn statistics(&self, name: &str) -> Option<&Arc<TableStatistics>> {
+        self.tables.get(name).and_then(|t| t.statistics.as_ref())
     }
 
     /// Registered table names, sorted.
@@ -157,6 +197,28 @@ mod tests {
         assert!(cat.remove("T"));
         assert!(!cat.remove("T"));
         assert!(snapshot.data("T").is_some());
+    }
+
+    #[test]
+    fn attached_statistics_survive_catalog_snapshots() {
+        let dev = PmDevice::paper_default();
+        let keys: Vec<u64> = (0..100).map(|i| i % 10).collect();
+        let col = Arc::new(PCollection::from_records_uncounted(
+            &dev,
+            LayerKind::BlockedMemory,
+            "T",
+            keys.iter().map(|&k| WisconsinRecord::from_key(k)),
+        ));
+        let statistics = Arc::new(TableStatistics::build(&keys, 7));
+        let mut cat = Catalog::new();
+        cat.add_table_with_statistics("T", col, 10, Arc::clone(&statistics));
+        cat.add_stats("S", TableStats::wisconsin(10));
+        let snapshot = cat.clone();
+        let got = snapshot.statistics("T").expect("attached");
+        assert!(Arc::ptr_eq(got, &statistics));
+        assert_eq!(got.rows(), 100.0);
+        assert!(snapshot.statistics("S").is_none(), "stats-only entry");
+        assert!(snapshot.statistics("missing").is_none());
     }
 
     #[test]

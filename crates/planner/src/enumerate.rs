@@ -18,12 +18,14 @@ use std::collections::HashMap;
 use wisconsin::WisconsinRecord;
 use wl_runtime::{plan_verdict, Decision};
 use write_limited::agg::GroupAgg;
+use write_limited::cost::join_costs::guided_io;
 use write_limited::cost::{
     join_candidates, join_parallel_split, predict_join_io, predict_sort_io, sort_candidates,
     sort_parallel_split, IoPrediction,
 };
 use write_limited::join::{JoinAlgorithm, HASH_TABLE_FACTOR};
 use write_limited::sort::SortAlgorithm;
+use write_limited::stats::TableStatistics;
 
 /// Base record width in bytes (what join build sides hold).
 const WIS_BYTES: f64 = WisconsinRecord::SIZE as f64;
@@ -101,6 +103,9 @@ pub struct PlannedQuery {
     pub threads: usize,
     /// Total predicted traffic of the plan.
     pub predicted: IoPrediction,
+    /// Whether the executor may re-plan the remaining join subtree when
+    /// an observed cardinality drifts from its estimate.
+    pub adapt: bool,
 }
 
 /// The write-aware planner: carries the device cost parameters the
@@ -119,6 +124,11 @@ pub struct Planner {
     /// explicit choice via [`Planner::with_threads`], so plan choices
     /// stay stable no matter what `WL_THREADS` the *executor* runs at.
     pub threads: usize,
+    /// Whether executors may re-enumerate the remaining join subtree
+    /// mid-plan when observed cardinalities drift from the estimates.
+    /// On by default; turned off for static-uniform baselines and for
+    /// adaptivity-invariance experiments.
+    pub adapt: bool,
     /// Per-storage-call software overhead expressed in read units.
     call_overhead_units: f64,
     /// Cachelines per collection block (call granularity).
@@ -159,6 +169,7 @@ impl Planner {
             m_buffers,
             layer,
             threads: 1,
+            adapt: true,
             call_overhead_units: call_ns / cfg.latency.read_ns,
             block_cachelines: cfg.cachelines_per_block() as f64,
         }
@@ -170,6 +181,14 @@ impl Planner {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables or disables mid-plan re-planning for queries planned by
+    /// this planner.
+    #[must_use]
+    pub fn with_adaptivity(mut self, adapt: bool) -> Self {
+        self.adapt = adapt;
         self
     }
 
@@ -221,6 +240,7 @@ impl Planner {
             m_buffers: self.m_buffers,
             threads: self.threads,
             predicted,
+            adapt: self.adapt,
         })
     }
 
@@ -263,7 +283,9 @@ impl Planner {
 
     /// Filters default to materialized: read the input once, write the
     /// qualifying rows. [`Planner::plan_join`] revisits build-side
-    /// filters and may flip them to deferred views.
+    /// filters and may flip them to deferred views. With ingest
+    /// statistics attached, selectivity comes from the equi-depth
+    /// histogram instead of the uniform key-domain assumption.
     fn plan_filter(
         &self,
         child: PhysicalPlan,
@@ -271,11 +293,24 @@ impl Planner {
         logical_input: &LogicalPlan,
         catalog: &Catalog,
     ) -> PhysicalPlan {
-        let key_domain = base_key_domain(logical_input, catalog);
-        let selectivity = predicate.selectivity(key_domain);
         let in_rows = child.cost().out_rows;
         let in_buffers = child.cost().out_buffers;
-        let distinct = (child.cost().distinct_keys * selectivity).ceil().max(1.0);
+        let (selectivity, distinct) = match stats_for(logical_input, catalog) {
+            Some(s) => {
+                let sel = match predicate {
+                    Predicate::KeyBelow(b) => s.fraction_below(b),
+                    Predicate::KeyAtLeast(b) => s.fraction_at_least(b),
+                    Predicate::KeyModEq { modulus, .. } => 1.0 / modulus.max(1) as f64,
+                };
+                let filtered = apply_predicate(&s, predicate);
+                (sel, filtered.distinct_keys().max(1.0))
+            }
+            None => {
+                let key_domain = base_key_domain(logical_input, catalog);
+                let sel = predicate.selectivity(key_domain);
+                (sel, (child.cost().distinct_keys * sel).ceil().max(1.0))
+            }
+        };
         let out_rows = (in_rows * selectivity).ceil();
         let out_buffers = (in_buffers * selectivity).ceil();
         let io = self.with_overhead(IoPrediction {
@@ -344,6 +379,32 @@ impl Planner {
         catalog: &Catalog,
         choices: &mut Vec<NodeChoice>,
     ) -> Result<PhysicalPlan, PlanError> {
+        let mut leaves = Vec::new();
+        collect_join_leaves(logical, &mut leaves);
+        let n = leaves.len();
+        if n > MAX_JOIN_RELATIONS {
+            return Err(PlanError::Unsupported(format!(
+                "join of {n} relations exceeds the {MAX_JOIN_RELATIONS}-relation limit"
+            )));
+        }
+        let entries: Vec<(&LogicalPlan, Vec<usize>)> = leaves
+            .iter()
+            .enumerate()
+            .map(|(i, leaf)| (*leaf, vec![i]))
+            .collect();
+        self.plan_join_slotted(&entries, catalog, choices)
+    }
+
+    /// The join-order search over explicit `(relation, payload slots)`
+    /// entries. Fresh plans give every base relation its own slot;
+    /// mid-plan re-planning re-enters with an already-joined intermediate
+    /// occupying several slots plus the remaining base relations.
+    pub(crate) fn plan_join_slotted(
+        &self,
+        entries: &[(&LogicalPlan, Vec<usize>)],
+        catalog: &Catalog,
+        choices: &mut Vec<NodeChoice>,
+    ) -> Result<PhysicalPlan, PlanError> {
         // Per-subset memo of the best physical plan found so far. All
         // relations join on the shared key, so every subset is connected
         // and every split of it is a valid (cross-product-free) join.
@@ -352,28 +413,30 @@ impl Planner {
             units: f64,
             choices: Vec<NodeChoice>,
             slots: Vec<usize>,
+            stats: Option<TableStatistics>,
             expr: String,
         }
-        let mut leaves = Vec::new();
-        collect_join_leaves(logical, &mut leaves);
-        let n = leaves.len();
-        if n == 2 {
-            let l = self.plan_node(leaves[0], catalog, choices)?;
-            let r = self.plan_node(leaves[1], catalog, choices)?;
-            let lu = l.total_io().cost_units(self.lambda);
-            let ru = r.total_io().cost_units(self.lambda);
-            let planned = self.plan_join(l, r, lu, ru, None)?;
-            choices.push(planned.choice);
-            return Ok(planned.plan);
-        }
+        let n = entries.len();
         if n > MAX_JOIN_RELATIONS {
             return Err(PlanError::Unsupported(format!(
                 "join of {n} relations exceeds the {MAX_JOIN_RELATIONS}-relation limit"
             )));
         }
+        let total_slots: usize = entries.iter().map(|(_, s)| s.len()).sum();
+        if n == 2 && total_slots == 2 {
+            let l = self.plan_node(entries[0].0, catalog, choices)?;
+            let r = self.plan_node(entries[1].0, catalog, choices)?;
+            let lu = l.total_io().cost_units(self.lambda);
+            let ru = r.total_io().cost_units(self.lambda);
+            let ls = stats_for(entries[0].0, catalog);
+            let rs = stats_for(entries[1].0, catalog);
+            let planned = self.plan_join(l, r, lu, ru, None, ls.as_ref(), rs.as_ref())?;
+            choices.push(planned.choice);
+            return Ok(planned.plan);
+        }
 
         let mut memo: HashMap<u32, Memo> = HashMap::new();
-        for (i, leaf) in leaves.iter().enumerate() {
+        for (i, (leaf, slots)) in entries.iter().enumerate() {
             let mut leaf_choices = Vec::new();
             let plan = self.plan_node(leaf, catalog, &mut leaf_choices)?;
             let units = plan.total_io().cost_units(self.lambda);
@@ -383,7 +446,8 @@ impl Planner {
                     plan,
                     units,
                     choices: leaf_choices,
-                    slots: vec![i],
+                    slots: slots.clone(),
+                    stats: stats_for(leaf, catalog),
                     expr: leaf_relation_name(leaf),
                 },
             );
@@ -414,6 +478,8 @@ impl Planner {
                         ml.units,
                         mr.units,
                         Some((&ml.slots, &mr.slots)),
+                        ml.stats.as_ref(),
+                        mr.stats.as_ref(),
                     ) {
                         Ok(planned) => {
                             let expr = format!("({} ⋈ {})", ml.expr, mr.expr);
@@ -435,6 +501,7 @@ impl Planner {
                                     units: planned.units,
                                     choices: sub_choices,
                                     slots,
+                                    stats: planned.stats,
                                     expr,
                                 });
                             }
@@ -463,6 +530,7 @@ impl Planner {
         Ok(root.plan)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn plan_join(
         &self,
         left: PhysicalPlan,
@@ -470,18 +538,32 @@ impl Planner {
         left_units: f64,
         right_units: f64,
         chain: Option<(&[usize], &[usize])>,
+        l_stats: Option<&TableStatistics>,
+        r_stats: Option<&TableStatistics>,
     ) -> Result<JoinPlanned, PlanError> {
         let lb = left.cost().out_buffers.max(1.0);
         let rb = right.cost().out_buffers.max(1.0);
         let l_rows = left.cost().out_rows;
         let r_rows = right.cost().out_rows;
 
-        // Equi-join cardinality under uniform keys and key containment:
-        // rows-per-key on each side times the matching key count.
+        // Equi-join cardinality. With ingest statistics on both sides,
+        // heavy-hitter frequencies multiply per hot key and the residual
+        // mass joins uniformly; otherwise fall back to the uniform-key
+        // containment formula: rows-per-key on each side times the
+        // matching key count.
         let l_distinct = left.cost().distinct_keys.max(1.0);
         let r_distinct = right.cost().distinct_keys.max(1.0);
-        let matching = l_distinct.min(r_distinct);
-        let out_rows = (l_rows / l_distinct) * (r_rows / r_distinct) * matching;
+        let (out_rows, matching, out_stats) = match (l_stats, r_stats) {
+            (Some(ls), Some(rs)) => {
+                let (rows, stats) = ls.join(rs);
+                (rows, stats.distinct_keys().max(1.0), Some(stats))
+            }
+            _ => {
+                let matching = l_distinct.min(r_distinct);
+                let rows = (l_rows / l_distinct) * (r_rows / r_distinct) * matching;
+                (rows, matching, None)
+            }
+        };
         let pair_buffers = (out_rows * PAIR_BYTES / CACHELINE as f64).ceil();
         // Chain joins fold the pair output into slotted 80-byte rows in
         // one extra staged pass: re-read the pairs, write the flat rows.
@@ -532,6 +614,67 @@ impl Planner {
                         io,
                     },
                 ));
+            }
+        }
+
+        // Cardinality-guided candidate: when the ingest statistics
+        // expose heavy hitters on either side, the hot keys can bypass
+        // the Grace partition round-trip — the guided join keeps their
+        // build rows resident and probes hot rows straight through. Only
+        // offered when a hot set exists (uniform tables degrade to GJ
+        // exactly, so the candidate would be pure noise).
+        let mut guided_hot: Vec<u64> = Vec::new();
+        if let (Some(ls), Some(rs)) = (l_stats, r_stats) {
+            let mut hot = ls.heavy_keys();
+            hot.extend(rs.heavy_keys());
+            hot.sort_unstable();
+            hot.dedup();
+            if !hot.is_empty() {
+                let cover = |s: &TableStatistics| {
+                    if s.rows() <= 0.0 {
+                        return 0.0;
+                    }
+                    (hot.iter().map(|&k| s.frequency(k)).sum::<f64>() / s.rows()).min(1.0)
+                };
+                let (cover_l, cover_r) = (cover(ls), cover(rs));
+                let m_records = self.m_buffers * CACHELINE as f64 / WIS_BYTES;
+                for (swapped, t, v, t_rows, hot_t, hot_v) in [
+                    (false, lb, rb, l_rows, cover_l, cover_r),
+                    (true, rb, lb, r_rows, cover_r, cover_l),
+                ] {
+                    // The resident hot build rows (hash-table blow-up
+                    // included) may claim at most half the budget — the
+                    // other half stays for the cold partition pairs.
+                    let resident = hot_t * t_rows * HASH_TABLE_FACTOR;
+                    if !self.grace_ok(t_rows) || resident > 0.5 * m_records {
+                        continue;
+                    }
+                    let (r, w) = guided_io(t, v, hot_t, hot_v);
+                    let io = self.with_overhead(
+                        IoPrediction {
+                            reads: r,
+                            writes: w,
+                        }
+                        .plus(output_writes),
+                    );
+                    let split =
+                        join_parallel_split(&JoinAlgorithm::CGJ, t, v, self.m_buffers, self.lambda);
+                    let label = if swapped {
+                        "CGJ (swapped)".to_string()
+                    } else {
+                        "CGJ".to_string()
+                    };
+                    guided_hot.clone_from(&hot);
+                    field.push((
+                        JoinAlgorithm::CGJ,
+                        swapped,
+                        Candidate {
+                            label,
+                            cost_units: self.scale_units(io.cost_units(self.lambda), split),
+                            io,
+                        },
+                    ));
+                }
             }
         }
 
@@ -655,6 +798,8 @@ impl Planner {
                     algo: JoinAlgorithm::SegJ { frac: 0.0 },
                     swapped: false,
                     chain: chain_slots,
+                    hot: Vec::new(),
+                    replanned: false,
                     cost: NodeCost {
                         io: cand.io,
                         out_rows,
@@ -682,6 +827,11 @@ impl Planner {
                 (cand.io, cand.cost_units)
             };
             let units = left_units + right_units + node_units;
+            let hot = if algo == JoinAlgorithm::CGJ {
+                guided_hot
+            } else {
+                Vec::new()
+            };
             (
                 PhysicalPlan::Join {
                     left: Box::new(left),
@@ -689,6 +839,8 @@ impl Planner {
                     algo,
                     swapped,
                     chain: chain_slots,
+                    hot,
+                    replanned: false,
                     cost: NodeCost {
                         io: node_io,
                         out_rows,
@@ -708,6 +860,7 @@ impl Planner {
                 chosen: chosen_label,
             },
             units,
+            stats: out_stats,
         })
     }
 
@@ -770,12 +923,14 @@ impl Planner {
     }
 }
 
-/// One planned join edge: the composed plan, its evidence row, and the
-/// ranking figure of the whole subtree (used by the join-order DP).
+/// One planned join edge: the composed plan, its evidence row, the
+/// ranking figure of the whole subtree (used by the join-order DP), and
+/// the composed output statistics when both inputs carried some.
 struct JoinPlanned {
     plan: PhysicalPlan,
     choice: NodeChoice,
     units: f64,
+    stats: Option<TableStatistics>,
 }
 
 /// Flattens a maximal join subtree into its relation leaves (the
@@ -801,6 +956,35 @@ fn leaf_relation_name(leaf: &LogicalPlan) -> String {
     }
 }
 
+/// Derives the skew statistics of a logical subtree from the catalog's
+/// ingest-time per-table statistics: filters condition them, sorts pass
+/// them through, joins compose them. `None` as soon as any base table
+/// lacks statistics — estimates then fall back to the uniform-key
+/// assumption.
+pub(crate) fn stats_for(logical: &LogicalPlan, catalog: &Catalog) -> Option<TableStatistics> {
+    match logical {
+        LogicalPlan::Scan { table } => catalog.statistics(table).map(|s| (**s).clone()),
+        LogicalPlan::Filter { input, predicate } => {
+            Some(apply_predicate(&stats_for(input, catalog)?, *predicate))
+        }
+        LogicalPlan::Sort { input } | LogicalPlan::Aggregate { input } => stats_for(input, catalog),
+        LogicalPlan::Join { left, right } => {
+            let l = stats_for(left, catalog)?;
+            let r = stats_for(right, catalog)?;
+            Some(l.join(&r).1)
+        }
+    }
+}
+
+/// Conditions table statistics on a key predicate.
+fn apply_predicate(stats: &TableStatistics, predicate: Predicate) -> TableStatistics {
+    match predicate {
+        Predicate::KeyBelow(b) => stats.filtered_below(b),
+        Predicate::KeyAtLeast(b) => stats.filtered_at_least(b),
+        Predicate::KeyModEq { modulus, residue } => stats.filtered_mod(modulus, residue),
+    }
+}
+
 /// Key domain of the base table(s) under a plan, for selectivity
 /// estimation.
 fn base_key_domain(logical: &LogicalPlan, catalog: &Catalog) -> u64 {
@@ -816,7 +1000,10 @@ fn base_key_domain(logical: &LogicalPlan, catalog: &Catalog) -> u64 {
 fn grace_family(algo: &JoinAlgorithm) -> bool {
     matches!(
         algo,
-        JoinAlgorithm::GJ | JoinAlgorithm::HybJ { .. } | JoinAlgorithm::SegJ { .. }
+        JoinAlgorithm::GJ
+            | JoinAlgorithm::HybJ { .. }
+            | JoinAlgorithm::SegJ { .. }
+            | JoinAlgorithm::CGJ
     )
 }
 
@@ -1077,6 +1264,109 @@ mod tests {
                 c.cost_units
             );
         }
+    }
+
+    #[test]
+    fn skew_statistics_surface_a_guided_candidate_and_fix_the_estimate() {
+        use pmem_sim::{LayerKind as LK, PmDevice};
+        use std::sync::Arc;
+        use wisconsin::Record as _;
+
+        let dev = PmDevice::paper_default();
+        let zipf_keys = |n: u64, fanout: u64, seed: u64| -> Vec<u64> {
+            wisconsin::skewed_input(n, fanout, 1.2, seed)
+                .iter()
+                .map(|r| r.key())
+                .collect()
+        };
+        let mut cat = Catalog::new();
+        let add = |cat: &mut Catalog, name: &str, keys: &[u64], domain: u64| {
+            let col = Arc::new(pmem_sim::PCollection::from_records_uncounted(
+                &dev,
+                LK::BlockedMemory,
+                name,
+                keys.iter().map(|&k| WisconsinRecord::from_key(k)),
+            ));
+            let stats = Arc::new(TableStatistics::build(keys, 42));
+            cat.add_table_with_statistics(name, col, domain, stats);
+        };
+        // Center: unique keys. Two skewed dimensions sharing the head.
+        let center: Vec<u64> = (0..2000).collect();
+        add(&mut cat, "C", &center, 2000);
+        add(&mut cat, "D1", &zipf_keys(8000, 4, 1), 2000);
+        add(&mut cat, "D2", &zipf_keys(8000, 4, 2), 2000);
+
+        let logical = LogicalPlan::scan("C")
+            .join(LogicalPlan::scan("D1"))
+            .join(LogicalPlan::scan("D2"));
+        let planner = Planner::new(15.0, 2500.0, LayerKind::BlockedMemory);
+        let planned = planner.plan(&logical, &cat).expect("plans");
+        assert!(planned.adapt, "adaptivity defaults on");
+
+        // The skew-aware estimate must see D1 ⋈ D2 exploding (hot keys
+        // multiply), so no chosen order starts with (D1 ⋈ D2).
+        let order = planned
+            .choices
+            .iter()
+            .find(|c| c.node.starts_with("join order"))
+            .expect("order search");
+        assert!(
+            !order.chosen.starts_with("((D1 ⋈ D2)"),
+            "skewed dimensions must not join first: {}",
+            order.chosen
+        );
+        // And at least one join edge offers the guided candidate.
+        let has_cgj = planned
+            .choices
+            .iter()
+            .filter(|c| c.node.starts_with("join ~"))
+            .any(|c| c.candidates.iter().any(|cand| cand.label.contains("CGJ")));
+        assert!(has_cgj, "guided join must be in the candidate field");
+
+        // With adaptivity off the flag propagates.
+        let frozen = planner
+            .clone()
+            .with_adaptivity(false)
+            .plan(&logical, &cat)
+            .expect("plans");
+        assert!(!frozen.adapt);
+    }
+
+    #[test]
+    fn histogram_selectivity_beats_uniform_on_skewed_filters() {
+        use pmem_sim::{LayerKind as LK, PmDevice};
+        use std::sync::Arc;
+
+        let dev = PmDevice::paper_default();
+        // 90% of rows carry keys below 100, domain reaches 10 000.
+        let keys: Vec<u64> = (0..10_000u64)
+            .map(|i| if i % 10 == 0 { 100 + i % 9900 } else { i % 100 })
+            .collect();
+        let col = Arc::new(pmem_sim::PCollection::from_records_uncounted(
+            &dev,
+            LK::BlockedMemory,
+            "S",
+            keys.iter().map(|&k| WisconsinRecord::from_key(k)),
+        ));
+        let mut cat = Catalog::new();
+        cat.add_table_with_statistics(
+            "S",
+            col,
+            10_000,
+            Arc::new(TableStatistics::build(&keys, 42)),
+        );
+        let logical = LogicalPlan::scan("S").filter(Predicate::KeyBelow(100));
+        let planned = Planner::new(15.0, 625.0, LayerKind::BlockedMemory)
+            .plan(&logical, &cat)
+            .expect("plans");
+        let PhysicalPlan::Filter { selectivity, .. } = &planned.plan else {
+            panic!("filter root");
+        };
+        // Uniform assumption would say 1%; the histogram knows ~90%.
+        assert!(
+            *selectivity > 0.8,
+            "histogram must see the skew: {selectivity}"
+        );
     }
 
     #[test]

@@ -64,11 +64,12 @@ pub use catalog::{Catalog, TableStats};
 pub use enumerate::{Candidate, NodeChoice, PlanError, PlannedQuery, Planner, MAX_JOIN_RELATIONS};
 pub use logical::{LogicalPlan, Predicate};
 pub use lower::{
-    execute, execute_stream, execute_stream_profiled, ExecError, Executed, ExecutedStream,
-    OutputRows, ResultSet, WisPair,
+    execute, execute_stream, execute_stream_profiled, AdaptedPlan, ExecError, Executed,
+    ExecutedStream, OutputRows, ResultSet, WisPair,
 };
 pub use naive::execute_naive;
 pub use physical::{ChainSlots, Materialization, NodeCost, PhysicalPlan};
 pub use report::{
-    render_analyze, render_choices, render_concordance, render_concordance_stats, render_plan,
+    render_analyze, render_analyze_plan, render_choices, render_concordance,
+    render_concordance_stats, render_plan,
 };

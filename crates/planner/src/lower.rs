@@ -15,18 +15,29 @@
 //! drains it eagerly into [`OutputRows`] for tests and harnesses.
 
 use crate::catalog::Catalog;
-use crate::enumerate::{PlanError, PlannedQuery};
-use crate::logical::Predicate;
+use crate::enumerate::{NodeChoice, PlanError, PlannedQuery, Planner};
+use crate::logical::{LogicalPlan, Predicate};
 use crate::physical::{ChainSlots, Materialization, PhysicalPlan};
 use pmem_sim::{BufferPool, IoStats, LayerKind, Pm, PmError};
+use std::borrow::Cow;
 use std::sync::Arc;
 use wisconsin::{Pair, Record, WisconsinRecord};
 use wl_runtime::OpCtx;
 use write_limited::agg::{sort_based_aggregate, GroupAgg};
 use write_limited::exec::{stage, FilterOp, MapOp, ScanOp};
-use write_limited::join::JoinContext;
+use write_limited::join::{guided_join_with, JoinAlgorithm, JoinContext};
 use write_limited::pipeline::{filtered_iterate_join, DeferredFilter};
 use write_limited::sort::{SortAlgorithm, SortContext};
+use write_limited::stats::TableStatistics;
+
+/// Observed-over-estimated (or the inverse) ratio past which a chain
+/// join's first materialization triggers re-enumeration of the
+/// remaining join subtree.
+const DRIFT_THRESHOLD: f64 = 2.0;
+
+/// Seed the observed-intermediate statistics sketch is built with —
+/// fixed, so adaptation is deterministic across runs and thread counts.
+const OBSERVED_STATS_SEED: u64 = 0xADA7;
 
 /// A joined Wisconsin pair.
 pub type WisPair = Pair<WisconsinRecord, WisconsinRecord>;
@@ -308,6 +319,23 @@ impl ResultSet {
     }
 }
 
+/// Evidence of one mid-plan re-planning event: the plan that actually
+/// executed and the drift that triggered it.
+#[derive(Clone, Debug)]
+pub struct AdaptedPlan {
+    /// The full plan as executed: the original tree with the re-planned
+    /// join subtree spliced in (re-planned nodes carry a marker in their
+    /// labels, and the observed intermediate appears as the subtree that
+    /// produced it).
+    pub plan: PhysicalPlan,
+    /// Candidate evidence of the re-enumeration.
+    pub choices: Vec<NodeChoice>,
+    /// Rows the first materialization actually produced.
+    pub observed_rows: u64,
+    /// Rows the static plan estimated for it.
+    pub estimated_rows: f64,
+}
+
 /// One measured plan execution with the result left un-drained: the
 /// streaming entry point's return value.
 #[derive(Debug)]
@@ -321,6 +349,9 @@ pub struct ExecutedStream {
     /// Recorded span tree when the run was profiled
     /// ([`execute_stream_profiled`]); `None` otherwise.
     pub profile: Option<pmem_sim::SpanNode>,
+    /// `Some` when the executor re-planned the remaining join subtree
+    /// after an observed cardinality drifted from its estimate.
+    pub adapted: Option<AdaptedPlan>,
 }
 
 /// One measured plan execution, eagerly drained.
@@ -405,13 +436,22 @@ fn execute_stream_inner(
     pool: &BufferPool,
     profile: bool,
 ) -> Result<ExecutedStream, ExecError> {
+    // Re-planning re-enters the enumerator with the same knobs the
+    // original plan was costed under.
+    let planner = planned.adapt.then(|| {
+        Planner::with_config(planned.lambda, planned.m_buffers, layer, dev.config())
+            .with_threads(planned.threads)
+    });
     let mut lowerer = Lowerer {
-        catalog,
+        catalog: Cow::Borrowed(catalog),
         dev,
         layer,
         pool,
         threads: planned.threads,
         fresh: 0,
+        planner,
+        in_join: false,
+        adapted: None,
     };
     let before = dev.snapshot();
     if profile {
@@ -427,6 +467,10 @@ fn execute_stream_inner(
     };
     let result = result?;
     let stats = dev.snapshot().since(&before);
+    let adapted = lowerer.adapted.take().map(|mut a| {
+        a.plan = replace_topmost_join(&planned.plan, &a.plan);
+        a
+    });
     let result = match result {
         Stream::Wis(src) => ResultSet::Wis(WisResult(src)),
         Stream::Pairs { col, swapped } => ResultSet::Pairs { col, swapped },
@@ -438,7 +482,31 @@ fn execute_stream_inner(
         secs: stats.time_secs(&dev.config().latency),
         stats,
         profile: tree,
+        adapted,
     })
+}
+
+/// The original plan with its (single) join subtree replaced by the
+/// subtree that actually executed — wrapper nodes above the join tree
+/// are preserved.
+fn replace_topmost_join(plan: &PhysicalPlan, subtree: &PhysicalPlan) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Join { .. } => subtree.clone(),
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Aggregate { input, .. } => {
+            let mut out = plan.clone();
+            let (PhysicalPlan::Filter { input: slot, .. }
+            | PhysicalPlan::Sort { input: slot, .. }
+            | PhysicalPlan::Aggregate { input: slot, .. }) = &mut out
+            else {
+                unreachable!("matched a wrapper above")
+            };
+            **slot = replace_topmost_join(input, subtree);
+            out
+        }
+        PhysicalPlan::Scan { .. } => plan.clone(),
+    }
 }
 
 /// Executes a planned query and drains every row — [`execute_stream`]
@@ -463,7 +531,10 @@ pub fn execute(
 }
 
 struct Lowerer<'a> {
-    catalog: &'a Catalog,
+    /// Catalog snapshot; adaptation clones it on write to register the
+    /// observed intermediate as a pseudo-table the re-planned subtree
+    /// scans.
+    catalog: Cow<'a, Catalog>,
     dev: &'a Pm,
     layer: LayerKind,
     pool: &'a BufferPool,
@@ -471,6 +542,13 @@ struct Lowerer<'a> {
     /// operators fan out to the same degree so prediction and run agree.
     threads: usize,
     fresh: u64,
+    /// `Some` when mid-plan re-planning is armed ([`PlannedQuery::adapt`]).
+    planner: Option<Planner>,
+    /// True while evaluating inside a join tree — adaptation only
+    /// intercepts at the topmost chain join.
+    in_join: bool,
+    /// Set when re-planning fired; surfaced on [`ExecutedStream`].
+    adapted: Option<AdaptedPlan>,
 }
 
 impl<'a> Lowerer<'a> {
@@ -485,6 +563,9 @@ impl<'a> Lowerer<'a> {
     /// operator-phase and per-task spans nested below them). Inert when
     /// no profile is armed.
     fn eval(&mut self, plan: &PhysicalPlan) -> Result<Stream, ExecError> {
+        if let Some(out) = self.try_adaptive(plan)? {
+            return Ok(out);
+        }
         let span = pmem_sim::span::span_with(|| plan.label());
         let out = self.eval_node(plan)?;
         if span.is_active() {
@@ -492,6 +573,140 @@ impl<'a> Lowerer<'a> {
         }
         drop(span);
         Ok(out)
+    }
+
+    /// Mid-plan adaptivity, intercepting at the topmost join of an
+    /// adaptive n-way chain (n ≥ 3): execute the first-materializing
+    /// join, compare its observed cardinality with the estimate, and on
+    /// drift past [`DRIFT_THRESHOLD`] re-enumerate the remaining join
+    /// subtree with statistics observed from the intermediate. Without
+    /// drift the original structure executes unchanged (the intermediate
+    /// is consumed exactly as the static plan would consume it), so a
+    /// no-drift adaptive run is traffic-identical to a static one.
+    /// Returns `None` when `plan` is not an interception point.
+    fn try_adaptive(&mut self, plan: &PhysicalPlan) -> Result<Option<Stream>, ExecError> {
+        let PhysicalPlan::Join {
+            chain: Some(slots), ..
+        } = plan
+        else {
+            return Ok(None);
+        };
+        if self.in_join || self.planner.is_none() || slots.tables() < 3 {
+            return Ok(None);
+        }
+        let innermost = first_executed_join(plan);
+        if std::ptr::eq(innermost, plan) {
+            return Ok(None);
+        }
+        // Every leaf outside the first join must be re-plannable (a base
+        // scan, possibly filtered) for the drift path to exist.
+        let mut leaves = Vec::new();
+        let mut inner_slots = Vec::new();
+        let PhysicalPlan::Join { left, right, .. } = plan else {
+            return Ok(None);
+        };
+        if !collect_remaining(left, &slots.left, innermost, &mut leaves, &mut inner_slots)
+            || !collect_remaining(
+                right,
+                &slots.right,
+                innermost,
+                &mut leaves,
+                &mut inner_slots,
+            )
+        {
+            return Ok(None);
+        }
+
+        self.in_join = true;
+        let Stream::Chain { col, tables: _ } = self.eval(innermost)? else {
+            return Err(ExecError::Plan(PlanError::Unsupported(
+                "chain join produced a non-chain stream".into(),
+            )));
+        };
+        let observed = col.len() as u64;
+        let estimated = innermost.cost().out_rows;
+        let ratio = {
+            let o = (observed as f64).max(1.0);
+            let e = estimated.max(1.0);
+            (o / e).max(e / o)
+        };
+
+        // Register the intermediate as a pseudo-table: the remaining
+        // joins scan the very collection the first join wrote, so no
+        // extra traffic is charged relative to the static pipeline.
+        let pseudo = self.name("~mid");
+        let keys: Vec<u64> = col
+            .to_vec_uncounted()
+            .iter()
+            .map(wisconsin::Record::key)
+            .collect();
+        let mut domain = keys.clone();
+        domain.sort_unstable();
+        domain.dedup();
+        let stats = Arc::new(TableStatistics::observed(&keys, OBSERVED_STATS_SEED));
+        self.catalog.to_mut().add_table_with_statistics(
+            &pseudo,
+            Arc::new(col),
+            (domain.len() as u64).max(1),
+            stats,
+        );
+
+        let replanned = if ratio > DRIFT_THRESHOLD {
+            self.replan_remaining(&pseudo, &inner_slots, &leaves, observed, estimated)
+        } else {
+            None
+        };
+        let out = match replanned {
+            Some(adapted_root) => {
+                let out = self.eval(&adapted_root)?;
+                // For reporting, show the executed intermediate's subtree
+                // where the re-planned tree scans the pseudo-table.
+                let mut report = adapted_root;
+                splice_scan(&mut report, &pseudo, innermost);
+                if let Some(a) = self.adapted.as_mut() {
+                    a.plan = report;
+                }
+                out
+            }
+            None => {
+                let rewritten = substitute_scan(plan, innermost, &pseudo);
+                self.eval(&rewritten)?
+            }
+        };
+        self.in_join = false;
+        Ok(Some(out))
+    }
+
+    /// Re-enumerates the remaining join subtree over the observed
+    /// intermediate plus the not-yet-consumed base relations. Returns
+    /// `None` (static fallback) if the enumerator rejects the entries.
+    fn replan_remaining(
+        &mut self,
+        pseudo: &str,
+        inner_slots: &[usize],
+        leaves: &[(LogicalPlan, Vec<usize>)],
+        observed: u64,
+        estimated: f64,
+    ) -> Option<PhysicalPlan> {
+        let planner = self.planner.clone()?;
+        let pseudo_scan = LogicalPlan::scan(pseudo);
+        let mut entries: Vec<(&LogicalPlan, Vec<usize>)> =
+            vec![(&pseudo_scan, inner_slots.to_vec())];
+        for (leaf, slots) in leaves {
+            entries.push((leaf, slots.clone()));
+        }
+        let mut choices = Vec::new();
+        let mut subtree = planner
+            .plan_join_slotted(&entries, self.catalog.as_ref(), &mut choices)
+            .ok()?;
+        mark_replanned(&mut subtree);
+        self.adapted = Some(AdaptedPlan {
+            plan: subtree.clone(),
+            choices,
+            observed_rows: observed,
+            estimated_rows: estimated,
+        });
+        Some(subtree)
     }
 
     fn eval_node(&mut self, plan: &PhysicalPlan) -> Result<Stream, ExecError> {
@@ -523,8 +738,15 @@ impl<'a> Lowerer<'a> {
                 algo,
                 swapped,
                 chain,
+                hot,
                 ..
-            } => self.join(left, right, *algo, *swapped, chain.as_ref()),
+            } => {
+                let prev = self.in_join;
+                self.in_join = true;
+                let out = self.join(left, right, *algo, *swapped, chain.as_ref(), hot);
+                self.in_join = prev;
+                out
+            }
             PhysicalPlan::Aggregate { input, x, .. } => {
                 let child = self.eval(input)?;
                 self.aggregate_stream(child, *x)
@@ -593,9 +815,10 @@ impl<'a> Lowerer<'a> {
         &mut self,
         left: &PhysicalPlan,
         right: &PhysicalPlan,
-        algo: write_limited::join::JoinAlgorithm,
+        algo: JoinAlgorithm,
         swapped: bool,
         chain: Option<&ChainSlots>,
+        hot: &[u64],
     ) -> Result<Stream, ExecError> {
         let ctx = JoinContext::new(self.dev, self.layer, self.pool).with_threads(self.threads);
         let name = self.name("joined");
@@ -639,7 +862,13 @@ impl<'a> Lowerer<'a> {
         } else {
             (build.as_col(), probe.as_col())
         };
-        let out = algo.run(b, p, &ctx, &name)?;
+        // The cardinality-guided join takes the planner's hot-key set
+        // (from the catalog statistics) instead of re-scanning inputs.
+        let out = if algo == JoinAlgorithm::CGJ {
+            guided_join_with(b, p, hot, &ctx, &name)?
+        } else {
+            algo.run(b, p, &ctx, &name)?
+        };
         self.finish_join(out, swapped, chain)
     }
 
@@ -711,5 +940,121 @@ impl<'a> Lowerer<'a> {
             }
         };
         Ok(Stream::Groups(out))
+    }
+}
+
+/// The join whose result materializes first: descend into join children
+/// in evaluation order (left before right).
+fn first_executed_join(plan: &PhysicalPlan) -> &PhysicalPlan {
+    if let PhysicalPlan::Join { left, right, .. } = plan {
+        if matches!(**left, PhysicalPlan::Join { .. }) {
+            return first_executed_join(left);
+        }
+        if matches!(**right, PhysicalPlan::Join { .. }) {
+            return first_executed_join(right);
+        }
+    }
+    plan
+}
+
+/// Collects the join tree's leaves outside `innermost` as re-plannable
+/// logical plans with their payload slots, and `innermost`'s combined
+/// slots. Returns `false` when a leaf cannot be re-planned (adaptation
+/// then stays out of the way).
+fn collect_remaining(
+    node: &PhysicalPlan,
+    slots: &[usize],
+    innermost: &PhysicalPlan,
+    leaves: &mut Vec<(LogicalPlan, Vec<usize>)>,
+    inner_slots: &mut Vec<usize>,
+) -> bool {
+    if std::ptr::eq(node, innermost) {
+        inner_slots.extend_from_slice(slots);
+        return true;
+    }
+    match node {
+        PhysicalPlan::Join {
+            left,
+            right,
+            chain: Some(s),
+            ..
+        } => {
+            collect_remaining(left, &s.left, innermost, leaves, inner_slots)
+                && collect_remaining(right, &s.right, innermost, leaves, inner_slots)
+        }
+        PhysicalPlan::Join { .. } => false,
+        leaf => match leaf_logical(leaf) {
+            Some(l) => {
+                leaves.push((l, slots.to_vec()));
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+/// A join-tree leaf as the logical plan the re-enumerator can consume.
+fn leaf_logical(plan: &PhysicalPlan) -> Option<LogicalPlan> {
+    match plan {
+        PhysicalPlan::Scan { table, .. } => Some(LogicalPlan::scan(table.clone())),
+        PhysicalPlan::Filter {
+            input, predicate, ..
+        } => Some(leaf_logical(input)?.filter(*predicate)),
+        _ => None,
+    }
+}
+
+/// A clone of `node`'s subtree with `target` replaced by a scan of the
+/// pseudo-table holding its already-computed result (same cost
+/// annotation, so estimates render unchanged).
+fn substitute_scan(node: &PhysicalPlan, target: &PhysicalPlan, pseudo: &str) -> PhysicalPlan {
+    if std::ptr::eq(node, target) {
+        return PhysicalPlan::Scan {
+            table: pseudo.to_string(),
+            cost: *target.cost(),
+        };
+    }
+    let mut out = node.clone();
+    if let (
+        PhysicalPlan::Join { left, right, .. },
+        PhysicalPlan::Join {
+            left: l, right: r, ..
+        },
+    ) = (node, &mut out)
+    {
+        **l = substitute_scan(left, target, pseudo);
+        **r = substitute_scan(right, target, pseudo);
+    }
+    out
+}
+
+/// Replaces the pseudo-table scan in a re-planned subtree with the
+/// subtree that produced the intermediate — the reporting form.
+fn splice_scan(node: &mut PhysicalPlan, pseudo: &str, subtree: &PhysicalPlan) {
+    match node {
+        PhysicalPlan::Scan { table, .. } if table == pseudo => *node = subtree.clone(),
+        PhysicalPlan::Join { left, right, .. } => {
+            splice_scan(left, pseudo, subtree);
+            splice_scan(right, pseudo, subtree);
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Aggregate { input, .. } => splice_scan(input, pseudo, subtree),
+        PhysicalPlan::Scan { .. } => {}
+    }
+}
+
+/// Marks every join of a re-enumerated subtree as re-planned.
+fn mark_replanned(node: &mut PhysicalPlan) {
+    if let PhysicalPlan::Join {
+        left,
+        right,
+        replanned,
+        ..
+    } = node
+    {
+        *replanned = true;
+        mark_replanned(left);
+        mark_replanned(right);
     }
 }

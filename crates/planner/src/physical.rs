@@ -104,6 +104,13 @@ pub enum PhysicalPlan {
         /// pair output into slotted flat rows; `None` for the classic
         /// two-way join delivering pairs.
         chain: Option<ChainSlots>,
+        /// Hot keys a cardinality-guided join keeps resident (the
+        /// catalog heavy hitters of both sides); empty for every other
+        /// algorithm.
+        hot: Vec<u64>,
+        /// True when this node was produced by mid-plan re-planning
+        /// after an observed cardinality drifted from its estimate.
+        replanned: bool,
         /// Cost annotation.
         cost: NodeCost,
     },
@@ -177,6 +184,7 @@ impl PhysicalPlan {
                 algo,
                 swapped,
                 chain,
+                replanned,
                 ..
             } => {
                 let mut out = format!("join via {}", algo.label());
@@ -189,6 +197,9 @@ impl PhysicalPlan {
                         slots.left.as_slice(),
                         slots.right.as_slice()
                     ));
+                }
+                if *replanned {
+                    out.push_str(" (re-planned)");
                 }
                 out
             }
@@ -250,6 +261,8 @@ mod tests {
             algo: JoinAlgorithm::GJ,
             swapped: false,
             chain: None,
+            hot: Vec::new(),
+            replanned: false,
             cost: NodeCost {
                 io: IoPrediction {
                     reads: 600.0,

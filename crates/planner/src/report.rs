@@ -102,12 +102,23 @@ pub fn render_analyze(
     profile: &pmem_sim::SpanNode,
     latency: &LatencyProfile,
 ) -> String {
+    render_analyze_plan(&planned.plan, profile, latency)
+}
+
+/// [`render_analyze`] over an explicit plan tree — the form adaptive
+/// executions use, where the plan that ran (re-planned subtree spliced
+/// in) differs from the plan the enumerator chose up front.
+pub fn render_analyze_plan(
+    plan: &crate::physical::PhysicalPlan,
+    profile: &pmem_sim::SpanNode,
+    latency: &LatencyProfile,
+) -> String {
     let mut out =
         String::from("analyzed plan (node traffic excludes inputs; wall is inclusive):\n");
     // The profile root is the "query" frame wrapping the plan-root span.
-    match profile.find(&planned.plan.label()) {
-        Some(root_span) => analyze_into(&planned.plan, root_span, latency, 1, &mut out),
-        None => analyze_missing(&planned.plan, 1, &mut out),
+    match profile.find(&plan.label()) {
+        Some(root_span) => analyze_into(plan, root_span, profile, latency, 1, &mut out),
+        None => analyze_missing(plan, 1, &mut out),
     }
     out
 }
@@ -124,14 +135,20 @@ fn io_minus(a: pmem_sim::IoStats, b: &pmem_sim::IoStats) -> pmem_sim::IoStats {
 fn analyze_into(
     plan: &crate::physical::PhysicalPlan,
     span: &pmem_sim::SpanNode,
+    profile: &pmem_sim::SpanNode,
     latency: &LatencyProfile,
     depth: usize,
     out: &mut String,
 ) {
     // Match plan children to this span's children by label, in order
     // (execution opened them in the same pre-order the plan lists them).
+    // An adaptive run pre-executes the first-materializing join outside
+    // its parent's frame, so a child missing here falls back to a
+    // whole-profile search; such out-of-place spans are rendered but not
+    // subtracted from this node's own delta (their traffic was never
+    // part of it).
     let children = plan.children();
-    let mut matched: Vec<Option<&pmem_sim::SpanNode>> = Vec::with_capacity(children.len());
+    let mut matched: Vec<(Option<&pmem_sim::SpanNode>, bool)> = Vec::with_capacity(children.len());
     let mut cursor = 0usize;
     for child in &children {
         let label = child.label();
@@ -142,23 +159,28 @@ fn analyze_into(
                 cursor += p + 1;
                 &span.children[cursor - 1]
             });
-        matched.push(found);
+        match found {
+            Some(s) => matched.push((Some(s), true)),
+            None => matched.push((profile.find(&label), false)),
+        }
     }
 
     // This node's own delta: inclusive minus plan-child subtrees. What
     // remains covers the node's operator phases, staging, and tasks.
     let mut own = span.io;
     let mut child_tasks = 0usize;
-    for m in matched.iter().flatten() {
-        own = io_minus(own, &m.io);
-        child_tasks += m.task_count();
+    for (m, direct) in &matched {
+        if let (Some(m), true) = (m, direct) {
+            own = io_minus(own, &m.io);
+            child_tasks += m.task_count();
+        }
     }
-    let tasks = span.task_count() - child_tasks;
+    let tasks = span.task_count().saturating_sub(child_tasks);
 
     let c = plan.cost();
     let rows = match span.rows {
-        Some(n) => format!("{n} rows"),
-        None => format!("~{:.0} rows", c.out_rows),
+        Some(n) => format!("est ~{:.0} / obs {n} rows", c.out_rows),
+        None => format!("est ~{:.0} rows", c.out_rows),
     };
     let task_note = if tasks > 0 {
         format!(" | {tasks} tasks")
@@ -176,9 +198,9 @@ fn analyze_into(
         own.time_secs(latency),
         span.wall_ns as f64 / 1e6,
     ));
-    for (child, m) in children.iter().zip(matched) {
+    for (child, (m, _)) in children.iter().zip(matched) {
         match m {
-            Some(child_span) => analyze_into(child, child_span, latency, depth + 1, out),
+            Some(child_span) => analyze_into(child, child_span, profile, latency, depth + 1, out),
             None => analyze_missing(child, depth + 1, out),
         }
     }
@@ -259,7 +281,7 @@ mod tests {
         let report = render_analyze(&planned, &profile, &dev.config().latency);
         assert!(report.contains("sort via"));
         assert!(report.contains("scan T"));
-        assert!(report.contains("1000 rows"));
+        assert!(report.contains("obs 1000 rows"));
         assert!(report.contains("ms wall"));
         assert!(!report.contains("not measured"));
     }

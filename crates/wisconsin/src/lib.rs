@@ -16,5 +16,6 @@ pub use distributions::Zipf;
 pub use permute::Permutation;
 pub use record::{Pair, Record, WisconsinRecord, WISCONSIN_ATTRS};
 pub use workload::{
-    join_input, join_input_skewed, join_right_input, sort_input, JoinWorkload, KeyOrder,
+    join_input, join_input_skewed, join_right_input, skewed_input, sort_input, JoinWorkload,
+    KeyOrder,
 };

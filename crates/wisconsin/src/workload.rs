@@ -107,6 +107,26 @@ pub fn join_right_input(t_len: u64, fanout: u64, seed: u64) -> Vec<WisconsinReco
         .collect()
 }
 
+/// A Zipf-skewed fanout table for `CREATE TABLE … AS WISCONSIN(n, f,
+/// seed, skew)`: `n` records whose keys are drawn Zipf(`theta`) from the
+/// domain `[0, n / fanout)` (at least one key), payloads distinguishing
+/// the copies. `theta = 0` degrades to a uniform draw over the same
+/// domain; larger `theta` concentrates mass on the low keys. Fully
+/// deterministic in `(n, fanout, theta, seed)`.
+///
+/// # Panics
+/// Panics when `fanout` is zero or `theta` is negative (the SQL layer
+/// rejects both with span-carrying errors before reaching here).
+pub fn skewed_input(n: u64, fanout: u64, theta: f64, seed: u64) -> Vec<WisconsinRecord> {
+    assert!(fanout > 0, "degenerate skewed workload");
+    let domain = (n / fanout).max(1);
+    let zipf = Zipf::new(domain as usize, theta);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    (0..n)
+        .map(|i| WisconsinRecord::from_key(zipf.sample(&mut rng) as u64).with_payload(i))
+        .collect()
+}
+
 /// Join workload with Zipf-skewed right-side key frequencies; some left
 /// keys match many right records, most match few or none.
 pub fn join_input_skewed(t_len: u64, v_len: u64, theta: f64, seed: u64) -> JoinWorkload {
@@ -190,5 +210,41 @@ mod tests {
         let w = join_input_skewed(50, 500, 1.0, 2);
         assert!(w.right.iter().all(|r| r.key() < 50));
         assert_eq!(w.expected_matches, 500);
+    }
+
+    #[test]
+    fn skewed_input_is_deterministic_per_seed() {
+        let a = skewed_input(2000, 4, 1.2, 77);
+        let b = skewed_input(2000, 4, 1.2, 77);
+        assert_eq!(a, b, "same seed must yield the identical table");
+        let c = skewed_input(2000, 4, 1.2, 78);
+        assert_ne!(a, c, "a different seed must permute the draw");
+    }
+
+    #[test]
+    fn skewed_input_concentrates_mass_on_low_keys() {
+        let v = skewed_input(10_000, 10, 1.2, 5);
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().all(|r| r.key() < 1000), "domain is n / fanout");
+        let hot = v.iter().filter(|r| r.key() == 0).count();
+        assert!(
+            hot > 10 * v.len() / 1000,
+            "key 0 must be far above the uniform share: {hot}"
+        );
+        // Payloads still distinguish every record.
+        let mut payloads: Vec<u64> = v.iter().map(|r| r.payload()).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_input_with_zero_theta_is_a_uniform_draw() {
+        let v = skewed_input(8000, 8, 0.0, 9);
+        let mut counts = vec![0u64; 1000];
+        for r in &v {
+            counts[r.key() as usize] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        assert!(max < 30, "uniform draw must stay balanced: max {max}");
     }
 }

@@ -1,0 +1,223 @@
+//! Mid-plan re-planning integration tests: drift-free adaptive runs are
+//! bit-identical to static ones (rows *and* counters, at DoP 1 and 4),
+//! and when an observed cardinality drifts past the threshold the
+//! remaining join subtree is re-enumerated without losing a row.
+
+use planner::{execute_naive, execute_stream, Catalog, LogicalPlan, PlannedQuery, Planner};
+use pmem_sim::{BufferPool, LayerKind, PCollection, Pm, PmDevice};
+use std::sync::Arc;
+use wisconsin::WisconsinRecord;
+
+fn table_from_keys(dev: &Pm, name: &str, keys: &[u64]) -> Arc<PCollection<WisconsinRecord>> {
+    Arc::new(PCollection::from_records_uncounted(
+        dev,
+        LayerKind::BlockedMemory,
+        name,
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| WisconsinRecord::from_key(k).with_payload(i as u64)),
+    ))
+}
+
+/// Uniform three-way chain with accurate catalog metadata: the estimate
+/// holds, no drift fires, and the adaptive run must be bit-identical to
+/// the static one — same rows, same counters — at DoP 1 and DoP 4.
+#[test]
+fn no_drift_adaptive_runs_match_static_runs_exactly() {
+    for threads in [1usize, 4] {
+        let mut outputs = Vec::new();
+        for adapt in [true, false] {
+            let dev = PmDevice::paper_default();
+            let mut cat = Catalog::new();
+            let keys: Vec<u64> = (0..600).collect();
+            cat.add_table("a", table_from_keys(&dev, "a", &keys), 600);
+            cat.add_table("b", table_from_keys(&dev, "b", &keys), 600);
+            cat.add_table("c", table_from_keys(&dev, "c", &keys), 600);
+            let logical = LogicalPlan::scan("a")
+                .join(LogicalPlan::scan("b"))
+                .join(LogicalPlan::scan("c"));
+            let pool = BufferPool::new(400 * 80);
+            let planned = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory)
+                .with_threads(threads)
+                .with_adaptivity(adapt)
+                .plan(&logical, &cat)
+                .expect("plans");
+            assert_eq!(planned.adapt, adapt);
+            let run = execute_stream(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool)
+                .expect("runs");
+            assert!(
+                run.adapted.is_none(),
+                "accurate estimates must not trigger re-planning"
+            );
+            outputs.push((run.result.all_rows().canonical_wide(), run.stats));
+        }
+        let (rows_on, io_on) = &outputs[0];
+        let (rows_off, io_off) = &outputs[1];
+        assert_eq!(rows_on, rows_off, "rows diverged at DoP {threads}");
+        assert_eq!(io_on, io_off, "counters diverged at DoP {threads}");
+    }
+}
+
+/// A catalog whose uniform metadata wildly underestimates the first
+/// join (the key domain is registered far wider than the keys actually
+/// used): adaptation must observe the drift, re-enumerate the remaining
+/// subtree, and still produce exactly the oracle's rows at DoP 1 and 4.
+#[test]
+fn drift_triggers_replanning_and_keeps_the_oracle_rows() {
+    let build_catalog = |dev: &Pm| {
+        let mut cat = Catalog::new();
+        // Both `s1` and `s2` repeat 20 keys 20× but claim 400-wide key
+        // domains, so every pairwise uniform estimate is at least 10×
+        // under the true cardinality: whichever join runs first drifts.
+        let s1: Vec<u64> = (0..400).map(|i| i % 20).collect();
+        let s2: Vec<u64> = (0..400).map(|i| i % 20).collect();
+        let t: Vec<u64> = (0..40).collect();
+        cat.add_table("s1", table_from_keys(dev, "s1", &s1), 400);
+        cat.add_table("s2", table_from_keys(dev, "s2", &s2), 400);
+        cat.add_table("t", table_from_keys(dev, "t", &t), 40);
+        cat
+    };
+    let logical = LogicalPlan::scan("s1")
+        .join(LogicalPlan::scan("s2"))
+        .join(LogicalPlan::scan("t"));
+
+    let mut canonical = Vec::new();
+    for threads in [1usize, 4] {
+        let dev = PmDevice::paper_default();
+        let cat = build_catalog(&dev);
+        let pool = BufferPool::new(300 * 80);
+        let planned = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory)
+            .with_threads(threads)
+            .plan(&logical, &cat)
+            .expect("plans");
+        let run =
+            execute_stream(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool).expect("runs");
+        let adapted = run.adapted.as_ref().expect("drift must fire");
+        assert!(
+            adapted.observed_rows as f64 > 2.0 * adapted.estimated_rows,
+            "observed {} vs estimated {}",
+            adapted.observed_rows,
+            adapted.estimated_rows
+        );
+        assert!(
+            adapted.plan.describe().contains("(re-planned)"),
+            "executed plan must carry the re-planned marker:\n{}",
+            adapted.plan.describe()
+        );
+        assert!(
+            !adapted.choices.is_empty(),
+            "re-enumeration must record its candidate evidence"
+        );
+        // The reporting plan splices the executed intermediate back in:
+        // no pseudo-table scan may remain visible.
+        assert!(
+            !adapted.plan.describe().contains("~mid"),
+            "pseudo-table leaked into the report:\n{}",
+            adapted.plan.describe()
+        );
+        let reference = execute_naive(&logical, &cat).expect("naive evaluates");
+        let rows = run.result.all_rows();
+        assert_eq!(rows.len(), 20 * 20 * 20, "20 keys × 20 × 20 copies");
+        assert_eq!(rows.canonical_wide(), reference.canonical_wide());
+        canonical.push(rows.canonical_wide());
+    }
+    assert_eq!(canonical[0], canonical[1], "rows changed with DoP");
+}
+
+/// With adaptivity off the same drifting workload runs the static plan:
+/// no re-planning, still the oracle's rows.
+#[test]
+fn static_plans_survive_drift_without_replanning() {
+    let dev = PmDevice::paper_default();
+    let mut cat = Catalog::new();
+    let s1: Vec<u64> = (0..300).map(|i| i % 15).collect();
+    let s2: Vec<u64> = (0..300).map(|i| i % 15).collect();
+    let t: Vec<u64> = (0..30).collect();
+    cat.add_table("s1", table_from_keys(&dev, "s1", &s1), 300);
+    cat.add_table("s2", table_from_keys(&dev, "s2", &s2), 300);
+    cat.add_table("t", table_from_keys(&dev, "t", &t), 30);
+    let logical = LogicalPlan::scan("s1")
+        .join(LogicalPlan::scan("s2"))
+        .join(LogicalPlan::scan("t"));
+    let pool = BufferPool::new(300 * 80);
+    let planned = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory)
+        .with_adaptivity(false)
+        .plan(&logical, &cat)
+        .expect("plans");
+    let run = execute_stream(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool).expect("runs");
+    assert!(run.adapted.is_none());
+    let reference = execute_naive(&logical, &cat).expect("naive evaluates");
+    assert_eq!(
+        run.result.all_rows().canonical_wide(),
+        reference.canonical_wide()
+    );
+}
+
+/// Re-planning must survive being re-executed from a cloned plan (the
+/// `PlannedQuery` is immutable evidence; adaptation happens per run).
+#[test]
+fn replanning_is_per_run_and_leaves_the_planned_query_untouched() {
+    let dev = PmDevice::paper_default();
+    let mut cat = Catalog::new();
+    let s1: Vec<u64> = (0..240).map(|i| i % 12).collect();
+    let s2: Vec<u64> = (0..240).map(|i| i % 12).collect();
+    let t: Vec<u64> = (0..24).collect();
+    cat.add_table("s1", table_from_keys(&dev, "s1", &s1), 240);
+    cat.add_table("s2", table_from_keys(&dev, "s2", &s2), 240);
+    cat.add_table("t", table_from_keys(&dev, "t", &t), 24);
+    let logical = LogicalPlan::scan("s1")
+        .join(LogicalPlan::scan("s2"))
+        .join(LogicalPlan::scan("t"));
+    let pool = BufferPool::new(300 * 80);
+    let planned = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory)
+        .plan(&logical, &cat)
+        .expect("plans");
+    let before = format!("{:?}", planned.plan.describe());
+    let run1 =
+        execute_stream(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool).expect("first run");
+    let replanned = PlannedQuery {
+        threads: planned.threads,
+        ..planned.clone()
+    };
+    let run2 = execute_stream(&replanned, &cat, &dev, LayerKind::BlockedMemory, &pool)
+        .expect("second run");
+    assert_eq!(before, format!("{:?}", planned.plan.describe()));
+    assert_eq!(
+        run1.result.all_rows().canonical_wide(),
+        run2.result.all_rows().canonical_wide()
+    );
+    assert_eq!(run1.stats, run2.stats, "adaptation must be deterministic");
+    assert_eq!(run1.adapted.is_some(), run2.adapted.is_some());
+}
+
+/// The plan's chain root is the interception point even under wrapper
+/// nodes: drift under a sort still re-plans and the sorted output stays
+/// correct.
+#[test]
+fn adaptation_fires_under_wrapper_nodes() {
+    let dev = PmDevice::paper_default();
+    let mut cat = Catalog::new();
+    let s1: Vec<u64> = (0..200).map(|i| i % 10).collect();
+    let s2: Vec<u64> = (0..200).map(|i| i % 10).collect();
+    let t: Vec<u64> = (0..20).collect();
+    cat.add_table("s1", table_from_keys(&dev, "s1", &s1), 200);
+    cat.add_table("s2", table_from_keys(&dev, "s2", &s2), 200);
+    cat.add_table("t", table_from_keys(&dev, "t", &t), 20);
+    let logical = LogicalPlan::scan("s1")
+        .join(LogicalPlan::scan("s2"))
+        .join(LogicalPlan::scan("t"))
+        .sort();
+    let pool = BufferPool::new(300 * 80);
+    let planned = Planner::for_device(&dev, &pool, LayerKind::BlockedMemory)
+        .plan(&logical, &cat)
+        .expect("plans");
+    let run = execute_stream(&planned, &cat, &dev, LayerKind::BlockedMemory, &pool).expect("runs");
+    let adapted = run.adapted.as_ref().expect("drift fires under the sort");
+    // The effective plan keeps the wrapper above the re-planned subtree.
+    assert!(adapted.plan.describe().starts_with("sort via"));
+    let rows = run.result.all_rows();
+    let keys = rows.keys();
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]), "sorted output");
+    let reference = execute_naive(&logical, &cat).expect("naive evaluates");
+    assert_eq!(rows.canonical_wide(), reference.canonical_wide());
+}
